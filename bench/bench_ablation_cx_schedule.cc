@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: syndrome-extraction CX scheduling.
+ *
+ * The generator's default schedule orients hook errors (mid-extraction
+ * ancilla faults that spread to two data qubits) perpendicular to the
+ * logical operators; the HookAligned variant swaps the middle CX
+ * layers so hooks run parallel to the logicals, the classic mistake
+ * that halves the effective code distance. The LER gap — absent from
+ * the paper but implicit in every surface-code circuit design — shows
+ * why the decoding substrate must model the circuit, not just the
+ * code.
+ *
+ * Usage: bench_ablation_cx_schedule [--shots=200000] [--p=2e-3]
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "harness/memory_experiment.hh"
+
+using namespace astrea;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    const uint64_t shots = opts.getUint("shots", 200000);
+    const double p = opts.getDouble("p", 2e-3);
+    const uint64_t seed = opts.getUint("seed", 47);
+
+    benchBanner("Ablation", "CX schedule: hook-safe vs hook-aligned");
+    std::printf("p=%g, %llu shots per point, MWPM decoding\n\n", p,
+                static_cast<unsigned long long>(shots));
+
+    std::printf("%-4s %-16s %-16s %-8s\n", "d", "standard",
+                "hook-aligned", "penalty");
+    for (uint32_t d : {3u, 5u, 7u}) {
+        ExperimentConfig good_cfg;
+        good_cfg.distance = d;
+        good_cfg.physicalErrorRate = p;
+        ExperimentConfig bad_cfg = good_cfg;
+        bad_cfg.cxSchedule = CxSchedule::HookAligned;
+
+        ExperimentContext good(good_cfg);
+        ExperimentContext bad(bad_cfg);
+        auto rg = runMemoryExperiment(good, mwpmFactory(), shots, seed);
+        auto rb = runMemoryExperiment(bad, mwpmFactory(), shots, seed);
+        double penalty =
+            rg.ler() > 0 ? rb.ler() / rg.ler() : 0.0;
+        std::printf("%-4u %-16s %-16s %-8.2f\n", d,
+                    formatProb(rg.ler()).c_str(),
+                    formatProb(rb.ler()).c_str(), penalty);
+    }
+    std::printf("\nThe penalty grows with distance: aligned hooks act "
+                "like a halved code\ndistance, so the gap widens "
+                "exponentially below threshold.\n");
+    return 0;
+}

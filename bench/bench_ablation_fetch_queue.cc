@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation: Astrea-G's fetch width (F) and priority-queue capacity (E).
+ *
+ * The paper states (Sec. 7.1) that F = 2 and E = 8 "are sufficient"
+ * and that larger values improve accuracy at more logic cost. This
+ * bench sweeps the design space at a regime where the pipeline is
+ * stressed (d = 7, p = 2e-3: ~3% of shots exceed Hamming weight 10)
+ * and reports paired LERs against idealized MWPM.
+ *
+ * Usage: bench_ablation_fetch_queue [--shots-per-k=10000] [--p=2e-3]
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "harness/memory_experiment.hh"
+#include "harness/semi_analytic.hh"
+
+using namespace astrea;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    SemiAnalyticConfig sa;
+    sa.shotsPerK = opts.getUint("shots-per-k", 10000);
+    sa.targetFailures = opts.getUint("target-failures", 30);
+    sa.maxShotsPerK = opts.getUint("max-shots-per-k", 100000);
+    sa.maxFaults = static_cast<uint32_t>(opts.getUint("kmax", 12));
+    sa.seed = opts.getUint("seed", 43);
+    const double p = opts.getDouble("p", 2e-3);
+    const uint32_t d = static_cast<uint32_t>(opts.getUint("distance", 7));
+
+    benchBanner("Ablation", "Astrea-G fetch width / queue capacity");
+    std::printf("d=%u, p=%g (pipeline-stressed regime), paired "
+                "semi-analytic\n\n",
+                d, p);
+
+    ExperimentConfig cfg;
+    cfg.distance = d;
+    cfg.physicalErrorRate = p;
+    ExperimentContext ctx(cfg);
+
+    struct Design
+    {
+        uint32_t f, e;
+    };
+    const Design designs[] = {{1, 4}, {2, 8},  {2, 16},
+                              {4, 8}, {4, 16}, {8, 32}};
+
+    std::vector<DecoderFactory> factories{mwpmFactory()};
+    for (const auto &ds : designs) {
+        AstreaGConfig agc;
+        agc.fetchWidth = ds.f;
+        agc.queueCapacity = ds.e;
+        factories.push_back(astreaGFactory(agc));
+    }
+    // Continuation ablation: the default design without re-queuing
+    // popped pre-matchings that still have candidates.
+    AstreaGConfig no_cont;
+    no_cont.requeueContinuations = false;
+    factories.push_back(astreaGFactory(no_cont));
+
+    auto r = estimateLerSemiAnalyticMulti(ctx, factories, sa);
+
+    std::printf("%-18s %-14s %-10s\n", "design", "LER",
+                "vs MWPM");
+    std::printf("%-18s %-14s %-10s\n", "MWPM",
+                formatProb(r[0].ler).c_str(), "1.00");
+    for (size_t i = 0; i < std::size(designs); i++) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "F=%u E=%u", designs[i].f,
+                      designs[i].e);
+        double rel = r[0].ler > 0 ? r[i + 1].ler / r[0].ler : 0.0;
+        std::printf("%-18s %-14s %-10.2f\n", name,
+                    formatProb(r[i + 1].ler).c_str(), rel);
+    }
+    {
+        size_t idx = std::size(designs) + 1;
+        double rel = r[0].ler > 0 ? r[idx].ler / r[0].ler : 0.0;
+        std::printf("%-18s %-14s %-10.2f\n", "F=2 E=8 no-cont",
+                    formatProb(r[idx].ler).c_str(), rel);
+    }
+    std::printf("\n(paper Sec. 7.1: F=2, E=8 suffices at p <= 1e-3; "
+                "larger F/E buys accuracy\nin harsher regimes at more "
+                "logic.)\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: Astrea's weight-handling design choices.
+ *
+ * (a) 8-bit weight quantization (Sec. 5.1): the FPGA stores each GWT
+ *     entry in one byte. How much accuracy does that cost relative to
+ *     the unquantized weights the paper's software model used?
+ * (b) Effective pair weights (DESIGN.md): pairs may resolve through
+ *     the boundary at weight w_iB + w_jB. Disabling this restriction
+ *     breaks the equivalence between perfect-matching search and true
+ *     MWPM; the bench quantifies the LER cost.
+ *
+ * Both comparisons use the paired semi-analytic estimator, so the
+ * ratios are free of cross-column sampling noise.
+ *
+ * Usage: bench_ablation_weights [--shots-per-k=10000] [--kmax=8]
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "harness/memory_experiment.hh"
+#include "harness/semi_analytic.hh"
+
+using namespace astrea;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    SemiAnalyticConfig sa;
+    sa.shotsPerK = opts.getUint("shots-per-k", 10000);
+    sa.targetFailures = opts.getUint("target-failures", 25);
+    sa.maxShotsPerK = opts.getUint("max-shots-per-k", 200000);
+    sa.maxFaults = static_cast<uint32_t>(opts.getUint("kmax", 8));
+    sa.seed = opts.getUint("seed", 41);
+    const double p = opts.getDouble("p", 1e-3);
+
+    benchBanner("Ablation", "Astrea weight quantization and effective "
+                            "pair weights");
+    std::printf("p=%g, adaptive semi-analytic, k <= %u\n\n", p,
+                sa.maxFaults);
+
+    AstreaConfig exact_cfg;
+    exact_cfg.quantizedWeights = false;
+    AstreaConfig no_eff_cfg;
+    no_eff_cfg.useEffectiveWeights = false;
+
+    std::printf("%-4s %-13s %-13s %-13s %-13s\n", "d", "MWPM",
+                "Astrea(8bit)", "Astrea(exact)", "Astrea(no-eff)");
+    for (uint32_t d : {3u, 5u, 7u}) {
+        ExperimentConfig cfg;
+        cfg.distance = d;
+        cfg.physicalErrorRate = p;
+        ExperimentContext ctx(cfg);
+
+        auto r = estimateLerSemiAnalyticMulti(
+            ctx,
+            {mwpmFactory(), astreaFactory(), astreaFactory(exact_cfg),
+             astreaFactory(no_eff_cfg)},
+            sa);
+        std::printf("%-4u %-13s %-13s %-13s %-13s\n", d,
+                    formatProb(r[0].ler).c_str(),
+                    formatProb(r[1].ler).c_str(),
+                    formatProb(r[2].ler).c_str(),
+                    formatProb(r[3].ler).c_str());
+    }
+    std::printf("\nFindings this bench documents:\n"
+                " - exact-weight Astrea == MWPM below the HW-10 limit "
+                "(the paper's software\n   model of Astrea);\n"
+                " - 8-bit quantization costs a small factor via "
+                "tie-breaks;\n"
+                " - dropping effective (through-boundary) pair weights "
+                "costs accuracy\n   whenever the MWPM sends several "
+                "defects to the boundary.\n");
+    return 0;
+}

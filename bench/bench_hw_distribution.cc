@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces Fig. 6 (analytic vs measured Hamming-weight probability),
+ * Table 2 (syndrome probability by HW for d = 3/5/7 at p = 1e-4), and
+ * Table 5 (d = 7 at p = 1e-3 vs 1e-4).
+ *
+ * Usage: bench_hw_distribution [--shots=2000000] [--seed=1]
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "harness/hw_histogram.hh"
+#include "harness/memory_experiment.hh"
+
+using namespace astrea;
+
+namespace
+{
+
+HwDistribution
+measure(uint32_t d, double p, uint64_t shots, uint64_t seed)
+{
+    ExperimentConfig cfg;
+    cfg.distance = d;
+    cfg.physicalErrorRate = p;
+    ExperimentContext ctx(cfg);
+    return measureHwDistribution(ctx, shots, seed);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    const uint64_t shots = opts.getUint("shots", 2000000);
+    const uint64_t seed = opts.getUint("seed", 1);
+
+    benchBanner("Fig 6 / Table 2 / Table 5",
+                "syndrome-vector probability by Hamming weight");
+    std::printf("shots per configuration: %llu "
+                "(paper: 1e9)\n\n",
+                static_cast<unsigned long long>(shots));
+
+    // ------------------------------------------------ Fig. 6 (d = 7)
+    std::printf("--- Fig 6: analytic upper bound vs measured "
+                "(d=7, p=1e-4) ---\n");
+    HwDistribution d7 = measure(7, 1e-4, shots, seed);
+    std::printf("%-6s %-14s %-14s\n", "HW", "model", "measured");
+    for (uint32_t h = 0; h <= 12; h += 2) {
+        std::printf("%-6u %-14s %-14s\n", h,
+                    formatProb(analyticHwProbability(7, 1e-4, h)).c_str(),
+                    formatProb(d7.frequency(h)).c_str());
+    }
+
+    // ------------------------------------------------------- Table 2
+    std::printf("\n--- Table 2: probability by HW bucket at p=1e-4 "
+                "---\n");
+    std::printf("%-12s %-14s %-14s %-14s\n", "HW bucket", "d=3", "d=5",
+                "d=7");
+    HwDistribution d3 = measure(3, 1e-4, shots, seed + 1);
+    HwDistribution d5 = measure(5, 1e-4, shots, seed + 2);
+    struct Bucket
+    {
+        const char *label;
+        size_t lo, hi;
+    };
+    const Bucket buckets[] = {{"0", 0, 0},     {"1,2", 1, 2},
+                              {"3,4", 3, 4},   {"5,6", 5, 6},
+                              {"7-10", 7, 10}};
+    for (const auto &b : buckets) {
+        std::printf("%-12s %-14s %-14s %-14s\n", b.label,
+                    formatProb(d3.rangeFrequency(b.lo, b.hi)).c_str(),
+                    formatProb(d5.rangeFrequency(b.lo, b.hi)).c_str(),
+                    formatProb(d7.rangeFrequency(b.lo, b.hi)).c_str());
+    }
+    std::printf("%-12s %-14s %-14s %-14s\n", "> 10",
+                formatProb(d3.hist.tailFrequency(10)).c_str(),
+                formatProb(d5.hist.tailFrequency(10)).c_str(),
+                formatProb(d7.hist.tailFrequency(10)).c_str());
+    printPaperRef("Table 2 row '>10', d=7", "4e-6");
+    printPaperRef("Table 2 row '0', d=7", "0.86");
+
+    // ------------------------------------------------------- Table 5
+    std::printf("\n--- Table 5: d=7 at p=1e-3 vs p=1e-4 ---\n");
+    HwDistribution d7hi = measure(7, 1e-3, shots, seed + 3);
+    std::printf("%-12s %-14s %-14s\n", "HW bucket", "p=1e-3", "p=1e-4");
+    std::printf("%-12s %-14s %-14s\n", "0",
+                formatProb(d7hi.frequency(0)).c_str(),
+                formatProb(d7.frequency(0)).c_str());
+    std::printf("%-12s %-14s %-14s\n", "1 to 10",
+                formatProb(d7hi.rangeFrequency(1, 10)).c_str(),
+                formatProb(d7.rangeFrequency(1, 10)).c_str());
+    std::printf("%-12s %-14s %-14s\n", "> 10",
+                formatProb(d7hi.hist.tailFrequency(10)).c_str(),
+                formatProb(d7.hist.tailFrequency(10)).c_str());
+    printPaperRef("Table 5 '>10' at p=1e-3", "0.003");
+    printPaperRef("Table 5 '0' at p=1e-3", "0.22");
+    return 0;
+}

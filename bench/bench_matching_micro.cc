@@ -1,0 +1,237 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the matching and decoding hot
+ * paths: blossom MWPM, the bitmask DP, the HW6Decoder, Astrea,
+ * Astrea-G, Union-Find, and the sparse DEM sampler. These support the
+ * latency arguments behind Figs. 3 and 9: software matching costs
+ * microseconds-to-milliseconds per syndrome while Astrea's model is a
+ * handful of table lookups and adds.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "astrea/astrea_decoder.hh"
+#include "astrea/astrea_g_decoder.hh"
+#include "astrea/hw6.hh"
+#include "decoders/mwpm_decoder.hh"
+#include "decoders/union_find_decoder.hh"
+#include "harness/memory_experiment.hh"
+#include "sim/batch_frame_sim.hh"
+#include "sim/frame_sim.hh"
+#include "matching/blossom.hh"
+#include "matching/dp_matcher.hh"
+
+using namespace astrea;
+
+namespace
+{
+
+/** Shared d = 7, p = 1e-3 context (built once). */
+const ExperimentContext &
+benchContext()
+{
+    static ExperimentContext ctx = [] {
+        ExperimentConfig cfg;
+        cfg.distance = 7;
+        cfg.physicalErrorRate = 1e-3;
+        return ExperimentContext(cfg);
+    }();
+    return ctx;
+}
+
+/** Pre-sampled syndromes of a fixed Hamming weight. */
+std::vector<std::vector<uint32_t>>
+syndromesOfWeight(size_t hw, size_t count)
+{
+    const auto &ctx = benchContext();
+    std::vector<std::vector<uint32_t>> out;
+    Rng rng(42 + hw);
+    BitVec dets, obs;
+    size_t guard = 0;
+    while (out.size() < count && ++guard < 40000000) {
+        ctx.sampler().sample(rng, dets, obs);
+        if (dets.popcount() == hw)
+            out.push_back(dets.onesIndices());
+    }
+    // Fall back to padding with the last sample if the weight is rare.
+    while (!out.empty() && out.size() < count)
+        out.push_back(out.back());
+    return out;
+}
+
+void
+BM_BlossomCompleteGraph(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(7);
+    std::vector<std::vector<int64_t>> w(n, std::vector<int64_t>(n));
+    for (int i = 0; i < n; i++)
+        for (int j = i + 1; j < n; j++)
+            w[i][j] = w[j][i] =
+                static_cast<int64_t>(rng.uniformInt(1000));
+    for (auto _ : state) {
+        auto mate = minWeightPerfectMatching(
+            n, [&](int i, int j) { return w[i][j]; });
+        benchmark::DoNotOptimize(mate);
+    }
+}
+BENCHMARK(BM_BlossomCompleteGraph)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_DpMatcher(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(9);
+    std::vector<std::vector<double>> w(n, std::vector<double>(n));
+    std::vector<double> wb(n);
+    for (int i = 0; i < n; i++) {
+        wb[i] = static_cast<double>(rng.uniformInt(100));
+        for (int j = i + 1; j < n; j++)
+            w[i][j] = w[j][i] = static_cast<double>(rng.uniformInt(100));
+    }
+    for (auto _ : state) {
+        auto sol = dpMatchWithBoundary(
+            n, [&](int i, int j) { return w[i][j]; },
+            [&](int i) { return wb[i]; });
+        benchmark::DoNotOptimize(sol);
+    }
+}
+BENCHMARK(BM_DpMatcher)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_Hw6Decoder(benchmark::State &state)
+{
+    Hw6Decoder hw6;
+    Rng rng(11);
+    WeightSum w[6][6];
+    for (int i = 0; i < 6; i++)
+        for (int j = 0; j < 6; j++)
+            w[i][j] = static_cast<WeightSum>(rng.uniformInt(200));
+    PairList out;
+    for (auto _ : state) {
+        WeightSum best = hw6.match(
+            6, [&](int i, int j) { return w[i][j]; }, out);
+        benchmark::DoNotOptimize(best);
+    }
+}
+BENCHMARK(BM_Hw6Decoder);
+
+void
+BM_AstreaDecode(benchmark::State &state)
+{
+    const size_t hw = static_cast<size_t>(state.range(0));
+    auto syndromes = syndromesOfWeight(hw, 64);
+    if (syndromes.empty()) {
+        state.SkipWithError("no syndromes of requested weight");
+        return;
+    }
+    AstreaDecoder dec(benchContext().gwt());
+    size_t i = 0;
+    for (auto _ : state) {
+        DecodeResult r = dec.decode(syndromes[i++ % syndromes.size()]);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_AstreaDecode)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void
+BM_AstreaGDecode(benchmark::State &state)
+{
+    const size_t hw = static_cast<size_t>(state.range(0));
+    auto syndromes = syndromesOfWeight(hw, 16);
+    if (syndromes.empty()) {
+        state.SkipWithError("no syndromes of requested weight");
+        return;
+    }
+    AstreaGDecoder dec(benchContext().gwt());
+    size_t i = 0;
+    for (auto _ : state) {
+        DecodeResult r = dec.decode(syndromes[i++ % syndromes.size()]);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_AstreaGDecode)->Arg(12)->Arg(14);
+
+void
+BM_MwpmDecode(benchmark::State &state)
+{
+    const size_t hw = static_cast<size_t>(state.range(0));
+    auto syndromes = syndromesOfWeight(hw, 32);
+    if (syndromes.empty()) {
+        state.SkipWithError("no syndromes of requested weight");
+        return;
+    }
+    MwpmDecoder dec(benchContext().gwt());
+    size_t i = 0;
+    for (auto _ : state) {
+        DecodeResult r = dec.decode(syndromes[i++ % syndromes.size()]);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_MwpmDecode)->Arg(4)->Arg(8)->Arg(12);
+
+void
+BM_UnionFindDecode(benchmark::State &state)
+{
+    const size_t hw = static_cast<size_t>(state.range(0));
+    auto syndromes = syndromesOfWeight(hw, 32);
+    if (syndromes.empty()) {
+        state.SkipWithError("no syndromes of requested weight");
+        return;
+    }
+    UnionFindDecoder dec(benchContext().graph());
+    size_t i = 0;
+    for (auto _ : state) {
+        DecodeResult r = dec.decode(syndromes[i++ % syndromes.size()]);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_UnionFindDecode)->Arg(4)->Arg(8)->Arg(12);
+
+void
+BM_DemSamplerShot(benchmark::State &state)
+{
+    const auto &ctx = benchContext();
+    Rng rng(13);
+    BitVec dets, obs;
+    for (auto _ : state) {
+        ctx.sampler().sample(rng, dets, obs);
+        benchmark::DoNotOptimize(dets);
+    }
+}
+BENCHMARK(BM_DemSamplerShot);
+
+void
+BM_ScalarFrameSimShot(benchmark::State &state)
+{
+    const auto &ctx = benchContext();
+    FrameSimulator sim(ctx.circuit());
+    Rng rng(15);
+    BitVec dets, obs;
+    for (auto _ : state) {
+        sim.sample(rng, dets, obs);
+        benchmark::DoNotOptimize(dets);
+    }
+}
+BENCHMARK(BM_ScalarFrameSimShot);
+
+void
+BM_BatchFrameSim64Shots(benchmark::State &state)
+{
+    const auto &ctx = benchContext();
+    BatchFrameSimulator sim(ctx.circuit());
+    Rng rng(17);
+    std::vector<uint64_t> dets, obs;
+    for (auto _ : state) {
+        sim.sampleBatch(rng, dets, obs);
+        benchmark::DoNotOptimize(dets);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BatchFrameSim64Shots);
+
+} // namespace
+
+BENCHMARK_MAIN();

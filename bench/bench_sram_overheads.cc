@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Table 6: Astrea-G's SRAM overheads for d = 7 and d = 9,
+ * computed from the data-structure dimensions of the implementation
+ * (the GWT sizes follow exactly; the small structures are first-order
+ * provisioning estimates — see DESIGN.md on the synthesis
+ * substitution).
+ *
+ * Usage: bench_sram_overheads
+ */
+
+#include <cstdio>
+
+#include "astrea/resource_model.hh"
+#include "bench_util.hh"
+
+using namespace astrea;
+
+namespace
+{
+
+void
+printRow(const char *label, size_t d7, size_t d9)
+{
+    auto fmt = [](size_t bytes) {
+        char buf[32];
+        if (bytes >= 1024)
+            std::snprintf(buf, sizeof(buf), "%.1fKB",
+                          static_cast<double>(bytes) / 1024.0);
+        else
+            std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+        return std::string(buf);
+    };
+    std::printf("%-28s %-10s %-10s\n", label, fmt(d7).c_str(),
+                fmt(d9).c_str());
+}
+
+} // namespace
+
+int
+main(int, char **)
+{
+    benchBanner("Table 6", "SRAM overheads of Astrea-G");
+
+    AstreaGConfig cfg;  // Paper defaults: F = 2, E = 8.
+    // Provisioned maximum Hamming weights per distance (the largest
+    // the pipeline is sized for at p = 1e-3).
+    AstreaGSram d7 = astreaGSram(7, 16, cfg);
+    AstreaGSram d9 = astreaGSram(9, 24, cfg);
+
+    std::printf("%-28s %-10s %-10s\n", "component", "d=7", "d=9");
+    printRow("Global Weight Table (GWT)", d7.gwtBytes, d9.gwtBytes);
+    printRow("Local Weight Table (LWT)", d7.lwtBytes, d9.lwtBytes);
+    printRow("Priority Queues", d7.priorityQueueBytes,
+             d9.priorityQueueBytes);
+    printRow("Pipeline Latches", d7.pipelineLatchBytes,
+             d9.pipelineLatchBytes);
+    printRow("MWPM Register", d7.mwpmRegisterBytes,
+             d9.mwpmRegisterBytes);
+    printRow("Total", d7.totalBytes(), d9.totalBytes());
+
+    std::printf("\n");
+    printPaperRef("Table 6 GWT", "36KB (d=7) / 156KB (d=9)");
+    printPaperRef("Table 6 total", "42KB (d=7) / 164KB (d=9)");
+    return 0;
+}

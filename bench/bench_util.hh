@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries.
+ *
+ * Every bench binary regenerates one table or figure from the paper.
+ * They accept --shots=N style overrides (or ASTREA_SHOTS environment
+ * variables) so the full-fidelity runs the paper used (1e9+ trials on
+ * a cluster) can be approximated or scaled down to laptop budgets; the
+ * defaults are sized for minutes, not days, and every output states
+ * the budget it used.
+ */
+
+#ifndef ASTREA_BENCH_BENCH_UTIL_HH
+#define ASTREA_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/stats.hh"
+
+namespace astrea
+{
+
+/** Print the standard bench banner. */
+inline void
+benchBanner(const char *id, const char *what)
+{
+    std::printf("==================================================="
+                "=========\n");
+    std::printf("%s: %s\n", id, what);
+    std::printf("==================================================="
+                "=========\n");
+}
+
+/** Format a probability with its 95%% Wilson interval. */
+inline std::string
+formatEstimate(const BinomialEstimate &e)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s [%s, %s]",
+                  formatProb(e.pointEstimate()).c_str(),
+                  formatProb(e.lower95()).c_str(),
+                  formatProb(e.upper95()).c_str());
+    return buf;
+}
+
+/** Note a paper-reported reference value next to a measurement. */
+inline void
+printPaperRef(const char *label, const char *value)
+{
+    std::printf("    (paper %s: %s)\n", label, value);
+}
+
+} // namespace astrea
+
+#endif // ASTREA_BENCH_BENCH_UTIL_HH

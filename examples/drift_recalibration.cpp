@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Drift and GWT re-programming workflow (paper Sec. 8.2).
+ *
+ * Walks the operational loop of a deployed Astrea decoder:
+ *   1. calibrate: build a GWT for the device's current error rates and
+ *      save it (the image the FPGA SRAM would be programmed with);
+ *   2. drift: the device's per-qubit error rates wander;
+ *   3. compare: decode the drifted device's syndromes with the stale
+ *      saved table versus a freshly recalibrated one.
+ *
+ * Usage: drift_recalibration [--distance=5] [--p=2e-3] [--spread=4]
+ *        [--shots=200000]
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/cli.hh"
+#include "decoders/mwpm_decoder.hh"
+#include "graph/weight_table_io.hh"
+#include "harness/memory_experiment.hh"
+
+using namespace astrea;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    ExperimentConfig base;
+    base.distance = static_cast<uint32_t>(opts.getUint("distance", 5));
+    base.physicalErrorRate = opts.getDouble("p", 2e-3);
+    const double spread = opts.getDouble("spread", 4.0);
+    const uint64_t shots = opts.getUint("shots", 200000);
+    const uint64_t seed = opts.getUint("seed", 61);
+    const std::string path =
+        opts.getString("gwt-path", "/tmp/astrea_calibrated_gwt.bin");
+
+    std::printf("Step 1: calibrate at uniform p=%g and program the "
+                "GWT\n",
+                base.physicalErrorRate);
+    ExperimentContext calibrated(base);
+    saveWeightTable(calibrated.gwt(), path);
+    std::printf("        saved %zu-byte quantized table to %s\n",
+                calibrated.gwt().sramBytes(), path.c_str());
+
+    std::printf("\nStep 2: device drifts (per-qubit rates spread "
+                "log-uniformly within %gx)\n",
+                1.0 + spread);
+    ExperimentConfig drifted_cfg = base;
+    drifted_cfg.driftSpread = spread;
+    drifted_cfg.driftSeed = seed;
+    ExperimentContext drifted(drifted_cfg);
+    std::printf("        worst qubit now at %.2fx the base rate\n",
+                drifted.noiseMap()->maxScale());
+
+    std::printf("\nStep 3: decode the drifted device's syndromes\n");
+    GlobalWeightTable stale_gwt = loadWeightTable(path);
+    DecoderFactory stale = [&stale_gwt](const ExperimentContext &) {
+        return std::make_unique<MwpmDecoder>(stale_gwt);
+    };
+    auto stale_r = runMemoryExperiment(drifted, stale, shots, seed);
+    auto fresh_r =
+        runMemoryExperiment(drifted, mwpmFactory(), shots, seed);
+
+    std::printf("  stale GWT (pre-drift weights):   LER = %s\n",
+                formatProb(stale_r.ler()).c_str());
+    std::printf("  recalibrated GWT (re-programmed): LER = %s\n",
+                formatProb(fresh_r.ler()).c_str());
+    if (fresh_r.ler() > 0) {
+        std::printf("  re-programming recovers a %.2fx accuracy "
+                    "factor\n",
+                    stale_r.ler() / fresh_r.ler());
+    }
+    std::printf("\nThis is the flexibility argument of paper Sec. 8.2:"
+                " lookup-table and\nfixed-function decoders cannot "
+                "absorb drift, a GWT-based design can.\n");
+    return 0;
+}

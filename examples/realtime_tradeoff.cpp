@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The paper's core trade-off: accuracy vs real-time latency across
+ * decoders.
+ *
+ * Runs one memory-experiment configuration against every decoder in
+ * the library — software MWPM (BlossomV stand-in), Astrea, Astrea-G,
+ * Union-Find (AFS), Clique+MWPM, and the lookup-table decoder — and
+ * prints logical error rate, mean/max latency, and real-time deadline
+ * violations, reproducing the landscape of paper Fig. 1(b).
+ *
+ * Usage: realtime_tradeoff [--distance=7] [--p=1e-3] [--shots=50000]
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "harness/memory_experiment.hh"
+
+using namespace astrea;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    ExperimentConfig config;
+    config.distance = static_cast<uint32_t>(opts.getUint("distance", 7));
+    config.physicalErrorRate = opts.getDouble("p", 1e-3);
+    uint64_t shots = opts.getUint("shots", 50000);
+    uint64_t seed = opts.getUint("seed", 7);
+
+    std::printf("Decoder trade-off study: d=%u, p=%g, %llu shots\n\n",
+                config.distance, config.physicalErrorRate,
+                static_cast<unsigned long long>(shots));
+
+    ExperimentContext ctx(config);
+
+    struct Entry
+    {
+        const char *label;
+        DecoderFactory factory;
+        bool hardware;  ///< Latency is modeled cycles, not wall clock.
+    };
+    const Entry entries[] = {
+        {"MWPM (sw)", mwpmFactory(), false},
+        {"Astrea", astreaFactory(), true},
+        {"Astrea-G", astreaGFactory(), true},
+        {"UF (AFS)", unionFindFactory(), false},
+        {"Clique", cliqueFactory(), false},
+        {"LUT", lutFactory(), true},
+    };
+
+    std::printf("%-10s %-12s %-12s %-12s %-10s %-8s\n", "decoder",
+                "LER", "mean lat", "max lat", ">1us", "gaveup");
+    for (const auto &e : entries) {
+        ExperimentResult r =
+            runMemoryExperiment(ctx, e.factory, shots, seed);
+        // Deadline violations only make sense against wall-clock or
+        // modeled latency; both are in latencyNs.
+        const char *unit = e.hardware ? "ns*" : "ns";
+        std::printf("%-10s %-12s %8.1f %-3s %8.1f %-3s %-10s %llu\n",
+                    e.label, formatProb(r.ler()).c_str(),
+                    r.latencyNs.mean(), unit, r.latencyNs.max(), unit,
+                    r.latencyNs.max() > 1000.0 ? "violates" : "meets",
+                    static_cast<unsigned long long>(r.gaveUps));
+    }
+    std::printf("\n(* modeled FPGA cycles at 250 MHz; software decoders"
+                " report wall-clock time)\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Threshold study: logical error rate vs physical error rate for
+ * several code distances under MWPM decoding.
+ *
+ * Sweeps p across a grid for d = 3, 5, 7 and prints the LER matrix.
+ * Below the accuracy threshold, larger distances win (curves fan out
+ * downward); above it they lose — the crossing visible in the output
+ * is the code's threshold under this circuit-level noise model, the
+ * regime-setting number behind the paper's choice of p = 1e-4..1e-3.
+ *
+ * Usage: threshold_study [--shots=100000] [--seed=5]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hh"
+#include "harness/memory_experiment.hh"
+
+using namespace astrea;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    const uint64_t shots = opts.getUint("shots", 100000);
+    const uint64_t seed = opts.getUint("seed", 5);
+
+    const std::vector<double> ps{5e-4, 1e-3, 2e-3, 3e-3, 5e-3, 8e-3};
+    const std::vector<uint32_t> ds{3, 5, 7};
+
+    std::printf("Threshold study (MWPM, memory-Z), %llu shots per "
+                "point\n\n",
+                static_cast<unsigned long long>(shots));
+    std::printf("%-10s", "p");
+    for (auto d : ds)
+        std::printf(" %-14s", ("d=" + std::to_string(d)).c_str());
+    std::printf("\n");
+
+    for (double p : ps) {
+        std::printf("%-10g", p);
+        std::vector<double> lers;
+        for (auto d : ds) {
+            ExperimentConfig cfg;
+            cfg.distance = d;
+            cfg.physicalErrorRate = p;
+            ExperimentContext ctx(cfg);
+            ExperimentResult r =
+                runMemoryExperiment(ctx, mwpmFactory(), shots, seed);
+            lers.push_back(r.ler());
+            std::printf(" %-14s", formatProb(r.ler()).c_str());
+        }
+        // Annotate which side of the threshold this row sits on.
+        bool suppressing = true;
+        for (size_t i = 1; i < lers.size(); i++) {
+            if (lers[i] > lers[i - 1])
+                suppressing = false;
+        }
+        std::printf("  %s\n", suppressing ? "(below threshold)"
+                                          : "(at/above threshold)");
+    }
+
+    std::printf("\nLarger distance helps only below the threshold; "
+                "the paper's p = 1e-4..1e-3 regime\nsits comfortably "
+                "below it, which is what makes d = 7/9 codes "
+                "worthwhile.\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Explore the decoding machinery on a single syndrome.
+ *
+ * Builds the decoding graph and Global Weight Table for one
+ * configuration, prints structural statistics, then samples one noisy
+ * shot and walks through the decode: the defect list, the pairwise
+ * weight sub-matrix, the matching each decoder chooses, and whether
+ * the logical correction was right. A compact way to see what the
+ * hardware actually computes.
+ *
+ * Usage: weight_table_explorer [--distance=5] [--p=2e-3] [--seed=11]
+ *        [--min-hw=4]
+ */
+
+#include <cstdio>
+
+#include "astrea/astrea_decoder.hh"
+#include "common/cli.hh"
+#include "decoders/mwpm_decoder.hh"
+#include "decoders/union_find_decoder.hh"
+#include "harness/memory_experiment.hh"
+
+using namespace astrea;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    ExperimentConfig config;
+    config.distance = static_cast<uint32_t>(opts.getUint("distance", 5));
+    config.physicalErrorRate = opts.getDouble("p", 2e-3);
+    uint64_t seed = opts.getUint("seed", 11);
+    size_t min_hw = opts.getUint("min-hw", 4);
+
+    ExperimentContext ctx(config);
+    const auto &gwt = ctx.gwt();
+    const auto &graph = ctx.graph();
+
+    std::printf("Decoding substrate for d=%u, p=%g (memory-Z)\n",
+                config.distance, config.physicalErrorRate);
+    std::printf("  detectors (syndrome positions): %u\n", gwt.size());
+    std::printf("  decoding-graph edges: %zu\n", graph.edges().size());
+    size_t boundary_edges = 0;
+    for (const auto &e : graph.edges()) {
+        if (e.v == kBoundaryNode)
+            boundary_edges++;
+    }
+    std::printf("  boundary edges: %zu\n", boundary_edges);
+    std::printf("  GWT: %ux%u 8-bit entries = %zu bytes\n", gwt.size(),
+                gwt.size(), gwt.sramBytes());
+
+    // Sample a shot with at least min_hw defects.
+    Rng rng(seed);
+    BitVec dets, obs;
+    std::vector<uint32_t> defects;
+    for (int tries = 0; tries < 1000000; tries++) {
+        ctx.sampler().sample(rng, dets, obs);
+        if (dets.popcount() >= min_hw) {
+            defects = dets.onesIndices();
+            break;
+        }
+    }
+    if (defects.empty()) {
+        std::printf("\nno syndrome with HW >= %zu found; lower "
+                    "--min-hw or raise --p\n",
+                    min_hw);
+        return 1;
+    }
+
+    std::printf("\nSampled syndrome: Hamming weight %zu, defects:",
+                defects.size());
+    for (auto d : defects)
+        std::printf(" D%u", d);
+    uint64_t actual = obs.none() ? 0u : 1u;
+    std::printf("\nactual logical flip: %llu\n",
+                static_cast<unsigned long long>(actual));
+
+    // Print the active weight sub-matrix (quantized decades, diagonal
+    // = boundary), exactly what Astrea's weight array would hold.
+    std::printf("\nActive weight array (decades; diagonal = "
+                "boundary):\n      ");
+    for (size_t j = 0; j < defects.size(); j++)
+        std::printf("%7zu", j);
+    std::printf("\n");
+    for (size_t i = 0; i < defects.size(); i++) {
+        std::printf("%5zu ", i);
+        for (size_t j = 0; j < defects.size(); j++) {
+            std::printf("%7.1f",
+                        weightToDecades(
+                            gwt.pairWeight(defects[i], defects[j])));
+        }
+        std::printf("\n");
+    }
+
+    // Decode with each decoder and report.
+    MwpmDecoder mwpm(gwt);
+    AstreaDecoder astrea(gwt);
+    UnionFindDecoder uf(graph);
+    struct Row
+    {
+        const char *name;
+        DecodeResult r;
+    };
+    Row rows[] = {{"MWPM", mwpm.decode(defects)},
+                  {"Astrea", astrea.decode(defects)},
+                  {"UF", uf.decode(defects)}};
+
+    std::printf("\n%-8s %-10s %-12s %-10s %s\n", "decoder", "predict",
+                "weight(dec)", "latency", "verdict");
+    for (const auto &row : rows) {
+        std::printf("%-8s %-10llu %-12.2f %7.1f ns %s\n", row.name,
+                    static_cast<unsigned long long>(row.r.obsMask),
+                    row.r.matchingWeight, row.r.latencyNs,
+                    row.r.gaveUp ? "gave up"
+                    : row.r.obsMask == actual ? "correct"
+                                              : "LOGICAL ERROR");
+    }
+    return 0;
+}

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Plotting companion for the bench suite (artifact Appendix B.5/B.6).
+
+The paper's Zenodo artifact ships ``astrea_plot.py`` to turn experiment
+output files into the evaluation figures; this is the equivalent for
+this reproduction. It consumes either
+
+* the artifact-convention files written by ``tools/astrea_cli``
+  (``plot_ler`` on experiment-1 output, ``plot_hw`` on experiment-6
+  output), or
+* the consolidated ``bench_output.txt`` written by running every bench
+  binary (``plot_bench`` extracts the Fig. 12/14-style sweeps).
+
+Requires matplotlib + numpy (not bundled; any recent version works).
+
+Usage:
+    python3 astrea_plot.py plot_ler  <experiment1-output> <out.png>
+    python3 astrea_plot.py plot_hw   <experiment6-output> <out.png>
+    python3 astrea_plot.py plot_bench <bench_output.txt>  <out-prefix>
+"""
+
+import sys
+
+
+def _require_matplotlib():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt  # noqa: F401
+
+        return matplotlib.pyplot
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+
+def plot_ler(in_path, out_path):
+    """Experiment-1 files: d p shots errM errA mwpmLER agLER gaveups."""
+    plt = _require_matplotlib()
+    ps, mwpm, astrea_g = [], [], []
+    with open(in_path) as f:
+        for line in f:
+            parts = line.split()
+            if len(parts) < 7:
+                continue
+            ps.append(float(parts[1]))
+            mwpm.append(float(parts[5]))
+            astrea_g.append(float(parts[6]))
+    if not ps:
+        sys.exit(f"no experiment-1 rows in {in_path}")
+
+    fig, ax = plt.subplots(figsize=(5, 3.2))
+    ax.plot(ps, mwpm, "o-", label="MWPM")
+    ax.plot(ps, astrea_g, "s--", label="Astrea-G")
+    ax.set_xscale("log")
+    ax.set_yscale("log")
+    ax.set_xlabel("physical error rate p")
+    ax.set_ylabel("logical error rate")
+    ax.legend()
+    ax.grid(True, which="both", alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=200)
+    print(f"wrote {out_path}")
+
+
+def plot_hw(in_path, out_path):
+    """Experiment-6 files: 'HW, count' lines."""
+    plt = _require_matplotlib()
+    hws, counts = [], []
+    with open(in_path) as f:
+        for line in f:
+            parts = [p.strip() for p in line.split(",")]
+            if len(parts) != 2:
+                continue
+            hws.append(int(parts[0]))
+            counts.append(int(parts[1]))
+    if not hws:
+        sys.exit(f"no experiment-6 rows in {in_path}")
+    total = sum(counts)
+
+    fig, ax = plt.subplots(figsize=(5, 3.2))
+    ax.semilogy(hws, [c / total for c in counts], "x-")
+    ax.set_xlabel("Hamming weight")
+    ax.set_ylabel("probability")
+    ax.grid(True, which="both", alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=200)
+    print(f"wrote {out_path}")
+
+
+def plot_bench(in_path, out_prefix):
+    """Extract the Fig. 12 / Fig. 14 sweeps from bench_output.txt."""
+    plt = _require_matplotlib()
+    sections = {}
+    current = None
+    with open(in_path) as f:
+        for line in f:
+            if line.startswith("#####"):
+                current = line.split("/")[-1].strip()
+                sections[current] = []
+            elif current:
+                sections[current].append(line.rstrip())
+
+    for name, fig_id in (("bench_ler_vs_p_d7", "fig12"),
+                         ("bench_ler_vs_p_d9", "fig14")):
+        if name not in sections:
+            continue
+        ps, mwpm, ag = [], [], []
+        for line in sections[name]:
+            parts = line.split()
+            # Sweep rows start with the integer p multiplier.
+            if len(parts) >= 3 and parts[0].isdigit():
+                try:
+                    ps.append(int(parts[0]) * 1e-4)
+                    mwpm.append(float(parts[1]))
+                    ag.append(float(parts[2]))
+                except ValueError:
+                    continue
+        if not ps:
+            continue
+        fig, ax = plt.subplots(figsize=(5, 3.2))
+        ax.plot(ps, mwpm, "o-", label="MWPM (semi-analytic)")
+        ax.plot(ps, ag, "s--", label="Astrea-G (semi-analytic)")
+        ax.set_xscale("log")
+        ax.set_yscale("log")
+        ax.set_xlabel("physical error rate p")
+        ax.set_ylabel("logical error rate")
+        ax.legend()
+        ax.grid(True, which="both", alpha=0.3)
+        fig.tight_layout()
+        out = f"{out_prefix}_{fig_id}.png"
+        fig.savefig(out, dpi=200)
+        print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    cmd, in_path, out = sys.argv[1], sys.argv[2], sys.argv[3]
+    if cmd == "plot_ler":
+        plot_ler(in_path, out)
+    elif cmd == "plot_hw":
+        plot_hw(in_path, out)
+    elif cmd == "plot_bench":
+        plot_bench(in_path, out)
+    else:
+        sys.exit(__doc__)
+
+
+if __name__ == "__main__":
+    main()

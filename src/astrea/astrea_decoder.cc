@@ -1,0 +1,176 @@
+#include "astrea/astrea_decoder.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+AstreaDecoder::AstreaDecoder(const GlobalWeightTable &gwt,
+                             AstreaConfig config)
+    : gwt_(gwt), config_(config)
+{
+}
+
+uint64_t
+AstreaDecoder::decodeCycles(uint32_t hamming_weight)
+{
+    if (hamming_weight <= 2)
+        return 0;
+    if (hamming_weight <= 6)
+        return 1;   // One HW6Decoder evaluation.
+    if (hamming_weight <= 8)
+        return 11;  // 7 pre-match cycles plus pipeline fill/drain.
+    return 103;     // 9 x 7 pre-match pairs plus pipeline overhead.
+}
+
+uint64_t
+AstreaDecoder::totalCycles(uint32_t hamming_weight)
+{
+    if (hamming_weight <= 2)
+        return 0;  // Trivial syndromes bypass the engine entirely.
+    return (hamming_weight + 1) + decodeCycles(hamming_weight);
+}
+
+namespace
+{
+
+/**
+ * Exhaustive search by pre-matching: pair the first remaining node
+ * with every other option, recursing until 6 or fewer nodes remain for
+ * the HW6Decoder. This is exactly the hardware's schedule for HW 8
+ * (7 pre-matchings) and HW 10 (63 pre-matchings).
+ */
+WeightSum
+searchPrematch(const Hw6Decoder &hw6, const std::vector<int> &nodes,
+               const std::function<WeightSum(int, int)> &weight,
+               PairList &best_out)
+{
+    const int m = static_cast<int>(nodes.size());
+    if (m <= 6) {
+        PairList local;
+        WeightSum w = hw6.match(
+            m,
+            [&](int i, int j) { return weight(nodes[i], nodes[j]); },
+            local);
+        best_out.clear();
+        for (auto [i, j] : local)
+            best_out.push_back({nodes[i], nodes[j]});
+        return w;
+    }
+
+    WeightSum best = kInfiniteWeightSum;
+    best_out.clear();
+    std::vector<int> rest(nodes.begin() + 1, nodes.end());
+    for (int k = 0; k < m - 1; k++) {
+        int partner = rest[k];
+        std::swap(rest[k], rest.back());
+        rest.pop_back();
+
+        PairList sub;
+        WeightSum sub_w = searchPrematch(hw6, rest, weight, sub);
+        WeightSum total =
+            addWeights(weight(nodes[0], partner), sub_w);
+        if (total < best) {
+            best = total;
+            best_out = sub;
+            best_out.push_back({nodes[0], partner});
+        }
+
+        rest.push_back(partner);
+        std::swap(rest[k], rest.back());
+    }
+    return best;
+}
+
+} // namespace
+
+DecodeResult
+AstreaDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    DecodeResult result;
+    const uint32_t w = static_cast<uint32_t>(defects.size());
+    if (w == 0)
+        return result;
+    if (w > config_.maxHammingWeight) {
+        gaveUps_++;
+        result.gaveUp = true;
+        return result;
+    }
+
+    // Nodes 0..w-1 are defects; odd Hamming weights add one virtual
+    // boundary node with index w.
+    const int m = (w % 2 == 0) ? static_cast<int>(w)
+                               : static_cast<int>(w) + 1;
+    const int virt = static_cast<int>(w);
+
+    // Exact-weight ablation mode works in 2^-16-decade fixed point so
+    // the integer search machinery is reused unchanged.
+    constexpr double kExactScale = 65536.0;
+    const double weight_scale =
+        config_.quantizedWeights ? kWeightScale : kExactScale;
+
+    auto raw_weight = [&](uint32_t a, uint32_t b) -> WeightSum {
+        if (config_.quantizedWeights)
+            return gwt_.pairWeight(a, b);
+        double decades = gwt_.exactWeight(a, b);
+        if (!std::isfinite(decades))
+            return kInfiniteWeightSum;
+        return static_cast<WeightSum>(decades * kExactScale);
+    };
+
+    auto weight = [&](int i, int j) -> WeightSum {
+        if (i == virt || j == virt) {
+            uint32_t d = defects[i == virt ? j : i];
+            return raw_weight(d, d);
+        }
+        uint32_t a = defects[i], b = defects[j];
+        WeightSum direct = raw_weight(a, b);
+        if (!config_.useEffectiveWeights)
+            return direct;
+        WeightSum via =
+            addWeights(raw_weight(a, a), raw_weight(b, b));
+        return direct < via ? direct : via;
+    };
+    auto obs = [&](int i, int j) -> uint64_t {
+        if (i == virt || j == virt) {
+            uint32_t d = defects[i == virt ? j : i];
+            return gwt_.pairObs(d, d);
+        }
+        uint32_t a = defects[i], b = defects[j];
+        if (!config_.useEffectiveWeights)
+            return gwt_.pairObs(a, b);
+        WeightSum direct = raw_weight(a, b);
+        WeightSum via =
+            addWeights(raw_weight(a, a), raw_weight(b, b));
+        if (direct <= via)
+            return gwt_.pairObs(a, b);
+        return gwt_.pairObs(a, a) ^ gwt_.pairObs(b, b);
+    };
+
+    std::vector<int> nodes(m);
+    for (int i = 0; i < m; i++)
+        nodes[i] = i;
+
+    PairList best;
+    WeightSum total = searchPrematch(hw6_, nodes, weight, best);
+    ASTREA_CHECK(total != kInfiniteWeightSum,
+                 "Astrea found no finite matching");
+
+    for (auto [i, j] : best) {
+        result.obsMask ^= obs(i, j);
+        // Report the pairing; the virtual boundary node maps to -1.
+        int32_t a = (i == virt) ? -1 : static_cast<int32_t>(i);
+        int32_t b = (j == virt) ? -1 : static_cast<int32_t>(j);
+        if (a < 0)
+            std::swap(a, b);
+        result.matchedPairs.push_back({a, b});
+    }
+    result.matchingWeight = static_cast<double>(total) / weight_scale;
+    result.cycles = totalCycles(w);
+    result.latencyNs = cyclesToNs(result.cycles);
+    return result;
+}
+
+} // namespace astrea

@@ -1,0 +1,306 @@
+#include "astrea/astrea_g_decoder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+namespace
+{
+
+/** One pre-matching flowing through the pipeline. */
+struct Prematch
+{
+    uint64_t mask = 0;        ///< Matched node bits.
+    WeightSum weight = 0;     ///< Cumulative quantized weight (s).
+    uint64_t obsMask = 0;
+    uint32_t matchedCount = 0; ///< Matched bits (b).
+    /** Next candidate row to fetch for this pre-matching's extension
+     *  bit (continuation cursor; see AstreaGConfig::
+     *  requeueContinuations). */
+    uint32_t nextCandidate = 0;
+};
+
+/**
+ * Priority-queue ordering by score s/b, compared cross-multiplied so
+ * no division is needed (matching the hardware's comparator).
+ */
+bool
+scoreLess(const Prematch &a, const Prematch &b)
+{
+    uint64_t lhs = static_cast<uint64_t>(a.weight) * b.matchedCount;
+    uint64_t rhs = static_cast<uint64_t>(b.weight) * a.matchedCount;
+    if (lhs != rhs)
+        return lhs < rhs;
+    // Tie-break: prefer deeper pre-matchings, then lighter ones.
+    if (a.matchedCount != b.matchedCount)
+        return a.matchedCount > b.matchedCount;
+    return a.weight < b.weight;
+}
+
+/** Fixed-capacity priority queue modeled as a small sorted buffer. */
+class PrematchQueue
+{
+  public:
+    explicit PrematchQueue(uint32_t capacity) : capacity_(capacity) {}
+
+    bool empty() const { return entries_.empty(); }
+
+    /** Insert; evicts the worst-scored entry when over capacity. */
+    void
+    push(const Prematch &p)
+    {
+        entries_.push_back(p);
+        if (entries_.size() > capacity_) {
+            auto worst = std::max_element(entries_.begin(),
+                                          entries_.end(), scoreLess);
+            entries_.erase(worst);
+        }
+    }
+
+    /** Remove and return the best-scored entry. */
+    Prematch
+    pop()
+    {
+        auto best = std::min_element(entries_.begin(), entries_.end(),
+                                     scoreLess);
+        Prematch p = *best;
+        entries_.erase(best);
+        return p;
+    }
+
+  private:
+    uint32_t capacity_;
+    std::vector<Prematch> entries_;
+};
+
+} // namespace
+
+double
+estimateLogicalErrorRate(uint32_t distance, double p)
+{
+    // Sub-threshold scaling with p_th ~ 5.7e-3 under this circuit-
+    // level noise model; A fitted to the measured d = 3..7 LERs.
+    const double p_th = 5.7e-3;
+    double exponent = static_cast<double>(distance + 1) / 2.0;
+    return 0.03 * std::pow(p / p_th, exponent);
+}
+
+double
+defaultWeightThreshold(uint32_t distance, double p)
+{
+    double ler = estimateLogicalErrorRate(distance, p);
+    double wth = -std::log10(0.01 * ler);
+    return std::clamp(wth, 4.0, 24.0);
+}
+
+AstreaGDecoder::AstreaGDecoder(const GlobalWeightTable &gwt,
+                               AstreaGConfig config)
+    : gwt_(gwt), config_(config),
+      exhaustive_(gwt, AstreaConfig{config.exhaustiveMaxHw})
+{
+    ASTREA_CHECK(config_.fetchWidth >= 1 && config_.queueCapacity >= 1,
+                 "invalid Astrea-G configuration");
+    if (config_.weightThresholdDecades <= 0.0) {
+        // Unresolved "auto" threshold: fall back to the paper's d = 7,
+        // p = 1e-3 setting (use astreaGFactory for regime-aware
+        // resolution).
+        config_.weightThresholdDecades = 7.0;
+    }
+}
+
+std::vector<uint32_t>
+AstreaGDecoder::survivingPairCounts(
+    const std::vector<uint32_t> &defects) const
+{
+    const WeightSum wth =
+        decadesToQuantized(config_.weightThresholdDecades);
+    std::vector<uint32_t> counts(defects.size(), 0);
+    for (size_t i = 0; i < defects.size(); i++) {
+        for (size_t j = 0; j < defects.size(); j++) {
+            if (i == j)
+                continue;
+            if (gwt_.effectiveWeight(defects[i], defects[j]) <= wth)
+                counts[i]++;
+        }
+    }
+    return counts;
+}
+
+DecodeResult
+AstreaGDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    stats_.decodes++;
+    const uint32_t w = static_cast<uint32_t>(defects.size());
+    if (w <= config_.exhaustiveMaxHw)
+        return exhaustive_.decode(defects);
+    if (w > config_.maxDefects) {
+        stats_.gaveUps++;
+        DecodeResult r;
+        r.gaveUp = true;
+        return r;
+    }
+    stats_.pipelineDecodes++;
+    return decodePipeline(defects);
+}
+
+DecodeResult
+AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
+{
+    DecodeResult result;
+    const uint32_t w = static_cast<uint32_t>(defects.size());
+    const int m = (w % 2 == 0) ? static_cast<int>(w)
+                               : static_cast<int>(w) + 1;
+    const int virt = static_cast<int>(w);
+    const uint32_t F = config_.fetchWidth;
+
+    auto weight = [&](int i, int j) -> WeightSum {
+        if (i == virt || j == virt) {
+            uint32_t d = defects[i == virt ? j : i];
+            return gwt_.pairWeight(d, d);
+        }
+        return gwt_.effectiveWeight(defects[i], defects[j]);
+    };
+    auto obs = [&](int i, int j) -> uint64_t {
+        if (i == virt || j == virt) {
+            uint32_t d = defects[i == virt ? j : i];
+            return gwt_.pairObs(d, d);
+        }
+        return gwt_.effectiveObs(defects[i], defects[j]);
+    };
+
+    // Local Weight Table: per node, the candidate pairs surviving the
+    // Wth filter, sorted lightest first.
+    const WeightSum wth =
+        decadesToQuantized(config_.weightThresholdDecades);
+    std::vector<std::vector<std::pair<WeightSum, int>>> lwt(m);
+    for (int i = 0; i < m; i++) {
+        for (int j = 0; j < m; j++) {
+            if (i == j)
+                continue;
+            WeightSum pw = weight(i, j);
+            if (pw <= wth)
+                lwt[i].push_back({pw, j});
+        }
+        std::sort(lwt[i].begin(), lwt[i].end());
+    }
+
+    // The matching pipeline.
+    std::vector<PrematchQueue> queues(F,
+                                      PrematchQueue(config_.queueCapacity));
+    queues[0].push(Prematch{});
+
+    const uint64_t fixed_cycles = (w + 1) + 3;  // Transfer + fill/drain.
+    const uint64_t max_iters = config_.cycleBudget > fixed_cycles
+                                   ? config_.cycleBudget - fixed_cycles
+                                   : 1;
+
+    WeightSum best_weight = kInfiniteWeightSum;
+    uint64_t best_obs = 0;
+    bool found = false;
+
+    const uint64_t full_mask =
+        (m == 64) ? ~0ull : ((1ull << m) - 1);
+
+    uint64_t iterations = 0;
+    bool any_left = true;
+    while (iterations < max_iters && any_left) {
+        iterations++;
+        any_left = false;
+        for (uint32_t f = 0; f < F; f++) {
+            if (queues[f].empty())
+                continue;
+            Prematch st = queues[f].pop();
+
+            // Fetch: lowest-index unmatched defect.
+            uint64_t unmatched = full_mask & ~st.mask;
+            ASTREA_CHECK(unmatched != 0, "popped a complete pre-matching");
+            int i = __builtin_ctzll(unmatched);
+
+            // Sort + Commit: walk this defect's candidates lightest
+            // first, committing up to F feasible extensions.
+            uint32_t committed = 0;
+            uint32_t cand = st.nextCandidate;
+            for (; cand < lwt[i].size() && committed < F; cand++) {
+                auto [pw, j] = lwt[i][cand];
+                if (st.mask & (1ull << j))
+                    continue;
+                Prematch ns;
+                ns.mask = st.mask | (1ull << i) | (1ull << j);
+                ns.weight = addWeights(st.weight, pw);
+                ns.obsMask = st.obsMask ^ obs(i, j);
+                ns.matchedCount = st.matchedCount + 2;
+
+                int remaining = m - static_cast<int>(ns.matchedCount);
+                if (remaining == 6) {
+                    // Finish exhaustively with the HW6Decoder.
+                    std::vector<int> rem;
+                    rem.reserve(6);
+                    uint64_t um = full_mask & ~ns.mask;
+                    while (um) {
+                        rem.push_back(__builtin_ctzll(um));
+                        um &= um - 1;
+                    }
+                    PairList tail;
+                    WeightSum tail_w = hw6_.match(
+                        6,
+                        [&](int a, int b) {
+                            return weight(rem[a], rem[b]);
+                        },
+                        tail);
+                    WeightSum total = addWeights(ns.weight, tail_w);
+                    if (total < best_weight) {
+                        best_weight = total;
+                        uint64_t o = ns.obsMask;
+                        for (auto [a, b] : tail)
+                            o ^= obs(rem[a], rem[b]);
+                        best_obs = o;
+                        found = true;
+                    }
+                } else {
+                    queues[committed % F].push(ns);
+                }
+                committed++;
+            }
+            // Continuation: the pre-matching still has unexplored
+            // candidates; re-queue it with the cursor advanced so the
+            // search keeps widening until the queues or the budget
+            // run out (this is what keeps the paper's pipeline busy
+            // for hundreds of cycles on HHW syndromes).
+            if (config_.requeueContinuations &&
+                cand < lwt[i].size()) {
+                Prematch cont = st;
+                cont.nextCandidate = cand;
+                queues[f].push(cont);
+            }
+        }
+        for (uint32_t f = 0; f < F; f++) {
+            if (!queues[f].empty()) {
+                any_left = true;
+                break;
+            }
+        }
+    }
+
+    if (any_left)
+        stats_.budgetExpirations++;
+    else
+        stats_.exhaustedSearches++;
+
+    result.cycles = fixed_cycles + iterations;
+    result.latencyNs = cyclesToNs(result.cycles);
+    if (!found) {
+        stats_.gaveUps++;
+        result.gaveUp = true;
+        return result;
+    }
+    result.obsMask = best_obs;
+    result.matchingWeight =
+        static_cast<double>(best_weight) / kWeightScale;
+    return result;
+}
+
+} // namespace astrea

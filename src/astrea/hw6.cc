@@ -1,0 +1,57 @@
+#include "astrea/hw6.hh"
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+Hw6Decoder::Hw6Decoder()
+    : table2_(allPerfectMatchings(2)),
+      table4_(allPerfectMatchings(4)),
+      table6_(allPerfectMatchings(6))
+{
+    ASTREA_CHECK(table2_.size() == 1 && table4_.size() == 3 &&
+                     table6_.size() == 15,
+                 "matching table sizes wrong");
+}
+
+const std::vector<PairList> &
+Hw6Decoder::matchingTable(int m) const
+{
+    switch (m) {
+      case 2:
+        return table2_;
+      case 4:
+        return table4_;
+      case 6:
+        return table6_;
+      default:
+        panic("HW6Decoder table only exists for m in {2, 4, 6}");
+    }
+}
+
+WeightSum
+Hw6Decoder::match(int m,
+                  const std::function<WeightSum(int, int)> &pair_weight,
+                  PairList &best_out) const
+{
+    best_out.clear();
+    if (m == 0)
+        return 0;
+    ASTREA_CHECK(m == 2 || m == 4 || m == 6,
+                 "HW6Decoder handles 0, 2, 4 or 6 nodes");
+
+    WeightSum best = kInfiniteWeightSum;
+    for (const PairList &candidate : matchingTable(m)) {
+        WeightSum total = 0;
+        for (auto [i, j] : candidate)
+            total = addWeights(total, pair_weight(i, j));
+        if (total < best) {
+            best = total;
+            best_out = candidate;
+        }
+    }
+    return best;
+}
+
+} // namespace astrea

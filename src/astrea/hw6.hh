@@ -1,0 +1,61 @@
+/**
+ * @file
+ * HW6Decoder: Astrea's fundamental building block (paper Sec. 5.2.3,
+ * Fig. 7a).
+ *
+ * Six nodes have 15 perfect matchings; the hardware loads the 15 pair
+ * weights into a weight array and combines them through a network of
+ * thirty 8-bit adders (two per matching) plus a comparator tree to
+ * select the minimum in one cycle. This class is the cycle-level
+ * software model: it holds the same 15-matching table the adder network
+ * hardwires and evaluates all candidates exhaustively. Smaller inputs
+ * (2 or 4 nodes, with 1 and 3 matchings) use the same structure.
+ */
+
+#ifndef ASTREA_ASTREA_HW6_HH
+#define ASTREA_ASTREA_HW6_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/weight.hh"
+#include "matching/enumerator.hh"
+
+namespace astrea
+{
+
+/** Exhaustive <= 6-node matcher mirroring the hardware unit. */
+class Hw6Decoder
+{
+  public:
+    Hw6Decoder();
+
+    /**
+     * Find the minimum-weight perfect matching of m nodes (m even,
+     * m <= 6).
+     *
+     * @param m Node count.
+     * @param pair_weight Quantized pair weight, indices 0..m-1.
+     * @param best_out Out: the winning matching's index pairs.
+     * @return The minimum total weight (kInfiniteWeightSum if every
+     *         candidate used an infinite-weight pair).
+     */
+    WeightSum match(int m,
+                    const std::function<WeightSum(int, int)> &pair_weight,
+                    PairList &best_out) const;
+
+    /** The hardwired matching table for m nodes (1, 3, or 15 rows). */
+    const std::vector<PairList> &matchingTable(int m) const;
+
+    /** Adders in the combining network: 2 per 6-node matching. */
+    static constexpr int kNumAdders = 30;
+
+  private:
+    std::vector<PairList> table2_;
+    std::vector<PairList> table4_;
+    std::vector<PairList> table6_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_ASTREA_HW6_HH

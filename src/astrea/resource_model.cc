@@ -1,0 +1,107 @@
+#include "astrea/resource_model.hh"
+
+#include "surface_code/memory_circuit.hh"
+
+namespace astrea
+{
+
+namespace
+{
+
+// ZU9EG-class device budgets (Zynq UltraScale+, ZCU102 board).
+constexpr double kDeviceLuts = 274080.0;
+constexpr double kDeviceFfs = 548160.0;
+constexpr double kDeviceBramBits = 32.1e6;
+
+/** Bytes of one pre-matching entry: mask + weight + score fields. */
+size_t
+prematchEntryBytes(uint32_t max_hw)
+{
+    size_t mask_bytes = (max_hw + 7) / 8;
+    // Cumulative weight (2B), matched-bit count (1B), observable
+    // parity (1B).
+    return mask_bytes + 4;
+}
+
+} // namespace
+
+AstreaGSram
+astreaGSram(uint32_t distance, uint32_t max_hw,
+            const AstreaGConfig &config)
+{
+    AstreaGSram s;
+    const uint32_t l = syndromeVectorLength(distance, distance);
+
+    // GWT: l x l 8-bit weights (paper: 36 KB at d = 7, 156 KB at d = 9).
+    s.gwtBytes = static_cast<size_t>(l) * l;
+
+    // LWT: per-defect candidate lists; provisioned as a fixed 512 B
+    // block (max_hw nodes x 16 candidate slots x 1 B), as in the paper.
+    s.lwtBytes = 512;
+
+    // Priority queues: F queues x E entries, plus per-queue head/tail
+    // state; candidate pair ids add 2 B per entry.
+    const size_t entry = prematchEntryBytes(max_hw) +
+                         2 * static_cast<size_t>(config.fetchWidth);
+    s.priorityQueueBytes = static_cast<size_t>(config.fetchWidth) *
+                               config.queueCapacity * entry * 16 +
+                           config.fetchWidth * 8;
+
+    // Pipeline latches: Fetch/Sort/Commit stage registers, one
+    // pre-matching plus a candidate row (max_hw weights) per stage.
+    s.pipelineLatchBytes =
+        3 * (prematchEntryBytes(max_hw) + max_hw) * 32;
+
+    // MWPM register: the best matching seen (max_hw/2 pairs x 2 node
+    // ids) plus its weight.
+    s.mwpmRegisterBytes = max_hw + 4;
+
+    (void)distance;
+    return s;
+}
+
+FpgaUtilization
+astreaUtilization(uint32_t distance)
+{
+    FpgaUtilization u;
+    const uint32_t l = syndromeVectorLength(distance, distance);
+
+    // Adder/comparator network: 30 8-bit adders plus a 15-way
+    // comparator tree (~14 8-bit comparators), the pre-match
+    // sequencers, and the weight-array muxing; ~90 LUTs per 8-bit
+    // arithmetic unit once routing is included.
+    double luts = (30.0 + 14.0) * 90.0 + 11000.0;
+    double ffs = 30.0 * 16.0 + 4200.0;
+    double bram_bits = static_cast<double>(l) * l * 8.0;
+
+    u.lutPercent = 100.0 * luts / kDeviceLuts;
+    u.ffPercent = 100.0 * ffs / kDeviceFfs;
+    u.bramPercent = 100.0 * bram_bits / kDeviceBramBits;
+    return u;
+}
+
+FpgaUtilization
+astreaGUtilization(uint32_t distance, uint32_t max_hw,
+                   const AstreaGConfig &config)
+{
+    FpgaUtilization u;
+    AstreaGSram sram = astreaGSram(distance, max_hw, config);
+
+    // Astrea-G adds the pipeline (sorters, queue management, scoring
+    // dividers) on top of Astrea's matcher.
+    double luts = (30.0 + 14.0) * 90.0 +
+                  config.fetchWidth * (max_hw * 140.0 + 9000.0) +
+                  24000.0;
+    double ffs = 3.0 * (prematchEntryBytes(max_hw) + max_hw) * 8.0 *
+                     32.0 +
+                 config.fetchWidth * 2600.0 + 8000.0;
+    double bram_bits = static_cast<double>(sram.totalBytes()) * 8.0;
+
+    u.lutPercent = 100.0 * luts / kDeviceLuts;
+    u.ffPercent = 100.0 * ffs / kDeviceFfs;
+    u.bramPercent = 100.0 * bram_bits / kDeviceBramBits;
+    (void)distance;
+    return u;
+}
+
+} // namespace astrea

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Analytic hardware-resource model for Astrea and Astrea-G.
+ *
+ * We cannot run Vivado synthesis in this environment (paper Tables 3
+ * and 8 report post-implementation numbers for a Xilinx Zynq
+ * UltraScale+); instead we account for the structures the
+ * microarchitecture descriptions imply. SRAM sizes (Table 6) follow
+ * directly from the data-structure dimensions; the LUT/FF estimates are
+ * first-order gate counts for the adder/comparator networks and
+ * pipeline registers, reported against the ZU9EG-class device budgets.
+ * See DESIGN.md for this documented substitution.
+ */
+
+#ifndef ASTREA_ASTREA_RESOURCE_MODEL_HH
+#define ASTREA_ASTREA_RESOURCE_MODEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "astrea/astrea_g_decoder.hh"
+
+namespace astrea
+{
+
+/** SRAM breakdown for Astrea-G (paper Table 6). */
+struct AstreaGSram
+{
+    size_t gwtBytes = 0;
+    size_t lwtBytes = 0;
+    size_t priorityQueueBytes = 0;
+    size_t pipelineLatchBytes = 0;
+    size_t mwpmRegisterBytes = 0;
+
+    size_t
+    totalBytes() const
+    {
+        return gwtBytes + lwtBytes + priorityQueueBytes +
+               pipelineLatchBytes + mwpmRegisterBytes;
+    }
+};
+
+/**
+ * SRAM for decoding one basis of a distance-d code.
+ *
+ * @param distance Code distance.
+ * @param max_hw Largest Hamming weight the pipeline is provisioned for.
+ * @param config Astrea-G parameters (F, E).
+ */
+AstreaGSram astreaGSram(uint32_t distance, uint32_t max_hw,
+                        const AstreaGConfig &config);
+
+/** First-order FPGA utilization estimate. */
+struct FpgaUtilization
+{
+    double lutPercent = 0.0;
+    double ffPercent = 0.0;
+    double bramPercent = 0.0;
+    double maxFreqMHz = 250.0;  ///< Design target (paper Secs. 5.4, 7.7).
+};
+
+/** Astrea's utilization (paper Table 3 reports 5.57 / 0.86 / 9.60). */
+FpgaUtilization astreaUtilization(uint32_t distance);
+
+/** Astrea-G's utilization (paper Table 8: 20.2 / 3.92 / 35.7). */
+FpgaUtilization astreaGUtilization(uint32_t distance, uint32_t max_hw,
+                                   const AstreaGConfig &config);
+
+} // namespace astrea
+
+#endif // ASTREA_ASTREA_RESOURCE_MODEL_HH

@@ -1,0 +1,100 @@
+#include "circuit/builder.hh"
+
+namespace astrea
+{
+
+NoiseModel
+NoiseModel::uniform(double p)
+{
+    NoiseModel m;
+    m.dataDepolarization = p;
+    m.gateDepolarization = p;
+    m.measureFlip = p;
+    m.resetFlip = p;
+    m.finalMeasureFlip = p;
+    return m;
+}
+
+void
+CircuitBuilder::reset(const std::vector<uint32_t> &qubits)
+{
+    if (!qubits.empty())
+        circuit_.appendGate(GateType::R, qubits);
+}
+
+void
+CircuitBuilder::hadamard(const std::vector<uint32_t> &qubits)
+{
+    if (!qubits.empty())
+        circuit_.appendGate(GateType::H, qubits);
+}
+
+void
+CircuitBuilder::cx(const std::vector<uint32_t> &pairs)
+{
+    if (!pairs.empty())
+        circuit_.appendGate(GateType::CX, pairs);
+}
+
+std::vector<uint32_t>
+CircuitBuilder::measure(const std::vector<uint32_t> &qubits)
+{
+    std::vector<uint32_t> indices;
+    indices.reserve(qubits.size());
+    uint32_t base = circuit_.numMeasurements();
+    for (uint32_t i = 0; i < qubits.size(); i++)
+        indices.push_back(base + i);
+    if (!qubits.empty())
+        circuit_.appendGate(GateType::M, qubits);
+    return indices;
+}
+
+void
+CircuitBuilder::xError(double p, const std::vector<uint32_t> &qubits)
+{
+    if (p > 0.0 && !qubits.empty())
+        circuit_.appendGate(GateType::XError, qubits, p);
+}
+
+void
+CircuitBuilder::depolarize1(double p, const std::vector<uint32_t> &qubits)
+{
+    if (p > 0.0 && !qubits.empty())
+        circuit_.appendGate(GateType::Depolarize1, qubits, p);
+}
+
+void
+CircuitBuilder::depolarize2(double p, const std::vector<uint32_t> &pairs)
+{
+    if (p > 0.0 && !pairs.empty())
+        circuit_.appendGate(GateType::Depolarize2, pairs, p);
+}
+
+void
+CircuitBuilder::tick()
+{
+    circuit_.appendGate(GateType::Tick, {});
+}
+
+uint32_t
+CircuitBuilder::detector(std::vector<uint32_t> measurement_indices,
+                         DetectorInfo info)
+{
+    return circuit_.appendDetector(std::move(measurement_indices), info);
+}
+
+void
+CircuitBuilder::observable(uint32_t obs_index,
+                           std::vector<uint32_t> measurement_indices)
+{
+    circuit_.appendObservable(obs_index, std::move(measurement_indices));
+}
+
+Circuit
+CircuitBuilder::build()
+{
+    circuit_.validate();
+    return std::move(circuit_);
+}
+
+} // namespace astrea

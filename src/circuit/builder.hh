@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Convenience layer for constructing circuits programmatically.
+ *
+ * The builder tracks the measurement record so generators can capture
+ * absolute measurement indices for detectors and observables, and it
+ * owns the noise-model knobs of the paper's circuit-level model
+ * (Sec. 3.2) so generated circuits stay consistent.
+ */
+
+#ifndef ASTREA_CIRCUIT_BUILDER_HH
+#define ASTREA_CIRCUIT_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace astrea
+{
+
+/**
+ * Circuit-level noise parameters (paper Sec. 3.2).
+ *
+ * The paper's model inserts depolarizing errors with probability p
+ * (1) on data qubits at the beginning of every round, (2) on data and
+ * parity qubits after syndrome-extraction operations (two-qubit
+ * depolarizing after every CX), and (3) on parity qubits after
+ * measurement and reset operations (bit flips).
+ */
+struct NoiseModel
+{
+    double dataDepolarization = 0.0; ///< DEPOLARIZE1 at round start.
+    double gateDepolarization = 0.0; ///< DEPOLARIZE2 after each CX.
+    double measureFlip = 0.0;        ///< X_ERROR before parity M.
+    double resetFlip = 0.0;          ///< X_ERROR after R.
+    double finalMeasureFlip = 0.0;   ///< X_ERROR before final data M.
+
+    /** All channels driven by a single physical error rate p. */
+    static NoiseModel uniform(double p);
+
+    /** Noiseless model (all probabilities zero). */
+    static NoiseModel noiseless() { return NoiseModel{}; }
+};
+
+/** Incremental circuit builder that tracks the measurement record. */
+class CircuitBuilder
+{
+  public:
+    explicit CircuitBuilder(uint32_t num_qubits) : circuit_(num_qubits) {}
+
+    void reset(const std::vector<uint32_t> &qubits);
+    void hadamard(const std::vector<uint32_t> &qubits);
+
+    /** Append CXs; pairs is a flat (control, target) list. */
+    void cx(const std::vector<uint32_t> &pairs);
+
+    /**
+     * Measure qubits in the Z basis; returns the absolute measurement
+     * index of each qubit in order.
+     */
+    std::vector<uint32_t> measure(const std::vector<uint32_t> &qubits);
+
+    void xError(double p, const std::vector<uint32_t> &qubits);
+    void depolarize1(double p, const std::vector<uint32_t> &qubits);
+
+    /** Two-qubit depolarizing after CXs; pairs as in cx(). */
+    void depolarize2(double p, const std::vector<uint32_t> &pairs);
+
+    void tick();
+
+    uint32_t detector(std::vector<uint32_t> measurement_indices,
+                      DetectorInfo info);
+    void observable(uint32_t obs_index,
+                    std::vector<uint32_t> measurement_indices);
+
+    uint32_t measurementCount() const
+    {
+        return circuit_.numMeasurements();
+    }
+
+    /** Finish: validates and hands over the circuit. */
+    Circuit build();
+
+  private:
+    Circuit circuit_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_CIRCUIT_BUILDER_HH

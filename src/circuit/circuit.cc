@@ -1,0 +1,110 @@
+#include "circuit/circuit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+void
+Circuit::appendGate(GateType type, std::vector<uint32_t> qubits, double arg)
+{
+    ASTREA_CHECK(type != GateType::Detector &&
+                     type != GateType::ObservableInclude,
+                 "use appendDetector/appendObservable for annotations");
+    if (type == GateType::M || type == GateType::MR)
+        numMeasurements_ += static_cast<uint32_t>(qubits.size());
+    ops_.push_back({type, std::move(qubits), arg});
+}
+
+uint32_t
+Circuit::appendDetector(std::vector<uint32_t> measurement_indices,
+                        DetectorInfo info)
+{
+    for (auto m : measurement_indices) {
+        ASTREA_CHECK(m < numMeasurements_,
+                     "detector references a future measurement");
+    }
+    ops_.push_back({GateType::Detector, std::move(measurement_indices),
+                    0.0});
+    detectorInfo_.push_back(info);
+    return numDetectors_++;
+}
+
+void
+Circuit::appendObservable(uint32_t obs_index,
+                          std::vector<uint32_t> measurement_indices)
+{
+    for (auto m : measurement_indices) {
+        ASTREA_CHECK(m < numMeasurements_,
+                     "observable references a future measurement");
+    }
+    ops_.push_back({GateType::ObservableInclude,
+                    std::move(measurement_indices),
+                    static_cast<double>(obs_index)});
+    numObservables_ = std::max(numObservables_, obs_index + 1);
+}
+
+uint32_t
+Circuit::countNoiseInstructions() const
+{
+    uint32_t n = 0;
+    for (const auto &op : ops_) {
+        if (isNoise(op.type))
+            n++;
+    }
+    return n;
+}
+
+void
+Circuit::validate() const
+{
+    for (const auto &op : ops_) {
+        switch (op.type) {
+          case GateType::CX:
+          case GateType::Depolarize2:
+            if (op.targets.size() % 2 != 0)
+                fatal("two-qubit op with odd target count: " +
+                      op.toString());
+            [[fallthrough]];
+          case GateType::R:
+          case GateType::M:
+          case GateType::MR:
+          case GateType::H:
+          case GateType::XError:
+          case GateType::ZError:
+          case GateType::Depolarize1:
+            for (auto q : op.targets) {
+                if (q >= numQubits_)
+                    fatal("qubit index out of range: " + op.toString());
+            }
+            break;
+          case GateType::Detector:
+          case GateType::ObservableInclude:
+            for (auto m : op.targets) {
+                if (m >= numMeasurements_)
+                    fatal("measurement index out of range: " +
+                          op.toString());
+            }
+            break;
+          case GateType::Tick:
+            break;
+        }
+        if (isNoise(op.type) && (op.arg < 0.0 || op.arg > 1.0))
+            fatal("noise probability out of range: " + op.toString());
+    }
+}
+
+std::string
+Circuit::toString() const
+{
+    std::string s;
+    for (const auto &op : ops_) {
+        s += op.toString();
+        s += '\n';
+    }
+    return s;
+}
+
+} // namespace astrea

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Container for a stabilizer circuit plus decoding-problem metadata.
+ *
+ * A Circuit is an ordered instruction list together with derived counts
+ * (qubits, measurements, detectors, observables) and per-detector
+ * metadata (basis, round, spatial coordinates) used when building the
+ * decoding graph and when reporting experiment results.
+ */
+
+#ifndef ASTREA_CIRCUIT_CIRCUIT_HH
+#define ASTREA_CIRCUIT_CIRCUIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hh"
+
+namespace astrea
+{
+
+/** Which stabilizer basis a detector monitors. */
+enum class Basis : uint8_t { X, Z };
+
+/** Metadata attached to each detector for graph building and reports. */
+struct DetectorInfo
+{
+    Basis basis = Basis::Z;
+    /** Syndrome-extraction round, 0-based; the final data-measurement
+     *  comparison round is round index `rounds` (i.e. one past the last
+     *  extraction round). */
+    uint32_t round = 0;
+    /** Lattice coordinates of the parity qubit (2x units). */
+    int32_t x = 0;
+    int32_t y = 0;
+};
+
+/** An ordered stabilizer circuit. */
+class Circuit
+{
+  public:
+    explicit Circuit(uint32_t num_qubits = 0) : numQubits_(num_qubits) {}
+
+    uint32_t numQubits() const { return numQubits_; }
+    uint32_t numMeasurements() const { return numMeasurements_; }
+    uint32_t numDetectors() const { return numDetectors_; }
+    uint32_t numObservables() const { return numObservables_; }
+
+    const std::vector<Instruction> &instructions() const { return ops_; }
+
+    const std::vector<DetectorInfo> &detectorInfo() const
+    {
+        return detectorInfo_;
+    }
+
+    /** Append a gate acting on the given qubits. */
+    void appendGate(GateType type, std::vector<uint32_t> qubits,
+                    double arg = 0.0);
+
+    /**
+     * Append a detector defined as the parity of the given measurement
+     * indices (absolute indices into the record). Returns the detector's
+     * index.
+     */
+    uint32_t appendDetector(std::vector<uint32_t> measurement_indices,
+                            DetectorInfo info);
+
+    /** XOR measurement indices into logical observable obs_index. */
+    void appendObservable(uint32_t obs_index,
+                          std::vector<uint32_t> measurement_indices);
+
+    /** Total count of probabilistic error instructions. */
+    uint32_t countNoiseInstructions() const;
+
+    /**
+     * Sanity-check target ranges and pairing arity; calls fatal() on the
+     * first malformed instruction.
+     */
+    void validate() const;
+
+    /** Multi-line dump in a Stim-like syntax (tests, debugging). */
+    std::string toString() const;
+
+  private:
+    uint32_t numQubits_;
+    uint32_t numMeasurements_ = 0;
+    uint32_t numDetectors_ = 0;
+    uint32_t numObservables_ = 0;
+    std::vector<Instruction> ops_;
+    std::vector<DetectorInfo> detectorInfo_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_CIRCUIT_CIRCUIT_HH

@@ -1,0 +1,58 @@
+#include "circuit/gate.hh"
+
+#include <cstdio>
+
+namespace astrea
+{
+
+bool
+isNoise(GateType t)
+{
+    switch (t) {
+      case GateType::XError:
+      case GateType::ZError:
+      case GateType::Depolarize1:
+      case GateType::Depolarize2:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+gateName(GateType t)
+{
+    switch (t) {
+      case GateType::R: return "R";
+      case GateType::M: return "M";
+      case GateType::MR: return "MR";
+      case GateType::H: return "H";
+      case GateType::CX: return "CX";
+      case GateType::XError: return "X_ERROR";
+      case GateType::ZError: return "Z_ERROR";
+      case GateType::Depolarize1: return "DEPOLARIZE1";
+      case GateType::Depolarize2: return "DEPOLARIZE2";
+      case GateType::Detector: return "DETECTOR";
+      case GateType::ObservableInclude: return "OBSERVABLE_INCLUDE";
+      case GateType::Tick: return "TICK";
+    }
+    return "?";
+}
+
+std::string
+Instruction::toString() const
+{
+    std::string s = gateName(type);
+    if (isNoise(type) || type == GateType::ObservableInclude) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "(%g)", arg);
+        s += buf;
+    }
+    for (auto t : targets) {
+        s += ' ';
+        s += std::to_string(t);
+    }
+    return s;
+}
+
+} // namespace astrea

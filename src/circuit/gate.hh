@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Instruction set for the stabilizer-circuit IR.
+ *
+ * The simulator consumes a small Stim-like language: Clifford gates,
+ * resets and measurements, Pauli error channels, and bookkeeping
+ * annotations (DETECTOR / OBSERVABLE_INCLUDE) that define the decoding
+ * problem. Only the gates needed by surface-code syndrome extraction are
+ * included; the frame simulator rejects anything else at construction.
+ */
+
+#ifndef ASTREA_CIRCUIT_GATE_HH
+#define ASTREA_CIRCUIT_GATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace astrea
+{
+
+/** Operation kinds understood by the simulators. */
+enum class GateType : uint8_t
+{
+    R,            ///< Reset qubit(s) to |0>.
+    M,            ///< Measure qubit(s) in the Z basis; appends to record.
+    MR,           ///< Measure then reset.
+    H,            ///< Hadamard.
+    CX,           ///< Controlled-X; targets come in (control, target) pairs.
+    XError,       ///< X_ERROR(p): bit flip with probability p.
+    ZError,       ///< Z_ERROR(p): phase flip with probability p.
+    Depolarize1,  ///< DEPOLARIZE1(p): X/Y/Z each with probability p/3.
+    Depolarize2,  ///< DEPOLARIZE2(p): 15 two-qubit Paulis, p/15 each.
+    Detector,     ///< Parity of listed measurement-record indices.
+    ObservableInclude, ///< XOR measurements into logical observable #arg.
+    Tick,         ///< Time-step marker (no semantic effect).
+};
+
+/** True for the probabilistic error channels. */
+bool isNoise(GateType t);
+
+/** Human-readable mnemonic, e.g. "CX". */
+const char *gateName(GateType t);
+
+/**
+ * One circuit instruction.
+ *
+ * For gates, targets are qubit indices (CX and Depolarize2 take them in
+ * pairs). For Detector / ObservableInclude, targets are absolute indices
+ * into the measurement record. arg carries the error probability for
+ * noise channels and the observable index for ObservableInclude.
+ */
+struct Instruction
+{
+    GateType type;
+    std::vector<uint32_t> targets;
+    double arg = 0.0;
+
+    std::string toString() const;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_CIRCUIT_GATE_HH

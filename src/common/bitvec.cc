@@ -1,0 +1,88 @@
+#include "common/bitvec.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace astrea
+{
+
+void
+BitVec::clear()
+{
+    for (auto &w : words_)
+        w = 0;
+}
+
+size_t
+BitVec::popcount() const
+{
+    size_t n = 0;
+    for (auto w : words_)
+        n += static_cast<size_t>(std::popcount(w));
+    return n;
+}
+
+bool
+BitVec::none() const
+{
+    for (auto w : words_) {
+        if (w)
+            return false;
+    }
+    return true;
+}
+
+BitVec &
+BitVec::operator^=(const BitVec &other)
+{
+    assert(numBits_ == other.numBits_);
+    for (size_t i = 0; i < words_.size(); i++)
+        words_[i] ^= other.words_[i];
+    return *this;
+}
+
+bool
+BitVec::operator==(const BitVec &other) const
+{
+    return numBits_ == other.numBits_ && words_ == other.words_;
+}
+
+std::vector<uint32_t>
+BitVec::onesIndices() const
+{
+    std::vector<uint32_t> out;
+    for (size_t wi = 0; wi < words_.size(); wi++) {
+        uint64_t w = words_[wi];
+        while (w) {
+            int b = std::countr_zero(w);
+            out.push_back(static_cast<uint32_t>(wi * 64 + b));
+            w &= w - 1;
+        }
+    }
+    return out;
+}
+
+std::string
+BitVec::toString() const
+{
+    std::string s;
+    s.reserve(numBits_);
+    for (size_t i = 0; i < numBits_; i++)
+        s.push_back(get(i) ? '1' : '0');
+    return s;
+}
+
+uint64_t
+BitVec::hash() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (auto w : words_) {
+        h ^= w;
+        h *= 0x100000001b3ull;
+    }
+    h ^= numBits_;
+    h *= 0x100000001b3ull;
+    return h;
+}
+
+} // namespace astrea

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Compact bit vector used for syndromes and detection-event records.
+ *
+ * Syndrome vectors for the codes in this study are a few hundred bits
+ * (d = 9 uses 400 Z-detectors), so a small word-packed vector with fast
+ * popcount, XOR and set-bit iteration covers every hot path.
+ */
+
+#ifndef ASTREA_COMMON_BITVEC_HH
+#define ASTREA_COMMON_BITVEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace astrea
+{
+
+/** Word-packed dynamic bit vector. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Construct with n bits, all zero. */
+    explicit BitVec(size_t n) : numBits_(n), words_((n + 63) / 64, 0) {}
+
+    size_t size() const { return numBits_; }
+
+    bool
+    get(size_t i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(size_t i, bool v = true)
+    {
+        if (v)
+            words_[i >> 6] |= (1ull << (i & 63));
+        else
+            words_[i >> 6] &= ~(1ull << (i & 63));
+    }
+
+    /** Toggle bit i; returns the new value. */
+    bool
+    flip(size_t i)
+    {
+        words_[i >> 6] ^= (1ull << (i & 63));
+        return get(i);
+    }
+
+    /** Reset all bits to zero without changing the size. */
+    void clear();
+
+    /** Number of set bits (the syndrome's Hamming weight). */
+    size_t popcount() const;
+
+    /** True if no bit is set. */
+    bool none() const;
+
+    /** XOR-accumulate another vector of the same size. */
+    BitVec &operator^=(const BitVec &other);
+
+    bool operator==(const BitVec &other) const;
+
+    /** Indices of set bits in increasing order. */
+    std::vector<uint32_t> onesIndices() const;
+
+    /** "0101..." rendering, index 0 first (for tests and debugging). */
+    std::string toString() const;
+
+    /** FNV-1a hash of the contents (for LUT-decoder keys). */
+    uint64_t hash() const;
+
+  private:
+    size_t numBits_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_COMMON_BITVEC_HH

@@ -1,0 +1,99 @@
+#include "common/cli.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace astrea
+{
+
+namespace
+{
+
+/** Map "shots" to "ASTREA_SHOTS". */
+std::string
+envName(const std::string &key)
+{
+    std::string out = "ASTREA_";
+    for (char c : key) {
+        if (c == '-')
+            out.push_back('_');
+        else
+            out.push_back(static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+} // namespace
+
+Options
+Options::parse(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            continue;
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq == std::string::npos)
+            opts.values_[arg] = "1";
+        else
+            opts.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+    return opts;
+}
+
+bool
+Options::has(const std::string &key) const
+{
+    if (values_.count(key))
+        return true;
+    return std::getenv(envName(key).c_str()) != nullptr;
+}
+
+std::string
+Options::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    if (it != values_.end())
+        return it->second;
+    if (const char *env = std::getenv(envName(key).c_str()))
+        return env;
+    return def;
+}
+
+int64_t
+Options::getInt(const std::string &key, int64_t def) const
+{
+    std::string s = getString(key, "");
+    if (s.empty())
+        return def;
+    return std::atoll(s.c_str());
+}
+
+uint64_t
+Options::getUint(const std::string &key, uint64_t def) const
+{
+    std::string s = getString(key, "");
+    if (s.empty())
+        return def;
+    return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+double
+Options::getDouble(const std::string &key, double def) const
+{
+    std::string s = getString(key, "");
+    if (s.empty())
+        return def;
+    return std::atof(s.c_str());
+}
+
+void
+Options::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+} // namespace astrea

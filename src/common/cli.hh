@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tiny command-line / environment option parser for benches and examples.
+ *
+ * Benches accept overrides both as "--key=value" arguments and as
+ * ASTREA_<KEY> environment variables (arguments win), so the full suite
+ * can be re-scoped — e.g. shot counts — without editing code.
+ */
+
+#ifndef ASTREA_COMMON_CLI_HH
+#define ASTREA_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace astrea
+{
+
+/** Parsed option bag. */
+class Options
+{
+  public:
+    Options() = default;
+
+    /**
+     * Parse argv entries of the form --key=value or --flag. Unrecognized
+     * positional arguments are ignored (google-benchmark passes its own).
+     */
+    static Options parse(int argc, char **argv);
+
+    /** Look up a key: argv first, then ASTREA_<KEY> from the environment. */
+    bool has(const std::string &key) const;
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    int64_t getInt(const std::string &key, int64_t def) const;
+    uint64_t getUint(const std::string &key, uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+
+    void set(const std::string &key, const std::string &value);
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_COMMON_CLI_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 style.
+ *
+ * fatal() is for user error (bad parameters, impossible configuration);
+ * panic() is for internal invariant violations — a bug in this library.
+ * Both print to stderr and terminate; panic() aborts so a core dump or
+ * debugger can catch it.
+ */
+
+#ifndef ASTREA_COMMON_LOGGING_HH
+#define ASTREA_COMMON_LOGGING_HH
+
+#include <string>
+
+namespace astrea
+{
+
+/** Terminate due to invalid user input or configuration (exit(1)). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Terminate due to an internal bug (abort()). */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning to stderr and continue. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+} // namespace astrea
+
+/**
+ * Invariant check that stays on in release builds. Decoding correctness
+ * bugs silently corrupt LER measurements, so hot-path-adjacent checks are
+ * kept active; truly hot inner loops use plain assert() instead.
+ */
+#define ASTREA_CHECK(cond, msg)                                           \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::astrea::panic(std::string("check failed: ") + #cond +       \
+                            " - " + (msg));                               \
+    } while (0)
+
+#endif // ASTREA_COMMON_LOGGING_HH

@@ -1,0 +1,107 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace astrea
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only for seeding. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (int i = 0; i < 4; i++)
+        s_[i] = splitMix64(x);
+    // A zero state would be a fixed point; nudge it if the seed expands
+    // to all zeros (astronomically unlikely but cheap to guard).
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+uint64_t
+Rng::operator()()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // Take the top 53 bits for a uniform double in [0,1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Rng::uniformInt(uint64_t bound)
+{
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+        uint64_t t = -bound % bound;
+        while (l < t) {
+            x = (*this)();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t
+Rng::geometricSkip(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return ~0ull;
+    // floor(log(U)/log(1-p)) failures before the next success.
+    double u = uniform();
+    // uniform() can return exactly 0; log(0) is -inf, which maps to a
+    // huge skip. Clamp to the smallest representable positive value.
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    double g = std::floor(std::log(u) / std::log1p(-p));
+    if (g > 9e18)
+        return ~0ull;
+    return static_cast<uint64_t>(g);
+}
+
+Rng
+Rng::split(uint64_t stream) const
+{
+    // Hash the current state together with the stream index.
+    uint64_t x = s_[0] ^ (s_[3] + 0x632be59bd9b4e019ull * (stream + 1));
+    return Rng(splitMix64(x));
+}
+
+} // namespace astrea

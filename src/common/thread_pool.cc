@@ -1,0 +1,53 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace astrea
+{
+
+void
+parallelFor(uint64_t total, unsigned num_workers,
+            const std::function<void(unsigned, uint64_t, uint64_t)> &body)
+{
+    if (total == 0)
+        return;
+    num_workers = std::max(1u, num_workers);
+    num_workers = static_cast<unsigned>(
+        std::min<uint64_t>(num_workers, total));
+    if (num_workers == 1) {
+        body(0, 0, total);
+        return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers);
+    uint64_t chunk = total / num_workers;
+    uint64_t rem = total % num_workers;
+    uint64_t begin = 0;
+    for (unsigned w = 0; w < num_workers; w++) {
+        uint64_t len = chunk + (w < rem ? 1 : 0);
+        uint64_t end = begin + len;
+        threads.emplace_back([&body, w, begin, end] {
+            body(w, begin, end);
+        });
+        begin = end;
+    }
+    for (auto &t : threads)
+        t.join();
+}
+
+unsigned
+defaultWorkerCount()
+{
+    if (const char *env = std::getenv("ASTREA_THREADS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace astrea

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal fork-join helper for Monte-Carlo sharding.
+ *
+ * The experiment harness splits shot budgets across hardware threads;
+ * each worker gets an index so it can derive an independent RNG stream
+ * and a private accumulator that the caller merges afterwards. A full
+ * work-stealing pool would be overkill: every parallel region here is a
+ * single embarrassingly-parallel loop of equal-cost chunks.
+ */
+
+#ifndef ASTREA_COMMON_THREAD_POOL_HH
+#define ASTREA_COMMON_THREAD_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace astrea
+{
+
+/**
+ * Run body(worker_index, begin, end) on num_workers threads, partitioning
+ * [0, total) into contiguous chunks. Runs inline when num_workers <= 1.
+ */
+void parallelFor(uint64_t total, unsigned num_workers,
+                 const std::function<void(unsigned, uint64_t, uint64_t)>
+                     &body);
+
+/**
+ * Number of workers to use: the ASTREA_THREADS environment variable if
+ * set, otherwise the hardware concurrency (at least 1).
+ */
+unsigned defaultWorkerCount();
+
+} // namespace astrea
+
+#endif // ASTREA_COMMON_THREAD_POOL_HH

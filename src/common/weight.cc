@@ -1,0 +1,46 @@
+#include "common/weight.hh"
+
+#include <cmath>
+
+namespace astrea
+{
+
+QWeight
+quantizeWeight(double neg_log10_prob)
+{
+    if (!(neg_log10_prob >= 0.0))
+        neg_log10_prob = 0.0;
+    double scaled = std::round(neg_log10_prob * kWeightScale);
+    if (scaled >= kInfiniteWeight)
+        return kInfiniteWeight;
+    return static_cast<QWeight>(scaled);
+}
+
+double
+weightToDecades(QWeight w)
+{
+    return static_cast<double>(w) / kWeightScale;
+}
+
+double
+probToDecades(double p)
+{
+    if (p <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    if (p >= 1.0)
+        return 0.0;
+    return -std::log10(p);
+}
+
+WeightSum
+decadesToQuantized(double decades)
+{
+    if (decades < 0.0)
+        decades = 0.0;
+    double scaled = std::round(decades * kWeightScale);
+    if (scaled >= kInfiniteWeightSum)
+        return kInfiniteWeightSum;
+    return static_cast<WeightSum>(scaled);
+}
+
+} // namespace astrea

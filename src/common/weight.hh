@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quantized matching weights.
+ *
+ * The paper stores each pair weight as an 8-bit value "corresponding to
+ * -log10(probability of the pair matching)" (Sec. 5.1): a pairing that
+ * occurs with probability 1e-6 has weight 6. Hardware thresholds such as
+ * Wth are expressed in these decade units. We keep sub-decade resolution
+ * by using a fixed-point representation with 1/8-decade LSB, which still
+ * fits the full useful range (0 .. 31.875 decades) in a byte.
+ */
+
+#ifndef ASTREA_COMMON_WEIGHT_HH
+#define ASTREA_COMMON_WEIGHT_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace astrea
+{
+
+/** Fixed-point weight stored in hardware tables (1/8 decade per LSB). */
+using QWeight = uint8_t;
+
+/** Scale factor: quantized units per decade of probability. */
+constexpr int kWeightScale = 8;
+
+/**
+ * Sentinel for "no edge": the all-ones byte. Any real path weight in the
+ * regimes we study is far below 31.875 decades.
+ */
+constexpr QWeight kInfiniteWeight = std::numeric_limits<QWeight>::max();
+
+/**
+ * Accumulated weights (sums over pairings) need more than 8 bits; the
+ * hardware accumulates into wider registers.
+ */
+using WeightSum = uint32_t;
+
+constexpr WeightSum kInfiniteWeightSum =
+    std::numeric_limits<WeightSum>::max();
+
+/** Quantize a real-valued -log10 weight, saturating at the sentinel. */
+QWeight quantizeWeight(double neg_log10_prob);
+
+/** Convert a quantized weight back to decades of probability. */
+double weightToDecades(QWeight w);
+
+/** Convert a probability to its exact (unquantized) decade weight. */
+double probToDecades(double p);
+
+/** Express a decade threshold (e.g. Wth = 7) in quantized units. */
+WeightSum decadesToQuantized(double decades);
+
+/** Saturating add of two quantized pair weights into a sum. */
+inline WeightSum
+addWeights(WeightSum a, WeightSum b)
+{
+    if (a == kInfiniteWeightSum || b == kInfiniteWeightSum)
+        return kInfiniteWeightSum;
+    return a + b;
+}
+
+} // namespace astrea
+
+#endif // ASTREA_COMMON_WEIGHT_HH

@@ -1,0 +1,157 @@
+#include "compression/syndrome_codec.hh"
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+namespace
+{
+
+/** Tag byte identifying the representation inside the buffer. */
+enum Tag : uint8_t
+{
+    kTagRaw = 0,
+    kTagSparse = 1,
+    kTagRunLength = 2,
+};
+
+std::vector<uint8_t>
+encodeRaw(const BitVec &syndrome)
+{
+    std::vector<uint8_t> out{kTagRaw};
+    uint8_t acc = 0;
+    for (size_t i = 0; i < syndrome.size(); i++) {
+        if (syndrome.get(i))
+            acc |= static_cast<uint8_t>(1u << (i % 8));
+        if (i % 8 == 7) {
+            out.push_back(acc);
+            acc = 0;
+        }
+    }
+    if (syndrome.size() % 8 != 0)
+        out.push_back(acc);
+    return out;
+}
+
+std::vector<uint8_t>
+encodeSparse(const BitVec &syndrome)
+{
+    auto ones = syndrome.onesIndices();
+    // Indices need 2 bytes once the syndrome exceeds 256 bits.
+    const bool wide = syndrome.size() > 256;
+    std::vector<uint8_t> out{kTagSparse};
+    ASTREA_CHECK(ones.size() < 256, "syndrome too dense for count byte");
+    out.push_back(static_cast<uint8_t>(ones.size()));
+    for (auto idx : ones) {
+        out.push_back(static_cast<uint8_t>(idx & 0xff));
+        if (wide)
+            out.push_back(static_cast<uint8_t>(idx >> 8));
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+encodeRunLength(const BitVec &syndrome)
+{
+    // Byte stream of zero-run lengths before each set bit; 255 is an
+    // escape meaning "255 zeros and no bit yet".
+    std::vector<uint8_t> out{kTagRunLength};
+    uint32_t run = 0;
+    for (size_t i = 0; i < syndrome.size(); i++) {
+        if (syndrome.get(i)) {
+            while (run >= 255) {
+                out.push_back(255);
+                run -= 255;
+            }
+            out.push_back(static_cast<uint8_t>(run));
+            run = 0;
+        } else {
+            run++;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeSyndrome(const BitVec &syndrome, SyndromeCodec codec)
+{
+    std::vector<uint8_t> raw = encodeRaw(syndrome);
+    if (codec == SyndromeCodec::Raw)
+        return raw;
+    std::vector<uint8_t> enc = (codec == SyndromeCodec::Sparse)
+                                   ? encodeSparse(syndrome)
+                                   : encodeRunLength(syndrome);
+    // Lossless fallback: never ship more bytes than the raw bitmap.
+    return enc.size() < raw.size() ? enc : raw;
+}
+
+BitVec
+decodeSyndrome(const std::vector<uint8_t> &bytes, uint32_t num_bits)
+{
+    ASTREA_CHECK(!bytes.empty(), "empty syndrome buffer");
+    BitVec out(num_bits);
+    switch (bytes[0]) {
+      case kTagRaw: {
+        for (uint32_t i = 0; i < num_bits; i++) {
+            size_t byte = 1 + i / 8;
+            ASTREA_CHECK(byte < bytes.size(), "raw buffer truncated");
+            if ((bytes[byte] >> (i % 8)) & 1)
+                out.set(i);
+        }
+        break;
+      }
+      case kTagSparse: {
+        ASTREA_CHECK(bytes.size() >= 2, "sparse buffer truncated");
+        const bool wide = num_bits > 256;
+        uint32_t count = bytes[1];
+        size_t pos = 2;
+        for (uint32_t k = 0; k < count; k++) {
+            ASTREA_CHECK(pos + (wide ? 1 : 0) < bytes.size(),
+                         "sparse buffer truncated");
+            uint32_t idx = bytes[pos++];
+            if (wide)
+                idx |= static_cast<uint32_t>(bytes[pos++]) << 8;
+            ASTREA_CHECK(idx < num_bits, "sparse index out of range");
+            out.set(idx);
+        }
+        break;
+      }
+      case kTagRunLength: {
+        uint32_t i = 0;
+        for (size_t pos = 1; pos < bytes.size(); pos++) {
+            i += bytes[pos];
+            if (bytes[pos] == 255)
+                continue;  // Escape: no bit after this run.
+            ASTREA_CHECK(i < num_bits, "run-length overflow");
+            out.set(i);
+            i++;
+        }
+        break;
+      }
+      default:
+        fatal("unknown syndrome codec tag");
+    }
+    return out;
+}
+
+void
+CompressionStats::add(uint32_t num_bits, size_t encoded_bytes)
+{
+    syndromes++;
+    rawBytes += (num_bits + 7) / 8 + 1;
+    encodedBytes += encoded_bytes;
+}
+
+double
+transmissionTimeNs(double bytes, double mbps)
+{
+    if (mbps <= 0.0)
+        return 0.0;
+    // 1 MBps = 1 byte per microsecond.
+    return bytes / mbps * 1000.0;
+}
+
+} // namespace astrea

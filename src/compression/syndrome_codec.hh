@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Syndrome compression (paper Sec. 7.6).
+ *
+ * The decoder must receive each round's syndrome bits and still finish
+ * within the 1 us deadline; the paper notes that "as syndromes are
+ * typically compressible, we can further employ Syndrome Compression
+ * to reduce bandwidth requirement". Syndromes are overwhelmingly
+ * sparse (HW 0-2 dominates, Sec. 4.2), so two simple lossless codecs
+ * capture almost all the win:
+ *
+ *  - Sparse codec: a set-bit count followed by the bit indices
+ *    (AFS-style "sparse representation");
+ *  - Run-length codec: zero-run lengths between set bits, in bytes
+ *    with an escape for long runs.
+ *
+ * Both degrade gracefully on dense inputs by falling back to the raw
+ * bitmap when it is smaller, so the encoded size never exceeds
+ * ceil(n/8) + 1 bytes.
+ */
+
+#ifndef ASTREA_COMPRESSION_SYNDROME_CODEC_HH
+#define ASTREA_COMPRESSION_SYNDROME_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+
+namespace astrea
+{
+
+/** Available syndrome encodings. */
+enum class SyndromeCodec : uint8_t
+{
+    Raw,        ///< Plain bitmap, ceil(n/8) bytes + 1 tag byte.
+    Sparse,     ///< Count + per-bit indices.
+    RunLength,  ///< Zero-run lengths.
+};
+
+/**
+ * Encode a syndrome with the requested codec. The first byte tags the
+ * representation actually used (sparse/run-length fall back to raw if
+ * raw is smaller), so decodeSyndrome() is self-describing.
+ */
+std::vector<uint8_t> encodeSyndrome(const BitVec &syndrome,
+                                    SyndromeCodec codec);
+
+/**
+ * Decode a syndrome produced by encodeSyndrome().
+ *
+ * @param bytes Encoded buffer.
+ * @param num_bits The (known) syndrome length.
+ */
+BitVec decodeSyndrome(const std::vector<uint8_t> &bytes,
+                      uint32_t num_bits);
+
+/** Compression statistics over a stream of syndromes. */
+struct CompressionStats
+{
+    uint64_t syndromes = 0;
+    uint64_t rawBytes = 0;
+    uint64_t encodedBytes = 0;
+
+    double
+    ratio() const
+    {
+        return encodedBytes
+                   ? static_cast<double>(rawBytes) /
+                         static_cast<double>(encodedBytes)
+                   : 0.0;
+    }
+
+    double
+    meanEncodedBytes() const
+    {
+        return syndromes ? static_cast<double>(encodedBytes) /
+                               static_cast<double>(syndromes)
+                         : 0.0;
+    }
+
+    void add(uint32_t num_bits, size_t encoded_bytes);
+};
+
+/**
+ * Time to transmit `bytes` at `mbps` megabytes per second, in ns
+ * (the quantity Table 7 trades against decode budget).
+ */
+double transmissionTimeNs(double bytes, double mbps);
+
+} // namespace astrea
+
+#endif // ASTREA_COMPRESSION_SYNDROME_CODEC_HH

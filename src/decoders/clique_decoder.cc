@@ -1,0 +1,105 @@
+#include "decoders/clique_decoder.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace astrea
+{
+
+DecodeResult
+CliqueDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    decodes_++;
+    DecodeResult result;
+    if (defects.empty()) {
+        localOnly_++;
+        return result;
+    }
+
+    std::unordered_set<uint32_t> defect_set(defects.begin(),
+                                            defects.end());
+    std::unordered_set<uint32_t> committed;
+    std::vector<uint32_t> residual;
+
+    // Local stage: a defect is trivially decodable when its graph
+    // neighborhood contains at most one other defect.
+    for (auto d : defects) {
+        if (committed.count(d))
+            continue;
+        int neighbor_defects = 0;
+        uint32_t the_neighbor = 0;
+        int neighbor_edge = -1;
+        for (auto [edge_idx, other] : graph_.neighbors(d)) {
+            if (other == kBoundaryNode)
+                continue;
+            if (defect_set.count(other) && !committed.count(other)) {
+                neighbor_defects++;
+                the_neighbor = other;
+                neighbor_edge = static_cast<int>(edge_idx);
+            }
+        }
+        if (neighbor_defects == 0) {
+            // Isolated: send to the boundary if directly adjacent.
+            int32_t be = graph_.boundaryEdge(d);
+            if (be >= 0) {
+                const GraphEdge &e = graph_.edges()[be];
+                result.obsMask ^= e.obsMask;
+                result.matchingWeight += e.weight;
+                committed.insert(d);
+            } else {
+                residual.push_back(d);
+            }
+        } else if (neighbor_defects == 1) {
+            // Check the neighbor also sees only this defect; then the
+            // pair is an isolated error chain and can be committed.
+            int back_defects = 0;
+            for (auto [edge_idx, other] : graph_.neighbors(the_neighbor)) {
+                (void)edge_idx;
+                if (other != kBoundaryNode && defect_set.count(other) &&
+                    !committed.count(other)) {
+                    back_defects++;
+                }
+            }
+            if (back_defects == 1) {
+                const GraphEdge &e = graph_.edges()[neighbor_edge];
+                result.obsMask ^= e.obsMask;
+                result.matchingWeight += e.weight;
+                committed.insert(d);
+                committed.insert(the_neighbor);
+            } else {
+                residual.push_back(d);
+            }
+        } else {
+            residual.push_back(d);
+        }
+    }
+
+    if (residual.empty()) {
+        localOnly_++;
+        result.cycles = 1;
+        result.latencyNs = cyclesToNs(result.cycles);
+        return result;
+    }
+
+    // Fallback: global MWPM on the residual defects. The round trip to
+    // the software decoder dominates the critical path; we charge the
+    // measured matching time plus a fixed 1 us transport penalty, which
+    // is what makes Clique non-real-time on hard events (Sec. 5.6).
+    std::sort(residual.begin(), residual.end());
+    DecodeResult fb = fallback_.decode(residual);
+    result.obsMask ^= fb.obsMask;
+    result.matchingWeight += fb.matchingWeight;
+    result.latencyNs = fb.latencyNs + 1000.0;
+    return result;
+}
+
+double
+CliqueDecoder::localFraction() const
+{
+    if (decodes_ == 0)
+        return 0.0;
+    return static_cast<double>(localOnly_) /
+           static_cast<double>(decodes_);
+}
+
+} // namespace astrea

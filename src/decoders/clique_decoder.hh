@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Clique-style hierarchical decoder (paper Sec. 2.3.4).
+ *
+ * The Clique decoder (Ravi et al.) commits "trivial" error events with
+ * a cheap local circuit and falls back to software MWPM for everything
+ * else. We model the accuracy consequences: defects whose entire graph
+ * neighborhood contains at most one other defect are committed locally
+ * (pairing adjacent defect pairs, or sending an isolated defect to an
+ * adjacent boundary), and only the residual defects go to the exact
+ * matcher. Local commitments are greedy, so the decoder is slightly
+ * less accurate than global MWPM — the effect Table 4 and Fig. 4
+ * quantify. The latency model reflects the hierarchy: a fast path
+ * (1 cycle at 250 MHz) when everything decodes locally, and the
+ * measured software-MWPM time plus a round-trip penalty otherwise.
+ */
+
+#ifndef ASTREA_DECODERS_CLIQUE_DECODER_HH
+#define ASTREA_DECODERS_CLIQUE_DECODER_HH
+
+#include "decoders/decoder.hh"
+#include "decoders/mwpm_decoder.hh"
+#include "graph/decoding_graph.hh"
+#include "graph/weight_table.hh"
+
+namespace astrea
+{
+
+/** Local predecoder + software MWPM fallback. */
+class CliqueDecoder : public Decoder
+{
+  public:
+    CliqueDecoder(const DecodingGraph &graph,
+                  const GlobalWeightTable &gwt)
+        : graph_(graph), fallback_(gwt)
+    {}
+
+    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    std::string name() const override { return "Clique+MWPM"; }
+
+    /** Fraction of decodes fully handled by the local stage. */
+    double localFraction() const;
+
+  private:
+    const DecodingGraph &graph_;
+    MwpmDecoder fallback_;
+    uint64_t decodes_ = 0;
+    uint64_t localOnly_ = 0;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_DECODERS_CLIQUE_DECODER_HH

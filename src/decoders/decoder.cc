@@ -1,0 +1,8 @@
+#include "decoders/decoder.hh"
+
+// The interface is header-only; this translation unit exists to anchor
+// the vtable of Decoder in one object file.
+
+namespace astrea
+{
+} // namespace astrea

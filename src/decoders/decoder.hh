@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Common decoder interface.
+ *
+ * A decoder receives the defects of one syndrome vector — the indices
+ * of the flipped detectors across the d decoding rounds — and predicts
+ * which logical observables the underlying physical errors flipped.
+ * Decoding succeeds when the prediction matches the actual observable
+ * flip of the shot; a mismatch is a logical error.
+ *
+ * Decoders also report a latency estimate per decode: hardware designs
+ * (Astrea, Astrea-G, LUT) report modeled FPGA cycles at 250 MHz, while
+ * software baselines (MWPM/Blossom) report measured wall-clock time.
+ */
+
+#ifndef ASTREA_DECODERS_DECODER_HH
+#define ASTREA_DECODERS_DECODER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace astrea
+{
+
+/** FPGA clock assumed by all hardware latency models (paper Sec. 5.4). */
+constexpr double kFpgaClockGHz = 0.25;
+
+/** Convert modeled hardware cycles to nanoseconds at 250 MHz. */
+inline double
+cyclesToNs(uint64_t cycles)
+{
+    return static_cast<double>(cycles) / kFpgaClockGHz;
+}
+
+/** Outcome of decoding one syndrome vector. */
+struct DecodeResult
+{
+    /** Predicted logical-observable flips. */
+    uint64_t obsMask = 0;
+    /** True if the decoder could not process the syndrome (e.g. Astrea
+     *  on Hamming weight > 10); obsMask is 0 in that case. */
+    bool gaveUp = false;
+    /** Latency estimate in nanoseconds (modeled or measured). */
+    double latencyNs = 0.0;
+    /** Modeled hardware cycles (0 for software decoders). */
+    uint64_t cycles = 0;
+    /** Total weight of the chosen matching, in decades; 0 if none. */
+    double matchingWeight = 0.0;
+    /**
+     * The matching itself, as indices into the decode() defects
+     * argument; -1 denotes the boundary. Filled by decoders that
+     * expose their pairings (MWPM, Astrea, greedy) — consumers such as
+     * the sliding-window streaming decoder need pair-level commits,
+     * not just the aggregate observable flip. Pairs resolved "through
+     * the boundary" are still reported as (i, j).
+     */
+    std::vector<std::pair<int32_t, int32_t>> matchedPairs;
+};
+
+/** Abstract decoder. */
+class Decoder
+{
+  public:
+    virtual ~Decoder() = default;
+
+    /**
+     * Decode one syndrome vector.
+     *
+     * @param defects Indices of flipped detectors, strictly increasing.
+     */
+    virtual DecodeResult decode(const std::vector<uint32_t> &defects) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_DECODERS_DECODER_HH

@@ -1,0 +1,70 @@
+#include "decoders/greedy_decoder.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+
+namespace astrea
+{
+
+DecodeResult
+GreedyDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    DecodeResult result;
+    const size_t n = defects.size();
+    if (n == 0)
+        return result;
+    auto t0 = std::chrono::steady_clock::now();
+
+    // Candidate heap over (weight, i, j) with j == i meaning boundary.
+    struct Cand
+    {
+        double weight;
+        uint32_t i;
+        uint32_t j;
+        bool operator>(const Cand &o) const { return weight > o.weight; }
+    };
+    std::priority_queue<Cand, std::vector<Cand>, std::greater<Cand>> pq;
+    for (uint32_t i = 0; i < n; i++) {
+        pq.push({gwt_.exactWeight(defects[i], defects[i]), i, i});
+        for (uint32_t j = i + 1; j < n; j++) {
+            pq.push(
+                {gwt_.exactWeight(defects[i], defects[j]), i, j});
+        }
+    }
+
+    std::vector<uint8_t> used(n, 0);
+    size_t remaining = n;
+    while (remaining > 0 && !pq.empty()) {
+        Cand c = pq.top();
+        pq.pop();
+        if (used[c.i] || (c.j != c.i && used[c.j]))
+            continue;
+        used[c.i] = 1;
+        remaining--;
+        if (c.j == c.i) {
+            // Boundary match.
+            result.obsMask ^= gwt_.pairObs(defects[c.i], defects[c.i]);
+            result.matchingWeight +=
+                gwt_.exactWeight(defects[c.i], defects[c.i]);
+            result.matchedPairs.push_back(
+                {static_cast<int32_t>(c.i), -1});
+        } else {
+            used[c.j] = 1;
+            remaining--;
+            result.obsMask ^= gwt_.pairObs(defects[c.i], defects[c.j]);
+            result.matchingWeight +=
+                gwt_.exactWeight(defects[c.i], defects[c.j]);
+            result.matchedPairs.push_back(
+                {static_cast<int32_t>(c.i),
+                 static_cast<int32_t>(c.j)});
+        }
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+    result.latencyNs =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    return result;
+}
+
+} // namespace astrea

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Greedy nearest-pair decoder.
+ *
+ * The simplest hardware-friendly matcher, in the spirit of weighted
+ * iterative greedy decoders (WIT-Greedy, ASPDAC'23, cited as [44] by
+ * the paper): repeatedly commit the globally minimum-weight option —
+ * either a defect-defect pair or a defect-boundary match — until no
+ * defect remains. O(w^2 log w) per syndrome with no search at all,
+ * which makes it a useful lower bar between "no decoding" and
+ * Union-Find in the accuracy comparisons: greedy commits cannot be
+ * revisited, so it loses to MWPM exactly on the crossing-chain
+ * configurations the blossom algorithm untangles.
+ */
+
+#ifndef ASTREA_DECODERS_GREEDY_DECODER_HH
+#define ASTREA_DECODERS_GREEDY_DECODER_HH
+
+#include "decoders/decoder.hh"
+#include "graph/weight_table.hh"
+
+namespace astrea
+{
+
+/** Globally-greedy minimum-pair matcher. */
+class GreedyDecoder : public Decoder
+{
+  public:
+    explicit GreedyDecoder(const GlobalWeightTable &gwt) : gwt_(gwt) {}
+
+    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    std::string name() const override { return "Greedy"; }
+
+  private:
+    const GlobalWeightTable &gwt_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_DECODERS_GREEDY_DECODER_HH

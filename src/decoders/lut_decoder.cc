@@ -1,0 +1,32 @@
+#include "decoders/lut_decoder.hh"
+
+namespace astrea
+{
+
+DecodeResult
+LutDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    DecodeResult result;
+    if (defects.empty())
+        return result;
+
+    // A hardware LUT answers in one access regardless of contents.
+    result.cycles = 1;
+    result.latencyNs = cyclesToNs(result.cycles);
+
+    auto it = table_.find(defects);
+    if (it == table_.end()) {
+        // First sight: compute the entry the table would have been
+        // programmed with.
+        DecodeResult exact = oracle_.decode(defects);
+        it = table_
+                 .emplace(defects, std::make_pair(exact.obsMask,
+                                                  exact.matchingWeight))
+                 .first;
+    }
+    result.obsMask = it->second.first;
+    result.matchingWeight = it->second.second;
+    return result;
+}
+
+} // namespace astrea

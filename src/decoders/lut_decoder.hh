@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Lookup-table decoder (the LILLIPUT proxy, paper Sec. 2.3.2).
+ *
+ * LILLIPUT programs a lookup table with the MWPM answer for every
+ * possible syndrome, so its accuracy equals MWPM wherever the table
+ * fits; the design fails to scale because a full table needs 2^l
+ * entries for an l-bit syndrome vector. We model exactly that: a
+ * memoizing decoder whose entries are filled by an exact matcher on
+ * first sight (equivalent to reading a pre-programmed table), plus
+ * accounting for both the entries actually touched and the 2^l bits a
+ * real hardware table would require — the number that limits LILLIPUT
+ * to d = 3 (and d = 5 with two rounds).
+ */
+
+#ifndef ASTREA_DECODERS_LUT_DECODER_HH
+#define ASTREA_DECODERS_LUT_DECODER_HH
+
+#include <map>
+
+#include "decoders/decoder.hh"
+#include "decoders/mwpm_decoder.hh"
+#include "graph/weight_table.hh"
+
+namespace astrea
+{
+
+/** Memoized-MWPM lookup-table decoder. */
+class LutDecoder : public Decoder
+{
+  public:
+    explicit LutDecoder(const GlobalWeightTable &gwt)
+        : syndromeBits_(gwt.size()), oracle_(gwt)
+    {}
+
+    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    std::string name() const override { return "LUT(LILLIPUT)"; }
+
+    /** Entries populated so far (reachable-syndrome working set). */
+    size_t populatedEntries() const { return table_.size(); }
+
+    /** log2 of the full hardware table's entry count (= l). */
+    uint32_t fullTableAddressBits() const { return syndromeBits_; }
+
+    /**
+     * Whether a full hardware table is implementable: LILLIPUT-scale
+     * designs cap out around 2^28 entries (paper Sec. 5.6).
+     */
+    bool hardwareFeasible() const { return syndromeBits_ <= 28; }
+
+  private:
+    uint32_t syndromeBits_;
+    MwpmDecoder oracle_;
+    /** defects -> (obsMask, matching weight). */
+    std::map<std::vector<uint32_t>, std::pair<uint64_t, double>> table_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_DECODERS_LUT_DECODER_HH

@@ -1,0 +1,87 @@
+#include "decoders/mwpm_decoder.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "matching/blossom.hh"
+
+namespace astrea
+{
+
+namespace
+{
+
+/** Fixed-point scale: micro-decades keep exact weights exact enough. */
+constexpr double kScale = 1e6;
+
+/** Weight used for structurally forbidden pairs. */
+constexpr int64_t kForbidden = 1ll << 40;
+
+int64_t
+scaleWeight(double decades)
+{
+    if (!std::isfinite(decades))
+        return kForbidden;
+    int64_t w = static_cast<int64_t>(std::llround(decades * kScale));
+    return w < kForbidden ? w : kForbidden;
+}
+
+} // namespace
+
+DecodeResult
+MwpmDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    DecodeResult result;
+    const int n = static_cast<int>(defects.size());
+    if (n == 0)
+        return result;
+
+    auto t0 = std::chrono::steady_clock::now();
+
+    // Nodes 0..n-1 are the defects; nodes n..2n-1 are their private
+    // boundary copies. Boundary copy i connects only to defect i (at
+    // the defect's boundary weight) and to other boundary copies (at
+    // zero weight).
+    auto weight = [&](int i, int j) -> int64_t {
+        bool i_real = i < n, j_real = j < n;
+        if (i_real && j_real)
+            return scaleWeight(gwt_.exactWeight(defects[i], defects[j]));
+        if (!i_real && !j_real)
+            return 0;
+        int real = i_real ? i : j;
+        int copy = (i_real ? j : i) - n;
+        if (copy != real)
+            return kForbidden;
+        return scaleWeight(gwt_.exactWeight(defects[real],
+                                            defects[real]));
+    };
+
+    auto mate = minWeightPerfectMatching(2 * n, weight);
+
+    double total = 0.0;
+    for (int i = 0; i < n; i++) {
+        int m = mate[i];
+        if (m < n) {
+            // Defect-defect pair; count it once.
+            if (i < m) {
+                result.obsMask ^= gwt_.pairObs(defects[i], defects[m]);
+                total += gwt_.exactWeight(defects[i], defects[m]);
+                result.matchedPairs.push_back({i, m});
+            }
+        } else {
+            ASTREA_CHECK(m - n == i, "defect matched to foreign boundary");
+            result.obsMask ^= gwt_.pairObs(defects[i], defects[i]);
+            total += gwt_.exactWeight(defects[i], defects[i]);
+            result.matchedPairs.push_back({i, -1});
+        }
+    }
+    result.matchingWeight = total;
+
+    auto t1 = std::chrono::steady_clock::now();
+    result.latencyNs =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    return result;
+}
+
+} // namespace astrea

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Idealized software MWPM decoder (the paper's baseline, Sec. 3.3).
+ *
+ * Solves the matching problem exactly with the blossom algorithm on
+ * unquantized weights, using the standard boundary construction: each
+ * of the n defects gets a private virtual boundary copy; boundary
+ * copies are connected to each other at zero weight, so any subset of
+ * defects can terminate on the boundary. Reported latency is measured
+ * wall-clock time of the matching step (this is what Fig. 3 plots for
+ * BlossomV).
+ */
+
+#ifndef ASTREA_DECODERS_MWPM_DECODER_HH
+#define ASTREA_DECODERS_MWPM_DECODER_HH
+
+#include "decoders/decoder.hh"
+#include "graph/weight_table.hh"
+
+namespace astrea
+{
+
+/** Exact software MWPM via blossom. */
+class MwpmDecoder : public Decoder
+{
+  public:
+    explicit MwpmDecoder(const GlobalWeightTable &gwt) : gwt_(gwt) {}
+
+    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    std::string name() const override { return "MWPM"; }
+
+  private:
+    const GlobalWeightTable &gwt_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_DECODERS_MWPM_DECODER_HH

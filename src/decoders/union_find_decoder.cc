@@ -1,0 +1,231 @@
+#include "decoders/union_find_decoder.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+UnionFindDecoder::UnionFindDecoder(const DecodingGraph &graph,
+                                   UnionFindConfig config)
+    : graph_(graph), config_(config), boundaryId_(graph.numNodes()),
+      parent_(graph.numNodes() + 1), rank_(graph.numNodes() + 1),
+      parity_(graph.numNodes() + 1), hasBoundary_(graph.numNodes() + 1),
+      growth_(graph.edges().size()), defect_(graph.numNodes() + 1)
+{
+    // Edge lengths: 2 half-steps for unweighted growth; proportional
+    // to the decade weight (2 steps per decade, clamped) for weighted
+    // growth so low-weight edges fill first.
+    edgeLength_.reserve(graph.edges().size());
+    for (const auto &e : graph.edges()) {
+        if (!config_.weightedGrowth) {
+            edgeLength_.push_back(2);
+        } else {
+            double steps = std::max(1.0, std::round(e.weight * 2.0));
+            edgeLength_.push_back(static_cast<uint16_t>(
+                std::min(steps, 255.0)));
+        }
+    }
+}
+
+uint32_t
+UnionFindDecoder::find(uint32_t v)
+{
+    while (parent_[v] != v) {
+        parent_[v] = parent_[parent_[v]];
+        v = parent_[v];
+    }
+    return v;
+}
+
+void
+UnionFindDecoder::unite(uint32_t a, uint32_t b)
+{
+    uint32_t ra = find(a), rb = find(b);
+    if (ra == rb)
+        return;
+    if (rank_[ra] < rank_[rb])
+        std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb])
+        rank_[ra]++;
+    parity_[ra] ^= parity_[rb];
+    hasBoundary_[ra] |= hasBoundary_[rb];
+}
+
+DecodeResult
+UnionFindDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    DecodeResult result;
+    if (defects.empty())
+        return result;
+    auto t0 = std::chrono::steady_clock::now();
+
+    const uint32_t n = graph_.numNodes();
+
+    // Reset scratch state. The graphs here are small (<= ~400 nodes),
+    // so a dense reset per decode is cheap enough.
+    for (uint32_t v = 0; v <= n; v++) {
+        parent_[v] = v;
+        rank_[v] = 0;
+        parity_[v] = 0;
+        hasBoundary_[v] = 0;
+        defect_[v] = 0;
+    }
+    std::fill(growth_.begin(), growth_.end(), 0);
+    hasBoundary_[boundaryId_] = 1;
+
+    // Seed clusters with the defects. in_cluster tracks which vertices
+    // already belong to some cluster's vertex list.
+    std::vector<uint8_t> in_cluster(n + 1, 0);
+    for (auto d : defects) {
+        defect_[d] = 1;
+        parity_[d] = 1;
+        in_cluster[d] = 1;
+    }
+
+    // Cluster vertex lists, keyed by DSU root. verts[r] is only valid
+    // while r is a root; merged lists are appended to the winner.
+    std::vector<std::vector<uint32_t>> verts(n + 1);
+    for (auto d : defects)
+        verts[d].push_back(d);
+
+    std::vector<uint32_t> grown_edges;
+
+    // Growth loop: every active (odd, boundary-free) cluster grows all
+    // its frontier edges by a half step; fully grown edges merge.
+    size_t round_guard = 0;
+    while (true) {
+        ASTREA_CHECK(++round_guard < 512u * (n + 2),
+                     "union-find growth did not converge");
+
+        // Snapshot the active roots.
+        std::vector<uint32_t> active;
+        for (auto d : defects) {
+            uint32_t r = find(d);
+            if (parity_[r] && !hasBoundary_[r] &&
+                std::find(active.begin(), active.end(), r) ==
+                    active.end()) {
+                active.push_back(r);
+            }
+        }
+        if (active.empty())
+            break;
+
+        std::vector<std::pair<uint32_t, uint32_t>> merges;
+        for (auto r : active) {
+            // Iterate the snapshot of this round's vertices; vertices
+            // appended below only grow from the next round on.
+            const size_t frontier_size = verts[r].size();
+            for (size_t vi = 0; vi < frontier_size; vi++) {
+                uint32_t v = verts[r][vi];
+                for (auto [edge_idx, other] : graph_.neighbors(v)) {
+                    if (growth_[edge_idx] >= edgeLength_[edge_idx])
+                        continue;
+                    if (++growth_[edge_idx] ==
+                        edgeLength_[edge_idx]) {
+                        grown_edges.push_back(edge_idx);
+                        uint32_t o = (other == kBoundaryNode)
+                                         ? boundaryId_
+                                         : other;
+                        merges.push_back({v, o});
+                        // A newly reached vertex joins this cluster's
+                        // vertex list so later rounds grow from the
+                        // enlarged frontier.
+                        if (o != boundaryId_ && !in_cluster[o]) {
+                            in_cluster[o] = 1;
+                            verts[r].push_back(o);
+                        }
+                    }
+                }
+            }
+        }
+        for (auto [a, b] : merges) {
+            uint32_t ra = find(a), rb = find(b);
+            if (ra == rb)
+                continue;
+            unite(a, b);
+            uint32_t rw = find(a);
+            uint32_t rl = (rw == ra) ? rb : ra;
+            if (rl != rw) {
+                verts[rw].insert(verts[rw].end(), verts[rl].begin(),
+                                 verts[rl].end());
+                verts[rl].clear();
+            }
+        }
+    }
+
+    // Peeling: build a spanning forest of the grown edges, rooted at
+    // the boundary where possible, and peel charges from the leaves.
+    std::sort(grown_edges.begin(), grown_edges.end());
+    grown_edges.erase(std::unique(grown_edges.begin(), grown_edges.end()),
+                      grown_edges.end());
+
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> adj(n + 1);
+    for (auto e : grown_edges) {
+        const GraphEdge &ge = graph_.edges()[e];
+        uint32_t u = ge.u;
+        uint32_t v = (ge.v == kBoundaryNode) ? boundaryId_ : ge.v;
+        adj[u].push_back({e, v});
+        adj[v].push_back({e, u});
+    }
+
+    std::vector<uint8_t> visited(n + 1, 0);
+    std::vector<uint8_t> charge(n + 1, 0);
+    for (uint32_t v = 0; v <= n; v++)
+        charge[v] = (v < n) ? defect_[v] : 0;
+
+    auto peel_component = [&](uint32_t root) {
+        if (visited[root] || adj[root].empty())
+            return;
+        // BFS spanning tree.
+        std::vector<uint32_t> order{root};
+        std::vector<int32_t> tree_edge(n + 1, -1);
+        std::vector<uint32_t> tree_parent(n + 1, 0);
+        visited[root] = 1;
+        for (size_t qi = 0; qi < order.size(); qi++) {
+            uint32_t u = order[qi];
+            for (auto [e, w] : adj[u]) {
+                if (visited[w])
+                    continue;
+                visited[w] = 1;
+                tree_edge[w] = static_cast<int32_t>(e);
+                tree_parent[w] = u;
+                order.push_back(w);
+            }
+        }
+        // Peel leaves first (reverse BFS order).
+        for (size_t qi = order.size(); qi-- > 1;) {
+            uint32_t v = order[qi];
+            if (!charge[v])
+                continue;
+            const GraphEdge &ge = graph_.edges()[tree_edge[v]];
+            result.obsMask ^= ge.obsMask;
+            result.matchingWeight += ge.weight;
+            charge[v] = 0;
+            charge[tree_parent[v]] ^= 1;
+        }
+        // Leftover charge is legal only at the boundary.
+        ASTREA_CHECK(root == boundaryId_ || charge[root] == 0,
+                     "union-find peeling left an unmatched defect");
+        charge[root] = 0;
+    };
+
+    peel_component(boundaryId_);
+    for (auto e : grown_edges) {
+        peel_component(graph_.edges()[e].u);
+        const GraphEdge &ge = graph_.edges()[e];
+        if (ge.v != kBoundaryNode)
+            peel_component(ge.v);
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+    result.latencyNs =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    return result;
+}
+
+} // namespace astrea

@@ -1,0 +1,42 @@
+#include "dem/error_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+void
+ErrorModel::addMechanism(double probability,
+                         std::vector<uint32_t> detectors,
+                         uint64_t observables)
+{
+    if (probability <= 0.0)
+        return;
+    std::sort(detectors.begin(), detectors.end());
+    for (auto d : detectors)
+        ASTREA_CHECK(d < numDetectors_, "detector index out of range");
+
+    auto key = std::make_pair(detectors, observables);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        index_.emplace(std::move(key), mechanisms_.size());
+        mechanisms_.push_back(
+            {probability, std::move(detectors), observables});
+    } else {
+        double &p = mechanisms_[it->second].probability;
+        p = p * (1.0 - probability) + probability * (1.0 - p);
+    }
+}
+
+double
+ErrorModel::expectedErrorsPerShot() const
+{
+    double sum = 0.0;
+    for (const auto &m : mechanisms_)
+        sum += m.probability;
+    return sum;
+}
+
+} // namespace astrea

@@ -1,0 +1,144 @@
+#include "dem/extractor.hh"
+
+#include "common/bitvec.hh"
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+std::vector<FaultSite>
+enumerateFaultSites(const Circuit &circuit)
+{
+    std::vector<FaultSite> sites;
+    const auto &ops = circuit.instructions();
+    for (size_t i = 0; i < ops.size(); i++) {
+        const auto &op = ops[i];
+        if (!isNoise(op.type) || op.arg <= 0.0)
+            continue;
+        if (op.type == GateType::Depolarize2) {
+            for (size_t t = 0; t + 1 < op.targets.size(); t += 2) {
+                sites.push_back({i, op.type, op.arg, op.targets[t],
+                                 op.targets[t + 1]});
+            }
+        } else {
+            for (auto q : op.targets)
+                sites.push_back({i, op.type, op.arg, q, kNoSecondQubit});
+        }
+    }
+    return sites;
+}
+
+namespace
+{
+
+/** Decode a 2-bit Pauli code (bit0 = X, bit1 = Z) onto a qubit. */
+void
+pushPauli(std::vector<PauliFlip> &out, uint32_t qubit, uint64_t code)
+{
+    if (code == 0)
+        return;
+    out.push_back({qubit, (code & 1) != 0, (code & 2) != 0});
+}
+
+} // namespace
+
+std::vector<PauliFlip>
+sampleFaultOutcome(const FaultSite &site, Rng &rng)
+{
+    std::vector<PauliFlip> flips;
+    switch (site.type) {
+      case GateType::XError:
+        flips.push_back({site.qubit0, true, false});
+        break;
+      case GateType::ZError:
+        flips.push_back({site.qubit0, false, true});
+        break;
+      case GateType::Depolarize1: {
+        uint64_t k = rng.uniformInt(3) + 1;
+        pushPauli(flips, site.qubit0, k);
+        break;
+      }
+      case GateType::Depolarize2: {
+        uint64_t k = rng.uniformInt(15) + 1;
+        pushPauli(flips, site.qubit0, k >> 2);
+        pushPauli(flips, site.qubit1, k & 3);
+        break;
+      }
+      default:
+        panic("sampleFaultOutcome on non-noise site");
+    }
+    return flips;
+}
+
+std::vector<std::pair<double, std::vector<PauliFlip>>>
+enumerateFaultOutcomes(const FaultSite &site)
+{
+    std::vector<std::pair<double, std::vector<PauliFlip>>> out;
+    switch (site.type) {
+      case GateType::XError:
+        out.push_back(
+            {site.prob, {PauliFlip{site.qubit0, true, false}}});
+        break;
+      case GateType::ZError:
+        out.push_back(
+            {site.prob, {PauliFlip{site.qubit0, false, true}}});
+        break;
+      case GateType::Depolarize1:
+        for (uint64_t k = 1; k <= 3; k++) {
+            std::vector<PauliFlip> flips;
+            pushPauli(flips, site.qubit0, k);
+            out.push_back({site.prob / 3.0, std::move(flips)});
+        }
+        break;
+      case GateType::Depolarize2:
+        for (uint64_t k = 1; k <= 15; k++) {
+            std::vector<PauliFlip> flips;
+            pushPauli(flips, site.qubit0, k >> 2);
+            pushPauli(flips, site.qubit1, k & 3);
+            out.push_back({site.prob / 15.0, std::move(flips)});
+        }
+        break;
+      default:
+        panic("enumerateFaultOutcomes on non-noise site");
+    }
+    return out;
+}
+
+ErrorModel
+extractErrorModel(const Circuit &circuit, ExtractionStats *stats)
+{
+    ErrorModel model(circuit.numDetectors(), circuit.numObservables());
+    FrameSimulator sim(circuit);
+    BitVec dets(circuit.numDetectors());
+    BitVec obs(circuit.numObservables());
+    ExtractionStats local;
+
+    auto sites = enumerateFaultSites(circuit);
+    local.faultSites = sites.size();
+
+    for (const auto &site : sites) {
+        for (auto &[p, flips] : enumerateFaultOutcomes(site)) {
+            sim.propagateInjection(site.opIndex, flips, dets, obs);
+            local.outcomesPropagated++;
+
+            auto flipped = dets.onesIndices();
+            uint64_t obs_mask = 0;
+            for (auto o : obs.onesIndices())
+                obs_mask |= (1ull << o);
+
+            if (flipped.empty() && obs_mask == 0) {
+                local.emptySymptoms++;
+                continue;
+            }
+            if (flipped.size() > 2)
+                local.oversizeSymptoms++;
+            model.addMechanism(p, std::move(flipped), obs_mask);
+        }
+    }
+
+    if (stats)
+        *stats = local;
+    return model;
+}
+
+} // namespace astrea

@@ -1,0 +1,117 @@
+#include "graph/decoding_graph.hh"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/weight.hh"
+
+namespace astrea
+{
+
+namespace
+{
+
+double
+edgeWeightFromProb(double p)
+{
+    // log10((1-p)/p): additive along paths under the independent-edge
+    // approximation, and ~ -log10(p) for the small p of interest.
+    if (p <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    if (p >= 0.5)
+        return 0.0;
+    return std::log10((1.0 - p) / p);
+}
+
+} // namespace
+
+DecodingGraph::DecodingGraph(const ErrorModel &model)
+    : numNodes_(model.numDetectors()),
+      adjacency_(model.numDetectors()),
+      boundaryEdge_(model.numDetectors(), -1)
+{
+    // First merge parallel mechanisms keyed by (endpoints, obs mask).
+    std::map<std::tuple<uint32_t, uint32_t, uint64_t>, double> merged;
+
+    auto accumulate = [&](uint32_t u, uint32_t v, uint64_t obs, double p) {
+        if (u > v)
+            std::swap(u, v);
+        double &acc = merged[{u, v, obs}];
+        acc = acc * (1.0 - p) + p * (1.0 - acc);
+    };
+
+    for (const auto &m : model.mechanisms()) {
+        const auto &dets = m.detectors;
+        if (dets.empty()) {
+            if (m.observables)
+                stats_.undetectableLogical++;
+            continue;
+        }
+        stats_.mechanismsUsed++;
+        if (dets.size() == 1) {
+            accumulate(dets[0], kBoundaryNode, m.observables,
+                       m.probability);
+        } else if (dets.size() == 2) {
+            accumulate(dets[0], dets[1], m.observables, m.probability);
+        } else {
+            // Non-graphlike mechanism: decompose into a chain of pairs,
+            // attaching the observable effect to the first pair (the
+            // XOR of the chain reproduces the symptom set).
+            stats_.decomposedMechanisms++;
+            for (size_t i = 0; i + 1 < dets.size(); i += 2) {
+                accumulate(dets[i], dets[i + 1],
+                           i == 0 ? m.observables : 0, m.probability);
+            }
+            if (dets.size() % 2 == 1) {
+                accumulate(dets.back(), kBoundaryNode, 0, m.probability);
+            }
+        }
+    }
+
+    // Resolve parallel edges that differ only in observable mask: keep
+    // the more probable one (they are physically distinct chains; the
+    // decoder can only pick one, so we keep the likely one).
+    std::map<std::pair<uint32_t, uint32_t>,
+             std::pair<double, uint64_t>> best;
+    for (const auto &[key, p] : merged) {
+        auto [u, v, obs] = key;
+        auto it = best.find({u, v});
+        if (it == best.end()) {
+            best[{u, v}] = {p, obs};
+        } else {
+            stats_.obsConflicts++;
+            if (p > it->second.first)
+                it->second = {p, obs};
+        }
+    }
+
+    for (const auto &[uv, po] : best) {
+        auto [u, v] = uv;
+        auto [p, obs] = po;
+        addEdge(u, v, p, obs);
+    }
+}
+
+void
+DecodingGraph::addEdge(uint32_t u, uint32_t v, double probability,
+                       uint64_t obs_mask)
+{
+    ASTREA_CHECK(u < numNodes_, "edge endpoint out of range");
+    uint32_t idx = static_cast<uint32_t>(edges_.size());
+    edges_.push_back(
+        {u, v, probability, edgeWeightFromProb(probability), obs_mask});
+    adjacency_[u].push_back({idx, v});
+    if (v == kBoundaryNode) {
+        // Keep the lightest boundary edge as the node's boundary link.
+        if (boundaryEdge_[u] < 0 ||
+            edges_[boundaryEdge_[u]].weight > edges_[idx].weight) {
+            boundaryEdge_[u] = static_cast<int32_t>(idx);
+        }
+    } else {
+        ASTREA_CHECK(v < numNodes_, "edge endpoint out of range");
+        adjacency_[v].push_back({idx, u});
+    }
+}
+
+} // namespace astrea

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Decoding graph for one detector basis.
+ *
+ * Nodes are detectors; each error mechanism contributes an edge between
+ * the (at most two) detectors it flips, or between one detector and the
+ * virtual boundary. Edge weights are -log10(p/(1-p)) in decades, so the
+ * weight of a path is (up to an additive constant common to all
+ * matchings) the negative log-likelihood of that error chain; each edge
+ * also records which logical observables the underlying error flips.
+ */
+
+#ifndef ASTREA_GRAPH_DECODING_GRAPH_HH
+#define ASTREA_GRAPH_DECODING_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dem/error_model.hh"
+
+namespace astrea
+{
+
+/** Virtual boundary node id used in edge endpoints. */
+constexpr uint32_t kBoundaryNode = 0xffffffffu;
+
+/** One weighted edge of the decoding graph. */
+struct GraphEdge
+{
+    uint32_t u;
+    uint32_t v;  ///< kBoundaryNode for boundary edges.
+    double probability;
+    double weight;  ///< Decades: log10((1-p)/p).
+    uint64_t obsMask;
+};
+
+/** Construction statistics, mainly for tests and sanity reporting. */
+struct GraphBuildStats
+{
+    size_t mechanismsUsed = 0;
+    /** Mechanisms flipping > 2 detectors, decomposed into edge chains. */
+    size_t decomposedMechanisms = 0;
+    /** Undetectable mechanisms that still flip an observable (a layout
+     *  bug if nonzero for a distance >= 3 code). */
+    size_t undetectableLogical = 0;
+    /** Parallel edges whose observable masks disagreed; the heavier one
+     *  was dropped. */
+    size_t obsConflicts = 0;
+};
+
+/** Sparse weighted graph over detectors plus a boundary. */
+class DecodingGraph
+{
+  public:
+    explicit DecodingGraph(const ErrorModel &model);
+
+    uint32_t numNodes() const { return numNodes_; }
+    const std::vector<GraphEdge> &edges() const { return edges_; }
+    const GraphBuildStats &stats() const { return stats_; }
+
+    /** (edge index, other endpoint) pairs; boundary edges included with
+     *  other == kBoundaryNode. */
+    const std::vector<std::pair<uint32_t, uint32_t>> &
+    neighbors(uint32_t node) const
+    {
+        return adjacency_[node];
+    }
+
+    /** Index of node's boundary edge, or -1 if it has none. */
+    int32_t boundaryEdge(uint32_t node) const
+    {
+        return boundaryEdge_[node];
+    }
+
+  private:
+    void addEdge(uint32_t u, uint32_t v, double probability,
+                 uint64_t obs_mask);
+
+    uint32_t numNodes_;
+    std::vector<GraphEdge> edges_;
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> adjacency_;
+    std::vector<int32_t> boundaryEdge_;
+    GraphBuildStats stats_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_GRAPH_DECODING_GRAPH_HH

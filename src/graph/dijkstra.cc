@@ -1,0 +1,53 @@
+#include "graph/dijkstra.hh"
+
+#include <limits>
+#include <queue>
+
+namespace astrea
+{
+
+ShortestPaths
+dijkstraFrom(const DecodingGraph &graph, uint32_t source)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const uint32_t n = graph.numNodes();
+
+    ShortestPaths sp;
+    sp.dist.assign(n, inf);
+    sp.obsMask.assign(n, 0);
+    sp.boundaryDist = inf;
+    sp.boundaryObs = 0;
+
+    using Entry = std::pair<double, uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+
+    sp.dist[source] = 0.0;
+    pq.push({0.0, source});
+
+    while (!pq.empty()) {
+        auto [d, u] = pq.top();
+        pq.pop();
+        if (d > sp.dist[u])
+            continue;
+        for (auto [edge_idx, v] : graph.neighbors(u)) {
+            const GraphEdge &e = graph.edges()[edge_idx];
+            if (v == kBoundaryNode) {
+                double nd = d + e.weight;
+                if (nd < sp.boundaryDist) {
+                    sp.boundaryDist = nd;
+                    sp.boundaryObs = sp.obsMask[u] ^ e.obsMask;
+                }
+                continue;
+            }
+            double nd = d + e.weight;
+            if (nd < sp.dist[v]) {
+                sp.dist[v] = nd;
+                sp.obsMask[v] = sp.obsMask[u] ^ e.obsMask;
+                pq.push({nd, v});
+            }
+        }
+    }
+    return sp;
+}
+
+} // namespace astrea

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Single-source shortest paths over the decoding graph.
+ *
+ * Matching weights between arbitrary detector pairs are the weights of
+ * the most likely error chain connecting them: the shortest path in the
+ * decoding graph under the decade weights. Paths never pass *through*
+ * the boundary (two defects ending on the boundary are two separate
+ * boundary matches, handled by the matchers), so Dijkstra runs over
+ * detector nodes only and the boundary distance is computed as a final
+ * relaxation over boundary edges.
+ */
+
+#ifndef ASTREA_GRAPH_DIJKSTRA_HH
+#define ASTREA_GRAPH_DIJKSTRA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/decoding_graph.hh"
+
+namespace astrea
+{
+
+/** Result of one single-source run. */
+struct ShortestPaths
+{
+    /** Distance in decades to every detector node (inf if unreachable). */
+    std::vector<double> dist;
+    /** Observable mask XOR-ed along the shortest path to each node. */
+    std::vector<uint64_t> obsMask;
+    /** Best distance from the source to the boundary. */
+    double boundaryDist;
+    uint64_t boundaryObs;
+};
+
+/** Run Dijkstra from one detector node. */
+ShortestPaths dijkstraFrom(const DecodingGraph &graph, uint32_t source);
+
+} // namespace astrea
+
+#endif // ASTREA_GRAPH_DIJKSTRA_HH

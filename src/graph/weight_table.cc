@@ -1,0 +1,77 @@
+#include "graph/weight_table.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "graph/dijkstra.hh"
+
+namespace astrea
+{
+
+GlobalWeightTable::GlobalWeightTable(const DecodingGraph &graph)
+    : size_(graph.numNodes()),
+      quantized_(static_cast<size_t>(graph.numNodes()) * graph.numNodes(),
+                 kInfiniteWeight),
+      exact_(static_cast<size_t>(graph.numNodes()) * graph.numNodes(),
+             std::numeric_limits<double>::infinity()),
+      obsMask_(static_cast<size_t>(graph.numNodes()) * graph.numNodes(), 0)
+{
+    // One Dijkstra per row; rows are independent, so shard over threads.
+    parallelFor(size_, defaultWorkerCount(),
+                [&](unsigned, uint64_t begin, uint64_t end) {
+        for (uint64_t i = begin; i < end; i++) {
+            auto src = static_cast<uint32_t>(i);
+            ShortestPaths sp = dijkstraFrom(graph, src);
+            for (uint32_t j = 0; j < size_; j++) {
+                if (j == src)
+                    continue;
+                exact_[idx(src, j)] = sp.dist[j];
+                quantized_[idx(src, j)] = std::isinf(sp.dist[j])
+                                              ? kInfiniteWeight
+                                              : quantizeWeight(sp.dist[j]);
+                obsMask_[idx(src, j)] = sp.obsMask[j];
+            }
+            exact_[idx(src, src)] = sp.boundaryDist;
+            quantized_[idx(src, src)] =
+                std::isinf(sp.boundaryDist)
+                    ? kInfiniteWeight
+                    : quantizeWeight(sp.boundaryDist);
+            obsMask_[idx(src, src)] = sp.boundaryObs;
+        }
+    });
+}
+
+GlobalWeightTable::GlobalWeightTable(uint32_t size,
+                                     std::vector<QWeight> quantized,
+                                     std::vector<double> exact,
+                                     std::vector<uint64_t> obs_masks)
+    : size_(size), quantized_(std::move(quantized)),
+      exact_(std::move(exact)), obsMask_(std::move(obs_masks))
+{
+    const size_t expect = static_cast<size_t>(size) * size;
+    ASTREA_CHECK(quantized_.size() == expect &&
+                     exact_.size() == expect &&
+                     obsMask_.size() == expect,
+                 "weight table array sizes inconsistent");
+}
+
+double
+GlobalWeightTable::exactEffectiveWeight(uint32_t i, uint32_t j) const
+{
+    double direct = exactWeight(i, j);
+    double via_boundary = exactWeight(i, i) + exactWeight(j, j);
+    return direct < via_boundary ? direct : via_boundary;
+}
+
+uint64_t
+GlobalWeightTable::exactEffectiveObs(uint32_t i, uint32_t j) const
+{
+    double direct = exactWeight(i, j);
+    double via_boundary = exactWeight(i, i) + exactWeight(j, j);
+    if (direct <= via_boundary)
+        return pairObs(i, j);
+    return pairObs(i, i) ^ pairObs(j, j);
+}
+
+} // namespace astrea

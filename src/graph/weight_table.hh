@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Global Weight Table (paper Sec. 5.1).
+ *
+ * The GWT is an l x l matrix over the syndrome-vector positions
+ * (l = (d+1)(d^2-1)/2 per basis). Entry (i, j) is the 8-bit quantized
+ * weight of the most likely error chain flipping detectors i and j; the
+ * diagonal entry (i, i) is the weight of matching i to the boundary.
+ * Alongside each weight we keep the observable-flip parity of the
+ * corresponding chain — applying a matching means XOR-ing the parities
+ * of its pairs into the logical correction.
+ *
+ * The unquantized decade weights are retained for the idealized
+ * software-MWPM baseline; the hardware decoders (Astrea, Astrea-G) read
+ * only the quantized table, exactly as the FPGA design would.
+ */
+
+#ifndef ASTREA_GRAPH_WEIGHT_TABLE_HH
+#define ASTREA_GRAPH_WEIGHT_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/weight.hh"
+#include "graph/decoding_graph.hh"
+
+namespace astrea
+{
+
+/** All-pairs matching weights for one decoding graph. */
+class GlobalWeightTable
+{
+  public:
+    /** Build by running Dijkstra from every detector node. */
+    explicit GlobalWeightTable(const DecodingGraph &graph);
+
+    /**
+     * Rehydrate from raw arrays (deserialization; see
+     * graph/weight_table_io.hh). All vectors must be size*size long.
+     */
+    GlobalWeightTable(uint32_t size, std::vector<QWeight> quantized,
+                      std::vector<double> exact,
+                      std::vector<uint64_t> obs_masks);
+
+    /** Number of syndrome positions (detectors). */
+    uint32_t size() const { return size_; }
+
+    /** Quantized pair weight; diagonal = boundary weight. */
+    QWeight
+    pairWeight(uint32_t i, uint32_t j) const
+    {
+        return quantized_[idx(i, j)];
+    }
+
+    /** Observable mask of the minimum-weight chain for the pair. */
+    uint64_t
+    pairObs(uint32_t i, uint32_t j) const
+    {
+        return obsMask_[idx(i, j)];
+    }
+
+    /** Unquantized decade weight (idealized MWPM baseline, tests). */
+    double
+    exactWeight(uint32_t i, uint32_t j) const
+    {
+        return exact_[idx(i, j)];
+    }
+
+    /**
+     * Effective pair weight for pairwise-only matchers: the cheaper of
+     * matching i-j directly or sending both to the boundary.
+     */
+    WeightSum
+    effectiveWeight(uint32_t i, uint32_t j) const
+    {
+        WeightSum direct = pairWeight(i, j);
+        WeightSum via_boundary = addWeights(pairWeight(i, i),
+                                            pairWeight(j, j));
+        return direct < via_boundary ? direct : via_boundary;
+    }
+
+    /** Observable mask matching effectiveWeight()'s choice. */
+    uint64_t
+    effectiveObs(uint32_t i, uint32_t j) const
+    {
+        WeightSum direct = pairWeight(i, j);
+        WeightSum via_boundary = addWeights(pairWeight(i, i),
+                                            pairWeight(j, j));
+        if (direct <= via_boundary)
+            return pairObs(i, j);
+        return pairObs(i, i) ^ pairObs(j, j);
+    }
+
+    /** Exact-weight analogue of effectiveWeight() (for the baseline). */
+    double exactEffectiveWeight(uint32_t i, uint32_t j) const;
+    uint64_t exactEffectiveObs(uint32_t i, uint32_t j) const;
+
+    /** Bytes of on-chip SRAM an l x l 8-bit GWT occupies (Table 6). */
+    size_t sramBytes() const { return static_cast<size_t>(size_) * size_; }
+
+  private:
+    size_t
+    idx(uint32_t i, uint32_t j) const
+    {
+        return static_cast<size_t>(i) * size_ + j;
+    }
+
+    uint32_t size_;
+    std::vector<QWeight> quantized_;
+    std::vector<double> exact_;
+    std::vector<uint64_t> obsMask_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_GRAPH_WEIGHT_TABLE_HH

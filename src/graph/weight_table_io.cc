@@ -1,0 +1,110 @@
+#include "graph/weight_table_io.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'A', 'G', 'W', 'T'};
+constexpr uint32_t kVersion = 1;
+
+void
+writeAll(std::FILE *f, const void *data, size_t bytes,
+         const std::string &path)
+{
+    if (std::fwrite(data, 1, bytes, f) != bytes)
+        fatal("short write to " + path);
+}
+
+void
+readAll(std::FILE *f, void *data, size_t bytes, const std::string &path)
+{
+    if (std::fread(data, 1, bytes, f) != bytes)
+        fatal("short read from " + path);
+}
+
+} // namespace
+
+void
+saveWeightTable(const GlobalWeightTable &gwt, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open " + path + " for writing");
+
+    const uint32_t n = gwt.size();
+    writeAll(f, kMagic, sizeof(kMagic), path);
+    writeAll(f, &kVersion, sizeof(kVersion), path);
+    writeAll(f, &n, sizeof(n), path);
+
+    // Rows are written through the accessors so the on-disk layout is
+    // decoupled from the in-memory one.
+    std::vector<QWeight> qrow(n);
+    std::vector<double> erow(n);
+    std::vector<uint64_t> orow(n);
+    for (uint32_t i = 0; i < n; i++) {
+        for (uint32_t j = 0; j < n; j++)
+            qrow[j] = gwt.pairWeight(i, j);
+        writeAll(f, qrow.data(), n * sizeof(QWeight), path);
+    }
+    for (uint32_t i = 0; i < n; i++) {
+        for (uint32_t j = 0; j < n; j++)
+            orow[j] = gwt.pairObs(i, j);
+        writeAll(f, orow.data(), n * sizeof(uint64_t), path);
+    }
+    for (uint32_t i = 0; i < n; i++) {
+        for (uint32_t j = 0; j < n; j++)
+            erow[j] = gwt.exactWeight(i, j);
+        writeAll(f, erow.data(), n * sizeof(double), path);
+    }
+    if (std::fclose(f) != 0)
+        fatal("error closing " + path);
+}
+
+GlobalWeightTable
+loadWeightTable(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open " + path);
+
+    char magic[4];
+    uint32_t version = 0, n = 0;
+    readAll(f, magic, sizeof(magic), path);
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        std::fclose(f);
+        fatal(path + " is not a GWT image");
+    }
+    readAll(f, &version, sizeof(version), path);
+    if (version != kVersion) {
+        std::fclose(f);
+        fatal("unsupported GWT image version in " + path);
+    }
+    readAll(f, &n, sizeof(n), path);
+    if (n == 0 || n > 100000) {
+        std::fclose(f);
+        fatal("implausible GWT size in " + path);
+    }
+
+    const size_t total = static_cast<size_t>(n) * n;
+    std::vector<QWeight> quantized(total);
+    std::vector<uint64_t> obs(total);
+    std::vector<double> exact(total);
+    readAll(f, quantized.data(), total * sizeof(QWeight), path);
+    readAll(f, obs.data(), total * sizeof(uint64_t), path);
+    readAll(f, exact.data(), total * sizeof(double), path);
+    std::fclose(f);
+
+    return GlobalWeightTable(n, std::move(quantized), std::move(exact),
+                             std::move(obs));
+}
+
+} // namespace astrea

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Global Weight Table serialization.
+ *
+ * The GWT is the decoder's only device-dependent state: it is computed
+ * offline from calibration data and programmed into the FPGA's SRAM
+ * (and re-programmed when error rates drift, paper Sec. 8.2). This
+ * module provides the corresponding host-side workflow: a compact
+ * binary image of the quantized weights, observable parities and exact
+ * weights that can be written once and loaded by later runs without
+ * re-running DEM extraction and all-pairs Dijkstra.
+ *
+ * Format (little-endian):
+ *   magic "AGWT", u32 version, u32 size,
+ *   size*size u8 quantized weights,
+ *   size*size u64 observable masks,
+ *   size*size f64 exact decade weights.
+ */
+
+#ifndef ASTREA_GRAPH_WEIGHT_TABLE_IO_HH
+#define ASTREA_GRAPH_WEIGHT_TABLE_IO_HH
+
+#include <string>
+
+#include "graph/weight_table.hh"
+
+namespace astrea
+{
+
+/** Write a GWT image; calls fatal() on I/O failure. */
+void saveWeightTable(const GlobalWeightTable &gwt,
+                     const std::string &path);
+
+/** Load a GWT image; calls fatal() on malformed input. */
+GlobalWeightTable loadWeightTable(const std::string &path);
+
+} // namespace astrea
+
+#endif // ASTREA_GRAPH_WEIGHT_TABLE_IO_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hamming-weight distribution measurement (paper Sec. 4.2: Fig. 6,
+ * Tables 2 and 5).
+ *
+ * Measures how often syndrome vectors of each Hamming weight occur, and
+ * evaluates the paper's analytical upper-bound model (Eq. 1): each
+ * parity qubit's extraction flips a syndrome-bit pair with probability
+ * 8p, so H = 2E with E ~ Binomial(D, 8p), D = (d+1)(d^2-1)/2.
+ */
+
+#ifndef ASTREA_HARNESS_HW_HISTOGRAM_HH
+#define ASTREA_HARNESS_HW_HISTOGRAM_HH
+
+#include "common/stats.hh"
+#include "harness/memory_experiment.hh"
+
+namespace astrea
+{
+
+/** Measured Hamming-weight frequencies over a shot budget. */
+struct HwDistribution
+{
+    Histogram hist{64};
+    uint64_t shots = 0;
+
+    double
+    frequency(size_t h) const
+    {
+        return hist.frequency(h);
+    }
+
+    /** P(HW in [lo, hi]). */
+    double rangeFrequency(size_t lo, size_t hi) const;
+};
+
+/** Sample the Hamming-weight distribution (no decoding involved). */
+HwDistribution measureHwDistribution(const ExperimentContext &ctx,
+                                     uint64_t shots, uint64_t seed,
+                                     unsigned threads = 0);
+
+/**
+ * Analytical upper-bound probability of Hamming weight h (Eq. 1).
+ * Zero for odd h (the model flips bits in pairs).
+ */
+double analyticHwProbability(uint32_t distance, double p, uint32_t h);
+
+/** Analytical P(HW > h) under the same model. */
+double analyticHwTail(uint32_t distance, double p, uint32_t h);
+
+} // namespace astrea
+
+#endif // ASTREA_HARNESS_HW_HISTOGRAM_HH

@@ -1,0 +1,98 @@
+#include "harness/latency_stats.hh"
+
+#include <cmath>
+#include <mutex>
+
+#include "common/thread_pool.hh"
+
+namespace astrea
+{
+
+LatencyHistogram::LatencyHistogram(double bucket_ns, double max_ns)
+    : bucketNs_(bucket_ns),
+      counts_(static_cast<size_t>(std::ceil(max_ns / bucket_ns)), 0)
+{
+}
+
+void
+LatencyHistogram::add(double ns)
+{
+    stats_.add(ns);
+    size_t b = static_cast<size_t>(ns / bucketNs_);
+    if (b < counts_.size())
+        counts_[b]++;
+    else
+        overflow_++;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (size_t b = 0; b < counts_.size() && b < other.counts_.size();
+         b++) {
+        counts_[b] += other.counts_[b];
+    }
+    overflow_ += other.overflow_;
+    stats_.merge(other.stats_);
+}
+
+double
+LatencyHistogram::fractionAbove(double threshold_ns) const
+{
+    if (stats_.count() == 0)
+        return 0.0;
+    uint64_t above = overflow_;
+    for (size_t b = 0; b < counts_.size(); b++) {
+        if (bucketLowNs(b) >= threshold_ns)
+            above += counts_[b];
+    }
+    // Buckets straddling the threshold are counted conservatively by
+    // their lower edge; with 50 ns buckets against a 1000 ns deadline
+    // the bias is negligible.
+    return static_cast<double>(above) /
+           static_cast<double>(stats_.count());
+}
+
+double
+LatencyHistogram::bucketFraction(size_t b) const
+{
+    if (stats_.count() == 0 || b >= counts_.size())
+        return 0.0;
+    return static_cast<double>(counts_[b]) /
+           static_cast<double>(stats_.count());
+}
+
+LatencyHistogram
+measureLatencyDistribution(const ExperimentContext &ctx,
+                           const DecoderFactory &factory, uint64_t shots,
+                           uint64_t seed, unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultWorkerCount();
+    Rng root(seed);
+
+    LatencyHistogram total;
+    std::mutex merge_mutex;
+
+    parallelFor(shots, threads,
+                [&](unsigned worker, uint64_t begin, uint64_t end) {
+        Rng rng = root.split(worker);
+        auto decoder = factory(ctx);
+        LatencyHistogram local;
+        BitVec dets(ctx.circuit().numDetectors());
+        BitVec obs(ctx.circuit().numObservables());
+        for (uint64_t s = begin; s < end; s++) {
+            ctx.sampler().sample(rng, dets, obs);
+            auto defects = dets.onesIndices();
+            if (defects.empty())
+                continue;
+            DecodeResult dr = decoder->decode(defects);
+            local.add(dr.latencyNs);
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        total.merge(local);
+    });
+    return total;
+}
+
+} // namespace astrea

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Latency accounting (Figs. 3 and 9).
+ *
+ * A bucketed latency histogram with enough resolution to answer the
+ * paper's questions: mean / mean-over-nontrivial / max latency for the
+ * hardware decoders, and the fraction of syndromes a software decoder
+ * fails to finish within the 1 us real-time deadline.
+ */
+
+#ifndef ASTREA_HARNESS_LATENCY_STATS_HH
+#define ASTREA_HARNESS_LATENCY_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "harness/memory_experiment.hh"
+
+namespace astrea
+{
+
+/** Log-ish bucketed latency histogram (nanosecond samples). */
+class LatencyHistogram
+{
+  public:
+    /** Buckets of bucket_ns width covering [0, max_ns); overflow above. */
+    LatencyHistogram(double bucket_ns = 50.0, double max_ns = 10000.0);
+
+    void add(double ns);
+    void merge(const LatencyHistogram &other);
+
+    uint64_t samples() const { return stats_.count(); }
+    double meanNs() const { return stats_.mean(); }
+    double maxNs() const { return stats_.max(); }
+
+    /** Fraction of samples strictly above the threshold. */
+    double fractionAbove(double threshold_ns) const;
+
+    /** Fraction of samples inside bucket b's range. */
+    double bucketFraction(size_t b) const;
+    size_t numBuckets() const { return counts_.size(); }
+    double bucketLowNs(size_t b) const { return bucketNs_ * b; }
+
+  private:
+    double bucketNs_;
+    std::vector<uint64_t> counts_;
+    uint64_t overflow_ = 0;
+    RunningStats stats_;
+};
+
+/**
+ * Measure a decoder's per-shot latency distribution over sampled
+ * syndromes, counting only non-zero syndromes (trivial all-zero shots
+ * need no decode and would swamp the histogram).
+ */
+LatencyHistogram measureLatencyDistribution(const ExperimentContext &ctx,
+                                            const DecoderFactory &factory,
+                                            uint64_t shots, uint64_t seed,
+                                            unsigned threads = 0);
+
+} // namespace astrea
+
+#endif // ASTREA_HARNESS_LATENCY_STATS_HH

@@ -1,0 +1,98 @@
+#include "harness/sweeps.hh"
+
+#include "decoders/decoder.hh"
+
+namespace astrea
+{
+
+std::vector<SweepPoint>
+sweepPhysicalErrorRate(uint32_t distance, Basis basis,
+                       const std::vector<double> &ps,
+                       const std::vector<NamedFactory> &decoders,
+                       uint64_t shots, uint64_t seed, unsigned threads)
+{
+    std::vector<SweepPoint> out;
+    for (double p : ps) {
+        ExperimentConfig cfg;
+        cfg.distance = distance;
+        cfg.basis = basis;
+        cfg.physicalErrorRate = p;
+        ExperimentContext ctx(cfg);
+
+        SweepPoint point;
+        point.x = p;
+        for (const auto &d : decoders) {
+            point.results.push_back(runMemoryExperiment(
+                ctx, d.factory, shots, seed, threads));
+        }
+        out.push_back(std::move(point));
+    }
+    return out;
+}
+
+std::vector<SweepPoint>
+sweepDistance(const std::vector<uint32_t> &distances, Basis basis,
+              double p, const std::vector<NamedFactory> &decoders,
+              uint64_t shots, uint64_t seed, unsigned threads)
+{
+    std::vector<SweepPoint> out;
+    for (uint32_t d : distances) {
+        ExperimentConfig cfg;
+        cfg.distance = d;
+        cfg.basis = basis;
+        cfg.physicalErrorRate = p;
+        ExperimentContext ctx(cfg);
+
+        SweepPoint point;
+        point.x = static_cast<double>(d);
+        for (const auto &nf : decoders) {
+            point.results.push_back(runMemoryExperiment(
+                ctx, nf.factory, shots, seed, threads));
+        }
+        out.push_back(std::move(point));
+    }
+    return out;
+}
+
+std::vector<SweepPoint>
+sweepWeightThreshold(const ExperimentContext &ctx,
+                     const std::vector<double> &thresholds,
+                     AstreaGConfig base_config, uint64_t shots,
+                     uint64_t seed, unsigned threads)
+{
+    std::vector<SweepPoint> out;
+    for (double wth : thresholds) {
+        AstreaGConfig cfg = base_config;
+        cfg.weightThresholdDecades = wth;
+
+        SweepPoint point;
+        point.x = wth;
+        point.results.push_back(runMemoryExperiment(
+            ctx, astreaGFactory(cfg), shots, seed, threads));
+        out.push_back(std::move(point));
+    }
+    return out;
+}
+
+std::vector<SweepPoint>
+sweepDecodeBudget(const ExperimentContext &ctx,
+                  const std::vector<double> &budget_ns_values,
+                  AstreaGConfig base_config, uint64_t shots,
+                  uint64_t seed, unsigned threads)
+{
+    std::vector<SweepPoint> out;
+    for (double budget_ns : budget_ns_values) {
+        AstreaGConfig cfg = base_config;
+        cfg.cycleBudget = static_cast<uint64_t>(budget_ns *
+                                                kFpgaClockGHz);
+
+        SweepPoint point;
+        point.x = budget_ns;
+        point.results.push_back(runMemoryExperiment(
+            ctx, astreaGFactory(cfg), shots, seed, threads));
+        out.push_back(std::move(point));
+    }
+    return out;
+}
+
+} // namespace astrea

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Parameter-sweep helpers shared by the benchmark binaries.
+ *
+ * Each evaluation figure is a sweep over one knob: physical error rate
+ * (Figs. 12 and 14), code distance (Fig. 4), weight threshold
+ * (Fig. 13), or decode-time budget standing in for syndrome-transfer
+ * bandwidth (Table 7). These helpers run the sweep against one or more
+ * decoders over a shared per-point context so the expensive setup
+ * (DEM extraction, all-pairs Dijkstra) happens once per point.
+ */
+
+#ifndef ASTREA_HARNESS_SWEEPS_HH
+#define ASTREA_HARNESS_SWEEPS_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/memory_experiment.hh"
+
+namespace astrea
+{
+
+/** A named decoder entry for sweep tables. */
+struct NamedFactory
+{
+    std::string name;
+    DecoderFactory factory;
+};
+
+/** One sweep point's results, one ExperimentResult per decoder. */
+struct SweepPoint
+{
+    double x = 0.0;  ///< The swept value (p, d, Wth, or budget ns).
+    std::vector<ExperimentResult> results;
+};
+
+/** Sweep the physical error rate at fixed distance. */
+std::vector<SweepPoint> sweepPhysicalErrorRate(
+    uint32_t distance, Basis basis, const std::vector<double> &ps,
+    const std::vector<NamedFactory> &decoders, uint64_t shots,
+    uint64_t seed, unsigned threads = 0);
+
+/** Sweep the code distance at fixed physical error rate. */
+std::vector<SweepPoint> sweepDistance(
+    const std::vector<uint32_t> &distances, Basis basis, double p,
+    const std::vector<NamedFactory> &decoders, uint64_t shots,
+    uint64_t seed, unsigned threads = 0);
+
+/** Sweep Astrea-G's weight threshold over one shared context. */
+std::vector<SweepPoint> sweepWeightThreshold(
+    const ExperimentContext &ctx, const std::vector<double> &thresholds,
+    AstreaGConfig base_config, uint64_t shots, uint64_t seed,
+    unsigned threads = 0);
+
+/**
+ * Sweep Astrea-G's decode-time budget (Table 7): transmitting the
+ * syndrome for (1000 - t) ns leaves t ns of the 1 us deadline for
+ * decoding, i.e. a budget of t / 4 cycles at 250 MHz.
+ */
+std::vector<SweepPoint> sweepDecodeBudget(
+    const ExperimentContext &ctx,
+    const std::vector<double> &budget_ns_values, AstreaGConfig base_config,
+    uint64_t shots, uint64_t seed, unsigned threads = 0);
+
+} // namespace astrea
+
+#endif // ASTREA_HARNESS_SWEEPS_HH

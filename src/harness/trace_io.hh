@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Syndrome trace recording and replay.
+ *
+ * The paper's artifact ships example experiment data so results can be
+ * inspected without re-running the cluster jobs; the equivalent here
+ * is a compact binary trace of sampled shots — detection events plus
+ * the actual observable flips — that can be written once and replayed
+ * through any decoder deterministically. Uses: sharing regression
+ * corpora, comparing decoders on literally identical shots across
+ * machines, and feeding recorded hardware data (when available) into
+ * the decoders.
+ *
+ * Format (little-endian): magic "ASTR", u32 version, u32 numDetectors,
+ * u32 numObservables, u64 shotCount, then per shot a sparse record:
+ * u16 defect count, u32 defect indices..., u8 observable mask.
+ */
+
+#ifndef ASTREA_HARNESS_TRACE_IO_HH
+#define ASTREA_HARNESS_TRACE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decoders/decoder.hh"
+#include "harness/memory_experiment.hh"
+
+namespace astrea
+{
+
+/** One recorded shot. */
+struct TraceShot
+{
+    std::vector<uint32_t> defects;  ///< Sorted flipped detectors.
+    uint64_t observables = 0;       ///< Actual logical flips.
+};
+
+/** An in-memory syndrome trace. */
+struct SyndromeTrace
+{
+    uint32_t numDetectors = 0;
+    uint32_t numObservables = 0;
+    std::vector<TraceShot> shots;
+};
+
+/** Sample a trace from an experiment context. */
+SyndromeTrace recordTrace(const ExperimentContext &ctx, uint64_t shots,
+                          uint64_t seed);
+
+/** Write a trace; calls fatal() on I/O failure. */
+void saveTrace(const SyndromeTrace &trace, const std::string &path);
+
+/** Read a trace; calls fatal() on malformed input. */
+SyndromeTrace loadTrace(const std::string &path);
+
+/** Replay statistics. */
+struct ReplayResult
+{
+    uint64_t shots = 0;
+    uint64_t logicalErrors = 0;
+    uint64_t gaveUps = 0;
+
+    double
+    ler() const
+    {
+        return shots ? static_cast<double>(logicalErrors) /
+                           static_cast<double>(shots)
+                     : 0.0;
+    }
+};
+
+/** Decode every shot of a trace with the given decoder. */
+ReplayResult replayTrace(const SyndromeTrace &trace, Decoder &decoder);
+
+} // namespace astrea
+
+#endif // ASTREA_HARNESS_TRACE_IO_HH

@@ -1,0 +1,151 @@
+#include "interop/stim_export.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+namespace
+{
+
+std::string
+formatProbArg(double p)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "(%.10g)", p);
+    return buf;
+}
+
+void
+appendTargets(std::string &out, const std::vector<uint32_t> &targets)
+{
+    for (auto t : targets) {
+        out += ' ';
+        out += std::to_string(t);
+    }
+}
+
+} // namespace
+
+std::string
+toStimCircuit(const Circuit &circuit)
+{
+    std::string out;
+    uint32_t measurements_so_far = 0;
+
+    for (const auto &op : circuit.instructions()) {
+        switch (op.type) {
+          case GateType::R:
+            out += "R";
+            appendTargets(out, op.targets);
+            break;
+          case GateType::M:
+            out += "M";
+            appendTargets(out, op.targets);
+            measurements_so_far +=
+                static_cast<uint32_t>(op.targets.size());
+            break;
+          case GateType::MR:
+            out += "MR";
+            appendTargets(out, op.targets);
+            measurements_so_far +=
+                static_cast<uint32_t>(op.targets.size());
+            break;
+          case GateType::H:
+            out += "H";
+            appendTargets(out, op.targets);
+            break;
+          case GateType::CX:
+            out += "CX";
+            appendTargets(out, op.targets);
+            break;
+          case GateType::XError:
+            out += "X_ERROR" + formatProbArg(op.arg);
+            appendTargets(out, op.targets);
+            break;
+          case GateType::ZError:
+            out += "Z_ERROR" + formatProbArg(op.arg);
+            appendTargets(out, op.targets);
+            break;
+          case GateType::Depolarize1:
+            out += "DEPOLARIZE1" + formatProbArg(op.arg);
+            appendTargets(out, op.targets);
+            break;
+          case GateType::Depolarize2:
+            out += "DEPOLARIZE2" + formatProbArg(op.arg);
+            appendTargets(out, op.targets);
+            break;
+          case GateType::Detector: {
+            out += "DETECTOR";
+            for (auto m : op.targets) {
+                // Absolute record index -> Stim's relative lookback.
+                ASTREA_CHECK(m < measurements_so_far,
+                             "detector references future measurement");
+                out += " rec[-" +
+                       std::to_string(measurements_so_far - m) + "]";
+            }
+            break;
+          }
+          case GateType::ObservableInclude: {
+            out += "OBSERVABLE_INCLUDE(" +
+                   std::to_string(static_cast<uint32_t>(op.arg)) + ")";
+            for (auto m : op.targets) {
+                ASTREA_CHECK(m < measurements_so_far,
+                             "observable references future "
+                             "measurement");
+                out += " rec[-" +
+                       std::to_string(measurements_so_far - m) + "]";
+            }
+            break;
+          }
+          case GateType::Tick:
+            out += "TICK";
+            break;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+toStimDem(const ErrorModel &model)
+{
+    std::string out;
+    for (const auto &mech : model.mechanisms()) {
+        char head[48];
+        std::snprintf(head, sizeof(head), "error(%.10g)",
+                      mech.probability);
+        out += head;
+        for (auto d : mech.detectors) {
+            out += " D";
+            out += std::to_string(d);
+        }
+        uint64_t mask = mech.observables;
+        while (mask) {
+            int b = __builtin_ctzll(mask);
+            mask &= mask - 1;
+            out += " L";
+            out += std::to_string(b);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open " + path + " for writing");
+    if (std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+        std::fclose(f);
+        fatal("short write to " + path);
+    }
+    if (std::fclose(f) != 0)
+        fatal("error closing " + path);
+}
+
+} // namespace astrea

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Export to Stim's text formats.
+ *
+ * The paper's evaluation runs on (a modified) Stim; our simulator is
+ * self-contained, but emitting the generated circuits in Stim's
+ * circuit language and the extracted error models in Stim's detector-
+ * error-model (.dem) language lets downstream users cross-validate
+ * against the reference ecosystem (stim + PyMatching) and reuse the
+ * circuits elsewhere.
+ *
+ * Supported subset: exactly the gates the IR defines (R, M, MR, H, CX,
+ * X_ERROR, DEPOLARIZE1/2, TICK, DETECTOR, OBSERVABLE_INCLUDE).
+ * Detector measurement references are converted from this library's
+ * absolute record indices to Stim's relative rec[-k] lookbacks.
+ */
+
+#ifndef ASTREA_INTEROP_STIM_EXPORT_HH
+#define ASTREA_INTEROP_STIM_EXPORT_HH
+
+#include <string>
+
+#include "circuit/circuit.hh"
+#include "dem/error_model.hh"
+
+namespace astrea
+{
+
+/** Render a circuit in Stim's circuit language. */
+std::string toStimCircuit(const Circuit &circuit);
+
+/** Render an error model in Stim's detector-error-model language. */
+std::string toStimDem(const ErrorModel &model);
+
+/** Write text to a file; fatal() on failure. */
+void writeTextFile(const std::string &path, const std::string &text);
+
+} // namespace astrea
+
+#endif // ASTREA_INTEROP_STIM_EXPORT_HH

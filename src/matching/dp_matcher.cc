@@ -1,0 +1,75 @@
+#include "matching/dp_matcher.hh"
+
+#include <bit>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+MatchingSolution
+dpMatchWithBoundary(int n,
+                    const std::function<double(int, int)> &pair_weight,
+                    const std::function<double(int)> &boundary_weight)
+{
+    ASTREA_CHECK(n >= 0 && n <= 20, "DP matcher supports up to 20 defects");
+    MatchingSolution sol;
+    if (n == 0)
+        return sol;
+
+    const uint32_t full = (1u << n) - 1;
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> f(full + 1, inf);
+    f[0] = 0.0;
+
+    // f[S] = min weight to resolve the defect subset S. Process subsets
+    // in increasing order; every predecessor of S is smaller than S.
+    for (uint32_t s = 1; s <= full; s++) {
+        int i = std::countr_zero(s);
+        uint32_t without_i = s & (s - 1);
+        // Option 1: defect i matches the boundary.
+        double best = boundary_weight(i) + f[without_i];
+        // Option 2: defect i pairs with some j in S.
+        uint32_t rest = without_i;
+        while (rest) {
+            int j = std::countr_zero(rest);
+            rest &= rest - 1;
+            double w = pair_weight(i, j) + f[without_i & ~(1u << j)];
+            if (w < best)
+                best = w;
+        }
+        f[s] = best;
+    }
+
+    sol.totalWeight = f[full];
+
+    // Reconstruct by re-deriving the winning choice at each step.
+    uint32_t s = full;
+    while (s) {
+        int i = std::countr_zero(s);
+        uint32_t without_i = s & (s - 1);
+        if (boundary_weight(i) + f[without_i] == f[s]) {
+            sol.pairs.push_back({i, -1});
+            s = without_i;
+            continue;
+        }
+        bool found = false;
+        uint32_t rest = without_i;
+        while (rest) {
+            int j = std::countr_zero(rest);
+            rest &= rest - 1;
+            uint32_t next = without_i & ~(1u << j);
+            if (pair_weight(i, j) + f[next] == f[s]) {
+                sol.pairs.push_back({i, j});
+                s = next;
+                found = true;
+                break;
+            }
+        }
+        ASTREA_CHECK(found, "DP reconstruction failed");
+    }
+    return sol;
+}
+
+} // namespace astrea

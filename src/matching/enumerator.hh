@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Exhaustive perfect-matching enumeration (Astrea's search, in software).
+ *
+ * A set of w nodes has (w-1)!! = w! / (2^(w/2) (w/2)!) perfect matchings
+ * (paper Eq. 2): 3 for w = 4, 15 for w = 6, 105 for w = 8, 945 for
+ * w = 10. The enumerator walks them in the same canonical order the
+ * hardware does — always extending the lowest-index unmatched node — so
+ * the HW6Decoder tables and the pre-matching schedules for Hamming
+ * weights 8 and 10 can be derived from it directly.
+ */
+
+#ifndef ASTREA_MATCHING_ENUMERATOR_HH
+#define ASTREA_MATCHING_ENUMERATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace astrea
+{
+
+/** A perfect matching as index pairs (i < j) over nodes 0..m-1. */
+using PairList = std::vector<std::pair<int, int>>;
+
+/** Number of perfect matchings of m nodes: (m-1)!! for even m. */
+uint64_t perfectMatchingCount(int m);
+
+/**
+ * Visit every perfect matching of m nodes (m even) in canonical order.
+ * The callback may not retain the reference past its invocation.
+ */
+void forEachPerfectMatching(int m,
+                            const std::function<void(const PairList &)>
+                                &visit);
+
+/**
+ * All perfect matchings of m nodes, materialized. Intended for small m
+ * (the HW6Decoder uses m = 6: 15 matchings).
+ */
+std::vector<PairList> allPerfectMatchings(int m);
+
+/**
+ * Exhaustive minimum-weight perfect matching.
+ *
+ * @param m Even node count.
+ * @param pair_weight pair_weight(i, j), i < j.
+ * @param best_out Out: the winning matching.
+ * @return The minimum total weight.
+ */
+double exhaustiveMinWeightMatching(
+    int m, const std::function<double(int, int)> &pair_weight,
+    PairList &best_out);
+
+} // namespace astrea
+
+#endif // ASTREA_MATCHING_ENUMERATOR_HH

@@ -1,0 +1,174 @@
+#include "sim/batch_frame_sim.hh"
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+BatchFrameSimulator::BatchFrameSimulator(const Circuit &circuit)
+    : circuit_(circuit),
+      xFlip_(circuit.numQubits(), 0),
+      zFlip_(circuit.numQubits(), 0),
+      measFlip_(circuit.numMeasurements(), 0)
+{
+}
+
+uint64_t
+BatchFrameSimulator::bernoulliMask(Rng &rng, double p)
+{
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return ~0ull;
+    // Geometric skipping across the 64 bit positions: O(p * 64 + 1)
+    // work per word instead of 64 uniform draws.
+    uint64_t mask = 0;
+    uint64_t pos = rng.geometricSkip(p);
+    while (pos < 64) {
+        mask |= (1ull << pos);
+        uint64_t skip = rng.geometricSkip(p);
+        if (skip == ~0ull)
+            break;
+        pos += skip + 1;
+    }
+    return mask;
+}
+
+void
+BatchFrameSimulator::sampleBatch(Rng &rng,
+                                 std::vector<uint64_t> &detector_words,
+                                 std::vector<uint64_t> &observable_words)
+{
+    for (auto &w : xFlip_)
+        w = 0;
+    for (auto &w : zFlip_)
+        w = 0;
+    for (auto &w : measFlip_)
+        w = 0;
+    detector_words.assign(circuit_.numDetectors(), 0);
+    observable_words.assign(circuit_.numObservables(), 0);
+
+    uint32_t meas_cursor = 0;
+    uint32_t det_cursor = 0;
+
+    for (const auto &op : circuit_.instructions()) {
+        switch (op.type) {
+          case GateType::R:
+            for (auto q : op.targets) {
+                xFlip_[q] = 0;
+                zFlip_[q] = 0;
+            }
+            break;
+          case GateType::M:
+            for (auto q : op.targets)
+                measFlip_[meas_cursor++] = xFlip_[q];
+            break;
+          case GateType::MR:
+            for (auto q : op.targets) {
+                measFlip_[meas_cursor++] = xFlip_[q];
+                xFlip_[q] = 0;
+                zFlip_[q] = 0;
+            }
+            break;
+          case GateType::H:
+            for (auto q : op.targets)
+                std::swap(xFlip_[q], zFlip_[q]);
+            break;
+          case GateType::CX:
+            for (size_t t = 0; t + 1 < op.targets.size(); t += 2) {
+                uint32_t c = op.targets[t];
+                uint32_t tq = op.targets[t + 1];
+                xFlip_[tq] ^= xFlip_[c];
+                zFlip_[c] ^= zFlip_[tq];
+            }
+            break;
+          case GateType::XError:
+            for (auto q : op.targets)
+                xFlip_[q] ^= bernoulliMask(rng, op.arg);
+            break;
+          case GateType::ZError:
+            for (auto q : op.targets)
+                zFlip_[q] ^= bernoulliMask(rng, op.arg);
+            break;
+          case GateType::Depolarize1:
+            for (auto q : op.targets) {
+                uint64_t fire = bernoulliMask(rng, op.arg);
+                // Each firing shot draws X, Y or Z uniformly; the
+                // firing set is sparse, so resolve per bit.
+                while (fire) {
+                    int b = __builtin_ctzll(fire);
+                    fire &= fire - 1;
+                    uint64_t k = rng.uniformInt(3) + 1;
+                    if (k & 1)
+                        xFlip_[q] ^= (1ull << b);
+                    if (k & 2)
+                        zFlip_[q] ^= (1ull << b);
+                }
+            }
+            break;
+          case GateType::Depolarize2:
+            for (size_t t = 0; t + 1 < op.targets.size(); t += 2) {
+                uint32_t q1 = op.targets[t];
+                uint32_t q2 = op.targets[t + 1];
+                uint64_t fire = bernoulliMask(rng, op.arg);
+                while (fire) {
+                    int b = __builtin_ctzll(fire);
+                    fire &= fire - 1;
+                    uint64_t k = rng.uniformInt(15) + 1;
+                    uint64_t p1 = k >> 2, p2 = k & 3;
+                    if (p1 & 1)
+                        xFlip_[q1] ^= (1ull << b);
+                    if (p1 & 2)
+                        zFlip_[q1] ^= (1ull << b);
+                    if (p2 & 1)
+                        xFlip_[q2] ^= (1ull << b);
+                    if (p2 & 2)
+                        zFlip_[q2] ^= (1ull << b);
+                }
+            }
+            break;
+          case GateType::Detector: {
+            uint64_t parity = 0;
+            for (auto m : op.targets)
+                parity ^= measFlip_[m];
+            detector_words[det_cursor++] = parity;
+            break;
+          }
+          case GateType::ObservableInclude: {
+            uint64_t parity = 0;
+            for (auto m : op.targets)
+                parity ^= measFlip_[m];
+            observable_words[static_cast<size_t>(op.arg)] ^= parity;
+            break;
+          }
+          case GateType::Tick:
+            break;
+        }
+    }
+}
+
+uint32_t
+BatchFrameSimulator::shotWeight(const std::vector<uint64_t> &det_words,
+                                uint32_t shot)
+{
+    ASTREA_CHECK(shot < kBatch, "shot index out of batch range");
+    uint32_t weight = 0;
+    for (auto w : det_words)
+        weight += static_cast<uint32_t>((w >> shot) & 1);
+    return weight;
+}
+
+std::vector<uint32_t>
+BatchFrameSimulator::shotDefects(const std::vector<uint64_t> &det_words,
+                                 uint32_t shot)
+{
+    ASTREA_CHECK(shot < kBatch, "shot index out of batch range");
+    std::vector<uint32_t> defects;
+    for (uint32_t d = 0; d < det_words.size(); d++) {
+        if ((det_words[d] >> shot) & 1)
+            defects.push_back(d);
+    }
+    return defects;
+}
+
+} // namespace astrea

@@ -1,0 +1,70 @@
+#include "sim/dem_sampler.hh"
+
+#include <map>
+
+namespace astrea
+{
+
+DemSampler::DemSampler(const ErrorModel &model)
+    : numDetectors_(model.numDetectors()),
+      numObservables_(model.numObservables())
+{
+    const auto &mechs = model.mechanisms();
+
+    detOffset_.reserve(mechs.size() + 1);
+    detOffset_.push_back(0);
+    obsMask_.reserve(mechs.size());
+    for (const auto &m : mechs) {
+        for (auto d : m.detectors)
+            detFlat_.push_back(d);
+        detOffset_.push_back(static_cast<uint32_t>(detFlat_.size()));
+        obsMask_.push_back(m.observables);
+    }
+
+    std::map<double, std::vector<uint32_t>> by_prob;
+    for (uint32_t i = 0; i < mechs.size(); i++)
+        by_prob[mechs[i].probability].push_back(i);
+    for (auto &[p, members] : by_prob)
+        groups_.push_back({p, std::move(members)});
+}
+
+void
+DemSampler::sample(Rng &rng, BitVec &detectors, BitVec &observables,
+                   std::vector<uint32_t> *fired) const
+{
+    if (detectors.size() != numDetectors_)
+        detectors = BitVec(numDetectors_);
+    else
+        detectors.clear();
+    if (observables.size() != numObservables_)
+        observables = BitVec(numObservables_);
+    else
+        observables.clear();
+    if (fired)
+        fired->clear();
+
+    for (const auto &g : groups_) {
+        uint64_t i = rng.geometricSkip(g.prob);
+        while (i < g.members.size()) {
+            uint32_t mech = g.members[i];
+            for (uint32_t k = detOffset_[mech]; k < detOffset_[mech + 1];
+                 k++) {
+                detectors.flip(detFlat_[k]);
+            }
+            uint64_t mask = obsMask_[mech];
+            while (mask) {
+                int b = __builtin_ctzll(mask);
+                observables.flip(static_cast<size_t>(b));
+                mask &= mask - 1;
+            }
+            if (fired)
+                fired->push_back(mech);
+            uint64_t skip = rng.geometricSkip(g.prob);
+            if (skip == ~0ull)
+                break;
+            i += skip + 1;
+        }
+    }
+}
+
+} // namespace astrea

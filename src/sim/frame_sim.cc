@@ -1,0 +1,240 @@
+#include "sim/frame_sim.hh"
+
+#include <cassert>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+FrameSimulator::FrameSimulator(const Circuit &circuit)
+    : circuit_(circuit),
+      xFlip_(circuit.numQubits(), 0),
+      zFlip_(circuit.numQubits(), 0),
+      measFlip_(circuit.numMeasurements(), 0)
+{
+    // Precompute the measurement-record offset at each instruction so
+    // injected propagations can start mid-circuit.
+    measBase_.reserve(circuit.instructions().size() + 1);
+    uint32_t cursor = 0;
+    for (const auto &op : circuit.instructions()) {
+        measBase_.push_back(cursor);
+        if (op.type == GateType::M || op.type == GateType::MR)
+            cursor += static_cast<uint32_t>(op.targets.size());
+    }
+    measBase_.push_back(cursor);
+}
+
+void
+FrameSimulator::sample(Rng &rng, BitVec &detectors, BitVec &observables)
+{
+    run(&rng, 0, detectors, observables);
+}
+
+void
+FrameSimulator::propagateInjection(size_t op_index,
+                                   const std::vector<PauliFlip> &flips,
+                                   BitVec &detectors, BitVec &observables)
+{
+    ASTREA_CHECK(op_index < circuit_.instructions().size(),
+                 "injection index out of range");
+    // Reset state, apply the fault, then run noiselessly from the
+    // instruction *after* the injected one (the injected instruction is
+    // the noise channel itself, which has no other effect).
+    for (auto &f : xFlip_)
+        f = 0;
+    for (auto &f : zFlip_)
+        f = 0;
+    for (auto &f : measFlip_)
+        f = 0;
+    for (const auto &pf : flips) {
+        assert(pf.qubit < xFlip_.size());
+        xFlip_[pf.qubit] ^= pf.flipX;
+        zFlip_[pf.qubit] ^= pf.flipZ;
+    }
+    measCursor_ = measBase_[op_index + 1];
+    run(nullptr, op_index + 1, detectors, observables);
+}
+
+void
+FrameSimulator::propagateFaultSet(const std::vector<Fault> &faults,
+                                  BitVec &detectors, BitVec &observables)
+{
+    for (size_t i = 1; i < faults.size(); i++) {
+        ASTREA_CHECK(faults[i - 1].opIndex <= faults[i].opIndex,
+                     "fault set must be sorted by instruction");
+    }
+    run(nullptr, 0, detectors, observables, &faults);
+}
+
+void
+FrameSimulator::run(Rng *rng, size_t start_op, BitVec &detectors,
+                    BitVec &observables,
+                    const std::vector<Fault> *faults)
+{
+    if (start_op == 0) {
+        for (auto &f : xFlip_)
+            f = 0;
+        for (auto &f : zFlip_)
+            f = 0;
+        for (auto &f : measFlip_)
+            f = 0;
+        measCursor_ = 0;
+    }
+    if (detectors.size() != circuit_.numDetectors())
+        detectors = BitVec(circuit_.numDetectors());
+    else
+        detectors.clear();
+    if (observables.size() != circuit_.numObservables())
+        observables = BitVec(circuit_.numObservables());
+    else
+        observables.clear();
+
+    uint32_t det_cursor = 0;
+    const auto &ops = circuit_.instructions();
+    // Detector instructions before start_op still need their indices
+    // counted (their parity is zero since measFlip_ starts cleared, but
+    // detector numbering must stay aligned).
+    for (size_t i = 0; i < start_op; i++) {
+        if (ops[i].type == GateType::Detector)
+            det_cursor++;
+    }
+
+    size_t fault_cursor = 0;
+    if (faults) {
+        // Faults before start_op would be silently skipped; reject.
+        ASTREA_CHECK(faults->empty() ||
+                         (*faults)[0].opIndex >= start_op,
+                     "fault precedes propagation start");
+    }
+
+    for (size_t i = start_op; i < ops.size(); i++) {
+        const Instruction &op = ops[i];
+        switch (op.type) {
+          case GateType::R:
+            for (auto q : op.targets) {
+                xFlip_[q] = 0;
+                zFlip_[q] = 0;
+            }
+            break;
+          case GateType::M:
+            for (auto q : op.targets)
+                measFlip_[measCursor_++] = xFlip_[q];
+            break;
+          case GateType::MR:
+            for (auto q : op.targets) {
+                measFlip_[measCursor_++] = xFlip_[q];
+                xFlip_[q] = 0;
+                zFlip_[q] = 0;
+            }
+            break;
+          case GateType::H:
+            for (auto q : op.targets)
+                std::swap(xFlip_[q], zFlip_[q]);
+            break;
+          case GateType::CX:
+            for (size_t t = 0; t + 1 < op.targets.size(); t += 2) {
+                uint32_t c = op.targets[t];
+                uint32_t tq = op.targets[t + 1];
+                xFlip_[tq] ^= xFlip_[c];
+                zFlip_[c] ^= zFlip_[tq];
+            }
+            break;
+          case GateType::XError:
+          case GateType::ZError:
+          case GateType::Depolarize1:
+          case GateType::Depolarize2:
+            if (rng)
+                applyNoise(op, *rng);
+            break;
+          case GateType::Detector: {
+            uint8_t parity = 0;
+            for (auto m : op.targets)
+                parity ^= measFlip_[m];
+            if (parity)
+                detectors.set(det_cursor);
+            det_cursor++;
+            break;
+          }
+          case GateType::ObservableInclude: {
+            uint8_t parity = 0;
+            for (auto m : op.targets)
+                parity ^= measFlip_[m];
+            if (parity)
+                observables.flip(static_cast<size_t>(op.arg));
+            break;
+          }
+          case GateType::Tick:
+            break;
+        }
+
+        // Apply injected faults scheduled at this instruction (they
+        // model the instruction's noise channel firing).
+        if (faults) {
+            while (fault_cursor < faults->size() &&
+                   (*faults)[fault_cursor].opIndex == i) {
+                for (const auto &pf : (*faults)[fault_cursor].flips) {
+                    xFlip_[pf.qubit] ^= pf.flipX;
+                    zFlip_[pf.qubit] ^= pf.flipZ;
+                }
+                fault_cursor++;
+            }
+        }
+    }
+}
+
+void
+FrameSimulator::applyNoise(const Instruction &op, Rng &rng)
+{
+    const double p = op.arg;
+    switch (op.type) {
+      case GateType::XError:
+        for (auto q : op.targets) {
+            if (rng.bernoulli(p))
+                xFlip_[q] ^= 1;
+        }
+        break;
+      case GateType::ZError:
+        for (auto q : op.targets) {
+            if (rng.bernoulli(p))
+                zFlip_[q] ^= 1;
+        }
+        break;
+      case GateType::Depolarize1:
+        for (auto q : op.targets) {
+            if (rng.bernoulli(p)) {
+                // Uniform over {X, Y, Z}: 1 = X, 2 = Z, 3 = Y.
+                uint64_t k = rng.uniformInt(3) + 1;
+                if (k & 1)
+                    xFlip_[q] ^= 1;
+                if (k & 2)
+                    zFlip_[q] ^= 1;
+            }
+        }
+        break;
+      case GateType::Depolarize2:
+        for (size_t t = 0; t + 1 < op.targets.size(); t += 2) {
+            if (rng.bernoulli(p)) {
+                // Uniform over the 15 non-identity two-qubit Paulis:
+                // encode as (p1, p2) in {0..3}^2 \ {(0,0)} with
+                // bit 0 = X component, bit 1 = Z component.
+                uint64_t k = rng.uniformInt(15) + 1;
+                uint64_t p1 = k >> 2, p2 = k & 3;
+                uint32_t q1 = op.targets[t], q2 = op.targets[t + 1];
+                if (p1 & 1)
+                    xFlip_[q1] ^= 1;
+                if (p1 & 2)
+                    zFlip_[q1] ^= 1;
+                if (p2 & 1)
+                    xFlip_[q2] ^= 1;
+                if (p2 & 2)
+                    zFlip_[q2] ^= 1;
+            }
+        }
+        break;
+      default:
+        panic("applyNoise on non-noise instruction");
+    }
+}
+
+} // namespace astrea

@@ -1,0 +1,131 @@
+#include "stream/window_decoder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+WindowDecoder::WindowDecoder(const GlobalWeightTable &gwt,
+                             const std::vector<DetectorInfo> &info,
+                             uint32_t total_rounds, uint32_t distance,
+                             std::unique_ptr<Decoder> inner,
+                             StreamingConfig config)
+    : gwt_(gwt), detectorInfo_(info), totalRounds_(total_rounds),
+      windowRounds_(config.windowRounds ? config.windowRounds
+                                        : 2 * distance),
+      commitRounds_(config.commitRounds ? config.commitRounds
+                                        : distance),
+      inner_(std::move(inner))
+{
+    ASTREA_CHECK(commitRounds_ >= 1 && windowRounds_ > commitRounds_,
+                 "window must be larger than the commit region");
+    ASTREA_CHECK(inner_ != nullptr, "inner decoder required");
+    ASTREA_CHECK(detectorInfo_.size() == gwt_.size(),
+                 "detector metadata size mismatch");
+}
+
+std::string
+WindowDecoder::name() const
+{
+    return "Windowed(" + inner_->name() + ")";
+}
+
+DecodeResult
+WindowDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    stats_.decodes++;
+    DecodeResult result;
+    if (defects.empty())
+        return result;
+
+    // Bucket defects by round.
+    std::vector<std::vector<uint32_t>> by_round(totalRounds_);
+    for (auto d : defects) {
+        uint32_t r = detectorInfo_[d].round;
+        ASTREA_CHECK(r < totalRounds_, "defect round out of range");
+        by_round[r].push_back(d);
+    }
+
+    std::vector<uint32_t> carried;
+    uint32_t t0 = 0;
+    while (true) {
+        const uint32_t w_end =
+            std::min(t0 + windowRounds_, totalRounds_);
+        const bool last = (w_end == totalRounds_);
+        const uint32_t commit_end = last ? totalRounds_
+                                         : t0 + commitRounds_;
+
+        // Assemble the window: carried past defects plus everything in
+        // [t0, w_end).
+        std::vector<uint32_t> window = carried;
+        stats_.carriedDefects += carried.size();
+        carried.clear();
+        for (uint32_t r = t0; r < w_end; r++) {
+            window.insert(window.end(), by_round[r].begin(),
+                          by_round[r].end());
+        }
+        std::sort(window.begin(), window.end());
+
+        if (!window.empty()) {
+            stats_.windows++;
+            stats_.maxWindowDefects =
+                std::max(stats_.maxWindowDefects, window.size());
+
+            DecodeResult dr = inner_->decode(window);
+            result.cycles += dr.cycles;
+            result.latencyNs = std::max(result.latencyNs, dr.latencyNs);
+
+            if (dr.gaveUp || dr.matchedPairs.empty()) {
+                // Either the inner decoder failed on this window or it
+                // does not report matchings (e.g. Astrea-G's pipeline
+                // path): the commit-region defects are dropped
+                // uncorrected and the shot will very likely count as a
+                // logical error.
+                result.gaveUp = true;
+            } else {
+                for (auto [a, b] : dr.matchedPairs) {
+                    uint32_t da = window[a];
+                    uint32_t ra = detectorInfo_[da].round;
+                    if (b < 0) {
+                        // Boundary match: commit once its round is in
+                        // the committed region.
+                        if (ra < commit_end) {
+                            result.obsMask ^= gwt_.pairObs(da, da);
+                            result.matchingWeight +=
+                                gwt_.exactWeight(da, da);
+                        }
+                        continue;
+                    }
+                    uint32_t db = window[b];
+                    uint32_t rb = detectorInfo_[db].round;
+                    uint32_t lo = std::min(ra, rb);
+                    uint32_t hi = std::max(ra, rb);
+                    if (hi < commit_end) {
+                        // Entirely inside the commit region: commit.
+                        result.obsMask ^=
+                            gwt_.exactEffectiveObs(da, db);
+                        result.matchingWeight +=
+                            gwt_.exactEffectiveWeight(da, db);
+                    } else if (lo < commit_end) {
+                        // Straddles the commit boundary: the early
+                        // defect's decision is deferred; carry it into
+                        // the next window (the late defect re-enters
+                        // naturally).
+                        carried.push_back(ra < rb ? da : db);
+                    }
+                    // Both beyond the commit region: future windows
+                    // own the decision.
+                }
+            }
+        }
+
+        if (last)
+            break;
+        t0 += commitRounds_;
+    }
+    return result;
+}
+
+} // namespace astrea

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sliding-window streaming decoder.
+ *
+ * The paper's experiments decode one logical cycle (d rounds) at a
+ * time, but a deployed real-time decoder faces an unbounded stream of
+ * syndrome rounds: corrections for old rounds must be committed while
+ * new rounds keep arriving, with bounded work per step. The standard
+ * solution is overlapping windows: decode W consecutive rounds, commit
+ * only the matching decisions whose defects both fall in the oldest C
+ * rounds (the commit region), slide forward by C, and carry forward
+ * any committed-region defect whose best match reached into the
+ * still-uncertain future rounds.
+ *
+ * This module implements that scheme on top of any inner decoder that
+ * reports its matching (DecodeResult::matchedPairs), using the
+ * experiment's full-stream Global Weight Table for weights. Tests and
+ * the streaming bench show the windowed decoder's logical error rate
+ * tracks whole-stream decoding while bounding per-window work.
+ */
+
+#ifndef ASTREA_STREAM_WINDOW_DECODER_HH
+#define ASTREA_STREAM_WINDOW_DECODER_HH
+
+#include <memory>
+
+#include "decoders/decoder.hh"
+#include "circuit/circuit.hh"
+#include "graph/weight_table.hh"
+
+namespace astrea
+{
+
+/** Windowing parameters. */
+struct StreamingConfig
+{
+    uint32_t windowRounds = 0;  ///< W; 0 means 2 * distance.
+    uint32_t commitRounds = 0;  ///< C; 0 means distance.
+};
+
+/** Streaming statistics across decodes. */
+struct StreamingStats
+{
+    uint64_t decodes = 0;
+    uint64_t windows = 0;
+    uint64_t carriedDefects = 0;
+    /** Largest defect count any single window decoded. */
+    size_t maxWindowDefects = 0;
+};
+
+/**
+ * Overlapping-window streaming decoder.
+ *
+ * Decodes full-shot defect lists window by window; usable anywhere a
+ * Decoder is (the harness drives it like any other decoder, so LER
+ * comparisons against whole-shot decoding are direct).
+ */
+class WindowDecoder : public Decoder
+{
+  public:
+    /**
+     * @param gwt Weight table of the full R-round experiment.
+     * @param detector_info Per-detector metadata (for round lookup).
+     * @param total_rounds Number of detector rounds including the
+     *        final data-measurement comparison round (rounds + 1).
+     * @param inner Inner matcher; must fill matchedPairs (MWPM,
+     *        Astrea, greedy).
+     * @param config Window geometry; distance supplies the defaults.
+     */
+    WindowDecoder(const GlobalWeightTable &gwt,
+                  const std::vector<DetectorInfo> &detector_info,
+                  uint32_t total_rounds, uint32_t distance,
+                  std::unique_ptr<Decoder> inner,
+                  StreamingConfig config = {});
+
+    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    std::string name() const override;
+
+    const StreamingStats &stats() const { return stats_; }
+    uint32_t windowRounds() const { return windowRounds_; }
+    uint32_t commitRounds() const { return commitRounds_; }
+
+  private:
+    const GlobalWeightTable &gwt_;
+    const std::vector<DetectorInfo> &detectorInfo_;
+    uint32_t totalRounds_;
+    uint32_t windowRounds_;
+    uint32_t commitRounds_;
+    std::unique_ptr<Decoder> inner_;
+    StreamingStats stats_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_STREAM_WINDOW_DECODER_HH

@@ -1,0 +1,116 @@
+#include "surface_code/layout.hh"
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+SurfaceCodeLayout::SurfaceCodeLayout(uint32_t distance)
+    : distance_(distance)
+{
+    if (distance < 3 || distance % 2 == 0)
+        fatal("surface code distance must be odd and >= 3");
+
+    const uint32_t d = distance;
+    uint32_t next_ancilla = numDataQubits();
+
+    // Walk plaquette candidates in (pr, pc) order so plaquette indices
+    // are deterministic across runs.
+    for (uint32_t pr = 0; pr <= d; pr++) {
+        for (uint32_t pc = 0; pc <= d; pc++) {
+            Basis basis = ((pr + pc) % 2 == 0) ? Basis::Z : Basis::X;
+
+            bool top = (pr == 0), bottom = (pr == d);
+            bool left = (pc == 0), right = (pc == d);
+
+            // Corners are excluded (single data neighbor); edges host
+            // only the matching boundary type.
+            if ((top || bottom) && (left || right))
+                continue;
+            if ((top || bottom) && basis != Basis::X)
+                continue;
+            if ((left || right) && basis != Basis::Z)
+                continue;
+
+            Plaquette p;
+            p.basis = basis;
+            p.ancilla = next_ancilla++;
+            p.x = static_cast<int32_t>(2 * pc);
+            p.y = static_cast<int32_t>(2 * pr);
+
+            auto corner = [&](int dr, int dc) -> uint32_t {
+                int32_t r = static_cast<int32_t>(pr) + dr;
+                int32_t c = static_cast<int32_t>(pc) + dc;
+                if (r < 0 || c < 0 || r >= static_cast<int32_t>(d) ||
+                    c >= static_cast<int32_t>(d)) {
+                    return kNoQubit;
+                }
+                return dataQubit(static_cast<uint32_t>(r),
+                                 static_cast<uint32_t>(c));
+            };
+            p.corners[kNW] = corner(-1, -1);
+            p.corners[kNE] = corner(-1, 0);
+            p.corners[kSW] = corner(0, -1);
+            p.corners[kSE] = corner(0, 0);
+
+            uint32_t idx = static_cast<uint32_t>(plaquettes_.size());
+            if (basis == Basis::Z)
+                zPlaquettes_.push_back(idx);
+            else
+                xPlaquettes_.push_back(idx);
+            plaquettes_.push_back(p);
+        }
+    }
+
+    ASTREA_CHECK(plaquettes_.size() == numAncillas(),
+                 "plaquette count mismatch");
+    ASTREA_CHECK(zPlaquettes_.size() == numAncillas() / 2,
+                 "Z plaquette count mismatch");
+}
+
+std::vector<uint32_t>
+SurfaceCodeLayout::dataQubits() const
+{
+    std::vector<uint32_t> out(numDataQubits());
+    for (uint32_t i = 0; i < out.size(); i++)
+        out[i] = i;
+    return out;
+}
+
+std::vector<uint32_t>
+SurfaceCodeLayout::ancillaQubits() const
+{
+    std::vector<uint32_t> out;
+    out.reserve(plaquettes_.size());
+    for (const auto &p : plaquettes_)
+        out.push_back(p.ancilla);
+    return out;
+}
+
+std::vector<uint32_t>
+SurfaceCodeLayout::ancillasOf(Basis b) const
+{
+    std::vector<uint32_t> out;
+    for (auto idx : plaquettesOf(b))
+        out.push_back(plaquettes_[idx].ancilla);
+    return out;
+}
+
+std::vector<uint32_t>
+SurfaceCodeLayout::logicalSupport(Basis b) const
+{
+    std::vector<uint32_t> out;
+    out.reserve(distance_);
+    if (b == Basis::Z) {
+        // Logical Z: row 0 (crosses every top-to-bottom X chain once).
+        for (uint32_t c = 0; c < distance_; c++)
+            out.push_back(dataQubit(0, c));
+    } else {
+        // Logical X: column 0.
+        for (uint32_t r = 0; r < distance_; r++)
+            out.push_back(dataQubit(r, 0));
+    }
+    return out;
+}
+
+} // namespace astrea

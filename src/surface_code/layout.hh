@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Rotated surface code lattice.
+ *
+ * A distance-d rotated surface code uses d*d data qubits and d*d-1
+ * parity (ancilla) qubits, (d*d-1)/2 per stabilizer basis (paper
+ * Table 1). Data qubit (row r, col c) sits at coordinate
+ * (x, y) = (2c+1, 2r+1); plaquette candidates sit at even-even
+ * coordinates (2pc, 2pr) for 0 <= pr, pc <= d.
+ *
+ * Plaquette inclusion rule (standard rotated layout):
+ *  - interior candidates (1 <= pr, pc <= d-1) are always stabilizers;
+ *  - top/bottom edges host only X-type 2-qubit stabilizers;
+ *  - left/right edges host only Z-type 2-qubit stabilizers;
+ *  - type is a checkerboard: Z when (pr + pc) is even, X when odd.
+ *
+ * With this orientation, logical Z is a horizontal row of Z operators
+ * (row 0) and logical X is a vertical column of X operators (col 0).
+ */
+
+#ifndef ASTREA_SURFACE_CODE_LAYOUT_HH
+#define ASTREA_SURFACE_CODE_LAYOUT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace astrea
+{
+
+/** One stabilizer plaquette of the rotated code. */
+struct Plaquette
+{
+    Basis basis;
+    uint32_t ancilla;  ///< Ancilla qubit index.
+    int32_t x;         ///< Ancilla lattice x (2 * pc).
+    int32_t y;         ///< Ancilla lattice y (2 * pr).
+
+    /**
+     * Data-qubit indices at the four corners in fixed geometric order
+     * NW, NE, SW, SE; kNoQubit where the corner falls off the lattice
+     * (boundary plaquettes).
+     */
+    std::array<uint32_t, 4> corners;
+};
+
+/** Sentinel for a missing plaquette corner. */
+constexpr uint32_t kNoQubit = 0xffffffffu;
+
+/** Corner slots in Plaquette::corners. */
+enum Corner : int { kNW = 0, kNE = 1, kSW = 2, kSE = 3 };
+
+/** Geometry of one rotated surface code patch. */
+class SurfaceCodeLayout
+{
+  public:
+    /** Build the distance-d layout; d must be odd and >= 3. */
+    explicit SurfaceCodeLayout(uint32_t distance);
+
+    uint32_t distance() const { return distance_; }
+    uint32_t numDataQubits() const { return distance_ * distance_; }
+    uint32_t numAncillas() const
+    {
+        return numDataQubits() - 1;
+    }
+    uint32_t numQubits() const { return numDataQubits() + numAncillas(); }
+
+    /** Data qubit index for (row, col); row-major, indices 0..d*d-1. */
+    uint32_t
+    dataQubit(uint32_t row, uint32_t col) const
+    {
+        return row * distance_ + col;
+    }
+
+    const std::vector<Plaquette> &plaquettes() const { return plaquettes_; }
+
+    /** Plaquettes of one basis, in a stable order. */
+    const std::vector<uint32_t> &
+    plaquettesOf(Basis b) const
+    {
+        return b == Basis::Z ? zPlaquettes_ : xPlaquettes_;
+    }
+
+    /** All data qubit indices (0 .. d*d-1). */
+    std::vector<uint32_t> dataQubits() const;
+
+    /** All ancilla qubit indices. */
+    std::vector<uint32_t> ancillaQubits() const;
+
+    /** Ancillas of one basis, aligned with plaquettesOf(). */
+    std::vector<uint32_t> ancillasOf(Basis b) const;
+
+    /** Support of the logical operator measured by a memory-b run. */
+    std::vector<uint32_t> logicalSupport(Basis b) const;
+
+  private:
+    uint32_t distance_;
+    std::vector<Plaquette> plaquettes_;
+    std::vector<uint32_t> zPlaquettes_;
+    std::vector<uint32_t> xPlaquettes_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_SURFACE_CODE_LAYOUT_HH

@@ -1,0 +1,231 @@
+#include "surface_code/memory_circuit.hh"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+namespace
+{
+
+/**
+ * CX schedules, as corner slots per layer.
+ *
+ * X plaquettes run NW, NE, SW, SE and Z plaquettes run NW, SW, NE, SE.
+ * This is the standard "zigzag / N" pairing: ancilla hook errors on
+ * X plaquettes land on horizontal data pairs (perpendicular to the
+ * vertical logical-X chains seen by the Z decoding graph) and Z-ancilla
+ * hooks land on vertical pairs (perpendicular to logical Z), so neither
+ * schedule halves the effective code distance. The two schedules also
+ * never touch the same data qubit in the same layer (checkerboard
+ * argument; asserted in tests).
+ */
+constexpr std::array<int, 4> kXOrder = {kNW, kNE, kSW, kSE};
+constexpr std::array<int, 4> kZOrder = {kNW, kSW, kNE, kSE};
+
+/**
+ * Hook-aligned (bad) schedules for the ablation: the middle layers are
+ * swapped, so X-ancilla hooks produce vertical data pairs (parallel to
+ * the logical-X chains the Z graph must catch) and Z-ancilla hooks
+ * produce horizontal pairs (parallel to logical Z).
+ */
+constexpr std::array<int, 4> kXOrderBad = {kNW, kSW, kNE, kSE};
+constexpr std::array<int, 4> kZOrderBad = {kNW, kNE, kSW, kSE};
+
+double
+clampProb(double p)
+{
+    return std::min(p, 1.0);
+}
+
+/** X_ERROR(p * scale(q)) on each qubit; batched when uniform. */
+void
+addXError(CircuitBuilder &b, double p,
+          const std::vector<uint32_t> &qubits, const NoiseMap *map)
+{
+    if (p <= 0.0)
+        return;
+    if (!map) {
+        b.xError(p, qubits);
+        return;
+    }
+    for (auto q : qubits)
+        b.xError(clampProb(p * map->qubitScale(q)), {q});
+}
+
+/** DEPOLARIZE1(p * scale(q)) on each qubit; batched when uniform. */
+void
+addDepolarize1(CircuitBuilder &b, double p,
+               const std::vector<uint32_t> &qubits, const NoiseMap *map)
+{
+    if (p <= 0.0)
+        return;
+    if (!map) {
+        b.depolarize1(p, qubits);
+        return;
+    }
+    for (auto q : qubits)
+        b.depolarize1(clampProb(p * map->qubitScale(q)), {q});
+}
+
+/** DEPOLARIZE2 with the pair's geometric-mean scale. */
+void
+addDepolarize2(CircuitBuilder &b, double p,
+               const std::vector<uint32_t> &pairs, const NoiseMap *map)
+{
+    if (p <= 0.0)
+        return;
+    if (!map) {
+        b.depolarize2(p, pairs);
+        return;
+    }
+    for (size_t t = 0; t + 1 < pairs.size(); t += 2) {
+        b.depolarize2(
+            clampProb(p * map->pairScale(pairs[t], pairs[t + 1])),
+            {pairs[t], pairs[t + 1]});
+    }
+}
+
+} // namespace
+
+uint32_t
+syndromeVectorLength(uint32_t distance, uint32_t rounds)
+{
+    if (rounds == 0)
+        rounds = distance;
+    return (rounds + 1) * (distance * distance - 1) / 2;
+}
+
+Circuit
+buildMemoryCircuit(const SurfaceCodeLayout &layout,
+                   const MemoryExperimentSpec &spec)
+{
+    ASTREA_CHECK(layout.distance() == spec.distance,
+                 "layout/spec distance mismatch");
+    const uint32_t rounds = spec.effectiveRounds();
+    const NoiseModel &nm = spec.noise;
+    const NoiseMap *map = spec.noiseMap;
+    if (map) {
+        ASTREA_CHECK(map->numQubits() == layout.numQubits(),
+                     "noise map size mismatch");
+    }
+    const Basis mb = spec.basis;
+
+    CircuitBuilder b(layout.numQubits());
+
+    const auto data = layout.dataQubits();
+    const auto ancillas = layout.ancillaQubits();
+    const auto x_ancillas = layout.ancillasOf(Basis::X);
+    const auto &memory_plaqs = layout.plaquettesOf(mb);
+
+    // Initial state preparation: |0..0> for memory-Z, |+..+> for
+    // memory-X. Preparation noise is folded into the first round's data
+    // depolarization, matching the paper's model.
+    b.reset(data);
+    b.reset(ancillas);
+    if (mb == Basis::X)
+        b.hadamard(data);
+
+    // measurements[p][r] = record index of plaquette p in round r.
+    std::vector<std::vector<uint32_t>> measurements(
+        layout.plaquettes().size());
+
+    for (uint32_t r = 0; r < rounds; r++) {
+        b.tick();
+        // (1) Data-qubit depolarization at the start of every round.
+        addDepolarize1(b, nm.dataDepolarization, data, map);
+
+        // Ancilla reset (idempotent in round 0) plus reset error.
+        b.reset(ancillas);
+        addXError(b, nm.resetFlip, ancillas, map);
+
+        b.hadamard(x_ancillas);
+
+        // (2) Four CX layers with two-qubit depolarization after each.
+        const bool bad_schedule =
+            spec.cxSchedule == CxSchedule::HookAligned;
+        for (int layer = 0; layer < 4; layer++) {
+            std::vector<uint32_t> pairs;
+            for (const auto &p : layout.plaquettes()) {
+                int slot;
+                if (p.basis == Basis::X) {
+                    slot = bad_schedule ? kXOrderBad[layer]
+                                        : kXOrder[layer];
+                } else {
+                    slot = bad_schedule ? kZOrderBad[layer]
+                                        : kZOrder[layer];
+                }
+                uint32_t dq = p.corners[slot];
+                if (dq == kNoQubit)
+                    continue;
+                if (p.basis == Basis::X) {
+                    // X stabilizer: ancilla controls the data qubit.
+                    pairs.push_back(p.ancilla);
+                    pairs.push_back(dq);
+                } else {
+                    // Z stabilizer: data controls the ancilla.
+                    pairs.push_back(dq);
+                    pairs.push_back(p.ancilla);
+                }
+            }
+            b.cx(pairs);
+            addDepolarize2(b, nm.gateDepolarization, pairs, map);
+        }
+
+        b.hadamard(x_ancillas);
+
+        // (3) Measurement error then ancilla measurement.
+        addXError(b, nm.measureFlip, ancillas, map);
+        auto mr = b.measure(ancillas);
+        for (uint32_t i = 0; i < ancillas.size(); i++)
+            measurements[i].push_back(mr[i]);
+
+        // Detectors for the memory basis.
+        for (auto pi : memory_plaqs) {
+            const auto &p = layout.plaquettes()[pi];
+            DetectorInfo info{mb, r, p.x, p.y};
+            if (r == 0)
+                b.detector({measurements[pi][0]}, info);
+            else
+                b.detector({measurements[pi][r], measurements[pi][r - 1]},
+                           info);
+        }
+    }
+
+    // Final transversal data measurement in the memory basis.
+    b.tick();
+    if (mb == Basis::X)
+        b.hadamard(data);
+    addXError(b, nm.finalMeasureFlip, data, map);
+    auto data_m = b.measure(data);
+
+    // Final detectors: compare the reconstructed stabilizer parity with
+    // the last extraction round.
+    for (auto pi : memory_plaqs) {
+        const auto &p = layout.plaquettes()[pi];
+        std::vector<uint32_t> targets{measurements[pi][rounds - 1]};
+        for (auto dq : p.corners) {
+            if (dq != kNoQubit)
+                targets.push_back(data_m[dq]);
+        }
+        b.detector(std::move(targets), DetectorInfo{mb, rounds, p.x, p.y});
+    }
+
+    // Logical observable from the final data measurements.
+    std::vector<uint32_t> obs_targets;
+    for (auto dq : layout.logicalSupport(mb))
+        obs_targets.push_back(data_m[dq]);
+    b.observable(0, std::move(obs_targets));
+
+    Circuit c = b.build();
+    ASTREA_CHECK(c.numDetectors() ==
+                     syndromeVectorLength(spec.distance, rounds),
+                 "unexpected detector count");
+    return c;
+}
+
+} // namespace astrea

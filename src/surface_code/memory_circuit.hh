@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memory-experiment circuit generator (paper Sec. 3.4).
+ *
+ * A memory-b experiment prepares the logical qubit in a b-basis
+ * eigenstate, runs `rounds` rounds of noisy syndrome extraction, then
+ * measures every data qubit in the b basis. Detectors are defined for
+ * the b-type stabilizers only (the other basis is non-deterministic in
+ * the first round and is decoded by the symmetric experiment):
+ *
+ *  - round 0:       detector = first measurement of the stabilizer;
+ *  - rounds 1..r-1: detector = XOR of consecutive measurements;
+ *  - final:         detector = last measurement XOR the stabilizer
+ *                   parity reconstructed from the data measurements.
+ *
+ * This yields (rounds + 1) * (d^2 - 1) / 2 detectors — the "syndrome
+ * vector" of paper Table 1 (e.g. 192 for d = 7, rounds = 7). Logical
+ * observable 0 is the parity of the logical operator's data
+ * measurements.
+ */
+
+#ifndef ASTREA_SURFACE_CODE_MEMORY_CIRCUIT_HH
+#define ASTREA_SURFACE_CODE_MEMORY_CIRCUIT_HH
+
+#include <cstdint>
+
+#include "circuit/builder.hh"
+#include "circuit/circuit.hh"
+#include "surface_code/layout.hh"
+#include "surface_code/noise_map.hh"
+
+namespace astrea
+{
+
+/**
+ * CX-layer orderings for syndrome extraction.
+ *
+ * Standard is the hook-safe "zigzag/N" schedule: mid-extraction
+ * ancilla faults (hook errors) spread onto data-qubit pairs oriented
+ * perpendicular to the logical operator they could shorten.
+ * HookAligned swaps the middle layers of both schedules so hooks align
+ * *with* the logicals instead — a classic layout mistake that halves
+ * the effective code distance. Exposed for the CX-schedule ablation.
+ */
+enum class CxSchedule : uint8_t
+{
+    Standard,
+    HookAligned,
+};
+
+/** Parameters of one memory experiment. */
+struct MemoryExperimentSpec
+{
+    uint32_t distance = 3;
+    uint32_t rounds = 0;     ///< 0 means "use `distance` rounds".
+    Basis basis = Basis::Z;  ///< Memory basis (paper evaluates Z).
+    NoiseModel noise;
+    /**
+     * Optional per-qubit error-rate scales (non-uniform noise / drift,
+     * paper Sec. 8.2). Null means uniform. Must cover all 2d^2 - 1
+     * qubits when set; scaled probabilities are clamped to [0, 1].
+     */
+    const NoiseMap *noiseMap = nullptr;
+    /** CX-layer ordering (ablation; see CxSchedule). */
+    CxSchedule cxSchedule = CxSchedule::Standard;
+
+    uint32_t effectiveRounds() const { return rounds ? rounds : distance; }
+};
+
+/** Number of b-basis detectors the generated circuit will define. */
+uint32_t syndromeVectorLength(uint32_t distance, uint32_t rounds);
+
+/** Generate the full noisy memory-experiment circuit. */
+Circuit buildMemoryCircuit(const SurfaceCodeLayout &layout,
+                           const MemoryExperimentSpec &spec);
+
+} // namespace astrea
+
+#endif // ASTREA_SURFACE_CODE_MEMORY_CIRCUIT_HH

@@ -1,0 +1,54 @@
+#include "surface_code/noise_map.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+
+double
+NoiseMap::pairScale(uint32_t q1, uint32_t q2) const
+{
+    return std::sqrt(scale_[q1] * scale_[q2]);
+}
+
+NoiseMap
+NoiseMap::randomDrift(uint32_t num_qubits, double spread, Rng &rng)
+{
+    ASTREA_CHECK(spread >= 0.0, "negative drift spread");
+    NoiseMap map(num_qubits);
+    if (spread == 0.0)
+        return map;
+    double log_hi = std::log(1.0 + spread);
+    for (uint32_t q = 0; q < num_qubits; q++) {
+        // Log-uniform in [1/(1+spread), (1+spread)].
+        double u = rng.uniform() * 2.0 - 1.0;
+        map.scale_[q] = std::exp(u * log_hi);
+    }
+    return map;
+}
+
+NoiseMap
+NoiseMap::hotSpot(uint32_t num_qubits, const std::vector<uint32_t> &hot,
+                  double hot_scale)
+{
+    NoiseMap map(num_qubits);
+    for (auto q : hot) {
+        ASTREA_CHECK(q < num_qubits, "hot-spot qubit out of range");
+        map.scale_[q] = hot_scale;
+    }
+    return map;
+}
+
+double
+NoiseMap::maxScale() const
+{
+    double m = 0.0;
+    for (auto s : scale_)
+        m = std::max(m, s);
+    return m;
+}
+
+} // namespace astrea

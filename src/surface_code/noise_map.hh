@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Spatially non-uniform noise (paper Sec. 8.2).
+ *
+ * Real devices exhibit spatio-temporal error-rate variation and drift;
+ * the paper argues Astrea handles both "by virtue of its GWT because
+ * weights can be adjusted to account for non-uniform error rates and
+ * can further be re-programmed if drift occurs". A NoiseMap scales the
+ * base physical error rate per qubit; the circuit generator consumes
+ * it, the DEM/GWT pipeline absorbs it automatically, and the drift
+ * ablation bench quantifies the cost of decoding with a stale
+ * (uniform-rate) GWT versus a re-programmed one.
+ */
+
+#ifndef ASTREA_SURFACE_CODE_NOISE_MAP_HH
+#define ASTREA_SURFACE_CODE_NOISE_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace astrea
+{
+
+/** Per-qubit multiplicative error-rate scales. */
+class NoiseMap
+{
+  public:
+    /** Uniform map: every qubit at scale 1. */
+    explicit NoiseMap(uint32_t num_qubits)
+        : scale_(num_qubits, 1.0)
+    {}
+
+    uint32_t numQubits() const
+    {
+        return static_cast<uint32_t>(scale_.size());
+    }
+
+    double qubitScale(uint32_t q) const { return scale_[q]; }
+    void setQubitScale(uint32_t q, double s) { scale_[q] = s; }
+
+    /** Scale for a two-qubit channel: geometric mean of the pair. */
+    double pairScale(uint32_t q1, uint32_t q2) const;
+
+    /**
+     * Random drift: each qubit's scale drawn log-uniformly from
+     * [1/(1+spread), 1+spread]. spread = 0 reproduces the uniform map.
+     */
+    static NoiseMap randomDrift(uint32_t num_qubits, double spread,
+                                Rng &rng);
+
+    /**
+     * A hot spot: qubits in `hot` run at hot_scale, the rest at 1.
+     * Models a localized fabrication defect or TLS.
+     */
+    static NoiseMap hotSpot(uint32_t num_qubits,
+                            const std::vector<uint32_t> &hot,
+                            double hot_scale);
+
+    /** Largest scale in the map (for clamping p * scale <= 1). */
+    double maxScale() const;
+
+  private:
+    std::vector<double> scale_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_SURFACE_CODE_NOISE_MAP_HH

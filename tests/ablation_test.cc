@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the ablation knobs: Astrea's quantization and
+ * effective-weight options, Astrea-G's automatic weight threshold, and
+ * the hook-aligned CX schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/memory_experiment.hh"
+#include "harness/semi_analytic.hh"
+#include "sim/frame_sim.hh"
+
+namespace astrea
+{
+namespace
+{
+
+const ExperimentContext &
+d5Hot()
+{
+    static ExperimentContext ctx = [] {
+        ExperimentConfig cfg;
+        cfg.distance = 5;
+        cfg.physicalErrorRate = 2e-3;
+        return ExperimentContext(cfg);
+    }();
+    return ctx;
+}
+
+// ------------------------------------------------ weight quantization
+
+TEST(AblationQuantization, ExactModeMatchesMwpmWeights)
+{
+    const auto &ctx = d5Hot();
+    AstreaConfig exact_cfg;
+    exact_cfg.quantizedWeights = false;
+    AstreaDecoder exact_dec(ctx.gwt(), exact_cfg);
+    auto mwpm = mwpmFactory()(ctx);
+
+    Rng rng(3);
+    BitVec dets, obs;
+    int checked = 0;
+    while (checked < 100) {
+        ctx.sampler().sample(rng, dets, obs);
+        auto defects = dets.onesIndices();
+        if (defects.empty() || defects.size() > 10)
+            continue;
+        checked++;
+        DecodeResult a = exact_dec.decode(defects);
+        DecodeResult m = mwpm->decode(defects);
+        // Same (exact) weights, both exact searches: equal optima.
+        EXPECT_NEAR(a.matchingWeight, m.matchingWeight, 1e-4);
+        EXPECT_EQ(a.obsMask, m.obsMask);
+    }
+}
+
+TEST(AblationQuantization, QuantizedWeightNearExact)
+{
+    const auto &ctx = d5Hot();
+    AstreaDecoder quant(ctx.gwt());
+    AstreaConfig exact_cfg;
+    exact_cfg.quantizedWeights = false;
+    AstreaDecoder exact(ctx.gwt(), exact_cfg);
+
+    Rng rng(5);
+    BitVec dets, obs;
+    int checked = 0;
+    while (checked < 100) {
+        ctx.sampler().sample(rng, dets, obs);
+        auto defects = dets.onesIndices();
+        if (defects.empty() || defects.size() > 10)
+            continue;
+        checked++;
+        double dq = quant.decode(defects).matchingWeight;
+        double de = exact.decode(defects).matchingWeight;
+        // Each pair is off by at most half an LSB of the 8-bit table.
+        double slack = 0.5 / kWeightScale *
+                           static_cast<double>(defects.size()) +
+                       1e-6;
+        EXPECT_LE(std::abs(dq - de), slack);
+    }
+}
+
+// --------------------------------------------------- effective weights
+
+TEST(AblationEffectiveWeights, DisablingNeverImprovesWeight)
+{
+    const auto &ctx = d5Hot();
+    AstreaDecoder with(ctx.gwt());
+    AstreaConfig no_eff;
+    no_eff.useEffectiveWeights = false;
+    AstreaDecoder without(ctx.gwt(), no_eff);
+
+    Rng rng(7);
+    BitVec dets, obs;
+    int checked = 0;
+    while (checked < 200) {
+        ctx.sampler().sample(rng, dets, obs);
+        auto defects = dets.onesIndices();
+        if (defects.empty() || defects.size() > 10)
+            continue;
+        checked++;
+        DecodeResult a = with.decode(defects);
+        DecodeResult b = without.decode(defects);
+        EXPECT_LE(a.matchingWeight, b.matchingWeight + 1e-9);
+    }
+}
+
+TEST(AblationEffectiveWeights, DisablingHurtsAccuracy)
+{
+    // Restricting pairs to direct chains must not help, and usually
+    // hurts, the logical error rate.
+    const auto &ctx = d5Hot();
+    AstreaConfig no_eff;
+    no_eff.useEffectiveWeights = false;
+
+    const uint64_t shots = 150000;
+    auto with =
+        runMemoryExperiment(ctx, astreaFactory(), shots, 11);
+    auto without =
+        runMemoryExperiment(ctx, astreaFactory(no_eff), shots, 11);
+    ASSERT_GT(with.logicalErrors.successes, 20u);
+    EXPECT_GE(without.logicalErrors.successes * 10,
+              with.logicalErrors.successes * 9);
+}
+
+// ------------------------------------------------------------ auto Wth
+
+TEST(AutoWth, ScalesWithRegime)
+{
+    // Lower LER regimes need higher thresholds.
+    double d7_hi = defaultWeightThreshold(7, 1e-3);
+    double d7_lo = defaultWeightThreshold(7, 1e-4);
+    double d9_lo = defaultWeightThreshold(9, 1e-4);
+    EXPECT_GT(d7_lo, d7_hi);
+    EXPECT_GT(d9_lo, d7_lo);
+    // The paper's operating point: Wth ~ 7 at d = 7, p = 1e-3.
+    EXPECT_NEAR(d7_hi, 7.0, 1.0);
+}
+
+TEST(AutoWth, FactoryResolvesZeroThreshold)
+{
+    ExperimentConfig cfg;
+    cfg.distance = 5;
+    cfg.physicalErrorRate = 1e-3;
+    ExperimentContext ctx(cfg);
+    auto dec = astreaGFactory()(ctx);
+    auto *ag = dynamic_cast<AstreaGDecoder *>(dec.get());
+    ASSERT_NE(ag, nullptr);
+    EXPECT_GT(ag->config().weightThresholdDecades, 0.0);
+    EXPECT_NEAR(ag->config().weightThresholdDecades,
+                defaultWeightThreshold(5, 1e-3), 1e-9);
+}
+
+TEST(AutoWth, ExplicitThresholdSurvivesFactory)
+{
+    ExperimentConfig cfg;
+    cfg.distance = 5;
+    cfg.physicalErrorRate = 1e-3;
+    ExperimentContext ctx(cfg);
+    AstreaGConfig agc;
+    agc.weightThresholdDecades = 5.5;
+    auto dec = astreaGFactory(agc)(ctx);
+    auto *ag = dynamic_cast<AstreaGDecoder *>(dec.get());
+    ASSERT_NE(ag, nullptr);
+    EXPECT_DOUBLE_EQ(ag->config().weightThresholdDecades, 5.5);
+}
+
+TEST(AutoWth, LerEstimateMatchesMeasurementsWithinFactor)
+{
+    // The scaling fit behind the auto threshold should be within an
+    // order of magnitude of the measured LERs it was fitted to.
+    struct Point
+    {
+        uint32_t d;
+        double p;
+        double measured;
+    };
+    // Measured with this simulator (MWPM, 3e5+ shots).
+    const Point points[] = {
+        {3, 1e-3, 6.6e-4}, {5, 1e-3, 9.0e-5}, {7, 1e-3, 2.0e-5}};
+    for (const auto &pt : points) {
+        double est = estimateLogicalErrorRate(pt.d, pt.p);
+        EXPECT_LT(std::abs(std::log10(est / pt.measured)), 1.0)
+            << "d=" << pt.d;
+    }
+}
+
+// -------------------------------------------------------- CX schedule
+
+TEST(AblationCxSchedule, HookAlignedCircuitIsValid)
+{
+    ExperimentConfig cfg;
+    cfg.distance = 3;
+    cfg.physicalErrorRate = 1e-3;
+    cfg.cxSchedule = CxSchedule::HookAligned;
+    ExperimentContext ctx(cfg);
+    EXPECT_EQ(ctx.circuit().numDetectors(), 16u);
+
+    // Detectors stay deterministic without noise.
+    SurfaceCodeLayout layout(3);
+    MemoryExperimentSpec spec;
+    spec.distance = 3;
+    spec.noise = NoiseModel::noiseless();
+    spec.cxSchedule = CxSchedule::HookAligned;
+    Circuit c = buildMemoryCircuit(layout, spec);
+    FrameSimulator sim(c);
+    Rng rng(1);
+    BitVec dets, obs;
+    sim.sample(rng, dets, obs);
+    EXPECT_TRUE(dets.none());
+}
+
+TEST(AblationCxSchedule, HookAlignedWorsensLer)
+{
+    // Aligned hooks shorten logical chains: the bad schedule must show
+    // a clearly higher logical error rate at d = 5.
+    ExperimentConfig good_cfg;
+    good_cfg.distance = 5;
+    good_cfg.physicalErrorRate = 2e-3;
+    ExperimentConfig bad_cfg = good_cfg;
+    bad_cfg.cxSchedule = CxSchedule::HookAligned;
+
+    ExperimentContext good(good_cfg);
+    ExperimentContext bad(bad_cfg);
+    const uint64_t shots = 150000;
+    auto rg = runMemoryExperiment(good, mwpmFactory(), shots, 13);
+    auto rb = runMemoryExperiment(bad, mwpmFactory(), shots, 13);
+    ASSERT_GT(rg.logicalErrors.successes, 10u);
+    EXPECT_GT(rb.logicalErrors.successes,
+              rg.logicalErrors.successes * 3 / 2);
+}
+
+// -------------------------------------------- multi-decoder estimator
+
+TEST(SemiAnalyticMulti, PairsDecodersOnIdenticalFaults)
+{
+    SemiAnalyticConfig cfg;
+    cfg.maxFaults = 4;
+    cfg.shotsPerK = 4000;
+    cfg.seed = 21;
+    ExperimentConfig ec;
+    ec.distance = 3;
+    ec.physicalErrorRate = 2e-3;
+    ExperimentContext ctx(ec);
+
+    // The same decoder twice must yield bit-identical results.
+    auto r = estimateLerSemiAnalyticMulti(
+        ctx, {mwpmFactory(), mwpmFactory()}, cfg);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0].failuresSeen, r[1].failuresSeen);
+    EXPECT_DOUBLE_EQ(r[0].ler, r[1].ler);
+}
+
+TEST(SemiAnalyticMulti, AdaptiveModeExtendsShots)
+{
+    SemiAnalyticConfig fixed;
+    fixed.maxFaults = 3;
+    fixed.shotsPerK = 500;
+    fixed.seed = 23;
+
+    SemiAnalyticConfig adaptive = fixed;
+    adaptive.targetFailures = 100000;  // Unreachable: run to the cap.
+    adaptive.maxShotsPerK = 2000;
+
+    ExperimentConfig ec;
+    ec.distance = 3;
+    ec.physicalErrorRate = 2e-3;
+    ExperimentContext ctx(ec);
+
+    auto rf = estimateLerSemiAnalytic(ctx, mwpmFactory(), fixed);
+    auto ra = estimateLerSemiAnalytic(ctx, mwpmFactory(), adaptive);
+    EXPECT_EQ(rf.shotsUsed[2], 500u);
+    EXPECT_EQ(ra.shotsUsed[2], 2000u);
+}
+
+} // namespace
+} // namespace astrea

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests for the HW6Decoder and the Astrea decoder: table sizes, the
+ * exactness property (Astrea == true MWPM over quantized weights for
+ * HW <= 10), the latency model (paper Sec. 5.4), and give-up behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "astrea/astrea_decoder.hh"
+#include "astrea/hw6.hh"
+#include "common/rng.hh"
+#include "harness/memory_experiment.hh"
+#include "matching/dp_matcher.hh"
+
+namespace astrea
+{
+namespace
+{
+
+const ExperimentContext &
+sharedContext()
+{
+    static ExperimentContext ctx = [] {
+        ExperimentConfig cfg;
+        cfg.distance = 5;
+        cfg.physicalErrorRate = 2e-3;
+        return ExperimentContext(cfg);
+    }();
+    return ctx;
+}
+
+// ---------------------------------------------------------------- HW6
+
+TEST(Hw6, TableSizes)
+{
+    Hw6Decoder hw6;
+    EXPECT_EQ(hw6.matchingTable(2).size(), 1u);
+    EXPECT_EQ(hw6.matchingTable(4).size(), 3u);
+    EXPECT_EQ(hw6.matchingTable(6).size(), 15u);
+    EXPECT_EQ(Hw6Decoder::kNumAdders, 30);
+}
+
+TEST(Hw6, EmptyInput)
+{
+    Hw6Decoder hw6;
+    PairList out;
+    EXPECT_EQ(hw6.match(0, [](int, int) { return WeightSum{1}; }, out),
+              0u);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Hw6, TwoNodes)
+{
+    Hw6Decoder hw6;
+    PairList out;
+    WeightSum w = hw6.match(
+        2, [](int, int) { return WeightSum{7}; }, out);
+    EXPECT_EQ(w, 7u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], (std::pair<int, int>{0, 1}));
+}
+
+TEST(Hw6, SixNodesFindsOptimum)
+{
+    // Weight 1 on the target pairs, 50 elsewhere.
+    auto w = [](int i, int j) -> WeightSum {
+        auto good = [](int a, int b) {
+            return (a == 0 && b == 5) || (a == 1 && b == 3) ||
+                   (a == 2 && b == 4);
+        };
+        return good(std::min(i, j), std::max(i, j)) ? 1 : 50;
+    };
+    Hw6Decoder hw6;
+    PairList out;
+    EXPECT_EQ(hw6.match(6, w, out), 3u);
+}
+
+TEST(Hw6, PropagatesInfiniteWeight)
+{
+    Hw6Decoder hw6;
+    PairList out;
+    WeightSum w = hw6.match(
+        6, [](int, int) { return kInfiniteWeightSum; }, out);
+    EXPECT_EQ(w, kInfiniteWeightSum);
+}
+
+TEST(Hw6, RejectsOddCount)
+{
+    Hw6Decoder hw6;
+    PairList out;
+    EXPECT_DEATH(hw6.match(3, [](int, int) { return WeightSum{1}; },
+                           out),
+                 "nodes");
+}
+
+// ------------------------------------------------------- latency model
+
+TEST(AstreaLatency, CycleModelMatchesPaper)
+{
+    // Sec. 5.4: decode cycles 1 / 11 / 103 for HW 3-6 / 7-8 / 9-10,
+    // plus HW+1 transfer cycles; HW <= 2 is free.
+    EXPECT_EQ(AstreaDecoder::totalCycles(0), 0u);
+    EXPECT_EQ(AstreaDecoder::totalCycles(1), 0u);
+    EXPECT_EQ(AstreaDecoder::totalCycles(2), 0u);
+    EXPECT_EQ(AstreaDecoder::totalCycles(3), 5u);
+    EXPECT_EQ(AstreaDecoder::totalCycles(6), 8u);
+    EXPECT_EQ(AstreaDecoder::totalCycles(7), 19u);
+    EXPECT_EQ(AstreaDecoder::totalCycles(8), 20u);
+    EXPECT_EQ(AstreaDecoder::totalCycles(9), 113u);
+    EXPECT_EQ(AstreaDecoder::totalCycles(10), 114u);
+}
+
+TEST(AstreaLatency, WorstCaseIs456ns)
+{
+    // 114 cycles at 250 MHz = 456 ns (paper abstract and Sec. 5.4).
+    EXPECT_DOUBLE_EQ(cyclesToNs(AstreaDecoder::totalCycles(10)), 456.0);
+}
+
+TEST(AstreaLatency, Hw6CaseIs32ns)
+{
+    // d = 3 max in Fig. 9: 8 cycles = 32 ns.
+    EXPECT_DOUBLE_EQ(cyclesToNs(AstreaDecoder::totalCycles(6)), 32.0);
+}
+
+TEST(AstreaLatency, Hw8CaseIs80ns)
+{
+    // d = 5 max in Fig. 9: 20 cycles = 80 ns.
+    EXPECT_DOUBLE_EQ(cyclesToNs(AstreaDecoder::totalCycles(8)), 80.0);
+}
+
+// ------------------------------------------------------------- decode
+
+TEST(AstreaDecode, EmptySyndrome)
+{
+    AstreaDecoder dec(sharedContext().gwt());
+    DecodeResult r = dec.decode({});
+    EXPECT_FALSE(r.gaveUp);
+    EXPECT_EQ(r.obsMask, 0u);
+    EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(AstreaDecode, GivesUpAboveMaxHw)
+{
+    AstreaDecoder dec(sharedContext().gwt());
+    std::vector<uint32_t> defects;
+    for (uint32_t i = 0; i < 11; i++)
+        defects.push_back(i);
+    DecodeResult r = dec.decode(defects);
+    EXPECT_TRUE(r.gaveUp);
+    EXPECT_EQ(dec.gaveUpCount(), 1u);
+}
+
+TEST(AstreaDecode, ConfigurableMaxHw)
+{
+    AstreaDecoder dec(sharedContext().gwt(), AstreaConfig{6});
+    std::vector<uint32_t> defects{0, 1, 2, 3, 4, 5, 6};
+    EXPECT_TRUE(dec.decode(defects).gaveUp);
+    EXPECT_FALSE(dec.decode({0, 1, 2}).gaveUp);
+}
+
+/**
+ * Exactness property: for every Hamming weight up to 10, Astrea's
+ * brute-force result equals the true MWPM (computed by the DP with
+ * boundary) over the same quantized weights.
+ */
+class AstreaExactnessTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AstreaExactnessTest, MatchesDpOptimum)
+{
+    const int hw = GetParam();
+    const auto &ctx = sharedContext();
+    const auto &gwt = ctx.gwt();
+    AstreaDecoder dec(gwt);
+    Rng rng(500 + hw);
+
+    for (int trial = 0; trial < 40; trial++) {
+        // Random distinct defect set of the requested size.
+        std::vector<uint32_t> defects;
+        while (defects.size() < static_cast<size_t>(hw)) {
+            uint32_t d =
+                static_cast<uint32_t>(rng.uniformInt(gwt.size()));
+            if (std::find(defects.begin(), defects.end(), d) ==
+                defects.end()) {
+                defects.push_back(d);
+            }
+        }
+        std::sort(defects.begin(), defects.end());
+
+        DecodeResult r = dec.decode(defects);
+        ASSERT_FALSE(r.gaveUp);
+
+        MatchingSolution dp = dpMatchWithBoundary(
+            hw,
+            [&](int i, int j) {
+                return static_cast<double>(
+                    gwt.pairWeight(defects[i], defects[j]));
+            },
+            [&](int i) {
+                return static_cast<double>(
+                    gwt.pairWeight(defects[i], defects[i]));
+            });
+
+        EXPECT_NEAR(r.matchingWeight * kWeightScale, dp.totalWeight,
+                    1e-6)
+            << "hw=" << hw << " trial=" << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(HammingWeights, AstreaExactnessTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                           10));
+
+/** Same exactness property, exact-weight ablation configuration. */
+class AstreaExactWeightTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AstreaExactWeightTest, MatchesDpOnExactWeights)
+{
+    const int hw = GetParam();
+    const auto &ctx = sharedContext();
+    const auto &gwt = ctx.gwt();
+    AstreaConfig cfg;
+    cfg.quantizedWeights = false;
+    AstreaDecoder dec(gwt, cfg);
+    Rng rng(900 + hw);
+
+    for (int trial = 0; trial < 25; trial++) {
+        std::vector<uint32_t> defects;
+        while (defects.size() < static_cast<size_t>(hw)) {
+            uint32_t d =
+                static_cast<uint32_t>(rng.uniformInt(gwt.size()));
+            if (std::find(defects.begin(), defects.end(), d) ==
+                defects.end()) {
+                defects.push_back(d);
+            }
+        }
+        std::sort(defects.begin(), defects.end());
+
+        DecodeResult r = dec.decode(defects);
+        ASSERT_FALSE(r.gaveUp);
+
+        MatchingSolution dp = dpMatchWithBoundary(
+            hw,
+            [&](int i, int j) {
+                return gwt.exactWeight(defects[i], defects[j]);
+            },
+            [&](int i) {
+                return gwt.exactWeight(defects[i], defects[i]);
+            });
+        // The exact-mode fixed point has 2^-16-decade granularity.
+        EXPECT_NEAR(r.matchingWeight, dp.totalWeight, 1e-3)
+            << "hw=" << hw << " trial=" << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(HammingWeights, AstreaExactWeightTest,
+                         ::testing::Values(2, 4, 6, 8, 10));
+
+TEST(AstreaDecode, AgreesWithMwpmOnRealShots)
+{
+    // On sampled syndromes with HW <= 10, Astrea's matching weight can
+    // differ from the exact-weight MWPM only through 8-bit
+    // quantization; predictions should almost always coincide.
+    const auto &ctx = sharedContext();
+    AstreaDecoder astrea_dec(ctx.gwt());
+    auto mwpm = mwpmFactory()(ctx);
+
+    Rng rng(9);
+    BitVec dets, obs;
+    int disagreements = 0, decoded = 0;
+    for (int s = 0; s < 3000; s++) {
+        ctx.sampler().sample(rng, dets, obs);
+        auto defects = dets.onesIndices();
+        if (defects.empty() || defects.size() > 10)
+            continue;
+        decoded++;
+        DecodeResult a = astrea_dec.decode(defects);
+        DecodeResult m = mwpm->decode(defects);
+        if (a.obsMask != m.obsMask)
+            disagreements++;
+    }
+    ASSERT_GT(decoded, 500);
+    // Quantization ties can flip rare predictions; bound the rate.
+    EXPECT_LT(disagreements, decoded / 50);
+}
+
+TEST(AstreaDecode, LatencyFollowsHammingWeight)
+{
+    const auto &ctx = sharedContext();
+    AstreaDecoder dec(ctx.gwt());
+    Rng rng(11);
+    BitVec dets, obs;
+    for (int s = 0; s < 2000; s++) {
+        ctx.sampler().sample(rng, dets, obs);
+        auto defects = dets.onesIndices();
+        if (defects.empty() || defects.size() > 10)
+            continue;
+        DecodeResult r = dec.decode(defects);
+        EXPECT_EQ(r.cycles, AstreaDecoder::totalCycles(
+                                static_cast<uint32_t>(defects.size())));
+        EXPECT_DOUBLE_EQ(r.latencyNs, cyclesToNs(r.cycles));
+    }
+}
+
+} // namespace
+} // namespace astrea

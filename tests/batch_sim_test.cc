@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the bit-packed batch frame simulator: agreement with the
+ * scalar frame simulator and the DEM sampler, deterministic channels,
+ * and the per-shot extraction helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/memory_experiment.hh"
+#include "sim/batch_frame_sim.hh"
+#include "sim/frame_sim.hh"
+
+namespace astrea
+{
+namespace
+{
+
+Circuit
+memCircuit(uint32_t d, double p)
+{
+    SurfaceCodeLayout layout(d);
+    MemoryExperimentSpec spec;
+    spec.distance = d;
+    spec.noise = NoiseModel::uniform(p);
+    return buildMemoryCircuit(layout, spec);
+}
+
+TEST(BatchSim, NoiselessBatchIsAllZero)
+{
+    Circuit c = memCircuit(3, 0.0);
+    BatchFrameSimulator sim(c);
+    Rng rng(1);
+    std::vector<uint64_t> dets, obs;
+    sim.sampleBatch(rng, dets, obs);
+    ASSERT_EQ(dets.size(), c.numDetectors());
+    for (auto w : dets)
+        EXPECT_EQ(w, 0u);
+    for (auto w : obs)
+        EXPECT_EQ(w, 0u);
+}
+
+TEST(BatchSim, DeterministicErrorFiresEveryShot)
+{
+    // X_ERROR(1.0) before a measured detector: every shot fires.
+    CircuitBuilder b(1);
+    b.reset({0});
+    b.xError(1.0, {0});
+    auto m = b.measure({0});
+    b.detector({m[0]}, DetectorInfo{});
+    Circuit c = b.build();
+
+    BatchFrameSimulator sim(c);
+    Rng rng(2);
+    std::vector<uint64_t> dets, obs;
+    sim.sampleBatch(rng, dets, obs);
+    EXPECT_EQ(dets[0], ~0ull);
+}
+
+TEST(BatchSim, BernoulliRateAcrossShots)
+{
+    CircuitBuilder b(1);
+    b.reset({0});
+    b.xError(0.2, {0});
+    auto m = b.measure({0});
+    b.detector({m[0]}, DetectorInfo{});
+    Circuit c = b.build();
+
+    BatchFrameSimulator sim(c);
+    Rng rng(3);
+    std::vector<uint64_t> dets, obs;
+    uint64_t fires = 0, shots = 0;
+    for (int batch = 0; batch < 2000; batch++) {
+        sim.sampleBatch(rng, dets, obs);
+        fires += __builtin_popcountll(dets[0]);
+        shots += 64;
+    }
+    EXPECT_NEAR(static_cast<double>(fires) / shots, 0.2, 0.01);
+}
+
+TEST(BatchSim, MatchesScalarSimulatorStatistics)
+{
+    Circuit c = memCircuit(3, 5e-3);
+    BatchFrameSimulator batch(c);
+    FrameSimulator scalar(c);
+
+    const int batches = 800;  // 51200 shots.
+    Rng rng_a(5), rng_b(6);
+
+    std::vector<uint64_t> det_rate_batch(c.numDetectors(), 0);
+    std::vector<uint64_t> det_rate_scalar(c.numDetectors(), 0);
+    double hw_batch = 0, hw_scalar = 0;
+    uint64_t obs_batch = 0, obs_scalar = 0;
+
+    std::vector<uint64_t> dets, obs;
+    for (int bi = 0; bi < batches; bi++) {
+        batch.sampleBatch(rng_a, dets, obs);
+        for (uint32_t d = 0; d < c.numDetectors(); d++) {
+            det_rate_batch[d] += __builtin_popcountll(dets[d]);
+            hw_batch += __builtin_popcountll(dets[d]);
+        }
+        obs_batch += __builtin_popcountll(obs[0]);
+    }
+    BitVec sd, so;
+    const uint64_t scalar_shots = 64ull * batches;
+    for (uint64_t s = 0; s < scalar_shots; s++) {
+        scalar.sample(rng_b, sd, so);
+        for (auto i : sd.onesIndices()) {
+            det_rate_scalar[i]++;
+            hw_scalar += 1;
+        }
+        if (!so.none())
+            obs_scalar++;
+    }
+
+    const double shots = static_cast<double>(scalar_shots);
+    EXPECT_NEAR(hw_batch / shots, hw_scalar / shots,
+                0.05 * std::max(1.0, hw_scalar / shots));
+    for (uint32_t d = 0; d < c.numDetectors(); d++) {
+        EXPECT_NEAR(det_rate_batch[d] / shots,
+                    det_rate_scalar[d] / shots, 0.01)
+            << "detector " << d;
+    }
+    EXPECT_NEAR(obs_batch / shots, obs_scalar / shots, 0.01);
+}
+
+TEST(BatchSim, ShotExtractionHelpers)
+{
+    Circuit c = memCircuit(3, 2e-2);
+    BatchFrameSimulator sim(c);
+    Rng rng(7);
+    std::vector<uint64_t> dets, obs;
+    sim.sampleBatch(rng, dets, obs);
+    for (uint32_t shot = 0; shot < 64; shot += 9) {
+        auto defects = BatchFrameSimulator::shotDefects(dets, shot);
+        EXPECT_EQ(defects.size(),
+                  BatchFrameSimulator::shotWeight(dets, shot));
+        for (auto d : defects)
+            EXPECT_TRUE((dets[d] >> shot) & 1);
+    }
+}
+
+TEST(BatchSim, ShotsWithinBatchAreIndependent)
+{
+    // Adjacent shots must not be correlated: measure the covariance of
+    // detector 0 between shot 0 and shot 1 across many batches.
+    Circuit c = memCircuit(3, 2e-2);
+    BatchFrameSimulator sim(c);
+    Rng rng(9);
+    std::vector<uint64_t> dets, obs;
+    int n = 4000, a = 0, b = 0, ab = 0;
+    for (int i = 0; i < n; i++) {
+        sim.sampleBatch(rng, dets, obs);
+        int s0 = dets[0] & 1;
+        int s1 = (dets[0] >> 1) & 1;
+        a += s0;
+        b += s1;
+        ab += s0 & s1;
+    }
+    double pa = static_cast<double>(a) / n;
+    double pb = static_cast<double>(b) / n;
+    double pab = static_cast<double>(ab) / n;
+    EXPECT_NEAR(pab, pa * pb, 0.01);
+}
+
+TEST(BatchSim, DecodableEndToEnd)
+{
+    // Batch-sampled shots feed the decoders just like scalar ones.
+    ExperimentConfig cfg;
+    cfg.distance = 3;
+    cfg.physicalErrorRate = 3e-3;
+    ExperimentContext ctx(cfg);
+    BatchFrameSimulator sim(ctx.circuit());
+    auto decoder = mwpmFactory()(ctx);
+
+    Rng rng(11);
+    std::vector<uint64_t> dets, obs;
+    uint64_t errors = 0, shots = 0;
+    for (int bi = 0; bi < 400; bi++) {
+        sim.sampleBatch(rng, dets, obs);
+        for (uint32_t s = 0; s < 64; s++) {
+            auto defects = BatchFrameSimulator::shotDefects(dets, s);
+            DecodeResult dr = decoder->decode(defects);
+            uint64_t actual = (obs[0] >> s) & 1;
+            if (dr.obsMask != actual)
+                errors++;
+            shots++;
+        }
+    }
+    // LER in the same ballpark as the DEM-sampler pipeline (~1e-2).
+    double ler = static_cast<double>(errors) / shots;
+    EXPECT_LT(ler, 0.05);
+}
+
+} // namespace
+} // namespace astrea

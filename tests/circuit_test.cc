@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the circuit IR and builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/builder.hh"
+#include "circuit/circuit.hh"
+#include "circuit/gate.hh"
+
+namespace astrea
+{
+namespace
+{
+
+TEST(Gate, NoiseClassification)
+{
+    EXPECT_TRUE(isNoise(GateType::XError));
+    EXPECT_TRUE(isNoise(GateType::ZError));
+    EXPECT_TRUE(isNoise(GateType::Depolarize1));
+    EXPECT_TRUE(isNoise(GateType::Depolarize2));
+    EXPECT_FALSE(isNoise(GateType::CX));
+    EXPECT_FALSE(isNoise(GateType::M));
+    EXPECT_FALSE(isNoise(GateType::Detector));
+}
+
+TEST(Gate, Names)
+{
+    EXPECT_STREQ(gateName(GateType::CX), "CX");
+    EXPECT_STREQ(gateName(GateType::Depolarize2), "DEPOLARIZE2");
+    EXPECT_STREQ(gateName(GateType::ObservableInclude),
+                 "OBSERVABLE_INCLUDE");
+}
+
+TEST(Gate, InstructionToString)
+{
+    Instruction i{GateType::XError, {3, 4}, 0.25};
+    EXPECT_EQ(i.toString(), "X_ERROR(0.25) 3 4");
+    Instruction g{GateType::H, {1}, 0.0};
+    EXPECT_EQ(g.toString(), "H 1");
+}
+
+TEST(Circuit, CountsMeasurements)
+{
+    Circuit c(4);
+    c.appendGate(GateType::M, {0, 1});
+    c.appendGate(GateType::MR, {2});
+    EXPECT_EQ(c.numMeasurements(), 3u);
+}
+
+TEST(Circuit, DetectorIndices)
+{
+    Circuit c(2);
+    c.appendGate(GateType::M, {0, 1});
+    uint32_t d0 = c.appendDetector({0}, DetectorInfo{});
+    uint32_t d1 = c.appendDetector({0, 1}, DetectorInfo{});
+    EXPECT_EQ(d0, 0u);
+    EXPECT_EQ(d1, 1u);
+    EXPECT_EQ(c.numDetectors(), 2u);
+    EXPECT_EQ(c.detectorInfo().size(), 2u);
+}
+
+TEST(Circuit, ObservableCount)
+{
+    Circuit c(1);
+    c.appendGate(GateType::M, {0});
+    c.appendObservable(0, {0});
+    EXPECT_EQ(c.numObservables(), 1u);
+    c.appendObservable(2, {0});
+    EXPECT_EQ(c.numObservables(), 3u);
+}
+
+TEST(Circuit, CountNoiseInstructions)
+{
+    Circuit c(2);
+    c.appendGate(GateType::H, {0});
+    c.appendGate(GateType::XError, {0}, 0.1);
+    c.appendGate(GateType::Depolarize2, {0, 1}, 0.1);
+    EXPECT_EQ(c.countNoiseInstructions(), 2u);
+}
+
+TEST(Circuit, ValidatePasses)
+{
+    Circuit c(2);
+    c.appendGate(GateType::R, {0, 1});
+    c.appendGate(GateType::CX, {0, 1});
+    c.appendGate(GateType::M, {1});
+    c.appendDetector({0}, DetectorInfo{});
+    EXPECT_NO_FATAL_FAILURE(c.validate());
+}
+
+TEST(Circuit, DetectorMustReferencePastMeasurement)
+{
+    Circuit c(2);
+    c.appendGate(GateType::M, {0});
+    EXPECT_DEATH(c.appendDetector({5}, DetectorInfo{}), "future");
+}
+
+TEST(Circuit, ToStringDumpsAllOps)
+{
+    Circuit c(2);
+    c.appendGate(GateType::H, {0});
+    c.appendGate(GateType::M, {0});
+    c.appendDetector({0}, DetectorInfo{});
+    std::string s = c.toString();
+    EXPECT_NE(s.find("H 0"), std::string::npos);
+    EXPECT_NE(s.find("DETECTOR"), std::string::npos);
+}
+
+TEST(NoiseModel, UniformSetsAllChannels)
+{
+    NoiseModel m = NoiseModel::uniform(1e-3);
+    EXPECT_DOUBLE_EQ(m.dataDepolarization, 1e-3);
+    EXPECT_DOUBLE_EQ(m.gateDepolarization, 1e-3);
+    EXPECT_DOUBLE_EQ(m.measureFlip, 1e-3);
+    EXPECT_DOUBLE_EQ(m.resetFlip, 1e-3);
+    EXPECT_DOUBLE_EQ(m.finalMeasureFlip, 1e-3);
+}
+
+TEST(NoiseModel, NoiselessIsAllZero)
+{
+    NoiseModel m = NoiseModel::noiseless();
+    EXPECT_DOUBLE_EQ(m.dataDepolarization, 0.0);
+    EXPECT_DOUBLE_EQ(m.gateDepolarization, 0.0);
+}
+
+TEST(CircuitBuilder, MeasurementIndicesAreAbsolute)
+{
+    CircuitBuilder b(4);
+    auto m1 = b.measure({0, 1});
+    auto m2 = b.measure({2, 3});
+    EXPECT_EQ(m1, (std::vector<uint32_t>{0, 1}));
+    EXPECT_EQ(m2, (std::vector<uint32_t>{2, 3}));
+    EXPECT_EQ(b.measurementCount(), 4u);
+}
+
+TEST(CircuitBuilder, SkipsZeroProbabilityNoise)
+{
+    CircuitBuilder b(2);
+    b.xError(0.0, {0});
+    b.depolarize1(0.0, {0});
+    b.depolarize2(0.0, {0, 1});
+    Circuit c = b.build();
+    EXPECT_EQ(c.countNoiseInstructions(), 0u);
+}
+
+TEST(CircuitBuilder, SkipsEmptyTargetLists)
+{
+    CircuitBuilder b(2);
+    b.reset({});
+    b.hadamard({});
+    b.cx({});
+    Circuit c = b.build();
+    EXPECT_TRUE(c.instructions().empty());
+}
+
+TEST(CircuitBuilder, BuildValidates)
+{
+    CircuitBuilder b(3);
+    b.reset({0, 1, 2});
+    b.cx({0, 1});
+    auto m = b.measure({1});
+    b.detector({m[0]}, DetectorInfo{Basis::Z, 0, 0, 0});
+    b.observable(0, {m[0]});
+    Circuit c = b.build();
+    EXPECT_EQ(c.numQubits(), 3u);
+    EXPECT_EQ(c.numDetectors(), 1u);
+    EXPECT_EQ(c.numObservables(), 1u);
+}
+
+} // namespace
+} // namespace astrea

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the syndrome codecs (paper Sec. 7.6): lossless round-trip
+ * on random and sampled syndromes, fallback behavior on dense inputs,
+ * and the compression gains on real sparse syndromes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compression/syndrome_codec.hh"
+#include "harness/memory_experiment.hh"
+
+namespace astrea
+{
+namespace
+{
+
+BitVec
+fromIndices(uint32_t n, const std::vector<uint32_t> &ones)
+{
+    BitVec v(n);
+    for (auto i : ones)
+        v.set(i);
+    return v;
+}
+
+class CodecRoundTrip
+    : public ::testing::TestWithParam<SyndromeCodec>
+{
+};
+
+TEST_P(CodecRoundTrip, EmptySyndrome)
+{
+    BitVec v(192);
+    auto enc = encodeSyndrome(v, GetParam());
+    EXPECT_TRUE(decodeSyndrome(enc, 192) == v);
+}
+
+TEST_P(CodecRoundTrip, SingleBitEachPosition)
+{
+    const uint32_t n = 100;
+    for (uint32_t i = 0; i < n; i += 7) {
+        BitVec v = fromIndices(n, {i});
+        auto enc = encodeSyndrome(v, GetParam());
+        EXPECT_TRUE(decodeSyndrome(enc, n) == v) << "bit " << i;
+    }
+}
+
+TEST_P(CodecRoundTrip, RandomSyndromes)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 200; trial++) {
+        uint32_t n = 16 + static_cast<uint32_t>(rng.uniformInt(500));
+        BitVec v(n);
+        // Mix of sparse and dense densities.
+        double density = (trial % 4 == 0) ? 0.4 : 0.02;
+        for (uint32_t i = 0; i < n; i++) {
+            if (rng.bernoulli(density))
+                v.set(i);
+        }
+        auto enc = encodeSyndrome(v, GetParam());
+        EXPECT_TRUE(decodeSyndrome(enc, n) == v)
+            << "trial " << trial << " n=" << n;
+    }
+}
+
+TEST_P(CodecRoundTrip, NeverLargerThanRawPlusTag)
+{
+    Rng rng(13);
+    for (int trial = 0; trial < 100; trial++) {
+        uint32_t n = 400;
+        BitVec v(n);
+        for (uint32_t i = 0; i < n; i++) {
+            if (rng.bernoulli(0.5))
+                v.set(i);
+        }
+        auto enc = encodeSyndrome(v, GetParam());
+        EXPECT_LE(enc.size(), n / 8 + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CodecRoundTrip,
+                         ::testing::Values(SyndromeCodec::Raw,
+                                           SyndromeCodec::Sparse,
+                                           SyndromeCodec::RunLength));
+
+TEST(Codec, SparseBeatsRawOnTypicalSyndromes)
+{
+    // Real d = 7, p = 1e-3 syndromes are sparse; the sparse codec
+    // should compress them several-fold on average.
+    ExperimentConfig cfg;
+    cfg.distance = 7;
+    cfg.physicalErrorRate = 1e-3;
+    ExperimentContext ctx(cfg);
+
+    Rng rng(17);
+    BitVec dets, obs;
+    CompressionStats sparse_stats, rle_stats;
+    for (int s = 0; s < 3000; s++) {
+        ctx.sampler().sample(rng, dets, obs);
+        sparse_stats.add(
+            static_cast<uint32_t>(dets.size()),
+            encodeSyndrome(dets, SyndromeCodec::Sparse).size());
+        rle_stats.add(
+            static_cast<uint32_t>(dets.size()),
+            encodeSyndrome(dets, SyndromeCodec::RunLength).size());
+
+        // And every encoding round-trips.
+        auto enc = encodeSyndrome(dets, SyndromeCodec::Sparse);
+        ASSERT_TRUE(decodeSyndrome(
+                        enc, static_cast<uint32_t>(dets.size())) ==
+                    dets);
+    }
+    EXPECT_GT(sparse_stats.ratio(), 3.0);
+    EXPECT_GT(rle_stats.ratio(), 2.0);
+}
+
+TEST(Codec, LongZeroRunsUseEscape)
+{
+    // A bit beyond position 255 exercises the run-length escape.
+    BitVec v = fromIndices(400, {0, 300, 399});
+    auto enc = encodeSyndrome(v, SyndromeCodec::RunLength);
+    EXPECT_TRUE(decodeSyndrome(enc, 400) == v);
+}
+
+TEST(Codec, WideSparseIndices)
+{
+    // Syndromes longer than 256 bits need 2-byte sparse indices.
+    BitVec v = fromIndices(400, {1, 257, 399});
+    auto enc = encodeSyndrome(v, SyndromeCodec::Sparse);
+    EXPECT_TRUE(decodeSyndrome(enc, 400) == v);
+}
+
+TEST(Codec, StatsAccumulate)
+{
+    CompressionStats stats;
+    stats.add(80, 4);
+    stats.add(80, 7);
+    EXPECT_EQ(stats.syndromes, 2u);
+    EXPECT_EQ(stats.rawBytes, 22u);  // 2 * (10 + 1).
+    EXPECT_EQ(stats.encodedBytes, 11u);
+    EXPECT_DOUBLE_EQ(stats.ratio(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.meanEncodedBytes(), 5.5);
+}
+
+TEST(Codec, TransmissionTime)
+{
+    // 10 bytes at 10 MBps = 1 us.
+    EXPECT_DOUBLE_EQ(transmissionTimeNs(10.0, 10.0), 1000.0);
+    EXPECT_DOUBLE_EQ(transmissionTimeNs(10.0, 0.0), 0.0);
+}
+
+TEST(Codec, RejectsCorruptBuffer)
+{
+    EXPECT_DEATH(decodeSyndrome({}, 16), "empty");
+    EXPECT_DEATH(decodeSyndrome({99}, 16), "unknown");
+}
+
+} // namespace
+} // namespace astrea

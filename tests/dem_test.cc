@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests for detector-error-model extraction and the sparse DEM
+ * sampler, including the graphlike property of surface-code circuits
+ * and the statistical equivalence of the two samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dem/extractor.hh"
+#include "sim/dem_sampler.hh"
+#include "sim/frame_sim.hh"
+#include "surface_code/memory_circuit.hh"
+
+namespace astrea
+{
+namespace
+{
+
+Circuit
+memCircuit(uint32_t d, double p, Basis basis = Basis::Z)
+{
+    SurfaceCodeLayout layout(d);
+    MemoryExperimentSpec spec;
+    spec.distance = d;
+    spec.basis = basis;
+    spec.noise = NoiseModel::uniform(p);
+    return buildMemoryCircuit(layout, spec);
+}
+
+TEST(ErrorModel, MergesIdenticalSymptoms)
+{
+    ErrorModel m(4, 1);
+    m.addMechanism(0.1, {1, 2}, 0);
+    m.addMechanism(0.1, {2, 1}, 0);  // Same symptom, unsorted.
+    ASSERT_EQ(m.mechanisms().size(), 1u);
+    // p = 0.1 * 0.9 + 0.9 * 0.1 = 0.18.
+    EXPECT_NEAR(m.mechanisms()[0].probability, 0.18, 1e-12);
+    EXPECT_EQ(m.mechanisms()[0].detectors,
+              (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(ErrorModel, DistinguishesObservableMasks)
+{
+    ErrorModel m(4, 2);
+    m.addMechanism(0.1, {1}, 0);
+    m.addMechanism(0.1, {1}, 1);
+    EXPECT_EQ(m.mechanisms().size(), 2u);
+}
+
+TEST(ErrorModel, IgnoresZeroProbability)
+{
+    ErrorModel m(4, 1);
+    m.addMechanism(0.0, {1}, 0);
+    EXPECT_TRUE(m.mechanisms().empty());
+}
+
+TEST(ErrorModel, ExpectedErrorsPerShot)
+{
+    ErrorModel m(4, 1);
+    m.addMechanism(0.25, {0}, 0);
+    m.addMechanism(0.5, {1}, 0);
+    EXPECT_DOUBLE_EQ(m.expectedErrorsPerShot(), 0.75);
+}
+
+TEST(FaultSites, CountsChannels)
+{
+    Circuit c = memCircuit(3, 1e-3);
+    auto sites = enumerateFaultSites(c);
+    // d depolarize1 rounds x 9 data qubits + per-round reset/measure
+    // flips (8 ancillas each) + final data flips + CX depolarize2
+    // pairs: all present.
+    EXPECT_GT(sites.size(), 100u);
+    for (const auto &s : sites) {
+        EXPECT_DOUBLE_EQ(s.prob, 1e-3);
+        if (s.type == GateType::Depolarize2)
+            EXPECT_NE(s.qubit1, kNoSecondQubit);
+        else
+            EXPECT_EQ(s.qubit1, kNoSecondQubit);
+    }
+}
+
+TEST(FaultSites, OutcomeEnumerationProbabilities)
+{
+    Circuit c = memCircuit(3, 1e-3);
+    auto sites = enumerateFaultSites(c);
+    for (const auto &s : sites) {
+        auto outcomes = enumerateFaultOutcomes(s);
+        double total = 0.0;
+        for (auto &[p, flips] : outcomes) {
+            EXPECT_FALSE(flips.empty());
+            total += p;
+        }
+        EXPECT_NEAR(total, s.prob, 1e-15);
+        switch (s.type) {
+          case GateType::XError:
+            EXPECT_EQ(outcomes.size(), 1u);
+            break;
+          case GateType::Depolarize1:
+            EXPECT_EQ(outcomes.size(), 3u);
+            break;
+          case GateType::Depolarize2:
+            EXPECT_EQ(outcomes.size(), 15u);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+class ExtractorTest : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ExtractorTest, SurfaceCodeMechanismsAreGraphlike)
+{
+    Circuit c = memCircuit(GetParam(), 1e-3);
+    ExtractionStats stats;
+    ErrorModel m = extractErrorModel(c, &stats);
+
+    // Every mechanism flips at most two detectors of the decoded basis
+    // (the property MWPM decoding depends on).
+    EXPECT_EQ(stats.oversizeSymptoms, 0u);
+    for (const auto &mech : m.mechanisms())
+        EXPECT_LE(mech.detectors.size(), 2u);
+}
+
+TEST_P(ExtractorTest, NoUndetectableLogicalMechanisms)
+{
+    // A single fault must never flip the observable without flipping a
+    // detector — that would mean the circuit has distance 1.
+    Circuit c = memCircuit(GetParam(), 1e-3);
+    ErrorModel m = extractErrorModel(c);
+    for (const auto &mech : m.mechanisms()) {
+        if (mech.observables != 0)
+            EXPECT_FALSE(mech.detectors.empty());
+    }
+}
+
+TEST_P(ExtractorTest, ProbabilitiesAreSane)
+{
+    Circuit c = memCircuit(GetParam(), 1e-3);
+    ErrorModel m = extractErrorModel(c);
+    EXPECT_GT(m.mechanisms().size(), 0u);
+    for (const auto &mech : m.mechanisms()) {
+        EXPECT_GT(mech.probability, 0.0);
+        EXPECT_LT(mech.probability, 0.1);
+        for (auto d : mech.detectors)
+            EXPECT_LT(d, m.numDetectors());
+    }
+}
+
+TEST_P(ExtractorTest, MemoryXAlsoGraphlike)
+{
+    Circuit c = memCircuit(GetParam(), 1e-3, Basis::X);
+    ExtractionStats stats;
+    extractErrorModel(c, &stats);
+    EXPECT_EQ(stats.oversizeSymptoms, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ExtractorTest,
+                         ::testing::Values(3u, 5u, 7u));
+
+TEST(ExtractorStats, CountsPropagations)
+{
+    Circuit c = memCircuit(3, 1e-3);
+    ExtractionStats stats;
+    extractErrorModel(c, &stats);
+    EXPECT_EQ(stats.faultSites, enumerateFaultSites(c).size());
+    EXPECT_GT(stats.outcomesPropagated, stats.faultSites);
+}
+
+TEST(DemSampler, MatchesFrameSimulatorStatistics)
+{
+    // The sparse DEM sampler and the dense frame simulator must agree
+    // on per-detector firing rates and the overall Hamming-weight
+    // distribution.
+    Circuit c = memCircuit(3, 5e-3);
+    ErrorModel model = extractErrorModel(c);
+    DemSampler sparse(model);
+    FrameSimulator dense(c);
+
+    const int shots = 40000;
+    std::vector<uint64_t> sparse_rate(c.numDetectors(), 0);
+    std::vector<uint64_t> dense_rate(c.numDetectors(), 0);
+    uint64_t sparse_obs = 0, dense_obs = 0;
+    double sparse_hw = 0.0, dense_hw = 0.0;
+
+    Rng rng_a(101), rng_b(202);
+    BitVec dets, obs;
+    for (int s = 0; s < shots; s++) {
+        sparse.sample(rng_a, dets, obs);
+        sparse_hw += static_cast<double>(dets.popcount());
+        for (auto i : dets.onesIndices())
+            sparse_rate[i]++;
+        if (!obs.none())
+            sparse_obs++;
+
+        dense.sample(rng_b, dets, obs);
+        dense_hw += static_cast<double>(dets.popcount());
+        for (auto i : dets.onesIndices())
+            dense_rate[i]++;
+        if (!obs.none())
+            dense_obs++;
+    }
+
+    EXPECT_NEAR(sparse_hw / shots, dense_hw / shots,
+                0.05 * std::max(1.0, dense_hw / shots));
+    for (uint32_t i = 0; i < c.numDetectors(); i++) {
+        double a = sparse_rate[i] / static_cast<double>(shots);
+        double b = dense_rate[i] / static_cast<double>(shots);
+        EXPECT_NEAR(a, b, 0.015) << "detector " << i;
+    }
+    EXPECT_NEAR(sparse_obs / static_cast<double>(shots),
+                dense_obs / static_cast<double>(shots), 0.01);
+}
+
+TEST(DemSampler, FiredListMatchesSymptoms)
+{
+    Circuit c = memCircuit(3, 2e-2);
+    ErrorModel model = extractErrorModel(c);
+    DemSampler sampler(model);
+    Rng rng(7);
+    BitVec dets, obs;
+    std::vector<uint32_t> fired;
+    for (int s = 0; s < 200; s++) {
+        sampler.sample(rng, dets, obs, &fired);
+        // Recompute the symptom XOR from the fired mechanisms and
+        // compare with the sampler's output.
+        BitVec expect_d(c.numDetectors());
+        uint64_t expect_o = 0;
+        for (auto f : fired) {
+            for (auto d : model.mechanisms()[f].detectors)
+                expect_d.flip(d);
+            expect_o ^= model.mechanisms()[f].observables;
+        }
+        EXPECT_TRUE(dets == expect_d);
+        uint64_t got_o = 0;
+        for (auto o : obs.onesIndices())
+            got_o |= 1ull << o;
+        EXPECT_EQ(got_o, expect_o);
+    }
+}
+
+TEST(DemSampler, ZeroNoiseNeverFires)
+{
+    ErrorModel model(8, 1);
+    DemSampler sampler(model);
+    Rng rng(1);
+    BitVec dets, obs;
+    sampler.sample(rng, dets, obs);
+    EXPECT_TRUE(dets.none());
+    EXPECT_EQ(dets.size(), 8u);
+}
+
+TEST(DemSampler, FiringRateMatchesMechanismProbability)
+{
+    ErrorModel model(2, 1);
+    model.addMechanism(0.05, {0}, 0);
+    model.addMechanism(0.2, {1}, 1);
+    DemSampler sampler(model);
+    Rng rng(3);
+    BitVec dets, obs;
+    int fire0 = 0, fire1 = 0;
+    const int shots = 50000;
+    for (int s = 0; s < shots; s++) {
+        sampler.sample(rng, dets, obs);
+        if (dets.get(0))
+            fire0++;
+        if (dets.get(1))
+            fire1++;
+    }
+    EXPECT_NEAR(fire0 / static_cast<double>(shots), 0.05, 0.005);
+    EXPECT_NEAR(fire1 / static_cast<double>(shots), 0.2, 0.01);
+}
+
+} // namespace
+} // namespace astrea

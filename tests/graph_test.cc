@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the decoding graph, Dijkstra, and the Global Weight Table:
+ * structure, symmetry, path properties, and the paper's published SRAM
+ * sizes (Table 6's GWT rows).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dem/extractor.hh"
+#include "graph/decoding_graph.hh"
+#include "graph/dijkstra.hh"
+#include "graph/weight_table.hh"
+#include "surface_code/memory_circuit.hh"
+
+namespace astrea
+{
+namespace
+{
+
+ErrorModel
+memModel(uint32_t d, double p)
+{
+    SurfaceCodeLayout layout(d);
+    MemoryExperimentSpec spec;
+    spec.distance = d;
+    spec.noise = NoiseModel::uniform(p);
+    Circuit c = buildMemoryCircuit(layout, spec);
+    return extractErrorModel(c);
+}
+
+TEST(DecodingGraph, HandmadeModel)
+{
+    // 3 detectors in a path: B -- 0 -- 1 -- 2 -- B, with an observable
+    // on the (1,2) edge.
+    ErrorModel m(3, 1);
+    m.addMechanism(0.1, {0}, 0);        // Boundary edge at 0.
+    m.addMechanism(0.01, {0, 1}, 0);
+    m.addMechanism(0.01, {1, 2}, 1);
+    m.addMechanism(0.1, {2}, 0);        // Boundary edge at 2.
+    DecodingGraph g(m);
+
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.edges().size(), 4u);
+    EXPECT_GE(g.boundaryEdge(0), 0);
+    EXPECT_EQ(g.boundaryEdge(1), -1);
+    EXPECT_GE(g.boundaryEdge(2), 0);
+    EXPECT_EQ(g.stats().decomposedMechanisms, 0u);
+}
+
+TEST(DecodingGraph, EdgeWeightIsLogOdds)
+{
+    ErrorModel m(2, 1);
+    m.addMechanism(0.01, {0, 1}, 0);
+    DecodingGraph g(m);
+    ASSERT_EQ(g.edges().size(), 1u);
+    EXPECT_NEAR(g.edges()[0].weight, std::log10(0.99 / 0.01), 1e-12);
+}
+
+TEST(DecodingGraph, ParallelMechanismsMerge)
+{
+    ErrorModel m(2, 1);
+    m.addMechanism(0.01, {0, 1}, 0);
+    m.addMechanism(0.02, {0, 1}, 0);
+    // Distinct symptoms in the model (merged there only when equal
+    // masks), but same endpoints + same obs -> one graph edge with
+    // XOR-combined probability.
+    DecodingGraph g(m);
+    ASSERT_EQ(g.edges().size(), 1u);
+    double expect = 0.01 * 0.98 + 0.02 * 0.99;
+    EXPECT_NEAR(g.edges()[0].probability, expect, 1e-12);
+}
+
+TEST(DecodingGraph, ObsConflictKeepsLikelierEdge)
+{
+    ErrorModel m(2, 1);
+    m.addMechanism(0.01, {0, 1}, 0);
+    m.addMechanism(0.05, {0, 1}, 1);
+    DecodingGraph g(m);
+    ASSERT_EQ(g.edges().size(), 1u);
+    EXPECT_EQ(g.stats().obsConflicts, 1u);
+    EXPECT_EQ(g.edges()[0].obsMask, 1u);
+}
+
+TEST(DecodingGraph, OversizeMechanismDecomposes)
+{
+    ErrorModel m(4, 1);
+    m.addMechanism(0.01, {0, 1, 2, 3}, 1);
+    DecodingGraph g(m);
+    EXPECT_EQ(g.stats().decomposedMechanisms, 1u);
+    EXPECT_EQ(g.edges().size(), 2u);
+}
+
+TEST(Dijkstra, HandmadePathGraph)
+{
+    ErrorModel m(3, 1);
+    m.addMechanism(0.1, {0}, 0);
+    m.addMechanism(0.01, {0, 1}, 0);
+    m.addMechanism(0.01, {1, 2}, 1);
+    m.addMechanism(0.1, {2}, 0);
+    DecodingGraph g(m);
+
+    ShortestPaths sp = dijkstraFrom(g, 0);
+    double w01 = std::log10(0.99 / 0.01);
+    double w_b = std::log10(0.9 / 0.1);
+    EXPECT_NEAR(sp.dist[1], w01, 1e-12);
+    EXPECT_NEAR(sp.dist[2], 2 * w01, 1e-12);
+    EXPECT_NEAR(sp.boundaryDist, w_b, 1e-12);
+    // Path 0 -> 1 -> 2 crosses the observable-carrying edge.
+    EXPECT_EQ(sp.obsMask[2], 1u);
+    EXPECT_EQ(sp.obsMask[1], 0u);
+}
+
+TEST(Dijkstra, BoundaryViaNeighborWhenCheaper)
+{
+    // Node 1 has no boundary edge; its boundary distance goes through
+    // node 0.
+    ErrorModel m(2, 1);
+    m.addMechanism(0.1, {0}, 1);
+    m.addMechanism(0.05, {0, 1}, 0);
+    DecodingGraph g(m);
+    ShortestPaths sp = dijkstraFrom(g, 1);
+    double expect = std::log10(0.95 / 0.05) + std::log10(0.9 / 0.1);
+    EXPECT_NEAR(sp.boundaryDist, expect, 1e-12);
+    EXPECT_EQ(sp.boundaryObs, 1u);
+}
+
+class GwtTest : public ::testing::TestWithParam<uint32_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        model_ = std::make_unique<ErrorModel>(
+            memModel(GetParam(), 1e-3));
+        graph_ = std::make_unique<DecodingGraph>(*model_);
+        gwt_ = std::make_unique<GlobalWeightTable>(*graph_);
+    }
+
+    std::unique_ptr<ErrorModel> model_;
+    std::unique_ptr<DecodingGraph> graph_;
+    std::unique_ptr<GlobalWeightTable> gwt_;
+};
+
+TEST_P(GwtTest, SizeMatchesSyndromeLength)
+{
+    uint32_t d = GetParam();
+    EXPECT_EQ(gwt_->size(), syndromeVectorLength(d, d));
+    // Table 6: the GWT occupies l^2 bytes (36 KB at d = 7).
+    EXPECT_EQ(gwt_->sramBytes(),
+              static_cast<size_t>(gwt_->size()) * gwt_->size());
+}
+
+TEST_P(GwtTest, WeightsAreSymmetric)
+{
+    for (uint32_t i = 0; i < gwt_->size(); i += 7) {
+        for (uint32_t j = 0; j < gwt_->size(); j += 5) {
+            EXPECT_EQ(gwt_->pairWeight(i, j), gwt_->pairWeight(j, i));
+            EXPECT_EQ(gwt_->pairObs(i, j), gwt_->pairObs(j, i));
+            EXPECT_DOUBLE_EQ(gwt_->exactWeight(i, j),
+                             gwt_->exactWeight(j, i));
+        }
+    }
+}
+
+TEST_P(GwtTest, AllPairsFiniteAndPositive)
+{
+    // The Z decoding graph of a memory experiment is connected, so
+    // every pair (and every boundary entry) has a finite weight.
+    for (uint32_t i = 0; i < gwt_->size(); i++) {
+        EXPECT_TRUE(std::isfinite(gwt_->exactWeight(i, i)));
+        EXPECT_GT(gwt_->exactWeight(i, i), 0.0);
+        for (uint32_t j = i + 1; j < gwt_->size(); j += 11) {
+            EXPECT_TRUE(std::isfinite(gwt_->exactWeight(i, j)));
+            EXPECT_GT(gwt_->exactWeight(i, j), 0.0);
+        }
+    }
+}
+
+TEST_P(GwtTest, TriangleInequality)
+{
+    // Shortest-path distances must satisfy the triangle inequality.
+    const uint32_t n = gwt_->size();
+    for (uint32_t i = 0; i < n; i += 13) {
+        for (uint32_t j = 0; j < n; j += 11) {
+            if (i == j)
+                continue;
+            for (uint32_t k = 0; k < n; k += 17) {
+                if (k == i || k == j)
+                    continue;
+                EXPECT_LE(gwt_->exactWeight(i, j),
+                          gwt_->exactWeight(i, k) +
+                              gwt_->exactWeight(k, j) + 1e-9);
+            }
+        }
+    }
+}
+
+TEST_P(GwtTest, EffectiveWeightNeverExceedsDirect)
+{
+    const uint32_t n = gwt_->size();
+    for (uint32_t i = 0; i < n; i += 7) {
+        for (uint32_t j = 0; j < n; j += 9) {
+            if (i == j)
+                continue;
+            EXPECT_LE(gwt_->effectiveWeight(i, j),
+                      static_cast<WeightSum>(gwt_->pairWeight(i, j)));
+            WeightSum via = addWeights(gwt_->pairWeight(i, i),
+                                       gwt_->pairWeight(j, j));
+            EXPECT_LE(gwt_->effectiveWeight(i, j), via);
+        }
+    }
+}
+
+TEST_P(GwtTest, QuantizationError)
+{
+    // Quantized weights are within half an LSB of the exact value
+    // (unless saturated).
+    const uint32_t n = gwt_->size();
+    for (uint32_t i = 0; i < n; i += 7) {
+        for (uint32_t j = 0; j < n; j += 9) {
+            QWeight q = gwt_->pairWeight(i, j);
+            if (q == kInfiniteWeight)
+                continue;
+            EXPECT_NEAR(weightToDecades(q), gwt_->exactWeight(i, j),
+                        0.5 / kWeightScale + 1e-12);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, GwtTest,
+                         ::testing::Values(3u, 5u, 7u));
+
+TEST(Gwt, Table6GwtSizes)
+{
+    // The paper reports 36 KB (d = 7) and 156 KB (d = 9) for the GWT;
+    // these follow from l = 192 and l = 400.
+    EXPECT_EQ(syndromeVectorLength(7, 7) * syndromeVectorLength(7, 7),
+              36864u);  // 36 KB.
+    EXPECT_EQ(syndromeVectorLength(9, 9) * syndromeVectorLength(9, 9),
+              160000u);  // ~156 KB.
+}
+
+} // namespace
+} // namespace astrea

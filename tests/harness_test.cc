@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the experiment harness: shot loops, Hamming-weight
+ * histograms and their analytic model, latency histograms, the
+ * semi-analytic estimator, and the sweep helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "astrea/resource_model.hh"
+#include "harness/hw_histogram.hh"
+#include "harness/latency_stats.hh"
+#include "harness/memory_experiment.hh"
+#include "harness/semi_analytic.hh"
+#include "harness/sweeps.hh"
+
+namespace astrea
+{
+namespace
+{
+
+const ExperimentContext &
+d3Context()
+{
+    static ExperimentContext ctx = [] {
+        ExperimentConfig cfg;
+        cfg.distance = 3;
+        cfg.physicalErrorRate = 2e-3;
+        return ExperimentContext(cfg);
+    }();
+    return ctx;
+}
+
+TEST(MemoryExperiment, ShotAccounting)
+{
+    ExperimentResult r = runMemoryExperiment(d3Context(),
+                                             astreaFactory(), 5000, 1);
+    EXPECT_EQ(r.logicalErrors.trials, 5000u);
+    EXPECT_EQ(r.hammingWeights.total(), 5000u);
+    EXPECT_EQ(r.latencyNs.count(), 5000u);
+}
+
+TEST(MemoryExperiment, DeterministicForFixedSeedAndThreads)
+{
+    auto a = runMemoryExperiment(d3Context(), mwpmFactory(), 2000, 7, 2);
+    auto b = runMemoryExperiment(d3Context(), mwpmFactory(), 2000, 7, 2);
+    EXPECT_EQ(a.logicalErrors.successes, b.logicalErrors.successes);
+    EXPECT_EQ(a.hammingWeights.at(2), b.hammingWeights.at(2));
+}
+
+TEST(MemoryExperiment, ThreadCountDoesNotBiasLer)
+{
+    auto a = runMemoryExperiment(d3Context(), mwpmFactory(), 40000, 3, 1);
+    auto b = runMemoryExperiment(d3Context(), mwpmFactory(), 40000, 3, 4);
+    // Different shard RNGs, same distribution: LERs agree within noise.
+    double rate_a = a.ler(), rate_b = b.ler();
+    EXPECT_LT(std::abs(rate_a - rate_b),
+              5 * std::sqrt(rate_a / 40000.0 + rate_b / 40000.0) +
+                  1e-4);
+}
+
+TEST(MemoryExperiment, ResultMerge)
+{
+    ExperimentResult a, b;
+    a.logicalErrors = {2, 100};
+    b.logicalErrors = {3, 200};
+    a.gaveUps = 1;
+    b.gaveUps = 2;
+    a.merge(b);
+    EXPECT_EQ(a.logicalErrors.successes, 5u);
+    EXPECT_EQ(a.logicalErrors.trials, 300u);
+    EXPECT_EQ(a.gaveUps, 3u);
+}
+
+TEST(HwHistogram, MeasuredFrequenciesSumToOne)
+{
+    HwDistribution dist = measureHwDistribution(d3Context(), 20000, 5);
+    EXPECT_EQ(dist.shots, 20000u);
+    double total = 0.0;
+    for (size_t h = 0; h <= dist.hist.maxKey(); h++)
+        total += dist.frequency(h);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HwHistogram, AnalyticModelIsUpperBoundInTheTail)
+{
+    // Sec. 4.2: the binomial model upper-bounds the real tail
+    // frequencies (not every fault flips two bits).
+    const uint32_t d = 3;
+    const double p = 2e-3;
+    HwDistribution dist = measureHwDistribution(d3Context(), 200000, 9);
+    for (uint32_t h = 4; h <= 10; h += 2) {
+        double analytic = analyticHwTail(d, p, h);
+        double measured = dist.hist.tailFrequency(h);
+        EXPECT_GT(analytic, measured * 0.5) << "h=" << h;
+    }
+}
+
+TEST(HwHistogram, AnalyticPmfProperties)
+{
+    // Odd weights are impossible in the pair-flip model; even weights
+    // sum to one.
+    EXPECT_DOUBLE_EQ(analyticHwProbability(5, 1e-3, 3), 0.0);
+    double total = 0.0;
+    for (uint32_t h = 0; h <= 144; h += 2)
+        total += analyticHwProbability(5, 1e-3, h);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HwHistogram, RangeFrequency)
+{
+    HwDistribution dist = measureHwDistribution(d3Context(), 5000, 11);
+    double all = dist.rangeFrequency(0, 64);
+    EXPECT_NEAR(all, 1.0, 1e-9);
+    EXPECT_LE(dist.rangeFrequency(1, 2), 1.0);
+}
+
+TEST(LatencyHistogram, BucketsAndFractions)
+{
+    LatencyHistogram h(100.0, 1000.0);
+    h.add(50.0);
+    h.add(150.0);
+    h.add(2500.0);  // Overflow.
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_DOUBLE_EQ(h.maxNs(), 2500.0);
+    EXPECT_NEAR(h.fractionAbove(1000.0), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(h.bucketFraction(0), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(h.bucketFraction(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(LatencyHistogram, MeasureDistributionSkipsTrivialShots)
+{
+    LatencyHistogram h = measureLatencyDistribution(
+        d3Context(), astreaFactory(), 20000, 13);
+    EXPECT_GT(h.samples(), 0u);
+    EXPECT_LT(h.samples(), 20000u);  // Zero-HW shots skipped.
+    // Astrea's worst case at d=3 is 32 ns (Fig. 9).
+    EXPECT_LE(h.maxNs(), 456.0);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(1000.0), 0.0);
+}
+
+TEST(SemiAnalytic, SingleFaultNeverFailsDistance3)
+{
+    // A distance-3 code corrects any single fault under exact MWPM.
+    SemiAnalyticConfig cfg;
+    cfg.maxFaults = 2;
+    cfg.shotsPerK = 3000;
+    cfg.seed = 17;
+    SemiAnalyticResult r =
+        estimateLerSemiAnalytic(d3Context(), mwpmFactory(), cfg);
+    EXPECT_DOUBLE_EQ(r.failureProb[0], 0.0);
+    EXPECT_DOUBLE_EQ(r.failureProb[1], 0.0);
+    EXPECT_GT(r.failureProb[2], 0.0);  // Two faults can defeat d=3.
+}
+
+TEST(SemiAnalytic, OccurrenceProbabilitiesAreBinomial)
+{
+    SemiAnalyticConfig cfg;
+    cfg.maxFaults = 3;
+    cfg.shotsPerK = 100;
+    SemiAnalyticResult r =
+        estimateLerSemiAnalytic(d3Context(), mwpmFactory(), cfg);
+    EXPECT_GT(r.faultSites, 0u);
+    for (uint32_t k = 0; k <= 3; k++) {
+        EXPECT_NEAR(r.occurrenceProb[k],
+                    binomialPmf(r.faultSites, 2e-3, k), 1e-12);
+    }
+    EXPECT_GE(r.tailMass, 0.0);
+    EXPECT_LT(r.tailMass, 0.1);
+}
+
+TEST(SemiAnalytic, LerConsistentWithMonteCarlo)
+{
+    // At d = 3 and an inflated p the LER is large enough for a direct
+    // comparison between the two estimators.
+    SemiAnalyticConfig cfg;
+    cfg.maxFaults = 8;
+    cfg.shotsPerK = 20000;
+    cfg.seed = 19;
+    SemiAnalyticResult sa =
+        estimateLerSemiAnalytic(d3Context(), mwpmFactory(), cfg);
+    ExperimentResult mc =
+        runMemoryExperiment(d3Context(), mwpmFactory(), 200000, 23);
+    EXPECT_GT(sa.ler, 0.0);
+    EXPECT_LT(std::abs(std::log10(sa.ler) - std::log10(mc.ler())),
+              0.35);
+}
+
+TEST(Sweeps, PhysicalErrorRateSweepShape)
+{
+    std::vector<NamedFactory> decoders{{"mwpm", mwpmFactory()}};
+    auto points = sweepPhysicalErrorRate(3, Basis::Z, {1e-3, 8e-3},
+                                         decoders, 30000, 29);
+    ASSERT_EQ(points.size(), 2u);
+    ASSERT_EQ(points[0].results.size(), 1u);
+    // LER grows with p.
+    EXPECT_LT(points[0].results[0].ler(), points[1].results[0].ler());
+}
+
+TEST(Sweeps, DistanceSweepSuppressesErrors)
+{
+    std::vector<NamedFactory> decoders{{"mwpm", mwpmFactory()}};
+    auto points = sweepDistance({3, 5}, Basis::Z, 5e-3, decoders,
+                                30000, 31);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_GT(points[0].results[0].ler(),
+              points[1].results[0].ler());
+}
+
+TEST(Sweeps, DecodeBudgetMapsToCycles)
+{
+    auto points = sweepDecodeBudget(d3Context(), {400.0, 1000.0},
+                                    AstreaGConfig{}, 2000, 37);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].x, 400.0);
+}
+
+TEST(ResourceModel, SramScalesWithDistance)
+{
+    AstreaGConfig cfg;
+    AstreaGSram s7 = astreaGSram(7, 16, cfg);
+    AstreaGSram s9 = astreaGSram(9, 24, cfg);
+    EXPECT_EQ(s7.gwtBytes, 36864u);   // 36 KB, Table 6.
+    EXPECT_EQ(s9.gwtBytes, 160000u);  // ~156 KB, Table 6.
+    EXPECT_GT(s9.totalBytes(), s7.totalBytes());
+    EXPECT_EQ(s7.lwtBytes, 512u);     // Table 6 row.
+}
+
+TEST(ResourceModel, UtilizationWithinDevice)
+{
+    FpgaUtilization a = astreaUtilization(7);
+    EXPECT_GT(a.lutPercent, 0.0);
+    EXPECT_LT(a.lutPercent, 100.0);
+    EXPECT_LT(a.bramPercent, 100.0);
+    EXPECT_DOUBLE_EQ(a.maxFreqMHz, 250.0);
+
+    FpgaUtilization g = astreaGUtilization(9, 24, AstreaGConfig{});
+    EXPECT_GT(g.lutPercent, a.lutPercent);
+    EXPECT_LT(g.lutPercent, 100.0);
+}
+
+} // namespace
+} // namespace astrea

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the Stim-format exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "harness/memory_experiment.hh"
+#include "interop/stim_export.hh"
+
+namespace astrea
+{
+namespace
+{
+
+TEST(StimCircuit, GoldenSmallCircuit)
+{
+    CircuitBuilder b(2);
+    b.reset({0, 1});
+    b.hadamard({0});
+    b.cx({0, 1});
+    b.depolarize2(0.001, {0, 1});
+    b.xError(0.25, {1});
+    auto m = b.measure({0, 1});
+    b.detector({m[0]}, DetectorInfo{});
+    b.detector({m[0], m[1]}, DetectorInfo{});
+    b.observable(0, {m[1]});
+    Circuit c = b.build();
+
+    EXPECT_EQ(toStimCircuit(c),
+              "R 0 1\n"
+              "H 0\n"
+              "CX 0 1\n"
+              "DEPOLARIZE2(0.001) 0 1\n"
+              "X_ERROR(0.25) 1\n"
+              "M 0 1\n"
+              "DETECTOR rec[-2]\n"
+              "DETECTOR rec[-2] rec[-1]\n"
+              "OBSERVABLE_INCLUDE(0) rec[-1]\n");
+}
+
+TEST(StimCircuit, LookbacksSpanMeasurementLayers)
+{
+    CircuitBuilder b(1);
+    b.reset({0});
+    auto m1 = b.measure({0});
+    auto m2 = b.measure({0});
+    b.detector({m1[0], m2[0]}, DetectorInfo{});
+    Circuit c = b.build();
+    std::string s = toStimCircuit(c);
+    EXPECT_NE(s.find("DETECTOR rec[-2] rec[-1]"), std::string::npos);
+}
+
+TEST(StimCircuit, TickAndMr)
+{
+    Circuit c(1);
+    c.appendGate(GateType::Tick, {});
+    c.appendGate(GateType::MR, {0});
+    std::string s = toStimCircuit(c);
+    EXPECT_EQ(s, "TICK\nMR 0\n");
+}
+
+TEST(StimCircuit, MemoryCircuitExports)
+{
+    ExperimentConfig cfg;
+    cfg.distance = 3;
+    cfg.physicalErrorRate = 1e-3;
+    ExperimentContext ctx(cfg);
+    std::string s = toStimCircuit(ctx.circuit());
+
+    // One DETECTOR line per detector, one OBSERVABLE_INCLUDE.
+    size_t detectors = 0, observables = 0, pos = 0;
+    while ((pos = s.find("DETECTOR", pos)) != std::string::npos) {
+        detectors++;
+        pos++;
+    }
+    pos = 0;
+    while ((pos = s.find("OBSERVABLE_INCLUDE", pos)) !=
+           std::string::npos) {
+        observables++;
+        pos++;
+    }
+    EXPECT_EQ(detectors, ctx.circuit().numDetectors());
+    EXPECT_EQ(observables, 1u);
+    // No absolute record indices may leak through.
+    EXPECT_EQ(s.find("rec[0]"), std::string::npos);
+    EXPECT_EQ(s.find("rec[-0]"), std::string::npos);
+}
+
+TEST(StimDem, GoldenLines)
+{
+    ErrorModel m(4, 2);
+    m.addMechanism(0.125, {1, 3}, 0);
+    m.addMechanism(0.5, {0}, 0b11);
+    std::string s = toStimDem(m);
+    EXPECT_EQ(s,
+              "error(0.125) D1 D3\n"
+              "error(0.5) D0 L0 L1\n");
+}
+
+TEST(StimDem, MemoryModelExports)
+{
+    ExperimentConfig cfg;
+    cfg.distance = 3;
+    cfg.physicalErrorRate = 1e-3;
+    ExperimentContext ctx(cfg);
+    std::string s = toStimDem(ctx.errorModel());
+    size_t lines = 0, pos = 0;
+    while ((pos = s.find('\n', pos)) != std::string::npos) {
+        lines++;
+        pos++;
+    }
+    EXPECT_EQ(lines, ctx.errorModel().mechanisms().size());
+    EXPECT_NE(s.find("error("), std::string::npos);
+}
+
+TEST(WriteTextFile, RoundTrip)
+{
+    std::string path =
+        std::string(::testing::TempDir()) + "stim_export_test.txt";
+    writeTextFile(path, "hello\nworld\n");
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[64] = {0};
+    size_t n = std::fread(buf, 1, sizeof(buf), f);
+    std::fclose(f);
+    EXPECT_EQ(std::string(buf, n), "hello\nworld\n");
+    std::remove(path.c_str());
+}
+
+TEST(WriteTextFile, FatalOnBadPath)
+{
+    EXPECT_EXIT(writeTextFile("/nonexistent/dir/file.txt", "x"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace astrea

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for Global Weight Table serialization and the greedy baseline
+ * decoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "decoders/greedy_decoder.hh"
+#include "decoders/mwpm_decoder.hh"
+#include "graph/weight_table_io.hh"
+#include "harness/memory_experiment.hh"
+
+namespace astrea
+{
+namespace
+{
+
+const ExperimentContext &
+sharedContext()
+{
+    static ExperimentContext ctx = [] {
+        ExperimentConfig cfg;
+        cfg.distance = 5;
+        cfg.physicalErrorRate = 2e-3;
+        return ExperimentContext(cfg);
+    }();
+    return ctx;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+// ------------------------------------------------------------- GWT IO
+
+TEST(WeightTableIo, RoundTripPreservesEverything)
+{
+    const auto &gwt = sharedContext().gwt();
+    std::string path = tempPath("gwt_roundtrip.bin");
+    saveWeightTable(gwt, path);
+    GlobalWeightTable loaded = loadWeightTable(path);
+
+    ASSERT_EQ(loaded.size(), gwt.size());
+    for (uint32_t i = 0; i < gwt.size(); i += 3) {
+        for (uint32_t j = 0; j < gwt.size(); j += 5) {
+            EXPECT_EQ(loaded.pairWeight(i, j), gwt.pairWeight(i, j));
+            EXPECT_EQ(loaded.pairObs(i, j), gwt.pairObs(i, j));
+            EXPECT_DOUBLE_EQ(loaded.exactWeight(i, j),
+                             gwt.exactWeight(i, j));
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(WeightTableIo, LoadedTableDecodesIdentically)
+{
+    const auto &ctx = sharedContext();
+    std::string path = tempPath("gwt_decode.bin");
+    saveWeightTable(ctx.gwt(), path);
+    GlobalWeightTable loaded = loadWeightTable(path);
+
+    MwpmDecoder original(ctx.gwt());
+    MwpmDecoder reloaded(loaded);
+    Rng rng(3);
+    BitVec dets, obs;
+    for (int s = 0; s < 500; s++) {
+        ctx.sampler().sample(rng, dets, obs);
+        auto defects = dets.onesIndices();
+        EXPECT_EQ(original.decode(defects).obsMask,
+                  reloaded.decode(defects).obsMask);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(WeightTableIo, RejectsMissingFile)
+{
+    EXPECT_EXIT(loadWeightTable("/nonexistent/path/gwt.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(WeightTableIo, RejectsGarbage)
+{
+    std::string path = tempPath("gwt_garbage.bin");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("not a gwt image at all", 1, 22, f);
+    std::fclose(f);
+    EXPECT_EXIT(loadWeightTable(path), ::testing::ExitedWithCode(1),
+                "not a GWT image");
+    std::remove(path.c_str());
+}
+
+TEST(WeightTableIo, RejectsTruncated)
+{
+    const auto &gwt = sharedContext().gwt();
+    std::string path = tempPath("gwt_truncated.bin");
+    saveWeightTable(gwt, path);
+    // Truncate to half.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+    EXPECT_EXIT(loadWeightTable(path), ::testing::ExitedWithCode(1),
+                "short read");
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- greedy
+
+TEST(Greedy, EmptySyndrome)
+{
+    GreedyDecoder dec(sharedContext().gwt());
+    DecodeResult r = dec.decode({});
+    EXPECT_EQ(r.obsMask, 0u);
+}
+
+TEST(Greedy, SingleDefectGoesToBoundary)
+{
+    const auto &gwt = sharedContext().gwt();
+    GreedyDecoder dec(gwt);
+    DecodeResult r = dec.decode({5});
+    EXPECT_EQ(r.obsMask, gwt.pairObs(5, 5));
+    EXPECT_NEAR(r.matchingWeight, gwt.exactWeight(5, 5), 1e-9);
+}
+
+TEST(Greedy, MatchingCoversEveryDefect)
+{
+    // The greedy matching's total weight is always >= MWPM's, and it
+    // resolves every defect (weight is finite).
+    const auto &ctx = sharedContext();
+    GreedyDecoder greedy(ctx.gwt());
+    MwpmDecoder mwpm(ctx.gwt());
+    Rng rng(7);
+    BitVec dets, obs;
+    for (int s = 0; s < 2000; s++) {
+        ctx.sampler().sample(rng, dets, obs);
+        auto defects = dets.onesIndices();
+        if (defects.empty())
+            continue;
+        DecodeResult g = greedy.decode(defects);
+        DecodeResult m = mwpm.decode(defects);
+        EXPECT_GE(g.matchingWeight, m.matchingWeight - 1e-9);
+        EXPECT_TRUE(std::isfinite(g.matchingWeight));
+    }
+}
+
+TEST(Greedy, AccuracyBetweenNothingAndMwpm)
+{
+    const auto &ctx = sharedContext();
+    const uint64_t shots = 60000;
+    auto greedy = runMemoryExperiment(ctx, greedyFactory(), shots, 9);
+    auto mwpm = runMemoryExperiment(ctx, mwpmFactory(), shots, 9);
+
+    // Count "no decoding" errors on the same stream.
+    uint64_t none_err = 0;
+    {
+        Rng root(9);
+        Rng worker = root.split(0);
+        BitVec dets, obs;
+        for (uint64_t s = 0; s < shots; s++) {
+            ctx.sampler().sample(worker, dets, obs);
+            if (!obs.none())
+                none_err++;
+        }
+    }
+    ASSERT_GT(mwpm.logicalErrors.successes, 10u);
+    EXPECT_LE(mwpm.logicalErrors.successes,
+              greedy.logicalErrors.successes + 5);
+    EXPECT_LT(greedy.logicalErrors.successes, none_err);
+}
+
+} // namespace
+} // namespace astrea

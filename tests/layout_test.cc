@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit and property tests for the rotated surface code layout: qubit
+ * counts (paper Table 1), stabilizer commutation, logical operators,
+ * and the four-layer CX schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "surface_code/layout.hh"
+
+namespace astrea
+{
+namespace
+{
+
+class LayoutTest : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(LayoutTest, QubitCountsMatchTable1)
+{
+    const uint32_t d = GetParam();
+    SurfaceCodeLayout layout(d);
+    EXPECT_EQ(layout.numDataQubits(), d * d);
+    EXPECT_EQ(layout.numAncillas(), d * d - 1);
+    EXPECT_EQ(layout.numQubits(), 2 * d * d - 1);
+    EXPECT_EQ(layout.plaquettesOf(Basis::X).size(), (d * d - 1) / 2);
+    EXPECT_EQ(layout.plaquettesOf(Basis::Z).size(), (d * d - 1) / 2);
+}
+
+TEST_P(LayoutTest, AncillaIndicesUniqueAndAfterData)
+{
+    SurfaceCodeLayout layout(GetParam());
+    std::set<uint32_t> seen;
+    for (const auto &p : layout.plaquettes()) {
+        EXPECT_GE(p.ancilla, layout.numDataQubits());
+        EXPECT_LT(p.ancilla, layout.numQubits());
+        EXPECT_TRUE(seen.insert(p.ancilla).second);
+    }
+}
+
+TEST_P(LayoutTest, PlaquettesHaveTwoOrFourCorners)
+{
+    SurfaceCodeLayout layout(GetParam());
+    for (const auto &p : layout.plaquettes()) {
+        int corners = 0;
+        for (auto c : p.corners) {
+            if (c != kNoQubit) {
+                corners++;
+                EXPECT_LT(c, layout.numDataQubits());
+            }
+        }
+        EXPECT_TRUE(corners == 2 || corners == 4)
+            << "plaquette at (" << p.x << "," << p.y << ")";
+    }
+}
+
+TEST_P(LayoutTest, StabilizersCommute)
+{
+    // Every X plaquette must overlap every Z plaquette in an even
+    // number of data qubits.
+    SurfaceCodeLayout layout(GetParam());
+    for (auto xi : layout.plaquettesOf(Basis::X)) {
+        const auto &xp = layout.plaquettes()[xi];
+        std::set<uint32_t> xs;
+        for (auto c : xp.corners) {
+            if (c != kNoQubit)
+                xs.insert(c);
+        }
+        for (auto zi : layout.plaquettesOf(Basis::Z)) {
+            const auto &zp = layout.plaquettes()[zi];
+            int overlap = 0;
+            for (auto c : zp.corners) {
+                if (c != kNoQubit && xs.count(c))
+                    overlap++;
+            }
+            EXPECT_EQ(overlap % 2, 0);
+        }
+    }
+}
+
+TEST_P(LayoutTest, LogicalOperatorsCommuteWithStabilizers)
+{
+    // Logical Z (row of Z) must overlap every X plaquette evenly;
+    // logical X (column of X) must overlap every Z plaquette evenly.
+    SurfaceCodeLayout layout(GetParam());
+    auto check = [&](Basis logical_basis, Basis stab_basis) {
+        auto support = layout.logicalSupport(logical_basis);
+        std::set<uint32_t> sup(support.begin(), support.end());
+        for (auto pi : layout.plaquettesOf(stab_basis)) {
+            const auto &p = layout.plaquettes()[pi];
+            int overlap = 0;
+            for (auto c : p.corners) {
+                if (c != kNoQubit && sup.count(c))
+                    overlap++;
+            }
+            EXPECT_EQ(overlap % 2, 0);
+        }
+    };
+    check(Basis::Z, Basis::X);
+    check(Basis::X, Basis::Z);
+}
+
+TEST_P(LayoutTest, LogicalOperatorsAnticommute)
+{
+    // Z_L and X_L must share an odd number of qubits.
+    SurfaceCodeLayout layout(GetParam());
+    auto zs = layout.logicalSupport(Basis::Z);
+    auto xs = layout.logicalSupport(Basis::X);
+    std::set<uint32_t> zset(zs.begin(), zs.end());
+    int overlap = 0;
+    for (auto q : xs) {
+        if (zset.count(q))
+            overlap++;
+    }
+    EXPECT_EQ(overlap % 2, 1);
+}
+
+TEST_P(LayoutTest, LogicalWeightEqualsDistance)
+{
+    SurfaceCodeLayout layout(GetParam());
+    EXPECT_EQ(layout.logicalSupport(Basis::Z).size(), GetParam());
+    EXPECT_EQ(layout.logicalSupport(Basis::X).size(), GetParam());
+}
+
+TEST_P(LayoutTest, EveryDataQubitTouchedByBothBases)
+{
+    // Each data qubit is in the support of at least one stabilizer of
+    // each basis (otherwise some single-qubit errors are invisible).
+    SurfaceCodeLayout layout(GetParam());
+    for (Basis b : {Basis::X, Basis::Z}) {
+        std::set<uint32_t> covered;
+        for (auto pi : layout.plaquettesOf(b)) {
+            for (auto c : layout.plaquettes()[pi].corners) {
+                if (c != kNoQubit)
+                    covered.insert(c);
+            }
+        }
+        EXPECT_EQ(covered.size(), layout.numDataQubits());
+    }
+}
+
+TEST_P(LayoutTest, CxScheduleHasNoConflicts)
+{
+    // Within each of the four layers, no data qubit may interact with
+    // two plaquettes at once (the schedule from memory_circuit.cc).
+    SurfaceCodeLayout layout(GetParam());
+    const int x_order[4] = {kNW, kNE, kSW, kSE};
+    const int z_order[4] = {kNW, kSW, kNE, kSE};
+    for (int layer = 0; layer < 4; layer++) {
+        std::set<uint32_t> used;
+        for (const auto &p : layout.plaquettes()) {
+            int slot = (p.basis == Basis::X) ? x_order[layer]
+                                             : z_order[layer];
+            uint32_t dq = p.corners[slot];
+            if (dq == kNoQubit)
+                continue;
+            EXPECT_TRUE(used.insert(dq).second)
+                << "data qubit " << dq << " reused in layer " << layer;
+        }
+    }
+}
+
+TEST_P(LayoutTest, VerticalXChainIsUndetectedLogical)
+{
+    // An X error on every data qubit of column 0 flips no Z stabilizer
+    // (it is the logical X operator).
+    SurfaceCodeLayout layout(GetParam());
+    const uint32_t d = layout.distance();
+    std::map<uint32_t, int> flips;  // Z-plaquette index -> flip count.
+    for (uint32_t r = 0; r < d; r++) {
+        uint32_t q = layout.dataQubit(r, 0);
+        for (auto zi : layout.plaquettesOf(Basis::Z)) {
+            for (auto c : layout.plaquettes()[zi].corners) {
+                if (c == q)
+                    flips[zi]++;
+            }
+        }
+    }
+    for (auto [zi, count] : flips)
+        EXPECT_EQ(count % 2, 0) << "Z plaquette " << zi;
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, LayoutTest,
+                         ::testing::Values(3u, 5u, 7u, 9u, 11u));
+
+TEST(Layout, RejectsEvenDistance)
+{
+    EXPECT_EXIT(SurfaceCodeLayout(4), ::testing::ExitedWithCode(1),
+                "odd");
+}
+
+TEST(Layout, RejectsDistanceOne)
+{
+    EXPECT_EXIT(SurfaceCodeLayout(1), ::testing::ExitedWithCode(1),
+                "odd");
+}
+
+TEST(Layout, DataQubitIndexing)
+{
+    SurfaceCodeLayout layout(5);
+    EXPECT_EQ(layout.dataQubit(0, 0), 0u);
+    EXPECT_EQ(layout.dataQubit(0, 4), 4u);
+    EXPECT_EQ(layout.dataQubit(1, 0), 5u);
+    EXPECT_EQ(layout.dataQubit(4, 4), 24u);
+}
+
+TEST(Layout, AncillasOfMatchesPlaquettesOf)
+{
+    SurfaceCodeLayout layout(5);
+    auto plaqs = layout.plaquettesOf(Basis::X);
+    auto ancs = layout.ancillasOf(Basis::X);
+    ASSERT_EQ(plaqs.size(), ancs.size());
+    for (size_t i = 0; i < plaqs.size(); i++)
+        EXPECT_EQ(layout.plaquettes()[plaqs[i]].ancilla, ancs[i]);
+}
+
+} // namespace
+} // namespace astrea

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the memory-experiment circuit generator: syndrome-vector
+ * lengths (paper Table 1), determinism of detectors without noise, and
+ * the structure of the noise instrumentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/frame_sim.hh"
+#include "surface_code/memory_circuit.hh"
+
+namespace astrea
+{
+namespace
+{
+
+TEST(SyndromeVectorLength, MatchesTable1)
+{
+    // Table 1: lengths 16 / 72 / 192 / 400 for d = 3 / 5 / 7 / 9.
+    EXPECT_EQ(syndromeVectorLength(3, 3), 16u);
+    EXPECT_EQ(syndromeVectorLength(5, 5), 72u);
+    EXPECT_EQ(syndromeVectorLength(7, 7), 192u);
+    EXPECT_EQ(syndromeVectorLength(9, 9), 400u);
+}
+
+TEST(SyndromeVectorLength, DefaultRoundsIsDistance)
+{
+    EXPECT_EQ(syndromeVectorLength(5, 0), syndromeVectorLength(5, 5));
+}
+
+class MemoryCircuitTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, Basis>>
+{
+  protected:
+    Circuit
+    makeCircuit(const NoiseModel &noise, uint32_t rounds = 0) const
+    {
+        auto [d, basis] = GetParam();
+        SurfaceCodeLayout layout(d);
+        MemoryExperimentSpec spec;
+        spec.distance = d;
+        spec.rounds = rounds;
+        spec.basis = basis;
+        spec.noise = noise;
+        return buildMemoryCircuit(layout, spec);
+    }
+};
+
+TEST_P(MemoryCircuitTest, DetectorCount)
+{
+    auto [d, basis] = GetParam();
+    Circuit c = makeCircuit(NoiseModel::noiseless());
+    EXPECT_EQ(c.numDetectors(), syndromeVectorLength(d, d));
+    EXPECT_EQ(c.numObservables(), 1u);
+}
+
+TEST_P(MemoryCircuitTest, MeasurementCount)
+{
+    auto [d, basis] = GetParam();
+    Circuit c = makeCircuit(NoiseModel::noiseless());
+    // d rounds of (d^2 - 1) ancilla measurements plus d^2 final data
+    // measurements.
+    EXPECT_EQ(c.numMeasurements(), d * (d * d - 1) + d * d);
+}
+
+TEST_P(MemoryCircuitTest, NoiselessShotsAreAllZero)
+{
+    Circuit c = makeCircuit(NoiseModel::noiseless());
+    FrameSimulator sim(c);
+    Rng rng(5);
+    BitVec dets, obs;
+    for (int s = 0; s < 10; s++) {
+        sim.sample(rng, dets, obs);
+        EXPECT_TRUE(dets.none());
+        EXPECT_TRUE(obs.none());
+    }
+}
+
+TEST_P(MemoryCircuitTest, NoisyShotsTriggerDetectors)
+{
+    Circuit c = makeCircuit(NoiseModel::uniform(0.05));
+    FrameSimulator sim(c);
+    Rng rng(5);
+    BitVec dets, obs;
+    size_t nonzero = 0;
+    for (int s = 0; s < 50; s++) {
+        sim.sample(rng, dets, obs);
+        if (!dets.none())
+            nonzero++;
+    }
+    EXPECT_GT(nonzero, 40u);
+}
+
+TEST_P(MemoryCircuitTest, DetectorMetadataCoversAllRounds)
+{
+    auto [d, basis] = GetParam();
+    Circuit c = makeCircuit(NoiseModel::noiseless());
+    const auto &info = c.detectorInfo();
+    ASSERT_EQ(info.size(), c.numDetectors());
+    uint32_t max_round = 0;
+    for (const auto &di : info) {
+        EXPECT_EQ(di.basis, basis);
+        max_round = std::max(max_round, di.round);
+    }
+    // Rounds 0..d-1 plus the final data-comparison round d.
+    EXPECT_EQ(max_round, d);
+    // Each round contributes (d^2 - 1) / 2 detectors.
+    std::vector<uint32_t> per_round(d + 1, 0);
+    for (const auto &di : info)
+        per_round[di.round]++;
+    for (auto count : per_round)
+        EXPECT_EQ(count, (d * d - 1) / 2);
+}
+
+TEST_P(MemoryCircuitTest, RoundsOverride)
+{
+    auto [d, basis] = GetParam();
+    Circuit c = makeCircuit(NoiseModel::noiseless(), 2);
+    EXPECT_EQ(c.numDetectors(), syndromeVectorLength(d, 2));
+}
+
+TEST_P(MemoryCircuitTest, NoiseInstrumentationPresent)
+{
+    auto [d, basis] = GetParam();
+    Circuit c = makeCircuit(NoiseModel::uniform(1e-3));
+    uint32_t depol1 = 0, depol2 = 0, xerr = 0;
+    for (const auto &op : c.instructions()) {
+        switch (op.type) {
+          case GateType::Depolarize1:
+            depol1++;
+            break;
+          case GateType::Depolarize2:
+            depol2++;
+            break;
+          case GateType::XError:
+            xerr++;
+            break;
+          default:
+            break;
+        }
+    }
+    // One data depolarization per round, four CX-layer depolarizations
+    // per round; reset + measurement flips per round plus the final
+    // data-measurement flip.
+    EXPECT_EQ(depol1, d);
+    EXPECT_EQ(depol2, 4 * d);
+    EXPECT_EQ(xerr, 2 * d + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MemoryCircuitTest,
+    ::testing::Combine(::testing::Values(3u, 5u, 7u),
+                       ::testing::Values(Basis::Z, Basis::X)));
+
+} // namespace
+} // namespace astrea

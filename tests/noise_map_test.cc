@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for non-uniform noise maps and their integration with the
+ * circuit generator and experiment context (paper Sec. 8.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "decoders/mwpm_decoder.hh"
+#include "harness/memory_experiment.hh"
+#include "sim/frame_sim.hh"
+#include "surface_code/noise_map.hh"
+
+namespace astrea
+{
+namespace
+{
+
+TEST(NoiseMap, UniformByDefault)
+{
+    NoiseMap map(10);
+    for (uint32_t q = 0; q < 10; q++)
+        EXPECT_DOUBLE_EQ(map.qubitScale(q), 1.0);
+    EXPECT_DOUBLE_EQ(map.maxScale(), 1.0);
+}
+
+TEST(NoiseMap, PairScaleIsGeometricMean)
+{
+    NoiseMap map(2);
+    map.setQubitScale(0, 4.0);
+    map.setQubitScale(1, 1.0);
+    EXPECT_DOUBLE_EQ(map.pairScale(0, 1), 2.0);
+}
+
+TEST(NoiseMap, RandomDriftBounds)
+{
+    Rng rng(5);
+    NoiseMap map = NoiseMap::randomDrift(100, 2.0, rng);
+    for (uint32_t q = 0; q < 100; q++) {
+        EXPECT_GE(map.qubitScale(q), 1.0 / 3.0 - 1e-12);
+        EXPECT_LE(map.qubitScale(q), 3.0 + 1e-12);
+    }
+    // Not all equal.
+    bool varied = false;
+    for (uint32_t q = 1; q < 100; q++) {
+        if (std::abs(map.qubitScale(q) - map.qubitScale(0)) > 1e-6)
+            varied = true;
+    }
+    EXPECT_TRUE(varied);
+}
+
+TEST(NoiseMap, ZeroSpreadIsUniform)
+{
+    Rng rng(7);
+    NoiseMap map = NoiseMap::randomDrift(20, 0.0, rng);
+    for (uint32_t q = 0; q < 20; q++)
+        EXPECT_DOUBLE_EQ(map.qubitScale(q), 1.0);
+}
+
+TEST(NoiseMap, HotSpot)
+{
+    NoiseMap map = NoiseMap::hotSpot(10, {3, 7}, 5.0);
+    EXPECT_DOUBLE_EQ(map.qubitScale(3), 5.0);
+    EXPECT_DOUBLE_EQ(map.qubitScale(7), 5.0);
+    EXPECT_DOUBLE_EQ(map.qubitScale(0), 1.0);
+    EXPECT_DOUBLE_EQ(map.maxScale(), 5.0);
+}
+
+TEST(NoiseMapCircuit, PerQubitProbabilitiesEmitted)
+{
+    SurfaceCodeLayout layout(3);
+    NoiseMap map(layout.numQubits());
+    map.setQubitScale(0, 3.0);
+
+    MemoryExperimentSpec spec;
+    spec.distance = 3;
+    spec.noise = NoiseModel::uniform(1e-3);
+    spec.noiseMap = &map;
+    Circuit c = buildMemoryCircuit(layout, spec);
+
+    // Depolarize1 on data qubit 0 must carry the scaled probability.
+    bool found_scaled = false, found_base = false;
+    for (const auto &op : c.instructions()) {
+        if (op.type != GateType::Depolarize1)
+            continue;
+        EXPECT_EQ(op.targets.size(), 1u);  // Per-qubit when mapped.
+        if (op.targets[0] == 0 && std::abs(op.arg - 3e-3) < 1e-12)
+            found_scaled = true;
+        if (op.targets[0] == 1 && std::abs(op.arg - 1e-3) < 1e-12)
+            found_base = true;
+    }
+    EXPECT_TRUE(found_scaled);
+    EXPECT_TRUE(found_base);
+}
+
+TEST(NoiseMapCircuit, DetectorsStayDeterministicNoiseless)
+{
+    SurfaceCodeLayout layout(3);
+    NoiseMap map = NoiseMap::hotSpot(layout.numQubits(), {0, 5}, 4.0);
+    MemoryExperimentSpec spec;
+    spec.distance = 3;
+    spec.noise = NoiseModel::noiseless();
+    spec.noiseMap = &map;
+    Circuit c = buildMemoryCircuit(layout, spec);
+
+    FrameSimulator sim(c);
+    Rng rng(1);
+    BitVec dets, obs;
+    sim.sample(rng, dets, obs);
+    EXPECT_TRUE(dets.none());
+}
+
+TEST(NoiseMapCircuit, ScaledProbabilitiesClamped)
+{
+    SurfaceCodeLayout layout(3);
+    NoiseMap map = NoiseMap::hotSpot(layout.numQubits(), {0}, 1e6);
+    MemoryExperimentSpec spec;
+    spec.distance = 3;
+    spec.noise = NoiseModel::uniform(1e-2);
+    spec.noiseMap = &map;
+    Circuit c = buildMemoryCircuit(layout, spec);
+    for (const auto &op : c.instructions()) {
+        if (isNoise(op.type))
+            EXPECT_LE(op.arg, 1.0);
+    }
+    EXPECT_NO_FATAL_FAILURE(c.validate());
+}
+
+TEST(NoiseMapCircuit, RejectsWrongSize)
+{
+    SurfaceCodeLayout layout(3);
+    NoiseMap map(5);  // Too small.
+    MemoryExperimentSpec spec;
+    spec.distance = 3;
+    spec.noise = NoiseModel::uniform(1e-3);
+    spec.noiseMap = &map;
+    EXPECT_DEATH(buildMemoryCircuit(layout, spec), "mismatch");
+}
+
+TEST(DriftContext, BuildsAndSamples)
+{
+    ExperimentConfig cfg;
+    cfg.distance = 3;
+    cfg.physicalErrorRate = 2e-3;
+    cfg.driftSpread = 2.0;
+    cfg.driftSeed = 99;
+    ExperimentContext ctx(cfg);
+    ASSERT_NE(ctx.noiseMap(), nullptr);
+    EXPECT_GT(ctx.noiseMap()->maxScale(), 1.0);
+
+    // The drifted context decodes fine with its matched GWT.
+    auto r = runMemoryExperiment(ctx, mwpmFactory(), 20000, 3);
+    EXPECT_EQ(r.logicalErrors.trials, 20000u);
+}
+
+TEST(DriftContext, UniformConfigHasNoMap)
+{
+    ExperimentConfig cfg;
+    cfg.distance = 3;
+    cfg.physicalErrorRate = 2e-3;
+    ExperimentContext ctx(cfg);
+    EXPECT_EQ(ctx.noiseMap(), nullptr);
+}
+
+TEST(DriftContext, MatchedGwtBeatsStaleGwtUnderStrongDrift)
+{
+    // Decode heavily drifted shots twice: with the matched (drifted)
+    // GWT and with a stale GWT built for uniform noise. The matched
+    // table must not be worse (and is usually strictly better).
+    ExperimentConfig drifted_cfg;
+    drifted_cfg.distance = 5;
+    drifted_cfg.physicalErrorRate = 2e-3;
+    drifted_cfg.driftSpread = 6.0;
+    drifted_cfg.driftSeed = 17;
+    ExperimentContext drifted(drifted_cfg);
+
+    ExperimentConfig uniform_cfg = drifted_cfg;
+    uniform_cfg.driftSpread = 0.0;
+    ExperimentContext uniform(uniform_cfg);
+
+    const uint64_t shots = 150000;
+    auto matched =
+        runMemoryExperiment(drifted, mwpmFactory(), shots, 5);
+    DecoderFactory stale = [&uniform](const ExperimentContext &) {
+        return std::make_unique<MwpmDecoder>(uniform.gwt());
+    };
+    auto stale_r = runMemoryExperiment(drifted, stale, shots, 5);
+
+    ASSERT_GT(stale_r.logicalErrors.successes, 20u);
+    EXPECT_LE(matched.logicalErrors.successes,
+              stale_r.logicalErrors.successes +
+                  3 * static_cast<uint64_t>(std::sqrt(
+                          static_cast<double>(
+                              stale_r.logicalErrors.successes))));
+}
+
+} // namespace
+} // namespace astrea

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Physics-golden tests: the canonical error events of paper Fig. 5
+ * must produce exactly the detector symptoms the surface-code
+ * literature prescribes — space events (data errors), time events
+ * (measurement/reset errors), and the structural properties of the
+ * decoding graph that follow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dem/extractor.hh"
+#include "harness/memory_experiment.hh"
+#include "sim/frame_sim.hh"
+#include "surface_code/memory_circuit.hh"
+
+namespace astrea
+{
+namespace
+{
+
+/** Fixture holding a noiseless-d=3 circuit plus helper lookups. */
+class PhysicsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        layout_ = std::make_unique<SurfaceCodeLayout>(3);
+        MemoryExperimentSpec spec;
+        spec.distance = 3;
+        spec.noise = NoiseModel::noiseless();
+        circuit_ = std::make_unique<Circuit>(
+            buildMemoryCircuit(*layout_, spec));
+        sim_ = std::make_unique<FrameSimulator>(*circuit_);
+    }
+
+    /** Detector index for (plaquette-within-Z-order, round). */
+    uint32_t
+    detector(uint32_t z_slot, uint32_t round) const
+    {
+        // The generator emits (d^2-1)/2 = 4 Z detectors per round in a
+        // fixed plaquette order; round d (=3) is the final comparison.
+        return round * 4 + z_slot;
+    }
+
+    /** Symptoms of an X fault on `qubit` injected after op `op`. */
+    std::set<uint32_t>
+    xSymptoms(size_t op, uint32_t qubit)
+    {
+        BitVec dets, obs;
+        sim_->propagateInjection(op, {{qubit, true, false}}, dets,
+                                 obs);
+        auto ones = dets.onesIndices();
+        return {ones.begin(), ones.end()};
+    }
+
+    /** Find the op index of the r-th ancilla measurement layer. */
+    size_t
+    measurementOp(uint32_t round) const
+    {
+        uint32_t seen = 0;
+        const auto &ops = circuit_->instructions();
+        for (size_t i = 0; i < ops.size(); i++) {
+            if (ops[i].type == GateType::M) {
+                if (seen == round)
+                    return i;
+                seen++;
+            }
+        }
+        return ops.size();
+    }
+
+    std::unique_ptr<SurfaceCodeLayout> layout_;
+    std::unique_ptr<Circuit> circuit_;
+    std::unique_ptr<FrameSimulator> sim_;
+};
+
+TEST_F(PhysicsTest, SpaceEventFlipsAdjacentZStabilizers)
+{
+    // An X error on a data qubit at the start of a round (paper
+    // Fig. 5a) flips the detectors of exactly its adjacent Z
+    // plaquettes, in that same round.
+    // Inject right after the initial resets (ops 0/1 are R layers).
+    for (uint32_t r = 0; r < 3; r++) {
+        for (uint32_t c = 0; c < 3; c++) {
+            uint32_t q = layout_->dataQubit(r, c);
+            auto symptoms = xSymptoms(1, q);
+
+            // Expected: one symptom per adjacent Z plaquette, round 0.
+            std::set<uint32_t> expect;
+            const auto &zs = layout_->plaquettesOf(Basis::Z);
+            for (uint32_t slot = 0; slot < zs.size(); slot++) {
+                for (auto corner :
+                     layout_->plaquettes()[zs[slot]].corners) {
+                    if (corner == q)
+                        expect.insert(detector(slot, 0));
+                }
+            }
+            EXPECT_EQ(symptoms, expect) << "data qubit " << q;
+            EXPECT_GE(expect.size(), 1u);
+            EXPECT_LE(expect.size(), 2u);
+        }
+    }
+}
+
+TEST_F(PhysicsTest, TimeEventFlipsConsecutiveRounds)
+{
+    // A measurement flip on a Z ancilla in round 1 (paper Fig. 5b)
+    // flips that plaquette's detectors in rounds 1 and 2 only.
+    const auto &zs = layout_->plaquettesOf(Basis::Z);
+    size_t m_op = measurementOp(1);
+    for (uint32_t slot = 0; slot < zs.size(); slot++) {
+        uint32_t anc = layout_->plaquettes()[zs[slot]].ancilla;
+        // Inject X on the ancilla just before its round-1 measurement.
+        auto symptoms = xSymptoms(m_op - 1, anc);
+        std::set<uint32_t> expect{detector(slot, 1), detector(slot, 2)};
+        EXPECT_EQ(symptoms, expect) << "Z slot " << slot;
+    }
+}
+
+TEST_F(PhysicsTest, FinalRoundMeasurementErrorFlipsLastComparisons)
+{
+    // A measurement flip in the last extraction round (round 2) flips
+    // the round-2 detector and the final data-comparison detector.
+    const auto &zs = layout_->plaquettesOf(Basis::Z);
+    size_t m_op = measurementOp(2);
+    for (uint32_t slot = 0; slot < zs.size(); slot++) {
+        uint32_t anc = layout_->plaquettes()[zs[slot]].ancilla;
+        auto symptoms = xSymptoms(m_op - 1, anc);
+        std::set<uint32_t> expect{detector(slot, 2), detector(slot, 3)};
+        EXPECT_EQ(symptoms, expect) << "Z slot " << slot;
+    }
+}
+
+TEST_F(PhysicsTest, XAncillaErrorsInvisibleToZDetectors)
+{
+    // An X error on an X-type ancilla right before its measurement
+    // flips only X-stabilizer outcomes, which a memory-Z circuit does
+    // not monitor.
+    size_t m_op = measurementOp(1);
+    for (auto anc : layout_->ancillasOf(Basis::X)) {
+        auto symptoms = xSymptoms(m_op - 1, anc);
+        EXPECT_TRUE(symptoms.empty()) << "X ancilla " << anc;
+    }
+}
+
+TEST_F(PhysicsTest, LogicalOperatorFlipsObservableUndetected)
+{
+    // X on every data qubit of column 0 right after initialization is
+    // the logical X: no detector fires, the observable flips.
+    std::vector<PauliFlip> flips;
+    for (uint32_t r = 0; r < 3; r++)
+        flips.push_back({layout_->dataQubit(r, 0), true, false});
+    BitVec dets, obs;
+    sim_->propagateInjection(1, flips, dets, obs);
+    EXPECT_TRUE(dets.none());
+    EXPECT_TRUE(obs.get(0));
+}
+
+TEST_F(PhysicsTest, SingleDataErrorNeverFlipsObservableAlone)
+{
+    // Any single X data error mid-circuit must be detected (otherwise
+    // the code has distance 1).
+    for (uint32_t q = 0; q < layout_->numDataQubits(); q++) {
+        BitVec dets, obs;
+        sim_->propagateInjection(1, {{q, true, false}}, dets, obs);
+        if (obs.get(0))
+            EXPECT_FALSE(dets.none()) << "qubit " << q;
+    }
+}
+
+TEST(PhysicsGraph, EdgeCountsScaleWithVolume)
+{
+    // The decoding graph's edge count grows ~ linearly in the
+    // space-time volume d^3.
+    auto edges_at = [](uint32_t d) {
+        ExperimentConfig cfg;
+        cfg.distance = d;
+        cfg.physicalErrorRate = 1e-3;
+        ExperimentContext ctx(cfg);
+        return ctx.graph().edges().size();
+    };
+    size_t e3 = edges_at(3), e5 = edges_at(5);
+    double ratio = static_cast<double>(e5) / static_cast<double>(e3);
+    double volume_ratio = (5.0 * 5 * 5) / (3.0 * 3 * 3);
+    EXPECT_GT(ratio, 0.5 * volume_ratio);
+    EXPECT_LT(ratio, 2.0 * volume_ratio);
+}
+
+TEST(PhysicsGraph, BoundaryEdgesOnSpatialBoundaryOnly)
+{
+    // Boundary edges correspond to single-detector mechanisms, which
+    // arise from errors adjacent to the lattice's open boundaries;
+    // every round must contribute some, and interior detectors of the
+    // middle rounds must not all have them.
+    ExperimentConfig cfg;
+    cfg.distance = 5;
+    cfg.physicalErrorRate = 1e-3;
+    ExperimentContext ctx(cfg);
+    const auto &graph = ctx.graph();
+    size_t with_boundary = 0;
+    for (uint32_t v = 0; v < graph.numNodes(); v++) {
+        if (graph.boundaryEdge(v) >= 0)
+            with_boundary++;
+    }
+    EXPECT_GT(with_boundary, 0u);
+    EXPECT_LT(with_boundary, graph.numNodes());
+}
+
+TEST(PhysicsGraph, HookErrorsCreateDiagonalEdges)
+{
+    // With the standard schedule, depolarizing noise on the X-ancilla
+    // CXs creates two-data-qubit X hooks: the decoding graph must
+    // contain edges joining detectors of *different* plaquettes in the
+    // same round (space-space edges beyond nearest-neighbor time
+    // pairs).
+    ExperimentConfig cfg;
+    cfg.distance = 5;
+    cfg.physicalErrorRate = 1e-3;
+    ExperimentContext ctx(cfg);
+    const auto &info = ctx.circuit().detectorInfo();
+    size_t same_round_pairs = 0;
+    for (const auto &e : ctx.graph().edges()) {
+        if (e.v == kBoundaryNode)
+            continue;
+        if (info[e.u].round == info[e.v].round)
+            same_round_pairs++;
+    }
+    EXPECT_GT(same_round_pairs, 0u);
+}
+
+} // namespace
+} // namespace astrea

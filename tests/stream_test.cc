@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the sliding-window streaming decoder: windowing geometry,
+ * commit/carry semantics, and logical-error-rate parity with
+ * whole-shot decoding over long round streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/memory_experiment.hh"
+#include "stream/window_decoder.hh"
+
+namespace astrea
+{
+namespace
+{
+
+ExperimentContext
+makeStream(uint32_t d, uint32_t rounds, double p)
+{
+    ExperimentConfig cfg;
+    cfg.distance = d;
+    cfg.rounds = rounds;
+    cfg.physicalErrorRate = p;
+    return ExperimentContext(cfg);
+}
+
+std::unique_ptr<WindowDecoder>
+makeWindowed(const ExperimentContext &ctx, StreamingConfig sc = {})
+{
+    const auto &cfg = ctx.config();
+    uint32_t rounds = cfg.rounds ? cfg.rounds : cfg.distance;
+    return std::make_unique<WindowDecoder>(
+        ctx.gwt(), ctx.circuit().detectorInfo(), rounds + 1,
+        cfg.distance, mwpmFactory()(ctx), sc);
+}
+
+TEST(WindowDecoder, DefaultGeometry)
+{
+    ExperimentContext ctx = makeStream(3, 12, 2e-3);
+    auto dec = makeWindowed(ctx);
+    EXPECT_EQ(dec->windowRounds(), 6u);
+    EXPECT_EQ(dec->commitRounds(), 3u);
+    EXPECT_EQ(dec->name(), "Windowed(MWPM)");
+}
+
+TEST(WindowDecoder, RejectsDegenerateGeometry)
+{
+    ExperimentContext ctx = makeStream(3, 12, 2e-3);
+    StreamingConfig sc;
+    sc.windowRounds = 3;
+    sc.commitRounds = 3;  // Window must exceed commit region.
+    EXPECT_DEATH(makeWindowed(ctx, sc), "larger");
+}
+
+TEST(WindowDecoder, EmptySyndrome)
+{
+    ExperimentContext ctx = makeStream(3, 12, 2e-3);
+    auto dec = makeWindowed(ctx);
+    DecodeResult r = dec->decode({});
+    EXPECT_EQ(r.obsMask, 0u);
+    EXPECT_EQ(dec->stats().windows, 0u);
+}
+
+TEST(WindowDecoder, SingleEarlyDefectCommitsInFirstWindow)
+{
+    ExperimentContext ctx = makeStream(3, 12, 2e-3);
+    auto dec = makeWindowed(ctx);
+    // Detector 0 is in round 0.
+    ASSERT_EQ(ctx.circuit().detectorInfo()[0].round, 0u);
+    DecodeResult r = dec->decode({0});
+    EXPECT_EQ(r.obsMask, ctx.gwt().pairObs(0, 0));
+    EXPECT_GE(dec->stats().windows, 1u);
+}
+
+TEST(WindowDecoder, MatchesWholeShotOnModerateStreams)
+{
+    // Same shot stream decoded whole vs windowed: predictions should
+    // agree on the overwhelming majority of shots (window commits can
+    // occasionally differ near boundaries, both being valid decodes).
+    ExperimentContext ctx = makeStream(3, 15, 2e-3);
+    auto whole = mwpmFactory()(ctx);
+    auto windowed = makeWindowed(ctx);
+
+    Rng rng(3);
+    BitVec dets, obs;
+    int shots = 4000, disagreements = 0;
+    for (int s = 0; s < shots; s++) {
+        ctx.sampler().sample(rng, dets, obs);
+        auto defects = dets.onesIndices();
+        DecodeResult a = whole->decode(defects);
+        DecodeResult b = windowed->decode(defects);
+        if (a.obsMask != b.obsMask)
+            disagreements++;
+    }
+    EXPECT_LT(disagreements, shots / 50);
+}
+
+TEST(WindowDecoder, LerTracksWholeShotDecoding)
+{
+    ExperimentContext ctx = makeStream(3, 15, 2e-3);
+    const uint64_t shots = 60000;
+    auto whole = runMemoryExperiment(ctx, mwpmFactory(), shots, 7);
+    auto windowed = runMemoryExperiment(
+        ctx, windowedFactory(mwpmFactory()), shots, 7);
+    ASSERT_GT(whole.logicalErrors.successes, 20u);
+    // Windowed decoding costs a bounded accuracy factor.
+    EXPECT_LT(windowed.ler(), 2.0 * whole.ler());
+}
+
+TEST(WindowDecoder, ProcessesExpectedWindowCount)
+{
+    ExperimentContext ctx = makeStream(3, 15, 5e-3);
+    auto dec = makeWindowed(ctx);
+    // 16 detector rounds, W = 6, C = 3: windows start at rounds
+    // 0,3,6,9 and the one reaching the end -> about 5 per busy shot.
+    Rng rng(9);
+    BitVec dets, obs;
+    for (int s = 0; s < 50; s++) {
+        ctx.sampler().sample(rng, dets, obs);
+        dec->decode(dets.onesIndices());
+    }
+    EXPECT_GT(dec->stats().windows, 0u);
+    EXPECT_LE(dec->stats().maxWindowDefects, 64u);
+}
+
+TEST(WindowDecoder, BoundsPerWindowWork)
+{
+    // Per-window defect counts must stay bounded regardless of stream
+    // length (the whole point of streaming).
+    ExperimentContext long_stream = makeStream(3, 30, 3e-3);
+    auto dec = makeWindowed(long_stream);
+    Rng rng(11);
+    BitVec dets, obs;
+    size_t whole_max = 0;
+    for (int s = 0; s < 300; s++) {
+        long_stream.sampler().sample(rng, dets, obs);
+        auto defects = dets.onesIndices();
+        whole_max = std::max(whole_max, defects.size());
+        dec->decode(defects);
+    }
+    EXPECT_LT(dec->stats().maxWindowDefects, whole_max);
+}
+
+TEST(WindowDecoder, WorksWithAstreaInner)
+{
+    // Windowing keeps per-window Hamming weight small, letting Astrea
+    // decode streams whose whole-shot weight exceeds its HW-10 limit.
+    ExperimentContext ctx = makeStream(3, 30, 3e-3);
+    auto windowed = runMemoryExperiment(
+        ctx, windowedFactory(astreaFactory()), 5000, 13);
+    auto whole = runMemoryExperiment(ctx, astreaFactory(), 5000, 13);
+    EXPECT_LT(windowed.gaveUps, whole.gaveUps);
+}
+
+TEST(WindowDecoder, CarriedDefectsAreEventuallyResolved)
+{
+    ExperimentContext ctx = makeStream(3, 15, 5e-3);
+    auto dec = makeWindowed(ctx);
+    Rng rng(17);
+    BitVec dets, obs;
+    for (int s = 0; s < 500; s++) {
+        ctx.sampler().sample(rng, dets, obs);
+        // Must terminate and produce a prediction for every shot.
+        DecodeResult r = dec->decode(dets.onesIndices());
+        EXPECT_FALSE(r.gaveUp);
+    }
+    // Straddling pairs do occur at this error rate.
+    EXPECT_GT(dec->stats().carriedDefects, 0u);
+}
+
+} // namespace
+} // namespace astrea
