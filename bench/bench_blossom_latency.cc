@@ -10,6 +10,7 @@
  * majority of non-trivial syndromes.
  *
  * Usage: bench_blossom_latency [--shots=50000] [--p=1e-3]
+ *                              [--json-out=report.json]
  */
 
 #include <cstdio>
@@ -27,6 +28,7 @@ main(int argc, char **argv)
     const uint64_t shots = opts.getUint("shots", 50000);
     const double p = opts.getDouble("p", 1e-3);
     const uint64_t seed = opts.getUint("seed", 5);
+    const std::string json_out = initBenchReport(opts);
 
     benchBanner("Fig 3", "software MWPM (blossom) decoding latency");
     std::printf("d=7, p=%g, %llu shots (non-zero syndromes only)\n\n",
@@ -61,9 +63,29 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(hist.samples()));
     std::printf("mean latency: %.0f ns, max: %.0f ns\n", hist.meanNs(),
                 hist.maxNs());
+    std::printf("p50: %.0f ns, p90: %.0f ns, p99: %.0f ns\n",
+                hist.p50Ns(), hist.p90Ns(), hist.p99Ns());
     std::printf("fraction exceeding the 1 us deadline: %.1f%%\n",
                 100.0 * hist.fractionAbove(1000.0));
     printPaperRef("Fig 3 (BlossomV, d=7)",
                   "96% of non-zero syndromes exceed 1 us");
+
+    if (!json_out.empty()) {
+        telemetry::JsonWriter report;
+        beginBenchReport(report, "blossom_latency");
+        report.kv("d", uint64_t{7}).kv("p", p).kv("shots", shots)
+            .kv("seed", seed);
+        report.endObject();  // config
+        report.key("results").beginObject();
+        report.kv("samples", hist.samples());
+        report.kv("mean_ns", hist.meanNs());
+        report.kv("max_ns", hist.maxNs());
+        report.kv("p50_ns", hist.p50Ns());
+        report.kv("p90_ns", hist.p90Ns());
+        report.kv("p99_ns", hist.p99Ns());
+        report.kv("fraction_above_1us", hist.fractionAbove(1000.0));
+        report.endObject();  // results
+        finishBenchReport(report, json_out);
+    }
     return 0;
 }

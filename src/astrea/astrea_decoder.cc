@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace astrea
 {
@@ -45,10 +46,11 @@ namespace
 WeightSum
 searchPrematch(const Hw6Decoder &hw6, const std::vector<int> &nodes,
                const std::function<WeightSum(int, int)> &weight,
-               PairList &best_out)
+               PairList &best_out, uint64_t &hw6_invocations)
 {
     const int m = static_cast<int>(nodes.size());
     if (m <= 6) {
+        hw6_invocations++;
         PairList local;
         WeightSum w = hw6.match(
             m,
@@ -69,7 +71,8 @@ searchPrematch(const Hw6Decoder &hw6, const std::vector<int> &nodes,
         rest.pop_back();
 
         PairList sub;
-        WeightSum sub_w = searchPrematch(hw6, rest, weight, sub);
+        WeightSum sub_w =
+            searchPrematch(hw6, rest, weight, sub, hw6_invocations);
         WeightSum total =
             addWeights(weight(nodes[0], partner), sub_w);
         if (total < best) {
@@ -91,13 +94,22 @@ AstreaDecoder::decode(const std::vector<uint32_t> &defects)
 {
     DecodeResult result;
     const uint32_t w = static_cast<uint32_t>(defects.size());
-    if (w == 0)
+    stats_.decodes++;
+    ASTREA_COUNTER_INC("astrea.decodes");
+    ASTREA_HIST_ADD("astrea.decode_hw", w);
+    if (w == 0) {
+        stats_.trivialDecodes++;
         return result;
+    }
     if (w > config_.maxHammingWeight) {
-        gaveUps_++;
+        stats_.gaveUps++;
+        ASTREA_COUNTER_INC("astrea.gave_ups");
+        ASTREA_HIST_ADD("astrea.give_up_hw", w);
         result.gaveUp = true;
         return result;
     }
+    if (w <= 2)
+        stats_.trivialDecodes++;
 
     // Nodes 0..w-1 are defects; odd Hamming weights add one virtual
     // boundary node with index w.
@@ -154,9 +166,18 @@ AstreaDecoder::decode(const std::vector<uint32_t> &defects)
         nodes[i] = i;
 
     PairList best;
-    WeightSum total = searchPrematch(hw6_, nodes, weight, best);
+    uint64_t hw6_invocations = 0;
+    WeightSum total =
+        searchPrematch(hw6_, nodes, weight, best, hw6_invocations);
     ASTREA_CHECK(total != kInfiniteWeightSum,
                  "Astrea found no finite matching");
+    stats_.hw6Invocations += hw6_invocations;
+    ASTREA_COUNTER_ADD("astrea.hw6_invocations", hw6_invocations);
+    if (w > 2) {
+        // HW <= 2 bypasses the engine, so no GWT transfer is modeled.
+        stats_.weightTransferCycles += w + 1;
+        ASTREA_COUNTER_ADD("astrea.weight_transfer_cycles", w + 1);
+    }
 
     for (auto [i, j] : best) {
         result.obsMask ^= obs(i, j);

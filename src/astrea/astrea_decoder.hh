@@ -54,6 +54,19 @@ struct AstreaConfig
     bool useEffectiveWeights = true;
 };
 
+/** Running per-instance counters for reporting. */
+struct AstreaStats
+{
+    uint64_t decodes = 0;
+    /** Syndromes with HW <= 2 (no search needed). */
+    uint64_t trivialDecodes = 0;
+    /** HW6Decoder evaluations across all pre-match leaves. */
+    uint64_t hw6Invocations = 0;
+    /** Modeled GWT weight-transfer cycles (HW + 1 per decode). */
+    uint64_t weightTransferCycles = 0;
+    uint64_t gaveUps = 0;
+};
+
 /** The Astrea brute-force real-time decoder. */
 class AstreaDecoder : public Decoder
 {
@@ -65,7 +78,9 @@ class AstreaDecoder : public Decoder
     std::string name() const override { return "Astrea"; }
 
     /** Syndromes skipped because HW exceeded the limit. */
-    uint64_t gaveUpCount() const { return gaveUps_; }
+    uint64_t gaveUpCount() const { return stats_.gaveUps; }
+
+    const AstreaStats &stats() const { return stats_; }
 
     /** Modeled decode cycles (excluding weight transfer) for a HW. */
     static uint64_t decodeCycles(uint32_t hamming_weight);
@@ -77,7 +92,7 @@ class AstreaDecoder : public Decoder
     const GlobalWeightTable &gwt_;
     AstreaConfig config_;
     Hw6Decoder hw6_;
-    uint64_t gaveUps_ = 0;
+    AstreaStats stats_;
 };
 
 } // namespace astrea

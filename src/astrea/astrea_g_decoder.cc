@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace astrea
 {
@@ -48,6 +49,7 @@ class PrematchQueue
     explicit PrematchQueue(uint32_t capacity) : capacity_(capacity) {}
 
     bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
 
     /** Insert; evicts the worst-scored entry when over capacity. */
     void
@@ -134,16 +136,20 @@ DecodeResult
 AstreaGDecoder::decode(const std::vector<uint32_t> &defects)
 {
     stats_.decodes++;
+    ASTREA_COUNTER_INC("astrea_g.decodes");
     const uint32_t w = static_cast<uint32_t>(defects.size());
     if (w <= config_.exhaustiveMaxHw)
         return exhaustive_.decode(defects);
     if (w > config_.maxDefects) {
         stats_.gaveUps++;
+        ASTREA_COUNTER_INC("astrea_g.gave_ups");
+        ASTREA_HIST_ADD("astrea_g.give_up_hw", w);
         DecodeResult r;
         r.gaveUp = true;
         return r;
     }
     stats_.pipelineDecodes++;
+    ASTREA_COUNTER_INC("astrea_g.pipeline_decodes");
     return decodePipeline(defects);
 }
 
@@ -177,6 +183,7 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
     const WeightSum wth =
         decadesToQuantized(config_.weightThresholdDecades);
     std::vector<std::vector<std::pair<WeightSum, int>>> lwt(m);
+    uint64_t pairs_kept = 0, pairs_filtered = 0;
     for (int i = 0; i < m; i++) {
         for (int j = 0; j < m; j++) {
             if (i == j)
@@ -184,9 +191,16 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
             WeightSum pw = weight(i, j);
             if (pw <= wth)
                 lwt[i].push_back({pw, j});
+            else
+                pairs_filtered++;
         }
+        pairs_kept += lwt[i].size();
         std::sort(lwt[i].begin(), lwt[i].end());
     }
+    stats_.lwtPairsKept += pairs_kept;
+    stats_.lwtPairsFiltered += pairs_filtered;
+    ASTREA_COUNTER_ADD("astrea_g.lwt_pairs_kept", pairs_kept);
+    ASTREA_COUNTER_ADD("astrea_g.lwt_pairs_filtered", pairs_filtered);
 
     // The matching pipeline.
     std::vector<PrematchQueue> queues(F,
@@ -206,6 +220,7 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
         (m == 64) ? ~0ull : ((1ull << m) - 1);
 
     uint64_t iterations = 0;
+    uint64_t requeues = 0;
     bool any_left = true;
     while (iterations < max_iters && any_left) {
         iterations++;
@@ -245,6 +260,8 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
                         um &= um - 1;
                     }
                     PairList tail;
+                    stats_.hw6Invocations++;
+                    ASTREA_COUNTER_INC("astrea_g.hw6_invocations");
                     WeightSum tail_w = hw6_.match(
                         6,
                         [&](int a, int b) {
@@ -275,25 +292,39 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
                 Prematch cont = st;
                 cont.nextCandidate = cand;
                 queues[f].push(cont);
+                requeues++;
             }
         }
+        size_t occupancy = 0;
         for (uint32_t f = 0; f < F; f++) {
-            if (!queues[f].empty()) {
+            occupancy += queues[f].size();
+            if (!queues[f].empty())
                 any_left = true;
-                break;
-            }
         }
+        stats_.maxQueueOccupancy =
+            std::max<uint64_t>(stats_.maxQueueOccupancy, occupancy);
     }
 
-    if (any_left)
+    if (any_left) {
         stats_.budgetExpirations++;
-    else
+        ASTREA_COUNTER_INC("astrea_g.budget_expirations");
+    } else {
         stats_.exhaustedSearches++;
+        ASTREA_COUNTER_INC("astrea_g.exhausted_searches");
+    }
+    stats_.requeues += requeues;
+    ASTREA_COUNTER_ADD("astrea_g.requeues", requeues);
+    ASTREA_GAUGE_MAX("astrea_g.max_queue_occupancy",
+                     static_cast<int64_t>(stats_.maxQueueOccupancy));
+    ASTREA_HIST_ADD("astrea_g.pipeline_iterations",
+                    static_cast<size_t>(iterations));
 
     result.cycles = fixed_cycles + iterations;
     result.latencyNs = cyclesToNs(result.cycles);
     if (!found) {
         stats_.gaveUps++;
+        ASTREA_COUNTER_INC("astrea_g.gave_ups");
+        ASTREA_HIST_ADD("astrea_g.give_up_hw", w);
         result.gaveUp = true;
         return result;
     }

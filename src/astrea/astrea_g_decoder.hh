@@ -88,6 +88,16 @@ struct AstreaGStats
     uint64_t budgetExpirations = 0;
     /** Runs that produced no complete matching at all. */
     uint64_t gaveUps = 0;
+    /** LWT candidate pairs at or below Wth (Fig. 10b numerator). */
+    uint64_t lwtPairsKept = 0;
+    /** LWT candidate pairs rejected by the Wth filter. */
+    uint64_t lwtPairsFiltered = 0;
+    /** Pre-matchings re-queued with an advanced candidate cursor. */
+    uint64_t requeues = 0;
+    /** HW6Decoder tail evaluations inside the pipeline. */
+    uint64_t hw6Invocations = 0;
+    /** Largest total priority-queue occupancy any cycle reached. */
+    uint64_t maxQueueOccupancy = 0;
 };
 
 /** The Astrea-G greedy real-time decoder. */

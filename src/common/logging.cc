@@ -1,35 +1,149 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 namespace astrea
 {
 
+namespace
+{
+
+/** Guards every stderr write so messages never interleave. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::atomic<int> g_level{-1};  ///< -1 = read ASTREA_LOG_LEVEL lazily.
+
+int
+parseLevel(const char *s)
+{
+    if (s == nullptr || s[0] == '\0')
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(s, "debug") == 0 || std::strcmp(s, "0") == 0)
+        return static_cast<int>(LogLevel::Debug);
+    if (std::strcmp(s, "info") == 0 || std::strcmp(s, "1") == 0)
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(s, "warn") == 0 || std::strcmp(s, "2") == 0)
+        return static_cast<int>(LogLevel::Warn);
+    if (std::strcmp(s, "error") == 0 || std::strcmp(s, "3") == 0)
+        return static_cast<int>(LogLevel::Error);
+    if (std::strcmp(s, "off") == 0 || std::strcmp(s, "4") == 0)
+        return static_cast<int>(LogLevel::Off);
+    return static_cast<int>(LogLevel::Info);
+}
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Off:
+        break;
+    }
+    return "log";
+}
+
+/** One locked write of an already-formatted line. */
+void
+writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    int v = g_level.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = parseLevel(std::getenv("ASTREA_LOG_LEVEL"));
+        int expected = -1;
+        g_level.compare_exchange_strong(expected, v);
+        v = g_level.load(std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(v);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(logLevel());
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Off || !logEnabled(level))
+        return;
+    std::string line;
+    line.reserve(msg.size() + 10);
+    line += levelPrefix(level);
+    line += ": ";
+    line += msg;
+    line += '\n';
+    writeLine(line);
+}
+
 void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    // Always emitted, regardless of the log-level threshold.
+    writeLine("fatal: " + msg + "\n");
     std::exit(1);
 }
 
 void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    writeLine("panic: " + msg + "\n");
     std::abort();
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    logMessage(LogLevel::Warn, msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    logMessage(LogLevel::Info, msg);
+}
+
+void
+error(const std::string &msg)
+{
+    logMessage(LogLevel::Error, msg);
+}
+
+void
+debugLog(const std::string &msg)
+{
+    logMessage(LogLevel::Debug, msg);
 }
 
 } // namespace astrea

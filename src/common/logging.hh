@@ -1,11 +1,18 @@
 /**
  * @file
- * Error reporting helpers in the gem5 style.
+ * Error reporting and leveled structured logging.
  *
  * fatal() is for user error (bad parameters, impossible configuration);
  * panic() is for internal invariant violations — a bug in this library.
  * Both print to stderr and terminate; panic() aborts so a core dump or
  * debugger can catch it.
+ *
+ * debugLog()/inform()/warn()/error() are leveled: messages below the
+ * current threshold are dropped, and each surviving message is emitted
+ * as a single mutex-guarded write so worker threads never interleave
+ * partial lines on stderr. The threshold comes from the
+ * ASTREA_LOG_LEVEL environment variable ("debug", "info", "warn",
+ * "error", "off"; default "info") or setLogLevel().
  */
 
 #ifndef ASTREA_COMMON_LOGGING_HH
@@ -15,6 +22,32 @@
 
 namespace astrea
 {
+
+/** Severity levels, in increasing order. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,  ///< Threshold only: suppresses everything.
+};
+
+/** Current threshold (lazily read from ASTREA_LOG_LEVEL). */
+LogLevel logLevel();
+
+/** Override the threshold for this process. */
+void setLogLevel(LogLevel level);
+
+/** Would a message at this level currently be emitted? */
+bool logEnabled(LogLevel level);
+
+/**
+ * Emit one message at the given level: "<level>: <msg>\n" to stderr,
+ * written atomically under the logging mutex. Messages below the
+ * threshold are dropped.
+ */
+void logMessage(LogLevel level, const std::string &msg);
 
 /** Terminate due to invalid user input or configuration (exit(1)). */
 [[noreturn]] void fatal(const std::string &msg);
@@ -27,6 +60,12 @@ void warn(const std::string &msg);
 
 /** Print an informational message to stderr. */
 void inform(const std::string &msg);
+
+/** Print an error (non-fatal) message to stderr. */
+void error(const std::string &msg);
+
+/** Print a debug message to stderr (dropped unless level is Debug). */
+void debugLog(const std::string &msg);
 
 } // namespace astrea
 

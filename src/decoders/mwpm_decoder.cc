@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "matching/blossom.hh"
+#include "telemetry/telemetry.hh"
 
 namespace astrea
 {
@@ -81,6 +82,8 @@ MwpmDecoder::decode(const std::vector<uint32_t> &defects)
     auto t1 = std::chrono::steady_clock::now();
     result.latencyNs =
         std::chrono::duration<double, std::nano>(t1 - t0).count();
+    ASTREA_COUNTER_INC("mwpm.decodes");
+    ASTREA_LATENCY_NS("mwpm.decode_ns", result.latencyNs);
     return result;
 }
 

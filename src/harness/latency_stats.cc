@@ -1,9 +1,12 @@
 #include "harness/latency_stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 
 #include "common/thread_pool.hh"
+#include "harness/memory_experiment.hh"
+#include "telemetry/telemetry.hh"
 
 namespace astrea
 {
@@ -54,6 +57,36 @@ LatencyHistogram::fractionAbove(double threshold_ns) const
 }
 
 double
+LatencyHistogram::percentileNs(double pct) const
+{
+    const uint64_t n = stats_.count();
+    if (n == 0)
+        return 0.0;
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n)));
+    rank = std::clamp<uint64_t>(rank, 1, n);
+
+    uint64_t cum = 0;
+    for (size_t b = 0; b < counts_.size(); b++) {
+        if (counts_[b] == 0)
+            continue;
+        cum += counts_[b];
+        if (cum >= rank) {
+            // Interpolate inside the bucket, clamped to the observed
+            // extremes (a one-sample bucket reports its true value
+            // only at the histogram's resolution).
+            double before = static_cast<double>(cum - counts_[b]);
+            double frac = (static_cast<double>(rank) - before) /
+                          static_cast<double>(counts_[b]);
+            double est = bucketLowNs(b) + frac * bucketNs_;
+            return std::min(est, stats_.max());
+        }
+    }
+    // Rank falls in the overflow region.
+    return stats_.max();
+}
+
+double
 LatencyHistogram::bucketFraction(size_t b) const
 {
     if (stats_.count() == 0 || b >= counts_.size())
@@ -71,14 +104,18 @@ measureLatencyDistribution(const ExperimentContext &ctx,
         threads = defaultWorkerCount();
     Rng root(seed);
 
-    LatencyHistogram total;
+    ASTREA_SPAN("latency_distribution");
+    // 50 ns buckets up to 100 us: software MWPM routinely exceeds the
+    // old 10 us default, which pushed its p90/p99 into the overflow
+    // fallback (reporting the observed max instead of an estimate).
+    LatencyHistogram total(50.0, 100000.0);
     std::mutex merge_mutex;
 
     parallelFor(shots, threads,
                 [&](unsigned worker, uint64_t begin, uint64_t end) {
         Rng rng = root.split(worker);
         auto decoder = factory(ctx);
-        LatencyHistogram local;
+        LatencyHistogram local(50.0, 100000.0);
         BitVec dets(ctx.circuit().numDetectors());
         BitVec obs(ctx.circuit().numObservables());
         for (uint64_t s = begin; s < end; s++) {
@@ -88,10 +125,13 @@ measureLatencyDistribution(const ExperimentContext &ctx,
                 continue;
             DecodeResult dr = decoder->decode(defects);
             local.add(dr.latencyNs);
+            ASTREA_LATENCY_NS("experiment.nontrivial_decode_ns",
+                              dr.latencyNs);
         }
         std::lock_guard<std::mutex> lock(merge_mutex);
         total.merge(local);
     });
+    ASTREA_COUNTER_ADD("experiment.latency_shots", shots);
     return total;
 }
 

@@ -4,8 +4,14 @@
  *
  * A bucketed latency histogram with enough resolution to answer the
  * paper's questions: mean / mean-over-nontrivial / max latency for the
- * hardware decoders, and the fraction of syndromes a software decoder
- * fails to finish within the 1 us real-time deadline.
+ * hardware decoders, percentiles (p50/p90/p99) for tail analysis, and
+ * the fraction of syndromes a software decoder fails to finish within
+ * the 1 us real-time deadline.
+ *
+ * (measureLatencyDistribution(), which samples one of these from an
+ * experiment context, is declared in memory_experiment.hh — this
+ * header stays free of harness dependencies so ExperimentResult can
+ * embed the histogram.)
  */
 
 #ifndef ASTREA_HARNESS_LATENCY_STATS_HH
@@ -15,7 +21,6 @@
 #include <vector>
 
 #include "common/stats.hh"
-#include "harness/memory_experiment.hh"
 
 namespace astrea
 {
@@ -34,6 +39,17 @@ class LatencyHistogram
     double meanNs() const { return stats_.mean(); }
     double maxNs() const { return stats_.max(); }
 
+    /**
+     * Percentile estimate in ns (pct in (0, 100]), interpolated within
+     * the bucket; samples landing in the overflow region report the
+     * observed maximum.
+     */
+    double percentileNs(double pct) const;
+
+    double p50Ns() const { return percentileNs(50.0); }
+    double p90Ns() const { return percentileNs(90.0); }
+    double p99Ns() const { return percentileNs(99.0); }
+
     /** Fraction of samples strictly above the threshold. */
     double fractionAbove(double threshold_ns) const;
 
@@ -48,16 +64,6 @@ class LatencyHistogram
     uint64_t overflow_ = 0;
     RunningStats stats_;
 };
-
-/**
- * Measure a decoder's per-shot latency distribution over sampled
- * syndromes, counting only non-zero syndromes (trivial all-zero shots
- * need no decode and would swamp the histogram).
- */
-LatencyHistogram measureLatencyDistribution(const ExperimentContext &ctx,
-                                            const DecoderFactory &factory,
-                                            uint64_t shots, uint64_t seed,
-                                            unsigned threads = 0);
 
 } // namespace astrea
 

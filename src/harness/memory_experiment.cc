@@ -9,6 +9,8 @@
 #include "decoders/mwpm_decoder.hh"
 #include "decoders/union_find_decoder.hh"
 #include "dem/extractor.hh"
+#include "telemetry/export.hh"
+#include "telemetry/telemetry.hh"
 
 namespace astrea
 {
@@ -123,7 +125,10 @@ ExperimentResult::merge(const ExperimentResult &other)
     hammingWeights.merge(other.hammingWeights);
     latencyNs.merge(other.latencyNs);
     latencyNontrivialNs.merge(other.latencyNontrivialNs);
+    latencyHist.merge(other.latencyHist);
+    latencyNontrivialHist.merge(other.latencyNontrivialHist);
     gaveUps += other.gaveUps;
+    gaveUpHw.merge(other.gaveUpHw);
 }
 
 ExperimentResult
@@ -135,6 +140,7 @@ runMemoryExperiment(const ExperimentContext &ctx,
         threads = defaultWorkerCount();
     Rng root(seed);
 
+    ASTREA_SPAN("experiment.run");
     ExperimentResult total;
     std::mutex merge_mutex;
 
@@ -142,6 +148,8 @@ runMemoryExperiment(const ExperimentContext &ctx,
                 [&](unsigned worker, uint64_t begin, uint64_t end) {
         Rng rng = root.split(worker);
         auto decoder = factory(ctx);
+        telemetry::TraceWriter *trace = telemetry::globalTraceFast();
+        const uint64_t trace_stride = telemetry::traceSampleStride();
 
         ExperimentResult local;
         BitVec dets(ctx.circuit().numDetectors());
@@ -154,8 +162,10 @@ runMemoryExperiment(const ExperimentContext &ctx,
             local.hammingWeights.add(hw);
 
             DecodeResult dr = decoder->decode(defects);
-            if (dr.gaveUp)
+            if (dr.gaveUp) {
                 local.gaveUps++;
+                local.gaveUpHw.add(hw);
+            }
 
             uint64_t actual = 0;
             for (auto o : obs.onesIndices())
@@ -167,14 +177,56 @@ runMemoryExperiment(const ExperimentContext &ctx,
                 local.logicalErrors.successes++;
 
             local.latencyNs.add(dr.latencyNs);
-            if (hw > 2)
+            local.latencyHist.add(dr.latencyNs);
+            if (hw > 2) {
                 local.latencyNontrivialNs.add(dr.latencyNs);
+                local.latencyNontrivialHist.add(dr.latencyNs);
+            }
+
+            if (trace != nullptr && s % trace_stride == 0) {
+                telemetry::JsonWriter w;
+                w.beginObject()
+                    .kv("type", "shot")
+                    .kv("shot", s)
+                    .kv("worker", uint64_t{worker})
+                    .kv("hw", uint64_t{hw})
+                    .kv("latency_ns", dr.latencyNs)
+                    .kv("gave_up", dr.gaveUp)
+                    .kv("logical_error", error)
+                    .endObject();
+                trace->line(w.str());
+            }
+        }
+
+        // Fold the worker's tallies into the global registry once per
+        // chunk: the per-shot hot loop stays macro-free and the global
+        // counters still see every shot.
+        if (telemetry::enabled()) {
+            auto &reg = telemetry::MetricsRegistry::global();
+            reg.counter("experiment.shots")
+                .add(local.logicalErrors.trials);
+            reg.counter("experiment.logical_errors")
+                .add(local.logicalErrors.successes);
+            reg.counter("experiment.gave_ups").add(local.gaveUps);
         }
 
         std::lock_guard<std::mutex> lock(merge_mutex);
         total.merge(local);
     });
 
+    if (telemetry::TraceWriter *trace = telemetry::globalTraceFast()) {
+        telemetry::JsonWriter w;
+        w.beginObject()
+            .kv("type", "experiment")
+            .kv("decoder", factory(ctx)->name())
+            .kv("distance", uint64_t{ctx.config().distance})
+            .kv("p", ctx.config().physicalErrorRate)
+            .kv("shots", total.logicalErrors.trials)
+            .kv("logical_errors", total.logicalErrors.successes)
+            .kv("gave_ups", total.gaveUps)
+            .endObject();
+        trace->line(w.str());
+    }
     return total;
 }
 

@@ -26,6 +26,7 @@
 #include "dem/error_model.hh"
 #include "graph/decoding_graph.hh"
 #include "graph/weight_table.hh"
+#include "harness/latency_stats.hh"
 #include "sim/dem_sampler.hh"
 #include "stream/window_decoder.hh"
 #include "surface_code/layout.hh"
@@ -112,7 +113,13 @@ struct ExperimentResult
     Histogram hammingWeights{64};
     RunningStats latencyNs;            ///< All shots.
     RunningStats latencyNontrivialNs;  ///< Shots with HW > 2.
+    /** Bucketed latency over all shots (percentile queries). */
+    LatencyHistogram latencyHist{50.0, 100000.0};
+    /** Bucketed latency over nontrivial (HW > 2) shots. */
+    LatencyHistogram latencyNontrivialHist{50.0, 100000.0};
     uint64_t gaveUps = 0;
+    /** Hamming weight at which each give-up happened (Sec. 5 tail). */
+    Histogram gaveUpHw{64};
 
     double ler() const { return logicalErrors.pointEstimate(); }
 
@@ -132,6 +139,17 @@ ExperimentResult runMemoryExperiment(const ExperimentContext &ctx,
                                      const DecoderFactory &factory,
                                      uint64_t shots, uint64_t seed,
                                      unsigned threads = 0);
+
+/**
+ * Measure a decoder's per-shot latency distribution over sampled
+ * syndromes, counting only non-zero syndromes (trivial all-zero shots
+ * need no decode and would swamp the histogram). Implemented in
+ * latency_stats.cc.
+ */
+LatencyHistogram measureLatencyDistribution(const ExperimentContext &ctx,
+                                            const DecoderFactory &factory,
+                                            uint64_t shots, uint64_t seed,
+                                            unsigned threads = 0);
 
 } // namespace astrea
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace astrea
 {
@@ -568,6 +569,7 @@ BlossomMatcher::solve()
 
     for (int stage = 0; stage < nVertex_; stage++) {
         // Stage: find an augmenting path and augment, or conclude.
+        ASTREA_COUNTER_INC("blossom.stages");
         std::fill(label_.begin(), label_.end(), 0);
         std::fill(labelEnd_.begin(), labelEnd_.end(), -1);
         std::fill(bestEdge_.begin(), bestEdge_.end(), -1);
@@ -609,6 +611,8 @@ BlossomMatcher::solve()
                                 addBlossom(base, k);
                             } else {
                                 augmentMatching(k);
+                                ASTREA_COUNTER_INC(
+                                    "blossom.augmenting_paths");
                                 augmented = true;
                                 break;
                             }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace astrea
 {
@@ -61,6 +62,7 @@ WindowDecoder::decode(const std::vector<uint32_t> &defects)
         // [t0, w_end).
         std::vector<uint32_t> window = carried;
         stats_.carriedDefects += carried.size();
+        ASTREA_COUNTER_ADD("stream.carried_defects", carried.size());
         carried.clear();
         for (uint32_t r = t0; r < w_end; r++) {
             window.insert(window.end(), by_round[r].begin(),
@@ -70,6 +72,8 @@ WindowDecoder::decode(const std::vector<uint32_t> &defects)
 
         if (!window.empty()) {
             stats_.windows++;
+            ASTREA_COUNTER_INC("stream.windows");
+            ASTREA_HIST_ADD("stream.window_defects", window.size());
             stats_.maxWindowDefects =
                 std::max(stats_.maxWindowDefects, window.size());
 
@@ -83,6 +87,8 @@ WindowDecoder::decode(const std::vector<uint32_t> &defects)
                 // path): the commit-region defects are dropped
                 // uncorrected and the shot will very likely count as a
                 // logical error.
+                stats_.giveUpWindows++;
+                ASTREA_COUNTER_INC("stream.give_up_windows");
                 result.gaveUp = true;
             } else {
                 for (auto [a, b] : dr.matchedPairs) {
@@ -95,6 +101,9 @@ WindowDecoder::decode(const std::vector<uint32_t> &defects)
                             result.obsMask ^= gwt_.pairObs(da, da);
                             result.matchingWeight +=
                                 gwt_.exactWeight(da, da);
+                            stats_.committedPairs++;
+                            ASTREA_COUNTER_INC(
+                                "stream.committed_pairs");
                         }
                         continue;
                     }
@@ -108,12 +117,16 @@ WindowDecoder::decode(const std::vector<uint32_t> &defects)
                             gwt_.exactEffectiveObs(da, db);
                         result.matchingWeight +=
                             gwt_.exactEffectiveWeight(da, db);
+                        stats_.committedPairs++;
+                        ASTREA_COUNTER_INC("stream.committed_pairs");
                     } else if (lo < commit_end) {
                         // Straddles the commit boundary: the early
                         // defect's decision is deferred; carry it into
                         // the next window (the late defect re-enters
                         // naturally).
                         carried.push_back(ra < rb ? da : db);
+                        stats_.deferredPairs++;
+                        ASTREA_COUNTER_INC("stream.deferred_pairs");
                     }
                     // Both beyond the commit region: future windows
                     // own the decision.

@@ -46,6 +46,13 @@ struct StreamingStats
     uint64_t carriedDefects = 0;
     /** Largest defect count any single window decoded. */
     size_t maxWindowDefects = 0;
+    /** Matched pairs committed inside a window's commit region. */
+    uint64_t committedPairs = 0;
+    /** Pairs straddling the commit boundary, deferred to the next
+     *  window (their early defect is carried forward). */
+    uint64_t deferredPairs = 0;
+    /** Windows whose inner decode gave up or reported no matching. */
+    uint64_t giveUpWindows = 0;
 };
 
 /**

@@ -1,0 +1,167 @@
+#include "telemetry/export.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+void
+appendMetricsJson(JsonWriter &w, const MetricsRegistry &registry)
+{
+    w.beginObject();
+
+    w.key("counters").beginObject();
+    for (const auto &[name, v] : registry.counterValues())
+        w.kv(name, v);
+    w.endObject();
+
+    w.key("gauges").beginObject();
+    for (const auto &[name, v] : registry.gaugeValues())
+        w.kv(name, v);
+    w.endObject();
+
+    w.key("int_histograms").beginObject();
+    for (const auto &[name, snap] : registry.intHistogramValues()) {
+        w.key(name).beginObject();
+        w.kv("total", snap.total);
+        w.kv("overflow", snap.overflow);
+        w.key("bins").beginObject();
+        for (size_t k = 0; k < snap.bins.size(); k++) {
+            if (snap.bins[k])
+                w.kv(std::to_string(k), snap.bins[k]);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("latency_histograms").beginObject();
+    for (const auto &[name, snap] : registry.latencyValues()) {
+        w.key(name).beginObject();
+        w.kv("count", snap.count);
+        w.kv("mean_ns", snap.meanNs);
+        w.kv("min_ns", snap.minNs);
+        w.kv("max_ns", snap.maxNs);
+        w.kv("p50_ns", snap.p50Ns);
+        w.kv("p90_ns", snap.p90Ns);
+        w.kv("p99_ns", snap.p99Ns);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+}
+
+std::string
+metricsToJson(const MetricsRegistry &registry)
+{
+    JsonWriter w;
+    appendMetricsJson(w, registry);
+    return w.str();
+}
+
+void
+writeMetricsJson(const MetricsRegistry &registry,
+                 const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot open metrics output file: " + path);
+    std::string json = metricsToJson(registry);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+}
+
+TraceWriter::TraceWriter(const std::string &path, bool append)
+{
+    if (path.empty())
+        return;
+    file_ = std::fopen(path.c_str(), append ? "a" : "w");
+    if (file_ == nullptr)
+        fatal("cannot open trace file: " + path);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+TraceWriter::line(const std::string &json_object)
+{
+    if (file_ == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fwrite(json_object.data(), 1, json_object.size(), file_);
+    std::fputc('\n', file_);
+    lines_++;
+}
+
+namespace
+{
+
+std::mutex g_trace_mu;
+std::unique_ptr<TraceWriter> g_trace;
+bool g_trace_initialized = false;
+/** Fast-path cache so hot loops can poll tracing without the mutex. */
+std::atomic<TraceWriter *> g_trace_ptr{nullptr};
+
+} // namespace
+
+TraceWriter *
+globalTrace()
+{
+    std::lock_guard<std::mutex> lock(g_trace_mu);
+    if (!g_trace_initialized) {
+        g_trace_initialized = true;
+        const char *env = std::getenv("ASTREA_TRACE_FILE");
+        if (env != nullptr && env[0] != '\0')
+            g_trace = std::make_unique<TraceWriter>(env);
+        g_trace_ptr.store(g_trace.get(), std::memory_order_release);
+    }
+    return g_trace.get();
+}
+
+TraceWriter *
+globalTraceFast()
+{
+    static bool primed = (globalTrace(), true);  // Lazy env init once.
+    (void)primed;
+    return g_trace_ptr.load(std::memory_order_acquire);
+}
+
+void
+setGlobalTraceFile(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(g_trace_mu);
+    g_trace_initialized = true;
+    if (path.empty())
+        g_trace.reset();
+    else
+        g_trace = std::make_unique<TraceWriter>(path);
+    g_trace_ptr.store(g_trace.get(), std::memory_order_release);
+}
+
+uint64_t
+traceSampleStride()
+{
+    static uint64_t stride = [] {
+        const char *env = std::getenv("ASTREA_TRACE_SAMPLE");
+        if (env == nullptr)
+            return uint64_t{1};
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        return v >= 1 ? static_cast<uint64_t>(v) : uint64_t{1};
+    }();
+    return stride;
+}
+
+} // namespace telemetry
+} // namespace astrea

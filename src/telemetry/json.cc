@@ -1,0 +1,208 @@
+#include "telemetry/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+JsonWriter::emitPrefix()
+{
+    if (afterKey_)
+        return;  // The key() call already placed the comma.
+    if (!levels_.empty() && levels_.back().any)
+        out_ += ',';
+}
+
+void
+JsonWriter::postValue()
+{
+    afterKey_ = false;
+    if (!levels_.empty())
+        levels_.back().any = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    emitPrefix();
+    postValue();
+    out_ += '{';
+    levels_.push_back({'{', false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    ASTREA_CHECK(!levels_.empty() && levels_.back().type == '{' &&
+                     !afterKey_,
+                 "unbalanced endObject");
+    levels_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    emitPrefix();
+    postValue();
+    out_ += '[';
+    levels_.push_back({'[', false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    ASTREA_CHECK(!levels_.empty() && levels_.back().type == '[' &&
+                     !afterKey_,
+                 "unbalanced endArray");
+    levels_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    ASTREA_CHECK(!levels_.empty() && levels_.back().type == '{' &&
+                     !afterKey_,
+                 "key() outside an object");
+    if (levels_.back().any)
+        out_ += ',';
+    out_ += jsonQuote(k);
+    out_ += ':';
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    emitPrefix();
+    out_ += jsonQuote(v);
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    emitPrefix();
+    out_ += buf;
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    emitPrefix();
+    out_ += v ? "true" : "false";
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    emitPrefix();
+    out_ += buf;
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    emitPrefix();
+    out_ += buf;
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    emitPrefix();
+    out_ += "null";
+    postValue();
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    ASTREA_CHECK(levels_.empty() && !afterKey_,
+                 "JSON document left unbalanced");
+    return out_;
+}
+
+} // namespace telemetry
+} // namespace astrea

@@ -1,0 +1,386 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace astrea
+{
+namespace telemetry
+{
+
+unsigned
+shardIndex()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned idx =
+        next.fetch_add(1, std::memory_order_relaxed) % kShardCount;
+    return idx;
+}
+
+namespace
+{
+
+std::atomic<int> g_enabled{-1};  ///< -1 = uninitialized.
+
+int
+readEnabledFromEnv()
+{
+    const char *env = std::getenv("ASTREA_TELEMETRY");
+    if (env == nullptr)
+        return 0;
+    return (std::strcmp(env, "0") != 0 &&
+            std::strcmp(env, "off") != 0 &&
+            std::strcmp(env, "") != 0)
+               ? 1
+               : 0;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    int v = g_enabled.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = readEnabledFromEnv();
+        int expected = -1;
+        g_enabled.compare_exchange_strong(expected, v);
+        v = g_enabled.load(std::memory_order_relaxed);
+    }
+    return v != 0;
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+uint64_t
+Counter::value() const
+{
+    uint64_t total = 0;
+    for (const auto &s : shards_)
+        total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (auto &s : shards_)
+        s.v.store(0, std::memory_order_relaxed);
+}
+
+void
+Gauge::recordMax(int64_t v)
+{
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v,
+                                     std::memory_order_relaxed)) {
+    }
+}
+
+size_t
+IntHistogramSnapshot::maxObserved() const
+{
+    for (size_t k = bins.size(); k-- > 0;) {
+        if (bins[k])
+            return k;
+    }
+    return 0;
+}
+
+IntHistogram::IntHistogram(size_t max_key) : numBins_(max_key + 1)
+{
+    for (auto &s : shards_) {
+        // +1 trailing overflow slot; value-initialized to zero.
+        s.bins =
+            std::make_unique<std::atomic<uint64_t>[]>(numBins_ + 1);
+    }
+}
+
+IntHistogramSnapshot
+IntHistogram::snapshot() const
+{
+    IntHistogramSnapshot snap;
+    snap.bins.assign(numBins_, 0);
+    for (const auto &s : shards_) {
+        for (size_t k = 0; k < numBins_; k++) {
+            snap.bins[k] +=
+                s.bins[k].load(std::memory_order_relaxed);
+        }
+        snap.overflow +=
+            s.bins[numBins_].load(std::memory_order_relaxed);
+    }
+    for (uint64_t c : snap.bins)
+        snap.total += c;
+    snap.total += snap.overflow;
+    return snap;
+}
+
+void
+IntHistogram::reset()
+{
+    for (auto &s : shards_) {
+        for (size_t k = 0; k <= numBins_; k++)
+            s.bins[k].store(0, std::memory_order_relaxed);
+    }
+}
+
+namespace
+{
+
+/** Bucket index for a nanosecond sample: bit width of round(ns). */
+size_t
+latencyBucket(uint64_t ns)
+{
+    return static_cast<size_t>(std::bit_width(ns));  // 0..64.
+}
+
+/** Lower edge of latency bucket b in ns. */
+double
+bucketLowNs(size_t b)
+{
+    return b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+}
+
+double
+bucketHighNs(size_t b)
+{
+    return b >= 63 ? std::ldexp(1.0, static_cast<int>(b))
+                   : static_cast<double>(1ull << b);
+}
+
+} // namespace
+
+void
+LatencyMetric::record(double ns)
+{
+    if (ns < 0.0 || !std::isfinite(ns))
+        ns = 0.0;
+    uint64_t t = static_cast<uint64_t>(std::llround(ns));
+    auto &s = shards_[shardIndex()];
+    size_t b = latencyBucket(t);
+    if (b >= kBuckets)
+        b = kBuckets - 1;
+    s.bins[b].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sumNs.fetch_add(t, std::memory_order_relaxed);
+
+    uint64_t cur = s.minNs.load(std::memory_order_relaxed);
+    while (t < cur &&
+           !s.minNs.compare_exchange_weak(cur, t,
+                                          std::memory_order_relaxed)) {
+    }
+    cur = s.maxNs.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !s.maxNs.compare_exchange_weak(cur, t,
+                                          std::memory_order_relaxed)) {
+    }
+}
+
+void
+LatencyMetric::mergedBins(std::array<uint64_t, kBuckets> &bins,
+                          uint64_t &count, uint64_t &min_ns,
+                          uint64_t &max_ns) const
+{
+    bins.fill(0);
+    count = 0;
+    min_ns = UINT64_MAX;
+    max_ns = 0;
+    for (const auto &s : shards_) {
+        for (size_t b = 0; b < kBuckets; b++)
+            bins[b] += s.bins[b].load(std::memory_order_relaxed);
+        count += s.count.load(std::memory_order_relaxed);
+        min_ns = std::min(min_ns,
+                          s.minNs.load(std::memory_order_relaxed));
+        max_ns = std::max(max_ns,
+                          s.maxNs.load(std::memory_order_relaxed));
+    }
+}
+
+double
+LatencyMetric::percentileNs(double pct) const
+{
+    std::array<uint64_t, kBuckets> bins;
+    uint64_t count, min_ns, max_ns;
+    mergedBins(bins, count, min_ns, max_ns);
+    if (count == 0)
+        return 0.0;
+
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(count)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count)
+        rank = count;
+
+    uint64_t cum = 0;
+    for (size_t b = 0; b < kBuckets; b++) {
+        if (bins[b] == 0)
+            continue;
+        cum += bins[b];
+        if (cum >= rank) {
+            // Linear interpolation inside the bucket, clamped to the
+            // observed extremes so tiny samples stay sane.
+            double lo = bucketLowNs(b);
+            double hi = bucketHighNs(b);
+            double before = static_cast<double>(cum - bins[b]);
+            double frac = (static_cast<double>(rank) - before) /
+                          static_cast<double>(bins[b]);
+            double est = lo + frac * (hi - lo);
+            est = std::max(est, static_cast<double>(min_ns));
+            est = std::min(est, static_cast<double>(max_ns));
+            return est;
+        }
+    }
+    return static_cast<double>(max_ns);
+}
+
+LatencySnapshot
+LatencyMetric::snapshot() const
+{
+    LatencySnapshot snap;
+    uint64_t sum = 0;
+    uint64_t min_ns = UINT64_MAX, max_ns = 0;
+    for (const auto &s : shards_) {
+        snap.count += s.count.load(std::memory_order_relaxed);
+        sum += s.sumNs.load(std::memory_order_relaxed);
+        min_ns = std::min(min_ns,
+                          s.minNs.load(std::memory_order_relaxed));
+        max_ns = std::max(max_ns,
+                          s.maxNs.load(std::memory_order_relaxed));
+    }
+    if (snap.count == 0)
+        return snap;
+    snap.meanNs = static_cast<double>(sum) /
+                  static_cast<double>(snap.count);
+    snap.minNs = static_cast<double>(min_ns);
+    snap.maxNs = static_cast<double>(max_ns);
+    snap.p50Ns = percentileNs(50.0);
+    snap.p90Ns = percentileNs(90.0);
+    snap.p99Ns = percentileNs(99.0);
+    return snap;
+}
+
+void
+LatencyMetric::reset()
+{
+    for (auto &s : shards_) {
+        for (auto &b : s.bins)
+            b.store(0, std::memory_order_relaxed);
+        s.count.store(0, std::memory_order_relaxed);
+        s.sumNs.store(0, std::memory_order_relaxed);
+        s.minNs.store(UINT64_MAX, std::memory_order_relaxed);
+        s.maxNs.store(0, std::memory_order_relaxed);
+    }
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+IntHistogram &
+MetricsRegistry::intHistogram(const std::string &name, size_t max_key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = intHists_[name];
+    if (!slot)
+        slot = std::make_unique<IntHistogram>(max_key);
+    return *slot;
+}
+
+LatencyMetric &
+MetricsRegistry::latency(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = latencies_[name];
+    if (!slot)
+        slot = std::make_unique<LatencyMetric>();
+    return *slot;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : intHists_)
+        h->reset();
+    for (auto &[name, l] : latencies_)
+        l->reset();
+}
+
+std::map<std::string, uint64_t>
+MetricsRegistry::counterValues() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, uint64_t> out;
+    for (const auto &[name, c] : counters_)
+        out[name] = c->value();
+    return out;
+}
+
+std::map<std::string, int64_t>
+MetricsRegistry::gaugeValues() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, int64_t> out;
+    for (const auto &[name, g] : gauges_)
+        out[name] = g->value();
+    return out;
+}
+
+std::map<std::string, IntHistogramSnapshot>
+MetricsRegistry::intHistogramValues() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, IntHistogramSnapshot> out;
+    for (const auto &[name, h] : intHists_)
+        out[name] = h->snapshot();
+    return out;
+}
+
+std::map<std::string, LatencySnapshot>
+MetricsRegistry::latencyValues() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, LatencySnapshot> out;
+    for (const auto &[name, l] : latencies_)
+        out[name] = l->snapshot();
+    return out;
+}
+
+} // namespace telemetry
+} // namespace astrea

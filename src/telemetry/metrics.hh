@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Thread-aware metrics registry: counters, gauges, integer histograms
+ * and latency histograms, shared by every decoder and harness stage.
+ *
+ * The experiment harness fans shot loops out across worker threads, so
+ * every metric is sharded: writers touch a cache-line-padded per-shard
+ * atomic slot picked by a thread-local index, and readers merge the
+ * shards on collect. Writes are relaxed atomics — the registry counts
+ * events, it does not order them — which keeps a disabled-but-compiled
+ * instrumentation site at one predicted branch and an enabled one at
+ * one uncontended fetch_add.
+ *
+ * Metrics are registered on first use by name and are never erased, so
+ * references returned by the lookup methods stay valid for the process
+ * lifetime (the macro layer in telemetry.hh caches them in function-
+ * local statics). reset() zeroes values in place without invalidating
+ * references, which is what tests and multi-section benches need.
+ */
+
+#ifndef ASTREA_TELEMETRY_METRICS_HH
+#define ASTREA_TELEMETRY_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace astrea
+{
+namespace telemetry
+{
+
+/** Shard count; a small power of two balancing contention and merges. */
+constexpr unsigned kShardCount = 16;
+
+/** Stable per-thread shard slot in [0, kShardCount). */
+unsigned shardIndex();
+
+/** Global telemetry switch (ASTREA_TELEMETRY=1 or setEnabled()). */
+bool enabled();
+void setEnabled(bool on);
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        shards_[shardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void inc() { add(1); }
+
+    /** Merged total across shards. */
+    uint64_t value() const;
+
+    void reset();
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> v{0};
+    };
+    std::array<Shard, kShardCount> shards_;
+};
+
+/** Last-writer-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(int64_t n)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Record v if it exceeds the current value. */
+    void recordMax(int64_t v);
+
+    int64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/** Merged view of an integer histogram. */
+struct IntHistogramSnapshot
+{
+    std::vector<uint64_t> bins;  ///< Counts for keys 0..bins.size()-1.
+    uint64_t overflow = 0;
+    uint64_t total = 0;
+
+    /** Largest key with a nonzero count (0 if empty). */
+    size_t maxObserved() const;
+};
+
+/** Dense integer-keyed histogram with an overflow bin, sharded. */
+class IntHistogram
+{
+  public:
+    explicit IntHistogram(size_t max_key = 64);
+
+    void
+    add(size_t key, uint64_t n = 1)
+    {
+        auto &shard = shards_[shardIndex()];
+        size_t slot = key < numBins_ ? key : numBins_;  // Overflow.
+        shard.bins[slot].fetch_add(n, std::memory_order_relaxed);
+    }
+
+    size_t maxKey() const { return numBins_ - 1; }
+
+    IntHistogramSnapshot snapshot() const;
+
+    void reset();
+
+  private:
+    struct Shard
+    {
+        /** numBins_ dense bins plus one trailing overflow slot. */
+        std::unique_ptr<std::atomic<uint64_t>[]> bins;
+    };
+
+    size_t numBins_;
+    std::array<Shard, kShardCount> shards_;
+};
+
+/** Merged view of a latency histogram. */
+struct LatencySnapshot
+{
+    uint64_t count = 0;
+    double meanNs = 0.0;
+    double minNs = 0.0;
+    double maxNs = 0.0;
+    double p50Ns = 0.0;
+    double p90Ns = 0.0;
+    double p99Ns = 0.0;
+};
+
+/**
+ * Log2-bucketed duration histogram (nanosecond samples), sharded.
+ * Bucket b holds samples in [2^(b-1), 2^b) ns, so 64 buckets cover
+ * everything from sub-nanosecond to ~584 years; percentile queries
+ * interpolate within the bucket and clamp to the observed min/max.
+ */
+class LatencyMetric
+{
+  public:
+    static constexpr size_t kBuckets = 64;
+
+    void record(double ns);
+
+    LatencySnapshot snapshot() const;
+
+    /** Percentile estimate in ns; pct in (0, 100]. */
+    double percentileNs(double pct) const;
+
+    void reset();
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::array<std::atomic<uint64_t>, kBuckets> bins{};
+        std::atomic<uint64_t> count{0};
+        std::atomic<uint64_t> sumNs{0};
+        std::atomic<uint64_t> minNs{UINT64_MAX};
+        std::atomic<uint64_t> maxNs{0};
+    };
+
+    void mergedBins(std::array<uint64_t, kBuckets> &bins,
+                    uint64_t &count, uint64_t &min_ns,
+                    uint64_t &max_ns) const;
+
+    std::array<Shard, kShardCount> shards_;
+};
+
+/**
+ * Name-keyed registry of all metrics. Lookup registers on first use;
+ * returned references are process-lifetime stable.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry used by the macro layer. */
+    static MetricsRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    IntHistogram &intHistogram(const std::string &name,
+                               size_t max_key = 64);
+    LatencyMetric &latency(const std::string &name);
+
+    /** Zero every metric in place (references stay valid). */
+    void reset();
+
+    std::map<std::string, uint64_t> counterValues() const;
+    std::map<std::string, int64_t> gaugeValues() const;
+    std::map<std::string, IntHistogramSnapshot> intHistogramValues()
+        const;
+    std::map<std::string, LatencySnapshot> latencyValues() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<IntHistogram>> intHists_;
+    std::map<std::string, std::unique_ptr<LatencyMetric>> latencies_;
+};
+
+} // namespace telemetry
+} // namespace astrea
+
+#endif // ASTREA_TELEMETRY_METRICS_HH

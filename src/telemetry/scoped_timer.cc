@@ -1,0 +1,70 @@
+#include "telemetry/scoped_timer.hh"
+
+#include <vector>
+
+#include "telemetry/export.hh"
+#include "telemetry/json.hh"
+#include "telemetry/metrics.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+namespace
+{
+
+thread_local std::vector<std::string> tl_span_stack;
+
+} // namespace
+
+ScopedTimer::ScopedTimer(const std::string &name)
+    : start_(std::chrono::steady_clock::now())
+{
+    if (tl_span_stack.empty()) {
+        path_ = name;
+    } else {
+        path_ = tl_span_stack.back() + "/" + name;
+    }
+    tl_span_stack.push_back(path_);
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    double ns = elapsedNs();
+    tl_span_stack.pop_back();
+    MetricsRegistry::global().latency("span." + path_).record(ns);
+    if (TraceWriter *trace = globalTrace()) {
+        JsonWriter w;
+        w.beginObject()
+            .kv("type", "span")
+            .kv("path", path_)
+            .kv("ns", ns)
+            .endObject();
+        trace->line(w.str());
+    }
+}
+
+double
+ScopedTimer::elapsedNs() const
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(now - start_)
+        .count();
+}
+
+std::string
+ScopedTimer::currentPath()
+{
+    return tl_span_stack.empty() ? std::string()
+                                 : tl_span_stack.back();
+}
+
+size_t
+ScopedTimer::currentDepth()
+{
+    return tl_span_stack.size();
+}
+
+} // namespace telemetry
+} // namespace astrea

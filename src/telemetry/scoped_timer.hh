@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Scoped span timing for tracing decode stages.
+ *
+ * A ScopedTimer pushes its name onto a thread-local span stack on
+ * construction and, on destruction, records the elapsed wall-clock time
+ * into the global MetricsRegistry under "span.<path>", where <path> is
+ * the '/'-joined nesting of enclosing spans ("experiment.run/decode").
+ * When a JSONL trace file is configured (export.hh), each completed
+ * span additionally appends a trace event.
+ *
+ * Spans are strictly scoped (RAII), so nesting always forms a proper
+ * tree per thread; interleaving across threads is fine because the
+ * stack is thread-local and the registry is thread-safe.
+ */
+
+#ifndef ASTREA_TELEMETRY_SCOPED_TIMER_HH
+#define ASTREA_TELEMETRY_SCOPED_TIMER_HH
+
+#include <chrono>
+#include <string>
+
+namespace astrea
+{
+namespace telemetry
+{
+
+/** RAII span: times a scope and records it under the nested path. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const std::string &name);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Elapsed time so far. */
+    double elapsedNs() const;
+
+    /** Full '/'-joined path of this span. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * The calling thread's current span path ("" outside any span).
+     * Useful for tagging log lines and trace events with context.
+     */
+    static std::string currentPath();
+
+    /** Nesting depth of the calling thread (0 outside any span). */
+    static size_t currentDepth();
+
+  private:
+    std::string path_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace telemetry
+} // namespace astrea
+
+#endif // ASTREA_TELEMETRY_SCOPED_TIMER_HH

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate a bench --json-out report against the expected schema.
+
+Usage: validate_report.py REPORT.json [REPORT.json ...]
+
+Checks that each file parses as JSON and carries the standard envelope
+written by bench_util.hh (beginBenchReport/finishBenchReport):
+
+  {
+    "bench": "<id>",
+    "schema_version": 1,
+    "config": { ... },
+    "results": [...] or { ... },
+    "metrics": {
+      "counters": {...}, "gauges": {...},
+      "int_histograms": {...}, "latency_histograms": {...}
+    }
+  }
+
+Exits nonzero with a message on the first violation, so CI fails when a
+bench silently stops producing valid reports.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not readable as JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+
+    for key in ("bench", "schema_version", "config", "results",
+                "metrics"):
+        if key not in doc:
+            fail(path, f"missing top-level key '{key}'")
+
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        fail(path, "'bench' must be a nonempty string")
+    if doc["schema_version"] != 1:
+        fail(path, f"unknown schema_version {doc['schema_version']!r}")
+    if not isinstance(doc["config"], dict):
+        fail(path, "'config' must be an object")
+    if not isinstance(doc["results"], (dict, list)):
+        fail(path, "'results' must be an object or array")
+
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict):
+        fail(path, "'metrics' must be an object")
+    for section in ("counters", "gauges", "int_histograms",
+                    "latency_histograms"):
+        if section not in metrics:
+            fail(path, f"metrics missing section '{section}'")
+        if not isinstance(metrics[section], dict):
+            fail(path, f"metrics section '{section}' is not an object")
+
+    for name, snap in metrics["latency_histograms"].items():
+        for field in ("count", "mean_ns", "min_ns", "max_ns", "p50_ns",
+                      "p90_ns", "p99_ns"):
+            if field not in snap:
+                fail(path,
+                     f"latency histogram '{name}' missing '{field}'")
+
+    print(f"{path}: ok (bench={doc['bench']})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
