@@ -8,6 +8,7 @@
  * feasible (d = 3), exactly as in the paper ("N/A" otherwise).
  *
  * Usage: bench_ler_table4 [--shots-per-k=20000] [--kmax=8]
+ *                         [--json-out=report.json]
  */
 
 #include <cstdio>
@@ -30,6 +31,20 @@ main(int argc, char **argv)
     sa.maxFaults = static_cast<uint32_t>(opts.getUint("kmax", 8));
     sa.seed = opts.getUint("seed", 13);
     const double p = opts.getDouble("p", 1e-4);
+    const std::string json_out = initBenchReport(opts);
+
+    telemetry::JsonWriter report;
+    if (!json_out.empty()) {
+        beginBenchReport(report, "ler_table4");
+        report.kv("p", p)
+            .kv("shots_per_k", sa.shotsPerK)
+            .kv("target_failures", sa.targetFailures)
+            .kv("max_shots_per_k", sa.maxShotsPerK)
+            .kv("kmax", uint64_t{sa.maxFaults})
+            .kv("seed", sa.seed);
+        report.endObject();  // config
+        report.key("results").beginArray();
+    }
 
     benchBanner("Table 4", "LER by decoder at p = 1e-4 "
                            "(semi-analytic, Eq. 3)");
@@ -62,6 +77,26 @@ main(int argc, char **argv)
                     formatProb(r[1].ler).c_str(), lut_str.c_str(),
                     formatProb(r[2].ler).c_str(),
                     formatProb(r[3].ler).c_str());
+
+        if (!json_out.empty()) {
+            report.beginObject().kv("d", uint64_t{d});
+            report.key("ler_by_decoder").beginObject();
+            report.kv("mwpm", r[0].ler);
+            report.kv("astrea", r[1].ler);
+            report.kv("clique", r[2].ler);
+            report.kv("union_find", r[3].ler);
+            if (lut_feasible)
+                report.kv("lut", r[4].ler);
+            else
+                report.key("lut").null();
+            report.endObject();
+            report.kv("tail_mass", r[0].tailMass);
+            report.endObject();
+        }
+    }
+    if (!json_out.empty()) {
+        report.endArray();  // results
+        finishBenchReport(report, json_out);
     }
     std::printf("\n");
     printPaperRef("Table 4 d=3",

@@ -12,6 +12,7 @@
  * instead of per stream.
  *
  * Usage: bench_streaming [--shots=30000] [--rounds=30] [--p=2e-3]
+ *                        [--json-out=report.json]
  */
 
 #include <cstdio>
@@ -30,8 +31,20 @@ main(int argc, char **argv)
         static_cast<uint32_t>(opts.getUint("rounds", 30));
     const double p = opts.getDouble("p", 2e-3);
     const uint64_t seed = opts.getUint("seed", 67);
+    const std::string json_out = initBenchReport(opts);
 
     benchBanner("Extension", "sliding-window streaming decoding");
+
+    telemetry::JsonWriter report;
+    if (!json_out.empty()) {
+        beginBenchReport(report, "streaming");
+        report.kv("rounds", uint64_t{rounds})
+            .kv("p", p)
+            .kv("shots", shots)
+            .kv("seed", seed);
+        report.endObject();  // config
+        report.key("results").beginArray();
+    }
 
     for (uint32_t d : {3u, 5u}) {
         ExperimentConfig cfg;
@@ -71,6 +84,25 @@ main(int argc, char **argv)
                     formatProb(win_astrea.ler()).c_str(),
                     static_cast<unsigned long long>(
                         win_astrea.gaveUps));
+
+        if (!json_out.empty()) {
+            report.beginObject().kv("d", uint64_t{d});
+            auto variant = [&](const char *name,
+                               const ExperimentResult &r) {
+                report.key(name).beginObject();
+                appendExperimentResultJson(report, r);
+                report.endObject();
+            };
+            variant("whole_stream_mwpm", whole);
+            variant("windowed_mwpm", win_mwpm);
+            variant("whole_stream_astrea", whole_astrea);
+            variant("windowed_astrea", win_astrea);
+            report.endObject();
+        }
+    }
+    if (!json_out.empty()) {
+        report.endArray();  // results
+        finishBenchReport(report, json_out);
     }
 
     std::printf("\nWindowed decoding bounds the per-step matching "

@@ -27,6 +27,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "harness/memory_experiment.hh"
+#include "telemetry/chrome_trace.hh"
 #include "telemetry/export.hh"
 #include "telemetry/json.hh"
 #include "telemetry/metrics.hh"
@@ -65,14 +66,45 @@ printPaperRef(const char *label, const char *value)
 }
 
 /**
+ * Apply the shared forensics flags every bench (and astrea_cli)
+ * understands, each with an ASTREA_<KEY> environment fallback where
+ * the flag wins:
+ *
+ *  --log-level=LVL      logging threshold (debug/info/warn/error/off);
+ *  --trace-file=PATH    JSONL span/shot trace (export.hh);
+ *  --chrome-trace=PATH  Perfetto timeline (chrome_trace.hh).
+ *
+ * Either trace flag switches telemetry collection on — a timeline
+ * without spans would be empty.
+ */
+inline void
+applyForensicsOptions(const Options &opts)
+{
+    if (opts.has("log-level"))
+        setLogLevel(logLevelFromString(opts.getString("log-level", "")));
+    if (opts.has("trace-file")) {
+        telemetry::setGlobalTraceFile(
+            opts.getString("trace-file", ""));
+        telemetry::setEnabled(true);
+    }
+    if (opts.has("chrome-trace")) {
+        telemetry::setGlobalChromeTraceFile(
+            opts.getString("chrome-trace", ""));
+        telemetry::setEnabled(true);
+    }
+}
+
+/**
  * Resolve --json-out (or ASTREA_JSON_OUT) and, when a report was
  * requested, switch telemetry collection on so the report can include
- * the decoder-internal counters. Returns the output path, or "" when
- * no report was requested.
+ * the decoder-internal counters. Also applies the shared forensics
+ * flags (applyForensicsOptions()). Returns the output path, or ""
+ * when no report was requested.
  */
 inline std::string
 initBenchReport(const Options &opts)
 {
+    applyForensicsOptions(opts);
     std::string path = opts.getString("json-out", "");
     if (!path.empty()) {
         // Fail fast on an unwritable path: discovering it only after a

@@ -14,6 +14,14 @@ AstreaDecoder::AstreaDecoder(const GlobalWeightTable &gwt,
 {
 }
 
+void
+AstreaDecoder::describeConfig(telemetry::JsonWriter &w) const
+{
+    w.kv("max_hamming_weight", uint64_t{config_.maxHammingWeight});
+    w.kv("quantized_weights", config_.quantizedWeights);
+    w.kv("use_effective_weights", config_.useEffectiveWeights);
+}
+
 uint64_t
 AstreaDecoder::decodeCycles(uint32_t hamming_weight)
 {

@@ -76,6 +76,7 @@ class AstreaDecoder : public Decoder
 
     DecodeResult decode(const std::vector<uint32_t> &defects) override;
     std::string name() const override { return "Astrea"; }
+    void describeConfig(telemetry::JsonWriter &w) const override;
 
     /** Syndromes skipped because HW exceeded the limit. */
     uint64_t gaveUpCount() const { return stats_.gaveUps; }

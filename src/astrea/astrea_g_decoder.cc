@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "telemetry/chrome_trace.hh"
 #include "telemetry/telemetry.hh"
 
 namespace astrea
@@ -23,6 +24,9 @@ struct Prematch
      *  bit (continuation cursor; see AstreaGConfig::
      *  requeueContinuations). */
     uint32_t nextCandidate = 0;
+    /** Committed pairs, tracked only under recordMatching (empty —
+     *  and cheap to copy — otherwise). */
+    std::vector<std::pair<int, int>> pairs;
 };
 
 /**
@@ -114,6 +118,18 @@ AstreaGDecoder::AstreaGDecoder(const GlobalWeightTable &gwt,
     }
 }
 
+void
+AstreaGDecoder::describeConfig(telemetry::JsonWriter &w) const
+{
+    w.kv("fetch_width", uint64_t{config_.fetchWidth});
+    w.kv("queue_capacity", uint64_t{config_.queueCapacity});
+    w.kv("weight_threshold_decades", config_.weightThresholdDecades);
+    w.kv("cycle_budget", config_.cycleBudget);
+    w.kv("exhaustive_max_hw", uint64_t{config_.exhaustiveMaxHw});
+    w.kv("max_defects", uint64_t{config_.maxDefects});
+    w.kv("requeue_continuations", config_.requeueContinuations);
+}
+
 std::vector<uint32_t>
 AstreaGDecoder::survivingPairCounts(
     const std::vector<uint32_t> &defects) const
@@ -135,6 +151,7 @@ AstreaGDecoder::survivingPairCounts(
 DecodeResult
 AstreaGDecoder::decode(const std::vector<uint32_t> &defects)
 {
+    ASTREA_SPAN("astrea_g.decode");
     stats_.decodes++;
     ASTREA_COUNTER_INC("astrea_g.decodes");
     const uint32_t w = static_cast<uint32_t>(defects.size());
@@ -184,18 +201,21 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
         decadesToQuantized(config_.weightThresholdDecades);
     std::vector<std::vector<std::pair<WeightSum, int>>> lwt(m);
     uint64_t pairs_kept = 0, pairs_filtered = 0;
-    for (int i = 0; i < m; i++) {
-        for (int j = 0; j < m; j++) {
-            if (i == j)
-                continue;
-            WeightSum pw = weight(i, j);
-            if (pw <= wth)
-                lwt[i].push_back({pw, j});
-            else
-                pairs_filtered++;
+    {
+        ASTREA_SPAN("astrea_g.lwt_filter");
+        for (int i = 0; i < m; i++) {
+            for (int j = 0; j < m; j++) {
+                if (i == j)
+                    continue;
+                WeightSum pw = weight(i, j);
+                if (pw <= wth)
+                    lwt[i].push_back({pw, j});
+                else
+                    pairs_filtered++;
+            }
+            pairs_kept += lwt[i].size();
+            std::sort(lwt[i].begin(), lwt[i].end());
         }
-        pairs_kept += lwt[i].size();
-        std::sort(lwt[i].begin(), lwt[i].end());
     }
     stats_.lwtPairsKept += pairs_kept;
     stats_.lwtPairsFiltered += pairs_filtered;
@@ -215,13 +235,19 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
     WeightSum best_weight = kInfiniteWeightSum;
     uint64_t best_obs = 0;
     bool found = false;
+    const bool record_pairs = config_.recordMatching;
+    std::vector<std::pair<int, int>> best_pairs;
 
     const uint64_t full_mask =
         (m == 64) ? ~0ull : ((1ull << m) - 1);
 
+    telemetry::ChromeTraceWriter *chrome =
+        telemetry::globalChromeTraceFast();
+
     uint64_t iterations = 0;
     uint64_t requeues = 0;
     bool any_left = true;
+    ASTREA_SPAN("astrea_g.pipeline_search");
     while (iterations < max_iters && any_left) {
         iterations++;
         any_left = false;
@@ -248,6 +274,10 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
                 ns.weight = addWeights(st.weight, pw);
                 ns.obsMask = st.obsMask ^ obs(i, j);
                 ns.matchedCount = st.matchedCount + 2;
+                if (record_pairs) {
+                    ns.pairs = st.pairs;
+                    ns.pairs.push_back({i, j});
+                }
 
                 int remaining = m - static_cast<int>(ns.matchedCount);
                 if (remaining == 6) {
@@ -262,12 +292,16 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
                     PairList tail;
                     stats_.hw6Invocations++;
                     ASTREA_COUNTER_INC("astrea_g.hw6_invocations");
-                    WeightSum tail_w = hw6_.match(
-                        6,
-                        [&](int a, int b) {
-                            return weight(rem[a], rem[b]);
-                        },
-                        tail);
+                    WeightSum tail_w;
+                    {
+                        ASTREA_SPAN("astrea_g.hw6");
+                        tail_w = hw6_.match(
+                            6,
+                            [&](int a, int b) {
+                                return weight(rem[a], rem[b]);
+                            },
+                            tail);
+                    }
                     WeightSum total = addWeights(ns.weight, tail_w);
                     if (total < best_weight) {
                         best_weight = total;
@@ -276,6 +310,12 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
                             o ^= obs(rem[a], rem[b]);
                         best_obs = o;
                         found = true;
+                        if (record_pairs) {
+                            best_pairs = ns.pairs;
+                            for (auto [a, b] : tail)
+                                best_pairs.push_back(
+                                    {rem[a], rem[b]});
+                        }
                     }
                 } else {
                     queues[committed % F].push(ns);
@@ -303,6 +343,12 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
         }
         stats_.maxQueueOccupancy =
             std::max<uint64_t>(stats_.maxQueueOccupancy, occupancy);
+        if (chrome != nullptr) {
+            chrome->counter("astrea_g.queue_occupancy",
+                            static_cast<double>(occupancy));
+            chrome->counter("astrea_g.requeues",
+                            static_cast<double>(requeues));
+        }
     }
 
     if (any_left) {
@@ -331,6 +377,17 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
     result.obsMask = best_obs;
     result.matchingWeight =
         static_cast<double>(best_weight) / kWeightScale;
+    if (record_pairs) {
+        for (auto [i, j] : best_pairs) {
+            // Same convention as the exhaustive path: the virtual
+            // boundary node maps to -1 and sorts second.
+            int32_t a = (i == virt) ? -1 : static_cast<int32_t>(i);
+            int32_t b = (j == virt) ? -1 : static_cast<int32_t>(j);
+            if (a < 0)
+                std::swap(a, b);
+            result.matchedPairs.push_back({a, b});
+        }
+    }
     return result;
 }
 

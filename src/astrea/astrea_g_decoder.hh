@@ -64,6 +64,16 @@ struct AstreaGConfig
      * fetch/queue ablation bench covers the off setting.
      */
     bool requeueContinuations = true;
+    /**
+     * Track the pair list of the best complete matching through the
+     * pipeline and report it in DecodeResult::matchedPairs (defect
+     * indices, -1 = boundary), as the exhaustive path always does.
+     * Off by default: pre-matchings are copied on every queue
+     * push/pop, and dragging a vector through that hot path is pure
+     * overhead for Monte-Carlo runs. The capture replayer turns it on
+     * to show the chosen matching.
+     */
+    bool recordMatching = false;
 };
 
 /**
@@ -109,6 +119,7 @@ class AstreaGDecoder : public Decoder
 
     DecodeResult decode(const std::vector<uint32_t> &defects) override;
     std::string name() const override { return "Astrea-G"; }
+    void describeConfig(telemetry::JsonWriter &w) const override;
 
     const AstreaGStats &stats() const { return stats_; }
     const AstreaGConfig &config() const { return config_; }

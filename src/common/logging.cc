@@ -87,6 +87,12 @@ setLogLevel(LogLevel level)
     g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+LogLevel
+logLevelFromString(const std::string &name)
+{
+    return static_cast<LogLevel>(parseLevel(name.c_str()));
+}
+
 bool
 logEnabled(LogLevel level)
 {

@@ -39,6 +39,12 @@ LogLevel logLevel();
 /** Override the threshold for this process. */
 void setLogLevel(LogLevel level);
 
+/**
+ * Parse a level name ("debug"/"info"/"warn"/"error"/"off" or "0".."4")
+ * as ASTREA_LOG_LEVEL does; unknown strings yield Info.
+ */
+LogLevel logLevelFromString(const std::string &name);
+
 /** Would a message at this level currently be emitted? */
 bool logEnabled(LogLevel level);
 

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/json.hh"
+
 namespace astrea
 {
 
@@ -73,6 +75,19 @@ class Decoder
     virtual DecodeResult decode(const std::vector<uint32_t> &defects) = 0;
 
     virtual std::string name() const = 0;
+
+    /**
+     * Emit the decoder's configuration as key/value pairs into an
+     * already-open JSON object. The flight recorder embeds this in
+     * capture files so `astrea_cli replay` can reconstruct an
+     * identically-configured decoder; decoders whose behavior is
+     * fully determined by their name may emit nothing.
+     */
+    virtual void
+    describeConfig(telemetry::JsonWriter &w) const
+    {
+        (void)w;
+    }
 };
 
 } // namespace astrea

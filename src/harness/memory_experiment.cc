@@ -10,6 +10,7 @@
 #include "decoders/union_find_decoder.hh"
 #include "dem/extractor.hh"
 #include "telemetry/export.hh"
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/telemetry.hh"
 
 namespace astrea
@@ -117,6 +118,35 @@ windowedFactory(DecoderFactory inner, StreamingConfig config)
     };
 }
 
+std::string
+experimentConfigJson(const ExperimentConfig &config)
+{
+    telemetry::JsonWriter w;
+    w.beginObject()
+        .kv("distance", uint64_t{config.distance})
+        .kv("rounds", uint64_t{config.rounds})
+        .kv("basis", config.basis == Basis::X ? "X" : "Z")
+        .kv("p", config.physicalErrorRate)
+        .kv("drift_spread", config.driftSpread)
+        .kv("drift_seed", config.driftSeed)
+        .kv("cx_schedule",
+            config.cxSchedule == CxSchedule::HookAligned
+                ? "hook_aligned"
+                : "standard")
+        .endObject();
+    return w.str();
+}
+
+std::string
+decoderDescriptionJson(const Decoder &decoder)
+{
+    telemetry::JsonWriter w;
+    w.beginObject().kv("name", decoder.name());
+    decoder.describeConfig(w);
+    w.endObject();
+    return w.str();
+}
+
 void
 ExperimentResult::merge(const ExperimentResult &other)
 {
@@ -144,12 +174,24 @@ runMemoryExperiment(const ExperimentContext &ctx,
     ExperimentResult total;
     std::mutex merge_mutex;
 
+    const bool flight = telemetry::FlightRecorder::globalEnabled();
+    if (flight) {
+        // Install this run's context and decoder descriptions so a
+        // capture triggered mid-run embeds enough to replay it.
+        auto probe = factory(ctx);
+        telemetry::FlightRecorder::global().beginRun(
+            experimentConfigJson(ctx.config()),
+            decoderDescriptionJson(*probe));
+    }
+
     parallelFor(shots, threads,
                 [&](unsigned worker, uint64_t begin, uint64_t end) {
         Rng rng = root.split(worker);
         auto decoder = factory(ctx);
         telemetry::TraceWriter *trace = telemetry::globalTraceFast();
         const uint64_t trace_stride = telemetry::traceSampleStride();
+        telemetry::FlightRecorder *recorder =
+            flight ? &telemetry::FlightRecorder::global() : nullptr;
 
         ExperimentResult local;
         BitVec dets(ctx.circuit().numDetectors());
@@ -181,6 +223,21 @@ runMemoryExperiment(const ExperimentContext &ctx,
             if (hw > 2) {
                 local.latencyNontrivialNs.add(dr.latencyNs);
                 local.latencyNontrivialHist.add(dr.latencyNs);
+            }
+
+            if (recorder != nullptr) {
+                telemetry::DecodeRecord rec;
+                rec.shot = s;
+                rec.worker = worker;
+                rec.defects = defects;
+                rec.obsMask = dr.obsMask;
+                rec.actualObs = actual;
+                rec.gaveUp = dr.gaveUp;
+                rec.logicalError = error;
+                rec.latencyNs = dr.latencyNs;
+                rec.cycles = dr.cycles;
+                rec.matchingWeight = dr.matchingWeight;
+                recorder->record(rec);
             }
 
             if (trace != nullptr && s % trace_stride == 0) {

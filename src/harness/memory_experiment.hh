@@ -106,6 +106,15 @@ DecoderFactory greedyFactory();
 DecoderFactory windowedFactory(DecoderFactory inner,
                                StreamingConfig config = {});
 
+/**
+ * Serialize an ExperimentConfig as a JSON object string. Embedded in
+ * flight-recorder capture files; replayCapture() parses it back.
+ */
+std::string experimentConfigJson(const ExperimentConfig &config);
+
+/** Serialize a decoder's name plus configuration as a JSON object. */
+std::string decoderDescriptionJson(const Decoder &decoder);
+
 /** Aggregated outcome of a shot loop. */
 struct ExperimentResult
 {

@@ -1,0 +1,372 @@
+#include "harness/replay.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "common/weight.hh"
+#include "decoders/mwpm_decoder.hh"
+
+namespace astrea
+{
+
+namespace
+{
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    char buf[4096];
+    size_t n;
+    out.clear();
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+bool
+parseConfig(const telemetry::JsonValue &ctx, ExperimentConfig &cfg,
+            std::string *error_out)
+{
+    if (ctx.kind != telemetry::JsonValue::Object) {
+        *error_out = "capture has no context object";
+        return false;
+    }
+    cfg.distance = static_cast<uint32_t>(ctx["distance"].asUint(3));
+    cfg.rounds = static_cast<uint32_t>(ctx["rounds"].asUint(0));
+    cfg.basis = ctx["basis"].asString("Z") == "X" ? Basis::X : Basis::Z;
+    cfg.physicalErrorRate = ctx["p"].asNumber(1e-4);
+    cfg.driftSpread = ctx["drift_spread"].asNumber(0.0);
+    cfg.driftSeed = ctx["drift_seed"].asUint(12345);
+    cfg.cxSchedule = ctx["cx_schedule"].asString("standard") ==
+                             "hook_aligned"
+                         ? CxSchedule::HookAligned
+                         : CxSchedule::Standard;
+    return true;
+}
+
+/**
+ * Rebuild the captured decoder against a freshly-built context. The
+ * Astrea-G replay turns recordMatching on so the chosen matching is
+ * reported (the Monte-Carlo run that wrote the capture leaves it off).
+ */
+std::unique_ptr<Decoder>
+buildDecoder(const ReplayCapture &capture, const ExperimentContext &ctx,
+             std::string *error_out)
+{
+    const telemetry::JsonValue &dc = capture.decoderConfig;
+    if (capture.decoderName == "Astrea-G") {
+        AstreaGConfig c;
+        c.fetchWidth =
+            static_cast<uint32_t>(dc["fetch_width"].asUint(c.fetchWidth));
+        c.queueCapacity = static_cast<uint32_t>(
+            dc["queue_capacity"].asUint(c.queueCapacity));
+        // Captures store the resolved threshold, so no regime
+        // re-resolution happens here.
+        c.weightThresholdDecades = dc["weight_threshold_decades"]
+                                       .asNumber(c.weightThresholdDecades);
+        c.cycleBudget = dc["cycle_budget"].asUint(c.cycleBudget);
+        c.exhaustiveMaxHw = static_cast<uint32_t>(
+            dc["exhaustive_max_hw"].asUint(c.exhaustiveMaxHw));
+        c.maxDefects =
+            static_cast<uint32_t>(dc["max_defects"].asUint(c.maxDefects));
+        c.requeueContinuations =
+            dc["requeue_continuations"].asBool(c.requeueContinuations);
+        c.recordMatching = true;
+        return std::make_unique<AstreaGDecoder>(ctx.gwt(), c);
+    }
+    if (capture.decoderName == "Astrea") {
+        AstreaConfig c;
+        c.maxHammingWeight = static_cast<uint32_t>(
+            dc["max_hamming_weight"].asUint(c.maxHammingWeight));
+        c.quantizedWeights =
+            dc["quantized_weights"].asBool(c.quantizedWeights);
+        c.useEffectiveWeights =
+            dc["use_effective_weights"].asBool(c.useEffectiveWeights);
+        return std::make_unique<AstreaDecoder>(ctx.gwt(), c);
+    }
+    if (capture.decoderName == "MWPM")
+        return std::make_unique<MwpmDecoder>(ctx.gwt());
+    *error_out =
+        "cannot rebuild decoder \"" + capture.decoderName + "\"";
+    return nullptr;
+}
+
+double
+quantizedToDecades(WeightSum w)
+{
+    if (w == kInfiniteWeightSum)
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(w) / kWeightScale;
+}
+
+std::string
+formatDecades(double d)
+{
+    std::ostringstream os;
+    os << std::setprecision(4) << d;
+    return os.str();
+}
+
+/**
+ * Narrate one decode: the defects, each defect's surviving candidate
+ * pairs under the Wth filter (infinite Wth for decoders without one),
+ * the chosen matching and its per-pair weights, and the verdict.
+ */
+void
+narrateRecord(std::ostream &out, const telemetry::DecodeRecord &rec,
+              const DecodeResult &dr, const GlobalWeightTable &gwt,
+              double wth_decades, const ReplayOptions &options)
+{
+    const auto &defects = rec.defects;
+    const WeightSum wth = std::isinf(wth_decades)
+                              ? kInfiniteWeightSum
+                              : decadesToQuantized(wth_decades);
+
+    out << "  defects (" << defects.size() << "):";
+    for (uint32_t d : defects)
+        out << ' ' << d;
+    out << '\n';
+
+    if (std::isinf(wth_decades))
+        out << "  candidate pairs (no weight filter):\n";
+    else
+        out << "  candidate pairs (Wth = " << formatDecades(wth_decades)
+            << " decades):\n";
+    for (size_t i = 0; i < defects.size(); i++) {
+        // Surviving pairs, lightest first — the LWT row this defect
+        // would load in hardware. The boundary counts as a candidate.
+        std::vector<std::pair<WeightSum, int>> cands;
+        for (size_t j = 0; j < defects.size(); j++) {
+            if (i == j)
+                continue;
+            WeightSum pw = gwt.effectiveWeight(defects[i], defects[j]);
+            if (pw <= wth)
+                cands.push_back({pw, static_cast<int>(j)});
+        }
+        WeightSum bw = gwt.pairWeight(defects[i], defects[i]);
+        if (bw <= wth)
+            cands.push_back({bw, -1});
+        std::sort(cands.begin(), cands.end());
+
+        out << "    defect[" << i << "]=" << defects[i] << ':';
+        size_t shown = 0;
+        for (auto [pw, j] : cands) {
+            if (shown == options.maxCandidatesPerDefect) {
+                out << " [+" << cands.size() - shown << " more]";
+                break;
+            }
+            if (j < 0)
+                out << " (boundary, " << formatDecades(quantizedToDecades(pw))
+                    << ')';
+            else
+                out << " (" << defects[static_cast<size_t>(j)] << ", "
+                    << formatDecades(quantizedToDecades(pw)) << ')';
+            shown++;
+        }
+        if (cands.empty())
+            out << " none (filtered out)";
+        out << '\n';
+    }
+
+    if (dr.gaveUp) {
+        out << "  chosen matching: none (decoder gave up)\n";
+    } else if (dr.matchedPairs.empty()) {
+        out << "  chosen matching: not reported (weight "
+            << formatDecades(dr.matchingWeight) << " decades)\n";
+    } else {
+        out << "  chosen matching (weight "
+            << formatDecades(dr.matchingWeight) << " decades):\n";
+        for (auto [a, b] : dr.matchedPairs) {
+            uint32_t da = defects[static_cast<size_t>(a)];
+            if (b < 0) {
+                out << "    " << da << " -- boundary ("
+                    << formatDecades(quantizedToDecades(
+                           gwt.pairWeight(da, da)))
+                    << ")\n";
+            } else {
+                uint32_t db = defects[static_cast<size_t>(b)];
+                out << "    " << da << " -- " << db << " ("
+                    << formatDecades(quantizedToDecades(
+                           gwt.effectiveWeight(da, db)))
+                    << ")\n";
+            }
+        }
+    }
+
+    char pred[32], actual[32];
+    std::snprintf(pred, sizeof(pred), "0x%llx",
+                  static_cast<unsigned long long>(dr.obsMask));
+    std::snprintf(actual, sizeof(actual), "0x%llx",
+                  static_cast<unsigned long long>(rec.actualObs));
+    out << "  verdict: predicted obs " << pred << ", actual " << actual
+        << " -> "
+        << (dr.gaveUp ? "give-up"
+                      : (dr.obsMask != rec.actualObs ? "logical error"
+                                                     : "success"))
+        << ", " << dr.cycles << " cycles\n";
+}
+
+} // namespace
+
+bool
+loadCapture(const std::string &path, ReplayCapture &out,
+            std::string *error_out)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        *error_out = "cannot read capture file: " + path;
+        return false;
+    }
+    telemetry::JsonValue doc;
+    if (!parseJson(text, doc) ||
+        doc.kind != telemetry::JsonValue::Object) {
+        *error_out = "malformed capture JSON: " + path;
+        return false;
+    }
+    out.schemaVersion = doc["capture_schema_version"].asUint(0);
+    if (out.schemaVersion != telemetry::kCaptureSchemaVersion) {
+        *error_out = "unsupported capture schema version " +
+                     std::to_string(out.schemaVersion) + " (expected " +
+                     std::to_string(telemetry::kCaptureSchemaVersion) +
+                     ")";
+        return false;
+    }
+    if (!parseConfig(doc["context"], out.config, error_out))
+        return false;
+
+    const telemetry::JsonValue &dec = doc["decoder"];
+    out.decoderName = dec["name"].asString("");
+    out.decoderConfig = dec;
+    if (out.decoderName.empty()) {
+        *error_out = "capture names no decoder";
+        return false;
+    }
+
+    const telemetry::JsonValue &trig = doc["trigger"];
+    if (trig.kind == telemetry::JsonValue::Object) {
+        out.triggerReason = trig["reason"].asString("");
+        out.triggerShot = trig["shot"].asUint(0);
+    }
+
+    const telemetry::JsonValue &records = doc["records"];
+    if (records.kind != telemetry::JsonValue::Array) {
+        *error_out = "capture has no records array";
+        return false;
+    }
+    out.records.clear();
+    for (const telemetry::JsonValue &r : records.arr) {
+        telemetry::DecodeRecord rec;
+        rec.shot = r["shot"].asUint(0);
+        rec.worker = static_cast<uint32_t>(r["worker"].asUint(0));
+        for (const telemetry::JsonValue &d : r["defects"].arr)
+            rec.defects.push_back(
+                static_cast<uint32_t>(d.asUint(0)));
+        rec.obsMask = r["obs_mask"].asUint(0);
+        rec.actualObs = r["actual_obs"].asUint(0);
+        rec.gaveUp = r["gave_up"].asBool(false);
+        rec.logicalError = r["logical_error"].asBool(false);
+        rec.latencyNs = r["latency_ns"].asNumber(0.0);
+        rec.cycles = r["cycles"].asUint(0);
+        rec.matchingWeight = r["matching_weight"].asNumber(0.0);
+        out.records.push_back(std::move(rec));
+    }
+    return true;
+}
+
+ReplaySummary
+replayCapture(const ReplayCapture &capture,
+              const ReplayOptions &options, std::ostream &out)
+{
+    ReplaySummary summary;
+
+    out << "replay: " << capture.decoderName << " at d="
+        << capture.config.distance << " p="
+        << capture.config.physicalErrorRate << ", "
+        << capture.records.size() << " records";
+    if (!capture.triggerReason.empty())
+        out << ", trigger " << capture.triggerReason << " at shot "
+            << capture.triggerShot;
+    out << '\n';
+
+    ExperimentContext ctx(capture.config);
+    std::string error;
+    std::unique_ptr<Decoder> decoder =
+        buildDecoder(capture, ctx, &error);
+    if (decoder == nullptr) {
+        out << "replay: " << error << '\n';
+        summary.records = capture.records.size();
+        summary.mismatches = capture.records.size();
+        return summary;
+    }
+
+    double wth_decades = std::numeric_limits<double>::infinity();
+    if (capture.decoderName == "Astrea-G")
+        wth_decades = capture.decoderConfig["weight_threshold_decades"]
+                          .asNumber(wth_decades);
+
+    for (size_t i = 0; i < capture.records.size(); i++) {
+        const telemetry::DecodeRecord &rec = capture.records[i];
+        DecodeResult dr = decoder->decode(rec.defects);
+
+        // The verdict must reproduce exactly: the decoders are pure
+        // functions of (GWT, defects), and the GWT is rebuilt from the
+        // captured config. Wall-clock latency is not compared (it is
+        // measured, not modeled, for software decoders).
+        bool match = dr.obsMask == rec.obsMask &&
+                     dr.gaveUp == rec.gaveUp &&
+                     dr.cycles == rec.cycles &&
+                     std::abs(dr.matchingWeight - rec.matchingWeight) <=
+                         1e-9;
+        summary.records++;
+        if (!match)
+            summary.mismatches++;
+        if (dr.gaveUp)
+            summary.gaveUps++;
+        // Same criterion as the harness shot loop: any disagreement
+        // between the predicted and actual flips (give-ups predict 0).
+        if (dr.obsMask != rec.actualObs)
+            summary.logicalErrors++;
+
+        bool is_trigger = !capture.triggerReason.empty() &&
+                          rec.shot == capture.triggerShot &&
+                          (rec.gaveUp || rec.logicalError);
+        bool narrate = options.verboseAll ||
+                       (options.verbose && is_trigger) || !match;
+        if (narrate || is_trigger) {
+            out << "record " << i << " (shot " << rec.shot
+                << ", worker " << rec.worker << "): HW " << rec.hw()
+                << (is_trigger ? " [trigger]" : "")
+                << (match ? " [reproduced]" : " [MISMATCH]") << '\n';
+        }
+        if (narrate)
+            narrateRecord(out, rec, dr, ctx.gwt(), wth_decades,
+                          options);
+        if (!match) {
+            out << "  recorded: obs mask 0x" << std::hex << rec.obsMask
+                << std::dec << ", gave_up " << rec.gaveUp << ", "
+                << rec.cycles << " cycles, weight "
+                << formatDecades(rec.matchingWeight) << "\n"
+                << "  replayed: obs mask 0x" << std::hex << dr.obsMask
+                << std::dec << ", gave_up " << dr.gaveUp << ", "
+                << dr.cycles << " cycles, weight "
+                << formatDecades(dr.matchingWeight) << '\n';
+        }
+    }
+
+    out << "replay: " << summary.records << " records, "
+        << summary.gaveUps << " give-ups, " << summary.logicalErrors
+        << " logical errors, " << summary.mismatches << " mismatches"
+        << (summary.ok() ? " -- verdicts reproduced" : "") << '\n';
+    return summary;
+}
+
+} // namespace astrea

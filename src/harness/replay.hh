@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic re-decoding of flight-recorder captures.
+ *
+ * Every decoder in this repository is a pure function of the Global
+ * Weight Table and the defect list, and the GWT itself is a pure
+ * function of the experiment configuration. A capture therefore
+ * contains everything needed to reproduce a decode bit-for-bit: the
+ * ExperimentConfig (rebuilds the context and GWT), the decoder name
+ * plus configuration (rebuilds the decoder), and the recorded defect
+ * lists. replayCapture() re-decodes each record, checks that the
+ * original verdict reproduces exactly, and can narrate the decode —
+ * surviving LWT candidate pairs, the chosen matching, the verdict —
+ * for post-mortem analysis of a give-up or logical error.
+ */
+
+#ifndef ASTREA_HARNESS_REPLAY_HH
+#define ASTREA_HARNESS_REPLAY_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/memory_experiment.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/json_value.hh"
+
+namespace astrea
+{
+
+/** A parsed capture file (schema in telemetry/flight_recorder.hh). */
+struct ReplayCapture
+{
+    uint64_t schemaVersion = 0;
+    ExperimentConfig config;
+    std::string decoderName;
+    telemetry::JsonValue decoderConfig;  ///< The "decoder" object.
+    std::string triggerReason;           ///< "" when no trigger.
+    uint64_t triggerShot = 0;
+    std::vector<telemetry::DecodeRecord> records;
+};
+
+/**
+ * Load and validate a capture file. Returns false and sets *error_out
+ * on unreadable files, malformed JSON, or an unsupported schema
+ * version.
+ */
+bool loadCapture(const std::string &path, ReplayCapture &out,
+                 std::string *error_out);
+
+/** Replay controls. */
+struct ReplayOptions
+{
+    /** Narrate the trigger record's decode step by step. */
+    bool verbose = false;
+    /** Narrate every record (implies verbose). */
+    bool verboseAll = false;
+    /** Cap on candidate pairs printed per defect in narration. */
+    size_t maxCandidatesPerDefect = 8;
+};
+
+/** Outcome of one replayed capture. */
+struct ReplaySummary
+{
+    size_t records = 0;
+    size_t mismatches = 0;  ///< Records whose verdict did not reproduce.
+    size_t gaveUps = 0;
+    size_t logicalErrors = 0;
+
+    bool ok() const { return mismatches == 0; }
+};
+
+/**
+ * Rebuild the capture's context and decoder, re-decode every record,
+ * and compare against the recorded verdicts (obs mask, give-up flag
+ * and modeled cycles exactly; matching weight to 1e-9). Progress and
+ * narration go to `out`.
+ */
+ReplaySummary replayCapture(const ReplayCapture &capture,
+                            const ReplayOptions &options,
+                            std::ostream &out);
+
+} // namespace astrea
+
+#endif // ASTREA_HARNESS_REPLAY_HH

@@ -1,0 +1,187 @@
+#include "telemetry/chrome_trace.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.hh"
+#include "telemetry/json.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+namespace
+{
+
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+std::atomic<uint32_t> g_next_tid{1};
+
+} // namespace
+
+double
+traceNowUs()
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now - traceEpoch())
+        .count();
+}
+
+uint32_t
+traceThreadId()
+{
+    thread_local uint32_t tid =
+        g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
+{
+    if (path.empty())
+        return;
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_ == nullptr)
+        fatal("cannot open chrome trace file: " + path);
+    traceEpoch();  // Pin the epoch no later than the first event.
+    std::fputs("[\n", file_);
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    finalize();
+}
+
+void
+ChromeTraceWriter::finalize()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ == nullptr)
+        return;
+    std::fputs("\n]\n", file_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+void
+ChromeTraceWriter::emit(const char *name, char phase, double ts_us,
+                        const double *counter_value,
+                        const double *dur_us)
+{
+    JsonWriter w;
+    w.beginObject()
+        .kv("name", name)
+        .kv("cat", "astrea")
+        .kv("ph", std::string(1, phase))
+        .kv("ts", ts_us)
+        .kv("pid", uint64_t{1})
+        .kv("tid", uint64_t{traceThreadId()});
+    if (dur_us != nullptr)
+        w.kv("dur", *dur_us);
+    if (phase == 'i')
+        w.kv("s", "t");  // Thread-scoped instant.
+    if (counter_value != nullptr) {
+        w.key("args").beginObject().kv("value", *counter_value)
+            .endObject();
+    }
+    w.endObject();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ == nullptr)
+        return;
+    if (!first_)
+        std::fputs(",\n", file_);
+    first_ = false;
+    const std::string &line = w.str();
+    std::fwrite(line.data(), 1, line.size(), file_);
+    events_++;
+}
+
+void
+ChromeTraceWriter::begin(const char *name)
+{
+    emit(name, 'B', traceNowUs(), nullptr, nullptr);
+}
+
+void
+ChromeTraceWriter::end(const char *name)
+{
+    emit(name, 'E', traceNowUs(), nullptr, nullptr);
+}
+
+void
+ChromeTraceWriter::counter(const char *name, double value)
+{
+    emit(name, 'C', traceNowUs(), &value, nullptr);
+}
+
+void
+ChromeTraceWriter::instant(const char *name)
+{
+    emit(name, 'i', traceNowUs(), nullptr, nullptr);
+}
+
+namespace
+{
+
+std::mutex g_chrome_mu;
+std::unique_ptr<ChromeTraceWriter> g_chrome;
+bool g_chrome_initialized = false;
+/** Fast-path cache so hot loops can poll tracing without the mutex. */
+std::atomic<ChromeTraceWriter *> g_chrome_ptr{nullptr};
+std::atomic<uint64_t> g_chrome_gen{0};
+
+} // namespace
+
+ChromeTraceWriter *
+globalChromeTrace()
+{
+    std::lock_guard<std::mutex> lock(g_chrome_mu);
+    if (!g_chrome_initialized) {
+        g_chrome_initialized = true;
+        const char *env = std::getenv("ASTREA_CHROME_TRACE");
+        if (env != nullptr && env[0] != '\0')
+            g_chrome = std::make_unique<ChromeTraceWriter>(env);
+        g_chrome_ptr.store(g_chrome.get(), std::memory_order_release);
+    }
+    return g_chrome.get();
+}
+
+ChromeTraceWriter *
+globalChromeTraceFast()
+{
+    static bool primed = (globalChromeTrace(), true);
+    (void)primed;
+    return g_chrome_ptr.load(std::memory_order_acquire);
+}
+
+uint64_t
+globalChromeTraceGeneration()
+{
+    return g_chrome_gen.load(std::memory_order_acquire);
+}
+
+void
+setGlobalChromeTraceFile(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(g_chrome_mu);
+    g_chrome_initialized = true;
+    // Unpublish before finalizing so racing fast-path readers never
+    // see a writer that is mid-close.
+    g_chrome_ptr.store(nullptr, std::memory_order_release);
+    g_chrome.reset();
+    if (!path.empty())
+        g_chrome = std::make_unique<ChromeTraceWriter>(path);
+    g_chrome_gen.fetch_add(1, std::memory_order_acq_rel);
+    g_chrome_ptr.store(g_chrome.get(), std::memory_order_release);
+}
+
+} // namespace telemetry
+} // namespace astrea

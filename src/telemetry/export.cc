@@ -150,15 +150,39 @@ setGlobalTraceFile(const std::string &path)
 }
 
 uint64_t
+parseTraceStride(const char *text, bool *invalid)
+{
+    if (invalid != nullptr)
+        *invalid = false;
+    if (text == nullptr || text[0] == '\0')
+        return 1;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    // Reject partial parses ("2x"), non-numeric input, negatives
+    // (strtoull silently wraps "-2" to a huge stride) and 0: a zero
+    // stride would make shot_index % stride divide by zero, and a
+    // garbage value silently disabling sampling is worse than loud.
+    if (end == text || *end != '\0' || v == 0 || text[0] == '-') {
+        if (invalid != nullptr)
+            *invalid = true;
+        return 1;
+    }
+    return static_cast<uint64_t>(v);
+}
+
+uint64_t
 traceSampleStride()
 {
     static uint64_t stride = [] {
         const char *env = std::getenv("ASTREA_TRACE_SAMPLE");
-        if (env == nullptr)
-            return uint64_t{1};
-        char *end = nullptr;
-        unsigned long long v = std::strtoull(env, &end, 10);
-        return v >= 1 ? static_cast<uint64_t>(v) : uint64_t{1};
+        bool invalid = false;
+        uint64_t v = parseTraceStride(env, &invalid);
+        if (invalid) {
+            warn("ASTREA_TRACE_SAMPLE='" + std::string(env) +
+                 "' is not a positive integer; sampling every shot "
+                 "(stride 1)");
+        }
+        return v;
     }();
     return stride;
 }

@@ -90,9 +90,18 @@ void setGlobalTraceFile(const std::string &path);
 /**
  * Per-shot trace sampling stride (ASTREA_TRACE_SAMPLE, default 1 =
  * every shot). Hot loops emit shot events only when
- * shot_index % stride == 0.
+ * shot_index % stride == 0. Invalid values (0, non-numeric, partial
+ * parses) warn once and fall back to 1.
  */
 uint64_t traceSampleStride();
+
+/**
+ * Parse a stride string: positive integers pass through; nullptr or
+ * "" is the default 1; anything else (0, non-numeric, trailing
+ * garbage) sets *invalid and returns the safe fallback 1. Exposed so
+ * the validation is testable apart from the env-cached stride.
+ */
+uint64_t parseTraceStride(const char *text, bool *invalid);
 
 } // namespace telemetry
 } // namespace astrea

@@ -1,0 +1,230 @@
+#include "telemetry/flight_recorder.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "telemetry/chrome_trace.hh"
+#include "telemetry/json.hh"
+#include "telemetry/metrics.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1)
+{
+}
+
+void
+FlightRecorder::beginRun(std::string context_json,
+                         std::string decoder_json)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    contextJson_ = std::move(context_json);
+    decoderJson_ = std::move(decoder_json);
+}
+
+void
+FlightRecorder::setCapturePath(std::string path)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capturePath_ = std::move(path);
+}
+
+size_t
+FlightRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+}
+
+uint64_t
+FlightRecorder::totalRecorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return totalRecorded_;
+}
+
+uint64_t
+FlightRecorder::capturesWritten() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return capturesWritten_;
+}
+
+std::string
+FlightRecorder::capturePathWritten() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return capturePathWritten_;
+}
+
+std::vector<DecodeRecord>
+FlightRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return {ring_.begin(), ring_.end()};
+}
+
+void
+FlightRecorder::appendRecordJson(JsonWriter &w,
+                                 const DecodeRecord &r) const
+{
+    w.beginObject();
+    w.kv("shot", r.shot);
+    w.kv("worker", uint64_t{r.worker});
+    w.kv("hw", uint64_t{r.hw()});
+    w.key("defects").beginArray();
+    for (uint32_t d : r.defects)
+        w.value(uint64_t{d});
+    w.endArray();
+    w.kv("obs_mask", r.obsMask);
+    w.kv("actual_obs", r.actualObs);
+    w.kv("gave_up", r.gaveUp);
+    w.kv("logical_error", r.logicalError);
+    w.kv("latency_ns", r.latencyNs);
+    w.kv("cycles", r.cycles);
+    w.kv("matching_weight", r.matchingWeight);
+    w.endObject();
+}
+
+void
+FlightRecorder::record(const DecodeRecord &r)
+{
+    std::string dump_path;
+    std::string reason;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ring_.push_back(r);
+        if (ring_.size() > capacity_)
+            ring_.pop_front();
+        totalRecorded_++;
+
+        if ((r.gaveUp || r.logicalError) && !capturePath_.empty() &&
+            capturesWritten_ == 0) {
+            dump_path = capturePath_;
+            reason = r.gaveUp ? "give_up" : "logical_error";
+        }
+    }
+    if (!dump_path.empty())
+        dumpCapture(dump_path, &r, reason);
+}
+
+bool
+FlightRecorder::dumpCapture(const std::string &path,
+                            const DecodeRecord *trigger,
+                            const std::string &reason)
+{
+    JsonWriter w;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        w.beginObject();
+        w.kv("capture_schema_version", kCaptureSchemaVersion);
+        w.key("context");
+        if (contextJson_.empty())
+            w.beginObject().endObject();
+        else
+            w.raw(contextJson_);
+        w.key("decoder");
+        if (decoderJson_.empty())
+            w.beginObject().endObject();
+        else
+            w.raw(decoderJson_);
+        if (trigger != nullptr) {
+            w.key("trigger").beginObject();
+            w.kv("reason", reason);
+            w.kv("shot", trigger->shot);
+            w.kv("hw", uint64_t{trigger->hw()});
+            w.endObject();
+        } else {
+            w.key("trigger").null();
+        }
+        w.key("records").beginArray();
+        for (const DecodeRecord &r : ring_)
+            appendRecordJson(w, r);
+        w.endArray();
+        w.endObject();
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        error("flight recorder: cannot open capture file: " + path);
+        return false;
+    }
+    const std::string &json = w.str();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        capturesWritten_++;
+        capturePathWritten_ = path;
+    }
+    MetricsRegistry::global().counter("flight_recorder.captures").inc();
+    if (ChromeTraceWriter *ct = globalChromeTraceFast())
+        ct->instant("flight_recorder.capture");
+    inform("flight recorder: wrote capture (" + reason + ") to " +
+           path);
+    return true;
+}
+
+namespace
+{
+
+std::atomic<int> g_fr_enabled{-1};  ///< -1 = not yet resolved.
+
+} // namespace
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder *recorder = [] {
+        size_t cap = 256;
+        if (const char *env =
+                std::getenv("ASTREA_FLIGHT_RECORDER_CAPACITY")) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(env, &end, 10);
+            if (end != env && *end == '\0' && v >= 1)
+                cap = static_cast<size_t>(v);
+            else
+                warn("ASTREA_FLIGHT_RECORDER_CAPACITY is not a "
+                     "positive integer; using 256");
+        }
+        auto *r = new FlightRecorder(cap);
+        if (const char *path = std::getenv("ASTREA_CAPTURE_PATH")) {
+            if (path[0] != '\0')
+                r->setCapturePath(path);
+        }
+        return r;
+    }();
+    return *recorder;
+}
+
+bool
+FlightRecorder::globalEnabled()
+{
+    int v = g_fr_enabled.load(std::memory_order_relaxed);
+    if (v >= 0)
+        return v != 0;
+    const char *cap = std::getenv("ASTREA_CAPTURE_PATH");
+    const char *on = std::getenv("ASTREA_FLIGHT_RECORDER");
+    bool enabled = (cap != nullptr && cap[0] != '\0') ||
+                   (on != nullptr && on[0] != '\0' &&
+                    std::string(on) != "0");
+    g_fr_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+    return enabled;
+}
+
+void
+FlightRecorder::setGlobalEnabled(bool on)
+{
+    g_fr_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+} // namespace telemetry
+} // namespace astrea

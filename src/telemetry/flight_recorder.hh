@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Decode flight recorder: a fixed-size ring buffer of recent decode
+ * records that dumps a schema-versioned capture file when something
+ * goes wrong (a logical error or a give-up).
+ *
+ * Aggregate percentiles cannot explain one bad decode. The recorder
+ * keeps the last N decodes — syndrome defects, Hamming weight,
+ * decoder verdict, latency — cheaply in memory; when a trigger record
+ * arrives and a capture path is armed, it writes everything to a JSON
+ * capture file that `astrea_cli replay` can re-decode exactly (the
+ * decoders are deterministic functions of the weight table and the
+ * defect list). The experiment context and decoder configuration are
+ * stored as pre-serialized JSON strings set by the harness, keeping
+ * this layer free of harness dependencies.
+ *
+ * Process-wide use: set ASTREA_CAPTURE_PATH=file.json (records and
+ * arms a one-shot capture) or ASTREA_FLIGHT_RECORDER=1 (records
+ * without dumping, for programmatic snapshots). The harness polls
+ * FlightRecorder::globalEnabled() per worker chunk, so the hot loop
+ * pays one relaxed atomic load when the recorder is off.
+ *
+ * Capture schema (capture_schema_version 1):
+ *
+ *   {
+ *     "capture_schema_version": 1,
+ *     "context": { ...ExperimentConfig... },
+ *     "decoder": { "name": "Astrea-G", ...config... },
+ *     "trigger": { "reason": "give_up"|"logical_error", "shot": S },
+ *     "records": [ { "shot":..., "defects":[...], "obs_mask":...,
+ *                    "actual_obs":..., "gave_up":..., ... }, ... ]
+ *   }
+ *
+ * Records are ordered oldest to newest; the trigger record is last.
+ */
+
+#ifndef ASTREA_TELEMETRY_FLIGHT_RECORDER_HH
+#define ASTREA_TELEMETRY_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace astrea
+{
+namespace telemetry
+{
+
+class JsonWriter;
+
+/** Current capture file schema version. */
+constexpr uint64_t kCaptureSchemaVersion = 1;
+
+/** One decoded shot, as remembered by the flight recorder. */
+struct DecodeRecord
+{
+    uint64_t shot = 0;
+    uint32_t worker = 0;
+    std::vector<uint32_t> defects;  ///< Flipped-detector indices.
+    uint64_t obsMask = 0;           ///< Decoder's predicted flips.
+    uint64_t actualObs = 0;         ///< Ground-truth flips.
+    bool gaveUp = false;
+    bool logicalError = false;
+    double latencyNs = 0.0;
+    uint64_t cycles = 0;            ///< Modeled cycles (0 = software).
+    double matchingWeight = 0.0;
+
+    uint32_t hw() const { return static_cast<uint32_t>(defects.size()); }
+};
+
+/** Thread-safe fixed-capacity ring of recent decode records. */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(size_t capacity = 256);
+
+    /**
+     * Start a new recording run: clears the ring and installs the
+     * context / decoder descriptions (pre-serialized JSON objects)
+     * that a capture will embed.
+     */
+    void beginRun(std::string context_json, std::string decoder_json);
+
+    /**
+     * Arm one-shot capture dumping: the first trigger record after
+     * arming writes the capture to this path. "" disarms.
+     */
+    void setCapturePath(std::string path);
+
+    /**
+     * Append a record; evicts the oldest when full. If the record is
+     * a trigger (gave up or logical error) and a capture is armed and
+     * not yet written, dumps the capture file.
+     */
+    void record(const DecodeRecord &r);
+
+    /** Write the current ring to a capture file; true on success. */
+    bool dumpCapture(const std::string &path,
+                     const DecodeRecord *trigger,
+                     const std::string &reason);
+
+    size_t capacity() const { return capacity_; }
+    size_t size() const;
+    uint64_t totalRecorded() const;  ///< Including evicted records.
+    uint64_t capturesWritten() const;
+    std::string capturePathWritten() const;
+
+    /** Ring contents, oldest first. */
+    std::vector<DecodeRecord> snapshot() const;
+
+    /** The process-wide recorder used by the harness hooks. */
+    static FlightRecorder &global();
+
+    /**
+     * Whether the global recorder should receive records. Resolved
+     * lazily from ASTREA_CAPTURE_PATH / ASTREA_FLIGHT_RECORDER on
+     * first call; flip explicitly with setGlobalEnabled().
+     */
+    static bool globalEnabled();
+    static void setGlobalEnabled(bool on);
+
+  private:
+    void appendRecordJson(JsonWriter &w, const DecodeRecord &r) const;
+
+    mutable std::mutex mu_;
+    size_t capacity_;
+    std::deque<DecodeRecord> ring_;
+    uint64_t totalRecorded_ = 0;
+    std::string contextJson_;
+    std::string decoderJson_;
+    std::string capturePath_;
+    uint64_t capturesWritten_ = 0;
+    std::string capturePathWritten_;
+};
+
+} // namespace telemetry
+} // namespace astrea
+
+#endif // ASTREA_TELEMETRY_FLIGHT_RECORDER_HH

@@ -188,6 +188,15 @@ JsonWriter::value(int64_t v)
 }
 
 JsonWriter &
+JsonWriter::raw(const std::string &json_value)
+{
+    emitPrefix();
+    out_ += json_value;
+    postValue();
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::null()
 {
     emitPrefix();

@@ -48,6 +48,13 @@ class JsonWriter
     JsonWriter &value(int32_t v) { return value(int64_t{v}); }
     JsonWriter &null();
 
+    /**
+     * Splice a pre-serialized JSON value verbatim in value position.
+     * The caller vouches that the fragment is itself valid JSON (the
+     * flight recorder embeds context objects serialized elsewhere).
+     */
+    JsonWriter &raw(const std::string &json_value);
+
     /** key() + value() in one call. */
     template <typename T>
     JsonWriter &

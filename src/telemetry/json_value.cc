@@ -1,0 +1,256 @@
+#include "telemetry/json_value.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace astrea
+{
+namespace telemetry
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+            pos_++;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        pos_++;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return false;
+                char e = s_[pos_++];
+                switch (e) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'u': {
+                    if (pos_ + 4 > s_.size())
+                        return false;
+                    // The writer only escapes control characters this
+                    // way; decode the ASCII range and keep anything
+                    // else verbatim.
+                    std::string hex = s_.substr(pos_, 4);
+                    char *end = nullptr;
+                    long cp = std::strtol(hex.c_str(), &end, 16);
+                    if (end != hex.c_str() + 4)
+                        return false;
+                    if (cp < 0x80)
+                        out += static_cast<char>(cp);
+                    else
+                        out += "\\u" + hex;
+                    pos_ += 4;
+                    break;
+                  }
+                  default: return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos_ >= s_.size())
+            return false;
+        pos_++;  // Closing quote.
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        char c = s_[pos_];
+        if (c == '{') {
+            pos_++;
+            out.kind = JsonValue::Object;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                pos_++;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string k;
+                if (!parseString(k))
+                    return false;
+                skipWs();
+                if (pos_ >= s_.size() || s_[pos_++] != ':')
+                    return false;
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.obj[k] = v;
+                skipWs();
+                if (pos_ >= s_.size())
+                    return false;
+                if (s_[pos_] == ',') {
+                    pos_++;
+                    continue;
+                }
+                if (s_[pos_] == '}') {
+                    pos_++;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '[') {
+            pos_++;
+            out.kind = JsonValue::Array;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                pos_++;
+                return true;
+            }
+            while (true) {
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.arr.push_back(v);
+                skipWs();
+                if (pos_ >= s_.size())
+                    return false;
+                if (s_[pos_] == ',') {
+                    pos_++;
+                    continue;
+                }
+                if (s_[pos_] == ']') {
+                    pos_++;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::String;
+            return parseString(out.str);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Bool;
+            out.b = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Bool;
+            out.b = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Null;
+            return literal("null");
+        }
+        // Number.
+        size_t start = pos_;
+        if (s_[pos_] == '-')
+            pos_++;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+            pos_++;
+        }
+        if (pos_ == start)
+            return false;
+        out.kind = JsonValue::Number;
+        try {
+            out.num = std::stod(s_.substr(start, pos_ - start));
+        } catch (...) {
+            return false;
+        }
+        return true;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue &
+JsonValue::operator[](const std::string &k) const
+{
+    static const JsonValue missing;
+    auto it = obj.find(k);
+    return it == obj.end() ? missing : it->second;
+}
+
+double
+JsonValue::asNumber(double def) const
+{
+    return kind == Number ? num : def;
+}
+
+uint64_t
+JsonValue::asUint(uint64_t def) const
+{
+    return kind == Number && num >= 0.0
+               ? static_cast<uint64_t>(num)
+               : def;
+}
+
+bool
+JsonValue::asBool(bool def) const
+{
+    return kind == Bool ? b : def;
+}
+
+std::string
+JsonValue::asString(std::string def) const
+{
+    return kind == String ? str : def;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out)
+{
+    Parser p(text);
+    return p.parse(out);
+}
+
+} // namespace telemetry
+} // namespace astrea

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "telemetry/chrome_trace.hh"
 #include "telemetry/export.hh"
 #include "telemetry/json.hh"
 #include "telemetry/metrics.hh"
@@ -19,19 +20,32 @@ thread_local std::vector<std::string> tl_span_stack;
 } // namespace
 
 ScopedTimer::ScopedTimer(const std::string &name)
-    : start_(std::chrono::steady_clock::now())
 {
     if (tl_span_stack.empty()) {
         path_ = name;
+        nameOffset_ = 0;
     } else {
         path_ = tl_span_stack.back() + "/" + name;
+        nameOffset_ = path_.size() - name.size();
     }
     tl_span_stack.push_back(path_);
+    if ((chrome_ = globalChromeTraceFast()) != nullptr) {
+        chromeGen_ = globalChromeTraceGeneration();
+        chrome_->begin(path_.c_str() + nameOffset_);
+    }
+    start_ = std::chrono::steady_clock::now();
 }
 
 ScopedTimer::~ScopedTimer()
 {
     double ns = elapsedNs();
+    // Close the Chrome slice only on the writer that opened it, so a
+    // trace reconfigured mid-span never sees an unmatched "E". The
+    // generation check defends against a replacement writer allocated
+    // at the freed writer's address.
+    if (chrome_ != nullptr && chrome_ == globalChromeTraceFast() &&
+        chromeGen_ == globalChromeTraceGeneration())
+        chrome_->end(path_.c_str() + nameOffset_);
     tl_span_stack.pop_back();
     MetricsRegistry::global().latency("span." + path_).record(ns);
     if (TraceWriter *trace = globalTrace()) {

@@ -7,7 +7,10 @@
  * into the global MetricsRegistry under "span.<path>", where <path> is
  * the '/'-joined nesting of enclosing spans ("experiment.run/decode").
  * When a JSONL trace file is configured (export.hh), each completed
- * span additionally appends a trace event.
+ * span additionally appends a trace event; when a Chrome trace is
+ * configured (chrome_trace.hh), the span emits matched "B"/"E"
+ * duration events so it shows up as a slice on the thread's Perfetto
+ * timeline.
  *
  * Spans are strictly scoped (RAII), so nesting always forms a proper
  * tree per thread; interleaving across threads is fine because the
@@ -24,6 +27,8 @@ namespace astrea
 {
 namespace telemetry
 {
+
+class ChromeTraceWriter;
 
 /** RAII span: times a scope and records it under the nested path. */
 class ScopedTimer
@@ -52,6 +57,12 @@ class ScopedTimer
 
   private:
     std::string path_;
+    /** Offset of this span's own name inside path_. */
+    size_t nameOffset_ = 0;
+    /** Chrome trace the "B" event went to (nullptr if none). */
+    ChromeTraceWriter *chrome_ = nullptr;
+    /** Trace generation at "B" time (guards writer replacement). */
+    uint64_t chromeGen_ = 0;
     std::chrono::steady_clock::time_point start_;
 };
 

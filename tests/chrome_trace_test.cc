@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the Chrome Trace Event exporter: structural validity of
+ * the emitted JSON array, per-thread timestamp monotonicity, matched
+ * B/E duration pairs (including spans emitted through ScopedTimer from
+ * worker threads), counter/instant event shapes, and the JSON document
+ * parser the forensics tooling reads traces back with.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/chrome_trace.hh"
+#include "telemetry/json_value.hh"
+#include "telemetry/scoped_timer.hh"
+#include "telemetry/telemetry.hh"
+
+using namespace astrea;
+using namespace astrea::telemetry;
+
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct TelemetryOn
+{
+    TelemetryOn() { setEnabled(true); }
+    ~TelemetryOn() { setEnabled(false); }
+};
+
+/** Parse a finalized trace file into its event array. */
+std::vector<JsonValue>
+loadTrace(const std::string &path)
+{
+    JsonValue doc;
+    EXPECT_TRUE(parseJson(readFile(path), doc));
+    EXPECT_EQ(doc.kind, JsonValue::Array);
+    return doc.arr;
+}
+
+} // namespace
+
+TEST(JsonValueTest, ParsesDocumentsTheWriterEmits)
+{
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(
+        R"({"a":[1,2.5,-3e2],"b":{"s":"x\"y\n"},"t":true,"n":null})",
+        doc));
+    EXPECT_EQ(doc["a"].arr.size(), 3u);
+    EXPECT_DOUBLE_EQ(doc["a"].arr[1].asNumber(), 2.5);
+    EXPECT_DOUBLE_EQ(doc["a"].arr[2].asNumber(), -300.0);
+    EXPECT_EQ(doc["b"]["s"].asString(), "x\"y\n");
+    EXPECT_TRUE(doc["t"].asBool());
+    EXPECT_EQ(doc["n"].kind, JsonValue::Null);
+    EXPECT_EQ(doc["missing"].asUint(7), 7u);
+
+    JsonValue bad;
+    EXPECT_FALSE(parseJson("{\"unterminated\":", bad));
+    EXPECT_FALSE(parseJson("[1,2] trailing", bad));
+    EXPECT_FALSE(parseJson("", bad));
+}
+
+TEST(ChromeTraceTest, EmitsStructurallyValidEventArray)
+{
+    const std::string path = tempPath("chrome_basic.json");
+    {
+        ChromeTraceWriter writer(path);
+        ASSERT_TRUE(writer.ok());
+        writer.begin("alpha");
+        writer.counter("occupancy", 3.0);
+        writer.instant("capture");
+        writer.end("alpha");
+        EXPECT_EQ(writer.eventsWritten(), 4u);
+    }
+
+    auto events = loadTrace(path);
+    ASSERT_EQ(events.size(), 4u);
+    for (const JsonValue &e : events) {
+        EXPECT_EQ(e["cat"].asString(), "astrea");
+        EXPECT_EQ(e["pid"].asUint(), 1u);
+        EXPECT_GT(e["tid"].asUint(), 0u);
+        EXPECT_GE(e["ts"].asNumber(-1.0), 0.0);
+    }
+    EXPECT_EQ(events[0]["ph"].asString(), "B");
+    EXPECT_EQ(events[1]["ph"].asString(), "C");
+    EXPECT_DOUBLE_EQ(events[1]["args"]["value"].asNumber(), 3.0);
+    EXPECT_EQ(events[2]["ph"].asString(), "i");
+    EXPECT_EQ(events[2]["s"].asString(), "t");
+    EXPECT_EQ(events[3]["ph"].asString(), "E");
+    EXPECT_EQ(events[3]["name"].asString(), "alpha");
+}
+
+TEST(ChromeTraceTest, TimestampsMonotonicAndPairsMatchedPerThread)
+{
+    const std::string path = tempPath("chrome_threads.json");
+    {
+        ChromeTraceWriter writer(path);
+        auto worker = [&writer](int spans) {
+            for (int i = 0; i < spans; i++) {
+                writer.begin("outer");
+                writer.begin("inner");
+                writer.end("inner");
+                writer.end("outer");
+            }
+        };
+        std::thread a(worker, 25), b(worker, 25);
+        worker(10);
+        a.join();
+        b.join();
+    }
+
+    auto events = loadTrace(path);
+    ASSERT_EQ(events.size(), (25u + 25u + 10u) * 4u);
+
+    std::map<uint64_t, double> last_ts;
+    std::map<uint64_t, std::vector<std::string>> stacks;
+    for (const JsonValue &e : events) {
+        uint64_t tid = e["tid"].asUint();
+        double ts = e["ts"].asNumber(-1.0);
+        // The writer appends under one mutex, so the file order is
+        // also per-thread order.
+        if (last_ts.count(tid))
+            EXPECT_GE(ts, last_ts[tid]);
+        last_ts[tid] = ts;
+
+        std::string ph = e["ph"].asString();
+        if (ph == "B") {
+            stacks[tid].push_back(e["name"].asString());
+        } else if (ph == "E") {
+            ASSERT_FALSE(stacks[tid].empty());
+            EXPECT_EQ(stacks[tid].back(), e["name"].asString());
+            stacks[tid].pop_back();
+        }
+    }
+    EXPECT_EQ(last_ts.size(), 3u);  // Three distinct tids.
+    for (const auto &[tid, stack] : stacks)
+        EXPECT_TRUE(stack.empty()) << "unclosed B events on tid " << tid;
+}
+
+TEST(ChromeTraceTest, ScopedTimerSpansFlowToGlobalTrace)
+{
+    TelemetryOn on;
+    const std::string path = tempPath("chrome_spans.json");
+    setGlobalChromeTraceFile(path);
+    {
+        ASTREA_SPAN("unit_test");
+        {
+            ASTREA_SPAN("nested");
+        }
+    }
+    setGlobalChromeTraceFile("");  // Finalize.
+
+    auto events = loadTrace(path);
+    ASSERT_EQ(events.size(), 4u);
+    // Spans emit their leaf name; order is B(unit_test) B(nested)
+    // E(nested) E(unit_test).
+    EXPECT_EQ(events[0]["name"].asString(), "unit_test");
+    EXPECT_EQ(events[0]["ph"].asString(), "B");
+    EXPECT_EQ(events[1]["name"].asString(), "nested");
+    EXPECT_EQ(events[2]["name"].asString(), "nested");
+    EXPECT_EQ(events[2]["ph"].asString(), "E");
+    EXPECT_EQ(events[3]["name"].asString(), "unit_test");
+}
+
+TEST(ChromeTraceTest, ReconfiguringMidSpanKeepsPairsBalanced)
+{
+    TelemetryOn on;
+    const std::string first = tempPath("chrome_first.json");
+    const std::string second = tempPath("chrome_second.json");
+    setGlobalChromeTraceFile(first);
+    {
+        ASTREA_SPAN("across_reconfig");
+        // The span began on the first writer; its end must not land on
+        // the second (that would leave first unbalanced and second
+        // with a stray E).
+        setGlobalChromeTraceFile(second);
+        {
+            ASTREA_SPAN("on_second");
+        }
+    }
+    setGlobalChromeTraceFile("");
+
+    auto first_events = loadTrace(first);
+    ASSERT_EQ(first_events.size(), 1u);
+    EXPECT_EQ(first_events[0]["ph"].asString(), "B");
+
+    auto second_events = loadTrace(second);
+    ASSERT_EQ(second_events.size(), 2u);
+    EXPECT_EQ(second_events[0]["name"].asString(), "on_second");
+    EXPECT_EQ(second_events[0]["ph"].asString(), "B");
+    EXPECT_EQ(second_events[1]["ph"].asString(), "E");
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the decode flight recorder and deterministic capture
+ * replay: ring-buffer wraparound, one-shot capture dumping with a
+ * schema-versioned JSON file, run isolation via beginRun(), and the
+ * end-to-end guarantee that a capture re-decodes to the recorded
+ * verdicts (the decoders are pure functions of the weight table and
+ * the defect list).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/memory_experiment.hh"
+#include "harness/replay.hh"
+#include "sim/dem_sampler.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/json_value.hh"
+
+using namespace astrea;
+using namespace astrea::telemetry;
+
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+DecodeRecord
+makeRecord(uint64_t shot, bool trigger = false)
+{
+    DecodeRecord r;
+    r.shot = shot;
+    r.defects = {static_cast<uint32_t>(shot),
+                 static_cast<uint32_t>(shot + 1)};
+    r.gaveUp = trigger;
+    return r;
+}
+
+} // namespace
+
+TEST(FlightRecorderTest, RingEvictsOldestOnWraparound)
+{
+    FlightRecorder recorder(4);
+    for (uint64_t s = 0; s < 10; s++)
+        recorder.record(makeRecord(s));
+
+    EXPECT_EQ(recorder.capacity(), 4u);
+    EXPECT_EQ(recorder.size(), 4u);
+    EXPECT_EQ(recorder.totalRecorded(), 10u);
+
+    auto snap = recorder.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap.front().shot, 6u);  // Oldest surviving record.
+    EXPECT_EQ(snap.back().shot, 9u);
+}
+
+TEST(FlightRecorderTest, CaptureDumpsOnceOnFirstTrigger)
+{
+    const std::string path = tempPath("fr_capture.json");
+    FlightRecorder recorder(8);
+    recorder.beginRun("{\"distance\":3}", "{\"name\":\"Astrea\"}");
+    recorder.setCapturePath(path);
+
+    recorder.record(makeRecord(0));
+    recorder.record(makeRecord(1));
+    EXPECT_EQ(recorder.capturesWritten(), 0u);
+
+    recorder.record(makeRecord(2, /*trigger=*/true));
+    EXPECT_EQ(recorder.capturesWritten(), 1u);
+    EXPECT_EQ(recorder.capturePathWritten(), path);
+
+    // One-shot arming: later triggers must not overwrite the evidence.
+    recorder.record(makeRecord(3, /*trigger=*/true));
+    EXPECT_EQ(recorder.capturesWritten(), 1u);
+
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(readFile(path), doc));
+    EXPECT_EQ(doc["capture_schema_version"].asUint(),
+              kCaptureSchemaVersion);
+    EXPECT_EQ(doc["context"]["distance"].asUint(), 3u);
+    EXPECT_EQ(doc["decoder"]["name"].asString(), "Astrea");
+    EXPECT_EQ(doc["trigger"]["reason"].asString(), "give_up");
+    EXPECT_EQ(doc["trigger"]["shot"].asUint(), 2u);
+    ASSERT_EQ(doc["records"].arr.size(), 3u);
+    EXPECT_EQ(doc["records"].arr[0]["shot"].asUint(), 0u);
+    EXPECT_EQ(doc["records"].arr[2]["shot"].asUint(), 2u);
+    EXPECT_TRUE(doc["records"].arr[2]["gave_up"].asBool());
+    EXPECT_EQ(doc["records"].arr[1]["defects"].arr.size(), 2u);
+}
+
+TEST(FlightRecorderTest, BeginRunClearsPreviousRing)
+{
+    FlightRecorder recorder(8);
+    recorder.beginRun("{}", "{}");
+    recorder.record(makeRecord(0));
+    recorder.record(makeRecord(1));
+    EXPECT_EQ(recorder.size(), 2u);
+
+    // A new run must never mix records from a different configuration
+    // into its capture.
+    recorder.beginRun("{}", "{}");
+    EXPECT_EQ(recorder.size(), 0u);
+    EXPECT_EQ(recorder.totalRecorded(), 2u);
+}
+
+namespace
+{
+
+/**
+ * Record a short Astrea-G run into a local recorder and dump a
+ * capture, mirroring what the harness hooks do. A tiny cycle budget at
+ * a Hamming-weight-rich operating point guarantees give-ups.
+ */
+std::string
+writeEndToEndCapture(const std::string &path)
+{
+    ExperimentConfig cfg;
+    cfg.distance = 5;
+    cfg.physicalErrorRate = 4e-3;
+    ExperimentContext ctx(cfg);
+
+    AstreaGConfig agc;
+    agc.cycleBudget = 20;
+    auto factory = astreaGFactory(agc);
+    auto decoder = factory(ctx);
+
+    FlightRecorder recorder(32);
+    recorder.beginRun(experimentConfigJson(cfg),
+                      decoderDescriptionJson(*decoder));
+
+    Rng rng(99);
+    BitVec dets(ctx.circuit().numDetectors());
+    BitVec obs(ctx.circuit().numObservables());
+    bool triggered = false;
+    for (uint64_t s = 0; s < 4096 && !triggered; s++) {
+        ctx.sampler().sample(rng, dets, obs);
+        auto defects = dets.onesIndices();
+        DecodeResult dr = decoder->decode(defects);
+        uint64_t actual = 0;
+        for (auto o : obs.onesIndices())
+            actual |= (1ull << o);
+
+        DecodeRecord rec;
+        rec.shot = s;
+        rec.defects = defects;
+        rec.obsMask = dr.obsMask;
+        rec.actualObs = actual;
+        rec.gaveUp = dr.gaveUp;
+        rec.logicalError = dr.obsMask != actual;
+        rec.latencyNs = dr.latencyNs;
+        rec.cycles = dr.cycles;
+        rec.matchingWeight = dr.matchingWeight;
+        recorder.record(rec);
+        // Dump at the trigger like the harness does, so the capture's
+        // ring ends with the trigger record.
+        if (rec.gaveUp || rec.logicalError) {
+            triggered = true;
+            DecodeRecord trigger = rec;
+            EXPECT_TRUE(recorder.dumpCapture(
+                path, &trigger,
+                trigger.gaveUp ? "give_up" : "logical_error"));
+        }
+    }
+    EXPECT_TRUE(triggered) << "operating point produced no trigger";
+    return path;
+}
+
+} // namespace
+
+TEST(ReplayTest, CaptureReplaysToIdenticalVerdicts)
+{
+    const std::string path =
+        writeEndToEndCapture(tempPath("fr_replay.json"));
+
+    ReplayCapture capture;
+    std::string error;
+    ASSERT_TRUE(loadCapture(path, capture, &error)) << error;
+    EXPECT_EQ(capture.decoderName, "Astrea-G");
+    EXPECT_EQ(capture.config.distance, 5u);
+    ASSERT_FALSE(capture.records.empty());
+    EXPECT_LE(capture.records.size(), 32u);  // Ring capacity.
+    const auto &last = capture.records.back();
+    EXPECT_TRUE(last.gaveUp || last.logicalError);
+
+    std::ostringstream narration;
+    ReplayOptions opts;
+    opts.verbose = true;
+    ReplaySummary summary = replayCapture(capture, opts, narration);
+    EXPECT_EQ(summary.records, capture.records.size());
+    EXPECT_EQ(summary.mismatches, 0u) << narration.str();
+    EXPECT_GT(summary.gaveUps + summary.logicalErrors, 0u);
+}
+
+TEST(ReplayTest, TamperedVerdictIsReportedAsMismatch)
+{
+    const std::string path =
+        writeEndToEndCapture(tempPath("fr_tamper.json"));
+
+    ReplayCapture capture;
+    std::string error;
+    ASSERT_TRUE(loadCapture(path, capture, &error)) << error;
+
+    // Flip one recorded prediction: the replay must notice that the
+    // decoder does not actually produce this verdict.
+    capture.records.back().obsMask ^= 1;
+
+    std::ostringstream narration;
+    ReplaySummary summary =
+        replayCapture(capture, ReplayOptions{}, narration);
+    EXPECT_EQ(summary.mismatches, 1u);
+    EXPECT_FALSE(summary.ok());
+    EXPECT_NE(narration.str().find("MISMATCH"), std::string::npos);
+}
+
+TEST(ReplayTest, RejectsMalformedAndUnsupportedCaptures)
+{
+    ReplayCapture capture;
+    std::string error;
+
+    EXPECT_FALSE(
+        loadCapture(tempPath("fr_missing.json"), capture, &error));
+    EXPECT_NE(error.find("cannot read"), std::string::npos);
+
+    const std::string bad = tempPath("fr_bad.json");
+    {
+        std::ofstream out(bad);
+        out << "{\"capture_schema_version\": 999}";
+    }
+    EXPECT_FALSE(loadCapture(bad, capture, &error));
+    EXPECT_NE(error.find("schema version"), std::string::npos);
+}

@@ -520,6 +520,34 @@ TEST(ExportTest, GlobalTraceCapturesSpans)
     MetricsRegistry::global().reset();
 }
 
+TEST(ExportTest, ParseTraceStrideValidation)
+{
+    bool invalid = true;
+    EXPECT_EQ(parseTraceStride(nullptr, &invalid), 1u);
+    EXPECT_FALSE(invalid);
+    EXPECT_EQ(parseTraceStride("", &invalid), 1u);
+    EXPECT_FALSE(invalid);
+
+    EXPECT_EQ(parseTraceStride("5", &invalid), 5u);
+    EXPECT_FALSE(invalid);
+    EXPECT_EQ(parseTraceStride("1000000", &invalid), 1000000u);
+    EXPECT_FALSE(invalid);
+
+    // A zero stride would divide by zero in shot % stride; garbage
+    // must fall back to sampling every shot rather than none.
+    EXPECT_EQ(parseTraceStride("0", &invalid), 1u);
+    EXPECT_TRUE(invalid);
+    EXPECT_EQ(parseTraceStride("abc", &invalid), 1u);
+    EXPECT_TRUE(invalid);
+    EXPECT_EQ(parseTraceStride("3x", &invalid), 1u);
+    EXPECT_TRUE(invalid);
+    EXPECT_EQ(parseTraceStride("-2", &invalid), 1u);
+    EXPECT_TRUE(invalid);
+
+    // The null flag form must not crash.
+    EXPECT_EQ(parseTraceStride("7", nullptr), 7u);
+}
+
 TEST(LoggingTest, LevelFilterDropsBelowThreshold)
 {
     LogLevel saved = logLevel();

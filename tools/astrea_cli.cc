@@ -19,17 +19,30 @@
  *       decode-time budgets t0..t1 ns; appends lines whose 7th entry
  *       is the Astrea-G LER and 13th the time allotted for decoding.
  *
- * Shot budgets default to laptop scale; override with ASTREA_SHOTS.
- * Results append to the output file, as the artifact does.
+ * Beyond the artifact surface, `astrea_cli replay <capture.json>`
+ * re-decodes a flight-recorder capture (see harness/replay.hh) and
+ * asserts the recorded verdicts reproduce; --verbose narrates the
+ * trigger decode and --all narrates every record.
+ *
+ * All modes accept the shared forensics flags --log-level=LVL,
+ * --trace-file=PATH and --chrome-trace=PATH (flags win over their
+ * ASTREA_* environment equivalents).
+ *
+ * Shot budgets default to laptop scale; override with ASTREA_SHOTS or
+ * --shots. Results append to the output file, as the artifact does.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
+#include <vector>
 
+#include "bench_util.hh"
 #include "common/cli.hh"
 #include "harness/hw_histogram.hh"
 #include "harness/memory_experiment.hh"
+#include "harness/replay.hh"
 
 using namespace astrea;
 
@@ -134,58 +147,100 @@ experimentBandwidth(const std::string &out_path, uint32_t d, double t0,
     return 0;
 }
 
+int
+commandReplay(const std::vector<std::string> &pos, const Options &opts)
+{
+    if (pos.size() < 2) {
+        std::fprintf(stderr,
+                     "usage: astrea_cli replay <capture.json> "
+                     "[--verbose] [--all]\n");
+        return 1;
+    }
+    ReplayCapture capture;
+    std::string error;
+    if (!loadCapture(pos[1], capture, &error)) {
+        std::fprintf(stderr, "replay: %s\n", error.c_str());
+        return 2;
+    }
+    ReplayOptions ropts;
+    ropts.verbose = opts.has("verbose") || opts.has("all");
+    ropts.verboseAll = opts.has("all");
+    ReplaySummary summary = replayCapture(capture, ropts, std::cout);
+    return summary.ok() ? 0 : 1;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <output-file> <experiment-no> <args...>\n"
+        "  6  <d> <p>              Hamming-weight histogram\n"
+        "  1  <d>                  LER sweep p=1e-4..1e-3\n"
+        "  12 <d> <t0> <t1> <dt>   decode-budget sweep (ns)\n"
+        "or:    %s replay <capture.json> [--verbose] [--all]\n"
+        "flags: --shots=N --seed=N --log-level=LVL "
+        "--trace-file=PATH --chrome-trace=PATH\n",
+        argv0, argv0);
+    return 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 3) {
-        std::fprintf(
-            stderr,
-            "usage: %s <output-file> <experiment-no> <args...>\n"
-            "  6  <d> <p>              Hamming-weight histogram\n"
-            "  1  <d>                  LER sweep p=1e-4..1e-3\n"
-            "  12 <d> <t0> <t1> <dt>   decode-budget sweep (ns)\n",
-            argv[0]);
-        return 1;
+    Options opts = Options::parse(argc, argv);
+    applyForensicsOptions(opts);
+
+    // Positional arguments: everything that is not a --flag.
+    std::vector<std::string> pos;
+    for (int i = 1; i < argc; i++) {
+        if (std::string(argv[i]).rfind("--", 0) != 0)
+            pos.push_back(argv[i]);
     }
-    Options opts;  // Environment-only (ASTREA_SHOTS, ASTREA_SEED).
+
+    if (!pos.empty() && pos[0] == "replay")
+        return commandReplay(pos, opts);
+
+    if (pos.size() < 2)
+        return usage(argv[0]);
     const uint64_t seed = opts.getUint("seed", 1);
-    std::string out_path = argv[1];
-    int experiment = std::atoi(argv[2]);
+    const std::string &out_path = pos[0];
+    int experiment = std::atoi(pos[1].c_str());
 
     switch (experiment) {
       case 6: {
-        if (argc < 5) {
+        if (pos.size() < 4) {
             std::fprintf(stderr, "experiment 6 needs <d> <p>\n");
             return 1;
         }
         uint64_t shots = opts.getUint("shots", 2000000);
         return experimentHwHistogram(
-            out_path, static_cast<uint32_t>(std::atoi(argv[3])),
-            std::atof(argv[4]), shots, seed);
+            out_path, static_cast<uint32_t>(std::atoi(pos[2].c_str())),
+            std::atof(pos[3].c_str()), shots, seed);
       }
       case 1: {
-        if (argc < 4) {
+        if (pos.size() < 3) {
             std::fprintf(stderr, "experiment 1 needs <d>\n");
             return 1;
         }
         uint64_t shots = opts.getUint("shots", 100000);
         return experimentLerSweep(
-            out_path, static_cast<uint32_t>(std::atoi(argv[3])), shots,
-            seed);
+            out_path, static_cast<uint32_t>(std::atoi(pos[2].c_str())),
+            shots, seed);
       }
       case 12: {
-        if (argc < 7) {
+        if (pos.size() < 6) {
             std::fprintf(stderr,
                          "experiment 12 needs <d> <t0> <t1> <dt>\n");
             return 1;
         }
         uint64_t shots = opts.getUint("shots", 50000);
         return experimentBandwidth(
-            out_path, static_cast<uint32_t>(std::atoi(argv[3])),
-            std::atof(argv[4]), std::atof(argv[5]),
-            std::atof(argv[6]), shots, seed);
+            out_path, static_cast<uint32_t>(std::atoi(pos[2].c_str())),
+            std::atof(pos[3].c_str()), std::atof(pos[4].c_str()),
+            std::atof(pos[5].c_str()), shots, seed);
       }
       default:
         std::fprintf(stderr, "unknown experiment %d\n", experiment);

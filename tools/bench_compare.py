@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON report against a committed baseline.
+
+The bench binaries emit schema-versioned reports (see bench_util.hh /
+tools/validate_report.py). This tool diffs the headline metrics of a
+fresh report against a baseline committed under bench/baselines/ and
+fails when a metric regressed beyond its threshold, giving CI a
+perf-regression gate.
+
+Two metric families are treated differently:
+
+* Latency percentiles (modeled cycles for the hardware decoders, so
+  deterministic given seed and thread count; wall-clock for software
+  baselines, so noisy). A relative increase beyond the per-metric
+  threshold fails; improvements always pass.
+* Rates backed by event counts (ler, gave_ups). These are Monte-Carlo
+  estimates: with fewer than --min-count events in both runs the
+  comparison is skipped as statistically meaningless, otherwise a
+  relative increase beyond the threshold fails.
+
+Results are matched between the two reports by their "d" entry when
+present, by position otherwise. A metric present in the baseline but
+missing from the current report fails the gate: silently dropping a
+metric is exactly the kind of regression this tool exists to catch.
+
+Exit codes: 0 pass, 1 regression (or missing metric), 2 usage/IO error.
+
+Usage:
+    bench_compare.py --baseline bench/baselines/astrea_latency.json \
+        --current astrea_report.json [--threshold 0.15]
+        [--metric latency_ns.p99=0.10] [--min-count 10]
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics compared by default: (dotted path, kind). Only paths present
+# in the baseline are checked, so one list serves every bench schema.
+# Kinds: "latency" (relative limit --threshold), "rate" (relative limit
+# --rate-threshold, skipped below --min-count events), "exact" (must
+# match bit-for-bit: these are deterministic given seed and threads).
+DEFAULT_METRICS = [
+    # Memory-experiment reports (results array, e.g. astrea_latency).
+    ("latency_ns.p50", "latency"),
+    ("latency_ns.p90", "latency"),
+    ("latency_ns.p99", "latency"),
+    ("latency_nontrivial_ns.p99", "latency"),
+    ("ler", "rate"),
+    ("gave_ups", "rate"),
+    # Wall-clock distribution reports (results object, e.g.
+    # blossom_latency).
+    ("samples", "exact"),
+    ("mean_ns", "latency"),
+    ("p50_ns", "latency"),
+    ("p90_ns", "latency"),
+    ("p99_ns", "latency"),
+    ("fraction_above_1us", "latency"),
+]
+
+# Event-count fields guarding each rate metric (noise gate).
+RATE_COUNT_FIELDS = {
+    "ler": "logical_errors",
+    "gave_ups": "gave_ups",
+}
+
+
+def lookup(obj, dotted):
+    """Resolve a dotted path; None when any component is missing."""
+    node = obj
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def result_label(result, index):
+    if isinstance(result, dict) and "d" in result:
+        return "d=%s" % result["d"]
+    return "result[%d]" % index
+
+
+def match_results(baseline, current):
+    """Pair up result entries by "d" when present, else by index."""
+    base_list = baseline.get("results", [])
+    cur_list = current.get("results", [])
+    # Single-result benches emit one results object instead of a list.
+    if isinstance(base_list, dict):
+        return [("results", base_list,
+                 cur_list if isinstance(cur_list, dict) else None)]
+    cur_by_d = {
+        r["d"]: r for r in cur_list if isinstance(r, dict) and "d" in r
+    }
+    pairs = []
+    for i, base in enumerate(base_list):
+        if isinstance(base, dict) and "d" in base:
+            pairs.append((result_label(base, i), base,
+                          cur_by_d.get(base["d"])))
+        else:
+            cur = cur_list[i] if i < len(cur_list) else None
+            pairs.append((result_label(base, i), base, cur))
+    return pairs
+
+
+def compare_metric(label, path, kind, threshold, base_res, cur_res,
+                   min_count, failures, lines):
+    base_val = lookup(base_res, path)
+    if base_val is None:
+        # The baseline never had this metric; nothing to guard.
+        return
+    cur_val = lookup(cur_res, path) if cur_res is not None else None
+    if cur_val is None:
+        failures.append("%s %s: missing from current report" %
+                        (label, path))
+        lines.append("  %-28s %12g -> MISSING  FAIL" %
+                     (path, base_val))
+        return
+
+    if kind == "rate":
+        count_field = RATE_COUNT_FIELDS.get(path.split(".")[0])
+        if count_field is not None:
+            base_n = base_res.get(count_field, 0)
+            cur_n = cur_res.get(count_field, 0)
+            if base_n < min_count and cur_n < min_count:
+                lines.append(
+                    "  %-28s %12g -> %-12g skip (<%d events)" %
+                    (path, base_val, cur_val, min_count))
+                return
+
+    if kind == "exact":
+        regressed = cur_val != base_val
+        delta_text = "changed" if regressed else "identical"
+        verdict = "FAIL" if regressed else "ok"
+        lines.append("  %-28s %12g -> %-12g %s (%s, exact)" %
+                     (path, base_val, cur_val, delta_text, verdict))
+        if regressed:
+            failures.append(
+                "%s %s: %g -> %g (deterministic metric changed)" %
+                (label, path, base_val, cur_val))
+        return
+
+    if base_val <= 0:
+        regressed = cur_val > 0
+        delta_text = "new-nonzero" if regressed else "ok"
+    else:
+        delta = (cur_val - base_val) / base_val
+        regressed = delta > threshold
+        delta_text = "%+.1f%%" % (100.0 * delta)
+
+    verdict = "FAIL" if regressed else "ok"
+    lines.append("  %-28s %12g -> %-12g %s (%s, limit +%.0f%%)" %
+                 (path, base_val, cur_val, delta_text, verdict,
+                  100.0 * threshold))
+    if regressed:
+        failures.append("%s %s: %g -> %g exceeds +%.0f%%" %
+                        (label, path, base_val, cur_val,
+                         100.0 * threshold))
+
+
+def parse_metric_overrides(specs):
+    overrides = {}
+    for spec in specs:
+        if "=" not in spec:
+            raise ValueError(
+                "--metric expects PATH=THRESHOLD, got %r" % spec)
+        path, _, value = spec.partition("=")
+        overrides[path] = float(value)
+    return overrides
+
+
+def load_report(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff a bench report against a baseline.")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative limit for latency metrics "
+                             "(default 0.15 = +15%%)")
+    parser.add_argument("--rate-threshold", type=float, default=0.25,
+                        help="relative limit for rate metrics "
+                             "(default 0.25)")
+    parser.add_argument("--min-count", type=int, default=10,
+                        help="skip rate metrics when both runs saw "
+                             "fewer events than this (default 10)")
+    parser.add_argument("--metric", action="append", default=[],
+                        metavar="PATH=THRESHOLD",
+                        help="override one metric's threshold; "
+                             "repeatable")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_report(args.baseline)
+        current = load_report(args.current)
+        overrides = parse_metric_overrides(args.metric)
+    except (OSError, ValueError) as exc:
+        print("bench_compare: %s" % exc, file=sys.stderr)
+        return 2
+
+    if baseline.get("bench") != current.get("bench"):
+        print("bench_compare: comparing different benches: %r vs %r" %
+              (baseline.get("bench"), current.get("bench")),
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    print("bench_compare: %s (baseline %s vs current %s)" %
+          (baseline.get("bench"), args.baseline, args.current))
+    pairs = match_results(baseline, current)
+    if not pairs:
+        print("bench_compare: baseline has no results", file=sys.stderr)
+        return 2
+    for label, base_res, cur_res in pairs:
+        print("%s:" % label)
+        if cur_res is None:
+            failures.append("%s: missing from current report" % label)
+            print("  MISSING from current report  FAIL")
+            continue
+        lines = []
+        for path, kind in DEFAULT_METRICS:
+            threshold = overrides.get(
+                path,
+                args.threshold if kind == "latency"
+                else args.rate_threshold)
+            compare_metric(label, path, kind, threshold, base_res,
+                           cur_res, args.min_count, failures, lines)
+        for line in lines:
+            print(line)
+
+    if failures:
+        print("\nbench_compare: %d regression(s):" % len(failures))
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("\nbench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py (run by ctest as a python test).
+
+These exercise the gate logic itself — threshold math, missing-metric
+failures, min-count noise gating, exact metrics and result matching —
+against synthetic reports written to a temp directory, so the perf gate
+in CI is itself regression-tested.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_compare
+
+
+def memory_report(bench="astrea_latency", **overrides):
+    """One results-array report entry in the memory-experiment shape."""
+    result = {
+        "d": 9,
+        "shots": 20000,
+        "logical_errors": 120,
+        "ler": 6e-3,
+        "gave_ups": 40,
+        "latency_ns": {"p50": 400.0, "p90": 600.0, "p99": 800.0},
+        "latency_nontrivial_ns": {"p99": 900.0},
+    }
+    result.update(overrides)
+    return {"bench": bench, "schema_version": 1, "results": [result]}
+
+
+def blossom_report(**overrides):
+    """A results-object report in the wall-clock distribution shape."""
+    result = {
+        "samples": 1523,
+        "mean_ns": 9000.0,
+        "p50_ns": 7000.0,
+        "p90_ns": 20000.0,
+        "p99_ns": 52000.0,
+        "fraction_above_1us": 1.0,
+    }
+    result.update(overrides)
+    return {"bench": "blossom_latency", "schema_version": 1,
+            "results": result}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, name, report):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(report, f)
+        return path
+
+    def run_compare(self, baseline, current, extra=None):
+        argv = ["--baseline", self.write("base.json", baseline),
+                "--current", self.write("cur.json", current)]
+        return bench_compare.main(argv + (extra or []))
+
+    def test_identical_reports_pass(self):
+        self.assertEqual(
+            self.run_compare(memory_report(), memory_report()), 0)
+
+    def test_improvement_passes(self):
+        faster = memory_report(
+            latency_ns={"p50": 300.0, "p90": 500.0, "p99": 700.0})
+        self.assertEqual(
+            self.run_compare(memory_report(), faster), 0)
+
+    def test_within_threshold_passes(self):
+        near = memory_report(
+            latency_ns={"p50": 400.0, "p90": 600.0, "p99": 880.0})
+        self.assertEqual(
+            self.run_compare(memory_report(), near), 0)
+
+    def test_p99_regression_fails(self):
+        slow = memory_report(
+            latency_ns={"p50": 400.0, "p90": 600.0, "p99": 1000.0})
+        self.assertEqual(
+            self.run_compare(memory_report(), slow), 1)
+
+    def test_metric_override_tightens_threshold(self):
+        near = memory_report(
+            latency_ns={"p50": 400.0, "p90": 600.0, "p99": 880.0})
+        self.assertEqual(
+            self.run_compare(memory_report(), near,
+                             ["--metric", "latency_ns.p99=0.05"]), 1)
+
+    def test_missing_metric_fails(self):
+        gutted = memory_report()
+        del gutted["results"][0]["latency_ns"]["p99"]
+        self.assertEqual(
+            self.run_compare(memory_report(), gutted), 1)
+
+    def test_missing_result_row_fails(self):
+        empty = dict(memory_report(), results=[])
+        self.assertEqual(
+            self.run_compare(memory_report(), empty), 1)
+
+    def test_ler_regression_fails(self):
+        worse = memory_report(ler=9e-3, logical_errors=180)
+        self.assertEqual(
+            self.run_compare(memory_report(), worse), 1)
+
+    def test_low_count_rate_is_skipped(self):
+        # 3 vs 9 logical errors is a 3x "regression" but statistically
+        # meaningless; both sides below --min-count must be skipped.
+        base = memory_report(ler=1.5e-4, logical_errors=3)
+        cur = memory_report(ler=4.5e-4, logical_errors=9)
+        self.assertEqual(self.run_compare(base, cur), 0)
+        # But once either side has enough events, the gate applies.
+        cur_big = memory_report(ler=4.5e-4, logical_errors=90)
+        self.assertEqual(self.run_compare(base, cur_big), 1)
+
+    def test_exact_metric_fails_on_any_change(self):
+        base = blossom_report()
+        cur = blossom_report(samples=1524)
+        self.assertEqual(self.run_compare(base, cur), 1)
+
+    def test_blossom_within_loose_threshold_passes(self):
+        cur = blossom_report(p99_ns=80000.0, mean_ns=15000.0,
+                             p50_ns=9000.0, p90_ns=30000.0)
+        self.assertEqual(
+            self.run_compare(blossom_report(), cur,
+                             ["--threshold", "3.0"]), 0)
+
+    def test_zero_baseline_fails_on_new_nonzero(self):
+        base = memory_report(gave_ups=0)
+        cur = memory_report(gave_ups=25)
+        self.assertEqual(self.run_compare(base, cur), 1)
+
+    def test_bench_name_mismatch_is_usage_error(self):
+        self.assertEqual(
+            self.run_compare(memory_report(), blossom_report()), 2)
+
+    def test_results_matched_by_distance_not_order(self):
+        base = memory_report()
+        base["results"].append(
+            dict(base["results"][0], d=11,
+                 latency_ns={"p50": 500.0, "p90": 700.0, "p99": 900.0}))
+        cur = memory_report()
+        cur["results"].append(
+            dict(cur["results"][0], d=11,
+                 latency_ns={"p50": 500.0, "p90": 700.0, "p99": 900.0}))
+        cur["results"].reverse()
+        self.assertEqual(self.run_compare(base, cur), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
