@@ -19,6 +19,7 @@
 
 #include "bench_util.hh"
 #include "harness/memory_experiment.hh"
+#include "telemetry/telemetry.hh"
 
 using namespace astrea;
 
@@ -66,6 +67,13 @@ main(int argc, char **argv)
             ctx, windowedFactory(astreaFactory()), shots, seed);
         auto whole_astrea =
             runMemoryExperiment(ctx, astreaFactory(), shots, seed);
+
+        // Same telemetry family the live decode service emits, so a
+        // bench run and a `serve` scrape are comparable.
+        ASTREA_COUNTER_ADD("experiment.give_ups",
+                           whole.gaveUps + win_mwpm.gaveUps +
+                               whole_astrea.gaveUps +
+                               win_astrea.gaveUps);
 
         std::printf("%-24s %-14s %-10s\n", "decoder", "LER",
                     "gave up");

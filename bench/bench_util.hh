@@ -136,7 +136,7 @@ appendHistogramJson(telemetry::JsonWriter &w, const Histogram &h)
 
 /**
  * Serialize one ExperimentResult's headline numbers: shots, LER with
- * its Wilson interval, latency mean/max and p50/p90/p99 (over all
+ * its Wilson interval, latency mean/max and p50/p90/p99/p99.9 (over all
  * shots and over nontrivial HW > 2 shots), the Hamming-weight
  * histogram, and give-up counts with the HW at which they happened.
  * Emits keys into the writer's current object.
@@ -157,6 +157,8 @@ appendExperimentResultJson(telemetry::JsonWriter &w,
     w.kv("p50", r.latencyHist.p50Ns());
     w.kv("p90", r.latencyHist.p90Ns());
     w.kv("p99", r.latencyHist.p99Ns());
+    w.kv("p999", r.latencyHist.p999Ns());
+    w.kv("overflow", r.latencyHist.overflowCount());
     w.endObject();
 
     w.key("latency_nontrivial_ns").beginObject();
@@ -165,6 +167,8 @@ appendExperimentResultJson(telemetry::JsonWriter &w,
     w.kv("p50", r.latencyNontrivialHist.p50Ns());
     w.kv("p90", r.latencyNontrivialHist.p90Ns());
     w.kv("p99", r.latencyNontrivialHist.p99Ns());
+    w.kv("p999", r.latencyNontrivialHist.p999Ns());
+    w.kv("overflow", r.latencyNontrivialHist.overflowCount());
     w.endObject();
 
     w.key("hw_histogram");

@@ -96,4 +96,27 @@ Options::set(const std::string &key, const std::string &value)
     values_[key] = value;
 }
 
+bool
+parseDurationMillis(const std::string &text, uint64_t *out_ms)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || v < 0.0 || v != v)
+        return false;
+    std::string unit = end;
+    double scale = 0.0;
+    if (unit.empty() || unit == "s")
+        scale = 1000.0;  // Bare numbers are seconds.
+    else if (unit == "ms")
+        scale = 1.0;
+    else if (unit == "m")
+        scale = 60.0 * 1000.0;
+    else
+        return false;
+    *out_ms = static_cast<uint64_t>(v * scale + 0.5);
+    return true;
+}
+
 } // namespace astrea

@@ -43,6 +43,13 @@ class Options
     std::map<std::string, std::string> values_;
 };
 
+/**
+ * Parse a human-readable duration into milliseconds: "500ms", "2s",
+ * "1.5s", "1m", or a bare number (seconds). Returns false on malformed
+ * or negative input; *out_ms is untouched on failure.
+ */
+bool parseDurationMillis(const std::string &text, uint64_t *out_ms);
+
 } // namespace astrea
 
 #endif // ASTREA_COMMON_CLI_HH

@@ -1,0 +1,124 @@
+#include "common/env.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+namespace env
+{
+
+namespace
+{
+
+std::mutex g_warned_mu;
+std::set<std::string> &
+warnedSet()
+{
+    static std::set<std::string> warned;
+    return warned;
+}
+
+/** Warn about a malformed variable at most once per process. */
+void
+warnOnce(const char *name, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_warned_mu);
+        if (!warnedSet().insert(name).second)
+            return;
+    }
+    warn(std::string(name) + ": " + msg);
+}
+
+std::string
+lowered(const char *s)
+{
+    std::string out;
+    for (; *s; s++)
+        out.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*s))));
+    return out;
+}
+
+} // namespace
+
+const char *
+raw(const char *name)
+{
+    return std::getenv(name);
+}
+
+std::string
+getString(const char *name, const std::string &def)
+{
+    const char *v = std::getenv(name);
+    return v == nullptr ? def : std::string(v);
+}
+
+bool
+getBool(const char *name, bool def)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr)
+        return def;
+    std::string low = lowered(v);
+    return !(low.empty() || low == "0" || low == "off" ||
+             low == "false" || low == "no");
+}
+
+uint64_t
+getUint(const char *name, uint64_t def, uint64_t min_value)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr)
+        return def;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    // Reject empty strings, partial parses ("2x") and negatives
+    // (strtoull silently wraps "-2" to a huge value).
+    if (end == v || *end != '\0' || v[0] == '-') {
+        warnOnce(name, "'" + std::string(v) +
+                           "' is not a non-negative integer; using " +
+                           std::to_string(def));
+        return def;
+    }
+    if (parsed < min_value) {
+        warnOnce(name, "'" + std::string(v) + "' is below the minimum " +
+                           std::to_string(min_value) + "; using " +
+                           std::to_string(def));
+        return def;
+    }
+    return static_cast<uint64_t>(parsed);
+}
+
+double
+getDouble(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr)
+        return def;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0' || !std::isfinite(parsed)) {
+        warnOnce(name, "'" + std::string(v) +
+                           "' is not a finite number; using default");
+        return def;
+    }
+    return parsed;
+}
+
+void
+resetWarningsForTest()
+{
+    std::lock_guard<std::mutex> lock(g_warned_mu);
+    warnedSet().clear();
+}
+
+} // namespace env
+} // namespace astrea

@@ -1,9 +1,10 @@
 #include "common/thread_pool.hh"
 
 #include <algorithm>
-#include <cstdlib>
 #include <thread>
 #include <vector>
+
+#include "common/env.hh"
 
 namespace astrea
 {
@@ -41,11 +42,9 @@ parallelFor(uint64_t total, unsigned num_workers,
 unsigned
 defaultWorkerCount()
 {
-    if (const char *env = std::getenv("ASTREA_THREADS")) {
-        long v = std::atol(env);
-        if (v > 0)
-            return static_cast<unsigned>(v);
-    }
+    uint64_t v = env::getUint("ASTREA_THREADS", 0, 1);
+    if (v > 0)
+        return static_cast<unsigned>(v);
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }

@@ -1,0 +1,558 @@
+#include "harness/decode_service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "telemetry/json.hh"
+#include "telemetry/prometheus.hh"
+#include "telemetry/telemetry.hh"
+
+namespace astrea
+{
+
+// ---------------------------------------------------------------------------
+// SyndromeDriftMonitor
+
+SyndromeDriftMonitor::SyndromeDriftMonitor(uint64_t warmup_shots,
+                                           uint64_t bucket_shots,
+                                           size_t ring_slots,
+                                           double threshold,
+                                           size_t max_hw)
+    : warmupShots_(std::max<uint64_t>(1, warmup_shots)),
+      bucketShots_(std::max<uint64_t>(1, bucket_shots)),
+      threshold_(threshold), baseline_(max_hw)
+{
+    ring_.assign(std::max<size_t>(1, ring_slots), Histogram(max_hw));
+}
+
+void
+SyndromeDriftMonitor::record(size_t hw)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (baselineCount_ < warmupShots_) {
+        baseline_.add(hw);
+        baselineCount_++;
+        return;
+    }
+    ring_[ringPos_].add(hw);
+    bucketCount_++;
+    if (bucketCount_ >= bucketShots_)
+        rotateLocked();
+}
+
+void
+SyndromeDriftMonitor::rotateLocked()
+{
+    bucketCount_ = 0;
+
+    // Merge the ring (the just-completed bucket included) and compare
+    // against the baseline: chi2 = 1/2 sum (p-q)^2/(p+q) over the
+    // per-weight frequencies, overflow folded into the last term.
+    Histogram recent(baseline_.maxKey());
+    for (const Histogram &h : ring_)
+        recent.merge(h);
+
+    double chi = 0.0;
+    if (recent.total() > 0 && baseline_.total() > 0) {
+        for (size_t k = 0; k <= baseline_.maxKey() + 1; k++) {
+            double p = k <= baseline_.maxKey()
+                           ? baseline_.frequency(k)
+                           : static_cast<double>(baseline_.overflow()) /
+                                 static_cast<double>(baseline_.total());
+            double q = k <= recent.maxKey()
+                           ? recent.frequency(k)
+                           : static_cast<double>(recent.overflow()) /
+                                 static_cast<double>(recent.total());
+            if (p + q > 0.0)
+                chi += (p - q) * (p - q) / (p + q);
+        }
+        chi *= 0.5;
+    }
+    lastChi_ = chi;
+
+    if (chi >= threshold_ && !alarmed_) {
+        alarmed_ = true;
+        warn("syndrome drift: chi-square distance " +
+             std::to_string(chi) + " crossed threshold " +
+             std::to_string(threshold_) +
+             " (recent Hamming-weight distribution departs from the "
+             "warm-up baseline)");
+    } else if (chi < threshold_) {
+        alarmed_ = false;  // Re-arm; the next excursion logs again.
+    }
+
+    // Advance and clear the slot the next bucket streams into.
+    ringPos_ = (ringPos_ + 1) % ring_.size();
+    ring_[ringPos_] = Histogram(baseline_.maxKey());
+}
+
+bool
+SyndromeDriftMonitor::baselineReady() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return baselineCount_ >= warmupShots_;
+}
+
+double
+SyndromeDriftMonitor::chiSquare() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lastChi_;
+}
+
+bool
+SyndromeDriftMonitor::alarmed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return alarmed_;
+}
+
+// ---------------------------------------------------------------------------
+// DecodeServiceCore
+
+std::string
+resolveServeDecoder(const ServeConfig &config, DecoderFactory *out)
+{
+    const std::string &d = config.decoder;
+    if (d == "astrea")
+        *out = astreaFactory();
+    else if (d == "astrea-g")
+        *out = astreaGFactory();
+    else if (d == "mwpm" || d == "blossom")
+        *out = mwpmFactory();
+    else if (d == "windowed-astrea")
+        *out = windowedFactory(astreaFactory());
+    else
+        return "unknown decoder '" + d +
+               "' (expected astrea, astrea-g, mwpm/blossom or "
+               "windowed-astrea)";
+    return "";
+}
+
+DecodeServiceCore::DecodeServiceCore(const ServeConfig &config)
+    : config_(config), decodesWin_(config.subWindows),
+      logicalErrorsWin_(config.subWindows),
+      giveUpsWin_(config.subWindows), missesWin_(config.subWindows),
+      latencyWin_(config.subWindows),
+      drift_(config.warmupShots, config.driftBucketShots,
+             config.driftRingSlots, config.driftThreshold)
+{
+    std::string err = resolveServeDecoder(config_, &factory_);
+    if (!err.empty())
+        fatal("decode service: " + err);
+
+    ExperimentConfig ec;
+    ec.distance = config_.distance;
+    ec.rounds = config_.rounds;
+    ec.physicalErrorRate = config_.physicalErrorRate;
+    ctx_ = std::make_shared<const ExperimentContext>(ec);
+
+    const uint64_t sub_ms = std::max<uint64_t>(1,
+                                               config_.subWindowMillis);
+    const auto start = std::chrono::steady_clock::now();
+    tick_ = [start, sub_ms] {
+        auto elapsed = std::chrono::duration_cast<
+            std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+        return static_cast<uint64_t>(elapsed.count()) / sub_ms;
+    };
+}
+
+DecodeServiceCore::~DecodeServiceCore() = default;
+
+std::shared_ptr<const ExperimentContext>
+DecodeServiceCore::currentContext() const
+{
+    std::lock_guard<std::mutex> lock(ctxMu_);
+    return ctx_;
+}
+
+void
+DecodeServiceCore::setErrorRate(double p)
+{
+    ExperimentConfig ec;
+    ec.distance = config_.distance;
+    ec.rounds = config_.rounds;
+    ec.physicalErrorRate = p;
+    auto fresh = std::make_shared<const ExperimentContext>(ec);
+    {
+        std::lock_guard<std::mutex> lock(ctxMu_);
+        ctx_ = std::move(fresh);
+    }
+    inform("decode service: physical error rate now " +
+           std::to_string(p));
+}
+
+void
+DecodeServiceCore::setTickFunction(std::function<uint64_t()> tick)
+{
+    tick_ = std::move(tick);
+}
+
+std::unique_ptr<DecodeServiceCore::Worker>
+DecodeServiceCore::makeWorker(unsigned index)
+{
+    auto w = std::make_unique<Worker>();
+    w->index = index;
+    w->rng = Rng(config_.seed).split(index);
+    return w;
+}
+
+void
+DecodeServiceCore::decodeOnce(Worker &w)
+{
+    auto ctx = currentContext();
+    if (w.ctx.get() != ctx.get()) {
+        // First shot, or the workload was reconfigured mid-run.
+        w.ctx = ctx;
+        w.decoder = factory_(*ctx);
+        w.dets = BitVec(ctx->circuit().numDetectors());
+        w.obs = BitVec(ctx->circuit().numObservables());
+    }
+
+    ctx->sampler().sample(w.rng, w.dets, w.obs);
+    auto defects = w.dets.onesIndices();
+    const size_t hw = defects.size();
+    const uint64_t tick = tick_();
+
+    double latency_ns = 0.0;
+    bool gave_up = false;
+    bool logical_error = false;
+    if (!defects.empty()) {
+        DecodeResult dr = w.decoder->decode(defects);
+        latency_ns = dr.latencyNs;
+        gave_up = dr.gaveUp;
+        uint64_t actual = 0;
+        for (auto o : w.obs.onesIndices())
+            actual |= (1ull << o);
+        logical_error = (dr.obsMask != actual);
+        nontrivialTotal_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    decodesTotal_.fetch_add(1, std::memory_order_relaxed);
+    decodesWin_.add(tick);
+    latencyWin_.record(tick, latency_ns);
+    drift_.record(hw);
+    ASTREA_HIST_ADD("experiment.hamming_weight", hw);
+
+    if (latency_ns > config_.budgetNs) {
+        deadlineMissesTotal_.fetch_add(1, std::memory_order_relaxed);
+        missesWin_.add(tick);
+    }
+    if (gave_up) {
+        giveUpsTotal_.fetch_add(1, std::memory_order_relaxed);
+        giveUpsWin_.add(tick);
+        // Same family the streaming bench reports, so dashboards for
+        // the service and for bench reports line up.
+        ASTREA_COUNTER_INC("experiment.give_ups");
+    }
+    if (logical_error) {
+        logicalErrorsTotal_.fetch_add(1, std::memory_order_relaxed);
+        logicalErrorsWin_.add(tick);
+    }
+    w.shots++;
+}
+
+uint64_t
+DecodeServiceCore::totalDecodes() const
+{
+    return decodesTotal_.load(std::memory_order_relaxed);
+}
+
+double
+DecodeServiceCore::windowSeconds(size_t sub_windows) const
+{
+    return static_cast<double>(sub_windows) *
+           static_cast<double>(config_.subWindowMillis) / 1000.0;
+}
+
+namespace
+{
+
+double
+fraction(uint64_t part, uint64_t whole)
+{
+    return whole == 0 ? 0.0
+                      : static_cast<double>(part) /
+                            static_cast<double>(whole);
+}
+
+} // namespace
+
+std::string
+DecodeServiceCore::metricsText() const
+{
+    using telemetry::PromLabels;
+    const uint64_t tick = tick_();
+    const double error_budget = std::max(1e-12,
+                                         1.0 - config_.sloTarget);
+    const size_t fast_k = config_.fastBurnSubWindows;
+
+    const uint64_t win_decodes = decodesWin_.total(tick);
+    const uint64_t win_misses = missesWin_.total(tick);
+    const uint64_t win_giveups = giveUpsWin_.total(tick);
+    const uint64_t win_errors = logicalErrorsWin_.total(tick);
+    const uint64_t fast_decodes = decodesWin_.total(tick, fast_k);
+    const uint64_t fast_misses = missesWin_.total(tick, fast_k);
+
+    telemetry::PrometheusWriter w;
+
+    w.family("astrea_serve_up", "gauge",
+             "1 while the decode service is healthy");
+    w.sample("astrea_serve_up", uint64_t{healthy_ ? 1u : 0u});
+
+    w.family("astrea_serve_info", "gauge",
+             "Static service configuration as labels");
+    w.sample("astrea_serve_info", uint64_t{1},
+             PromLabels{{"decoder", config_.decoder},
+                        {"d", std::to_string(config_.distance)},
+                        {"p", std::to_string(config_.physicalErrorRate)}});
+
+    w.counter("astrea_serve_decodes_total", "Decodes attempted",
+              decodesTotal_.load(std::memory_order_relaxed));
+    w.counter("astrea_serve_nontrivial_decodes_total",
+              "Decodes with a non-empty syndrome",
+              nontrivialTotal_.load(std::memory_order_relaxed));
+    w.counter("astrea_serve_logical_errors_total",
+              "Decodes whose predicted observable flip was wrong",
+              logicalErrorsTotal_.load(std::memory_order_relaxed));
+    w.counter("astrea_serve_give_ups_total",
+              "Decodes the decoder declined (e.g. Hamming weight cap)",
+              giveUpsTotal_.load(std::memory_order_relaxed));
+    w.counter("astrea_serve_deadline_misses_total",
+              "Decodes exceeding the modeled cycle budget",
+              deadlineMissesTotal_.load(std::memory_order_relaxed));
+
+    w.gauge("astrea_serve_window_decodes",
+            "Decodes in the rolling window",
+            static_cast<double>(win_decodes));
+    w.gauge("astrea_serve_window_decode_rate_hz",
+            "Decode throughput over the rolling window",
+            static_cast<double>(win_decodes) /
+                windowSeconds(config_.subWindows));
+    w.gauge("astrea_serve_window_deadline_miss_fraction",
+            "Deadline-miss fraction over the rolling window",
+            fraction(win_misses, win_decodes));
+    w.gauge("astrea_serve_window_give_up_fraction",
+            "Give-up fraction over the rolling window",
+            fraction(win_giveups, win_decodes));
+    w.gauge("astrea_serve_window_logical_error_fraction",
+            "Logical-error fraction over the rolling window",
+            fraction(win_errors, win_decodes));
+
+    telemetry::LatencyBuckets lat = latencyWin_.buckets(tick);
+    {
+        std::vector<std::pair<double, uint64_t>> cumulative;
+        uint64_t cum = 0;
+        size_t top = 0;
+        for (size_t b = 0; b < telemetry::kLatencyBuckets; b++) {
+            if (lat.bins[b])
+                top = b;
+        }
+        for (size_t b = 0; b <= top; b++) {
+            cum += lat.bins[b];
+            cumulative.emplace_back(telemetry::latencyBucketHighNs(b),
+                                    cum);
+        }
+        w.histogram("astrea_serve_window_latency_ns",
+                    "Decode latency over the rolling window (ns)",
+                    cumulative, lat.count,
+                    static_cast<double>(lat.sumNs));
+    }
+    for (double pct : {50.0, 90.0, 99.0, 99.9}) {
+        char name[64];
+        std::snprintf(name, sizeof(name),
+                      "astrea_serve_window_latency_p%g_ns", pct);
+        std::string n = telemetry::promMetricName(name);
+        w.gauge(n, "Rolling-window latency percentile (ns)",
+                latencyWin_.percentileNs(tick, pct));
+    }
+
+    w.gauge("astrea_serve_slo_target",
+            "Configured fraction of decodes within budget",
+            config_.sloTarget);
+    w.gauge("astrea_serve_slo_fast_burn",
+            "Deadline-miss burn rate over the fast window "
+            "(1 = exactly consuming the error budget)",
+            fraction(fast_misses, fast_decodes) / error_budget);
+    w.gauge("astrea_serve_slo_slow_burn",
+            "Deadline-miss burn rate over the whole rolling window",
+            fraction(win_misses, win_decodes) / error_budget);
+
+    w.gauge("astrea_serve_drift_chi_square",
+            "Chi-square distance of recent Hamming-weight histogram "
+            "vs warm-up baseline",
+            drift_.chiSquare());
+    w.gauge("astrea_serve_drift_threshold",
+            "Drift alarm threshold", drift_.threshold());
+    w.gauge("astrea_serve_drift_baseline_ready",
+            "1 once the warm-up baseline is complete",
+            drift_.baselineReady() ? 1.0 : 0.0);
+    w.gauge("astrea_serve_drift_alarm",
+            "1 while the drift distance exceeds the threshold",
+            drift_.alarmed() ? 1.0 : 0.0);
+
+    telemetry::appendRegistryMetrics(
+        w, telemetry::MetricsRegistry::global());
+    return w.str();
+}
+
+std::string
+DecodeServiceCore::statuszJson() const
+{
+    const uint64_t tick = tick_();
+    const double error_budget = std::max(1e-12,
+                                         1.0 - config_.sloTarget);
+    const size_t fast_k = config_.fastBurnSubWindows;
+
+    const uint64_t win_decodes = decodesWin_.total(tick);
+    const uint64_t win_misses = missesWin_.total(tick);
+    const uint64_t win_giveups = giveUpsWin_.total(tick);
+    const uint64_t win_errors = logicalErrorsWin_.total(tick);
+    const uint64_t fast_decodes = decodesWin_.total(tick, fast_k);
+    const uint64_t fast_misses = missesWin_.total(tick, fast_k);
+
+    telemetry::JsonWriter w;
+    w.beginObject();
+    w.kv("service", "astrea_serve");
+    w.kv("schema_version", uint64_t{1});
+    w.kv("healthy", healthy_.load());
+    w.kv("uptime_ticks", tick);
+
+    w.key("config").beginObject();
+    w.kv("d", config_.distance);
+    w.kv("rounds", config_.rounds);
+    w.kv("p", config_.physicalErrorRate);
+    w.kv("decoder", config_.decoder);
+    w.kv("workers", uint64_t{config_.workers});
+    w.kv("budget_ns", config_.budgetNs);
+    w.kv("slo_target", config_.sloTarget);
+    w.kv("window_seconds", windowSeconds(config_.subWindows));
+    w.kv("sub_window_millis", config_.subWindowMillis);
+    w.kv("seed", config_.seed);
+    w.endObject();
+
+    w.key("totals").beginObject();
+    w.kv("decodes", decodesTotal_.load(std::memory_order_relaxed));
+    w.kv("nontrivial_decodes",
+         nontrivialTotal_.load(std::memory_order_relaxed));
+    w.kv("logical_errors",
+         logicalErrorsTotal_.load(std::memory_order_relaxed));
+    w.kv("give_ups", giveUpsTotal_.load(std::memory_order_relaxed));
+    w.kv("deadline_misses",
+         deadlineMissesTotal_.load(std::memory_order_relaxed));
+    w.endObject();
+
+    w.key("window").beginObject();
+    w.kv("decodes", win_decodes);
+    w.kv("decode_rate_hz",
+         static_cast<double>(win_decodes) /
+             windowSeconds(config_.subWindows));
+    w.kv("deadline_miss_fraction", fraction(win_misses, win_decodes));
+    w.kv("give_up_fraction", fraction(win_giveups, win_decodes));
+    w.kv("logical_error_fraction",
+         fraction(win_errors, win_decodes));
+    w.key("latency_ns").beginObject();
+    w.kv("count", latencyWin_.count(tick));
+    w.kv("p50", latencyWin_.percentileNs(tick, 50.0));
+    w.kv("p90", latencyWin_.percentileNs(tick, 90.0));
+    w.kv("p99", latencyWin_.percentileNs(tick, 99.0));
+    w.kv("p999", latencyWin_.percentileNs(tick, 99.9));
+    w.endObject();
+    w.endObject();
+
+    w.key("slo").beginObject();
+    w.kv("target", config_.sloTarget);
+    w.kv("error_budget", error_budget);
+    w.kv("fast_burn",
+         fraction(fast_misses, fast_decodes) / error_budget);
+    w.kv("slow_burn",
+         fraction(win_misses, win_decodes) / error_budget);
+    w.endObject();
+
+    w.key("drift").beginObject();
+    w.kv("chi_square", drift_.chiSquare());
+    w.kv("threshold", drift_.threshold());
+    w.kv("baseline_ready", drift_.baselineReady());
+    w.kv("alarmed", drift_.alarmed());
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+// ---------------------------------------------------------------------------
+// DecodeService
+
+DecodeService::DecodeService(const ServeConfig &config) : core_(config)
+{
+}
+
+DecodeService::~DecodeService()
+{
+    stop();
+}
+
+bool
+DecodeService::start(const std::string &bind_addr, uint16_t port,
+                     std::string *error)
+{
+    http_.handle("/metrics", [this](const net::HttpRequest &) {
+        net::HttpResponse r;
+        r.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        r.body = core_.metricsText();
+        return r;
+    });
+    http_.handle("/statusz", [this](const net::HttpRequest &) {
+        net::HttpResponse r;
+        r.contentType = "application/json";
+        r.body = core_.statuszJson();
+        return r;
+    });
+    http_.handle("/healthz", [this](const net::HttpRequest &) {
+        net::HttpResponse r;
+        const unsigned expected = core_.config().workers;
+        if (running_ && activeWorkers_ == expected &&
+            core_.healthy()) {
+            r.body = "ok\n";
+        } else {
+            r.status = 503;
+            r.body = "unhealthy\n";
+        }
+        return r;
+    });
+
+    if (!http_.start(bind_addr, port, error))
+        return false;
+
+    running_ = true;
+    threads_.reserve(core_.config().workers);
+    for (unsigned i = 0; i < core_.config().workers; i++) {
+        threads_.emplace_back([this, i] {
+            auto worker = core_.makeWorker(i);
+            activeWorkers_.fetch_add(1);
+            while (running_.load(std::memory_order_relaxed))
+                core_.decodeOnce(*worker);
+            activeWorkers_.fetch_sub(1);
+        });
+    }
+    return true;
+}
+
+void
+DecodeService::stop()
+{
+    if (!running_ && threads_.empty())
+        return;
+    running_ = false;
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+    core_.setHealthy(false);
+    http_.stop();
+}
+
+} // namespace astrea

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Live decode service: a continuous streaming memory-experiment
+ * workload with scrapeable health (`astrea_cli serve`).
+ *
+ * The paper's premise is a decoder that keeps up with syndromes
+ * arriving every 1 us, indefinitely (Sec. 3.4) — a deployed decoder is
+ * a long-running service whose *current* health matters, not a batch
+ * job summarized afterwards. DecodeServiceCore runs the same shot loop
+ * as runMemoryExperiment() but forever, and layers three live views on
+ * top of the since-start telemetry registry:
+ *
+ *  - rolling windows (telemetry/rolling_window.hh): decode rate,
+ *    give-up rate, deadline-miss fraction and latency percentiles over
+ *    the last N seconds rather than since process start;
+ *  - an SLO tracker: the fraction of decodes exceeding the modeled
+ *    1 us cycle budget, expressed as fast/slow burn rates against the
+ *    configured SLO target (burn rate 1.0 = exactly consuming the
+ *    error budget; >1 = on track to violate);
+ *  - a syndrome-drift monitor: a chi-square distance between the
+ *    recent Hamming-weight histogram and a warm-up baseline — the
+ *    online counterpart of the flight recorder's post-mortem view. A
+ *    rising physical error rate shows up here long before the logical
+ *    error rate moves.
+ *
+ * DecodeServiceCore is deliberately thread-agnostic and clock-
+ * injectable: tests call decodeOnce() synchronously with a fake tick
+ * and get deterministic scrapes. DecodeService adds the worker
+ * threads and the HTTP endpoints (/metrics Prometheus exposition,
+ * /statusz JSON snapshot, /healthz probe).
+ */
+
+#ifndef ASTREA_HARNESS_DECODE_SERVICE_HH
+#define ASTREA_HARNESS_DECODE_SERVICE_HH
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/memory_experiment.hh"
+#include "net/http_server.hh"
+#include "telemetry/rolling_window.hh"
+
+namespace astrea
+{
+
+/** Static configuration of one decode service. */
+struct ServeConfig
+{
+    uint32_t distance = 5;
+    uint32_t rounds = 0;  ///< 0 = distance rounds.
+    double physicalErrorRate = 1e-3;
+    /** astrea | astrea-g | mwpm (alias blossom) | windowed-astrea. */
+    std::string decoder = "astrea";
+    unsigned workers = 2;
+    uint64_t seed = 1;
+
+    /** SLO: decodes must finish within this budget... */
+    double budgetNs = 1000.0;
+    /** ...for at least this fraction of decodes. */
+    double sloTarget = 0.999;
+
+    /** Rolling window geometry: slots x length = the slow window. */
+    uint64_t subWindowMillis = 1000;
+    size_t subWindows = 15;
+    /** Fast burn-rate window, in sub-windows. */
+    size_t fastBurnSubWindows = 3;
+
+    /** Drift monitor: baseline size, ring-slot size, ring length. */
+    uint64_t warmupShots = 5000;
+    uint64_t driftBucketShots = 1000;
+    size_t driftRingSlots = 8;
+    /** Chi-square distance (in [0,1]) that raises the drift alarm. */
+    double driftThreshold = 0.05;
+};
+
+/**
+ * Online syndrome-drift monitor. The first warmupShots Hamming
+ * weights form a baseline distribution; after that, weights stream
+ * into a ring of fixed-size buckets, and each completed bucket
+ * recomputes the chi-square distance
+ *
+ *     chi2 = 1/2 * sum_h (p_h - q_h)^2 / (p_h + q_h)
+ *
+ * between the baseline (p) and the merged ring (q) — bounded in
+ * [0, 1], zero iff identical. Crossing the threshold logs a warning
+ * once (re-armed when the distance falls back under), so a drifting
+ * device is loud in the service log exactly once per excursion.
+ */
+class SyndromeDriftMonitor
+{
+  public:
+    SyndromeDriftMonitor(uint64_t warmup_shots, uint64_t bucket_shots,
+                         size_t ring_slots, double threshold,
+                         size_t max_hw = 64);
+
+    /** Record one decode's syndrome Hamming weight. Thread-safe. */
+    void record(size_t hw);
+
+    bool baselineReady() const;
+    /** Latest distance (recomputed once per completed ring bucket). */
+    double chiSquare() const;
+    bool alarmed() const;
+    double threshold() const { return threshold_; }
+
+  private:
+    void rotateLocked();
+
+    const uint64_t warmupShots_;
+    const uint64_t bucketShots_;
+    const double threshold_;
+
+    mutable std::mutex mu_;
+    Histogram baseline_;
+    uint64_t baselineCount_ = 0;
+    std::vector<Histogram> ring_;
+    size_t ringPos_ = 0;
+    uint64_t bucketCount_ = 0;
+    double lastChi_ = 0.0;
+    bool alarmed_ = false;
+};
+
+/** Thread-agnostic service state; see file comment. */
+class DecodeServiceCore
+{
+  public:
+    explicit DecodeServiceCore(const ServeConfig &config);
+    ~DecodeServiceCore();
+
+    /** Per-worker decode state (context, decoder, RNG stream). */
+    struct Worker;
+
+    std::unique_ptr<Worker> makeWorker(unsigned index);
+
+    /** Sample one shot, decode it, account it. */
+    void decodeOnce(Worker &w);
+
+    /**
+     * Swap the workload's physical error rate mid-run (rebuilds the
+     * experiment context; workers pick it up on their next shot). The
+     * drift monitor's baseline is deliberately kept — detecting this
+     * change is its job.
+     */
+    void setErrorRate(double p);
+
+    /** Tests inject a fake sub-window tick; default is wall-clock. */
+    void setTickFunction(std::function<uint64_t()> tick);
+
+    /** Prometheus text exposition (service families + registry). */
+    std::string metricsText() const;
+    /** JSON snapshot for /statusz (schema: tools/validate_report.py). */
+    std::string statuszJson() const;
+
+    void setHealthy(bool healthy) { healthy_ = healthy; }
+    bool healthy() const { return healthy_; }
+
+    uint64_t totalDecodes() const;
+    const SyndromeDriftMonitor &drift() const { return drift_; }
+    const ServeConfig &config() const { return config_; }
+
+    /** Current sub-window tick (exposed for tests/uptime). */
+    uint64_t currentTick() const { return tick_(); }
+
+  private:
+    std::shared_ptr<const ExperimentContext> currentContext() const;
+    double windowSeconds(size_t sub_windows) const;
+
+    ServeConfig config_;
+    DecoderFactory factory_;
+
+    mutable std::mutex ctxMu_;
+    std::shared_ptr<const ExperimentContext> ctx_;
+
+    std::function<uint64_t()> tick_;
+
+    std::atomic<uint64_t> decodesTotal_{0};
+    std::atomic<uint64_t> nontrivialTotal_{0};
+    std::atomic<uint64_t> logicalErrorsTotal_{0};
+    std::atomic<uint64_t> giveUpsTotal_{0};
+    std::atomic<uint64_t> deadlineMissesTotal_{0};
+    std::atomic<bool> healthy_{true};
+
+    telemetry::RollingCounter decodesWin_;
+    telemetry::RollingCounter logicalErrorsWin_;
+    telemetry::RollingCounter giveUpsWin_;
+    telemetry::RollingCounter missesWin_;
+    telemetry::RollingLatency latencyWin_;
+
+    SyndromeDriftMonitor drift_;
+};
+
+/** makeWorker()'s opaque state, public so the CLI can embed workers. */
+struct DecodeServiceCore::Worker
+{
+    unsigned index = 0;
+    Rng rng{0};
+    std::shared_ptr<const ExperimentContext> ctx;
+    std::unique_ptr<Decoder> decoder;
+    BitVec dets;
+    BitVec obs;
+    uint64_t shots = 0;
+};
+
+/**
+ * The full service: core + worker threads + HTTP endpoints. start()
+ * binds and launches; stop() (or destruction) joins everything.
+ */
+class DecodeService
+{
+  public:
+    explicit DecodeService(const ServeConfig &config);
+    ~DecodeService();
+
+    /** Launch workers and the HTTP server; false + *error on failure. */
+    bool start(const std::string &bind_addr, uint16_t port,
+               std::string *error);
+
+    void stop();
+
+    uint16_t port() const { return http_.port(); }
+    DecodeServiceCore &core() { return core_; }
+    const DecodeServiceCore &core() const { return core_; }
+
+  private:
+    DecodeServiceCore core_;
+    net::HttpServer http_;
+    std::vector<std::thread> threads_;
+    std::atomic<bool> running_{false};
+    std::atomic<unsigned> activeWorkers_{0};
+};
+
+/** Factory-name lookup shared by serve and tests ("" on success). */
+std::string resolveServeDecoder(const ServeConfig &config,
+                                DecoderFactory *out);
+
+} // namespace astrea
+
+#endif // ASTREA_HARNESS_DECODE_SERVICE_HH

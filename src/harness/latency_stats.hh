@@ -49,6 +49,10 @@ class LatencyHistogram
     double p50Ns() const { return percentileNs(50.0); }
     double p90Ns() const { return percentileNs(90.0); }
     double p99Ns() const { return percentileNs(99.0); }
+    double p999Ns() const { return percentileNs(99.9); }
+
+    /** Samples that landed above the bucketed range. */
+    uint64_t overflowCount() const { return overflow_; }
 
     /** Fraction of samples strictly above the threshold. */
     double fractionAbove(double threshold_ns) const;

@@ -1,0 +1,116 @@
+#include "net/http_client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace astrea
+{
+namespace net
+{
+
+namespace
+{
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // namespace
+
+bool
+httpGet(const std::string &host, uint16_t port,
+        const std::string &path, HttpResult &out, std::string *error)
+{
+    auto fail = [&](int fd, const std::string &msg) {
+        if (error != nullptr)
+            *error = msg + ": " + std::strerror(errno);
+        if (fd >= 0)
+            ::close(fd);
+        return false;
+    };
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return fail(fd, "socket");
+
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        return fail(fd, "bad address '" + host + "'");
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        return fail(fd, "connect " + host + ":" +
+                            std::to_string(port));
+
+    std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                      "\r\nConnection: close\r\n\r\n";
+    size_t sent = 0;
+    while (sent < req.size()) {
+        ssize_t n = ::send(fd, req.data() + sent, req.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return fail(fd, "send");
+        sent += static_cast<size_t>(n);
+    }
+
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return fail(fd, "recv");
+        }
+        if (n == 0)
+            break;
+        raw.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+
+    size_t head_end = raw.find("\r\n\r\n");
+    size_t line_end = raw.find("\r\n");
+    if (head_end == std::string::npos || line_end == std::string::npos)
+        return fail(-1, "truncated response");
+
+    // Status line: HTTP/1.1 SP CODE SP TEXT.
+    std::string status_line = raw.substr(0, line_end);
+    size_t sp = status_line.find(' ');
+    if (sp == std::string::npos)
+        return fail(-1, "bad status line");
+    out.status = std::atoi(status_line.c_str() + sp + 1);
+
+    std::string head = lowered(raw.substr(0, head_end));
+    size_t ct = head.find("content-type:");
+    if (ct != std::string::npos) {
+        size_t eol = head.find("\r\n", ct);
+        std::string v = raw.substr(ct + 13, eol - ct - 13);
+        while (!v.empty() && v.front() == ' ')
+            v.erase(v.begin());
+        out.contentType = v;
+    }
+    out.body = raw.substr(head_end + 4);
+    return true;
+}
+
+} // namespace net
+} // namespace astrea

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tiny blocking HTTP/1.1 GET client.
+ *
+ * Just enough to scrape the decode service's own endpoints: the unit
+ * tests hit a live HttpServer over a real socket, and `astrea_cli`
+ * could probe a running service. Numeric IPv4 addresses only (no DNS),
+ * Connection: close, whole response buffered.
+ */
+
+#ifndef ASTREA_NET_HTTP_CLIENT_HH
+#define ASTREA_NET_HTTP_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace astrea
+{
+namespace net
+{
+
+/** Parsed response from httpGet(). */
+struct HttpResult
+{
+    int status = 0;
+    std::string contentType;
+    std::string body;
+};
+
+/**
+ * Issue one GET and read the response to EOF. host must be a numeric
+ * IPv4 address ("127.0.0.1"). Returns false with *error set on
+ * connect/IO/parse failure; an HTTP error status is a *successful*
+ * call (check out.status).
+ */
+bool httpGet(const std::string &host, uint16_t port,
+             const std::string &path, HttpResult &out,
+             std::string *error);
+
+} // namespace net
+} // namespace astrea
+
+#endif // ASTREA_NET_HTTP_CLIENT_HH

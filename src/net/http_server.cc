@@ -1,0 +1,227 @@
+#include "net/http_server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+namespace net
+{
+
+namespace
+{
+
+/** Cap on the request head; anything larger is a bad client. */
+constexpr size_t kMaxRequestBytes = 64 * 1024;
+
+bool
+sendAll(int fd, const char *data, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+httpStatusText(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 500:
+        return "Internal Server Error";
+      case 503:
+        return "Service Unavailable";
+      default:
+        return "Unknown";
+    }
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::handle(const std::string &path, HttpHandler handler)
+{
+    std::lock_guard<std::mutex> lock(handlersMu_);
+    handlers_[path] = std::move(handler);
+}
+
+bool
+HttpServer::start(const std::string &bind_addr, uint16_t port,
+                  std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg + ": " + std::strerror(errno);
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        return false;
+    };
+
+    if (running_)
+        return fail("server already running");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return fail("socket");
+
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1)
+        return fail("bad bind address '" + bind_addr + "'");
+
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("bind " + bind_addr + ":" + std::to_string(port));
+    if (::listen(listenFd_, 16) != 0)
+        return fail("listen");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return fail("getsockname");
+    port_ = ntohs(addr.sin_port);
+
+    running_ = true;
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_ && !acceptor_.joinable())
+        return;
+    running_ = false;
+    if (listenFd_ >= 0) {
+        // Unblock accept(): shutdown makes the blocked call return on
+        // Linux; close releases the port.
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (acceptor_.joinable())
+        acceptor_.join();
+}
+
+void
+HttpServer::acceptLoop()
+{
+    while (running_) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break;  // Socket closed by stop(), or a fatal error.
+        }
+        timeval tv{};
+        tv.tv_sec = 5;  // A stalled client may not wedge the acceptor.
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        serveConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+HttpServer::serveConnection(int fd)
+{
+    std::string head;
+    char buf[4096];
+    while (head.find("\r\n\r\n") == std::string::npos &&
+           head.size() < kMaxRequestBytes) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return;  // Timeout, reset, or close before a full head.
+        head.append(buf, static_cast<size_t>(n));
+    }
+
+    // Request line: METHOD SP TARGET SP VERSION.
+    size_t line_end = head.find("\r\n");
+    if (line_end == std::string::npos)
+        return;
+    std::string line = head.substr(0, line_end);
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.find(' ', sp1 + 1);
+
+    HttpResponse resp;
+    HttpRequest req;
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        resp.status = 400;
+        resp.body = "bad request\n";
+    } else {
+        req.method = line.substr(0, sp1);
+        std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        size_t q = target.find('?');
+        req.path = target.substr(0, q);
+        if (q != std::string::npos)
+            req.query = target.substr(q + 1);
+
+        if (req.method != "GET" && req.method != "HEAD") {
+            resp.status = 405;
+            resp.body = "method not allowed\n";
+        } else {
+            HttpHandler handler;
+            {
+                std::lock_guard<std::mutex> lock(handlersMu_);
+                auto it = handlers_.find(req.path);
+                if (it != handlers_.end())
+                    handler = it->second;
+            }
+            if (!handler) {
+                resp.status = 404;
+                resp.body = "not found\n";
+            } else {
+                resp = handler(req);
+            }
+        }
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                      httpStatusText(resp.status) + "\r\n";
+    out += "Content-Type: " + resp.contentType + "\r\n";
+    out += "Content-Length: " + std::to_string(resp.body.size()) +
+           "\r\n";
+    out += "Connection: close\r\n\r\n";
+    if (req.method != "HEAD")
+        out += resp.body;
+    sendAll(fd, out.data(), out.size());
+}
+
+} // namespace net
+} // namespace astrea

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal dependency-free blocking HTTP/1.1 server for scrape
+ * endpoints (/metrics, /statusz, /healthz).
+ *
+ * One acceptor thread serves connections serially: read the request
+ * head, dispatch on the exact path (query string stripped), write the
+ * response with Content-Length, close. That is deliberately all — a
+ * Prometheus scraper or a curl probe issues one short GET every few
+ * seconds, so there is no keep-alive, no chunking, no TLS and no
+ * concurrency; a receive timeout bounds how long a stalled client can
+ * hold the acceptor. Binds to loopback by default so running a decode
+ * service does not silently open a port to the network.
+ */
+
+#ifndef ASTREA_NET_HTTP_SERVER_HH
+#define ASTREA_NET_HTTP_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace astrea
+{
+namespace net
+{
+
+/** One parsed request (head only; bodies are read and discarded). */
+struct HttpRequest
+{
+    std::string method;
+    std::string path;   ///< Without the query string.
+    std::string query;  ///< Raw text after '?', "" if none.
+};
+
+/** One response; the server adds Content-Length and Connection. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest &)>;
+
+class HttpServer
+{
+  public:
+    HttpServer() = default;
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Register a handler for an exact path. Call before start(). */
+    void handle(const std::string &path, HttpHandler handler);
+
+    /**
+     * Bind and start the acceptor thread. port 0 picks an ephemeral
+     * port (read it back with port()). Returns false with *error set
+     * on failure.
+     */
+    bool start(const std::string &bind_addr, uint16_t port,
+               std::string *error);
+
+    /** The bound port; 0 before a successful start(). */
+    uint16_t port() const { return port_; }
+
+    /** Stop accepting, close the socket, join the acceptor thread. */
+    void stop();
+
+    bool running() const { return running_; }
+
+    /** Requests dispatched so far (including 404s). */
+    uint64_t requestsServed() const { return requests_; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    std::map<std::string, HttpHandler> handlers_;
+    mutable std::mutex handlersMu_;
+    std::thread acceptor_;
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<uint64_t> requests_{0};
+};
+
+/** Status line text for the codes this server emits. */
+std::string httpStatusText(int status);
+
+} // namespace net
+} // namespace astrea
+
+#endif // ASTREA_NET_HTTP_SERVER_HH

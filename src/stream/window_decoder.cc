@@ -74,10 +74,14 @@ WindowDecoder::decode(const std::vector<uint32_t> &defects)
             stats_.windows++;
             ASTREA_COUNTER_INC("stream.windows");
             ASTREA_HIST_ADD("stream.window_defects", window.size());
+            ASTREA_GAUGE_MAX("stream.max_window_defects",
+                             window.size());
             stats_.maxWindowDefects =
                 std::max(stats_.maxWindowDefects, window.size());
 
             DecodeResult dr = inner_->decode(window);
+            ASTREA_GAUGE_MAX("stream.max_window_matching",
+                             dr.matchedPairs.size());
             result.cycles += dr.cycles;
             result.latencyNs = std::max(result.latencyNs, dr.latencyNs);
 

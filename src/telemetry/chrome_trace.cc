@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <memory>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "telemetry/json.hh"
 
@@ -146,9 +146,9 @@ globalChromeTrace()
     std::lock_guard<std::mutex> lock(g_chrome_mu);
     if (!g_chrome_initialized) {
         g_chrome_initialized = true;
-        const char *env = std::getenv("ASTREA_CHROME_TRACE");
-        if (env != nullptr && env[0] != '\0')
-            g_chrome = std::make_unique<ChromeTraceWriter>(env);
+        std::string path = env::getString("ASTREA_CHROME_TRACE", "");
+        if (!path.empty())
+            g_chrome = std::make_unique<ChromeTraceWriter>(path);
         g_chrome_ptr.store(g_chrome.get(), std::memory_order_release);
     }
     return g_chrome.get();

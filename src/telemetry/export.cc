@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace astrea
@@ -121,9 +122,9 @@ globalTrace()
     std::lock_guard<std::mutex> lock(g_trace_mu);
     if (!g_trace_initialized) {
         g_trace_initialized = true;
-        const char *env = std::getenv("ASTREA_TRACE_FILE");
-        if (env != nullptr && env[0] != '\0')
-            g_trace = std::make_unique<TraceWriter>(env);
+        std::string path = env::getString("ASTREA_TRACE_FILE", "");
+        if (!path.empty())
+            g_trace = std::make_unique<TraceWriter>(path);
         g_trace_ptr.store(g_trace.get(), std::memory_order_release);
     }
     return g_trace.get();
@@ -174,7 +175,10 @@ uint64_t
 traceSampleStride()
 {
     static uint64_t stride = [] {
-        const char *env = std::getenv("ASTREA_TRACE_SAMPLE");
+        // parseTraceStride keeps its bespoke validation (a zero or
+        // garbage stride must fall back to 1, loudly); only the getenv
+        // itself routes through the env helper.
+        const char *env = env::raw("ASTREA_TRACE_SAMPLE");
         bool invalid = false;
         uint64_t v = parseTraceStride(env, &invalid);
         if (invalid) {

@@ -1,8 +1,8 @@
 #include "telemetry/flight_recorder.hh"
 
 #include <atomic>
-#include <cstdlib>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/json.hh"
@@ -184,22 +184,12 @@ FlightRecorder &
 FlightRecorder::global()
 {
     static FlightRecorder *recorder = [] {
-        size_t cap = 256;
-        if (const char *env =
-                std::getenv("ASTREA_FLIGHT_RECORDER_CAPACITY")) {
-            char *end = nullptr;
-            unsigned long long v = std::strtoull(env, &end, 10);
-            if (end != env && *end == '\0' && v >= 1)
-                cap = static_cast<size_t>(v);
-            else
-                warn("ASTREA_FLIGHT_RECORDER_CAPACITY is not a "
-                     "positive integer; using 256");
-        }
+        size_t cap = static_cast<size_t>(
+            env::getUint("ASTREA_FLIGHT_RECORDER_CAPACITY", 256, 1));
         auto *r = new FlightRecorder(cap);
-        if (const char *path = std::getenv("ASTREA_CAPTURE_PATH")) {
-            if (path[0] != '\0')
-                r->setCapturePath(path);
-        }
+        std::string path = env::getString("ASTREA_CAPTURE_PATH", "");
+        if (!path.empty())
+            r->setCapturePath(path);
         return r;
     }();
     return *recorder;
@@ -211,11 +201,8 @@ FlightRecorder::globalEnabled()
     int v = g_fr_enabled.load(std::memory_order_relaxed);
     if (v >= 0)
         return v != 0;
-    const char *cap = std::getenv("ASTREA_CAPTURE_PATH");
-    const char *on = std::getenv("ASTREA_FLIGHT_RECORDER");
-    bool enabled = (cap != nullptr && cap[0] != '\0') ||
-                   (on != nullptr && on[0] != '\0' &&
-                    std::string(on) != "0");
+    bool enabled = !env::getString("ASTREA_CAPTURE_PATH", "").empty() ||
+                   env::getBool("ASTREA_FLIGHT_RECORDER", false);
     g_fr_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
     return enabled;
 }

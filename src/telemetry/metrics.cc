@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <cstdlib>
-#include <cstring>
+
+#include "common/env.hh"
 
 namespace astrea
 {
@@ -28,14 +28,7 @@ std::atomic<int> g_enabled{-1};  ///< -1 = uninitialized.
 int
 readEnabledFromEnv()
 {
-    const char *env = std::getenv("ASTREA_TELEMETRY");
-    if (env == nullptr)
-        return 0;
-    return (std::strcmp(env, "0") != 0 &&
-            std::strcmp(env, "off") != 0 &&
-            std::strcmp(env, "") != 0)
-               ? 1
-               : 0;
+    return env::getBool("ASTREA_TELEMETRY", false) ? 1 : 0;
 }
 
 } // namespace
@@ -132,31 +125,62 @@ IntHistogram::reset()
     }
 }
 
-namespace
-{
-
-/** Bucket index for a nanosecond sample: bit width of round(ns). */
 size_t
-latencyBucket(uint64_t ns)
+latencyBucketIndex(uint64_t ns)
 {
-    return static_cast<size_t>(std::bit_width(ns));  // 0..64.
+    size_t b = static_cast<size_t>(std::bit_width(ns));  // 0..64.
+    return b < kLatencyBuckets ? b : kLatencyBuckets - 1;
 }
 
-/** Lower edge of latency bucket b in ns. */
 double
-bucketLowNs(size_t b)
+latencyBucketLowNs(size_t b)
 {
     return b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
 }
 
 double
-bucketHighNs(size_t b)
+latencyBucketHighNs(size_t b)
 {
     return b >= 63 ? std::ldexp(1.0, static_cast<int>(b))
                    : static_cast<double>(1ull << b);
 }
 
-} // namespace
+double
+percentileFromLatencyBins(const uint64_t *bins, size_t num_bins,
+                          uint64_t count, uint64_t min_ns,
+                          uint64_t max_ns, double pct)
+{
+    if (count == 0)
+        return 0.0;
+
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(count)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count)
+        rank = count;
+
+    uint64_t cum = 0;
+    for (size_t b = 0; b < num_bins; b++) {
+        if (bins[b] == 0)
+            continue;
+        cum += bins[b];
+        if (cum >= rank) {
+            // Linear interpolation inside the bucket, clamped to the
+            // observed extremes so tiny samples stay sane.
+            double lo = latencyBucketLowNs(b);
+            double hi = latencyBucketHighNs(b);
+            double before = static_cast<double>(cum - bins[b]);
+            double frac = (static_cast<double>(rank) - before) /
+                          static_cast<double>(bins[b]);
+            double est = lo + frac * (hi - lo);
+            est = std::max(est, static_cast<double>(min_ns));
+            est = std::min(est, static_cast<double>(max_ns));
+            return est;
+        }
+    }
+    return static_cast<double>(max_ns);
+}
 
 void
 LatencyMetric::record(double ns)
@@ -165,10 +189,8 @@ LatencyMetric::record(double ns)
         ns = 0.0;
     uint64_t t = static_cast<uint64_t>(std::llround(ns));
     auto &s = shards_[shardIndex()];
-    size_t b = latencyBucket(t);
-    if (b >= kBuckets)
-        b = kBuckets - 1;
-    s.bins[b].fetch_add(1, std::memory_order_relaxed);
+    s.bins[latencyBucketIndex(t)].fetch_add(1,
+                                            std::memory_order_relaxed);
     s.count.fetch_add(1, std::memory_order_relaxed);
     s.sumNs.fetch_add(t, std::memory_order_relaxed);
 
@@ -210,36 +232,22 @@ LatencyMetric::percentileNs(double pct) const
     std::array<uint64_t, kBuckets> bins;
     uint64_t count, min_ns, max_ns;
     mergedBins(bins, count, min_ns, max_ns);
-    if (count == 0)
-        return 0.0;
+    return percentileFromLatencyBins(bins.data(), kBuckets, count,
+                                     min_ns, max_ns, pct);
+}
 
-    uint64_t rank = static_cast<uint64_t>(
-        std::ceil(pct / 100.0 * static_cast<double>(count)));
-    if (rank < 1)
-        rank = 1;
-    if (rank > count)
-        rank = count;
-
-    uint64_t cum = 0;
-    for (size_t b = 0; b < kBuckets; b++) {
-        if (bins[b] == 0)
-            continue;
-        cum += bins[b];
-        if (cum >= rank) {
-            // Linear interpolation inside the bucket, clamped to the
-            // observed extremes so tiny samples stay sane.
-            double lo = bucketLowNs(b);
-            double hi = bucketHighNs(b);
-            double before = static_cast<double>(cum - bins[b]);
-            double frac = (static_cast<double>(rank) - before) /
-                          static_cast<double>(bins[b]);
-            double est = lo + frac * (hi - lo);
-            est = std::max(est, static_cast<double>(min_ns));
-            est = std::min(est, static_cast<double>(max_ns));
-            return est;
-        }
-    }
-    return static_cast<double>(max_ns);
+LatencyBuckets
+LatencyMetric::buckets() const
+{
+    LatencyBuckets out;
+    uint64_t min_ns;
+    mergedBins(out.bins, out.count, min_ns, out.maxNs);
+    for (const auto &s : shards_)
+        out.sumNs += s.sumNs.load(std::memory_order_relaxed);
+    out.minNs = out.count == 0 ? 0 : min_ns;
+    if (out.count == 0)
+        out.maxNs = 0;
+    return out;
 }
 
 LatencySnapshot
@@ -379,6 +387,16 @@ MetricsRegistry::latencyValues() const
     std::map<std::string, LatencySnapshot> out;
     for (const auto &[name, l] : latencies_)
         out[name] = l->snapshot();
+    return out;
+}
+
+std::map<std::string, LatencyBuckets>
+MetricsRegistry::latencyBucketValues() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, LatencyBuckets> out;
+    for (const auto &[name, l] : latencies_)
+        out[name] = l->buckets();
     return out;
 }
 

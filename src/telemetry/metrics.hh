@@ -156,6 +156,39 @@ struct LatencySnapshot
     double p99Ns = 0.0;
 };
 
+/** Log2 bucket count shared by LatencyMetric and the rolling windows. */
+constexpr size_t kLatencyBuckets = 64;
+
+/** Bucket index for a nanosecond sample: bit width of round(ns). */
+size_t latencyBucketIndex(uint64_t ns);
+
+/** Lower / upper edge of log2 latency bucket b, in ns. */
+double latencyBucketLowNs(size_t b);
+double latencyBucketHighNs(size_t b);
+
+/**
+ * Merged raw log2 bucket counts of a latency histogram, as needed by
+ * the Prometheus exposition (cumulative `le` buckets) and the rolling
+ * sub-window aggregation.
+ */
+struct LatencyBuckets
+{
+    std::array<uint64_t, kLatencyBuckets> bins{};
+    uint64_t count = 0;
+    uint64_t sumNs = 0;
+    uint64_t minNs = 0;  ///< 0 when empty.
+    uint64_t maxNs = 0;
+};
+
+/**
+ * Percentile estimate over merged log2 bins: linear interpolation
+ * inside the bucket, clamped to the observed min/max. Shared by
+ * LatencyMetric and RollingLatency. pct in (0, 100].
+ */
+double percentileFromLatencyBins(const uint64_t *bins, size_t num_bins,
+                                 uint64_t count, uint64_t min_ns,
+                                 uint64_t max_ns, double pct);
+
 /**
  * Log2-bucketed duration histogram (nanosecond samples), sharded.
  * Bucket b holds samples in [2^(b-1), 2^b) ns, so 64 buckets cover
@@ -165,11 +198,14 @@ struct LatencySnapshot
 class LatencyMetric
 {
   public:
-    static constexpr size_t kBuckets = 64;
+    static constexpr size_t kBuckets = kLatencyBuckets;
 
     void record(double ns);
 
     LatencySnapshot snapshot() const;
+
+    /** Merged raw bucket counts (Prometheus histogram exposition). */
+    LatencyBuckets buckets() const;
 
     /** Percentile estimate in ns; pct in (0, 100]. */
     double percentileNs(double pct) const;
@@ -217,6 +253,8 @@ class MetricsRegistry
     std::map<std::string, IntHistogramSnapshot> intHistogramValues()
         const;
     std::map<std::string, LatencySnapshot> latencyValues() const;
+    /** Raw log2 bucket counts (Prometheus histogram exposition). */
+    std::map<std::string, LatencyBuckets> latencyBucketValues() const;
 
   private:
     mutable std::mutex mu_;

@@ -1,0 +1,240 @@
+#include "telemetry/prometheus.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace astrea
+{
+namespace telemetry
+{
+
+namespace
+{
+
+/**
+ * Format a sample value: integers without a decimal point, everything
+ * else with enough digits to round-trip, NaN/Inf spelled the way the
+ * exposition format expects.
+ */
+std::string
+formatValue(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+std::string
+renderLabels(const PromLabels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += promMetricName(k);
+        out += "=\"";
+        out += promEscapeLabel(v);
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+std::string
+promMetricName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (size_t i = 0; i < name.size(); i++) {
+        char c = name[i];
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  c == '_' || c == ':' ||
+                  (i > 0 && c >= '0' && c <= '9');
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty())
+        out = "_";
+    return out;
+}
+
+std::string
+promEscapeLabel(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+PrometheusWriter &
+PrometheusWriter::family(const std::string &name,
+                         const std::string &type,
+                         const std::string &help)
+{
+    out_ += "# HELP " + name + " " + help + "\n";
+    out_ += "# TYPE " + name + " " + type + "\n";
+    return *this;
+}
+
+PrometheusWriter &
+PrometheusWriter::sample(const std::string &name, double value,
+                         const PromLabels &labels)
+{
+    out_ += name + renderLabels(labels) + " " + formatValue(value) +
+            "\n";
+    return *this;
+}
+
+PrometheusWriter &
+PrometheusWriter::sample(const std::string &name, uint64_t value,
+                         const PromLabels &labels)
+{
+    out_ += name + renderLabels(labels) + " " +
+            std::to_string(value) + "\n";
+    return *this;
+}
+
+PrometheusWriter &
+PrometheusWriter::counter(const std::string &name,
+                          const std::string &help, uint64_t value)
+{
+    family(name, "counter", help);
+    return sample(name, value);
+}
+
+PrometheusWriter &
+PrometheusWriter::gauge(const std::string &name,
+                        const std::string &help, double value)
+{
+    family(name, "gauge", help);
+    return sample(name, value);
+}
+
+PrometheusWriter &
+PrometheusWriter::histogram(
+    const std::string &name, const std::string &help,
+    const std::vector<std::pair<double, uint64_t>> &cumulative,
+    uint64_t total_count, double sum)
+{
+    family(name, "histogram", help);
+    for (const auto &[le, cum] : cumulative) {
+        sample(name + "_bucket", cum,
+               {{"le", formatValue(le)}});
+    }
+    sample(name + "_bucket", total_count, {{"le", "+Inf"}});
+    sample(name + "_sum", sum);
+    sample(name + "_count", total_count);
+    return *this;
+}
+
+namespace
+{
+
+std::string
+counterName(const std::string &prefix, const std::string &name)
+{
+    std::string n = promMetricName(prefix + name);
+    // Prometheus convention: counter families end in _total.
+    if (n.size() < 6 || n.compare(n.size() - 6, 6, "_total") != 0)
+        n += "_total";
+    return n;
+}
+
+} // namespace
+
+void
+appendRegistryMetrics(PrometheusWriter &w,
+                      const MetricsRegistry &registry,
+                      const std::string &prefix)
+{
+    for (const auto &[name, v] : registry.counterValues()) {
+        w.family(counterName(prefix, name), "counter",
+                 "Astrea telemetry counter " + name);
+        w.sample(counterName(prefix, name), v);
+    }
+
+    for (const auto &[name, v] : registry.gaugeValues()) {
+        std::string n = promMetricName(prefix + name);
+        w.family(n, "gauge", "Astrea telemetry gauge " + name);
+        w.sample(n, static_cast<double>(v));
+    }
+
+    for (const auto &[name, snap] : registry.intHistogramValues()) {
+        std::string n = promMetricName(prefix + name);
+        std::vector<std::pair<double, uint64_t>> cumulative;
+        uint64_t cum = 0;
+        double sum = 0.0;
+        size_t top = snap.maxObserved();
+        for (size_t k = 0; k <= top && k < snap.bins.size(); k++) {
+            cum += snap.bins[k];
+            sum += static_cast<double>(k) *
+                   static_cast<double>(snap.bins[k]);
+            cumulative.emplace_back(static_cast<double>(k), cum);
+        }
+        // Overflow entries are >= bins.size(); credit their lowest
+        // possible key so _sum stays a defensible lower bound.
+        sum += static_cast<double>(snap.bins.size()) *
+               static_cast<double>(snap.overflow);
+        w.histogram(n, "Astrea telemetry histogram " + name,
+                    cumulative, snap.total, sum);
+    }
+
+    for (const auto &[name, b] : registry.latencyBucketValues()) {
+        std::string n = promMetricName(prefix + name);
+        std::vector<std::pair<double, uint64_t>> cumulative;
+        uint64_t cum = 0;
+        size_t top = 0;
+        for (size_t i = 0; i < kLatencyBuckets; i++) {
+            if (b.bins[i])
+                top = i;
+        }
+        for (size_t i = 0; i <= top; i++) {
+            cum += b.bins[i];
+            cumulative.emplace_back(latencyBucketHighNs(i), cum);
+        }
+        w.histogram(n, "Astrea latency histogram " + name + " (ns)",
+                    cumulative, b.count,
+                    static_cast<double>(b.sumNs));
+    }
+}
+
+std::string
+renderPrometheus(const MetricsRegistry &registry,
+                 const std::string &prefix)
+{
+    PrometheusWriter w;
+    appendRegistryMetrics(w, registry, prefix);
+    return w.str();
+}
+
+} // namespace telemetry
+} // namespace astrea

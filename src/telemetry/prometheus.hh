@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Prometheus text exposition (format version 0.0.4) for the metrics
+ * registry and the live decode service.
+ *
+ * Renders counters, gauges and histograms with `# HELP`/`# TYPE`
+ * headers, sanitized metric names (the registry's dotted names become
+ * underscore-separated, e.g. "stream.windows" -> "astrea_stream_
+ * windows"), escaped label values, and cumulative `le` buckets whose
+ * "+Inf" bucket equals `_count` — the contract tools/scrape_check.py
+ * enforces in CI. Counter families get the conventional `_total`
+ * suffix. Latency histograms keep their nanosecond unit: `le` edges
+ * are the log2 bucket upper bounds in ns.
+ */
+
+#ifndef ASTREA_TELEMETRY_PROMETHEUS_HH
+#define ASTREA_TELEMETRY_PROMETHEUS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+/** ("name", "value") pairs attached to a sample. */
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
+/** Sanitize to the metric-name charset [a-zA-Z_:][a-zA-Z0-9_:]*. */
+std::string promMetricName(const std::string &name);
+
+/** Escape a label value (backslash, double quote, newline). */
+std::string promEscapeLabel(const std::string &value);
+
+/** Streaming exposition writer. */
+class PrometheusWriter
+{
+  public:
+    /** Emit "# HELP name text" and "# TYPE name type" for a family. */
+    PrometheusWriter &family(const std::string &name,
+                             const std::string &type,
+                             const std::string &help);
+
+    /** Emit one sample line; name must already be sanitized. */
+    PrometheusWriter &sample(const std::string &name, double value,
+                             const PromLabels &labels = {});
+    PrometheusWriter &sample(const std::string &name, uint64_t value,
+                             const PromLabels &labels = {});
+
+    /** family() + one unlabelled sample. */
+    PrometheusWriter &counter(const std::string &name,
+                              const std::string &help, uint64_t value);
+    PrometheusWriter &gauge(const std::string &name,
+                            const std::string &help, double value);
+
+    /**
+     * Emit a full histogram family: cumulative (le_upper, cum_count)
+     * buckets — strictly increasing le, non-decreasing counts — then
+     * the implicit "+Inf" bucket, `_sum` and `_count`.
+     */
+    PrometheusWriter &
+    histogram(const std::string &name, const std::string &help,
+              const std::vector<std::pair<double, uint64_t>> &cumulative,
+              uint64_t total_count, double sum);
+
+    const std::string &str() const { return out_; }
+
+  private:
+    std::string out_;
+};
+
+/**
+ * Render every metric in the registry under the given prefix:
+ * counters as `<prefix><name>_total`, gauges as gauges, integer
+ * histograms as histograms with unit-width `le` edges (overflow folds
+ * into "+Inf"), latency metrics as histograms with log2 `le` edges in
+ * ns. For integer histograms the `_sum` is reconstructed from the
+ * dense bins (overflow entries contribute their lowest possible key),
+ * which under-counts by at most the overflow mass — exact whenever
+ * nothing overflowed.
+ */
+void appendRegistryMetrics(PrometheusWriter &w,
+                           const MetricsRegistry &registry,
+                           const std::string &prefix = "astrea_");
+
+/** Convenience: one-shot exposition of the registry. */
+std::string renderPrometheus(const MetricsRegistry &registry,
+                             const std::string &prefix = "astrea_");
+
+} // namespace telemetry
+} // namespace astrea
+
+#endif // ASTREA_TELEMETRY_PROMETHEUS_HH

@@ -1,0 +1,156 @@
+#include "telemetry/rolling_window.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+namespace
+{
+
+/** True if slot_tick lies in the window (tick - k, tick]. */
+bool
+tickInWindow(uint64_t slot_tick, uint64_t tick, size_t k)
+{
+    // kIdleTick (~0) fails slot_tick <= tick for any realistic tick.
+    return slot_tick <= tick && slot_tick + k > tick;
+}
+
+} // namespace
+
+RollingCounter::RollingCounter(size_t slots)
+    : slots_(std::max<size_t>(1, slots))
+{
+}
+
+void
+RollingCounter::add(uint64_t tick, uint64_t n)
+{
+    Slot &s = slots_[tick % slots_.size()];
+    uint64_t cur = s.tick.load(std::memory_order_relaxed);
+    if (cur != tick) {
+        // First writer of a new sub-window recycles the slot. Not
+        // atomic against concurrent writers (see file comment).
+        if (s.tick.compare_exchange_strong(cur, tick,
+                                           std::memory_order_relaxed))
+            s.count.store(0, std::memory_order_relaxed);
+    }
+    s.count.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t
+RollingCounter::total(uint64_t tick, size_t last_k) const
+{
+    size_t k = last_k == 0 ? slots_.size()
+                           : std::min(last_k, slots_.size());
+    uint64_t sum = 0;
+    for (const Slot &s : slots_) {
+        if (tickInWindow(s.tick.load(std::memory_order_relaxed), tick,
+                         k))
+            sum += s.count.load(std::memory_order_relaxed);
+    }
+    return sum;
+}
+
+RollingLatency::RollingLatency(size_t slots)
+    : slots_(std::max<size_t>(1, slots))
+{
+}
+
+bool
+RollingLatency::inWindow(uint64_t slot_tick, uint64_t tick, size_t k)
+{
+    return tickInWindow(slot_tick, tick, k);
+}
+
+void
+RollingLatency::record(uint64_t tick, double ns)
+{
+    if (ns < 0.0 || !std::isfinite(ns))
+        ns = 0.0;
+    uint64_t t = static_cast<uint64_t>(std::llround(ns));
+
+    Slot &s = slots_[tick % slots_.size()];
+    uint64_t cur = s.tick.load(std::memory_order_relaxed);
+    if (cur != tick) {
+        if (s.tick.compare_exchange_strong(cur, tick,
+                                           std::memory_order_relaxed)) {
+            for (auto &b : s.bins)
+                b.store(0, std::memory_order_relaxed);
+            s.count.store(0, std::memory_order_relaxed);
+            s.sumNs.store(0, std::memory_order_relaxed);
+            s.maxNs.store(0, std::memory_order_relaxed);
+            s.minNs.store(UINT64_MAX, std::memory_order_relaxed);
+        }
+    }
+    s.bins[latencyBucketIndex(t)].fetch_add(1,
+                                            std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sumNs.fetch_add(t, std::memory_order_relaxed);
+
+    uint64_t cur_min = s.minNs.load(std::memory_order_relaxed);
+    while (t < cur_min &&
+           !s.minNs.compare_exchange_weak(cur_min, t,
+                                          std::memory_order_relaxed)) {
+    }
+    uint64_t cur_max = s.maxNs.load(std::memory_order_relaxed);
+    while (t > cur_max &&
+           !s.maxNs.compare_exchange_weak(cur_max, t,
+                                          std::memory_order_relaxed)) {
+    }
+}
+
+LatencyBuckets
+RollingLatency::buckets(uint64_t tick, size_t last_k) const
+{
+    size_t k = last_k == 0 ? slots_.size()
+                           : std::min(last_k, slots_.size());
+    LatencyBuckets out;
+    uint64_t min_ns = UINT64_MAX;
+    for (const Slot &s : slots_) {
+        if (!inWindow(s.tick.load(std::memory_order_relaxed), tick, k))
+            continue;
+        for (size_t b = 0; b < kLatencyBuckets; b++)
+            out.bins[b] += s.bins[b].load(std::memory_order_relaxed);
+        out.count += s.count.load(std::memory_order_relaxed);
+        out.sumNs += s.sumNs.load(std::memory_order_relaxed);
+        min_ns = std::min(min_ns,
+                          s.minNs.load(std::memory_order_relaxed));
+        out.maxNs = std::max(out.maxNs,
+                             s.maxNs.load(std::memory_order_relaxed));
+    }
+    out.minNs = out.count == 0 ? 0 : min_ns;
+    if (out.count == 0)
+        out.maxNs = 0;
+    return out;
+}
+
+uint64_t
+RollingLatency::count(uint64_t tick, size_t last_k) const
+{
+    size_t k = last_k == 0 ? slots_.size()
+                           : std::min(last_k, slots_.size());
+    uint64_t sum = 0;
+    for (const Slot &s : slots_) {
+        if (inWindow(s.tick.load(std::memory_order_relaxed), tick, k))
+            sum += s.count.load(std::memory_order_relaxed);
+    }
+    return sum;
+}
+
+double
+RollingLatency::percentileNs(uint64_t tick, double pct,
+                             size_t last_k) const
+{
+    LatencyBuckets b = buckets(tick, last_k);
+    return percentileFromLatencyBins(b.bins.data(), kLatencyBuckets,
+                                     b.count, b.minNs, b.maxNs, pct);
+}
+
+} // namespace telemetry
+} // namespace astrea

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ring-of-sub-window aggregation for live-service metrics.
+ *
+ * Since-process-start counters answer "how much, ever"; a live decode
+ * service needs "how much, lately" — request rates, deadline-miss
+ * fractions and latency percentiles over the last N seconds. These
+ * classes keep a ring of sub-window slots keyed by a caller-supplied
+ * monotonic tick (the decode service uses seconds-since-start divided
+ * by the sub-window length; tests drive the tick explicitly). A slot
+ * is lazily recycled the first time a writer touches it with a newer
+ * tick, so there is no maintenance thread, and reads simply sum the
+ * slots whose tick falls inside the queried window.
+ *
+ * Writers are lock-free (relaxed atomics). Recycling a slot is not
+ * atomic with respect to concurrent writers, so a handful of samples
+ * can be dropped or double-counted exactly at a sub-window boundary;
+ * these windows feed monitoring gauges, not accounting, and the error
+ * is bounded by one slot rotation per window. Single-threaded use —
+ * which is what the unit tests do — is exact.
+ */
+
+#ifndef ASTREA_TELEMETRY_ROLLING_WINDOW_HH
+#define ASTREA_TELEMETRY_ROLLING_WINDOW_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+/** Event counter aggregated over the most recent sub-windows. */
+class RollingCounter
+{
+  public:
+    /** Ring of `slots` sub-windows (the full window length). */
+    explicit RollingCounter(size_t slots = 15);
+
+    /** Count n events in the sub-window `tick`. */
+    void add(uint64_t tick, uint64_t n = 1);
+
+    /**
+     * Sum over the last `last_k` sub-windows ending at `tick`
+     * (inclusive of the current, possibly partial, sub-window).
+     * last_k = 0 means the whole ring.
+     */
+    uint64_t total(uint64_t tick, size_t last_k = 0) const;
+
+    size_t slots() const { return slots_.size(); }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<uint64_t> tick{kIdleTick};
+        std::atomic<uint64_t> count{0};
+    };
+
+    static constexpr uint64_t kIdleTick = ~0ull;
+
+    std::vector<Slot> slots_;
+};
+
+/**
+ * Latency histogram aggregated over the most recent sub-windows, with
+ * the same log2 bucket geometry as LatencyMetric so percentiles and
+ * Prometheus `le` edges match the since-start histograms.
+ */
+class RollingLatency
+{
+  public:
+    explicit RollingLatency(size_t slots = 15);
+
+    void record(uint64_t tick, double ns);
+
+    /** Samples in the last `last_k` sub-windows (0 = whole ring). */
+    uint64_t count(uint64_t tick, size_t last_k = 0) const;
+
+    /** Percentile over the last `last_k` sub-windows (0 = whole ring). */
+    double percentileNs(uint64_t tick, double pct,
+                        size_t last_k = 0) const;
+
+    /** Merged bucket counts (Prometheus exposition of the window). */
+    LatencyBuckets buckets(uint64_t tick, size_t last_k = 0) const;
+
+    size_t slots() const { return slots_.size(); }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<uint64_t> tick{kIdleTick};
+        std::array<std::atomic<uint64_t>, kLatencyBuckets> bins{};
+        std::atomic<uint64_t> count{0};
+        std::atomic<uint64_t> sumNs{0};
+        std::atomic<uint64_t> maxNs{0};
+        std::atomic<uint64_t> minNs{UINT64_MAX};
+    };
+
+    static constexpr uint64_t kIdleTick = ~0ull;
+
+    /** True if the slot's tick lies in (tick - k, tick]. */
+    static bool inWindow(uint64_t slot_tick, uint64_t tick, size_t k);
+
+    std::vector<Slot> slots_;
+};
+
+} // namespace telemetry
+} // namespace astrea
+
+#endif // ASTREA_TELEMETRY_ROLLING_WINDOW_HH

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the live decode service (harness/decode_service.hh).
+ *
+ * DecodeServiceCore is driven synchronously with an injected tick, so
+ * the Prometheus exposition, the /statusz JSON schema, rolling-window
+ * decay and the syndrome-drift monitor are all checked
+ * deterministically; one test then runs the full DecodeService over a
+ * real loopback socket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/decode_service.hh"
+#include "net/http_client.hh"
+#include "telemetry/json_value.hh"
+
+using namespace astrea;
+
+namespace
+{
+
+/** Small, fast configuration for synchronous single-thread tests. */
+ServeConfig
+testConfig()
+{
+    ServeConfig cfg;
+    cfg.distance = 3;
+    cfg.physicalErrorRate = 1e-3;
+    cfg.decoder = "astrea";
+    cfg.workers = 1;
+    cfg.seed = 7;
+    cfg.subWindows = 4;
+    cfg.fastBurnSubWindows = 2;
+    cfg.warmupShots = 400;
+    cfg.driftBucketShots = 200;
+    cfg.driftRingSlots = 4;
+    cfg.driftThreshold = 0.05;
+    return cfg;
+}
+
+/** Value of the first unlabelled sample of `name`, or -1. */
+double
+sampleValue(const std::string &text, const std::string &name)
+{
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind(name + " ", 0) == 0)
+            return std::stod(line.substr(name.size() + 1));
+    }
+    return -1.0;
+}
+
+TEST(DecodeServiceCoreTest, PrometheusExposition)
+{
+    DecodeServiceCore core(testConfig());
+    uint64_t tick = 0;
+    core.setTickFunction([&tick] { return tick; });
+
+    auto w = core.makeWorker(0);
+    for (int i = 0; i < 1000; i++)
+        core.decodeOnce(*w);
+
+    std::string text = core.metricsText();
+
+    // TYPE headers for the headline families.
+    for (const char *family :
+         {"# TYPE astrea_serve_up gauge",
+          "# TYPE astrea_serve_decodes_total counter",
+          "# TYPE astrea_serve_deadline_misses_total counter",
+          "# TYPE astrea_serve_window_latency_ns histogram",
+          "# TYPE astrea_serve_slo_fast_burn gauge",
+          "# TYPE astrea_serve_slo_slow_burn gauge",
+          "# TYPE astrea_serve_drift_chi_square gauge"}) {
+        EXPECT_NE(text.find(family), std::string::npos) << family;
+    }
+
+    EXPECT_DOUBLE_EQ(sampleValue(text, "astrea_serve_up"), 1.0);
+    EXPECT_DOUBLE_EQ(sampleValue(text, "astrea_serve_decodes_total"),
+                     1000.0);
+    EXPECT_NE(text.find("astrea_serve_info{decoder=\"astrea\""),
+              std::string::npos);
+
+    // Latency histogram: cumulative buckets, +Inf equals _count.
+    uint64_t prev = 0, inf = 0;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("astrea_serve_window_latency_ns_bucket", 0) !=
+            0)
+            continue;
+        uint64_t v = std::stoull(line.substr(line.rfind(' ') + 1));
+        EXPECT_GE(v, prev) << line;
+        prev = v;
+        if (line.find("le=\"+Inf\"") != std::string::npos)
+            inf = v;
+    }
+    double count =
+        sampleValue(text, "astrea_serve_window_latency_ns_count");
+    EXPECT_EQ(inf, static_cast<uint64_t>(count));
+    EXPECT_EQ(inf, 1000u);
+
+    // Percentile gauges exist with sanitized names.
+    EXPECT_GE(sampleValue(text, "astrea_serve_window_latency_p50_ns"),
+              0.0);
+    EXPECT_GE(
+        sampleValue(text, "astrea_serve_window_latency_p99_9_ns"),
+        0.0);
+}
+
+TEST(DecodeServiceCoreTest, StatuszSchemaParses)
+{
+    DecodeServiceCore core(testConfig());
+    uint64_t tick = 0;
+    core.setTickFunction([&tick] { return tick; });
+
+    auto w = core.makeWorker(0);
+    for (int i = 0; i < 500; i++)
+        core.decodeOnce(*w);
+
+    telemetry::JsonValue doc;
+    ASSERT_TRUE(telemetry::parseJson(core.statuszJson(), doc));
+    EXPECT_EQ(doc["service"].asString(), "astrea_serve");
+    EXPECT_EQ(doc["schema_version"].asUint(), 1u);
+    EXPECT_TRUE(doc["healthy"].asBool());
+    EXPECT_EQ(doc["config"]["d"].asUint(), 3u);
+    EXPECT_EQ(doc["config"]["decoder"].asString(), "astrea");
+    EXPECT_EQ(doc["totals"]["decodes"].asUint(), 500u);
+    EXPECT_EQ(doc["window"]["decodes"].asUint(), 500u);
+    EXPECT_EQ(doc["window"]["latency_ns"]["count"].asUint(), 500u);
+    EXPECT_GE(doc["slo"]["error_budget"].asNumber(), 0.0);
+    ASSERT_TRUE(doc.has("drift"));
+    EXPECT_GE(doc["drift"]["chi_square"].asNumber(), 0.0);
+}
+
+TEST(DecodeServiceCoreTest, RollingWindowDecaysAfterLoadStops)
+{
+    DecodeServiceCore core(testConfig());
+    uint64_t tick = 0;
+    core.setTickFunction([&tick] { return tick; });
+
+    auto w = core.makeWorker(0);
+    for (int i = 0; i < 300; i++)
+        core.decodeOnce(*w);
+
+    telemetry::JsonValue doc;
+    ASSERT_TRUE(telemetry::parseJson(core.statuszJson(), doc));
+    EXPECT_EQ(doc["window"]["decodes"].asUint(), 300u);
+    EXPECT_EQ(doc["totals"]["decodes"].asUint(), 300u);
+
+    // Advance past the whole ring without decoding: the window
+    // empties, the since-start totals do not.
+    tick += testConfig().subWindows + 1;
+    ASSERT_TRUE(telemetry::parseJson(core.statuszJson(), doc));
+    EXPECT_EQ(doc["window"]["decodes"].asUint(), 0u);
+    EXPECT_EQ(doc["window"]["latency_ns"]["count"].asUint(), 0u);
+    EXPECT_EQ(doc["totals"]["decodes"].asUint(), 300u);
+    EXPECT_DOUBLE_EQ(
+        sampleValue(core.metricsText(), "astrea_serve_window_decodes"),
+        0.0);
+}
+
+TEST(DecodeServiceCoreTest, DriftMonitorReactsToErrorRateChange)
+{
+    DecodeServiceCore core(testConfig());
+    uint64_t tick = 0;
+    core.setTickFunction([&tick] { return tick; });
+
+    auto w = core.makeWorker(0);
+    // Warm-up plus a few clean ring buckets at the baseline p.
+    for (int i = 0; i < 1200; i++)
+        core.decodeOnce(*w);
+    EXPECT_TRUE(core.drift().baselineReady());
+    EXPECT_LT(core.drift().chiSquare(), core.drift().threshold());
+    EXPECT_FALSE(core.drift().alarmed());
+
+    // Crank the physical error rate 20x: the Hamming-weight
+    // distribution shifts and the chi-square distance must follow.
+    core.setErrorRate(2e-2);
+    for (int i = 0; i < 2000; i++)
+        core.decodeOnce(*w);
+    EXPECT_GT(core.drift().chiSquare(), core.drift().threshold());
+    EXPECT_TRUE(core.drift().alarmed());
+
+    std::string text = core.metricsText();
+    EXPECT_DOUBLE_EQ(sampleValue(text, "astrea_serve_drift_alarm"),
+                     1.0);
+    EXPECT_GT(sampleValue(text, "astrea_serve_drift_chi_square"),
+              0.05);
+}
+
+TEST(DecodeServiceTest, ResolveDecoderNames)
+{
+    ServeConfig cfg = testConfig();
+    DecoderFactory f;
+    for (const char *name :
+         {"astrea", "astrea-g", "mwpm", "blossom", "windowed-astrea"}) {
+        cfg.decoder = name;
+        EXPECT_EQ(resolveServeDecoder(cfg, &f), "") << name;
+    }
+    cfg.decoder = "nope";
+    EXPECT_NE(resolveServeDecoder(cfg, &f), "");
+}
+
+TEST(DecodeServiceTest, HttpEndpointsRoundTrip)
+{
+    ServeConfig cfg = testConfig();
+    cfg.workers = 2;
+    DecodeService svc(cfg);
+
+    std::string error;
+    ASSERT_TRUE(svc.start("127.0.0.1", 0, &error)) << error;
+    ASSERT_NE(svc.port(), 0);
+
+    // Health flips to ok once both workers have started; poll briefly.
+    net::HttpResult res;
+    for (int attempt = 0; attempt < 100; attempt++) {
+        ASSERT_TRUE(httpGet("127.0.0.1", svc.port(), "/healthz", res,
+                            &error))
+            << error;
+        if (res.status == 200)
+            break;
+    }
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(res.body, "ok\n");
+
+    ASSERT_TRUE(
+        httpGet("127.0.0.1", svc.port(), "/metrics", res, &error))
+        << error;
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(res.contentType,
+              "text/plain; version=0.0.4; charset=utf-8");
+    EXPECT_NE(res.body.find("astrea_serve_decodes_total"),
+              std::string::npos);
+
+    ASSERT_TRUE(
+        httpGet("127.0.0.1", svc.port(), "/statusz", res, &error))
+        << error;
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(res.contentType, "application/json");
+    telemetry::JsonValue doc;
+    ASSERT_TRUE(telemetry::parseJson(res.body, doc));
+    EXPECT_EQ(doc["service"].asString(), "astrea_serve");
+    EXPECT_EQ(doc["config"]["workers"].asUint(), 2u);
+
+    svc.stop();
+    EXPECT_GT(svc.core().totalDecodes(), 0u);
+}
+
+} // namespace

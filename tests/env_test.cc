@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the typed environment readers (common/env.hh): defaults on
+ * unset, parsing, malformed-value fallbacks and the boolean token set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hh"
+
+using namespace astrea;
+
+namespace
+{
+
+/** Scoped setenv that restores the previous state on destruction. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *prev = std::getenv(name);
+        if (prev != nullptr) {
+            had_ = true;
+            prev_ = prev;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), prev_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    bool had_ = false;
+    std::string prev_;
+};
+
+TEST(EnvTest, UnsetYieldsDefaults)
+{
+    ScopedEnv clear("ASTREA_ENV_TEST_X", nullptr);
+    EXPECT_EQ(env::raw("ASTREA_ENV_TEST_X"), nullptr);
+    EXPECT_EQ(env::getString("ASTREA_ENV_TEST_X", "dflt"), "dflt");
+    EXPECT_TRUE(env::getBool("ASTREA_ENV_TEST_X", true));
+    EXPECT_FALSE(env::getBool("ASTREA_ENV_TEST_X", false));
+    EXPECT_EQ(env::getUint("ASTREA_ENV_TEST_X", 42), 42u);
+    EXPECT_DOUBLE_EQ(env::getDouble("ASTREA_ENV_TEST_X", 2.5), 2.5);
+}
+
+TEST(EnvTest, StringAndUintParse)
+{
+    ScopedEnv s("ASTREA_ENV_TEST_X", "1234");
+    EXPECT_EQ(env::getString("ASTREA_ENV_TEST_X", ""), "1234");
+    EXPECT_EQ(env::getUint("ASTREA_ENV_TEST_X", 0), 1234u);
+}
+
+TEST(EnvTest, BoolTokens)
+{
+    for (const char *f : {"", "0", "off", "OFF", "false", "False",
+                          "no", "No"}) {
+        ScopedEnv s("ASTREA_ENV_TEST_X", f);
+        EXPECT_FALSE(env::getBool("ASTREA_ENV_TEST_X", true))
+            << "token '" << f << "'";
+    }
+    for (const char *t : {"1", "on", "true", "yes", "weird"}) {
+        ScopedEnv s("ASTREA_ENV_TEST_X", t);
+        EXPECT_TRUE(env::getBool("ASTREA_ENV_TEST_X", false))
+            << "token '" << t << "'";
+    }
+}
+
+TEST(EnvTest, MalformedUintFallsBackToDefault)
+{
+    env::resetWarningsForTest();
+    for (const char *bad : {"abc", "12x", "-3", "-", ""}) {
+        ScopedEnv s("ASTREA_ENV_TEST_X", bad);
+        EXPECT_EQ(env::getUint("ASTREA_ENV_TEST_X", 7), 7u)
+            << "value '" << bad << "'";
+    }
+}
+
+TEST(EnvTest, UintBelowMinimumFallsBackToDefault)
+{
+    env::resetWarningsForTest();
+    ScopedEnv s("ASTREA_ENV_TEST_X", "1");
+    EXPECT_EQ(env::getUint("ASTREA_ENV_TEST_X", 8, 4), 8u);
+    ScopedEnv s2("ASTREA_ENV_TEST_Y", "4");
+    EXPECT_EQ(env::getUint("ASTREA_ENV_TEST_Y", 8, 4), 4u);
+}
+
+TEST(EnvTest, DoubleParsesAndRejectsGarbage)
+{
+    env::resetWarningsForTest();
+    {
+        ScopedEnv s("ASTREA_ENV_TEST_X", "1e-3");
+        EXPECT_DOUBLE_EQ(env::getDouble("ASTREA_ENV_TEST_X", 0.0),
+                         1e-3);
+    }
+    {
+        ScopedEnv s("ASTREA_ENV_TEST_X", "nope");
+        EXPECT_DOUBLE_EQ(env::getDouble("ASTREA_ENV_TEST_X", 0.5),
+                         0.5);
+    }
+    {
+        ScopedEnv s("ASTREA_ENV_TEST_X", "inf");
+        EXPECT_DOUBLE_EQ(env::getDouble("ASTREA_ENV_TEST_X", 0.5),
+                         0.5);
+    }
+}
+
+} // namespace

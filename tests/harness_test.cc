@@ -130,6 +130,42 @@ TEST(LatencyHistogram, BucketsAndFractions)
     EXPECT_NEAR(h.bucketFraction(1), 1.0 / 3.0, 1e-12);
 }
 
+TEST(LatencyHistogram, EmptyHistogramPercentilesAreZero)
+{
+    LatencyHistogram h(100.0, 1000.0);
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentileNs(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.p999Ns(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(0.0), 0.0);
+}
+
+TEST(LatencyHistogram, AllSamplesInOverflowReportObservedMax)
+{
+    LatencyHistogram h(100.0, 1000.0);
+    h.add(5000.0);
+    h.add(7000.0);
+    h.add(9000.0);
+    EXPECT_EQ(h.overflowCount(), 3u);
+    // Every rank lands in the overflow region: the percentile falls
+    // back to the observed maximum rather than inventing a bucket.
+    EXPECT_DOUBLE_EQ(h.percentileNs(50.0), 9000.0);
+    EXPECT_DOUBLE_EQ(h.p99Ns(), 9000.0);
+    EXPECT_DOUBLE_EQ(h.p999Ns(), 9000.0);
+}
+
+TEST(LatencyHistogram, P999TracksExtremeTail)
+{
+    LatencyHistogram h(50.0, 10000.0);
+    for (int i = 0; i < 499; i++)
+        h.add(100.0);
+    h.add(5000.0);
+    // p99 sits in the bulk; p99.9 must reach the lone tail sample.
+    EXPECT_LT(h.p99Ns(), 200.0);
+    EXPECT_DOUBLE_EQ(h.p999Ns(), 5000.0);
+    EXPECT_EQ(h.overflowCount(), 0u);
+}
+
 TEST(LatencyHistogram, MeasureDistributionSkipsTrivialShots)
 {
     LatencyHistogram h = measureLatencyDistribution(

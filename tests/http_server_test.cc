@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the minimal HTTP server and client (src/net/): ephemeral
+ * port binding, GET round-trips over a real loopback socket, 404/405
+ * handling, HEAD semantics and clean shutdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/http_client.hh"
+#include "net/http_server.hh"
+
+using namespace astrea;
+using namespace astrea::net;
+
+namespace
+{
+
+TEST(HttpServerTest, EphemeralPortRoundTrip)
+{
+    HttpServer server;
+    server.handle("/hello", [](const HttpRequest &req) {
+        HttpResponse r;
+        r.body = "hi " + req.method + "\n";
+        return r;
+    });
+
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+    ASSERT_NE(server.port(), 0);
+
+    HttpResult res;
+    ASSERT_TRUE(httpGet("127.0.0.1", server.port(), "/hello", res,
+                        &error))
+        << error;
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(res.body, "hi GET\n");
+    EXPECT_EQ(res.contentType, "text/plain; charset=utf-8");
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, NotFoundAndQueryStripping)
+{
+    HttpServer server;
+    std::string seen_query;
+    server.handle("/q", [&](const HttpRequest &req) {
+        seen_query = req.query;
+        return HttpResponse{};
+    });
+
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    HttpResult res;
+    ASSERT_TRUE(
+        httpGet("127.0.0.1", server.port(), "/nope", res, &error))
+        << error;
+    EXPECT_EQ(res.status, 404);
+
+    ASSERT_TRUE(httpGet("127.0.0.1", server.port(), "/q?a=1&b=2", res,
+                        &error))
+        << error;
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(seen_query, "a=1&b=2");
+    EXPECT_GE(server.requestsServed(), 2u);
+}
+
+TEST(HttpServerTest, HandlerStatusAndContentTypePropagate)
+{
+    HttpServer server;
+    server.handle("/unwell", [](const HttpRequest &) {
+        HttpResponse r;
+        r.status = 503;
+        r.contentType = "application/json";
+        r.body = "{\"ok\":false}";
+        return r;
+    });
+
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    HttpResult res;
+    ASSERT_TRUE(
+        httpGet("127.0.0.1", server.port(), "/unwell", res, &error))
+        << error;
+    EXPECT_EQ(res.status, 503);
+    EXPECT_EQ(res.contentType, "application/json");
+    EXPECT_EQ(res.body, "{\"ok\":false}");
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartable)
+{
+    HttpServer server;
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+    server.stop();
+    server.stop();  // Second stop is a no-op.
+
+    HttpServer second;
+    ASSERT_TRUE(second.start("127.0.0.1", 0, &error)) << error;
+    second.stop();
+}
+
+} // namespace

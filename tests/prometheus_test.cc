@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the Prometheus text exposition (telemetry/prometheus.hh):
+ * name sanitization, label escaping, TYPE/HELP headers, cumulative
+ * `le` buckets whose "+Inf" equals `_count`, and registry rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/prometheus.hh"
+
+using namespace astrea;
+using namespace astrea::telemetry;
+
+namespace
+{
+
+/** All lines of `text` that start with a sample of `name`. */
+std::vector<std::string>
+sampleLines(const std::string &text, const std::string &name)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind(name, 0) == 0 && line.rfind("# ", 0) != 0) {
+            char next = line.size() > name.size() ? line[name.size()]
+                                                  : ' ';
+            if (next == ' ' || next == '{')
+                out.push_back(line);
+        }
+    }
+    return out;
+}
+
+TEST(PrometheusTest, MetricNameSanitization)
+{
+    EXPECT_EQ(promMetricName("stream.windows"), "stream_windows");
+    EXPECT_EQ(promMetricName("astrea.hw-6/defects"),
+              "astrea_hw_6_defects");
+    EXPECT_EQ(promMetricName("9lives"), "_lives");
+    EXPECT_EQ(promMetricName("ok_name:sub"), "ok_name:sub");
+}
+
+TEST(PrometheusTest, LabelEscaping)
+{
+    EXPECT_EQ(promEscapeLabel("plain"), "plain");
+    EXPECT_EQ(promEscapeLabel("a\"b"), "a\\\"b");
+    EXPECT_EQ(promEscapeLabel("a\\b"), "a\\\\b");
+    EXPECT_EQ(promEscapeLabel("a\nb"), "a\\nb");
+}
+
+TEST(PrometheusTest, CounterAndGaugeFamilies)
+{
+    PrometheusWriter w;
+    w.counter("astrea_shots_total", "Shots decoded", 12);
+    w.gauge("astrea_queue_depth", "Queue depth", 2.5);
+    std::string text = w.str();
+
+    EXPECT_NE(text.find("# HELP astrea_shots_total Shots decoded\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE astrea_shots_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("astrea_shots_total 12\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE astrea_queue_depth gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("astrea_queue_depth 2.5\n"),
+              std::string::npos);
+}
+
+TEST(PrometheusTest, LabeledSample)
+{
+    PrometheusWriter w;
+    w.family("astrea_info", "gauge", "Build info");
+    w.sample("astrea_info", uint64_t{1},
+             {{"decoder", "astrea"}, {"note", "a\"b"}});
+    EXPECT_NE(w.str().find("astrea_info{decoder=\"astrea\","
+                           "note=\"a\\\"b\"} 1\n"),
+              std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramCumulativeBucketsAndInf)
+{
+    PrometheusWriter w;
+    w.histogram("astrea_lat_ns", "Latency",
+                {{1.0, 3}, {2.0, 5}, {4.0, 9}}, 10, 123.5);
+    std::string text = w.str();
+
+    EXPECT_NE(text.find("# TYPE astrea_lat_ns histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("astrea_lat_ns_bucket{le=\"1\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("astrea_lat_ns_bucket{le=\"2\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("astrea_lat_ns_bucket{le=\"4\"} 9\n"),
+              std::string::npos);
+    // The implicit +Inf bucket equals _count.
+    EXPECT_NE(text.find("astrea_lat_ns_bucket{le=\"+Inf\"} 10\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("astrea_lat_ns_sum 123.5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("astrea_lat_ns_count 10\n"),
+              std::string::npos);
+}
+
+TEST(PrometheusTest, RegistryRendering)
+{
+    MetricsRegistry reg;
+    reg.counter("decode.shots").add(7);
+    reg.gauge("stream.max_window_defects").set(12);
+    reg.intHistogram("hw", 8).add(3, 4);
+    reg.intHistogram("hw", 8).add(100, 1);  // Overflow.
+    for (double ns : {100.0, 200.0, 3000.0})
+        reg.latency("decode.ns").record(ns);
+
+    std::string text = renderPrometheus(reg);
+
+    // Counters get _total; dots become underscores.
+    EXPECT_NE(text.find("# TYPE astrea_decode_shots_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("astrea_decode_shots_total 7\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("# TYPE astrea_stream_max_window_defects gauge\n"),
+        std::string::npos);
+
+    // Integer histogram: +Inf equals total including overflow.
+    EXPECT_NE(text.find("astrea_hw_bucket{le=\"+Inf\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("astrea_hw_count 5\n"), std::string::npos);
+
+    // Latency histogram: cumulative buckets end at _count = 3.
+    EXPECT_NE(text.find("# TYPE astrea_decode_ns histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("astrea_decode_ns_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+
+    // Every bucket line is cumulative (non-decreasing).
+    uint64_t prev = 0;
+    for (const std::string &line :
+         sampleLines(text, "astrea_decode_ns_bucket")) {
+        uint64_t v = std::stoull(line.substr(line.rfind(' ') + 1));
+        EXPECT_GE(v, prev) << line;
+        prev = v;
+    }
+    EXPECT_EQ(prev, 3u);
+}
+
+TEST(PrometheusTest, EmptyRegistryRendersNothing)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(renderPrometheus(reg), "");
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the rolling sub-window aggregation (rolling_window.hh):
+ * totals over partial windows, slot recycling as the tick advances,
+ * full decay once a whole ring has passed, and latency percentiles
+ * matching the shared log2 bucket math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/rolling_window.hh"
+
+using namespace astrea;
+using namespace astrea::telemetry;
+
+namespace
+{
+
+TEST(RollingCounterTest, AccumulatesWithinOneTick)
+{
+    RollingCounter c(4);
+    c.add(0, 3);
+    c.add(0, 2);
+    EXPECT_EQ(c.total(0), 5u);
+    EXPECT_EQ(c.total(0, 1), 5u);
+}
+
+TEST(RollingCounterTest, WindowSelectsRecentSubWindows)
+{
+    RollingCounter c(4);
+    c.add(0, 1);
+    c.add(1, 10);
+    c.add(2, 100);
+    EXPECT_EQ(c.total(2), 111u);      // Whole ring.
+    EXPECT_EQ(c.total(2, 1), 100u);   // Current sub-window only.
+    EXPECT_EQ(c.total(2, 2), 110u);   // Last two.
+    EXPECT_EQ(c.total(3, 2), 100u);   // Tick 3 is empty; 2 is in.
+}
+
+TEST(RollingCounterTest, DecaysAfterLoadStops)
+{
+    RollingCounter c(4);
+    c.add(5, 9);
+    EXPECT_EQ(c.total(5), 9u);
+    // Reading at a much later tick: the old slot is outside the
+    // window even though no writer has recycled it yet.
+    EXPECT_EQ(c.total(5 + 4, 0), 0u);
+    EXPECT_EQ(c.total(1000), 0u);
+}
+
+TEST(RollingCounterTest, SlotRecyclingZeroesOldCounts)
+{
+    RollingCounter c(2);
+    c.add(0, 7);
+    // Tick 2 maps to the same slot as tick 0; the write must reset it.
+    c.add(2, 1);
+    EXPECT_EQ(c.total(2), 1u);
+}
+
+TEST(RollingLatencyTest, CountAndPercentiles)
+{
+    RollingLatency l(4);
+    for (int i = 0; i < 100; i++)
+        l.record(0, 100.0);
+    l.record(0, 6400.0);
+    EXPECT_EQ(l.count(0), 101u);
+    // p50 lives in the log2 bucket containing 100 ns.
+    double p50 = l.percentileNs(0, 50.0);
+    EXPECT_GE(p50, latencyBucketLowNs(latencyBucketIndex(100)));
+    EXPECT_LE(p50, latencyBucketHighNs(latencyBucketIndex(100)));
+    // The max sample caps the distribution.
+    EXPECT_LE(l.percentileNs(0, 100.0), 6400.0 + 1e-9);
+}
+
+TEST(RollingLatencyTest, DecaysAfterLoadStops)
+{
+    RollingLatency l(3);
+    l.record(0, 500.0);
+    EXPECT_EQ(l.count(0), 1u);
+    EXPECT_EQ(l.count(3), 0u);
+    EXPECT_DOUBLE_EQ(l.percentileNs(3, 99.0), 0.0);
+}
+
+TEST(RollingLatencyTest, BucketsMatchLatencyMetricGeometry)
+{
+    RollingLatency l(4);
+    LatencyMetric m;
+    for (double ns : {1.0, 3.0, 900.0, 40000.0}) {
+        l.record(1, ns);
+        m.record(ns);
+    }
+    LatencyBuckets lw = l.buckets(1);
+    LatencyBuckets lm = m.buckets();
+    EXPECT_EQ(lw.count, lm.count);
+    EXPECT_EQ(lw.bins, lm.bins);
+    EXPECT_EQ(lw.minNs, lm.minNs);
+    EXPECT_EQ(lw.maxNs, lm.maxNs);
+}
+
+TEST(RollingLatencyTest, WindowedPercentileIgnoresOldSlots)
+{
+    RollingLatency l(8);
+    for (int i = 0; i < 50; i++)
+        l.record(0, 10000.0);  // Slow burst, long ago.
+    for (int i = 0; i < 50; i++)
+        l.record(5, 10.0);  // Recent fast traffic.
+    // Whole ring sees both; the short window sees only the recent.
+    EXPECT_EQ(l.count(5, 0), 100u);
+    EXPECT_EQ(l.count(5, 2), 50u);
+    EXPECT_LE(l.percentileNs(5, 99.0, 2), 16.0);
+    EXPECT_GE(l.percentileNs(5, 99.0, 0), 1000.0);
+}
+
+} // namespace

@@ -24,6 +24,11 @@
  * asserts the recorded verdicts reproduce; --verbose narrates the
  * trigger decode and --all narrates every record.
  *
+ * `astrea_cli serve` runs the live decode service (see
+ * harness/decode_service.hh): a continuous memory-experiment workload
+ * with Prometheus /metrics, JSON /statusz and /healthz endpoints.
+ * Flags override the ASTREA_SERVE_* environment knobs.
+ *
  * All modes accept the shared forensics flags --log-level=LVL,
  * --trace-file=PATH and --chrome-trace=PATH (flags win over their
  * ASTREA_* environment equivalents).
@@ -32,17 +37,25 @@
  * --shots. Results append to the output file, as the artifact does.
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hh"
 #include "common/cli.hh"
+#include "common/env.hh"
+#include "harness/decode_service.hh"
 #include "harness/hw_histogram.hh"
 #include "harness/memory_experiment.hh"
 #include "harness/replay.hh"
+#include "telemetry/metrics.hh"
 
 using namespace astrea;
 
@@ -169,6 +182,105 @@ commandReplay(const std::vector<std::string> &pos, const Options &opts)
     return summary.ok() ? 0 : 1;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void
+serveSignalHandler(int)
+{
+    g_serve_stop = 1;
+}
+
+/**
+ * `astrea_cli serve`: run the live decode service until a duration
+ * elapses or SIGINT/SIGTERM arrives. Flags override the ASTREA_SERVE_*
+ * environment knobs.
+ */
+int
+commandServe(const Options &opts)
+{
+    ServeConfig cfg;
+    cfg.distance = static_cast<uint32_t>(
+        opts.getUint("d", env::getUint("ASTREA_SERVE_D", 5, 3)));
+    cfg.rounds = static_cast<uint32_t>(opts.getUint("rounds", 0));
+    cfg.physicalErrorRate =
+        opts.getDouble("p", env::getDouble("ASTREA_SERVE_P", 1e-3));
+    cfg.decoder = opts.getString(
+        "decoder", env::getString("ASTREA_SERVE_DECODER", "astrea"));
+    cfg.workers = static_cast<unsigned>(opts.getUint(
+        "threads", env::getUint("ASTREA_SERVE_THREADS", 2, 1)));
+    cfg.seed = opts.getUint("seed", 1);
+    cfg.budgetNs = opts.getDouble(
+        "budget-ns", env::getDouble("ASTREA_SERVE_BUDGET_NS", 1000.0));
+    cfg.sloTarget = opts.getDouble(
+        "slo-target", env::getDouble("ASTREA_SERVE_SLO_TARGET", 0.999));
+
+    const std::string bind = opts.getString(
+        "bind", env::getString("ASTREA_SERVE_BIND", "127.0.0.1"));
+    const uint16_t port = static_cast<uint16_t>(
+        opts.getUint("port", env::getUint("ASTREA_SERVE_PORT", 0)));
+    const std::string duration_text = opts.getString(
+        "duration", env::getString("ASTREA_SERVE_DURATION", ""));
+    const std::string port_file = opts.getString("port-file", "");
+
+    uint64_t duration_ms = 0;  // 0 = run until a signal.
+    if (!duration_text.empty() &&
+        !parseDurationMillis(duration_text, &duration_ms)) {
+        std::fprintf(stderr, "serve: bad --duration '%s'\n",
+                     duration_text.c_str());
+        return 1;
+    }
+
+    // The service is pointless without its own metrics.
+    telemetry::setEnabled(true);
+
+    DecodeService svc(cfg);
+    std::string error;
+    if (!svc.start(bind, port, &error)) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return 2;
+    }
+
+    if (!port_file.empty()) {
+        std::ofstream pf(port_file, std::ios::trunc);
+        pf << svc.port() << "\n";
+        if (!pf) {
+            std::fprintf(stderr, "serve: cannot write %s\n",
+                         port_file.c_str());
+            svc.stop();
+            return 2;
+        }
+    }
+
+    std::printf("serve: %s decoder, d=%u p=%g, %u workers on "
+                "http://%s:%u (/metrics /statusz /healthz)\n",
+                cfg.decoder.c_str(), cfg.distance,
+                cfg.physicalErrorRate, cfg.workers, bind.c_str(),
+                svc.port());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+
+    const auto start = std::chrono::steady_clock::now();
+    while (!g_serve_stop) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (duration_ms != 0) {
+            auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (static_cast<uint64_t>(elapsed) >= duration_ms)
+                break;
+        }
+    }
+
+    svc.stop();
+    std::printf("serve: stopped after %llu decodes\n",
+                static_cast<unsigned long long>(
+                    svc.core().totalDecodes()));
+    return 0;
+}
+
 int
 usage(const char *argv0)
 {
@@ -179,9 +291,12 @@ usage(const char *argv0)
         "  1  <d>                  LER sweep p=1e-4..1e-3\n"
         "  12 <d> <t0> <t1> <dt>   decode-budget sweep (ns)\n"
         "or:    %s replay <capture.json> [--verbose] [--all]\n"
+        "or:    %s serve [--d=N] [--p=P] [--decoder=NAME] "
+        "[--threads=N] [--port=N] [--bind=ADDR] [--duration=2s] "
+        "[--port-file=PATH] [--budget-ns=NS]\n"
         "flags: --shots=N --seed=N --log-level=LVL "
         "--trace-file=PATH --chrome-trace=PATH\n",
-        argv0, argv0);
+        argv0, argv0, argv0);
     return 1;
 }
 
@@ -202,6 +317,8 @@ main(int argc, char **argv)
 
     if (!pos.empty() && pos[0] == "replay")
         return commandReplay(pos, opts);
+    if (!pos.empty() && pos[0] == "serve")
+        return commandServe(opts);
 
     if (pos.size() < 2)
         return usage(argv[0]);

@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Check a Prometheus text-exposition dump for well-formedness.
+
+Usage: scrape_check.py METRICS.prom [--require name,name,...]
+       scrape_check.py --self-test
+
+Parses an exposition-format (0.0.4) dump — such as a scrape of the
+decode service's /metrics — and asserts the structural contract the
+C++ side (telemetry/prometheus.cc) promises:
+
+  - every sample line parses as  name{labels} value  with a legal
+    metric name and a finite (or +/-Inf / NaN) value;
+  - every sample belongs to a family announced by a # TYPE line, and
+    each family has exactly one # TYPE;
+  - counter samples end in `_total` (or `_count`/`_sum`/`_bucket` for
+    histogram internals) and are non-negative and finite;
+  - histogram families have `_count`, `_sum` and a `le="+Inf"` bucket;
+    bucket counts are cumulative (non-decreasing in `le` order) and
+    the +Inf bucket equals `_count`;
+  - the families in --require (default: the decode service's headline
+    families) are all present.
+
+Exits nonzero with a message on the first violation.
+"""
+
+import math
+import re
+import sys
+import tempfile
+
+# Default required families: the decode service's headline metrics.
+DEFAULT_REQUIRED = [
+    "astrea_serve_up",
+    "astrea_serve_decodes_total",
+    "astrea_serve_deadline_misses_total",
+    "astrea_serve_window_latency_ns",
+    "astrea_serve_slo_fast_burn",
+    "astrea_serve_slo_slow_burn",
+    "astrea_serve_drift_chi_square",
+]
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+HISTO_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def fail(msg):
+    print(f"scrape_check: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text, where):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"{where}: unparseable value {text!r}")
+
+
+def parse_labels(text, where):
+    if not text:
+        return {}
+    labels = {}
+    # Split on commas not inside quotes.
+    parts = re.findall(r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"',
+                       text)
+    joined = ",".join(parts)
+    if joined != text:
+        fail(f"{where}: malformed label set {{{text}}}")
+    for part in parts:
+        m = LABEL_RE.match(part)
+        labels[m.group("name")] = m.group("value")
+    return labels
+
+
+def base_family(name, types):
+    """Family a sample belongs to: strips histogram suffixes."""
+    if name in types:
+        return name
+    for suffix in HISTO_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def check(text, required):
+    types = {}          # family -> type
+    samples = []        # (name, labels, value, lineno)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                fail(f"{where}: malformed TYPE line")
+            _, _, family, kind = parts
+            if not NAME_RE.match(family):
+                fail(f"{where}: illegal family name {family!r}")
+            if kind not in ("counter", "gauge", "histogram",
+                            "summary", "untyped"):
+                fail(f"{where}: unknown type {kind!r}")
+            if family in types:
+                fail(f"{where}: duplicate TYPE for {family}")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment.
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{where}: unparseable sample {line!r}")
+        labels = parse_labels(m.group("labels") or "", where)
+        value = parse_value(m.group("value"), where)
+        samples.append((m.group("name"), labels, value, lineno))
+
+    # Every sample belongs to an announced family.
+    histograms = {}  # family -> {"buckets": [(le, v)], counts...}
+    for name, labels, value, lineno in samples:
+        family = base_family(name, types)
+        if family is None:
+            fail(f"line {lineno}: sample {name} has no # TYPE")
+        kind = types[family]
+        if kind == "counter":
+            if not name.endswith("_total"):
+                fail(f"line {lineno}: counter sample {name} does not "
+                     f"end in _total")
+            if math.isnan(value) or value < 0:
+                fail(f"line {lineno}: counter {name} value {value} "
+                     f"is negative or NaN")
+        if kind == "histogram":
+            h = histograms.setdefault(
+                family, {"buckets": [], "count": None, "sum": None})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    fail(f"line {lineno}: bucket without le label")
+                h["buckets"].append(
+                    (parse_value(labels["le"], f"line {lineno}"),
+                     value))
+            elif name.endswith("_count"):
+                h["count"] = value
+            elif name.endswith("_sum"):
+                h["sum"] = value
+
+    for family, h in histograms.items():
+        if h["count"] is None:
+            fail(f"histogram {family} missing _count")
+        if h["sum"] is None:
+            fail(f"histogram {family} missing _sum")
+        if not h["buckets"]:
+            fail(f"histogram {family} has no buckets")
+        les = [le for le, _ in h["buckets"]]
+        if les != sorted(les):
+            fail(f"histogram {family} le edges out of order")
+        counts = [v for _, v in h["buckets"]]
+        if counts != sorted(counts):
+            fail(f"histogram {family} bucket counts not cumulative")
+        if not math.isinf(les[-1]):
+            fail(f"histogram {family} missing le=\"+Inf\" bucket")
+        if counts[-1] != h["count"]:
+            fail(f"histogram {family} +Inf bucket {counts[-1]} != "
+                 f"_count {h['count']}")
+
+    for family in required:
+        if family not in types:
+            fail(f"required family {family} not present")
+
+    return len(types), len(samples)
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+
+GOOD = """\
+# HELP astrea_serve_up 1 while healthy
+# TYPE astrea_serve_up gauge
+astrea_serve_up 1
+# TYPE astrea_serve_decodes_total counter
+astrea_serve_decodes_total 1234
+# TYPE astrea_serve_deadline_misses_total counter
+astrea_serve_deadline_misses_total 0
+# TYPE astrea_serve_window_latency_ns histogram
+astrea_serve_window_latency_ns_bucket{le="1"} 3
+astrea_serve_window_latency_ns_bucket{le="2"} 5
+astrea_serve_window_latency_ns_bucket{le="+Inf"} 7
+astrea_serve_window_latency_ns_sum 400.5
+astrea_serve_window_latency_ns_count 7
+# TYPE astrea_serve_slo_fast_burn gauge
+astrea_serve_slo_fast_burn 0.25
+# TYPE astrea_serve_slo_slow_burn gauge
+astrea_serve_slo_slow_burn 0
+# TYPE astrea_serve_drift_chi_square gauge
+astrea_serve_drift_chi_square 0.003
+# TYPE astrea_serve_info gauge
+astrea_serve_info{decoder="astrea",d="3",p="0.001"} 1
+"""
+
+BAD_CASES = [
+    # Sample without a TYPE line.
+    "orphan_metric 1\n",
+    # Counter not ending in _total.
+    "# TYPE bad counter\nbad 1\n",
+    # Negative counter.
+    "# TYPE bad_total counter\nbad_total -1\n",
+    # Histogram bucket counts not cumulative.
+    ("# TYPE h histogram\n"
+     'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\n'
+     'h_bucket{le="+Inf"} 5\nh_sum 1\nh_count 5\n'),
+    # +Inf bucket != _count.
+    ("# TYPE h histogram\n"
+     'h_bucket{le="1"} 2\nh_bucket{le="+Inf"} 2\n'
+     "h_sum 1\nh_count 3\n"),
+    # Histogram without +Inf.
+    ("# TYPE h histogram\n"
+     'h_bucket{le="1"} 2\nh_sum 1\nh_count 2\n'),
+    # Unparseable sample line.
+    "# TYPE g gauge\ng one\n",
+    # Duplicate TYPE.
+    "# TYPE g gauge\n# TYPE g gauge\ng 1\n",
+]
+
+
+def self_test():
+    families, samples = check(GOOD, DEFAULT_REQUIRED)
+    assert families == 8 and samples == 12, (families, samples)
+
+    # Required family missing.
+    code = run_expecting_failure(GOOD, ["not_there"])
+    assert code != 0
+    for i, bad in enumerate(BAD_CASES):
+        code = run_expecting_failure(bad, [])
+        assert code != 0, f"BAD_CASES[{i}] passed unexpectedly"
+    print("scrape_check: self-test ok")
+    return 0
+
+
+def run_expecting_failure(text, required):
+    """Run check() in a subprocess so fail()'s exit is observable."""
+    import subprocess
+
+    with tempfile.NamedTemporaryFile("w", suffix=".prom",
+                                     delete=False) as f:
+        f.write(text)
+        path = f.name
+    cmd = [sys.executable, __file__, path]
+    if required:
+        cmd.append("--require=" + ",".join(required))
+    return subprocess.run(cmd, capture_output=True).returncode
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    required = list(DEFAULT_REQUIRED)
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--require="):
+            required = [r for r in arg[len("--require="):].split(",")
+                        if r]
+        else:
+            paths.append(arg)
+
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            fail(f"cannot read {path}: {e}")
+        families, samples = check(text, required)
+        print(f"{path}: ok ({families} families, {samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

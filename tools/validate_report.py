@@ -17,6 +17,10 @@ written by bench_util.hh (beginBenchReport/finishBenchReport):
     }
   }
 
+Files whose top level carries a "service" key are instead validated
+against the decode service's /statusz schema (DecodeServiceCore::
+statuszJson), so CI can point this script at a scraped snapshot.
+
 Exits nonzero with a message on the first violation, so CI fails when a
 bench silently stops producing valid reports.
 """
@@ -30,6 +34,62 @@ def fail(path, msg):
     sys.exit(1)
 
 
+def validate_statusz(path, doc):
+    """Validate a decode-service /statusz snapshot."""
+    if doc.get("service") != "astrea_serve":
+        fail(path, f"unknown service {doc.get('service')!r}")
+    if doc.get("schema_version") != 1:
+        fail(path, f"unknown schema_version "
+                   f"{doc.get('schema_version')!r}")
+    for key in ("healthy", "uptime_ticks", "config", "totals",
+                "window", "slo", "drift"):
+        if key not in doc:
+            fail(path, f"missing top-level key '{key}'")
+
+    config = doc["config"]
+    for key in ("d", "p", "decoder", "workers", "budget_ns",
+                "slo_target", "window_seconds"):
+        if key not in config:
+            fail(path, f"config missing '{key}'")
+
+    totals = doc["totals"]
+    for key in ("decodes", "nontrivial_decodes", "logical_errors",
+                "give_ups", "deadline_misses"):
+        if key not in totals:
+            fail(path, f"totals missing '{key}'")
+        if not isinstance(totals[key], int) or totals[key] < 0:
+            fail(path, f"totals.{key} must be a non-negative integer")
+
+    window = doc["window"]
+    for key in ("decodes", "decode_rate_hz", "deadline_miss_fraction",
+                "give_up_fraction", "logical_error_fraction",
+                "latency_ns"):
+        if key not in window:
+            fail(path, f"window missing '{key}'")
+    for key in ("count", "p50", "p90", "p99", "p999"):
+        if key not in window["latency_ns"]:
+            fail(path, f"window.latency_ns missing '{key}'")
+    for key in ("deadline_miss_fraction", "give_up_fraction",
+                "logical_error_fraction"):
+        v = window[key]
+        if not isinstance(v, (int, float)) or not 0.0 <= v <= 1.0:
+            fail(path, f"window.{key} must be a fraction in [0, 1]")
+
+    for key in ("target", "error_budget", "fast_burn", "slow_burn"):
+        if key not in doc["slo"]:
+            fail(path, f"slo missing '{key}'")
+    for key in ("chi_square", "threshold", "baseline_ready",
+                "alarmed"):
+        if key not in doc["drift"]:
+            fail(path, f"drift missing '{key}'")
+    chi = doc["drift"]["chi_square"]
+    if not isinstance(chi, (int, float)) or not 0.0 <= chi <= 1.0:
+        fail(path, "drift.chi_square must be in [0, 1]")
+
+    print(f"{path}: ok (service={doc['service']}, "
+          f"decodes={totals['decodes']})")
+
+
 def validate(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -39,6 +99,10 @@ def validate(path):
 
     if not isinstance(doc, dict):
         fail(path, "top level is not an object")
+
+    if "service" in doc:
+        validate_statusz(path, doc)
+        return
 
     for key in ("bench", "schema_version", "config", "results",
                 "metrics"):
