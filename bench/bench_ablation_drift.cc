@@ -18,7 +18,7 @@
 #include <memory>
 
 #include "bench_util.hh"
-#include "decoders/mwpm_decoder.hh"
+#include "decoders/registry.hh"
 #include "harness/memory_experiment.hh"
 
 using namespace astrea;
@@ -53,8 +53,11 @@ main(int argc, char **argv)
 
         auto matched =
             runMemoryExperiment(drifted, mwpmFactory(), shots, seed);
-        DecoderFactory stale = [&uniform](const ExperimentContext &) {
-            return std::make_unique<MwpmDecoder>(uniform.gwt());
+        // Same registry construction, but against the stale table.
+        DecoderFactory stale = [&uniform](const ExperimentContext &ctx) {
+            DecoderOptions o = decoderOptionsFor(ctx);
+            o.gwt = &uniform.gwt();
+            return makeDecoder("mwpm", o);
         };
         auto stale_r =
             runMemoryExperiment(drifted, stale, shots, seed);

@@ -11,8 +11,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/alloc_counter.hh"
+#include "decoders/registry.hh"
 #include "harness/memory_experiment.hh"
 
 using namespace astrea;
@@ -76,6 +79,51 @@ main(int argc, char **argv)
 
     if (!json_out.empty()) {
         report.endArray();  // results
+
+        // Steady-state allocations per decode on the batch path
+        // (decodeInto with a warmed DecodeScratch). With the counting
+        // hook linked (-DASTREA_ALLOC_COUNTER=ON) this is a real
+        // measurement and must be zero; without it, hook_installed
+        // false tells consumers the zero means "not measured".
+        ExperimentConfig cfg;
+        cfg.distance = 5;
+        cfg.physicalErrorRate = p;
+        ExperimentContext ctx(cfg);
+        auto dec = makeDecoder("astrea", decoderOptionsFor(ctx));
+
+        Rng rng(seed);
+        BitVec dets, obs;
+        std::vector<std::vector<uint32_t>> syndromes;
+        size_t guard = 0;
+        while (syndromes.size() < 256 && ++guard < 2000000) {
+            ctx.sampler().sample(rng, dets, obs);
+            const size_t hw = dets.popcount();
+            if (hw >= 1 && hw <= 10)
+                syndromes.push_back(dets.onesIndices());
+        }
+
+        DecodeResult dr;
+        DecodeScratch scratch;
+        for (int pass = 0; pass < 2; pass++) {
+            for (const auto &s : syndromes)
+                dec->decodeInto(s, dr, scratch);
+        }
+        const uint64_t before = allocCount();
+        for (const auto &s : syndromes)
+            dec->decodeInto(s, dr, scratch);
+        const uint64_t total = allocCount() - before;
+
+        report.key("allocations").beginObject();
+        report.kv("hook_installed", allocHookInstalled());
+        report.kv("decodes", uint64_t{syndromes.size()});
+        report.kv("total", total);
+        report.kv("per_decode",
+                  syndromes.empty()
+                      ? 0.0
+                      : static_cast<double>(total) /
+                            static_cast<double>(syndromes.size()));
+        report.endObject();
+
         finishBenchReport(report, json_out);
     }
     return 0;

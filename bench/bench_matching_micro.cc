@@ -12,11 +12,8 @@
 
 #include <memory>
 
-#include "astrea/astrea_decoder.hh"
-#include "astrea/astrea_g_decoder.hh"
 #include "astrea/hw6.hh"
-#include "decoders/mwpm_decoder.hh"
-#include "decoders/union_find_decoder.hh"
+#include "decoders/registry.hh"
 #include "harness/memory_experiment.hh"
 #include "sim/batch_frame_sim.hh"
 #include "sim/frame_sim.hh"
@@ -127,10 +124,13 @@ BM_AstreaDecode(benchmark::State &state)
         state.SkipWithError("no syndromes of requested weight");
         return;
     }
-    AstreaDecoder dec(benchContext().gwt());
+    auto dec =
+        makeDecoder("astrea", decoderOptionsFor(benchContext()));
+    DecodeResult r;
+    DecodeScratch scratch;
     size_t i = 0;
     for (auto _ : state) {
-        DecodeResult r = dec.decode(syndromes[i++ % syndromes.size()]);
+        dec->decodeInto(syndromes[i++ % syndromes.size()], r, scratch);
         benchmark::DoNotOptimize(r);
     }
 }
@@ -145,10 +145,13 @@ BM_AstreaGDecode(benchmark::State &state)
         state.SkipWithError("no syndromes of requested weight");
         return;
     }
-    AstreaGDecoder dec(benchContext().gwt());
+    auto dec =
+        makeDecoder("astrea-g", decoderOptionsFor(benchContext()));
+    DecodeResult r;
+    DecodeScratch scratch;
     size_t i = 0;
     for (auto _ : state) {
-        DecodeResult r = dec.decode(syndromes[i++ % syndromes.size()]);
+        dec->decodeInto(syndromes[i++ % syndromes.size()], r, scratch);
         benchmark::DoNotOptimize(r);
     }
 }
@@ -163,10 +166,12 @@ BM_MwpmDecode(benchmark::State &state)
         state.SkipWithError("no syndromes of requested weight");
         return;
     }
-    MwpmDecoder dec(benchContext().gwt());
+    auto dec = makeDecoder("mwpm", decoderOptionsFor(benchContext()));
+    DecodeResult r;
+    DecodeScratch scratch;
     size_t i = 0;
     for (auto _ : state) {
-        DecodeResult r = dec.decode(syndromes[i++ % syndromes.size()]);
+        dec->decodeInto(syndromes[i++ % syndromes.size()], r, scratch);
         benchmark::DoNotOptimize(r);
     }
 }
@@ -181,10 +186,13 @@ BM_UnionFindDecode(benchmark::State &state)
         state.SkipWithError("no syndromes of requested weight");
         return;
     }
-    UnionFindDecoder dec(benchContext().graph());
+    auto dec =
+        makeDecoder("union-find", decoderOptionsFor(benchContext()));
+    DecodeResult r;
+    DecodeScratch scratch;
     size_t i = 0;
     for (auto _ : state) {
-        DecodeResult r = dec.decode(syndromes[i++ % syndromes.size()]);
+        dec->decodeInto(syndromes[i++ % syndromes.size()], r, scratch);
         benchmark::DoNotOptimize(r);
     }
 }

@@ -18,7 +18,7 @@
 #include <string>
 
 #include "common/cli.hh"
-#include "decoders/mwpm_decoder.hh"
+#include "decoders/registry.hh"
 #include "graph/weight_table_io.hh"
 #include "harness/memory_experiment.hh"
 
@@ -57,8 +57,11 @@ main(int argc, char **argv)
 
     std::printf("\nStep 3: decode the drifted device's syndromes\n");
     GlobalWeightTable stale_gwt = loadWeightTable(path);
-    DecoderFactory stale = [&stale_gwt](const ExperimentContext &) {
-        return std::make_unique<MwpmDecoder>(stale_gwt);
+    DecoderFactory stale = [&stale_gwt](const ExperimentContext &ctx) {
+        // Same registry construction, but against the saved table.
+        DecoderOptions o = decoderOptionsFor(ctx);
+        o.gwt = &stale_gwt;
+        return makeDecoder("mwpm", o);
     };
     auto stale_r = runMemoryExperiment(drifted, stale, shots, seed);
     auto fresh_r =

@@ -1,6 +1,7 @@
 #include "astrea/astrea_decoder.hh"
 
 #include <cmath>
+#include <span>
 
 #include "common/logging.hh"
 #include "telemetry/telemetry.hh"
@@ -45,76 +46,106 @@ AstreaDecoder::totalCycles(uint32_t hamming_weight)
 namespace
 {
 
+/** Per-scratch reusable buffers for the pre-match search. */
+struct AstreaScratch : DecodeScratch::Ext
+{
+    /** Node ids 0..m-1 (+ virtual boundary for odd HW). */
+    std::vector<int> nodes;
+    /** Winning matching of the whole search. */
+    PairList best;
+    /** HW6 leaf output, remapped into node ids by the caller. */
+    PairList local;
+
+    /** One per pre-match recursion depth (HW 10 needs two). */
+    struct Level
+    {
+        std::vector<int> rest;
+        PairList sub;
+    };
+    std::vector<Level> levels;
+};
+
 /**
  * Exhaustive search by pre-matching: pair the first remaining node
  * with every other option, recursing until 6 or fewer nodes remain for
  * the HW6Decoder. This is exactly the hardware's schedule for HW 8
  * (7 pre-matchings) and HW 10 (63 pre-matchings).
+ *
+ * All work buffers come from the scratch's per-depth levels, which the
+ * caller sized before entry (resizing mid-recursion would invalidate
+ * the level references live in outer frames).
  */
+template <class WeightFn>
 WeightSum
-searchPrematch(const Hw6Decoder &hw6, const std::vector<int> &nodes,
-               const std::function<WeightSum(int, int)> &weight,
-               PairList &best_out, uint64_t &hw6_invocations)
+searchPrematch(const Hw6Decoder &hw6, std::span<const int> nodes,
+               const WeightFn &weight, PairList &best_out,
+               uint64_t &hw6_invocations, AstreaScratch &s,
+               size_t depth)
 {
     const int m = static_cast<int>(nodes.size());
     if (m <= 6) {
         hw6_invocations++;
-        PairList local;
         WeightSum w = hw6.match(
             m,
             [&](int i, int j) { return weight(nodes[i], nodes[j]); },
-            local);
+            s.local);
         best_out.clear();
-        for (auto [i, j] : local)
+        for (auto [i, j] : s.local)
             best_out.push_back({nodes[i], nodes[j]});
         return w;
     }
 
+    AstreaScratch::Level &lvl = s.levels[depth];
+    lvl.rest.assign(nodes.begin() + 1, nodes.end());
+
     WeightSum best = kInfiniteWeightSum;
     best_out.clear();
-    std::vector<int> rest(nodes.begin() + 1, nodes.end());
     for (int k = 0; k < m - 1; k++) {
-        int partner = rest[k];
-        std::swap(rest[k], rest.back());
-        rest.pop_back();
+        int partner = lvl.rest[k];
+        std::swap(lvl.rest[k], lvl.rest.back());
+        lvl.rest.pop_back();
 
-        PairList sub;
-        WeightSum sub_w =
-            searchPrematch(hw6, rest, weight, sub, hw6_invocations);
+        WeightSum sub_w = searchPrematch(
+            hw6, std::span<const int>(lvl.rest), weight, lvl.sub,
+            hw6_invocations, s, depth + 1);
         WeightSum total =
             addWeights(weight(nodes[0], partner), sub_w);
         if (total < best) {
             best = total;
-            best_out = sub;
+            // Swap, don't copy: lvl.sub is rebuilt from scratch on the
+            // next iteration anyway, and the two buffers' capacities
+            // stabilize after the first few decodes.
+            std::swap(best_out, lvl.sub);
             best_out.push_back({nodes[0], partner});
         }
 
-        rest.push_back(partner);
-        std::swap(rest[k], rest.back());
+        lvl.rest.push_back(partner);
+        std::swap(lvl.rest[k], lvl.rest.back());
     }
     return best;
 }
 
 } // namespace
 
-DecodeResult
-AstreaDecoder::decode(const std::vector<uint32_t> &defects)
+void
+AstreaDecoder::decodeInto(std::span<const uint32_t> defects,
+                          DecodeResult &out, DecodeScratch &scratch)
 {
-    DecodeResult result;
+    out.reset();
     const uint32_t w = static_cast<uint32_t>(defects.size());
     stats_.decodes++;
     ASTREA_COUNTER_INC("astrea.decodes");
     ASTREA_HIST_ADD("astrea.decode_hw", w);
     if (w == 0) {
         stats_.trivialDecodes++;
-        return result;
+        return;
     }
     if (w > config_.maxHammingWeight) {
         stats_.gaveUps++;
         ASTREA_COUNTER_INC("astrea.gave_ups");
         ASTREA_HIST_ADD("astrea.give_up_hw", w);
-        result.gaveUp = true;
-        return result;
+        out.gaveUp = true;
+        return;
     }
     if (w <= 2)
         stats_.trivialDecodes++;
@@ -169,14 +200,20 @@ AstreaDecoder::decode(const std::vector<uint32_t> &defects)
         return gwt_.pairObs(a, a) ^ gwt_.pairObs(b, b);
     };
 
-    std::vector<int> nodes(m);
+    AstreaScratch &s = scratch.ext<AstreaScratch>();
+    s.nodes.resize(static_cast<size_t>(m));
     for (int i = 0; i < m; i++)
-        nodes[i] = i;
+        s.nodes[i] = i;
+    // Pre-size the recursion levels up front: one per pre-matched pair
+    // beyond the HW6 leaf (HW 10 -> 2).
+    const size_t depth_needed = m > 6 ? (static_cast<size_t>(m) - 6 + 1) / 2 : 0;
+    if (s.levels.size() < depth_needed)
+        s.levels.resize(depth_needed);
 
-    PairList best;
     uint64_t hw6_invocations = 0;
     WeightSum total =
-        searchPrematch(hw6_, nodes, weight, best, hw6_invocations);
+        searchPrematch(hw6_, std::span<const int>(s.nodes), weight,
+                       s.best, hw6_invocations, s, 0);
     ASTREA_CHECK(total != kInfiniteWeightSum,
                  "Astrea found no finite matching");
     stats_.hw6Invocations += hw6_invocations;
@@ -187,19 +224,19 @@ AstreaDecoder::decode(const std::vector<uint32_t> &defects)
         ASTREA_COUNTER_ADD("astrea.weight_transfer_cycles", w + 1);
     }
 
-    for (auto [i, j] : best) {
-        result.obsMask ^= obs(i, j);
+    out.matchedPairs.reserve(s.best.size());
+    for (auto [i, j] : s.best) {
+        out.obsMask ^= obs(i, j);
         // Report the pairing; the virtual boundary node maps to -1.
         int32_t a = (i == virt) ? -1 : static_cast<int32_t>(i);
         int32_t b = (j == virt) ? -1 : static_cast<int32_t>(j);
         if (a < 0)
             std::swap(a, b);
-        result.matchedPairs.push_back({a, b});
+        out.matchedPairs.push_back({a, b});
     }
-    result.matchingWeight = static_cast<double>(total) / weight_scale;
-    result.cycles = totalCycles(w);
-    result.latencyNs = cyclesToNs(result.cycles);
-    return result;
+    out.matchingWeight = static_cast<double>(total) / weight_scale;
+    out.cycles = totalCycles(w);
+    out.latencyNs = cyclesToNs(out.cycles);
 }
 
 } // namespace astrea

@@ -74,7 +74,8 @@ class AstreaDecoder : public Decoder
     explicit AstreaDecoder(const GlobalWeightTable &gwt,
                            AstreaConfig config = {});
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    void decodeInto(std::span<const uint32_t> defects, DecodeResult &out,
+                    DecodeScratch &scratch) override;
     std::string name() const override { return "Astrea"; }
     void describeConfig(telemetry::JsonWriter &w) const override;
 

@@ -50,7 +50,17 @@ scoreLess(const Prematch &a, const Prematch &b)
 class PrematchQueue
 {
   public:
+    PrematchQueue() = default;
     explicit PrematchQueue(uint32_t capacity) : capacity_(capacity) {}
+
+    /** Empty the queue and (re)program its capacity, keeping the
+     *  entry buffer's storage for reuse across decodes. */
+    void
+    reset(uint32_t capacity)
+    {
+        capacity_ = capacity;
+        entries_.clear();
+    }
 
     bool empty() const { return entries_.empty(); }
     size_t size() const { return entries_.size(); }
@@ -79,8 +89,23 @@ class PrematchQueue
     }
 
   private:
-    uint32_t capacity_;
+    uint32_t capacity_ = 1;
     std::vector<Prematch> entries_;
+};
+
+/** Per-scratch reusable buffers for the matching pipeline. */
+struct AstreaGScratch : DecodeScratch::Ext
+{
+    /** Local Weight Table rows (cleared, not freed, between shots). */
+    std::vector<std::vector<std::pair<WeightSum, int>>> lwt;
+    /** The F pre-matching priority queues. */
+    std::vector<PrematchQueue> queues;
+    /** Unmatched node ids for the HW6 tail. */
+    std::vector<int> rem;
+    /** HW6 tail output. */
+    PairList tail;
+    /** Pair list of the best complete matching (recordMatching). */
+    std::vector<std::pair<int, int>> bestPairs;
 };
 
 } // namespace
@@ -148,32 +173,38 @@ AstreaGDecoder::survivingPairCounts(
     return counts;
 }
 
-DecodeResult
-AstreaGDecoder::decode(const std::vector<uint32_t> &defects)
+void
+AstreaGDecoder::decodeInto(std::span<const uint32_t> defects,
+                           DecodeResult &out, DecodeScratch &scratch)
 {
     ASTREA_SPAN("astrea_g.decode");
     stats_.decodes++;
     ASTREA_COUNTER_INC("astrea_g.decodes");
     const uint32_t w = static_cast<uint32_t>(defects.size());
-    if (w <= config_.exhaustiveMaxHw)
-        return exhaustive_.decode(defects);
+    if (w <= config_.exhaustiveMaxHw) {
+        // The exhaustive delegate keeps its own DecodeScratch::Ext
+        // slot in the same scratch, so this path stays allocation-free.
+        exhaustive_.decodeInto(defects, out, scratch);
+        return;
+    }
+    out.reset();
     if (w > config_.maxDefects) {
         stats_.gaveUps++;
         ASTREA_COUNTER_INC("astrea_g.gave_ups");
         ASTREA_HIST_ADD("astrea_g.give_up_hw", w);
-        DecodeResult r;
-        r.gaveUp = true;
-        return r;
+        out.gaveUp = true;
+        return;
     }
     stats_.pipelineDecodes++;
     ASTREA_COUNTER_INC("astrea_g.pipeline_decodes");
-    return decodePipeline(defects);
+    decodePipeline(defects, out, scratch);
 }
 
-DecodeResult
-AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
+void
+AstreaGDecoder::decodePipeline(std::span<const uint32_t> defects,
+                               DecodeResult &result,
+                               DecodeScratch &scratch)
 {
-    DecodeResult result;
     const uint32_t w = static_cast<uint32_t>(defects.size());
     const int m = (w % 2 == 0) ? static_cast<int>(w)
                                : static_cast<int>(w) + 1;
@@ -199,7 +230,12 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
     // Wth filter, sorted lightest first.
     const WeightSum wth =
         decadesToQuantized(config_.weightThresholdDecades);
-    std::vector<std::vector<std::pair<WeightSum, int>>> lwt(m);
+    AstreaGScratch &s = scratch.ext<AstreaGScratch>();
+    auto &lwt = s.lwt;
+    if (lwt.size() < static_cast<size_t>(m))
+        lwt.resize(static_cast<size_t>(m));
+    for (int i = 0; i < m; i++)
+        lwt[i].clear();
     uint64_t pairs_kept = 0, pairs_filtered = 0;
     {
         ASTREA_SPAN("astrea_g.lwt_filter");
@@ -223,8 +259,11 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
     ASTREA_COUNTER_ADD("astrea_g.lwt_pairs_filtered", pairs_filtered);
 
     // The matching pipeline.
-    std::vector<PrematchQueue> queues(F,
-                                      PrematchQueue(config_.queueCapacity));
+    auto &queues = s.queues;
+    if (queues.size() < F)
+        queues.resize(F);
+    for (uint32_t f = 0; f < F; f++)
+        queues[f].reset(config_.queueCapacity);
     queues[0].push(Prematch{});
 
     const uint64_t fixed_cycles = (w + 1) + 3;  // Transfer + fill/drain.
@@ -236,7 +275,8 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
     uint64_t best_obs = 0;
     bool found = false;
     const bool record_pairs = config_.recordMatching;
-    std::vector<std::pair<int, int>> best_pairs;
+    auto &best_pairs = s.bestPairs;
+    best_pairs.clear();
 
     const uint64_t full_mask =
         (m == 64) ? ~0ull : ((1ull << m) - 1);
@@ -282,14 +322,14 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
                 int remaining = m - static_cast<int>(ns.matchedCount);
                 if (remaining == 6) {
                     // Finish exhaustively with the HW6Decoder.
-                    std::vector<int> rem;
-                    rem.reserve(6);
+                    auto &rem = s.rem;
+                    rem.clear();
                     uint64_t um = full_mask & ~ns.mask;
                     while (um) {
                         rem.push_back(__builtin_ctzll(um));
                         um &= um - 1;
                     }
-                    PairList tail;
+                    auto &tail = s.tail;
                     stats_.hw6Invocations++;
                     ASTREA_COUNTER_INC("astrea_g.hw6_invocations");
                     WeightSum tail_w;
@@ -372,12 +412,13 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
         ASTREA_COUNTER_INC("astrea_g.gave_ups");
         ASTREA_HIST_ADD("astrea_g.give_up_hw", w);
         result.gaveUp = true;
-        return result;
+        return;
     }
     result.obsMask = best_obs;
     result.matchingWeight =
         static_cast<double>(best_weight) / kWeightScale;
     if (record_pairs) {
+        result.matchedPairs.reserve(best_pairs.size());
         for (auto [i, j] : best_pairs) {
             // Same convention as the exhaustive path: the virtual
             // boundary node maps to -1 and sorts second.
@@ -388,7 +429,6 @@ AstreaGDecoder::decodePipeline(const std::vector<uint32_t> &defects)
             result.matchedPairs.push_back({a, b});
         }
     }
-    return result;
 }
 
 } // namespace astrea

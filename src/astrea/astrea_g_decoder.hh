@@ -117,7 +117,8 @@ class AstreaGDecoder : public Decoder
     explicit AstreaGDecoder(const GlobalWeightTable &gwt,
                             AstreaGConfig config = {});
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    void decodeInto(std::span<const uint32_t> defects, DecodeResult &out,
+                    DecodeScratch &scratch) override;
     std::string name() const override { return "Astrea-G"; }
     void describeConfig(telemetry::JsonWriter &w) const override;
 
@@ -132,7 +133,8 @@ class AstreaGDecoder : public Decoder
         const std::vector<uint32_t> &defects) const;
 
   private:
-    DecodeResult decodePipeline(const std::vector<uint32_t> &defects);
+    void decodePipeline(std::span<const uint32_t> defects,
+                        DecodeResult &out, DecodeScratch &scratch);
 
     const GlobalWeightTable &gwt_;
     AstreaGConfig config_;

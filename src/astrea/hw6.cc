@@ -30,28 +30,4 @@ Hw6Decoder::matchingTable(int m) const
     }
 }
 
-WeightSum
-Hw6Decoder::match(int m,
-                  const std::function<WeightSum(int, int)> &pair_weight,
-                  PairList &best_out) const
-{
-    best_out.clear();
-    if (m == 0)
-        return 0;
-    ASTREA_CHECK(m == 2 || m == 4 || m == 6,
-                 "HW6Decoder handles 0, 2, 4 or 6 nodes");
-
-    WeightSum best = kInfiniteWeightSum;
-    for (const PairList &candidate : matchingTable(m)) {
-        WeightSum total = 0;
-        for (auto [i, j] : candidate)
-            total = addWeights(total, pair_weight(i, j));
-        if (total < best) {
-            best = total;
-            best_out = candidate;
-        }
-    }
-    return best;
-}
-
 } // namespace astrea

@@ -15,9 +15,9 @@
 #ifndef ASTREA_ASTREA_HW6_HH
 #define ASTREA_ASTREA_HW6_HH
 
-#include <functional>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/weight.hh"
 #include "matching/enumerator.hh"
 
@@ -34,15 +34,41 @@ class Hw6Decoder
      * Find the minimum-weight perfect matching of m nodes (m even,
      * m <= 6).
      *
+     * The weight callback is a template parameter rather than a
+     * std::function so the allocation-free decode hot path pays
+     * neither type erasure nor a capture heap allocation per call.
+     *
      * @param m Node count.
      * @param pair_weight Quantized pair weight, indices 0..m-1.
      * @param best_out Out: the winning matching's index pairs.
      * @return The minimum total weight (kInfiniteWeightSum if every
      *         candidate used an infinite-weight pair).
      */
-    WeightSum match(int m,
-                    const std::function<WeightSum(int, int)> &pair_weight,
-                    PairList &best_out) const;
+    template <class WeightFn>
+    WeightSum
+    match(int m, const WeightFn &pair_weight, PairList &best_out) const
+    {
+        best_out.clear();
+        if (m == 0)
+            return 0;
+        ASTREA_CHECK(m == 2 || m == 4 || m == 6,
+                     "HW6Decoder handles 0, 2, 4 or 6 nodes");
+
+        WeightSum best = kInfiniteWeightSum;
+        for (const PairList &candidate : matchingTable(m)) {
+            WeightSum total = 0;
+            for (auto [i, j] : candidate)
+                total = addWeights(total, pair_weight(i, j));
+            if (total < best) {
+                best = total;
+                // Copy-assign (not swap): candidate is a table row that
+                // must stay intact. best_out's capacity is reused once
+                // warm, so no steady-state allocation.
+                best_out = candidate;
+            }
+        }
+        return best;
+    }
 
     /** The hardwired matching table for m nodes (1, 3, or 15 rows). */
     const std::vector<PairList> &matchingTable(int m) const;

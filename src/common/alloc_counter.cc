@@ -1,0 +1,44 @@
+#include "common/alloc_counter.hh"
+
+namespace astrea
+{
+
+namespace
+{
+
+// Constant-initialized so the hook can count before main() runs.
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<bool> g_hook_installed{false};
+
+} // namespace
+
+uint64_t
+allocCount()
+{
+    return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+bool
+allocHookInstalled()
+{
+    return g_hook_installed.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+std::atomic<uint64_t> &
+allocCounter()
+{
+    return g_alloc_count;
+}
+
+void
+markAllocHookInstalled()
+{
+    g_hook_installed.store(true, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+} // namespace astrea

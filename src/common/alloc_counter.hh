@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Heap-allocation counter for zero-allocation assertions.
+ *
+ * The batch decode path (Decoder::decodeInto with a DecodeScratch) is
+ * required to perform zero steady-state heap allocations for the
+ * hardware-modeled decoders. That property silently regresses — a
+ * stray std::function, an unpooled vector — so tests and the latency
+ * bench count operator-new calls around a decode loop.
+ *
+ * The counting itself lives in a separate translation unit
+ * (alloc_hook.cc) that replaces the global operator new/delete; it is
+ * linked only into the allocation test and, behind the
+ * ASTREA_ALLOC_COUNTER build option, into bench_astrea_latency.
+ * Without that TU, allocCount() stays 0 and allocHookInstalled()
+ * reports false, so callers can tell "zero allocations" apart from
+ * "not measuring".
+ */
+
+#ifndef ASTREA_COMMON_ALLOC_COUNTER_HH
+#define ASTREA_COMMON_ALLOC_COUNTER_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace astrea
+{
+
+/** Global operator-new calls so far; 0 unless the hook is linked. */
+uint64_t allocCount();
+
+/** True when alloc_hook.cc's counting operator new is linked in. */
+bool allocHookInstalled();
+
+namespace detail
+{
+
+/** The counter the hook TU increments. */
+std::atomic<uint64_t> &allocCounter();
+
+/** Called from the hook TU's static initializer. */
+void markAllocHookInstalled();
+
+} // namespace detail
+
+} // namespace astrea
+
+#endif // ASTREA_COMMON_ALLOC_COUNTER_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Counting replacement for the global operator new/delete.
+ *
+ * Deliberately NOT part of astrea_core: linking this TU changes the
+ * process-wide allocator behavior, so only the allocation test (and,
+ * behind ASTREA_ALLOC_COUNTER, bench_astrea_latency) pulls it in. See
+ * common/alloc_counter.hh for the read side.
+ */
+
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_counter.hh"
+
+namespace
+{
+
+struct HookMarker
+{
+    HookMarker() { astrea::detail::markAllocHookInstalled(); }
+};
+HookMarker g_marker;
+
+void *
+countedAlloc(std::size_t n) noexcept
+{
+    astrea::detail::allocCounter().fetch_add(1,
+                                             std::memory_order_relaxed);
+    return std::malloc(n ? n : 1);
+}
+
+void *
+countedAllocOrThrow(std::size_t n)
+{
+    for (;;) {
+        if (void *p = countedAlloc(n))
+            return p;
+        std::new_handler h = std::get_new_handler();
+        if (h == nullptr)
+            throw std::bad_alloc();
+        h();
+    }
+}
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    return countedAllocOrThrow(n);
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return countedAllocOrThrow(n);
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}

@@ -51,6 +51,14 @@ std::vector<uint32_t>
 BitVec::onesIndices() const
 {
     std::vector<uint32_t> out;
+    onesIndicesInto(out);
+    return out;
+}
+
+void
+BitVec::onesIndicesInto(std::vector<uint32_t> &out) const
+{
+    out.clear();
     for (size_t wi = 0; wi < words_.size(); wi++) {
         uint64_t w = words_[wi];
         while (w) {
@@ -59,7 +67,6 @@ BitVec::onesIndices() const
             w &= w - 1;
         }
     }
-    return out;
 }
 
 std::string

@@ -69,6 +69,12 @@ class BitVec
     /** Indices of set bits in increasing order. */
     std::vector<uint32_t> onesIndices() const;
 
+    /**
+     * Indices of set bits, written into a caller-owned buffer so hot
+     * shot loops reuse its capacity instead of allocating per shot.
+     */
+    void onesIndicesInto(std::vector<uint32_t> &out) const;
+
     /** "0101..." rendering, index 0 first (for tests and debugging). */
     std::string toString() const;
 

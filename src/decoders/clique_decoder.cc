@@ -6,20 +6,39 @@
 namespace astrea
 {
 
-DecodeResult
-CliqueDecoder::decode(const std::vector<uint32_t> &defects)
+namespace
 {
-    decodes_++;
-    DecodeResult result;
-    if (defects.empty()) {
-        localOnly_++;
-        return result;
-    }
 
-    std::unordered_set<uint32_t> defect_set(defects.begin(),
-                                            defects.end());
+/** Per-scratch reusable sets and buffers for the local stage. */
+struct CliqueScratch : DecodeScratch::Ext
+{
+    std::unordered_set<uint32_t> defectSet;
     std::unordered_set<uint32_t> committed;
     std::vector<uint32_t> residual;
+    DecodeResult fallback;
+};
+
+} // namespace
+
+void
+CliqueDecoder::decodeInto(std::span<const uint32_t> defects,
+                          DecodeResult &result, DecodeScratch &scratch)
+{
+    decodes_++;
+    result.reset();
+    if (defects.empty()) {
+        localOnly_++;
+        return;
+    }
+
+    CliqueScratch &s = scratch.ext<CliqueScratch>();
+    auto &defect_set = s.defectSet;
+    auto &committed = s.committed;
+    auto &residual = s.residual;
+    defect_set.clear();
+    defect_set.insert(defects.begin(), defects.end());
+    committed.clear();
+    residual.clear();
 
     // Local stage: a defect is trivially decodable when its graph
     // neighborhood contains at most one other defect.
@@ -78,7 +97,7 @@ CliqueDecoder::decode(const std::vector<uint32_t> &defects)
         localOnly_++;
         result.cycles = 1;
         result.latencyNs = cyclesToNs(result.cycles);
-        return result;
+        return;
     }
 
     // Fallback: global MWPM on the residual defects. The round trip to
@@ -86,11 +105,11 @@ CliqueDecoder::decode(const std::vector<uint32_t> &defects)
     // measured matching time plus a fixed 1 us transport penalty, which
     // is what makes Clique non-real-time on hard events (Sec. 5.6).
     std::sort(residual.begin(), residual.end());
-    DecodeResult fb = fallback_.decode(residual);
+    DecodeResult &fb = s.fallback;
+    fallback_.decodeInto(residual, fb, scratch);
     result.obsMask ^= fb.obsMask;
     result.matchingWeight += fb.matchingWeight;
     result.latencyNs = fb.latencyNs + 1000.0;
-    return result;
 }
 
 double

@@ -35,7 +35,8 @@ class CliqueDecoder : public Decoder
         : graph_(graph), fallback_(gwt)
     {}
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    void decodeInto(std::span<const uint32_t> defects, DecodeResult &out,
+                    DecodeScratch &scratch) override;
     std::string name() const override { return "Clique+MWPM"; }
 
     /** Fraction of decodes fully handled by the local stage. */

@@ -1,8 +1,36 @@
 #include "decoders/decoder.hh"
 
-// The interface is header-only; this translation unit exists to anchor
-// the vtable of Decoder in one object file.
-
 namespace astrea
 {
+
+DecodeScratch &
+DecodeScratch::inner()
+{
+    if (!inner_)
+        inner_ = std::make_unique<DecodeScratch>();
+    return *inner_;
+}
+
+void
+Decoder::decodeBatch(const SyndromeBatch &batch,
+                     std::vector<DecodeResult> &results,
+                     DecodeScratch &scratch)
+{
+    // Resize up only: shrinking would free matchedPairs capacity the
+    // next, larger batch wants back.
+    if (results.size() < batch.size())
+        results.resize(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+        decodeInto(batch.at(i), results[i], scratch);
+}
+
+DecodeResult
+Decoder::decode(const std::vector<uint32_t> &defects)
+{
+    DecodeResult result;
+    DecodeScratch scratch;
+    decodeInto(defects, result, scratch);
+    return result;
+}
+
 } // namespace astrea

@@ -2,42 +2,66 @@
 
 #include <algorithm>
 #include <chrono>
-#include <queue>
 
 namespace astrea
 {
 
-DecodeResult
-GreedyDecoder::decode(const std::vector<uint32_t> &defects)
+namespace
 {
-    DecodeResult result;
+
+/** Candidate match: (weight, i, j) with j == i meaning boundary. */
+struct Cand
+{
+    double weight;
+    uint32_t i;
+    uint32_t j;
+    bool operator>(const Cand &o) const { return weight > o.weight; }
+};
+
+/** Per-scratch reusable candidate heap and used-flag buffers. */
+struct GreedyScratch : DecodeScratch::Ext
+{
+    std::vector<Cand> heap;
+    std::vector<uint8_t> used;
+};
+
+} // namespace
+
+void
+GreedyDecoder::decodeInto(std::span<const uint32_t> defects,
+                          DecodeResult &result, DecodeScratch &scratch)
+{
+    result.reset();
     const size_t n = defects.size();
     if (n == 0)
-        return result;
+        return;
     auto t0 = std::chrono::steady_clock::now();
 
-    // Candidate heap over (weight, i, j) with j == i meaning boundary.
-    struct Cand
-    {
-        double weight;
-        uint32_t i;
-        uint32_t j;
-        bool operator>(const Cand &o) const { return weight > o.weight; }
+    GreedyScratch &s = scratch.ext<GreedyScratch>();
+
+    // Min-heap over the n + n(n-1)/2 candidates; the buffer is grown
+    // once and reused across decodes. Sequential push_heap matches
+    // std::priority_queue's insertion order exactly.
+    auto &heap = s.heap;
+    heap.clear();
+    auto push = [&](Cand c) {
+        heap.push_back(c);
+        std::push_heap(heap.begin(), heap.end(), std::greater<Cand>{});
     };
-    std::priority_queue<Cand, std::vector<Cand>, std::greater<Cand>> pq;
     for (uint32_t i = 0; i < n; i++) {
-        pq.push({gwt_.exactWeight(defects[i], defects[i]), i, i});
-        for (uint32_t j = i + 1; j < n; j++) {
-            pq.push(
-                {gwt_.exactWeight(defects[i], defects[j]), i, j});
-        }
+        push({gwt_.exactWeight(defects[i], defects[i]), i, i});
+        for (uint32_t j = i + 1; j < n; j++)
+            push({gwt_.exactWeight(defects[i], defects[j]), i, j});
     }
 
-    std::vector<uint8_t> used(n, 0);
+    auto &used = s.used;
+    used.assign(n, 0);
+    result.matchedPairs.reserve((n + 1) / 2);
     size_t remaining = n;
-    while (remaining > 0 && !pq.empty()) {
-        Cand c = pq.top();
-        pq.pop();
+    while (remaining > 0 && !heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), std::greater<Cand>{});
+        Cand c = heap.back();
+        heap.pop_back();
         if (used[c.i] || (c.j != c.i && used[c.j]))
             continue;
         used[c.i] = 1;
@@ -64,7 +88,6 @@ GreedyDecoder::decode(const std::vector<uint32_t> &defects)
     auto t1 = std::chrono::steady_clock::now();
     result.latencyNs =
         std::chrono::duration<double, std::nano>(t1 - t0).count();
-    return result;
 }
 
 } // namespace astrea

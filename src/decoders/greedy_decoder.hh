@@ -28,7 +28,8 @@ class GreedyDecoder : public Decoder
   public:
     explicit GreedyDecoder(const GlobalWeightTable &gwt) : gwt_(gwt) {}
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    void decodeInto(std::span<const uint32_t> defects, DecodeResult &out,
+                    DecodeScratch &scratch) override;
     std::string name() const override { return "Greedy"; }
 
   private:

@@ -3,12 +3,13 @@
 namespace astrea
 {
 
-DecodeResult
-LutDecoder::decode(const std::vector<uint32_t> &defects)
+void
+LutDecoder::decodeInto(std::span<const uint32_t> defects,
+                       DecodeResult &result, DecodeScratch &scratch)
 {
-    DecodeResult result;
+    result.reset();
     if (defects.empty())
-        return result;
+        return;
 
     // A hardware LUT answers in one access regardless of contents.
     result.cycles = 1;
@@ -17,16 +18,19 @@ LutDecoder::decode(const std::vector<uint32_t> &defects)
     auto it = table_.find(defects);
     if (it == table_.end()) {
         // First sight: compute the entry the table would have been
-        // programmed with.
-        DecodeResult exact = oracle_.decode(defects);
+        // programmed with. Misses allocate (the table owns a copy of
+        // the key); a warmed-up table decodes allocation-free.
+        DecodeResult exact;
+        oracle_.decodeInto(defects, exact, scratch);
         it = table_
-                 .emplace(defects, std::make_pair(exact.obsMask,
-                                                  exact.matchingWeight))
+                 .emplace(std::vector<uint32_t>(defects.begin(),
+                                                defects.end()),
+                          std::make_pair(exact.obsMask,
+                                         exact.matchingWeight))
                  .first;
     }
     result.obsMask = it->second.first;
     result.matchingWeight = it->second.second;
-    return result;
 }
 
 } // namespace astrea

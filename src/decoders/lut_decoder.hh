@@ -16,6 +16,7 @@
 #ifndef ASTREA_DECODERS_LUT_DECODER_HH
 #define ASTREA_DECODERS_LUT_DECODER_HH
 
+#include <algorithm>
 #include <map>
 
 #include "decoders/decoder.hh"
@@ -33,7 +34,8 @@ class LutDecoder : public Decoder
         : syndromeBits_(gwt.size()), oracle_(gwt)
     {}
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    void decodeInto(std::span<const uint32_t> defects, DecodeResult &out,
+                    DecodeScratch &scratch) override;
     std::string name() const override { return "LUT(LILLIPUT)"; }
 
     /** Entries populated so far (reachable-syndrome working set). */
@@ -49,10 +51,29 @@ class LutDecoder : public Decoder
     bool hardwareFeasible() const { return syndromeBits_ <= 28; }
 
   private:
+    /**
+     * Transparent comparator so table hits can be probed with a
+     * std::span key directly — no temporary std::vector per lookup,
+     * which keeps the steady state (all hits) allocation-free.
+     */
+    struct DefectsLess
+    {
+        using is_transparent = void;
+        bool
+        operator()(std::span<const uint32_t> a,
+                   std::span<const uint32_t> b) const
+        {
+            return std::lexicographical_compare(a.begin(), a.end(),
+                                                b.begin(), b.end());
+        }
+    };
+
     uint32_t syndromeBits_;
     MwpmDecoder oracle_;
     /** defects -> (obsMask, matching weight). */
-    std::map<std::vector<uint32_t>, std::pair<uint64_t, double>> table_;
+    std::map<std::vector<uint32_t>, std::pair<uint64_t, double>,
+             DefectsLess>
+        table_;
 };
 
 } // namespace astrea

@@ -30,13 +30,15 @@ scaleWeight(double decades)
 
 } // namespace
 
-DecodeResult
-MwpmDecoder::decode(const std::vector<uint32_t> &defects)
+void
+MwpmDecoder::decodeInto(std::span<const uint32_t> defects,
+                        DecodeResult &result, DecodeScratch &scratch)
 {
-    DecodeResult result;
+    (void)scratch;  // Blossom's work arrays are not pooled (yet).
+    result.reset();
     const int n = static_cast<int>(defects.size());
     if (n == 0)
-        return result;
+        return;
 
     auto t0 = std::chrono::steady_clock::now();
 
@@ -60,6 +62,7 @@ MwpmDecoder::decode(const std::vector<uint32_t> &defects)
 
     auto mate = minWeightPerfectMatching(2 * n, weight);
 
+    result.matchedPairs.reserve(static_cast<size_t>(n));
     double total = 0.0;
     for (int i = 0; i < n; i++) {
         int m = mate[i];
@@ -84,7 +87,6 @@ MwpmDecoder::decode(const std::vector<uint32_t> &defects)
         std::chrono::duration<double, std::nano>(t1 - t0).count();
     ASTREA_COUNTER_INC("mwpm.decodes");
     ASTREA_LATENCY_NS("mwpm.decode_ns", result.latencyNs);
-    return result;
 }
 
 } // namespace astrea

@@ -26,7 +26,8 @@ class MwpmDecoder : public Decoder
   public:
     explicit MwpmDecoder(const GlobalWeightTable &gwt) : gwt_(gwt) {}
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    void decodeInto(std::span<const uint32_t> defects, DecodeResult &out,
+                    DecodeScratch &scratch) override;
     std::string name() const override { return "MWPM"; }
 
   private:

@@ -1,0 +1,406 @@
+#include "decoders/registry.hh"
+
+#include "common/logging.hh"
+#include "decoders/clique_decoder.hh"
+#include "decoders/greedy_decoder.hh"
+#include "decoders/lut_decoder.hh"
+#include "decoders/mwpm_decoder.hh"
+
+namespace astrea
+{
+
+namespace
+{
+
+constexpr const char *kWindowedPrefix = "windowed-";
+
+bool
+hasWindowedPrefix(const std::string &name)
+{
+    return name.rfind(kWindowedPrefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Per-decoder factories.
+
+std::unique_ptr<Decoder>
+makeAstrea(const DecoderOptions &o, std::string *err)
+{
+    if (o.gwt == nullptr) {
+        *err = "astrea requires a weight table (DecoderOptions::gwt)";
+        return nullptr;
+    }
+    return std::make_unique<AstreaDecoder>(*o.gwt, o.astrea);
+}
+
+std::unique_ptr<Decoder>
+makeAstreaG(const DecoderOptions &o, std::string *err)
+{
+    if (o.gwt == nullptr) {
+        *err = "astrea-g requires a weight table (DecoderOptions::gwt)";
+        return nullptr;
+    }
+    AstreaGConfig c = o.astreaG;
+    if (c.weightThresholdDecades <= 0.0 && o.distance > 0 &&
+        o.physicalErrorRate > 0.0) {
+        // The paper programs Wth from the target logical error rate;
+        // resolve it for this experiment's regime.
+        c.weightThresholdDecades =
+            defaultWeightThreshold(o.distance, o.physicalErrorRate);
+    }
+    return std::make_unique<AstreaGDecoder>(*o.gwt, c);
+}
+
+std::unique_ptr<Decoder>
+makeMwpm(const DecoderOptions &o, std::string *err)
+{
+    if (o.gwt == nullptr) {
+        *err = "mwpm requires a weight table (DecoderOptions::gwt)";
+        return nullptr;
+    }
+    return std::make_unique<MwpmDecoder>(*o.gwt);
+}
+
+std::unique_ptr<Decoder>
+makeUnionFind(const DecoderOptions &o, std::string *err)
+{
+    if (o.graph == nullptr) {
+        *err = "union-find requires a decoding graph "
+               "(DecoderOptions::graph)";
+        return nullptr;
+    }
+    return std::make_unique<UnionFindDecoder>(*o.graph, o.unionFind);
+}
+
+std::unique_ptr<Decoder>
+makeClique(const DecoderOptions &o, std::string *err)
+{
+    if (o.graph == nullptr || o.gwt == nullptr) {
+        *err = "clique requires a decoding graph and a weight table";
+        return nullptr;
+    }
+    return std::make_unique<CliqueDecoder>(*o.graph, *o.gwt);
+}
+
+std::unique_ptr<Decoder>
+makeLut(const DecoderOptions &o, std::string *err)
+{
+    if (o.gwt == nullptr) {
+        *err = "lut requires a weight table (DecoderOptions::gwt)";
+        return nullptr;
+    }
+    return std::make_unique<LutDecoder>(*o.gwt);
+}
+
+std::unique_ptr<Decoder>
+makeGreedy(const DecoderOptions &o, std::string *err)
+{
+    if (o.gwt == nullptr) {
+        *err = "greedy requires a weight table (DecoderOptions::gwt)";
+        return nullptr;
+    }
+    return std::make_unique<GreedyDecoder>(*o.gwt);
+}
+
+// ---------------------------------------------------------------------------
+// describeConfig() parsers (capture round-trip). Absent keys keep the
+// knobs already in DecoderOptions, so callers can pre-set overrides
+// the capture does not carry (e.g. recordMatching).
+
+void
+parseNone(const telemetry::JsonValue &dc, DecoderOptions &o)
+{
+    (void)dc;
+    (void)o;
+}
+
+void
+parseAstrea(const telemetry::JsonValue &dc, DecoderOptions &o)
+{
+    AstreaConfig &c = o.astrea;
+    c.maxHammingWeight = static_cast<uint32_t>(
+        dc["max_hamming_weight"].asUint(c.maxHammingWeight));
+    c.quantizedWeights =
+        dc["quantized_weights"].asBool(c.quantizedWeights);
+    c.useEffectiveWeights =
+        dc["use_effective_weights"].asBool(c.useEffectiveWeights);
+}
+
+void
+parseAstreaG(const telemetry::JsonValue &dc, DecoderOptions &o)
+{
+    AstreaGConfig &c = o.astreaG;
+    c.fetchWidth =
+        static_cast<uint32_t>(dc["fetch_width"].asUint(c.fetchWidth));
+    c.queueCapacity = static_cast<uint32_t>(
+        dc["queue_capacity"].asUint(c.queueCapacity));
+    // Captures store the resolved threshold, so no regime
+    // re-resolution happens on replay.
+    c.weightThresholdDecades =
+        dc["weight_threshold_decades"].asNumber(c.weightThresholdDecades);
+    c.cycleBudget = dc["cycle_budget"].asUint(c.cycleBudget);
+    c.exhaustiveMaxHw = static_cast<uint32_t>(
+        dc["exhaustive_max_hw"].asUint(c.exhaustiveMaxHw));
+    c.maxDefects =
+        static_cast<uint32_t>(dc["max_defects"].asUint(c.maxDefects));
+    c.requeueContinuations =
+        dc["requeue_continuations"].asBool(c.requeueContinuations);
+}
+
+void
+parseUnionFind(const telemetry::JsonValue &dc, DecoderOptions &o)
+{
+    o.unionFind.weightedGrowth =
+        dc["weighted_growth"].asBool(o.unionFind.weightedGrowth);
+}
+
+// ---------------------------------------------------------------------------
+// The table.
+
+struct Entry
+{
+    const char *name;
+    std::vector<const char *> aliases;
+    DecoderKind kind;
+    const char *description;
+    /** Fills DecodeResult::matchedPairs -> usable as a windowed inner. */
+    bool reportsMatching;
+    /** Decoder::name() outputs that resolve to this entry. */
+    std::vector<const char *> displayNames;
+    std::unique_ptr<Decoder> (*make)(const DecoderOptions &,
+                                     std::string *);
+    void (*parseConfig)(const telemetry::JsonValue &, DecoderOptions &);
+};
+
+const std::vector<Entry> &
+entries()
+{
+    static const std::vector<Entry> table = {
+        {"astrea", {}, DecoderKind::Hardware,
+         "Brute-force MWPM over HW <= 10 syndromes, modeled FPGA "
+         "cycles at 250 MHz (paper Sec. 5)",
+         true, {"Astrea"}, makeAstrea, parseAstrea},
+        {"astrea-g", {}, DecoderKind::Hardware,
+         "Greedy filtered MWPM pipeline for high Hamming weights, "
+         "exhaustive below HW 10 (paper Secs. 6-7)",
+         false, {"Astrea-G"}, makeAstreaG, parseAstreaG},
+        {"mwpm", {"blossom"}, DecoderKind::Software,
+         "Exact software MWPM via the blossom algorithm (the paper's "
+         "accuracy baseline)",
+         true, {"MWPM"}, makeMwpm, parseNone},
+        {"union-find", {"uf"}, DecoderKind::Software,
+         "Union-Find decoder (Delfosse-Nickerson), the AFS accuracy "
+         "proxy; weighted growth optional",
+         false, {"UF(AFS)", "UF-weighted"}, makeUnionFind,
+         parseUnionFind},
+        {"clique", {}, DecoderKind::Software,
+         "Local predecoder committing trivial chains, software-MWPM "
+         "fallback for the rest (Clique proxy)",
+         false, {"Clique+MWPM"}, makeClique, parseNone},
+        {"lut", {}, DecoderKind::Hardware,
+         "Memoized-MWPM lookup table answering in one access "
+         "(LILLIPUT proxy)",
+         false, {"LUT(LILLIPUT)"}, makeLut, parseNone},
+        {"greedy", {}, DecoderKind::Software,
+         "Globally-greedy minimum-pair matcher (WIT-Greedy-style "
+         "lower bar)",
+         true, {"Greedy"}, makeGreedy, parseNone},
+    };
+    return table;
+}
+
+const Entry *
+findEntry(const std::string &name)
+{
+    for (const Entry &e : entries()) {
+        if (name == e.name)
+            return &e;
+        for (const char *alias : e.aliases) {
+            if (name == alias)
+                return &e;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+const char *
+decoderKindName(DecoderKind kind)
+{
+    switch (kind) {
+      case DecoderKind::Hardware:
+        return "hardware";
+      case DecoderKind::Software:
+        return "software";
+      case DecoderKind::Wrapper:
+        return "wrapper";
+    }
+    return "?";
+}
+
+const DecoderRegistry &
+DecoderRegistry::global()
+{
+    static const DecoderRegistry registry;
+    return registry;
+}
+
+std::vector<DecoderInfo>
+DecoderRegistry::listDecoders() const
+{
+    std::vector<DecoderInfo> out;
+    for (const Entry &e : entries()) {
+        DecoderInfo info;
+        info.name = e.name;
+        for (const char *alias : e.aliases)
+            info.aliases.push_back(alias);
+        info.kind = e.kind;
+        info.description = e.description;
+        out.push_back(std::move(info));
+    }
+    // One wrapper variant per matching-reporting inner decoder.
+    for (const Entry &e : entries()) {
+        if (!e.reportsMatching)
+            continue;
+        DecoderInfo info;
+        info.name = std::string(kWindowedPrefix) + e.name;
+        info.kind = DecoderKind::Wrapper;
+        info.description =
+            std::string("Sliding-window streaming wrapper over ") +
+            e.name + " (commit-region pair commits, carried defects)";
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
+std::string
+DecoderRegistry::canonicalName(const std::string &name) const
+{
+    if (hasWindowedPrefix(name)) {
+        std::string inner =
+            canonicalName(name.substr(std::string(kWindowedPrefix).size()));
+        if (inner.empty() || hasWindowedPrefix(inner))
+            return "";
+        const Entry *e = findEntry(inner);
+        if (e == nullptr || !e->reportsMatching)
+            return "";
+        return std::string(kWindowedPrefix) + inner;
+    }
+    if (const Entry *e = findEntry(name))
+        return e->name;
+    for (const Entry &e : entries()) {
+        for (const char *display : e.displayNames) {
+            if (name == display)
+                return e.name;
+        }
+    }
+    // "Windowed(<inner display name>)" round-trips WindowDecoder::name.
+    const std::string open = "Windowed(";
+    if (name.size() > open.size() + 1 && name.rfind(open, 0) == 0 &&
+        name.back() == ')') {
+        std::string inner = canonicalName(
+            name.substr(open.size(), name.size() - open.size() - 1));
+        if (!inner.empty() && !hasWindowedPrefix(inner)) {
+            const Entry *e = findEntry(inner);
+            if (e != nullptr && e->reportsMatching)
+                return std::string(kWindowedPrefix) + inner;
+        }
+    }
+    return "";
+}
+
+std::string
+DecoderRegistry::knownNamesText() const
+{
+    std::string out;
+    for (const DecoderInfo &info : listDecoders()) {
+        if (!out.empty())
+            out += ", ";
+        out += info.name;
+        for (const std::string &alias : info.aliases)
+            out += "/" + alias;
+    }
+    return out;
+}
+
+std::unique_ptr<Decoder>
+DecoderRegistry::make(const std::string &name,
+                      const DecoderOptions &opts,
+                      std::string *error_out) const
+{
+    const std::string canonical = canonicalName(name);
+    if (canonical.empty()) {
+        *error_out = "unknown decoder '" + name +
+                     "' (known: " + knownNamesText() + ")";
+        return nullptr;
+    }
+    if (hasWindowedPrefix(canonical)) {
+        if (opts.gwt == nullptr || opts.detectorInfo == nullptr ||
+            opts.totalRounds == 0 || opts.distance == 0) {
+            *error_out = canonical +
+                         " requires window context (gwt, detectorInfo, "
+                         "totalRounds, distance)";
+            return nullptr;
+        }
+        auto inner = make(
+            canonical.substr(std::string(kWindowedPrefix).size()), opts,
+            error_out);
+        if (inner == nullptr)
+            return nullptr;
+        return makeWindowedDecoder(opts, std::move(inner));
+    }
+    return findEntry(canonical)->make(opts, error_out);
+}
+
+std::unique_ptr<Decoder>
+DecoderRegistry::makeFromDescription(const std::string &display_name,
+                                     const telemetry::JsonValue &config,
+                                     const DecoderOptions &opts,
+                                     std::string *error_out) const
+{
+    const std::string canonical = canonicalName(display_name);
+    if (canonical.empty()) {
+        *error_out = "cannot rebuild decoder \"" + display_name +
+                     "\" (known: " + knownNamesText() + ")";
+        return nullptr;
+    }
+    DecoderOptions o = opts;
+    if (config.kind == telemetry::JsonValue::Object) {
+        std::string base = canonical;
+        if (hasWindowedPrefix(canonical)) {
+            base = canonical.substr(std::string(kWindowedPrefix).size());
+            o.streaming.windowRounds = static_cast<uint32_t>(
+                config["window_rounds"].asUint(o.streaming.windowRounds));
+            o.streaming.commitRounds = static_cast<uint32_t>(
+                config["commit_rounds"].asUint(o.streaming.commitRounds));
+        }
+        findEntry(base)->parseConfig(config, o);
+    }
+    return make(canonical, o, error_out);
+}
+
+std::unique_ptr<Decoder>
+makeWindowedDecoder(const DecoderOptions &opts,
+                    std::unique_ptr<Decoder> inner)
+{
+    ASTREA_CHECK(opts.gwt != nullptr && opts.detectorInfo != nullptr &&
+                     opts.totalRounds > 0 && opts.distance > 0,
+                 "windowed decoder requires gwt, detector info, "
+                 "totalRounds and distance");
+    return std::make_unique<WindowDecoder>(
+        *opts.gwt, *opts.detectorInfo, opts.totalRounds, opts.distance,
+        std::move(inner), opts.streaming);
+}
+
+std::unique_ptr<Decoder>
+makeDecoder(const std::string &name, const DecoderOptions &opts)
+{
+    std::string error;
+    auto decoder = DecoderRegistry::global().make(name, opts, &error);
+    if (decoder == nullptr)
+        fatal("decoder registry: " + error);
+    return decoder;
+}
+
+} // namespace astrea

@@ -56,12 +56,21 @@ UnionFindDecoder::unite(uint32_t a, uint32_t b)
     hasBoundary_[ra] |= hasBoundary_[rb];
 }
 
-DecodeResult
-UnionFindDecoder::decode(const std::vector<uint32_t> &defects)
+void
+UnionFindDecoder::describeConfig(telemetry::JsonWriter &w) const
 {
-    DecodeResult result;
+    w.kv("weighted_growth", config_.weightedGrowth);
+}
+
+void
+UnionFindDecoder::decodeInto(std::span<const uint32_t> defects,
+                             DecodeResult &result,
+                             DecodeScratch &scratch)
+{
+    (void)scratch;  // Growth/peeling buffers are per-instance members.
+    result.reset();
     if (defects.empty())
-        return result;
+        return;
     auto t0 = std::chrono::steady_clock::now();
 
     const uint32_t n = graph_.numNodes();
@@ -225,7 +234,6 @@ UnionFindDecoder::decode(const std::vector<uint32_t> &defects)
     auto t1 = std::chrono::steady_clock::now();
     result.latencyNs =
         std::chrono::duration<double, std::nano>(t1 - t0).count();
-    return result;
 }
 
 } // namespace astrea

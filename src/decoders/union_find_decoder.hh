@@ -41,13 +41,16 @@ class UnionFindDecoder : public Decoder
     explicit UnionFindDecoder(const DecodingGraph &graph,
                               UnionFindConfig config = {});
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    void decodeInto(std::span<const uint32_t> defects, DecodeResult &out,
+                    DecodeScratch &scratch) override;
 
     std::string
     name() const override
     {
         return config_.weightedGrowth ? "UF-weighted" : "UF(AFS)";
     }
+
+    void describeConfig(telemetry::JsonWriter &w) const override;
 
   private:
     /** DSU find with path halving. */

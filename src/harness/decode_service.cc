@@ -116,19 +116,12 @@ SyndromeDriftMonitor::alarmed() const
 std::string
 resolveServeDecoder(const ServeConfig &config, DecoderFactory *out)
 {
-    const std::string &d = config.decoder;
-    if (d == "astrea")
-        *out = astreaFactory();
-    else if (d == "astrea-g")
-        *out = astreaGFactory();
-    else if (d == "mwpm" || d == "blossom")
-        *out = mwpmFactory();
-    else if (d == "windowed-astrea")
-        *out = windowedFactory(astreaFactory());
-    else
-        return "unknown decoder '" + d +
-               "' (expected astrea, astrea-g, mwpm/blossom or "
-               "windowed-astrea)";
+    const DecoderRegistry &reg = DecoderRegistry::global();
+    if (reg.canonicalName(config.decoder).empty()) {
+        return "unknown decoder '" + config.decoder +
+               "' (known: " + reg.knownNamesText() + ")";
+    }
+    *out = registryFactory(config.decoder);
     return "";
 }
 
@@ -204,6 +197,12 @@ DecodeServiceCore::makeWorker(unsigned index)
 void
 DecodeServiceCore::decodeOnce(Worker &w)
 {
+    decodeBatch(w, 1);
+}
+
+void
+DecodeServiceCore::decodeBatch(Worker &w, uint64_t shots)
+{
     auto ctx = currentContext();
     if (w.ctx.get() != ctx.get()) {
         // First shot, or the workload was reconfigured mid-run.
@@ -213,47 +212,59 @@ DecodeServiceCore::decodeOnce(Worker &w)
         w.obs = BitVec(ctx->circuit().numObservables());
     }
 
-    ctx->sampler().sample(w.rng, w.dets, w.obs);
-    auto defects = w.dets.onesIndices();
-    const size_t hw = defects.size();
-    const uint64_t tick = tick_();
-
-    double latency_ns = 0.0;
-    bool gave_up = false;
-    bool logical_error = false;
-    if (!defects.empty()) {
-        DecodeResult dr = w.decoder->decode(defects);
-        latency_ns = dr.latencyNs;
-        gave_up = dr.gaveUp;
+    w.batch.clear();
+    w.actuals.clear();
+    for (uint64_t i = 0; i < shots; i++) {
+        ctx->sampler().sample(w.rng, w.dets, w.obs);
+        w.dets.onesIndicesInto(w.scratch.defects);
+        w.batch.add(w.scratch.defects);
         uint64_t actual = 0;
-        for (auto o : w.obs.onesIndices())
+        w.obs.onesIndicesInto(w.obsIndices);
+        for (auto o : w.obsIndices)
             actual |= (1ull << o);
-        logical_error = (dr.obsMask != actual);
-        nontrivialTotal_.fetch_add(1, std::memory_order_relaxed);
+        w.actuals.push_back(actual);
     }
 
-    decodesTotal_.fetch_add(1, std::memory_order_relaxed);
-    decodesWin_.add(tick);
-    latencyWin_.record(tick, latency_ns);
-    drift_.record(hw);
-    ASTREA_HIST_ADD("experiment.hamming_weight", hw);
+    w.decoder->decodeBatch(w.batch, w.results, w.scratch);
 
-    if (latency_ns > config_.budgetNs) {
-        deadlineMissesTotal_.fetch_add(1, std::memory_order_relaxed);
-        missesWin_.add(tick);
+    for (uint64_t i = 0; i < shots; i++) {
+        const size_t hw = w.batch.hw(i);
+        const uint64_t tick = tick_();
+
+        double latency_ns = 0.0;
+        bool gave_up = false;
+        bool logical_error = false;
+        if (hw > 0) {
+            const DecodeResult &dr = w.results[i];
+            latency_ns = dr.latencyNs;
+            gave_up = dr.gaveUp;
+            logical_error = (dr.obsMask != w.actuals[i]);
+            nontrivialTotal_.fetch_add(1, std::memory_order_relaxed);
+        }
+
+        decodesTotal_.fetch_add(1, std::memory_order_relaxed);
+        decodesWin_.add(tick);
+        latencyWin_.record(tick, latency_ns);
+        drift_.record(hw);
+        ASTREA_HIST_ADD("experiment.hamming_weight", hw);
+
+        if (latency_ns > config_.budgetNs) {
+            deadlineMissesTotal_.fetch_add(1, std::memory_order_relaxed);
+            missesWin_.add(tick);
+        }
+        if (gave_up) {
+            giveUpsTotal_.fetch_add(1, std::memory_order_relaxed);
+            giveUpsWin_.add(tick);
+            // Same family the streaming bench reports, so dashboards
+            // for the service and for bench reports line up.
+            ASTREA_COUNTER_INC("experiment.give_ups");
+        }
+        if (logical_error) {
+            logicalErrorsTotal_.fetch_add(1, std::memory_order_relaxed);
+            logicalErrorsWin_.add(tick);
+        }
+        w.shots++;
     }
-    if (gave_up) {
-        giveUpsTotal_.fetch_add(1, std::memory_order_relaxed);
-        giveUpsWin_.add(tick);
-        // Same family the streaming bench reports, so dashboards for
-        // the service and for bench reports line up.
-        ASTREA_COUNTER_INC("experiment.give_ups");
-    }
-    if (logical_error) {
-        logicalErrorsTotal_.fetch_add(1, std::memory_order_relaxed);
-        logicalErrorsWin_.add(tick);
-    }
-    w.shots++;
 }
 
 uint64_t
@@ -530,12 +541,14 @@ DecodeService::start(const std::string &bind_addr, uint16_t port,
 
     running_ = true;
     threads_.reserve(core_.config().workers);
+    const uint64_t batch_shots =
+        std::max<uint64_t>(1, core_.config().batchShots);
     for (unsigned i = 0; i < core_.config().workers; i++) {
-        threads_.emplace_back([this, i] {
+        threads_.emplace_back([this, i, batch_shots] {
             auto worker = core_.makeWorker(i);
             activeWorkers_.fetch_add(1);
             while (running_.load(std::memory_order_relaxed))
-                core_.decodeOnce(*worker);
+                core_.decodeBatch(*worker, batch_shots);
             activeWorkers_.fetch_sub(1);
         });
     }

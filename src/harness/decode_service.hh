@@ -54,10 +54,12 @@ struct ServeConfig
     uint32_t distance = 5;
     uint32_t rounds = 0;  ///< 0 = distance rounds.
     double physicalErrorRate = 1e-3;
-    /** astrea | astrea-g | mwpm (alias blossom) | windowed-astrea. */
+    /** Any registry name (see `astrea_cli list-decoders`). */
     std::string decoder = "astrea";
     unsigned workers = 2;
     uint64_t seed = 1;
+    /** Shots each worker samples and decodes per batch-path call. */
+    uint64_t batchShots = 16;
 
     /** SLO: decodes must finish within this budget... */
     double budgetNs = 1000.0;
@@ -140,6 +142,14 @@ class DecodeServiceCore
     void decodeOnce(Worker &w);
 
     /**
+     * Batch path the worker threads run: sample `shots` shots into the
+     * worker's SyndromeBatch, decode them through the allocation-free
+     * Decoder::decodeBatch, then account each shot exactly as
+     * decodeOnce() does. Steady state allocates nothing per shot.
+     */
+    void decodeBatch(Worker &w, uint64_t shots);
+
+    /**
      * Swap the workload's physical error rate mid-run (rebuilds the
      * experiment context; workers pick it up on their next shot). The
      * drift monitor's baseline is deliberately kept — detecting this
@@ -203,6 +213,13 @@ struct DecodeServiceCore::Worker
     BitVec dets;
     BitVec obs;
     uint64_t shots = 0;
+
+    // Reused batch-path buffers (steady state allocates nothing).
+    SyndromeBatch batch;
+    std::vector<DecodeResult> results;
+    DecodeScratch scratch;
+    std::vector<uint64_t> actuals;
+    std::vector<uint32_t> obsIndices;
 };
 
 /**

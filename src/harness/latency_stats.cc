@@ -118,12 +118,14 @@ measureLatencyDistribution(const ExperimentContext &ctx,
         LatencyHistogram local(50.0, 100000.0);
         BitVec dets(ctx.circuit().numDetectors());
         BitVec obs(ctx.circuit().numObservables());
+        DecodeResult dr;
+        DecodeScratch scratch;
         for (uint64_t s = begin; s < end; s++) {
             ctx.sampler().sample(rng, dets, obs);
-            auto defects = dets.onesIndices();
-            if (defects.empty())
+            dets.onesIndicesInto(scratch.defects);
+            if (scratch.defects.empty())
                 continue;
-            DecodeResult dr = decoder->decode(defects);
+            decoder->decodeInto(scratch.defects, dr, scratch);
             local.add(dr.latencyNs);
             ASTREA_LATENCY_NS("experiment.nontrivial_decode_ns",
                               dr.latencyNs);

@@ -1,13 +1,9 @@
 #include "harness/memory_experiment.hh"
 
+#include <algorithm>
 #include <mutex>
 
 #include "common/thread_pool.hh"
-#include "decoders/clique_decoder.hh"
-#include "decoders/greedy_decoder.hh"
-#include "decoders/lut_decoder.hh"
-#include "decoders/mwpm_decoder.hh"
-#include "decoders/union_find_decoder.hh"
 #include "dem/extractor.hh"
 #include "telemetry/export.hh"
 #include "telemetry/flight_recorder.hh"
@@ -42,19 +38,41 @@ ExperimentContext::ExperimentContext(const ExperimentConfig &config)
     sampler_ = std::make_unique<DemSampler>(*model_);
 }
 
+DecoderOptions
+decoderOptionsFor(const ExperimentContext &ctx)
+{
+    const ExperimentConfig &cfg = ctx.config();
+    DecoderOptions opts;
+    opts.gwt = &ctx.gwt();
+    opts.graph = &ctx.graph();
+    opts.detectorInfo = &ctx.circuit().detectorInfo();
+    opts.totalRounds = (cfg.rounds ? cfg.rounds : cfg.distance) + 1;
+    opts.distance = cfg.distance;
+    opts.physicalErrorRate = cfg.physicalErrorRate;
+    return opts;
+}
+
+DecoderFactory
+registryFactory(std::string name)
+{
+    return [name](const ExperimentContext &ctx) {
+        return makeDecoder(name, decoderOptionsFor(ctx));
+    };
+}
+
 DecoderFactory
 mwpmFactory()
 {
-    return [](const ExperimentContext &ctx) {
-        return std::make_unique<MwpmDecoder>(ctx.gwt());
-    };
+    return registryFactory("mwpm");
 }
 
 DecoderFactory
 astreaFactory(AstreaConfig config)
 {
     return [config](const ExperimentContext &ctx) {
-        return std::make_unique<AstreaDecoder>(ctx.gwt(), config);
+        DecoderOptions opts = decoderOptionsFor(ctx);
+        opts.astrea = config;
+        return makeDecoder("astrea", opts);
     };
 }
 
@@ -62,15 +80,10 @@ DecoderFactory
 astreaGFactory(AstreaGConfig config)
 {
     return [config](const ExperimentContext &ctx) {
-        AstreaGConfig resolved = config;
-        if (resolved.weightThresholdDecades <= 0.0) {
-            // The paper programs Wth from the target logical error
-            // rate; resolve it for this experiment's regime.
-            resolved.weightThresholdDecades = defaultWeightThreshold(
-                ctx.config().distance,
-                ctx.config().physicalErrorRate);
-        }
-        return std::make_unique<AstreaGDecoder>(ctx.gwt(), resolved);
+        // The registry resolves Wth <= 0 from the regime opts carry.
+        DecoderOptions opts = decoderOptionsFor(ctx);
+        opts.astreaG = config;
+        return makeDecoder("astrea-g", opts);
     };
 }
 
@@ -78,43 +91,37 @@ DecoderFactory
 unionFindFactory(UnionFindConfig config)
 {
     return [config](const ExperimentContext &ctx) {
-        return std::make_unique<UnionFindDecoder>(ctx.graph(), config);
+        DecoderOptions opts = decoderOptionsFor(ctx);
+        opts.unionFind = config;
+        return makeDecoder("union-find", opts);
     };
 }
 
 DecoderFactory
 cliqueFactory()
 {
-    return [](const ExperimentContext &ctx) {
-        return std::make_unique<CliqueDecoder>(ctx.graph(), ctx.gwt());
-    };
+    return registryFactory("clique");
 }
 
 DecoderFactory
 lutFactory()
 {
-    return [](const ExperimentContext &ctx) {
-        return std::make_unique<LutDecoder>(ctx.gwt());
-    };
+    return registryFactory("lut");
 }
 
 DecoderFactory
 greedyFactory()
 {
-    return [](const ExperimentContext &ctx) {
-        return std::make_unique<GreedyDecoder>(ctx.gwt());
-    };
+    return registryFactory("greedy");
 }
 
 DecoderFactory
 windowedFactory(DecoderFactory inner, StreamingConfig config)
 {
     return [inner, config](const ExperimentContext &ctx) {
-        const auto &cfg = ctx.config();
-        uint32_t rounds = cfg.rounds ? cfg.rounds : cfg.distance;
-        return std::make_unique<WindowDecoder>(
-            ctx.gwt(), ctx.circuit().detectorInfo(), rounds + 1,
-            cfg.distance, inner(ctx), config);
+        DecoderOptions opts = decoderOptionsFor(ctx);
+        opts.streaming = config;
+        return makeWindowedDecoder(opts, inner(ctx));
     };
 }
 
@@ -197,61 +204,87 @@ runMemoryExperiment(const ExperimentContext &ctx,
         BitVec dets(ctx.circuit().numDetectors());
         BitVec obs(ctx.circuit().numObservables());
 
-        for (uint64_t s = begin; s < end; s++) {
-            ctx.sampler().sample(rng, dets, obs);
-            auto defects = dets.onesIndices();
-            size_t hw = defects.size();
-            local.hammingWeights.add(hw);
+        // Batch-oriented hot loop: sample a block of shots into one
+        // SyndromeBatch, decode it through the allocation-free batch
+        // path, then do the (cold) accounting. All buffers below are
+        // reused across blocks, so steady state allocates nothing.
+        constexpr uint64_t kBatchShots = 64;
+        SyndromeBatch batch;
+        std::vector<DecodeResult> results;
+        DecodeScratch scratch;
+        std::vector<uint64_t> actuals;
+        std::vector<uint32_t> obs_indices;
 
-            DecodeResult dr = decoder->decode(defects);
-            if (dr.gaveUp) {
-                local.gaveUps++;
-                local.gaveUpHw.add(hw);
+        for (uint64_t block = begin; block < end; block += kBatchShots) {
+            const uint64_t n = std::min(kBatchShots, end - block);
+            batch.clear();
+            actuals.clear();
+            for (uint64_t i = 0; i < n; i++) {
+                ctx.sampler().sample(rng, dets, obs);
+                dets.onesIndicesInto(scratch.defects);
+                batch.add(scratch.defects);
+                uint64_t actual = 0;
+                obs.onesIndicesInto(obs_indices);
+                for (auto o : obs_indices)
+                    actual |= (1ull << o);
+                actuals.push_back(actual);
             }
 
-            uint64_t actual = 0;
-            for (auto o : obs.onesIndices())
-                actual |= (1ull << o);
-            bool error = (dr.obsMask != actual);
+            decoder->decodeBatch(batch, results, scratch);
 
-            local.logicalErrors.trials++;
-            if (error)
-                local.logicalErrors.successes++;
+            for (uint64_t i = 0; i < n; i++) {
+                const uint64_t s = block + i;
+                const DecodeResult &dr = results[i];
+                const size_t hw = batch.hw(i);
+                local.hammingWeights.add(hw);
+                if (dr.gaveUp) {
+                    local.gaveUps++;
+                    local.gaveUpHw.add(hw);
+                }
 
-            local.latencyNs.add(dr.latencyNs);
-            local.latencyHist.add(dr.latencyNs);
-            if (hw > 2) {
-                local.latencyNontrivialNs.add(dr.latencyNs);
-                local.latencyNontrivialHist.add(dr.latencyNs);
-            }
+                const uint64_t actual = actuals[i];
+                const bool error = (dr.obsMask != actual);
 
-            if (recorder != nullptr) {
-                telemetry::DecodeRecord rec;
-                rec.shot = s;
-                rec.worker = worker;
-                rec.defects = defects;
-                rec.obsMask = dr.obsMask;
-                rec.actualObs = actual;
-                rec.gaveUp = dr.gaveUp;
-                rec.logicalError = error;
-                rec.latencyNs = dr.latencyNs;
-                rec.cycles = dr.cycles;
-                rec.matchingWeight = dr.matchingWeight;
-                recorder->record(rec);
-            }
+                local.logicalErrors.trials++;
+                if (error)
+                    local.logicalErrors.successes++;
 
-            if (trace != nullptr && s % trace_stride == 0) {
-                telemetry::JsonWriter w;
-                w.beginObject()
-                    .kv("type", "shot")
-                    .kv("shot", s)
-                    .kv("worker", uint64_t{worker})
-                    .kv("hw", uint64_t{hw})
-                    .kv("latency_ns", dr.latencyNs)
-                    .kv("gave_up", dr.gaveUp)
-                    .kv("logical_error", error)
-                    .endObject();
-                trace->line(w.str());
+                local.latencyNs.add(dr.latencyNs);
+                local.latencyHist.add(dr.latencyNs);
+                if (hw > 2) {
+                    local.latencyNontrivialNs.add(dr.latencyNs);
+                    local.latencyNontrivialHist.add(dr.latencyNs);
+                }
+
+                if (recorder != nullptr) {
+                    telemetry::DecodeRecord rec;
+                    rec.shot = s;
+                    rec.worker = worker;
+                    auto sp = batch.at(i);
+                    rec.defects.assign(sp.begin(), sp.end());
+                    rec.obsMask = dr.obsMask;
+                    rec.actualObs = actual;
+                    rec.gaveUp = dr.gaveUp;
+                    rec.logicalError = error;
+                    rec.latencyNs = dr.latencyNs;
+                    rec.cycles = dr.cycles;
+                    rec.matchingWeight = dr.matchingWeight;
+                    recorder->record(rec);
+                }
+
+                if (trace != nullptr && s % trace_stride == 0) {
+                    telemetry::JsonWriter w;
+                    w.beginObject()
+                        .kv("type", "shot")
+                        .kv("shot", s)
+                        .kv("worker", uint64_t{worker})
+                        .kv("hw", uint64_t{hw})
+                        .kv("latency_ns", dr.latencyNs)
+                        .kv("gave_up", dr.gaveUp)
+                        .kv("logical_error", error)
+                        .endObject();
+                    trace->line(w.str());
+                }
             }
         }
 

@@ -22,6 +22,7 @@
 #include "circuit/circuit.hh"
 #include "common/stats.hh"
 #include "decoders/decoder.hh"
+#include "decoders/registry.hh"
 #include "decoders/union_find_decoder.hh"
 #include "dem/error_model.hh"
 #include "graph/decoding_graph.hh"
@@ -90,6 +91,21 @@ class ExperimentContext
 using DecoderFactory =
     std::function<std::unique_ptr<Decoder>(const ExperimentContext &)>;
 
+/**
+ * Bind a context's pieces (gwt, graph, detector info, rounds,
+ * distance, p) into registry options. Per-decoder knob structs keep
+ * their defaults; callers override them before DecoderRegistry::make.
+ */
+DecoderOptions decoderOptionsFor(const ExperimentContext &ctx);
+
+/**
+ * A factory that resolves any registry name ("astrea", "mwpm",
+ * "windowed-greedy", ...) against the experiment context; fatals on
+ * unknown names with the registry's name enumeration.
+ */
+DecoderFactory registryFactory(std::string name);
+
+// Named factories: thin registry wrappers that pre-set one knob struct.
 DecoderFactory mwpmFactory();
 DecoderFactory astreaFactory(AstreaConfig config = {});
 DecoderFactory astreaGFactory(AstreaGConfig config = {});

@@ -9,7 +9,7 @@
 #include <sstream>
 
 #include "common/weight.hh"
-#include "decoders/mwpm_decoder.hh"
+#include "decoders/registry.hh"
 
 namespace astrea
 {
@@ -54,50 +54,20 @@ parseConfig(const telemetry::JsonValue &ctx, ExperimentConfig &cfg,
 }
 
 /**
- * Rebuild the captured decoder against a freshly-built context. The
- * Astrea-G replay turns recordMatching on so the chosen matching is
- * reported (the Monte-Carlo run that wrote the capture leaves it off).
+ * Rebuild the captured decoder against a freshly-built context, via
+ * the registry's display-name + describeConfig round-trip. The replay
+ * turns recordMatching on (absent from captures) so Astrea-G reports
+ * the chosen matching; the Monte-Carlo run that wrote the capture
+ * leaves it off.
  */
 std::unique_ptr<Decoder>
 buildDecoder(const ReplayCapture &capture, const ExperimentContext &ctx,
              std::string *error_out)
 {
-    const telemetry::JsonValue &dc = capture.decoderConfig;
-    if (capture.decoderName == "Astrea-G") {
-        AstreaGConfig c;
-        c.fetchWidth =
-            static_cast<uint32_t>(dc["fetch_width"].asUint(c.fetchWidth));
-        c.queueCapacity = static_cast<uint32_t>(
-            dc["queue_capacity"].asUint(c.queueCapacity));
-        // Captures store the resolved threshold, so no regime
-        // re-resolution happens here.
-        c.weightThresholdDecades = dc["weight_threshold_decades"]
-                                       .asNumber(c.weightThresholdDecades);
-        c.cycleBudget = dc["cycle_budget"].asUint(c.cycleBudget);
-        c.exhaustiveMaxHw = static_cast<uint32_t>(
-            dc["exhaustive_max_hw"].asUint(c.exhaustiveMaxHw));
-        c.maxDefects =
-            static_cast<uint32_t>(dc["max_defects"].asUint(c.maxDefects));
-        c.requeueContinuations =
-            dc["requeue_continuations"].asBool(c.requeueContinuations);
-        c.recordMatching = true;
-        return std::make_unique<AstreaGDecoder>(ctx.gwt(), c);
-    }
-    if (capture.decoderName == "Astrea") {
-        AstreaConfig c;
-        c.maxHammingWeight = static_cast<uint32_t>(
-            dc["max_hamming_weight"].asUint(c.maxHammingWeight));
-        c.quantizedWeights =
-            dc["quantized_weights"].asBool(c.quantizedWeights);
-        c.useEffectiveWeights =
-            dc["use_effective_weights"].asBool(c.useEffectiveWeights);
-        return std::make_unique<AstreaDecoder>(ctx.gwt(), c);
-    }
-    if (capture.decoderName == "MWPM")
-        return std::make_unique<MwpmDecoder>(ctx.gwt());
-    *error_out =
-        "cannot rebuild decoder \"" + capture.decoderName + "\"";
-    return nullptr;
+    DecoderOptions opts = decoderOptionsFor(ctx);
+    opts.astreaG.recordMatching = true;
+    return DecoderRegistry::global().makeFromDescription(
+        capture.decoderName, capture.decoderConfig, opts, error_out);
 }
 
 double
@@ -313,9 +283,11 @@ replayCapture(const ReplayCapture &capture,
         wth_decades = capture.decoderConfig["weight_threshold_decades"]
                           .asNumber(wth_decades);
 
+    DecodeResult dr;
+    DecodeScratch scratch;
     for (size_t i = 0; i < capture.records.size(); i++) {
         const telemetry::DecodeRecord &rec = capture.records[i];
-        DecodeResult dr = decoder->decode(rec.defects);
+        decoder->decodeInto(rec.defects, dr, scratch);
 
         // The verdict must reproduce exactly: the decoders are pure
         // functions of (GWT, defects), and the GWT is rebuilt from the

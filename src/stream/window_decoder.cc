@@ -8,6 +8,24 @@
 namespace astrea
 {
 
+namespace
+{
+
+/** Per-scratch reusable window-assembly buffers. */
+struct WindowScratch : DecodeScratch::Ext
+{
+    /** Defects bucketed by round. */
+    std::vector<std::vector<uint32_t>> byRound;
+    /** Defects deferred past the previous window's commit region. */
+    std::vector<uint32_t> carried;
+    /** The assembled window handed to the inner decoder. */
+    std::vector<uint32_t> window;
+    /** The inner decoder's result (reused across windows). */
+    DecodeResult inner;
+};
+
+} // namespace
+
 WindowDecoder::WindowDecoder(const GlobalWeightTable &gwt,
                              const std::vector<DetectorInfo> &info,
                              uint32_t total_rounds, uint32_t distance,
@@ -33,23 +51,41 @@ WindowDecoder::name() const
     return "Windowed(" + inner_->name() + ")";
 }
 
-DecodeResult
-WindowDecoder::decode(const std::vector<uint32_t> &defects)
+void
+WindowDecoder::describeConfig(telemetry::JsonWriter &w) const
+{
+    w.kv("window_rounds", uint64_t{windowRounds_});
+    w.kv("commit_rounds", uint64_t{commitRounds_});
+    inner_->describeConfig(w);
+}
+
+void
+WindowDecoder::decodeInto(std::span<const uint32_t> defects,
+                          DecodeResult &result, DecodeScratch &scratch)
 {
     stats_.decodes++;
-    DecodeResult result;
+    result.reset();
     if (defects.empty())
-        return result;
+        return;
+
+    WindowScratch &s = scratch.ext<WindowScratch>();
 
     // Bucket defects by round.
-    std::vector<std::vector<uint32_t>> by_round(totalRounds_);
+    auto &by_round = s.byRound;
+    if (by_round.size() < totalRounds_)
+        by_round.resize(totalRounds_);
+    for (uint32_t r = 0; r < totalRounds_; r++)
+        by_round[r].clear();
     for (auto d : defects) {
         uint32_t r = detectorInfo_[d].round;
         ASTREA_CHECK(r < totalRounds_, "defect round out of range");
         by_round[r].push_back(d);
     }
 
-    std::vector<uint32_t> carried;
+    auto &carried = s.carried;
+    carried.clear();
+    carried.reserve(defects.size());
+    auto &window = s.window;
     uint32_t t0 = 0;
     while (true) {
         const uint32_t w_end =
@@ -60,7 +96,8 @@ WindowDecoder::decode(const std::vector<uint32_t> &defects)
 
         // Assemble the window: carried past defects plus everything in
         // [t0, w_end).
-        std::vector<uint32_t> window = carried;
+        window.assign(carried.begin(), carried.end());
+        window.reserve(defects.size());
         stats_.carriedDefects += carried.size();
         ASTREA_COUNTER_ADD("stream.carried_defects", carried.size());
         carried.clear();
@@ -79,7 +116,11 @@ WindowDecoder::decode(const std::vector<uint32_t> &defects)
             stats_.maxWindowDefects =
                 std::max(stats_.maxWindowDefects, window.size());
 
-            DecodeResult dr = inner_->decode(window);
+            // The inner result and scratch live in this scratch, so a
+            // shot's windows — and successive shots — reuse the same
+            // buffers; matchedPairs is read in place, never copied.
+            DecodeResult &dr = s.inner;
+            inner_->decodeInto(window, dr, scratch.inner());
             ASTREA_GAUGE_MAX("stream.max_window_matching",
                              dr.matchedPairs.size());
             result.cycles += dr.cycles;
@@ -142,7 +183,6 @@ WindowDecoder::decode(const std::vector<uint32_t> &defects)
             break;
         t0 += commitRounds_;
     }
-    return result;
 }
 
 } // namespace astrea

@@ -80,8 +80,14 @@ class WindowDecoder : public Decoder
                   std::unique_ptr<Decoder> inner,
                   StreamingConfig config = {});
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    void decodeInto(std::span<const uint32_t> defects, DecodeResult &out,
+                    DecodeScratch &scratch) override;
     std::string name() const override;
+
+    /** Window geometry plus the inner decoder's config, flattened
+     *  (key sets are disjoint), so captures round-trip through the
+     *  registry. */
+    void describeConfig(telemetry::JsonWriter &w) const override;
 
     const StreamingStats &stats() const { return stats_; }
     uint32_t windowRounds() const { return windowRounds_; }

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * DecoderRegistry conformance tests.
+ *
+ * Every registered decoder name must be constructible from the typed
+ * DecoderOptions, and its allocation-free batch path (decodeInto /
+ * decodeBatch with reused buffers) must produce results identical to
+ * the single-shot decode() shim on seeded random shots. Also covers
+ * alias and display-name resolution, the enumerating unknown-name
+ * error, and the capture round-trip through makeFromDescription().
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hh"
+#include "decoders/registry.hh"
+#include "harness/memory_experiment.hh"
+#include "telemetry/json_value.hh"
+
+namespace astrea
+{
+namespace
+{
+
+const ExperimentContext &
+contextFor(uint32_t distance)
+{
+    static ExperimentContext d3 = [] {
+        ExperimentConfig cfg;
+        cfg.distance = 3;
+        cfg.physicalErrorRate = 3e-3;
+        return ExperimentContext(cfg);
+    }();
+    static ExperimentContext d5 = [] {
+        ExperimentConfig cfg;
+        cfg.distance = 5;
+        cfg.physicalErrorRate = 3e-3;
+        return ExperimentContext(cfg);
+    }();
+    return distance == 3 ? d3 : d5;
+}
+
+// ------------------------------------------------------------ metadata
+
+TEST(Registry, ListsEveryCoreNameOnce)
+{
+    std::set<std::string> names;
+    for (const auto &info : DecoderRegistry::global().listDecoders()) {
+        EXPECT_TRUE(names.insert(info.name).second)
+            << "duplicate listing for " << info.name;
+        EXPECT_FALSE(info.description.empty()) << info.name;
+    }
+    for (const char *expected :
+         {"astrea", "astrea-g", "mwpm", "union-find", "clique", "lut",
+          "greedy", "windowed-astrea", "windowed-mwpm",
+          "windowed-greedy"}) {
+        EXPECT_TRUE(names.count(expected))
+            << "registry missing " << expected;
+    }
+}
+
+TEST(Registry, KindsAndAliases)
+{
+    for (const auto &info : DecoderRegistry::global().listDecoders()) {
+        if (info.name == "mwpm") {
+            EXPECT_EQ(info.kind, DecoderKind::Software);
+            ASSERT_EQ(info.aliases.size(), 1u);
+            EXPECT_EQ(info.aliases[0], "blossom");
+        } else if (info.name == "union-find") {
+            ASSERT_EQ(info.aliases.size(), 1u);
+            EXPECT_EQ(info.aliases[0], "uf");
+        } else if (info.name == "astrea") {
+            EXPECT_EQ(info.kind, DecoderKind::Hardware);
+        } else if (info.name.rfind("windowed-", 0) == 0) {
+            EXPECT_EQ(info.kind, DecoderKind::Wrapper);
+        }
+    }
+    EXPECT_STREQ(decoderKindName(DecoderKind::Hardware), "hardware");
+    EXPECT_STREQ(decoderKindName(DecoderKind::Software), "software");
+    EXPECT_STREQ(decoderKindName(DecoderKind::Wrapper), "wrapper");
+}
+
+TEST(Registry, CanonicalNameResolution)
+{
+    const auto &reg = DecoderRegistry::global();
+    // Canonical names resolve to themselves.
+    EXPECT_EQ(reg.canonicalName("astrea"), "astrea");
+    EXPECT_EQ(reg.canonicalName("windowed-mwpm"), "windowed-mwpm");
+    // Aliases.
+    EXPECT_EQ(reg.canonicalName("blossom"), "mwpm");
+    EXPECT_EQ(reg.canonicalName("uf"), "union-find");
+    EXPECT_EQ(reg.canonicalName("windowed-blossom"), "windowed-mwpm");
+    // Display names (Decoder::name() output).
+    EXPECT_EQ(reg.canonicalName("Astrea"), "astrea");
+    EXPECT_EQ(reg.canonicalName("Astrea-G"), "astrea-g");
+    EXPECT_EQ(reg.canonicalName("MWPM"), "mwpm");
+    EXPECT_EQ(reg.canonicalName("UF(AFS)"), "union-find");
+    EXPECT_EQ(reg.canonicalName("UF-weighted"), "union-find");
+    EXPECT_EQ(reg.canonicalName("LUT(LILLIPUT)"), "lut");
+    EXPECT_EQ(reg.canonicalName("Windowed(MWPM)"), "windowed-mwpm");
+    EXPECT_EQ(reg.canonicalName("Windowed(Astrea)"), "windowed-astrea");
+    // Unknown or ineligible names resolve to "".
+    EXPECT_EQ(reg.canonicalName("bogus"), "");
+    EXPECT_EQ(reg.canonicalName(""), "");
+    // Only matching-reporting inners may be windowed, and the prefix
+    // does not nest.
+    EXPECT_EQ(reg.canonicalName("windowed-lut"), "");
+    EXPECT_EQ(reg.canonicalName("windowed-windowed-mwpm"), "");
+}
+
+TEST(Registry, UnknownNameErrorEnumeratesKnownNames)
+{
+    DecoderOptions opts = decoderOptionsFor(contextFor(3));
+    std::string error;
+    auto dec = DecoderRegistry::global().make("no-such", opts, &error);
+    EXPECT_EQ(dec, nullptr);
+    EXPECT_NE(error.find("unknown decoder 'no-such'"),
+              std::string::npos)
+        << error;
+    for (const char *name : {"astrea", "astrea-g", "mwpm", "blossom",
+                             "union-find", "uf", "clique", "lut",
+                             "greedy", "windowed-"}) {
+        EXPECT_NE(error.find(name), std::string::npos)
+            << "error does not enumerate " << name << ": " << error;
+    }
+}
+
+TEST(Registry, MissingContextIsAnErrorNotACrash)
+{
+    DecoderOptions empty;  // No gwt / graph / detectorInfo.
+    std::string error;
+    for (const char *name :
+         {"astrea", "mwpm", "union-find", "clique", "lut", "greedy",
+          "windowed-mwpm"}) {
+        error.clear();
+        auto dec = DecoderRegistry::global().make(name, empty, &error);
+        EXPECT_EQ(dec, nullptr) << name;
+        EXPECT_FALSE(error.empty()) << name;
+    }
+}
+
+// -------------------------------------------- batch/single equivalence
+
+/**
+ * Drive one decoder instance through the decode() shim and a second,
+ * identically-configured instance through decodeBatch() with reused
+ * result/scratch buffers; every observable outcome must agree.
+ */
+void
+expectBatchMatchesSingle(const std::string &name, uint32_t distance,
+                         int shots)
+{
+    const ExperimentContext &ctx = contextFor(distance);
+    DecoderOptions opts = decoderOptionsFor(ctx);
+    std::string error;
+    auto single = DecoderRegistry::global().make(name, opts, &error);
+    ASSERT_NE(single, nullptr) << name << ": " << error;
+    auto batched = DecoderRegistry::global().make(name, opts, &error);
+    ASSERT_NE(batched, nullptr) << name << ": " << error;
+
+    Rng rng(1234 + distance);
+    BitVec dets, obs;
+    SyndromeBatch batch;
+    std::vector<DecodeResult> batch_results;
+    std::vector<DecodeResult> single_results;
+    DecodeScratch scratch;
+
+    constexpr int kBatchShots = 64;
+    int done = 0;
+    while (done < shots) {
+        const int n = std::min(kBatchShots, shots - done);
+        batch.clear();
+        single_results.clear();
+        for (int i = 0; i < n; i++) {
+            ctx.sampler().sample(rng, dets, obs);
+            std::vector<uint32_t> defects = dets.onesIndices();
+            batch.add(defects);
+            single_results.push_back(single->decode(defects));
+        }
+        batched->decodeBatch(batch, batch_results, scratch);
+        ASSERT_GE(batch_results.size(), static_cast<size_t>(n));
+        for (int i = 0; i < n; i++) {
+            const DecodeResult &a = single_results[i];
+            const DecodeResult &b = batch_results[i];
+            const int shot = done + i;
+            EXPECT_EQ(a.obsMask, b.obsMask) << name << " shot " << shot;
+            EXPECT_EQ(a.gaveUp, b.gaveUp) << name << " shot " << shot;
+            EXPECT_EQ(a.cycles, b.cycles) << name << " shot " << shot;
+            EXPECT_NEAR(a.matchingWeight, b.matchingWeight, 1e-9)
+                << name << " shot " << shot;
+            EXPECT_EQ(a.matchedPairs, b.matchedPairs)
+                << name << " shot " << shot;
+        }
+        done += n;
+    }
+}
+
+TEST(Registry, EveryListedDecoderBatchEqualsSingleShot)
+{
+    for (const auto &info : DecoderRegistry::global().listDecoders()) {
+        SCOPED_TRACE(info.name);
+        for (uint32_t d : {3u, 5u})
+            expectBatchMatchesSingle(info.name, d, 1000);
+    }
+}
+
+// --------------------------------------------------- capture round-trip
+
+TEST(Registry, MakeFromDescriptionRoundTrip)
+{
+    const ExperimentContext &ctx = contextFor(5);
+    DecoderOptions opts = decoderOptionsFor(ctx);
+    opts.astreaG.weightThresholdDecades = 3.0;
+    std::string error;
+
+    for (const char *name :
+         {"astrea", "astrea-g", "mwpm", "union-find", "greedy",
+          "windowed-mwpm"}) {
+        auto original =
+            DecoderRegistry::global().make(name, opts, &error);
+        ASSERT_NE(original, nullptr) << name << ": " << error;
+
+        telemetry::JsonValue desc;
+        ASSERT_TRUE(telemetry::parseJson(
+            decoderDescriptionJson(*original), desc))
+            << name;
+        auto rebuilt = DecoderRegistry::global().makeFromDescription(
+            desc["name"].asString(""), desc, opts, &error);
+        ASSERT_NE(rebuilt, nullptr) << name << ": " << error;
+        EXPECT_EQ(rebuilt->name(), original->name()) << name;
+        EXPECT_EQ(decoderDescriptionJson(*rebuilt),
+                  decoderDescriptionJson(*original))
+            << name;
+
+        // The rebuilt decoder behaves identically.
+        Rng rng(7);
+        BitVec dets, obs;
+        for (int s = 0; s < 200; s++) {
+            ctx.sampler().sample(rng, dets, obs);
+            auto defects = dets.onesIndices();
+            DecodeResult a = original->decode(defects);
+            DecodeResult b = rebuilt->decode(defects);
+            EXPECT_EQ(a.obsMask, b.obsMask) << name << " shot " << s;
+            EXPECT_EQ(a.gaveUp, b.gaveUp) << name << " shot " << s;
+        }
+    }
+
+    // Unknown display names fail with an enumerating error.
+    telemetry::JsonValue null_cfg;
+    auto bad = DecoderRegistry::global().makeFromDescription(
+        "NotADecoder", null_cfg, opts, &error);
+    EXPECT_EQ(bad, nullptr);
+    EXPECT_NE(error.find("NotADecoder"), std::string::npos) << error;
+    EXPECT_NE(error.find("astrea"), std::string::npos) << error;
+}
+
+} // namespace
+} // namespace astrea

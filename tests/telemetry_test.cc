@@ -38,19 +38,19 @@ namespace
  * into a tagged tree; good enough to validate exporter output without
  * external dependencies.
  */
-struct JsonValue
+struct LocalJsonValue
 {
     enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
     bool b = false;
     double num = 0.0;
     std::string str;
-    std::vector<JsonValue> arr;
-    std::map<std::string, JsonValue> obj;
+    std::vector<LocalJsonValue> arr;
+    std::map<std::string, LocalJsonValue> obj;
 
     bool has(const std::string &k) const { return obj.count(k) != 0; }
-    const JsonValue &operator[](const std::string &k) const
+    const LocalJsonValue &operator[](const std::string &k) const
     {
-        static JsonValue missing;
+        static LocalJsonValue missing;
         auto it = obj.find(k);
         return it == obj.end() ? missing : it->second;
     }
@@ -62,7 +62,7 @@ class MiniJsonParser
     explicit MiniJsonParser(const std::string &text) : s_(text) {}
 
     bool
-    parse(JsonValue &out)
+    parse(LocalJsonValue &out)
     {
         skipWs();
         if (!parseValue(out))
@@ -134,7 +134,7 @@ class MiniJsonParser
     }
 
     bool
-    parseValue(JsonValue &out)
+    parseValue(LocalJsonValue &out)
     {
         skipWs();
         if (pos_ >= s_.size())
@@ -142,7 +142,7 @@ class MiniJsonParser
         char c = s_[pos_];
         if (c == '{') {
             pos_++;
-            out.kind = JsonValue::Object;
+            out.kind = LocalJsonValue::Object;
             skipWs();
             if (pos_ < s_.size() && s_[pos_] == '}') {
                 pos_++;
@@ -156,7 +156,7 @@ class MiniJsonParser
                 skipWs();
                 if (pos_ >= s_.size() || s_[pos_++] != ':')
                     return false;
-                JsonValue v;
+                LocalJsonValue v;
                 if (!parseValue(v))
                     return false;
                 out.obj[k] = v;
@@ -176,14 +176,14 @@ class MiniJsonParser
         }
         if (c == '[') {
             pos_++;
-            out.kind = JsonValue::Array;
+            out.kind = LocalJsonValue::Array;
             skipWs();
             if (pos_ < s_.size() && s_[pos_] == ']') {
                 pos_++;
                 return true;
             }
             while (true) {
-                JsonValue v;
+                LocalJsonValue v;
                 if (!parseValue(v))
                     return false;
                 out.arr.push_back(v);
@@ -202,21 +202,21 @@ class MiniJsonParser
             }
         }
         if (c == '"') {
-            out.kind = JsonValue::String;
+            out.kind = LocalJsonValue::String;
             return parseString(out.str);
         }
         if (c == 't') {
-            out.kind = JsonValue::Bool;
+            out.kind = LocalJsonValue::Bool;
             out.b = true;
             return literal("true");
         }
         if (c == 'f') {
-            out.kind = JsonValue::Bool;
+            out.kind = LocalJsonValue::Bool;
             out.b = false;
             return literal("false");
         }
         if (c == 'n') {
-            out.kind = JsonValue::Null;
+            out.kind = LocalJsonValue::Null;
             return literal("null");
         }
         // Number.
@@ -231,7 +231,7 @@ class MiniJsonParser
         }
         if (pos_ == start)
             return false;
-        out.kind = JsonValue::Number;
+        out.kind = LocalJsonValue::Number;
         out.num = std::stod(s_.substr(start, pos_ - start));
         return true;
     }
@@ -241,7 +241,7 @@ class MiniJsonParser
 };
 
 bool
-parseJson(const std::string &text, JsonValue &out)
+parseJson(const std::string &text, LocalJsonValue &out)
 {
     MiniJsonParser p(text);
     return p.parse(out);
@@ -273,17 +273,17 @@ TEST(JsonWriterTest, StructureAndEscaping)
     w.endObject();
 
     ASSERT_TRUE(w.balanced());
-    JsonValue doc;
+    LocalJsonValue doc;
     ASSERT_TRUE(parseJson(w.str(), doc)) << w.str();
     EXPECT_EQ(doc["name"].str, "a\"b\\c\nd");
     EXPECT_EQ(doc["count"].num, 42.0);
     EXPECT_EQ(doc["ratio"].num, 0.25);
     EXPECT_EQ(doc["neg"].num, -7.0);
     EXPECT_TRUE(doc["flag"].b);
-    EXPECT_EQ(doc["nan"].kind, JsonValue::Null);
+    EXPECT_EQ(doc["nan"].kind, LocalJsonValue::Null);
     ASSERT_EQ(doc["list"].arr.size(), 3u);
     EXPECT_EQ(doc["list"].arr[1].num, 2.0);
-    EXPECT_EQ(doc["empty"].kind, JsonValue::Object);
+    EXPECT_EQ(doc["empty"].kind, LocalJsonValue::Object);
 }
 
 TEST(MetricsTest, CounterConcurrentMergeIsLossless)
@@ -440,16 +440,16 @@ TEST(ExportTest, MetricsJsonRoundTrip)
     reg.intHistogram("rt.hist").add(200);  // Overflow.
     reg.latency("rt.lat").record(128.0);
 
-    JsonValue doc;
+    LocalJsonValue doc;
     ASSERT_TRUE(parseJson(metricsToJson(reg), doc));
 
     EXPECT_EQ(doc["counters"]["rt.counter"].num, 17.0);
     EXPECT_EQ(doc["gauges"]["rt.gauge"].num, -4.0);
-    const JsonValue &h = doc["int_histograms"]["rt.hist"];
+    const LocalJsonValue &h = doc["int_histograms"]["rt.hist"];
     EXPECT_EQ(h["total"].num, 6.0);
     EXPECT_EQ(h["overflow"].num, 1.0);
     EXPECT_EQ(h["bins"]["2"].num, 5.0);
-    const JsonValue &l = doc["latency_histograms"]["rt.lat"];
+    const LocalJsonValue &l = doc["latency_histograms"]["rt.lat"];
     EXPECT_EQ(l["count"].num, 1.0);
     EXPECT_DOUBLE_EQ(l["min_ns"].num, 128.0);
     EXPECT_DOUBLE_EQ(l["max_ns"].num, 128.0);
@@ -477,9 +477,9 @@ TEST(ExportTest, TraceWriterEmitsParsableJsonl)
     std::ifstream in(path);
     ASSERT_TRUE(in.good());
     std::string line;
-    std::vector<JsonValue> events;
+    std::vector<LocalJsonValue> events;
     while (std::getline(in, line)) {
-        JsonValue v;
+        LocalJsonValue v;
         ASSERT_TRUE(parseJson(line, v)) << line;
         events.push_back(v);
     }
@@ -507,7 +507,7 @@ TEST(ExportTest, GlobalTraceCapturesSpans)
     std::string line;
     bool found = false;
     while (std::getline(in, line)) {
-        JsonValue v;
+        LocalJsonValue v;
         ASSERT_TRUE(parseJson(line, v)) << line;
         if (v["type"].str == "span" &&
             v["path"].str == "traced_span") {

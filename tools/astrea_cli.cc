@@ -37,6 +37,7 @@
  * --shots. Results append to the output file, as the artifact does.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -51,6 +52,7 @@
 #include "bench_util.hh"
 #include "common/cli.hh"
 #include "common/env.hh"
+#include "decoders/registry.hh"
 #include "harness/decode_service.hh"
 #include "harness/hw_histogram.hh"
 #include "harness/memory_experiment.hh"
@@ -182,6 +184,33 @@ commandReplay(const std::vector<std::string> &pos, const Options &opts)
     return summary.ok() ? 0 : 1;
 }
 
+/**
+ * `astrea_cli list-decoders`: print the registry's metadata — the one
+ * source of truth for every name the harness, service, benches and
+ * replayer accept.
+ */
+int
+commandListDecoders()
+{
+    const auto infos = DecoderRegistry::global().listDecoders();
+    size_t name_w = 0;
+    for (const DecoderInfo &info : infos) {
+        std::string names = info.name;
+        for (const std::string &a : info.aliases)
+            names += ", " + a;
+        name_w = std::max(name_w, names.size());
+    }
+    for (const DecoderInfo &info : infos) {
+        std::string names = info.name;
+        for (const std::string &a : info.aliases)
+            names += ", " + a;
+        std::printf("%-*s  %-8s  %s\n", static_cast<int>(name_w),
+                    names.c_str(), decoderKindName(info.kind),
+                    info.description.c_str());
+    }
+    return 0;
+}
+
 volatile std::sig_atomic_t g_serve_stop = 0;
 
 void
@@ -294,9 +323,10 @@ usage(const char *argv0)
         "or:    %s serve [--d=N] [--p=P] [--decoder=NAME] "
         "[--threads=N] [--port=N] [--bind=ADDR] [--duration=2s] "
         "[--port-file=PATH] [--budget-ns=NS]\n"
+        "or:    %s list-decoders\n"
         "flags: --shots=N --seed=N --log-level=LVL "
         "--trace-file=PATH --chrome-trace=PATH\n",
-        argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0);
     return 1;
 }
 
@@ -319,6 +349,8 @@ main(int argc, char **argv)
         return commandReplay(pos, opts);
     if (!pos.empty() && pos[0] == "serve")
         return commandServe(opts);
+    if (!pos.empty() && pos[0] == "list-decoders")
+        return commandListDecoders();
 
     if (pos.size() < 2)
         return usage(argv[0]);

@@ -135,6 +135,30 @@ def validate(path):
                 fail(path,
                      f"latency histogram '{name}' missing '{field}'")
 
+    # Optional: allocations-per-decode block (bench_astrea_latency).
+    if "allocations" in doc:
+        alloc = doc["allocations"]
+        if not isinstance(alloc, dict):
+            fail(path, "'allocations' must be an object")
+        for key in ("hook_installed", "decodes", "total", "per_decode"):
+            if key not in alloc:
+                fail(path, f"allocations missing '{key}'")
+        if not isinstance(alloc["hook_installed"], bool):
+            fail(path, "allocations.hook_installed must be a bool")
+        for key in ("decodes", "total"):
+            if not isinstance(alloc[key], int) or alloc[key] < 0:
+                fail(path,
+                     f"allocations.{key} must be a non-negative "
+                     f"integer")
+        per = alloc["per_decode"]
+        if not isinstance(per, (int, float)) or per < 0:
+            fail(path, "allocations.per_decode must be >= 0")
+        if alloc["hook_installed"] and alloc["per_decode"] != 0:
+            fail(path,
+                 "allocations.per_decode must be 0 when the counting "
+                 "hook is installed (steady-state decode must not "
+                 "allocate)")
+
     print(f"{path}: ok (bench={doc['bench']})")
 
 
