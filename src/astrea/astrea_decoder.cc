@@ -3,11 +3,42 @@
 #include <cmath>
 #include <span>
 
+#include "astrea/lwt_tile.hh"
+#include "astrea/matching_tables.hh"
 #include "common/logging.hh"
 #include "telemetry/telemetry.hh"
 
 namespace astrea
 {
+
+namespace detail
+{
+
+/** Per-scratch reusable buffers shared by both decode paths. */
+struct AstreaScratch : DecodeScratch::Ext
+{
+    /** Quantized path: the per-decode dense weight/obs gather. */
+    LwtTile tile;
+
+    /** Exact path: node ids 0..m-1 (+ virtual boundary for odd HW). */
+    std::vector<int> nodes;
+    /** Exact path: winning matching of the whole search. */
+    PairList best;
+    /** Exact path: HW6 leaf output, remapped by the caller. */
+    PairList local;
+
+    /** One per pre-match recursion depth (HW 10 needs two). */
+    struct Level
+    {
+        std::vector<int> rest;
+        PairList sub;
+    };
+    std::vector<Level> levels;
+};
+
+} // namespace detail
+
+using detail::AstreaScratch;
 
 AstreaDecoder::AstreaDecoder(const GlobalWeightTable &gwt,
                              AstreaConfig config)
@@ -46,30 +77,13 @@ AstreaDecoder::totalCycles(uint32_t hamming_weight)
 namespace
 {
 
-/** Per-scratch reusable buffers for the pre-match search. */
-struct AstreaScratch : DecodeScratch::Ext
-{
-    /** Node ids 0..m-1 (+ virtual boundary for odd HW). */
-    std::vector<int> nodes;
-    /** Winning matching of the whole search. */
-    PairList best;
-    /** HW6 leaf output, remapped into node ids by the caller. */
-    PairList local;
-
-    /** One per pre-match recursion depth (HW 10 needs two). */
-    struct Level
-    {
-        std::vector<int> rest;
-        PairList sub;
-    };
-    std::vector<Level> levels;
-};
-
 /**
  * Exhaustive search by pre-matching: pair the first remaining node
  * with every other option, recursing until 6 or fewer nodes remain for
  * the HW6Decoder. This is exactly the hardware's schedule for HW 8
- * (7 pre-matchings) and HW 10 (63 pre-matchings).
+ * (7 pre-matchings) and HW 10 (63 pre-matchings). Only the
+ * exact-weight ablation runs this; the quantized path evaluates the
+ * flattened MatchingTable in one kernel pass instead.
  *
  * All work buffers come from the scratch's per-depth levels, which the
  * caller sized before entry (resizing mid-recursion would invalidate
@@ -125,30 +139,53 @@ searchPrematch(const Hw6Decoder &hw6, std::span<const int> nodes,
     return best;
 }
 
+/** Modeled hardware HW6-unit invocations for an m-node search. */
+uint64_t
+modeledHw6Invocations(int m)
+{
+    if (m <= 6)
+        return 1;
+    return m == 8 ? 7 : 63;
+}
+
 } // namespace
 
 void
-AstreaDecoder::decodeInto(std::span<const uint32_t> defects,
-                          DecodeResult &out, DecodeScratch &scratch)
+AstreaDecoder::decodeKernel(std::span<const uint32_t> defects,
+                            DecodeResult &out, AstreaScratch &s)
 {
-    out.reset();
+    s.tile.build(gwt_, defects, config_.useEffectiveWeights);
+    const int m = s.tile.nodes();
+    const int virt = s.tile.virtualNode();
+
+    const MatchingTable &table = MatchingTable::forNodes(m);
+    const KernelMatch km = matchTile16(table, s.tile.weights(), kernel_);
+    ASTREA_CHECK(km.weight < kInfiniteTileWeight,
+                 "Astrea found no finite matching");
+
+    const uint64_t invocations = modeledHw6Invocations(m);
+    stats_.hw6Invocations += invocations;
+    ASTREA_COUNTER_ADD("astrea.hw6_invocations", invocations);
+
+    out.matchedPairs.reserve(static_cast<size_t>(table.pairsPerRow()));
+    for (int k = 0; k < table.pairsPerRow(); k++) {
+        auto [i, j] = table.pairAt(km.row, k);
+        out.obsMask ^= s.tile.obsAt(i, j);
+        // Report the pairing; the virtual boundary node maps to -1.
+        int32_t a = (i == virt) ? -1 : static_cast<int32_t>(i);
+        int32_t b = (j == virt) ? -1 : static_cast<int32_t>(j);
+        if (a < 0)
+            std::swap(a, b);
+        out.matchedPairs.push_back({a, b});
+    }
+    out.matchingWeight = static_cast<double>(km.weight) / kWeightScale;
+}
+
+void
+AstreaDecoder::decodeExact(std::span<const uint32_t> defects,
+                           DecodeResult &out, AstreaScratch &s)
+{
     const uint32_t w = static_cast<uint32_t>(defects.size());
-    stats_.decodes++;
-    ASTREA_COUNTER_INC("astrea.decodes");
-    ASTREA_HIST_ADD("astrea.decode_hw", w);
-    if (w == 0) {
-        stats_.trivialDecodes++;
-        return;
-    }
-    if (w > config_.maxHammingWeight) {
-        stats_.gaveUps++;
-        ASTREA_COUNTER_INC("astrea.gave_ups");
-        ASTREA_HIST_ADD("astrea.give_up_hw", w);
-        out.gaveUp = true;
-        return;
-    }
-    if (w <= 2)
-        stats_.trivialDecodes++;
 
     // Nodes 0..w-1 are defects; odd Hamming weights add one virtual
     // boundary node with index w.
@@ -156,15 +193,11 @@ AstreaDecoder::decodeInto(std::span<const uint32_t> defects,
                                : static_cast<int>(w) + 1;
     const int virt = static_cast<int>(w);
 
-    // Exact-weight ablation mode works in 2^-16-decade fixed point so
-    // the integer search machinery is reused unchanged.
+    // Exact-weight mode works in 2^-16-decade fixed point so the
+    // integer search machinery is reused unchanged.
     constexpr double kExactScale = 65536.0;
-    const double weight_scale =
-        config_.quantizedWeights ? kWeightScale : kExactScale;
 
     auto raw_weight = [&](uint32_t a, uint32_t b) -> WeightSum {
-        if (config_.quantizedWeights)
-            return gwt_.pairWeight(a, b);
         double decades = gwt_.exactWeight(a, b);
         if (!std::isfinite(decades))
             return kInfiniteWeightSum;
@@ -200,13 +233,13 @@ AstreaDecoder::decodeInto(std::span<const uint32_t> defects,
         return gwt_.pairObs(a, a) ^ gwt_.pairObs(b, b);
     };
 
-    AstreaScratch &s = scratch.ext<AstreaScratch>();
     s.nodes.resize(static_cast<size_t>(m));
     for (int i = 0; i < m; i++)
         s.nodes[i] = i;
     // Pre-size the recursion levels up front: one per pre-matched pair
     // beyond the HW6 leaf (HW 10 -> 2).
-    const size_t depth_needed = m > 6 ? (static_cast<size_t>(m) - 6 + 1) / 2 : 0;
+    const size_t depth_needed =
+        m > 6 ? (static_cast<size_t>(m) - 6 + 1) / 2 : 0;
     if (s.levels.size() < depth_needed)
         s.levels.resize(depth_needed);
 
@@ -218,11 +251,6 @@ AstreaDecoder::decodeInto(std::span<const uint32_t> defects,
                  "Astrea found no finite matching");
     stats_.hw6Invocations += hw6_invocations;
     ASTREA_COUNTER_ADD("astrea.hw6_invocations", hw6_invocations);
-    if (w > 2) {
-        // HW <= 2 bypasses the engine, so no GWT transfer is modeled.
-        stats_.weightTransferCycles += w + 1;
-        ASTREA_COUNTER_ADD("astrea.weight_transfer_cycles", w + 1);
-    }
 
     out.matchedPairs.reserve(s.best.size());
     for (auto [i, j] : s.best) {
@@ -234,9 +262,58 @@ AstreaDecoder::decodeInto(std::span<const uint32_t> defects,
             std::swap(a, b);
         out.matchedPairs.push_back({a, b});
     }
-    out.matchingWeight = static_cast<double>(total) / weight_scale;
+    out.matchingWeight = static_cast<double>(total) / kExactScale;
+}
+
+void
+AstreaDecoder::decodeInto(std::span<const uint32_t> defects,
+                          DecodeResult &out, DecodeScratch &scratch)
+{
+    out.reset();
+    const uint32_t w = static_cast<uint32_t>(defects.size());
+    stats_.decodes++;
+    ASTREA_COUNTER_INC("astrea.decodes");
+    ASTREA_HIST_ADD("astrea.decode_hw", w);
+    if (w == 0) {
+        stats_.trivialDecodes++;
+        return;
+    }
+    if (w > config_.maxHammingWeight) {
+        stats_.gaveUps++;
+        ASTREA_COUNTER_INC("astrea.gave_ups");
+        ASTREA_HIST_ADD("astrea.give_up_hw", w);
+        out.gaveUp = true;
+        return;
+    }
+    if (w <= 2)
+        stats_.trivialDecodes++;
+
+    AstreaScratch &s = scratch.ext<AstreaScratch>();
+    if (config_.quantizedWeights)
+        decodeKernel(defects, out, s);
+    else
+        decodeExact(defects, out, s);
+
+    if (w > 2) {
+        // HW <= 2 bypasses the engine, so no GWT transfer is modeled.
+        stats_.weightTransferCycles += w + 1;
+        ASTREA_COUNTER_ADD("astrea.weight_transfer_cycles", w + 1);
+    }
     out.cycles = totalCycles(w);
     out.latencyNs = cyclesToNs(out.cycles);
+}
+
+void
+AstreaDecoder::decodeBatch(const SyndromeBatch &batch,
+                           std::vector<DecodeResult> &results,
+                           DecodeScratch &scratch)
+{
+    // One tile reservation serves the whole batch: build() only ever
+    // reuses capacity afterwards, so the per-shot loop allocates
+    // nothing beyond what the results vector itself needs.
+    AstreaScratch &s = scratch.ext<AstreaScratch>();
+    s.tile.reserve(static_cast<int>(config_.maxHammingWeight) + 1);
+    Decoder::decodeBatch(batch, results, scratch);
 }
 
 } // namespace astrea

@@ -19,17 +19,32 @@
  * node. This keeps the search over perfect matchings exactly equivalent
  * to true MWPM (see DESIGN.md). Weight transfer from the GWT costs
  * HW + 1 cycles; total worst case is 114 cycles = 456 ns at 250 MHz.
+ *
+ * In the default quantized mode the software hot path mirrors the
+ * hardware structure directly: one LwtTile gather of the defect
+ * submatrix, then a flat kernel pass (simd_kernel.hh) over the
+ * precomputed MatchingTable of all (m-1)!! candidates — no recursion,
+ * no per-pair callbacks. The exact-weight ablation works in
+ * 2^-16-decade fixed point, which exceeds the kernels' 16-bit tile
+ * domain, so it keeps the recursive pre-match search. Cycle modeling
+ * is identical on both paths.
  */
 
 #ifndef ASTREA_ASTREA_ASTREA_DECODER_HH
 #define ASTREA_ASTREA_ASTREA_DECODER_HH
 
 #include "astrea/hw6.hh"
+#include "astrea/simd_kernel.hh"
 #include "decoders/decoder.hh"
 #include "graph/weight_table.hh"
 
 namespace astrea
 {
+
+namespace detail
+{
+struct AstreaScratch;
+}
 
 /** Configuration for the Astrea decoder. */
 struct AstreaConfig
@@ -60,7 +75,9 @@ struct AstreaStats
     uint64_t decodes = 0;
     /** Syndromes with HW <= 2 (no search needed). */
     uint64_t trivialDecodes = 0;
-    /** HW6Decoder evaluations across all pre-match leaves. */
+    /** HW6Decoder evaluations across all pre-match leaves. On the
+     *  kernel path this counts the modeled hardware invocations
+     *  (1 for HW <= 6, 7 for HW 7-8, 63 for HW 9-10). */
     uint64_t hw6Invocations = 0;
     /** Modeled GWT weight-transfer cycles (HW + 1 per decode). */
     uint64_t weightTransferCycles = 0;
@@ -76,6 +93,13 @@ class AstreaDecoder : public Decoder
 
     void decodeInto(std::span<const uint32_t> defects, DecodeResult &out,
                     DecodeScratch &scratch) override;
+
+    /** Pre-sizes the shared scratch tile once, then loops decodeInto:
+     *  every shot of the batch reuses the same LWT tile allocation. */
+    void decodeBatch(const SyndromeBatch &batch,
+                     std::vector<DecodeResult> &results,
+                     DecodeScratch &scratch) override;
+
     std::string name() const override { return "Astrea"; }
     void describeConfig(telemetry::JsonWriter &w) const override;
 
@@ -84,6 +108,9 @@ class AstreaDecoder : public Decoder
 
     const AstreaStats &stats() const { return stats_; }
 
+    /** The candidate-evaluation kernel the quantized path runs. */
+    KernelKind kernelKind() const { return kernel_; }
+
     /** Modeled decode cycles (excluding weight transfer) for a HW. */
     static uint64_t decodeCycles(uint32_t hamming_weight);
 
@@ -91,10 +118,19 @@ class AstreaDecoder : public Decoder
     static uint64_t totalCycles(uint32_t hamming_weight);
 
   private:
+    /** Quantized hot path: LWT tile gather + flat kernel pass. */
+    void decodeKernel(std::span<const uint32_t> defects,
+                      DecodeResult &out, detail::AstreaScratch &s);
+
+    /** Exact-weight ablation: recursive pre-match search. */
+    void decodeExact(std::span<const uint32_t> defects,
+                     DecodeResult &out, detail::AstreaScratch &s);
+
     const GlobalWeightTable &gwt_;
     AstreaConfig config_;
     Hw6Decoder hw6_;
     AstreaStats stats_;
+    KernelKind kernel_ = activeKernelKind();
 };
 
 } // namespace astrea

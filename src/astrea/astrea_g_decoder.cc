@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "astrea/lwt_tile.hh"
+#include "astrea/matching_tables.hh"
 #include "common/logging.hh"
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/telemetry.hh"
@@ -96,14 +98,14 @@ class PrematchQueue
 /** Per-scratch reusable buffers for the matching pipeline. */
 struct AstreaGScratch : DecodeScratch::Ext
 {
+    /** The per-decode dense weight/obs gather. */
+    LwtTile tile;
     /** Local Weight Table rows (cleared, not freed, between shots). */
     std::vector<std::vector<std::pair<WeightSum, int>>> lwt;
     /** The F pre-matching priority queues. */
     std::vector<PrematchQueue> queues;
     /** Unmatched node ids for the HW6 tail. */
     std::vector<int> rem;
-    /** HW6 tail output. */
-    PairList tail;
     /** Pair list of the best complete matching (recordMatching). */
     std::vector<std::pair<int, int>> bestPairs;
 };
@@ -206,31 +208,27 @@ AstreaGDecoder::decodePipeline(std::span<const uint32_t> defects,
                                DecodeScratch &scratch)
 {
     const uint32_t w = static_cast<uint32_t>(defects.size());
-    const int m = (w % 2 == 0) ? static_cast<int>(w)
-                               : static_cast<int>(w) + 1;
-    const int virt = static_cast<int>(w);
     const uint32_t F = config_.fetchWidth;
 
+    // One dense gather of the defect submatrix: effective pair weights
+    // with the boundary column fetched once per defect (not once per
+    // pair probe), plus the virtual boundary node for odd HW.
+    AstreaGScratch &s = scratch.ext<AstreaGScratch>();
+    s.tile.build(gwt_, defects, /*effective_weights=*/true);
+    const int m = s.tile.nodes();
+    const int virt = s.tile.virtualNode();
+
     auto weight = [&](int i, int j) -> WeightSum {
-        if (i == virt || j == virt) {
-            uint32_t d = defects[i == virt ? j : i];
-            return gwt_.pairWeight(d, d);
-        }
-        return gwt_.effectiveWeight(defects[i], defects[j]);
+        return static_cast<WeightSum>(s.tile.weightAt(i, j));
     };
     auto obs = [&](int i, int j) -> uint64_t {
-        if (i == virt || j == virt) {
-            uint32_t d = defects[i == virt ? j : i];
-            return gwt_.pairObs(d, d);
-        }
-        return gwt_.effectiveObs(defects[i], defects[j]);
+        return s.tile.obsAt(i, j);
     };
 
     // Local Weight Table: per node, the candidate pairs surviving the
     // Wth filter, sorted lightest first.
     const WeightSum wth =
         decadesToQuantized(config_.weightThresholdDecades);
-    AstreaGScratch &s = scratch.ext<AstreaGScratch>();
     auto &lwt = s.lwt;
     if (lwt.size() < static_cast<size_t>(m))
         lwt.resize(static_cast<size_t>(m));
@@ -321,7 +319,9 @@ AstreaGDecoder::decodePipeline(std::span<const uint32_t> defects,
 
                 int remaining = m - static_cast<int>(ns.matchedCount);
                 if (remaining == 6) {
-                    // Finish exhaustively with the HW6Decoder.
+                    // Finish exhaustively: one flat kernel pass over
+                    // the 15-row table on a 6x6 sub-tile gathered from
+                    // the LWT tile (the HW6 unit's schedule).
                     auto &rem = s.rem;
                     rem.clear();
                     uint64_t um = full_mask & ~ns.mask;
@@ -329,32 +329,42 @@ AstreaGDecoder::decodePipeline(std::span<const uint32_t> defects,
                         rem.push_back(__builtin_ctzll(um));
                         um &= um - 1;
                     }
-                    auto &tail = s.tail;
                     stats_.hw6Invocations++;
                     ASTREA_COUNTER_INC("astrea_g.hw6_invocations");
-                    WeightSum tail_w;
+                    const MatchingTable &table6 =
+                        MatchingTable::forNodes(6);
+                    KernelMatch tkm;
                     {
                         ASTREA_SPAN("astrea_g.hw6");
-                        tail_w = hw6_.match(
-                            6,
-                            [&](int a, int b) {
-                                return weight(rem[a], rem[b]);
-                            },
-                            tail);
+                        int32_t sub[6 * 6];
+                        for (int a = 0; a < 36; a++)
+                            sub[a] = static_cast<int32_t>(
+                                kInfiniteTileWeight);
+                        for (int a = 0; a < 6; a++)
+                            for (int b = a + 1; b < 6; b++)
+                                sub[a * 6 + b] =
+                                    s.tile.weightAt(rem[a], rem[b]);
+                        tkm = matchTile16(table6, sub, kernel_);
                     }
-                    WeightSum total = addWeights(ns.weight, tail_w);
+                    WeightSum total = addWeights(
+                        ns.weight, LwtTile::toWeightSum(tkm.weight));
                     if (total < best_weight) {
                         best_weight = total;
                         uint64_t o = ns.obsMask;
-                        for (auto [a, b] : tail)
+                        for (int k = 0; k < 3; k++) {
+                            auto [a, b] = table6.pairAt(tkm.row, k);
                             o ^= obs(rem[a], rem[b]);
+                        }
                         best_obs = o;
                         found = true;
                         if (record_pairs) {
                             best_pairs = ns.pairs;
-                            for (auto [a, b] : tail)
+                            for (int k = 0; k < 3; k++) {
+                                auto [a, b] =
+                                    table6.pairAt(tkm.row, k);
                                 best_pairs.push_back(
                                     {rem[a], rem[b]});
+                            }
                         }
                     }
                 } else {

@@ -15,9 +15,15 @@
  *     queue pops its best pre-matching, the lowest-index unmatched
  *     defect fetches its candidate pairs, and the F lightest feasible
  *     extensions are committed — Insight #2: search low weights first.
- *  3. When six defects remain, the HW6Decoder finishes the matching
- *     exhaustively and the MWPM register keeps the best complete
- *     matching seen.
+ *  3. When six defects remain, a flat kernel pass over the 15-row
+ *     matching table (the HW6 unit's software analogue; see
+ *     simd_kernel.hh) finishes the matching exhaustively and the MWPM
+ *     register keeps the best complete matching seen.
+ *
+ * The pipeline reads all pair weights from a per-decode LwtTile gather:
+ * the boundary column is fetched from the Global Weight Table once per
+ * defect instead of once per effectiveWeight() probe, and the Wth
+ * filter and search then run against the dense tile.
  *
  * The pipeline stops when the queues drain (search space exhausted) or
  * the real-time cycle budget (default 250 cycles = 1 us at 250 MHz)
@@ -28,7 +34,7 @@
 #define ASTREA_ASTREA_ASTREA_G_DECODER_HH
 
 #include "astrea/astrea_decoder.hh"
-#include "astrea/hw6.hh"
+#include "astrea/simd_kernel.hh"
 #include "decoders/decoder.hh"
 #include "graph/weight_table.hh"
 
@@ -104,7 +110,7 @@ struct AstreaGStats
     uint64_t lwtPairsFiltered = 0;
     /** Pre-matchings re-queued with an advanced candidate cursor. */
     uint64_t requeues = 0;
-    /** HW6Decoder tail evaluations inside the pipeline. */
+    /** HW6 exhaustive tail evaluations inside the pipeline. */
     uint64_t hw6Invocations = 0;
     /** Largest total priority-queue occupancy any cycle reached. */
     uint64_t maxQueueOccupancy = 0;
@@ -139,8 +145,8 @@ class AstreaGDecoder : public Decoder
     const GlobalWeightTable &gwt_;
     AstreaGConfig config_;
     AstreaDecoder exhaustive_;
-    Hw6Decoder hw6_;
     AstreaGStats stats_;
+    KernelKind kernel_ = activeKernelKind();
 };
 
 } // namespace astrea

@@ -17,6 +17,8 @@
 
 #include <vector>
 
+#include "astrea/matching_tables.hh"
+#include "astrea/simd_kernel.hh"
 #include "common/logging.hh"
 #include "common/weight.hh"
 #include "matching/enumerator.hh"
@@ -37,6 +39,9 @@ class Hw6Decoder
      * The weight callback is a template parameter rather than a
      * std::function so the allocation-free decode hot path pays
      * neither type erasure nor a capture heap allocation per call.
+     * Weights are gathered once into a stack tile and all candidate
+     * matchings are evaluated in one flat kernel pass (matchTile32),
+     * the software analogue of the hardware adder network.
      *
      * @param m Node count.
      * @param pair_weight Quantized pair weight, indices 0..m-1.
@@ -54,20 +59,18 @@ class Hw6Decoder
         ASTREA_CHECK(m == 2 || m == 4 || m == 6,
                      "HW6Decoder handles 0, 2, 4 or 6 nodes");
 
-        WeightSum best = kInfiniteWeightSum;
-        for (const PairList &candidate : matchingTable(m)) {
-            WeightSum total = 0;
-            for (auto [i, j] : candidate)
-                total = addWeights(total, pair_weight(i, j));
-            if (total < best) {
-                best = total;
-                // Copy-assign (not swap): candidate is a table row that
-                // must stay intact. best_out's capacity is reused once
-                // warm, so no steady-state allocation.
-                best_out = candidate;
-            }
-        }
-        return best;
+        WeightSum tile[6 * 6];
+        for (int i = 0; i < m; i++)
+            for (int j = i + 1; j < m; j++)
+                tile[i * m + j] = pair_weight(i, j);
+
+        const MatchingTable &table = MatchingTable::forNodes(m);
+        const KernelMatch km = matchTile32(table, tile);
+        if (km.weight == kInfiniteWeightSum)
+            return kInfiniteWeightSum;
+        for (int k = 0; k < table.pairsPerRow(); k++)
+            best_out.push_back(table.pairAt(km.row, k));
+        return km.weight;
     }
 
     /** The hardwired matching table for m nodes (1, 3, or 15 rows). */

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Local Weight Table tile: the per-decode dense weight gather.
+ *
+ * The Global Weight Table is l x l over all detector positions; a
+ * decode only ever touches the defects of one syndrome. The LWT tile
+ * gathers that submatrix once per decode — quantized effective pair
+ * weights and the matching observable masks — into a dense m x m tile
+ * (m = defect count, plus one virtual boundary node for odd Hamming
+ * weights), so candidate evaluation never touches the l x l table
+ * again. The boundary column (each defect's weight/parity of matching
+ * straight to the boundary) is read exactly once per defect and reused
+ * for every effective-weight min — the old per-call
+ * GlobalWeightTable::effectiveWeight() recomputed it for every pair
+ * probe in the matcher inner loops.
+ *
+ * Weights are stored as int32 in the 16-bit tile domain consumed by
+ * the SIMD kernels (simd_kernel.hh): finite quantized values pass
+ * through unchanged (an 8-bit ceiling entry of 255 stays the finite
+ * value 255, exactly as the scalar addWeights() hot path treated it),
+ * and diagonal entries are kInfiniteTileWeight, which also satisfies
+ * the kernels' "tile[0] is infinite" padding contract.
+ *
+ * The tile lives in a DecodeScratch extension slot; build() reuses
+ * capacity, so a steady-state decode loop (or a whole decodeBatch)
+ * performs no allocation after warm-up.
+ */
+
+#ifndef ASTREA_ASTREA_LWT_TILE_HH
+#define ASTREA_ASTREA_LWT_TILE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "astrea/simd_kernel.hh"
+#include "common/weight.hh"
+#include "graph/weight_table.hh"
+
+namespace astrea
+{
+
+/** Dense per-decode weight/observable tile over one defect set. */
+class LwtTile
+{
+  public:
+    /** Pre-size internal buffers for up to max_nodes nodes. */
+    void
+    reserve(int max_nodes)
+    {
+        const size_t n =
+            static_cast<size_t>(max_nodes) * max_nodes;
+        weights_.reserve(n);
+        obs_.reserve(n);
+        boundaryWeights_.reserve(static_cast<size_t>(max_nodes));
+        boundaryObs_.reserve(static_cast<size_t>(max_nodes));
+    }
+
+    /**
+     * Gather the tile for one defect set. With effective_weights, a
+     * pair's weight is min(direct chain, both-to-boundary) and its
+     * observable mask follows the same choice (direct wins ties, as
+     * GlobalWeightTable::effectiveObs does); without, pairs are
+     * restricted to their direct chains. Odd defect counts add one
+     * virtual boundary node as the highest index.
+     */
+    void
+    build(const GlobalWeightTable &gwt,
+          std::span<const uint32_t> defects, bool effective_weights)
+    {
+        const int w = static_cast<int>(defects.size());
+        m_ = (w % 2 == 0) ? w : w + 1;
+        virt_ = (w % 2 == 0) ? -1 : w;
+
+        const size_t n = static_cast<size_t>(m_) * m_;
+        weights_.assign(n, static_cast<int32_t>(kInfiniteTileWeight));
+        obs_.assign(n, 0);
+
+        // Boundary column: one GWT probe per defect, reused below.
+        boundaryWeights_.resize(static_cast<size_t>(w));
+        boundaryObs_.resize(static_cast<size_t>(w));
+        for (int i = 0; i < w; i++) {
+            const uint32_t d = defects[i];
+            boundaryWeights_[i] = gwt.pairWeight(d, d);
+            boundaryObs_[i] = gwt.pairObs(d, d);
+        }
+
+        for (int i = 0; i < w; i++) {
+            for (int j = i + 1; j < w; j++) {
+                const uint32_t a = defects[i], b = defects[j];
+                uint32_t weight = gwt.pairWeight(a, b);
+                uint64_t mask = gwt.pairObs(a, b);
+                if (effective_weights) {
+                    const uint32_t via = boundaryWeights_[i] +
+                                         boundaryWeights_[j];
+                    if (via < weight) {
+                        weight = via;
+                        mask = boundaryObs_[i] ^ boundaryObs_[j];
+                    }
+                }
+                set(i, j, static_cast<int32_t>(weight), mask);
+            }
+            if (virt_ >= 0) {
+                set(i, virt_,
+                    static_cast<int32_t>(boundaryWeights_[i]),
+                    boundaryObs_[i]);
+            }
+        }
+    }
+
+    /** Node count (defects, plus the virtual node when odd). */
+    int nodes() const { return m_; }
+
+    /** Virtual boundary node index, or -1 for even defect counts. */
+    int virtualNode() const { return virt_; }
+
+    /** Tile-domain weight of pair (i, j). */
+    int32_t
+    weightAt(int i, int j) const
+    {
+        return weights_[idx(i, j)];
+    }
+
+    /** Observable mask of pair (i, j)'s chosen chain. */
+    uint64_t
+    obsAt(int i, int j) const
+    {
+        return obs_[idx(i, j)];
+    }
+
+    /** Raw tile for the kernels (m x m row-major int32). */
+    const int32_t *weights() const { return weights_.data(); }
+
+    /** Map a kernel tile-domain sum back to addWeights() semantics. */
+    static WeightSum
+    toWeightSum(uint32_t tile_sum)
+    {
+        return tile_sum >= kInfiniteTileWeight ? kInfiniteWeightSum
+                                               : tile_sum;
+    }
+
+  private:
+    size_t
+    idx(int i, int j) const
+    {
+        return static_cast<size_t>(i) * m_ + j;
+    }
+
+    void
+    set(int i, int j, int32_t weight, uint64_t mask)
+    {
+        weights_[idx(i, j)] = weight;
+        weights_[idx(j, i)] = weight;
+        obs_[idx(i, j)] = mask;
+        obs_[idx(j, i)] = mask;
+    }
+
+    int m_ = 0;
+    int virt_ = -1;
+    std::vector<int32_t> weights_;
+    std::vector<uint64_t> obs_;
+    std::vector<uint32_t> boundaryWeights_;
+    std::vector<uint64_t> boundaryObs_;
+};
+
+} // namespace astrea
+
+#endif // ASTREA_ASTREA_LWT_TILE_HH

@@ -1,0 +1,60 @@
+#include "astrea/matching_tables.hh"
+
+#include "common/logging.hh"
+#include "matching/enumerator.hh"
+
+namespace astrea
+{
+
+MatchingTable::MatchingTable(int m) : m_(m)
+{
+    rows_ = static_cast<uint32_t>(perfectMatchingCount(m));
+    rowsPadded_ = (rows_ + kRowPadding - 1) & ~(kRowPadding - 1);
+
+    const int pairs_per_row = m / 2;
+    pairs_.resize(static_cast<size_t>(rows_) * m_);
+    // Zero-fill: padding entries resolve to tile offset 0 (the (0,0)
+    // diagonal, infinite by the kernel tile contract).
+    offsets_.assign(
+        static_cast<size_t>(pairs_per_row) * rowsPadded_, 0);
+
+    uint32_t row = 0;
+    forEachPerfectMatchingT(m, [&](const PairList &pl) {
+        uint8_t *p = pairs_.data() + static_cast<size_t>(row) * m_;
+        for (int k = 0; k < pairs_per_row; k++) {
+            auto [i, j] = pl[k];
+            p[2 * k] = static_cast<uint8_t>(i);
+            p[2 * k + 1] = static_cast<uint8_t>(j);
+            offsets_[static_cast<size_t>(k) * rowsPadded_ + row] =
+                i * m_ + j;
+        }
+        row++;
+    });
+    ASTREA_CHECK(row == rows_, "enumerator row count mismatch");
+}
+
+const MatchingTable &
+MatchingTable::forNodes(int m)
+{
+    ASTREA_CHECK(m % 2 == 0 && m >= 2 && m <= kMaxNodes,
+                 "matching tables exist for even 2 <= m <= 10");
+    static const MatchingTable t2(2);
+    static const MatchingTable t4(4);
+    static const MatchingTable t6(6);
+    static const MatchingTable t8(8);
+    static const MatchingTable t10(10);
+    switch (m) {
+      case 2:
+        return t2;
+      case 4:
+        return t4;
+      case 6:
+        return t6;
+      case 8:
+        return t8;
+      default:
+        return t10;
+    }
+}
+
+} // namespace astrea

@@ -1,0 +1,260 @@
+#include "astrea/simd_kernel.hh"
+
+#include <atomic>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define ASTREA_KERNEL_X86 1
+#else
+#define ASTREA_KERNEL_X86 0
+#endif
+
+namespace astrea
+{
+
+bool
+cpuHasAvx2()
+{
+#if ASTREA_KERNEL_X86
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+namespace
+{
+
+/** 0 = unresolved, 1 = scalar, 2 = avx2. */
+std::atomic<int> g_active_kind{0};
+
+int
+resolveKind()
+{
+    const bool force_scalar =
+        env::getBool("ASTREA_FORCE_SCALAR", false);
+    return (!force_scalar && cpuHasAvx2()) ? 2 : 1;
+}
+
+} // namespace
+
+KernelKind
+activeKernelKind()
+{
+    int kind = g_active_kind.load(std::memory_order_relaxed);
+    if (kind == 0) {
+        kind = resolveKind();
+        g_active_kind.store(kind, std::memory_order_relaxed);
+    }
+    return kind == 2 ? KernelKind::kAvx2 : KernelKind::kScalar;
+}
+
+const char *
+kernelKindName(KernelKind kind)
+{
+    return kind == KernelKind::kAvx2 ? "avx2" : "scalar";
+}
+
+void
+resetKernelDispatchForTest()
+{
+    g_active_kind.store(0, std::memory_order_relaxed);
+}
+
+namespace
+{
+
+/**
+ * Portable fallback, unrolled over the pair-slot count. Sums are
+ * accumulated in 32 bits and clamped to the 16-bit ceiling, which is
+ * arithmetically identical to per-step 16-bit saturating adds for
+ * non-negative addends.
+ */
+template <int P>
+KernelMatch
+scalarEval16(const MatchingTable &table, const int32_t *tile)
+{
+    const uint32_t rows = table.rows();
+    const int32_t *off[P];
+    for (int p = 0; p < P; p++)
+        off[p] = table.slotOffsets(p);
+
+    KernelMatch best;
+    for (uint32_t r = 0; r < rows; r++) {
+        uint32_t sum = static_cast<uint32_t>(tile[off[0][r]]);
+        for (int p = 1; p < P; p++)
+            sum += static_cast<uint32_t>(tile[off[p][r]]);
+        if (sum > kInfiniteTileWeight)
+            sum = kInfiniteTileWeight;
+        if (sum < best.weight) {
+            best.weight = sum;
+            best.row = r;
+        }
+    }
+    return best;
+}
+
+KernelMatch
+scalarEval16Dispatch(const MatchingTable &table, const int32_t *tile)
+{
+    switch (table.pairsPerRow()) {
+      case 1:
+        return scalarEval16<1>(table, tile);
+      case 2:
+        return scalarEval16<2>(table, tile);
+      case 3:
+        return scalarEval16<3>(table, tile);
+      case 4:
+        return scalarEval16<4>(table, tile);
+      case 5:
+        return scalarEval16<5>(table, tile);
+      default:
+        panic("matching table wider than 5 pair slots");
+    }
+}
+
+#if ASTREA_KERNEL_X86
+
+/**
+ * AVX2 path: 16 candidate rows per iteration. Each pair slot is one
+ * gather stream (two 8-lane 32-bit gathers) packed down to unsigned
+ * 16-bit with saturation, accumulated with 16-bit saturating adds, and
+ * reduced with a vectorized running min + first-argmin. Padded rows
+ * resolve to tile[0], which the tile contract keeps infinite.
+ */
+__attribute__((target("avx2"))) KernelMatch
+avx2Eval16(const MatchingTable &table, const int32_t *tile)
+{
+    const uint32_t rows_padded = table.rowsPadded();
+    const int pairs_per_row = table.pairsPerRow();
+
+    const __m256i sign = _mm256_set1_epi16(
+        static_cast<short>(0x8000));
+    const __m256i step = _mm256_set1_epi16(16);
+    __m256i vmin = _mm256_set1_epi16(-1);  // 0xFFFF in every lane.
+    __m256i vmin_idx = _mm256_setzero_si256();
+    __m256i vidx = _mm256_setr_epi16(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                     11, 12, 13, 14, 15);
+
+    for (uint32_t r = 0; r < rows_padded; r += 16) {
+        __m256i sums = _mm256_setzero_si256();
+        for (int p = 0; p < pairs_per_row; p++) {
+            const int32_t *off = table.slotOffsets(p) + r;
+            __m256i idx_lo = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(off));
+            __m256i idx_hi = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(off + 8));
+            __m256i g_lo =
+                _mm256_i32gather_epi32(tile, idx_lo, 4);
+            __m256i g_hi =
+                _mm256_i32gather_epi32(tile, idx_hi, 4);
+            // packus saturates int32 -> uint16 and interleaves the two
+            // 128-bit lanes; the permute restores row order.
+            __m256i packed = _mm256_permute4x64_epi64(
+                _mm256_packus_epi32(g_lo, g_hi), 0xD8);
+            sums = (p == 0) ? packed
+                            : _mm256_adds_epu16(sums, packed);
+        }
+        // Strict unsigned less-than via the sign-bias trick; strictness
+        // keeps the FIRST row attaining each lane minimum, matching
+        // the scalar kernel's tie-breaking.
+        __m256i lt = _mm256_cmpgt_epi16(
+            _mm256_xor_si256(vmin, sign),
+            _mm256_xor_si256(sums, sign));
+        vmin = _mm256_min_epu16(vmin, sums);
+        vmin_idx = _mm256_blendv_epi8(vmin_idx, vidx, lt);
+        vidx = _mm256_add_epi16(vidx, step);
+    }
+
+    // Horizontal reduction: lane l holds the first row ≡ l (mod 16)
+    // attaining its lane minimum, so the global first minimum is the
+    // smallest stored row among lanes at the global minimum value.
+    alignas(32) uint16_t mins[16];
+    alignas(32) uint16_t idxs[16];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(mins), vmin);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(idxs), vmin_idx);
+
+    KernelMatch best;
+    bool found = false;
+    for (int l = 0; l < 16; l++) {
+        const uint32_t v = mins[l];
+        if (v >= kInfiniteTileWeight)
+            continue;
+        if (!found || v < best.weight ||
+            (v == best.weight && idxs[l] < best.row)) {
+            best.weight = v;
+            best.row = idxs[l];
+            found = true;
+        }
+    }
+    return best;
+}
+
+#endif // ASTREA_KERNEL_X86
+
+} // namespace
+
+KernelMatch
+matchTile16(const MatchingTable &table, const int32_t *tile,
+            KernelKind kind)
+{
+#if ASTREA_KERNEL_X86
+    if (kind == KernelKind::kAvx2)
+        return avx2Eval16(table, tile);
+#else
+    (void)kind;
+#endif
+    return scalarEval16Dispatch(table, tile);
+}
+
+namespace
+{
+
+template <int P>
+KernelMatch
+scalarEval32(const MatchingTable &table, const WeightSum *tile)
+{
+    const uint32_t rows = table.rows();
+    const int32_t *off[P];
+    for (int p = 0; p < P; p++)
+        off[p] = table.slotOffsets(p);
+
+    KernelMatch best;
+    best.weight = kInfiniteWeightSum;
+    for (uint32_t r = 0; r < rows; r++) {
+        WeightSum sum = tile[off[0][r]];
+        for (int p = 1; p < P; p++)
+            sum = addWeights(sum, tile[off[p][r]]);
+        if (sum < best.weight) {
+            best.weight = sum;
+            best.row = r;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+KernelMatch
+matchTile32(const MatchingTable &table, const WeightSum *tile)
+{
+    switch (table.pairsPerRow()) {
+      case 1:
+        return scalarEval32<1>(table, tile);
+      case 2:
+        return scalarEval32<2>(table, tile);
+      case 3:
+        return scalarEval32<3>(table, tile);
+      case 4:
+        return scalarEval32<4>(table, tile);
+      case 5:
+        return scalarEval32<5>(table, tile);
+      default:
+        panic("matching table wider than 5 pair slots");
+    }
+}
+
+} // namespace astrea

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Data-parallel candidate-matching kernels.
+ *
+ * The hardware evaluates all matchings of a weight tile through a
+ * hardwired adder/comparator network in one cycle (paper Fig. 7a). The
+ * software hot path mirrors that: all candidate sums of a MatchingTable
+ * are evaluated over a dense weight tile in one flat pass — no
+ * recursion, no per-pair callbacks — followed by a min+argmin
+ * reduction.
+ *
+ * Tile contract (matchTile16): the tile is an m x m row-major array of
+ * int32 entries whose values live in the 16-bit weight domain
+ * [0, kInfiniteTileWeight]; kInfiniteTileWeight (0xFFFF) means "no
+ * edge", and entry (0, 0) — tile[0] — must be infinite because padded
+ * table rows resolve there. Candidate sums accumulate with 16-bit
+ * saturating semantics: any sum reaching 0xFFFF is infinite, exactly
+ * matching addWeights() once mapped through LwtTile::toWeightSum()
+ * (finite quantized sums can never reach the ceiling: 5 pairs x 510
+ * max effective weight < 0xFFFF).
+ *
+ * Two implementations exist: an AVX2 path (32-bit gathers packed down
+ * with unsigned saturation, 16-bit saturating adds, vectorized
+ * min+argmin with first-minimum tie-breaking) and a portable unrolled
+ * scalar fallback. Both produce bit-identical results — weight AND
+ * winning row — which the kernel parity suite enforces. Selection is
+ * by cpuid at first use; ASTREA_FORCE_SCALAR=1 pins the scalar path.
+ */
+
+#ifndef ASTREA_ASTREA_SIMD_KERNEL_HH
+#define ASTREA_ASTREA_SIMD_KERNEL_HH
+
+#include <cstdint>
+
+#include "astrea/matching_tables.hh"
+#include "common/weight.hh"
+
+namespace astrea
+{
+
+/** Candidate-evaluation kernel implementations. */
+enum class KernelKind
+{
+    kScalar,
+    kAvx2,
+};
+
+/** Tile-domain sentinel for "no edge" (16-bit saturation ceiling). */
+constexpr uint32_t kInfiniteTileWeight = 0xFFFF;
+
+/** Outcome of evaluating every candidate matching over one tile. */
+struct KernelMatch
+{
+    /**
+     * The minimum candidate sum. The domain follows the evaluation:
+     * matchTile16 reports tile-domain sums (kInfiniteTileWeight when
+     * every candidate crossed an infinite entry), matchTile32 reports
+     * WeightSum sums (kInfiniteWeightSum likewise). row is meaningless
+     * when the weight is the respective infinity.
+     */
+    uint32_t weight = kInfiniteTileWeight;
+    /** First table row attaining the minimum (canonical order). */
+    uint32_t row = 0;
+};
+
+/** True when the CPU supports the AVX2 kernel. */
+bool cpuHasAvx2();
+
+/**
+ * The kernel the decoders run: kAvx2 when the CPU supports it and
+ * ASTREA_FORCE_SCALAR is unset/false, kScalar otherwise. Resolved once
+ * per process (resetKernelDispatchForTest() re-reads the environment).
+ */
+KernelKind activeKernelKind();
+
+/** Display name: "avx2" or "scalar". */
+const char *kernelKindName(KernelKind kind);
+
+/** Testing hook: re-resolve activeKernelKind() on next call. */
+void resetKernelDispatchForTest();
+
+/**
+ * Evaluate all candidate matchings over a 16-bit-domain tile (see the
+ * tile contract above) with the requested kernel.
+ */
+KernelMatch matchTile16(const MatchingTable &table, const int32_t *tile,
+                        KernelKind kind);
+
+/**
+ * Scalar evaluation over a full-width WeightSum tile with addWeights()
+ * semantics (kInfiniteWeightSum propagates). Serves the paths whose
+ * weights exceed the 16-bit tile domain (the exact-weight ablation);
+ * only entries i*m + j with i < j are read.
+ */
+KernelMatch matchTile32(const MatchingTable &table,
+                        const WeightSum *tile);
+
+} // namespace astrea
+
+#endif // ASTREA_ASTREA_SIMD_KERNEL_HH

@@ -17,45 +17,11 @@ perfectMatchingCount(int m)
     return n;
 }
 
-namespace
-{
-
-void
-enumerate(uint32_t unmatched, PairList &current,
-          const std::function<void(const PairList &)> &visit)
-{
-    if (unmatched == 0) {
-        visit(current);
-        return;
-    }
-    int i = __builtin_ctz(unmatched);
-    uint32_t rest = unmatched & (unmatched - 1);
-    uint32_t others = rest;
-    while (others) {
-        int j = __builtin_ctz(others);
-        others &= others - 1;
-        current.push_back({i, j});
-        enumerate(rest & ~(1u << j), current, visit);
-        current.pop_back();
-    }
-}
-
-} // namespace
-
 void
 forEachPerfectMatching(int m,
                        const std::function<void(const PairList &)> &visit)
 {
-    ASTREA_CHECK(m >= 0 && m % 2 == 0 && m <= 30,
-                 "enumerator supports even m <= 30");
-    if (m == 0) {
-        PairList empty;
-        visit(empty);
-        return;
-    }
-    PairList current;
-    current.reserve(m / 2);
-    enumerate((1u << m) - 1, current, visit);
+    forEachPerfectMatchingT(m, visit);
 }
 
 std::vector<PairList>
@@ -63,7 +29,7 @@ allPerfectMatchings(int m)
 {
     std::vector<PairList> out;
     out.reserve(perfectMatchingCount(m));
-    forEachPerfectMatching(m, [&](const PairList &pl) {
+    forEachPerfectMatchingT(m, [&](const PairList &pl) {
         out.push_back(pl);
     });
     return out;
@@ -76,7 +42,7 @@ exhaustiveMinWeightMatching(
 {
     double best = std::numeric_limits<double>::infinity();
     best_out.clear();
-    forEachPerfectMatching(m, [&](const PairList &pl) {
+    forEachPerfectMatchingT(m, [&](const PairList &pl) {
         double w = 0.0;
         for (auto [i, j] : pl)
             w += pair_weight(i, j);

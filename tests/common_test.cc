@@ -332,6 +332,30 @@ TEST(Weight, AddWeightsSaturates)
     EXPECT_EQ(addWeights(3, kInfiniteWeightSum), kInfiniteWeightSum);
 }
 
+TEST(Weight, AddWeightsAtQuantizedCeiling)
+{
+    // The 8-bit sentinel kInfiniteWeight (255) is NOT infinite once
+    // promoted to a WeightSum: sums of ceiling entries stay finite.
+    // The 16-bit kernel tiles preserve this by storing 255 verbatim
+    // (only the tile's own 0xFFFF ceiling means "no edge"), so kernel
+    // accumulation must agree with these scalar semantics.
+    const WeightSum ceiling = kInfiniteWeight;  // 255
+    EXPECT_EQ(addWeights(ceiling, ceiling), 510u);
+    EXPECT_EQ(addWeights(ceiling, 0), 255u);
+    // Five ceiling-weight effective pairs — the worst finite HW-10
+    // candidate — stay far below the kernels' 16-bit ceiling.
+    WeightSum five = 0;
+    for (int i = 0; i < 5; i++)
+        five = addWeights(five, addWeights(ceiling, ceiling));
+    EXPECT_EQ(five, 2550u);
+    EXPECT_LT(five, uint32_t{0xFFFF});
+    // Only the WeightSum sentinel itself is absorbing.
+    EXPECT_EQ(addWeights(kInfiniteWeightSum, kInfiniteWeightSum),
+              kInfiniteWeightSum);
+    EXPECT_EQ(addWeights(kInfiniteWeightSum - 1, 1),
+              kInfiniteWeightSum);
+}
+
 TEST(Weight, DecadesToQuantized)
 {
     EXPECT_EQ(decadesToQuantized(7.0), 7u * kWeightScale);

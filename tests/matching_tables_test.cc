@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the precomputed flattened perfect-matching tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "astrea/matching_tables.hh"
+#include "matching/enumerator.hh"
+
+namespace astrea
+{
+namespace
+{
+
+class MatchingTableTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MatchingTableTest, MatchesEnumeratorRowForRow)
+{
+    const int m = GetParam();
+    const MatchingTable &table = MatchingTable::forNodes(m);
+
+    EXPECT_EQ(table.nodes(), m);
+    EXPECT_EQ(table.pairsPerRow(), m / 2);
+    EXPECT_EQ(table.rows(), perfectMatchingCount(m));
+    EXPECT_EQ(table.rowsPadded() % MatchingTable::kRowPadding, 0u);
+    EXPECT_GE(table.rowsPadded(), table.rows());
+    EXPECT_LT(table.rowsPadded(),
+              table.rows() + MatchingTable::kRowPadding);
+
+    // The flattened rows reproduce the canonical enumerator exactly,
+    // in order.
+    uint32_t row = 0;
+    forEachPerfectMatchingT(m, [&](const PairList &pl) {
+        ASSERT_LT(row, table.rows());
+        for (int k = 0; k < table.pairsPerRow(); k++) {
+            auto [i, j] = table.pairAt(row, k);
+            EXPECT_EQ(std::make_pair(i, j), pl[k])
+                << "row " << row << " slot " << k;
+        }
+        row++;
+    });
+    EXPECT_EQ(row, table.rows());
+}
+
+TEST_P(MatchingTableTest, SlotOffsetsAddressUpperTriangle)
+{
+    const int m = GetParam();
+    const MatchingTable &table = MatchingTable::forNodes(m);
+
+    for (int k = 0; k < table.pairsPerRow(); k++) {
+        const int32_t *off = table.slotOffsets(k);
+        for (uint32_t r = 0; r < table.rows(); r++) {
+            auto [i, j] = table.pairAt(r, k);
+            EXPECT_EQ(off[r], i * m + j);
+        }
+        // The padding tail resolves to the (0, 0) diagonal, which the
+        // kernel tile contract keeps infinite.
+        for (uint32_t r = table.rows(); r < table.rowsPadded(); r++)
+            EXPECT_EQ(off[r], 0);
+    }
+}
+
+TEST_P(MatchingTableTest, RowsAreValidPerfectMatchings)
+{
+    const int m = GetParam();
+    const MatchingTable &table = MatchingTable::forNodes(m);
+
+    std::set<std::vector<std::pair<int, int>>> seen;
+    for (uint32_t r = 0; r < table.rows(); r++) {
+        std::set<int> used;
+        std::vector<std::pair<int, int>> row;
+        for (int k = 0; k < table.pairsPerRow(); k++) {
+            auto [i, j] = table.pairAt(r, k);
+            EXPECT_LT(i, j);
+            EXPECT_TRUE(used.insert(i).second);
+            EXPECT_TRUE(used.insert(j).second);
+            row.push_back({i, j});
+        }
+        EXPECT_EQ(used.size(), static_cast<size_t>(m));
+        EXPECT_TRUE(seen.insert(row).second) << "duplicate row " << r;
+    }
+    EXPECT_EQ(seen.size(), table.rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatchingTableTest,
+                         ::testing::Values(2, 4, 6, 8, 10));
+
+TEST(MatchingTable, SameInstanceOnEveryLookup)
+{
+    EXPECT_EQ(&MatchingTable::forNodes(6), &MatchingTable::forNodes(6));
+}
+
+TEST(MatchingTable, RejectsUnsupportedSizes)
+{
+    EXPECT_DEATH(MatchingTable::forNodes(5), "matching tables");
+    EXPECT_DEATH(MatchingTable::forNodes(12), "matching tables");
+    EXPECT_DEATH(MatchingTable::forNodes(0), "matching tables");
+}
+
+} // namespace
+} // namespace astrea

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Kernel parity suite: the AVX2 and scalar candidate-evaluation
+ * kernels must agree bit-for-bit with each other and with the legacy
+ * enumerator-driven evaluation — minimum weight, winning row (hence
+ * winning pair set) and reconstructed observable mask — over seeded
+ * random weight tiles including infinite entries and values deep in
+ * the 16-bit saturation range. Runs under the sanitizer CI jobs like
+ * every other test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "astrea/lwt_tile.hh"
+#include "astrea/matching_tables.hh"
+#include "astrea/simd_kernel.hh"
+#include "common/env.hh"
+#include "common/rng.hh"
+#include "matching/enumerator.hh"
+
+namespace astrea
+{
+namespace
+{
+
+/** Scoped setenv that restores the previous state on destruction. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *prev = std::getenv(name);
+        if (prev != nullptr) {
+            had_ = true;
+            prev_ = prev;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), prev_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    bool had_ = false;
+    std::string prev_;
+};
+
+/**
+ * Legacy-style reference: walk the canonical enumerator and evaluate
+ * each matching over the tile with saturating 16-bit-domain sums,
+ * keeping the first minimum.
+ */
+KernelMatch
+referenceMatch16(int m, const int32_t *tile)
+{
+    KernelMatch best;
+    uint32_t row = 0;
+    forEachPerfectMatchingT(m, [&](const PairList &pl) {
+        uint32_t sum = 0;
+        for (auto [i, j] : pl)
+            sum += static_cast<uint32_t>(tile[i * m + j]);
+        if (sum > kInfiniteTileWeight)
+            sum = kInfiniteTileWeight;
+        if (sum < best.weight) {
+            best.weight = sum;
+            best.row = row;
+        }
+        row++;
+    });
+    return best;
+}
+
+/** The winning pair set of a table row, for set-level comparison. */
+std::vector<std::pair<int, int>>
+rowPairs(const MatchingTable &table, uint32_t row)
+{
+    std::vector<std::pair<int, int>> pairs;
+    for (int k = 0; k < table.pairsPerRow(); k++)
+        pairs.push_back(table.pairAt(row, k));
+    return pairs;
+}
+
+/** XOR of per-pair observable masks along a table row. */
+uint64_t
+rowObs(const MatchingTable &table, uint32_t row,
+       const std::vector<uint64_t> &obs, int m)
+{
+    uint64_t mask = 0;
+    for (int k = 0; k < table.pairsPerRow(); k++) {
+        auto [i, j] = table.pairAt(row, k);
+        mask ^= obs[static_cast<size_t>(i) * m + j];
+    }
+    return mask;
+}
+
+/**
+ * Fill a tile with seeded random weights: mostly realistic quantized
+ * effective weights (0..510), a slice of large values near the 16-bit
+ * ceiling to exercise saturation, and a slice of infinite entries.
+ */
+void
+randomTile(Rng &rng, int m, std::vector<int32_t> &tile,
+           std::vector<uint64_t> &obs)
+{
+    tile.assign(static_cast<size_t>(m) * m,
+                static_cast<int32_t>(kInfiniteTileWeight));
+    obs.assign(static_cast<size_t>(m) * m, 0);
+    for (int i = 0; i < m; i++) {
+        for (int j = i + 1; j < m; j++) {
+            const double cls = rng.uniform();
+            int32_t w;
+            if (cls < 0.70)
+                w = static_cast<int32_t>(rng.uniformInt(511));
+            else if (cls < 0.85)
+                w = static_cast<int32_t>(rng.uniformInt(0xFFFF));
+            else
+                w = static_cast<int32_t>(kInfiniteTileWeight);
+            const uint64_t o = rng();
+            tile[static_cast<size_t>(i) * m + j] = w;
+            tile[static_cast<size_t>(j) * m + i] = w;
+            obs[static_cast<size_t>(i) * m + j] = o;
+            obs[static_cast<size_t>(j) * m + i] = o;
+        }
+    }
+}
+
+class KernelParityTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KernelParityTest, KernelsMatchLegacyEnumerator)
+{
+    const int m = GetParam();
+    const MatchingTable &table = MatchingTable::forNodes(m);
+    Rng rng(0xa57ea000u + static_cast<uint64_t>(m));
+
+    std::vector<int32_t> tile;
+    std::vector<uint64_t> obs;
+    const bool have_avx2 = cpuHasAvx2();
+    for (int trial = 0; trial < 1000; trial++) {
+        randomTile(rng, m, tile, obs);
+
+        const KernelMatch ref = referenceMatch16(m, tile.data());
+        const KernelMatch scalar =
+            matchTile16(table, tile.data(), KernelKind::kScalar);
+
+        ASSERT_EQ(scalar.weight, ref.weight) << "trial " << trial;
+        if (ref.weight < kInfiniteTileWeight) {
+            ASSERT_EQ(scalar.row, ref.row) << "trial " << trial;
+            EXPECT_EQ(rowPairs(table, scalar.row),
+                      rowPairs(table, ref.row));
+            EXPECT_EQ(rowObs(table, scalar.row, obs, m),
+                      rowObs(table, ref.row, obs, m));
+        }
+
+        if (have_avx2) {
+            const KernelMatch simd =
+                matchTile16(table, tile.data(), KernelKind::kAvx2);
+            ASSERT_EQ(simd.weight, ref.weight) << "trial " << trial;
+            if (ref.weight < kInfiniteTileWeight) {
+                ASSERT_EQ(simd.row, ref.row) << "trial " << trial;
+                EXPECT_EQ(rowObs(table, simd.row, obs, m),
+                          rowObs(table, ref.row, obs, m));
+            }
+        }
+    }
+}
+
+TEST_P(KernelParityTest, AllInfiniteTileReportsInfinity)
+{
+    const int m = GetParam();
+    const MatchingTable &table = MatchingTable::forNodes(m);
+    std::vector<int32_t> tile(
+        static_cast<size_t>(m) * m,
+        static_cast<int32_t>(kInfiniteTileWeight));
+
+    EXPECT_EQ(matchTile16(table, tile.data(), KernelKind::kScalar)
+                  .weight,
+              kInfiniteTileWeight);
+    if (cpuHasAvx2()) {
+        EXPECT_EQ(matchTile16(table, tile.data(), KernelKind::kAvx2)
+                      .weight,
+                  kInfiniteTileWeight);
+    }
+}
+
+TEST_P(KernelParityTest, EqualWeightsBreakTiesToFirstRow)
+{
+    const int m = GetParam();
+    const MatchingTable &table = MatchingTable::forNodes(m);
+    std::vector<int32_t> tile(static_cast<size_t>(m) * m, 3);
+    tile[0] = static_cast<int32_t>(kInfiniteTileWeight);
+    for (int i = 0; i < m; i++)
+        tile[static_cast<size_t>(i) * m + i] =
+            static_cast<int32_t>(kInfiniteTileWeight);
+
+    const KernelMatch scalar =
+        matchTile16(table, tile.data(), KernelKind::kScalar);
+    EXPECT_EQ(scalar.row, 0u);
+    EXPECT_EQ(scalar.weight, 3u * (m / 2));
+    if (cpuHasAvx2()) {
+        const KernelMatch simd =
+            matchTile16(table, tile.data(), KernelKind::kAvx2);
+        EXPECT_EQ(simd.row, 0u);
+        EXPECT_EQ(simd.weight, 3u * (m / 2));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelParityTest,
+                         ::testing::Values(2, 4, 6, 8, 10));
+
+TEST(KernelSaturation, SumsClampToTheInfiniteCeiling)
+{
+    // Two large finite weights whose sum exceeds 16 bits must behave
+    // as "no edge": the kernel may not wrap around and report a small
+    // winning weight.
+    const int m = 4;
+    const MatchingTable &table = MatchingTable::forNodes(m);
+    std::vector<int32_t> tile(
+        static_cast<size_t>(m) * m,
+        static_cast<int32_t>(kInfiniteTileWeight));
+    // Matching {(0,1), (2,3)} saturates; {(0,2), (1,3)} stays finite.
+    tile[0 * m + 1] = 0x9000;
+    tile[2 * m + 3] = 0x9000;
+    tile[0 * m + 2] = 0x7000;
+    tile[1 * m + 3] = 0x7000;
+
+    const KernelMatch ref = referenceMatch16(m, tile.data());
+    const KernelMatch scalar =
+        matchTile16(table, tile.data(), KernelKind::kScalar);
+    EXPECT_EQ(scalar.weight, 0xE000u);
+    EXPECT_EQ(scalar.weight, ref.weight);
+    EXPECT_EQ(scalar.row, ref.row);
+    EXPECT_EQ(rowPairs(table, scalar.row),
+              (std::vector<std::pair<int, int>>{{0, 2}, {1, 3}}));
+    if (cpuHasAvx2()) {
+        const KernelMatch simd =
+            matchTile16(table, tile.data(), KernelKind::kAvx2);
+        EXPECT_EQ(simd.weight, ref.weight);
+        EXPECT_EQ(simd.row, ref.row);
+    }
+}
+
+TEST(KernelMatchTile32, AgreesWithAddWeightsSemantics)
+{
+    // Full-width evaluation: kInfiniteWeightSum entries poison any
+    // candidate touching them, and sums well beyond 16 bits survive.
+    for (int m : {2, 4, 6, 8, 10}) {
+        const MatchingTable &table = MatchingTable::forNodes(m);
+        Rng rng(0xbeef0000u + static_cast<uint64_t>(m));
+        std::vector<WeightSum> tile;
+        for (int trial = 0; trial < 200; trial++) {
+            tile.assign(static_cast<size_t>(m) * m,
+                        kInfiniteWeightSum);
+            for (int i = 0; i < m; i++)
+                for (int j = i + 1; j < m; j++)
+                    tile[static_cast<size_t>(i) * m + j] =
+                        rng.uniform() < 0.15
+                            ? kInfiniteWeightSum
+                            : static_cast<WeightSum>(
+                                  rng.uniformInt(1u << 20));
+
+            KernelMatch ref;
+            ref.weight = kInfiniteWeightSum;
+            uint32_t row = 0;
+            forEachPerfectMatchingT(m, [&](const PairList &pl) {
+                WeightSum sum = 0;
+                for (auto [i, j] : pl)
+                    sum = addWeights(
+                        sum, tile[static_cast<size_t>(i) * m + j]);
+                if (sum < ref.weight) {
+                    ref.weight = sum;
+                    ref.row = row;
+                }
+                row++;
+            });
+
+            const KernelMatch got = matchTile32(table, tile.data());
+            ASSERT_EQ(got.weight, ref.weight)
+                << "m " << m << " trial " << trial;
+            if (ref.weight != kInfiniteWeightSum)
+                ASSERT_EQ(got.row, ref.row)
+                    << "m " << m << " trial " << trial;
+        }
+    }
+}
+
+TEST(KernelMatchTile32, PropagatesInfiniteWeightSum)
+{
+    const int m = 2;
+    const MatchingTable &table = MatchingTable::forNodes(m);
+    std::vector<WeightSum> tile(static_cast<size_t>(m) * m,
+                                kInfiniteWeightSum);
+    EXPECT_EQ(matchTile32(table, tile.data()).weight,
+              kInfiniteWeightSum);
+}
+
+TEST(LwtTileDomain, ToWeightSumMapsTheCeilingToInfinity)
+{
+    EXPECT_EQ(LwtTile::toWeightSum(0), 0u);
+    EXPECT_EQ(LwtTile::toWeightSum(510), 510u);
+    EXPECT_EQ(LwtTile::toWeightSum(kInfiniteTileWeight),
+              kInfiniteWeightSum);
+}
+
+TEST(KernelDispatch, ForcedScalarOverridesCpuid)
+{
+    {
+        ScopedEnv force("ASTREA_FORCE_SCALAR", "1");
+        resetKernelDispatchForTest();
+        EXPECT_EQ(activeKernelKind(), KernelKind::kScalar);
+    }
+    resetKernelDispatchForTest();
+}
+
+TEST(KernelDispatch, DefaultFollowsCpuid)
+{
+    {
+        ScopedEnv clear("ASTREA_FORCE_SCALAR", nullptr);
+        resetKernelDispatchForTest();
+        EXPECT_EQ(activeKernelKind(), cpuHasAvx2()
+                                          ? KernelKind::kAvx2
+                                          : KernelKind::kScalar);
+    }
+    resetKernelDispatchForTest();
+}
+
+TEST(KernelDispatch, KindNames)
+{
+    EXPECT_STREQ(kernelKindName(KernelKind::kScalar), "scalar");
+    EXPECT_STREQ(kernelKindName(KernelKind::kAvx2), "avx2");
+}
+
+} // namespace
+} // namespace astrea

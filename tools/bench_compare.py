@@ -39,7 +39,9 @@ import sys
 # in the baseline are checked, so one list serves every bench schema.
 # Kinds: "latency" (relative limit --threshold), "rate" (relative limit
 # --rate-threshold, skipped below --min-count events), "exact" (must
-# match bit-for-bit: these are deterministic given seed and threads).
+# match bit-for-bit: these are deterministic given seed and threads),
+# "speedup" (a ratio that must not FALL more than --speedup-threshold
+# below the baseline; increases always pass).
 DEFAULT_METRICS = [
     # Memory-experiment reports (results array, e.g. astrea_latency).
     ("latency_ns.p50", "latency"),
@@ -56,6 +58,14 @@ DEFAULT_METRICS = [
     ("p90_ns", "latency"),
     ("p99_ns", "latency"),
     ("fraction_above_1us", "latency"),
+    # Kernel microbench reports (results array keyed by "m", e.g.
+    # matching_micro).
+    ("rows", "exact"),
+    ("legacy_ns", "latency"),
+    ("scalar_ns", "latency"),
+    ("simd_ns", "latency"),
+    ("speedup_scalar", "speedup"),
+    ("speedup_simd", "speedup"),
 ]
 
 # Event-count fields guarding each rate metric (noise gate).
@@ -75,28 +85,45 @@ def lookup(obj, dotted):
     return node
 
 
+# Keys identifying a result row, tried in order: decoding distance for
+# the memory-experiment benches, tile node count for the kernel
+# microbenches.
+RESULT_KEYS = ("d", "m")
+
+
+def result_key(result):
+    if isinstance(result, dict):
+        for key in RESULT_KEYS:
+            if key in result:
+                return key
+    return None
+
+
 def result_label(result, index):
-    if isinstance(result, dict) and "d" in result:
-        return "d=%s" % result["d"]
+    key = result_key(result)
+    if key is not None:
+        return "%s=%s" % (key, result[key])
     return "result[%d]" % index
 
 
 def match_results(baseline, current):
-    """Pair up result entries by "d" when present, else by index."""
+    """Pair up result entries by "d"/"m" when present, else by index."""
     base_list = baseline.get("results", [])
     cur_list = current.get("results", [])
     # Single-result benches emit one results object instead of a list.
     if isinstance(base_list, dict):
         return [("results", base_list,
                  cur_list if isinstance(cur_list, dict) else None)]
-    cur_by_d = {
-        r["d"]: r for r in cur_list if isinstance(r, dict) and "d" in r
+    cur_by_key = {
+        (result_key(r), r[result_key(r)]): r
+        for r in cur_list if result_key(r) is not None
     }
     pairs = []
     for i, base in enumerate(base_list):
-        if isinstance(base, dict) and "d" in base:
+        key = result_key(base)
+        if key is not None:
             pairs.append((result_label(base, i), base,
-                          cur_by_d.get(base["d"])))
+                          cur_by_key.get((key, base[key]))))
         else:
             cur = cur_list[i] if i < len(cur_list) else None
             pairs.append((result_label(base, i), base, cur))
@@ -138,6 +165,24 @@ def compare_metric(label, path, kind, threshold, base_res, cur_res,
             failures.append(
                 "%s %s: %g -> %g (deterministic metric changed)" %
                 (label, path, base_val, cur_val))
+        return
+
+    if kind == "speedup":
+        # A speedup is a floor: falling below the baseline beyond the
+        # threshold fails, getting faster always passes.
+        if base_val <= 0:
+            return
+        delta = (cur_val - base_val) / base_val
+        regressed = delta < -threshold
+        verdict = "FAIL" if regressed else "ok"
+        lines.append("  %-28s %12g -> %-12g %+.1f%% (%s, limit "
+                     "-%.0f%%)" %
+                     (path, base_val, cur_val, 100.0 * delta, verdict,
+                      100.0 * threshold))
+        if regressed:
+            failures.append("%s %s: %gx -> %gx fell more than %.0f%%" %
+                            (label, path, base_val, cur_val,
+                             100.0 * threshold))
         return
 
     if base_val <= 0:
@@ -185,6 +230,9 @@ def main(argv=None):
     parser.add_argument("--rate-threshold", type=float, default=0.25,
                         help="relative limit for rate metrics "
                              "(default 0.25)")
+    parser.add_argument("--speedup-threshold", type=float, default=0.30,
+                        help="how far a speedup ratio may fall below "
+                             "its baseline (default 0.30 = -30%%)")
     parser.add_argument("--min-count", type=int, default=10,
                         help="skip rate metrics when both runs saw "
                              "fewer events than this (default 10)")
@@ -223,10 +271,13 @@ def main(argv=None):
             continue
         lines = []
         for path, kind in DEFAULT_METRICS:
-            threshold = overrides.get(
-                path,
-                args.threshold if kind == "latency"
-                else args.rate_threshold)
+            if kind == "latency":
+                default = args.threshold
+            elif kind == "speedup":
+                default = args.speedup_threshold
+            else:
+                default = args.rate_threshold
+            threshold = overrides.get(path, default)
             compare_metric(label, path, kind, threshold, base_res,
                            cur_res, args.min_count, failures, lines)
         for line in lines:

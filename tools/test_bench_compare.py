@@ -48,6 +48,22 @@ def blossom_report(**overrides):
             "results": result}
 
 
+def micro_report(**overrides):
+    """One kernel-microbench entry in the matching_micro shape."""
+    result = {
+        "m": 10,
+        "rows": 945,
+        "legacy_ns": 40000.0,
+        "scalar_ns": 4000.0,
+        "simd_ns": 1000.0,
+        "speedup_scalar": 10.0,
+        "speedup_simd": 40.0,
+    }
+    result.update(overrides)
+    return {"bench": "matching_micro", "schema_version": 1,
+            "results": [result]}
+
+
 class BenchCompareTest(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()
@@ -141,6 +157,37 @@ class BenchCompareTest(unittest.TestCase):
     def test_bench_name_mismatch_is_usage_error(self):
         self.assertEqual(
             self.run_compare(memory_report(), blossom_report()), 2)
+
+    def test_speedup_increase_passes(self):
+        cur = micro_report(speedup_simd=80.0, speedup_scalar=20.0)
+        self.assertEqual(self.run_compare(micro_report(), cur), 0)
+
+    def test_speedup_within_threshold_passes(self):
+        # -20% is inside the default -30% floor.
+        cur = micro_report(speedup_simd=32.0)
+        self.assertEqual(self.run_compare(micro_report(), cur), 0)
+
+    def test_speedup_collapse_fails(self):
+        cur = micro_report(speedup_simd=10.0)
+        self.assertEqual(self.run_compare(micro_report(), cur), 1)
+
+    def test_speedup_threshold_flag_loosens_floor(self):
+        cur = micro_report(speedup_simd=10.0)
+        self.assertEqual(
+            self.run_compare(micro_report(), cur,
+                             ["--speedup-threshold", "0.9"]), 0)
+
+    def test_kernel_rows_are_exact(self):
+        cur = micro_report(rows=944)
+        self.assertEqual(self.run_compare(micro_report(), cur), 1)
+
+    def test_results_matched_by_m(self):
+        base = micro_report()
+        base["results"].append(dict(base["results"][0], m=8, rows=105))
+        cur = micro_report()
+        cur["results"].append(dict(cur["results"][0], m=8, rows=105))
+        cur["results"].reverse()
+        self.assertEqual(self.run_compare(base, cur), 0)
 
     def test_results_matched_by_distance_not_order(self):
         base = memory_report()
