@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/json.hh"
 #include "telemetry/prometheus.hh"
 #include "telemetry/telemetry.hh"
@@ -143,6 +144,37 @@ DecodeServiceCore::DecodeServiceCore(const ServeConfig &config)
     ec.physicalErrorRate = config_.physicalErrorRate;
     ctx_ = std::make_shared<const ExperimentContext>(ec);
 
+    // The oracle audits in the production decoder's weight domain:
+    // quantized GWT bytes for the hardware decoders (and wrappers
+    // around them), exact decade weights for the software baselines.
+    AuditConfig acfg;
+    acfg.sampleRate = config_.auditRate;
+    acfg.queueCapacity = static_cast<size_t>(
+        std::max<uint64_t>(2, config_.auditQueue));
+    acfg.threads = std::max(1u, config_.auditThreads);
+    acfg.dpMaxHw = config_.auditDpMaxHw;
+    const std::string canonical =
+        DecoderRegistry::global().canonicalName(config_.decoder);
+    for (const DecoderInfo &info :
+         DecoderRegistry::global().listDecoders()) {
+        if (info.name == canonical) {
+            acfg.quantizedWeights =
+                info.kind != DecoderKind::Software;
+            break;
+        }
+    }
+    audit_ = std::make_unique<AccuracyAuditor>(ctx_->gwt(), acfg,
+                                               ctx_);
+
+    if (telemetry::FlightRecorder::globalEnabled()) {
+        // Install this workload's context/decoder descriptions so a
+        // capture (give-up, logical error, audit mismatch) embeds
+        // enough for `astrea_cli replay` to rebuild the decode.
+        auto probe = factory_(*ctx_);
+        telemetry::FlightRecorder::global().beginRun(
+            experimentConfigJson(ec), decoderDescriptionJson(*probe));
+    }
+
     const uint64_t sub_ms = std::max<uint64_t>(1,
                                                config_.subWindowMillis);
     const auto start = std::chrono::steady_clock::now();
@@ -173,8 +205,11 @@ DecodeServiceCore::setErrorRate(double p)
     auto fresh = std::make_shared<const ExperimentContext>(ec);
     {
         std::lock_guard<std::mutex> lock(ctxMu_);
-        ctx_ = std::move(fresh);
+        ctx_ = fresh;
     }
+    // Flush outstanding audits against the old table, then audit the
+    // new workload against its own GWT. Audit counters carry over.
+    audit_->rebind(fresh->gwt(), fresh);
     inform("decode service: physical error rate now " +
            std::to_string(p));
 }
@@ -227,6 +262,7 @@ DecodeServiceCore::decodeBatch(Worker &w, uint64_t shots)
 
     w.decoder->decodeBatch(w.batch, w.results, w.scratch);
 
+    const bool flight = telemetry::FlightRecorder::globalEnabled();
     for (uint64_t i = 0; i < shots; i++) {
         const size_t hw = w.batch.hw(i);
         const uint64_t tick = tick_();
@@ -240,6 +276,26 @@ DecodeServiceCore::decodeBatch(Worker &w, uint64_t shots)
             gave_up = dr.gaveUp;
             logical_error = (dr.obsMask != w.actuals[i]);
             nontrivialTotal_.fetch_add(1, std::memory_order_relaxed);
+
+            // Shadow audit: copy-only, drop-not-block, off hot path.
+            audit_->offer(w.shots, w.index, w.batch.at(i), dr,
+                          w.actuals[i]);
+
+            if (flight) {
+                telemetry::DecodeRecord rec;
+                rec.shot = w.shots;
+                rec.worker = w.index;
+                auto sp = w.batch.at(i);
+                rec.defects.assign(sp.begin(), sp.end());
+                rec.obsMask = dr.obsMask;
+                rec.actualObs = w.actuals[i];
+                rec.gaveUp = gave_up;
+                rec.logicalError = logical_error;
+                rec.latencyNs = dr.latencyNs;
+                rec.cycles = dr.cycles;
+                rec.matchingWeight = dr.matchingWeight;
+                telemetry::FlightRecorder::global().record(rec);
+            }
         }
 
         decodesTotal_.fetch_add(1, std::memory_order_relaxed);
@@ -406,6 +462,8 @@ DecodeServiceCore::metricsText() const
             "1 while the drift distance exceeds the threshold",
             drift_.alarmed() ? 1.0 : 0.0);
 
+    audit_->writeMetrics(w);
+
     telemetry::appendRegistryMetrics(
         w, telemetry::MetricsRegistry::global());
     return w.str();
@@ -429,7 +487,7 @@ DecodeServiceCore::statuszJson() const
     telemetry::JsonWriter w;
     w.beginObject();
     w.kv("service", "astrea_serve");
-    w.kv("schema_version", uint64_t{1});
+    w.kv("schema_version", uint64_t{2});
     w.kv("healthy", healthy_.load());
     w.kv("uptime_ticks", tick);
 
@@ -491,6 +549,10 @@ DecodeServiceCore::statuszJson() const
     w.kv("alarmed", drift_.alarmed());
     w.endObject();
 
+    w.key("audit").beginObject();
+    audit_->writeStatusz(w);
+    w.endObject();
+
     w.endObject();
     return w.str();
 }
@@ -539,6 +601,7 @@ DecodeService::start(const std::string &bind_addr, uint16_t port,
     if (!http_.start(bind_addr, port, error))
         return false;
 
+    core_.audit().start();
     running_ = true;
     threads_.reserve(core_.config().workers);
     const uint64_t batch_shots =
@@ -564,6 +627,8 @@ DecodeService::stop()
     for (auto &t : threads_)
         t.join();
     threads_.clear();
+    // Flush outstanding audits before the final scrapes can land.
+    core_.audit().stop();
     core_.setHealthy(false);
     http_.stop();
 }

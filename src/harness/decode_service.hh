@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "audit/auditor.hh"
 #include "harness/memory_experiment.hh"
 #include "net/http_server.hh"
 #include "telemetry/rolling_window.hh"
@@ -78,6 +79,14 @@ struct ServeConfig
     size_t driftRingSlots = 8;
     /** Chi-square distance (in [0,1]) that raises the drift alarm. */
     double driftThreshold = 0.05;
+
+    /** Accuracy auditor (audit/auditor.hh): fraction of nontrivial
+     *  decodes shadow re-decoded against the exact oracle; 0 = off. */
+    double auditRate = 0.0;
+    unsigned auditThreads = 1;
+    uint64_t auditQueue = 1024;
+    /** Use the bitmask-DP oracle up to this HW, blossom above. */
+    uint32_t auditDpMaxHw = 16;
 };
 
 /**
@@ -172,6 +181,10 @@ class DecodeServiceCore
     const SyndromeDriftMonitor &drift() const { return drift_; }
     const ServeConfig &config() const { return config_; }
 
+    /** The shadow accuracy auditor (always present; may be disabled). */
+    AccuracyAuditor &audit() { return *audit_; }
+    const AccuracyAuditor &audit() const { return *audit_; }
+
     /** Current sub-window tick (exposed for tests/uptime). */
     uint64_t currentTick() const { return tick_(); }
 
@@ -184,6 +197,8 @@ class DecodeServiceCore
 
     mutable std::mutex ctxMu_;
     std::shared_ptr<const ExperimentContext> ctx_;
+
+    std::unique_ptr<AccuracyAuditor> audit_;
 
     std::function<uint64_t()> tick_;
 

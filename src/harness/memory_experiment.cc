@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "audit/auditor.hh"
 #include "common/thread_pool.hh"
 #include "dem/extractor.hh"
 #include "telemetry/export.hh"
@@ -191,6 +192,19 @@ runMemoryExperiment(const ExperimentContext &ctx,
             decoderDescriptionJson(*probe));
     }
 
+    // ASTREA_AUDIT_RATE > 0 shadow-audits a fraction of shots against
+    // the exact oracle (audit/auditor.hh), the same machinery the
+    // decode service exposes via --audit-rate.
+    std::unique_ptr<AccuracyAuditor> auditor;
+    {
+        AuditConfig audit_cfg = AuditConfig::fromEnv();
+        if (audit_cfg.sampleRate > 0.0) {
+            auditor = std::make_unique<AccuracyAuditor>(ctx.gwt(),
+                                                        audit_cfg);
+            auditor->start();
+        }
+    }
+
     parallelFor(shots, threads,
                 [&](unsigned worker, uint64_t begin, uint64_t end) {
         Rng rng = root.split(worker);
@@ -256,6 +270,10 @@ runMemoryExperiment(const ExperimentContext &ctx,
                     local.latencyNontrivialHist.add(dr.latencyNs);
                 }
 
+                if (auditor != nullptr && hw > 0)
+                    auditor->offer(s, worker, batch.at(i), dr,
+                                   actual);
+
                 if (recorder != nullptr) {
                     telemetry::DecodeRecord rec;
                     rec.shot = s;
@@ -303,6 +321,32 @@ runMemoryExperiment(const ExperimentContext &ctx,
         std::lock_guard<std::mutex> lock(merge_mutex);
         total.merge(local);
     });
+
+    if (auditor != nullptr) {
+        auditor->stop();  // Joins the pool and drains the queue.
+        const AccuracyAuditor::Snapshot snap = auditor->snapshot();
+        if (telemetry::enabled()) {
+            auto &reg = telemetry::MetricsRegistry::global();
+            reg.counter("audit.sampled").add(snap.sampled);
+            reg.counter("audit.completed").add(snap.completed);
+            reg.counter("audit.optimal").add(snap.optimal);
+            reg.counter("audit.suboptimal").add(snap.suboptimal);
+            reg.counter("audit.observable_mismatches")
+                .add(snap.observableMismatches);
+            reg.counter("audit.queue_drops").add(snap.queueDrops);
+            reg.counter("audit.give_ups_audited")
+                .add(snap.giveUpsAudited);
+            reg.counter("audit.give_up_oracle_success")
+                .add(snap.giveUpOracleSuccess);
+        }
+        inform("audit: " + std::to_string(snap.completed) +
+               " shots audited, " + std::to_string(snap.optimal) +
+               " optimal, " + std::to_string(snap.suboptimal) +
+               " suboptimal, " +
+               std::to_string(snap.observableMismatches) +
+               " observable mismatches, " +
+               std::to_string(snap.queueDrops) + " queue drops");
+    }
 
     if (telemetry::TraceWriter *trace = telemetry::globalTraceFast()) {
         telemetry::JsonWriter w;

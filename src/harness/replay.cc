@@ -10,6 +10,7 @@
 
 #include "common/weight.hh"
 #include "decoders/registry.hh"
+#include "matching/dp_matcher.hh"
 
 namespace astrea
 {
@@ -183,6 +184,59 @@ narrateRecord(std::ostream &out, const telemetry::DecodeRecord &rec,
                       : (dr.obsMask != rec.actualObs ? "logical error"
                                                      : "success"))
         << ", " << dr.cycles << " cycles\n";
+
+    if (!rec.audited)
+        return;
+
+    // Records written by the accuracy auditor carry the oracle's
+    // verdict; narrate the divergence and, when the defect set fits
+    // the exact DP matcher, re-derive the oracle's matching in the
+    // same weight domain (quantized LWT decades or exact GWT decades)
+    // so the disagreement is visible pair by pair.
+    char oobs[32];
+    std::snprintf(oobs, sizeof(oobs), "0x%llx",
+                  static_cast<unsigned long long>(rec.oracleObs));
+    out << "  audit oracle (" << rec.oracleName << ", "
+        << (rec.oracleQuantized ? "quantized" : "exact")
+        << " weights): weight " << formatDecades(rec.oracleWeight)
+        << " decades, obs " << oobs
+        << (rec.auditMismatch ? " [observable mismatch]" : "") << '\n';
+    out << "  weight gap vs production: "
+        << formatDecades(rec.matchingWeight - rec.oracleWeight)
+        << " decades\n";
+
+    const size_t n = defects.size();
+    if (n == 0 || n > 20)
+        return;
+    auto pair_weight = [&](uint32_t a, uint32_t b) {
+        if (rec.oracleQuantized)
+            return static_cast<double>(gwt.pairWeight(a, b)) /
+                   kWeightScale;
+        return gwt.exactWeight(a, b);
+    };
+    MatchingSolution oracle = dpMatchWithBoundary(
+        static_cast<int>(n),
+        [&](int i, int j) {
+            return pair_weight(defects[static_cast<size_t>(i)],
+                               defects[static_cast<size_t>(j)]);
+        },
+        [&](int i) {
+            uint32_t d = defects[static_cast<size_t>(i)];
+            return pair_weight(d, d);
+        });
+    out << "  oracle matching (weight "
+        << formatDecades(oracle.totalWeight) << " decades):\n";
+    for (auto [a, b] : oracle.pairs) {
+        uint32_t da = defects[static_cast<size_t>(a)];
+        if (b < 0)
+            out << "    " << da << " -- boundary ("
+                << formatDecades(pair_weight(da, da)) << ")\n";
+        else {
+            uint32_t db = defects[static_cast<size_t>(b)];
+            out << "    " << da << " -- " << db << " ("
+                << formatDecades(pair_weight(da, db)) << ")\n";
+        }
+    }
 }
 
 } // namespace
@@ -247,6 +301,15 @@ loadCapture(const std::string &path, ReplayCapture &out,
         rec.latencyNs = r["latency_ns"].asNumber(0.0);
         rec.cycles = r["cycles"].asUint(0);
         rec.matchingWeight = r["matching_weight"].asNumber(0.0);
+        const telemetry::JsonValue &audit = r["audit"];
+        if (audit.kind == telemetry::JsonValue::Object) {
+            rec.audited = true;
+            rec.auditMismatch = audit["mismatch"].asBool(false);
+            rec.oracleName = audit["oracle"].asString("");
+            rec.oracleQuantized = audit["quantized"].asBool(true);
+            rec.oracleWeight = audit["oracle_weight"].asNumber(0.0);
+            rec.oracleObs = audit["oracle_obs"].asUint(0);
+        }
         out.records.push_back(std::move(rec));
     }
     return true;
@@ -310,7 +373,8 @@ replayCapture(const ReplayCapture &capture,
 
         bool is_trigger = !capture.triggerReason.empty() &&
                           rec.shot == capture.triggerShot &&
-                          (rec.gaveUp || rec.logicalError);
+                          (rec.gaveUp || rec.logicalError ||
+                           rec.auditMismatch);
         bool narrate = options.verboseAll ||
                        (options.verbose && is_trigger) || !match;
         if (narrate || is_trigger) {

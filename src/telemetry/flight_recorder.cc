@@ -1,6 +1,8 @@
 #include "telemetry/flight_recorder.hh"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 
 #include "common/env.hh"
 #include "common/logging.hh"
@@ -35,6 +37,24 @@ FlightRecorder::setCapturePath(std::string path)
     capturePath_ = std::move(path);
 }
 
+void
+FlightRecorder::setCaptureDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    captureDir_ = std::move(dir);
+    captureDirSeq_ = 0;
+    lastCaptureMs_ = -1;
+}
+
+void
+FlightRecorder::setCaptureRateLimit(size_t max_files,
+                                    uint64_t min_interval_ms)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    captureMaxFiles_ = max_files > 0 ? max_files : 1;
+    captureMinIntervalMs_ = min_interval_ms;
+}
+
 size_t
 FlightRecorder::size() const
 {
@@ -63,6 +83,13 @@ FlightRecorder::capturePathWritten() const
     return capturePathWritten_;
 }
 
+uint64_t
+FlightRecorder::capturesRateLimited() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return capturesRateLimited_;
+}
+
 std::vector<DecodeRecord>
 FlightRecorder::snapshot() const
 {
@@ -89,6 +116,15 @@ FlightRecorder::appendRecordJson(JsonWriter &w,
     w.kv("latency_ns", r.latencyNs);
     w.kv("cycles", r.cycles);
     w.kv("matching_weight", r.matchingWeight);
+    if (r.audited) {
+        w.key("audit").beginObject();
+        w.kv("mismatch", r.auditMismatch);
+        w.kv("oracle", r.oracleName);
+        w.kv("quantized", r.oracleQuantized);
+        w.kv("oracle_weight", r.oracleWeight);
+        w.kv("oracle_obs", r.oracleObs);
+        w.endObject();
+    }
     w.endObject();
 }
 
@@ -104,10 +140,43 @@ FlightRecorder::record(const DecodeRecord &r)
             ring_.pop_front();
         totalRecorded_++;
 
-        if ((r.gaveUp || r.logicalError) && !capturePath_.empty() &&
-            capturesWritten_ == 0) {
-            dump_path = capturePath_;
-            reason = r.gaveUp ? "give_up" : "logical_error";
+        const bool trigger =
+            r.gaveUp || r.logicalError || r.auditMismatch;
+        if (trigger) {
+            if (r.auditMismatch)
+                reason = "audit_mismatch";
+            else
+                reason = r.gaveUp ? "give_up" : "logical_error";
+
+            if (!captureDir_.empty()) {
+                // Directory mode: numbered files, rate-limited so a
+                // pathological run cannot flood the filesystem.
+                const int64_t now_ms =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch())
+                        .count();
+                const bool spaced =
+                    lastCaptureMs_ < 0 ||
+                    now_ms - lastCaptureMs_ >=
+                        static_cast<int64_t>(captureMinIntervalMs_);
+                if (captureDirSeq_ < captureMaxFiles_ && spaced) {
+                    char name[32];
+                    std::snprintf(name, sizeof(name),
+                                  "capture-%03llu.json",
+                                  static_cast<unsigned long long>(
+                                      captureDirSeq_));
+                    dump_path = captureDir_ + "/" + name;
+                    captureDirSeq_++;
+                    lastCaptureMs_ = now_ms;
+                } else {
+                    capturesRateLimited_++;
+                }
+            } else if (!capturePath_.empty() &&
+                       capturesWritten_ == 0) {
+                dump_path = capturePath_;
+            }
         }
     }
     if (!dump_path.empty())
@@ -190,6 +259,13 @@ FlightRecorder::global()
         std::string path = env::getString("ASTREA_CAPTURE_PATH", "");
         if (!path.empty())
             r->setCapturePath(path);
+        std::string dir = env::getString("ASTREA_CAPTURE_DIR", "");
+        if (!dir.empty())
+            r->setCaptureDir(dir);
+        r->setCaptureRateLimit(
+            static_cast<size_t>(
+                env::getUint("ASTREA_CAPTURE_MAX_FILES", 32, 1)),
+            env::getUint("ASTREA_CAPTURE_MIN_INTERVAL_MS", 1000));
         return r;
     }();
     return *recorder;
@@ -202,6 +278,7 @@ FlightRecorder::globalEnabled()
     if (v >= 0)
         return v != 0;
     bool enabled = !env::getString("ASTREA_CAPTURE_PATH", "").empty() ||
+                   !env::getString("ASTREA_CAPTURE_DIR", "").empty() ||
                    env::getBool("ASTREA_FLIGHT_RECORDER", false);
     g_fr_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
     return enabled;

@@ -15,10 +15,14 @@
  * this layer free of harness dependencies.
  *
  * Process-wide use: set ASTREA_CAPTURE_PATH=file.json (records and
- * arms a one-shot capture) or ASTREA_FLIGHT_RECORDER=1 (records
- * without dumping, for programmatic snapshots). The harness polls
- * FlightRecorder::globalEnabled() per worker chunk, so the hot loop
- * pays one relaxed atomic load when the recorder is off.
+ * arms a one-shot capture), ASTREA_CAPTURE_DIR=dir (records and dumps
+ * sequentially numbered capture-NNN.json files, one per trigger,
+ * rate-limited by ASTREA_CAPTURE_MAX_FILES / ASTREA_CAPTURE_MIN_
+ * INTERVAL_MS so a pathological run cannot fill a disk), or
+ * ASTREA_FLIGHT_RECORDER=1 (records without dumping, for programmatic
+ * snapshots). The harness polls FlightRecorder::globalEnabled() per
+ * worker chunk, so the hot loop pays one relaxed atomic load when the
+ * recorder is off.
  *
  * Capture schema (capture_schema_version 1):
  *
@@ -67,6 +71,17 @@ struct DecodeRecord
     uint64_t cycles = 0;            ///< Modeled cycles (0 = software).
     double matchingWeight = 0.0;
 
+    // Shadow-audit verdict (audit/auditor.hh), when this record came
+    // through the accuracy auditor. auditMismatch records are capture
+    // triggers: production's logical correction diverged from the
+    // exact oracle's.
+    bool audited = false;
+    bool auditMismatch = false;
+    std::string oracleName;        ///< "dp" or "mwpm".
+    bool oracleQuantized = true;   ///< Oracle weight domain.
+    double oracleWeight = 0.0;     ///< Oracle matching weight, decades.
+    uint64_t oracleObs = 0;        ///< Oracle's predicted flips.
+
     uint32_t hw() const { return static_cast<uint32_t>(defects.size()); }
 };
 
@@ -90,9 +105,25 @@ class FlightRecorder
     void setCapturePath(std::string path);
 
     /**
+     * Arm directory capture dumping: every trigger record writes a
+     * sequentially numbered capture-NNN.json into dir (subject to the
+     * rate limit), so repeated triggers in one run don't clobber each
+     * other. Takes precedence over setCapturePath(). "" disarms.
+     */
+    void setCaptureDir(std::string dir);
+
+    /**
+     * Directory-mode rate limit: at most max_files captures per run,
+     * at least min_interval_ms between consecutive captures.
+     */
+    void setCaptureRateLimit(size_t max_files,
+                             uint64_t min_interval_ms);
+
+    /**
      * Append a record; evicts the oldest when full. If the record is
-     * a trigger (gave up or logical error) and a capture is armed and
-     * not yet written, dumps the capture file.
+     * a trigger (gave up, logical error, or audit mismatch) and a
+     * capture is armed — one-shot path or directory mode — dumps a
+     * capture file.
      */
     void record(const DecodeRecord &r);
 
@@ -106,6 +137,8 @@ class FlightRecorder
     uint64_t totalRecorded() const;  ///< Including evicted records.
     uint64_t capturesWritten() const;
     std::string capturePathWritten() const;
+    /** Triggers suppressed by the directory-mode rate limit. */
+    uint64_t capturesRateLimited() const;
 
     /** Ring contents, oldest first. */
     std::vector<DecodeRecord> snapshot() const;
@@ -131,6 +164,12 @@ class FlightRecorder
     std::string contextJson_;
     std::string decoderJson_;
     std::string capturePath_;
+    std::string captureDir_;
+    size_t captureMaxFiles_ = 32;
+    uint64_t captureMinIntervalMs_ = 1000;
+    uint64_t captureDirSeq_ = 0;
+    int64_t lastCaptureMs_ = -1;
+    uint64_t capturesRateLimited_ = 0;
     uint64_t capturesWritten_ = 0;
     std::string capturePathWritten_;
 };

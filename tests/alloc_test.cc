@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/auditor.hh"
 #include "common/alloc_counter.hh"
 #include "common/rng.hh"
 #include "decoders/registry.hh"
@@ -83,6 +84,49 @@ TEST(AllocCounter, SteadyStateDecodeIsAllocationFree)
             << name << " allocated " << allocs << " times across "
             << syndromes.size() << " steady-state decodes";
     }
+}
+
+TEST(AllocCounter, AuditEnqueueIsAllocationFree)
+{
+    // The auditor's hot-path hook: offer() must not allocate, whether
+    // it rejects by stride, drops on a full queue, or enqueues — the
+    // queue's storage is all preallocated at construction.
+    ExperimentConfig cfg;
+    cfg.distance = 5;
+    cfg.physicalErrorRate = 1e-3;
+    ExperimentContext ctx(cfg);
+
+    Rng rng(7);
+    BitVec dets, obs;
+    std::vector<std::vector<uint32_t>> syndromes;
+    size_t guard = 0;
+    while (syndromes.size() < 200 && ++guard < 2000000) {
+        ctx.sampler().sample(rng, dets, obs);
+        if (dets.popcount() >= 1)
+            syndromes.push_back(dets.onesIndices());
+    }
+    ASSERT_GE(syndromes.size(), 100u);
+
+    AuditConfig acfg;
+    acfg.sampleRate = 1.0;
+    acfg.queueCapacity = 1024;  // Roomy: every offer enqueues.
+    AccuracyAuditor auditor(ctx.gwt(), acfg);
+
+    DecodeResult dr;
+    dr.obsMask = 0;
+    dr.matchingWeight = 1.0;
+
+    // Warm-up pass, then measure (enqueue-only; the pool is not
+    // running, so this isolates the producer side).
+    for (const auto &s : syndromes)
+        auditor.offer(0, 0, s, dr, 0);
+    const uint64_t before = allocCount();
+    for (const auto &s : syndromes)
+        auditor.offer(1, 0, s, dr, 0);
+    const uint64_t allocs = allocCount() - before;
+    EXPECT_EQ(allocs, 0u)
+        << "audit enqueue allocated " << allocs << " times across "
+        << syndromes.size() << " offers";
 }
 
 } // namespace

@@ -127,7 +127,7 @@ TEST(DecodeServiceCoreTest, StatuszSchemaParses)
     telemetry::JsonValue doc;
     ASSERT_TRUE(telemetry::parseJson(core.statuszJson(), doc));
     EXPECT_EQ(doc["service"].asString(), "astrea_serve");
-    EXPECT_EQ(doc["schema_version"].asUint(), 1u);
+    EXPECT_EQ(doc["schema_version"].asUint(), 2u);
     EXPECT_TRUE(doc["healthy"].asBool());
     EXPECT_EQ(doc["config"]["d"].asUint(), 3u);
     EXPECT_EQ(doc["config"]["decoder"].asString(), "astrea");
@@ -137,6 +137,11 @@ TEST(DecodeServiceCoreTest, StatuszSchemaParses)
     EXPECT_GE(doc["slo"]["error_budget"].asNumber(), 0.0);
     ASSERT_TRUE(doc.has("drift"));
     EXPECT_GE(doc["drift"]["chi_square"].asNumber(), 0.0);
+    // Schema v2: the audit object is always present; the default
+    // config has auditing off.
+    ASSERT_TRUE(doc.has("audit"));
+    EXPECT_FALSE(doc["audit"]["enabled"].asBool(true));
+    EXPECT_EQ(doc["audit"]["completed"].asUint(1), 0u);
 }
 
 TEST(DecodeServiceCoreTest, RollingWindowDecaysAfterLoadStops)

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -102,6 +103,94 @@ TEST(FlightRecorderTest, CaptureDumpsOnceOnFirstTrigger)
     EXPECT_EQ(doc["records"].arr[2]["shot"].asUint(), 2u);
     EXPECT_TRUE(doc["records"].arr[2]["gave_up"].asBool());
     EXPECT_EQ(doc["records"].arr[1]["defects"].arr.size(), 2u);
+}
+
+TEST(FlightRecorderTest, CaptureDirWritesNumberedFiles)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = tempPath("fr_capture_dir");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    FlightRecorder recorder(8);
+    recorder.beginRun("{\"distance\":3}", "{\"name\":\"Astrea\"}");
+    recorder.setCaptureDir(dir);
+    recorder.setCaptureRateLimit(/*max_files=*/2,
+                                 /*min_interval_ms=*/0);
+
+    recorder.record(makeRecord(0, /*trigger=*/true));
+    recorder.record(makeRecord(1, /*trigger=*/true));
+    // Third trigger exceeds max_files: counted, not written.
+    recorder.record(makeRecord(2, /*trigger=*/true));
+
+    EXPECT_EQ(recorder.capturesWritten(), 2u);
+    EXPECT_EQ(recorder.capturesRateLimited(), 1u);
+    EXPECT_TRUE(fs::exists(dir + "/capture-000.json"));
+    EXPECT_TRUE(fs::exists(dir + "/capture-001.json"));
+    EXPECT_FALSE(fs::exists(dir + "/capture-002.json"));
+
+    // Each file is a complete, parseable capture.
+    JsonValue doc;
+    ASSERT_TRUE(
+        parseJson(readFile(dir + "/capture-001.json"), doc));
+    EXPECT_EQ(doc["capture_schema_version"].asUint(),
+              kCaptureSchemaVersion);
+    EXPECT_EQ(doc["trigger"]["shot"].asUint(), 1u);
+}
+
+TEST(FlightRecorderTest, CaptureDirRateLimitsByInterval)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = tempPath("fr_capture_interval");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    FlightRecorder recorder(8);
+    recorder.setCaptureDir(dir);
+    // A day between captures: the second trigger inside the window
+    // must be rate-limited, not written.
+    recorder.setCaptureRateLimit(/*max_files=*/10,
+                                 /*min_interval_ms=*/86400000);
+
+    recorder.record(makeRecord(0, /*trigger=*/true));
+    recorder.record(makeRecord(1, /*trigger=*/true));
+
+    EXPECT_EQ(recorder.capturesWritten(), 1u);
+    EXPECT_EQ(recorder.capturesRateLimited(), 1u);
+    EXPECT_TRUE(fs::exists(dir + "/capture-000.json"));
+    EXPECT_FALSE(fs::exists(dir + "/capture-001.json"));
+}
+
+TEST(FlightRecorderTest, AuditMismatchIsACaptureTrigger)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = tempPath("fr_audit_trigger");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    FlightRecorder recorder(8);
+    recorder.setCaptureDir(dir);
+    recorder.setCaptureRateLimit(4, 0);
+
+    DecodeRecord r = makeRecord(3);
+    r.audited = true;
+    r.auditMismatch = true;
+    r.oracleName = "dp";
+    r.oracleWeight = 1.25;
+    r.oracleObs = 1;
+    recorder.record(r);
+
+    EXPECT_EQ(recorder.capturesWritten(), 1u);
+    JsonValue doc;
+    ASSERT_TRUE(
+        parseJson(readFile(dir + "/capture-000.json"), doc));
+    // audit_mismatch outranks give_up / logical_error as the reason.
+    EXPECT_EQ(doc["trigger"]["reason"].asString(), "audit_mismatch");
+    const JsonValue &rec = doc["records"].arr.back();
+    EXPECT_TRUE(rec["audit"]["mismatch"].asBool(false));
+    EXPECT_EQ(rec["audit"]["oracle"].asString(), "dp");
+    EXPECT_DOUBLE_EQ(rec["audit"]["oracle_weight"].asNumber(0.0),
+                     1.25);
 }
 
 TEST(FlightRecorderTest, BeginRunClearsPreviousRing)

@@ -8,6 +8,8 @@
 #include <set>
 
 #include "common/rng.hh"
+#include "common/weight.hh"
+#include "matching/blossom.hh"
 #include "matching/dp_matcher.hh"
 #include "matching/enumerator.hh"
 
@@ -191,6 +193,119 @@ TEST(DpMatcher, MatchesExhaustiveWithVirtualBoundary)
             },
             best);
         EXPECT_DOUBLE_EQ(dp.totalWeight, ex) << "trial " << trial;
+    }
+}
+
+namespace
+{
+
+/**
+ * Random quantized LWT tile: byte weights in 1..48 (1/8-decade LSB),
+ * exactly the domain the hardware enumerator compares in. Returned as
+ * decade doubles qw / kWeightScale, which are exactly representable.
+ */
+struct QuantizedTile
+{
+    std::vector<std::vector<double>> w;
+    std::vector<double> wb;
+    std::vector<std::vector<int64_t>> qw;
+    std::vector<int64_t> qwb;
+};
+
+QuantizedTile
+randomTile(Rng &rng, int m)
+{
+    QuantizedTile t;
+    t.w.assign(m, std::vector<double>(m, 0.0));
+    t.qw.assign(m, std::vector<int64_t>(m, 0));
+    t.wb.resize(m);
+    t.qwb.resize(m);
+    for (int i = 0; i < m; i++) {
+        t.qwb[i] = 1 + static_cast<int64_t>(rng.uniformInt(48));
+        t.wb[i] = static_cast<double>(t.qwb[i]) / kWeightScale;
+        for (int j = i + 1; j < m; j++) {
+            t.qw[i][j] = t.qw[j][i] =
+                1 + static_cast<int64_t>(rng.uniformInt(48));
+            t.w[i][j] = t.w[j][i] =
+                static_cast<double>(t.qw[i][j]) / kWeightScale;
+        }
+    }
+    return t;
+}
+
+/** Blossom MWPM with per-defect boundary copies, weight in decades. */
+double
+blossomWeightWithBoundary(const QuantizedTile &t, int m)
+{
+    constexpr int64_t kForbidden = 1ll << 40;
+    auto weight = [&](int i, int j) -> int64_t {
+        bool i_real = i < m, j_real = j < m;
+        if (i_real && j_real)
+            return t.qw[i][j];
+        if (!i_real && !j_real)
+            return 0;
+        int real = i_real ? i : j;
+        int copy = (i_real ? j : i) - m;
+        return copy == real ? t.qwb[real] : kForbidden;
+    };
+    auto mate = minWeightPerfectMatching(2 * m, weight);
+    double total = 0.0;
+    for (int i = 0; i < m; i++) {
+        if (mate[i] < m) {
+            if (i < mate[i])
+                total += t.w[i][mate[i]];
+        } else {
+            EXPECT_EQ(mate[i] - m, i)
+                << "defect matched to a foreign boundary copy";
+            total += t.wb[i];
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+TEST(MatcherHierarchy, DpBlossomAndEnumeratorAgreeOnQuantizedTiles)
+{
+    // The oracle hierarchy the accuracy auditor relies on: on random
+    // quantized LWT tiles, for every even m <= 10,
+    //
+    //   exact-DP weight <= blossom weight <= Astrea weight,
+    //
+    // where the Astrea weight is the exhaustive enumerator's optimum
+    // over effective pair weights min(w_ij, wb_i + wb_j) — the matching
+    // the hardware computes. All three solve the same relaxation here,
+    // so the inequalities collapse to equalities; asserting <= in both
+    // directions makes a regression in any one of them visible.
+    Rng rng(2023);
+    for (int m = 2; m <= 10; m += 2) {
+        for (int trial = 0; trial < 20; trial++) {
+            QuantizedTile t = randomTile(rng, m);
+
+            auto dp = dpMatchWithBoundary(
+                m, [&](int i, int j) { return t.w[i][j]; },
+                [&](int i) { return t.wb[i]; });
+            double blossom = blossomWeightWithBoundary(t, m);
+            PairList best;
+            double astrea = exhaustiveMinWeightMatching(
+                m,
+                [&](int i, int j) {
+                    return std::min(
+                        t.w[std::min(i, j)][std::max(i, j)],
+                        t.wb[i] + t.wb[j]);
+                },
+                best);
+
+            // Quantized decade sums are multiples of 1/8 and exactly
+            // representable, so the comparisons are exact.
+            EXPECT_LE(dp.totalWeight, blossom)
+                << "m=" << m << " trial=" << trial;
+            EXPECT_LE(blossom, astrea)
+                << "m=" << m << " trial=" << trial;
+            // DP agrees with the legacy enumerator bit-for-bit.
+            EXPECT_EQ(dp.totalWeight, astrea)
+                << "m=" << m << " trial=" << trial;
+        }
     }
 }
 

@@ -242,6 +242,14 @@ commandServe(const Options &opts)
         "budget-ns", env::getDouble("ASTREA_SERVE_BUDGET_NS", 1000.0));
     cfg.sloTarget = opts.getDouble(
         "slo-target", env::getDouble("ASTREA_SERVE_SLO_TARGET", 0.999));
+    cfg.auditRate = opts.getDouble(
+        "audit-rate", env::getDouble("ASTREA_AUDIT_RATE", 0.0));
+    cfg.auditThreads = static_cast<unsigned>(opts.getUint(
+        "audit-threads", env::getUint("ASTREA_AUDIT_THREADS", 1, 1)));
+    cfg.auditQueue = opts.getUint(
+        "audit-queue", env::getUint("ASTREA_AUDIT_QUEUE", 1024, 2));
+    cfg.auditDpMaxHw = static_cast<uint32_t>(opts.getUint(
+        "audit-dp-max-hw", env::getUint("ASTREA_AUDIT_DP_MAX_HW", 16)));
 
     const std::string bind = opts.getString(
         "bind", env::getString("ASTREA_SERVE_BIND", "127.0.0.1"));
@@ -285,6 +293,12 @@ commandServe(const Options &opts)
                 cfg.decoder.c_str(), cfg.distance,
                 cfg.physicalErrorRate, cfg.workers, bind.c_str(),
                 svc.port());
+    if (cfg.auditRate > 0.0)
+        std::printf("serve: auditing %g of decodes (%u audit "
+                    "thread%s, queue %llu)\n",
+                    cfg.auditRate, cfg.auditThreads,
+                    cfg.auditThreads == 1 ? "" : "s",
+                    static_cast<unsigned long long>(cfg.auditQueue));
     std::fflush(stdout);
 
     std::signal(SIGINT, serveSignalHandler);
@@ -322,7 +336,9 @@ usage(const char *argv0)
         "or:    %s replay <capture.json> [--verbose] [--all]\n"
         "or:    %s serve [--d=N] [--p=P] [--decoder=NAME] "
         "[--threads=N] [--port=N] [--bind=ADDR] [--duration=2s] "
-        "[--port-file=PATH] [--budget-ns=NS]\n"
+        "[--port-file=PATH] [--budget-ns=NS] [--audit-rate=F] "
+        "[--audit-threads=N] [--audit-queue=N] "
+        "[--audit-dp-max-hw=N]\n"
         "or:    %s list-decoders\n"
         "flags: --shots=N --seed=N --log-level=LVL "
         "--trace-file=PATH --chrome-trace=PATH\n",

@@ -2,6 +2,7 @@
 """Check a Prometheus text-exposition dump for well-formedness.
 
 Usage: scrape_check.py METRICS.prom [--require name,name,...]
+                                    [--require-audit]
        scrape_check.py --self-test
 
 Parses an exposition-format (0.0.4) dump — such as a scrape of the
@@ -18,7 +19,8 @@ C++ side (telemetry/prometheus.cc) promises:
     bucket counts are cumulative (non-decreasing in `le` order) and
     the +Inf bucket equals `_count`;
   - the families in --require (default: the decode service's headline
-    families) are all present.
+    families) are all present; --require-audit additionally demands
+    the accuracy auditor's families (serve with --audit-rate > 0).
 
 Exits nonzero with a message on the first violation.
 """
@@ -37,6 +39,17 @@ DEFAULT_REQUIRED = [
     "astrea_serve_slo_fast_burn",
     "astrea_serve_slo_slow_burn",
     "astrea_serve_drift_chi_square",
+]
+
+# Families the accuracy auditor exposes when serve runs with
+# --audit-rate > 0; demanded via --require-audit.
+AUDIT_REQUIRED = [
+    "astrea_audit_enabled",
+    "astrea_audit_completed_total",
+    "astrea_audit_optimality_rate",
+    "astrea_audit_weight_gap_decades",
+    "astrea_audit_queue_drops_total",
+    "astrea_audit_observable_mismatches_total",
 ]
 
 NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -205,6 +218,25 @@ astrea_serve_drift_chi_square 0.003
 astrea_serve_info{decoder="astrea",d="3",p="0.001"} 1
 """
 
+# Appended to GOOD when exercising --require-audit in the self-test.
+GOOD_AUDIT = """\
+# TYPE astrea_audit_enabled gauge
+astrea_audit_enabled 1
+# TYPE astrea_audit_completed_total counter
+astrea_audit_completed_total 42
+# TYPE astrea_audit_optimality_rate gauge
+astrea_audit_optimality_rate{hw="all"} 0.98
+# TYPE astrea_audit_weight_gap_decades histogram
+astrea_audit_weight_gap_decades_bucket{le="0"} 40
+astrea_audit_weight_gap_decades_bucket{le="+Inf"} 42
+astrea_audit_weight_gap_decades_sum 0.25
+astrea_audit_weight_gap_decades_count 42
+# TYPE astrea_audit_queue_drops_total counter
+astrea_audit_queue_drops_total 0
+# TYPE astrea_audit_observable_mismatches_total counter
+astrea_audit_observable_mismatches_total 1
+"""
+
 BAD_CASES = [
     # Sample without a TYPE line.
     "orphan_metric 1\n",
@@ -233,6 +265,11 @@ BAD_CASES = [
 def self_test():
     families, samples = check(GOOD, DEFAULT_REQUIRED)
     assert families == 8 and samples == 12, (families, samples)
+
+    # Audit families pass when present, fail when absent.
+    check(GOOD + GOOD_AUDIT, DEFAULT_REQUIRED + AUDIT_REQUIRED)
+    code = run_expecting_failure(GOOD, AUDIT_REQUIRED[:1])
+    assert code != 0
 
     # Required family missing.
     code = run_expecting_failure(GOOD, ["not_there"])
@@ -266,13 +303,18 @@ def main(argv):
         return 2
 
     required = list(DEFAULT_REQUIRED)
+    require_audit = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--require="):
             required = [r for r in arg[len("--require="):].split(",")
                         if r]
+        elif arg == "--require-audit":
+            require_audit = True
         else:
             paths.append(arg)
+    if require_audit:
+        required += [f for f in AUDIT_REQUIRED if f not in required]
 
     for path in paths:
         try:

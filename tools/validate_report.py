@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate a bench --json-out report against the expected schema.
 
-Usage: validate_report.py REPORT.json [REPORT.json ...]
+Usage: validate_report.py [--require-audit] REPORT.json [...]
 
 Checks that each file parses as JSON and carries the standard envelope
 written by bench_util.hh (beginBenchReport/finishBenchReport):
@@ -20,6 +20,9 @@ written by bench_util.hh (beginBenchReport/finishBenchReport):
 Files whose top level carries a "service" key are instead validated
 against the decode service's /statusz schema (DecodeServiceCore::
 statuszJson), so CI can point this script at a scraped snapshot.
+Schema version 1 (no auditor) and 2 (with an "audit" object) are both
+accepted; --require-audit additionally demands schema 2 with a running
+auditor that completed at least one audit and dropped no samples.
 
 Exits nonzero with a message on the first violation, so CI fails when a
 bench silently stops producing valid reports.
@@ -34,17 +37,55 @@ def fail(path, msg):
     sys.exit(1)
 
 
-def validate_statusz(path, doc):
+def validate_audit(path, audit, require_audit):
+    """Validate the statusz 'audit' object (schema version 2)."""
+    if not isinstance(audit, dict):
+        fail(path, "'audit' must be an object")
+    for key in ("enabled", "rate", "offered", "sampled", "completed",
+                "queue_depth", "queue_capacity", "queue_drops",
+                "oversize_drops", "optimal", "suboptimal",
+                "observable_mismatches", "optimality_rate",
+                "give_ups_offered", "give_ups_audited",
+                "give_up_oracle_success", "give_up_coverage",
+                "captures"):
+        if key not in audit:
+            fail(path, f"audit missing '{key}'")
+    for key in ("offered", "sampled", "completed", "queue_drops",
+                "oversize_drops", "optimal", "suboptimal",
+                "observable_mismatches", "captures"):
+        v = audit[key]
+        if not isinstance(v, int) or v < 0:
+            fail(path, f"audit.{key} must be a non-negative integer")
+    rate = audit["optimality_rate"]
+    if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+        fail(path, "audit.optimality_rate must be in [0, 1]")
+    if require_audit:
+        if not audit["enabled"]:
+            fail(path, "audit.enabled is false (--require-audit)")
+        if audit["completed"] < 1:
+            fail(path, "audit.completed is 0 (--require-audit)")
+        if audit["queue_drops"] != 0:
+            fail(path, f"audit.queue_drops is "
+                       f"{audit['queue_drops']} (--require-audit)")
+
+
+def validate_statusz(path, doc, require_audit=False):
     """Validate a decode-service /statusz snapshot."""
     if doc.get("service") != "astrea_serve":
         fail(path, f"unknown service {doc.get('service')!r}")
-    if doc.get("schema_version") != 1:
-        fail(path, f"unknown schema_version "
-                   f"{doc.get('schema_version')!r}")
+    schema = doc.get("schema_version")
+    if schema not in (1, 2):
+        fail(path, f"unknown schema_version {schema!r}")
+    if require_audit and schema != 2:
+        fail(path, "--require-audit needs schema_version 2")
     for key in ("healthy", "uptime_ticks", "config", "totals",
                 "window", "slo", "drift"):
         if key not in doc:
             fail(path, f"missing top-level key '{key}'")
+    if schema >= 2:
+        if "audit" not in doc:
+            fail(path, "schema_version 2 requires an 'audit' object")
+        validate_audit(path, doc["audit"], require_audit)
 
     config = doc["config"]
     for key in ("d", "p", "decoder", "workers", "budget_ns",
@@ -90,7 +131,7 @@ def validate_statusz(path, doc):
           f"decodes={totals['decodes']})")
 
 
-def validate(path):
+def validate(path, require_audit=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -101,8 +142,11 @@ def validate(path):
         fail(path, "top level is not an object")
 
     if "service" in doc:
-        validate_statusz(path, doc)
+        validate_statusz(path, doc, require_audit)
         return
+    if require_audit:
+        fail(path, "--require-audit only applies to /statusz "
+                   "snapshots")
 
     for key in ("bench", "schema_version", "config", "results",
                 "metrics"):
@@ -163,11 +207,18 @@ def validate(path):
 
 
 def main(argv):
-    if len(argv) < 2:
+    require_audit = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--require-audit":
+            require_audit = True
+        else:
+            paths.append(arg)
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    for path in argv[1:]:
-        validate(path)
+    for path in paths:
+        validate(path, require_audit)
     return 0
 
 
