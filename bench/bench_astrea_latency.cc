@@ -8,6 +8,7 @@
  *
  * Usage: bench_astrea_latency [--shots=2000000] [--p=1e-4]
  *                             [--json-out=report.json]
+ *                             [--perf-counters] [--profile-out=PATH]
  */
 
 #include <cstdio>
@@ -51,6 +52,9 @@ main(int argc, char **argv)
         cfg.physicalErrorRate = p;
         ExperimentContext ctx(cfg);
 
+        // Per-distance counter attribution: each result row carries
+        // only its own run's per-stage totals.
+        telemetry::resetPerfTotals();
         ExperimentResult r =
             runMemoryExperiment(ctx, astreaFactory(), shots, seed);
         std::printf("%-4u %-12.2f %-18.2f %-10.0f %-10.0f %-10.0f "
@@ -62,10 +66,37 @@ main(int argc, char **argv)
                     r.latencyNs.max(), r.hammingWeights.maxObserved(),
                     static_cast<unsigned long long>(r.gaveUps));
 
+        if (telemetry::perfCountersEnabled() &&
+            telemetry::perfCountersAvailable()) {
+            std::printf("  perf (d=%u):\n", d);
+            std::printf("    %-10s %-10s %-14s %-8s %-10s\n", "stage",
+                        "sections", "cycles/shot", "IPC",
+                        "LLC miss");
+            for (size_t i = 0; i < telemetry::kPerfStageCount; i++) {
+                const auto stage =
+                    static_cast<telemetry::PerfStage>(i);
+                const telemetry::PerfStageTotals t =
+                    telemetry::perfStageTotals(stage);
+                if (t.sections == 0)
+                    continue;
+                std::printf("    %-10s %-10llu %-14.1f %-8.2f "
+                            "%-10.4f\n",
+                            telemetry::perfStageName(stage),
+                            static_cast<unsigned long long>(
+                                t.sections),
+                            t.cyclesPerShot(), t.ipc(),
+                            t.llcMissRate());
+            }
+        }
+
         if (!json_out.empty()) {
             report.beginObject();
             report.kv("d", uint64_t{d});
             appendExperimentResultJson(report, r);
+            if (telemetry::perfCountersEnabled()) {
+                report.key("perf");
+                telemetry::appendPerfJson(report);
+            }
             report.endObject();
         }
     }
@@ -126,5 +157,6 @@ main(int argc, char **argv)
 
         finishBenchReport(report, json_out);
     }
+    finishBenchProfile(opts);
     return 0;
 }

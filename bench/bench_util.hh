@@ -31,6 +31,8 @@
 #include "telemetry/export.hh"
 #include "telemetry/json.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/perf_counters.hh"
+#include "telemetry/sampling_profiler.hh"
 
 namespace astrea
 {
@@ -72,7 +74,13 @@ printPaperRef(const char *label, const char *value)
  *
  *  --log-level=LVL      logging threshold (debug/info/warn/error/off);
  *  --trace-file=PATH    JSONL span/shot trace (export.hh);
- *  --chrome-trace=PATH  Perfetto timeline (chrome_trace.hh).
+ *  --chrome-trace=PATH  Perfetto timeline (chrome_trace.hh);
+ *  --perf-counters      per-stage hardware counters (perf_counters.hh;
+ *                       degrades to a no-op where unavailable);
+ *  --profile-out=PATH   collapsed-stack CPU profile of the whole run
+ *                       (sampling_profiler.hh; .speedscope.json paths
+ *                       get speedscope format);
+ *  --profile-hz=N       sampling rate for --profile-out (default 199).
  *
  * Either trace flag switches telemetry collection on — a timeline
  * without spans would be empty.
@@ -92,6 +100,47 @@ applyForensicsOptions(const Options &opts)
             opts.getString("chrome-trace", ""));
         telemetry::setEnabled(true);
     }
+    if (opts.has("perf-counters"))
+        telemetry::setPerfCountersEnabled(true);
+    if (opts.has("profile-out")) {
+        std::string error;
+        const unsigned hz = static_cast<unsigned>(
+            opts.getUint("profile-hz", 199));
+        if (!telemetry::SamplingProfiler::global().start(hz, &error))
+            warn("sampling profiler not started: " + error);
+    }
+}
+
+/**
+ * Stop the --profile-out profiler (started by applyForensicsOptions)
+ * and write the collected profile: speedscope JSON when the path ends
+ * in ".speedscope.json", collapsed/folded stacks otherwise. No-op
+ * when --profile-out was absent or the profiler never started.
+ */
+inline void
+finishBenchProfile(const Options &opts)
+{
+    if (!opts.has("profile-out"))
+        return;
+    auto &prof = telemetry::SamplingProfiler::global();
+    if (!prof.running())
+        return;
+    prof.stop();
+    const std::string path = opts.getString("profile-out", "");
+    const std::string suffix = ".speedscope.json";
+    const bool speedscope =
+        path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+    const std::string out =
+        speedscope ? prof.speedscopeJson() : prof.collapsed();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot open --profile-out file: " + path);
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("profile (%zu samples) written to %s\n",
+                prof.sampleCount(), path.c_str());
 }
 
 /**
@@ -219,6 +268,9 @@ beginBenchReport(telemetry::JsonWriter &w, const char *bench_id)
 inline void
 finishBenchReport(telemetry::JsonWriter &w, const std::string &path)
 {
+    // Fold the perf-counter gauges (perf.*) into the registry first so
+    // the snapshot below carries them.
+    telemetry::publishPerfMetrics(telemetry::MetricsRegistry::global());
     w.key("metrics");
     telemetry::appendMetricsJson(w,
                                  telemetry::MetricsRegistry::global());

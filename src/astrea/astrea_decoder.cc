@@ -6,6 +6,7 @@
 #include "astrea/lwt_tile.hh"
 #include "astrea/matching_tables.hh"
 #include "common/logging.hh"
+#include "telemetry/perf_counters.hh"
 #include "telemetry/telemetry.hh"
 
 namespace astrea
@@ -154,12 +155,26 @@ void
 AstreaDecoder::decodeKernel(std::span<const uint32_t> defects,
                             DecodeResult &out, AstreaScratch &s)
 {
-    s.tile.build(gwt_, defects, config_.useEffectiveWeights);
+    // Hardware-counter attribution, sampled one decode in
+    // ASTREA_PERF_STAGE_STRIDE (a live section costs two group
+    // reads, which would swamp a ~456 ns decode if taken every shot).
+    const bool psample = telemetry::perfSampleThisDecode();
+    {
+        telemetry::PerfSection sec(telemetry::PerfStage::Gather, 1,
+                                   psample);
+        s.tile.build(gwt_, defects, config_.useEffectiveWeights);
+    }
     const int m = s.tile.nodes();
     const int virt = s.tile.virtualNode();
 
-    const MatchingTable &table = MatchingTable::forNodes(m);
-    const KernelMatch km = matchTile16(table, s.tile.weights(), kernel_);
+    const MatchingTable *table = nullptr;
+    KernelMatch km;
+    {
+        telemetry::PerfSection sec(telemetry::PerfStage::Matching, 1,
+                                   psample);
+        table = &MatchingTable::forNodes(m);
+        km = matchTile16(*table, s.tile.weights(), kernel_);
+    }
     ASTREA_CHECK(km.weight < kInfiniteTileWeight,
                  "Astrea found no finite matching");
 
@@ -167,9 +182,12 @@ AstreaDecoder::decodeKernel(std::span<const uint32_t> defects,
     stats_.hw6Invocations += invocations;
     ASTREA_COUNTER_ADD("astrea.hw6_invocations", invocations);
 
-    out.matchedPairs.reserve(static_cast<size_t>(table.pairsPerRow()));
-    for (int k = 0; k < table.pairsPerRow(); k++) {
-        auto [i, j] = table.pairAt(km.row, k);
+    telemetry::PerfSection vsec(telemetry::PerfStage::Verdict, 1,
+                                psample);
+    out.matchedPairs.reserve(
+        static_cast<size_t>(table->pairsPerRow()));
+    for (int k = 0; k < table->pairsPerRow(); k++) {
+        auto [i, j] = table->pairAt(km.row, k);
         out.obsMask ^= s.tile.obsAt(i, j);
         // Report the pairing; the virtual boundary node maps to -1.
         int32_t a = (i == virt) ? -1 : static_cast<int32_t>(i);

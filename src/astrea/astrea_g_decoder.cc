@@ -7,6 +7,7 @@
 #include "astrea/matching_tables.hh"
 #include "common/logging.hh"
 #include "telemetry/chrome_trace.hh"
+#include "telemetry/perf_counters.hh"
 #include "telemetry/telemetry.hh"
 
 namespace astrea
@@ -210,11 +211,19 @@ AstreaGDecoder::decodePipeline(std::span<const uint32_t> defects,
     const uint32_t w = static_cast<uint32_t>(defects.size());
     const uint32_t F = config_.fetchWidth;
 
+    // Hardware-counter attribution, sampled one decode in
+    // ASTREA_PERF_STAGE_STRIDE (see perf_counters.hh).
+    const bool psample = telemetry::perfSampleThisDecode();
+
     // One dense gather of the defect submatrix: effective pair weights
     // with the boundary column fetched once per defect (not once per
     // pair probe), plus the virtual boundary node for odd HW.
     AstreaGScratch &s = scratch.ext<AstreaGScratch>();
-    s.tile.build(gwt_, defects, /*effective_weights=*/true);
+    {
+        telemetry::PerfSection sec(telemetry::PerfStage::Gather, 1,
+                                   psample);
+        s.tile.build(gwt_, defects, /*effective_weights=*/true);
+    }
     const int m = s.tile.nodes();
     const int virt = s.tile.virtualNode();
 
@@ -237,6 +246,10 @@ AstreaGDecoder::decodePipeline(std::span<const uint32_t> defects,
     uint64_t pairs_kept = 0, pairs_filtered = 0;
     {
         ASTREA_SPAN("astrea_g.lwt_filter");
+        // Still the gather stage; shots = 0 so the decode itself is
+        // only counted once (by the tile.build section above).
+        telemetry::PerfSection sec(telemetry::PerfStage::Gather, 0,
+                                   psample);
         for (int i = 0; i < m; i++) {
             for (int j = 0; j < m; j++) {
                 if (i == j)
@@ -286,6 +299,9 @@ AstreaGDecoder::decodePipeline(std::span<const uint32_t> defects,
     uint64_t requeues = 0;
     bool any_left = true;
     ASTREA_SPAN("astrea_g.pipeline_search");
+    {
+    telemetry::PerfSection msec(telemetry::PerfStage::Matching, 1,
+                                psample);
     while (iterations < max_iters && any_left) {
         iterations++;
         any_left = false;
@@ -400,7 +416,10 @@ AstreaGDecoder::decodePipeline(std::span<const uint32_t> defects,
                             static_cast<double>(requeues));
         }
     }
+    }
 
+    telemetry::PerfSection vsec(telemetry::PerfStage::Verdict, 1,
+                                psample);
     if (any_left) {
         stats_.budgetExpirations++;
         ASTREA_COUNTER_INC("astrea_g.budget_expirations");

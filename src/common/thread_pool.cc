@@ -49,4 +49,74 @@ defaultWorkerCount()
     return hw ? hw : 1;
 }
 
+ThreadPool::ThreadPool(unsigned workers)
+{
+    workers_.reserve(std::max(1u, workers));
+    for (unsigned i = 0; i < std::max(1u, workers); i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+bool
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            return false;
+        tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return true;
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_ && workers_.empty())
+            return;
+        stopping_ = true;
+    }
+    // Wake EVERY worker: each one re-evaluates its predicate, drains
+    // whatever tasks remain, and exits only once the queue is empty —
+    // a task accepted before the stopping_ flip can therefore never
+    // be stranded by a lost wakeup.
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+    workers_.clear();
+}
+
+uint64_t
+ThreadPool::completedTasks() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return completed_;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) {
+            // stopping_ and nothing left to drain.
+            return;
+        }
+        std::function<void()> task = std::move(tasks_.front());
+        tasks_.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+        completed_++;
+    }
+}
+
 } // namespace astrea

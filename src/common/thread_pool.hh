@@ -1,20 +1,33 @@
 /**
  * @file
- * Minimal fork-join helper for Monte-Carlo sharding.
+ * Minimal fork-join helper for Monte-Carlo sharding, plus a small
+ * persistent task pool.
  *
  * The experiment harness splits shot budgets across hardware threads;
  * each worker gets an index so it can derive an independent RNG stream
  * and a private accumulator that the caller merges afterwards. A full
  * work-stealing pool would be overkill: every parallel region here is a
  * single embarrassingly-parallel loop of equal-cost chunks.
+ *
+ * ThreadPool serves the opposite shape — long-lived workers fed an
+ * unbounded stream of small tasks (e.g. deferred telemetry work) —
+ * with a deterministic shutdown contract: every task enqueue()
+ * accepted runs to completion before the destructor returns, and once
+ * shutdown begins enqueue() returns false instead of silently
+ * dropping (or hanging on) the task.
  */
 
 #ifndef ASTREA_COMMON_THREAD_POOL_HH
 #define ASTREA_COMMON_THREAD_POOL_HH
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace astrea
 {
@@ -32,6 +45,57 @@ void parallelFor(uint64_t total, unsigned num_workers,
  * set, otherwise the hardware concurrency (at least 1).
  */
 unsigned defaultWorkerCount();
+
+/**
+ * Fixed-size pool of long-lived workers draining a FIFO task queue.
+ *
+ * Shutdown ordering is deterministic:
+ *  - enqueue() returns true iff the task was accepted; after
+ *    shutdown() (or destruction) begins it returns false and the
+ *    task object is untouched — never silently dropped after
+ *    acceptance, never run on the caller's thread.
+ *  - shutdown() wakes every worker (no lost-wakeup hang), lets them
+ *    drain ALL already-accepted tasks, then joins. Every task for
+ *    which enqueue() returned true has finished running when
+ *    shutdown() / the destructor returns.
+ */
+class ThreadPool
+{
+  public:
+    /** Start `workers` threads (clamped to at least 1). */
+    explicit ThreadPool(unsigned workers);
+
+    /** shutdown(): drain accepted tasks, then join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Queue a task. False once shutdown has begun (the task will not
+     * run); true means the task is guaranteed to run before
+     * shutdown() returns.
+     */
+    bool enqueue(std::function<void()> task);
+
+    /** Idempotent: drain accepted tasks, join the workers. */
+    void shutdown();
+
+    size_t workerCount() const { return workers_.size(); }
+
+    /** Tasks accepted and finished, for tests and gauges. */
+    uint64_t completedTasks() const;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> tasks_;
+    std::vector<std::thread> workers_;
+    uint64_t completed_ = 0;
+    bool stopping_ = false;
+};
 
 } // namespace astrea
 

@@ -4,11 +4,15 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "common/logging.hh"
 #include "telemetry/flight_recorder.hh"
 #include "telemetry/json.hh"
+#include "telemetry/perf_counters.hh"
 #include "telemetry/prometheus.hh"
+#include "telemetry/sampling_profiler.hh"
 #include "telemetry/telemetry.hh"
 
 namespace astrea
@@ -260,7 +264,12 @@ DecodeServiceCore::decodeBatch(Worker &w, uint64_t shots)
         w.actuals.push_back(actual);
     }
 
-    w.decoder->decodeBatch(w.batch, w.results, w.scratch);
+    {
+        // Batch-level counters are always live (the section cost
+        // amortizes over the whole batch).
+        telemetry::PerfSection sec(telemetry::PerfStage::Batch, shots);
+        w.decoder->decodeBatch(w.batch, w.results, w.scratch);
+    }
 
     const bool flight = telemetry::FlightRecorder::globalEnabled();
     for (uint64_t i = 0; i < shots; i++) {
@@ -464,6 +473,11 @@ DecodeServiceCore::metricsText() const
 
     audit_->writeMetrics(w);
 
+    // Written directly, like the audit families: mirroring the perf
+    // families through the metrics registry would duplicate their
+    // TYPE lines via appendRegistryMetrics.
+    telemetry::writePerfPrometheus(w);
+
     telemetry::appendRegistryMetrics(
         w, telemetry::MetricsRegistry::global());
     return w.str();
@@ -487,7 +501,7 @@ DecodeServiceCore::statuszJson() const
     telemetry::JsonWriter w;
     w.beginObject();
     w.kv("service", "astrea_serve");
-    w.kv("schema_version", uint64_t{2});
+    w.kv("schema_version", uint64_t{3});
     w.kv("healthy", healthy_.load());
     w.kv("uptime_ticks", tick);
 
@@ -553,6 +567,9 @@ DecodeServiceCore::statuszJson() const
     audit_->writeStatusz(w);
     w.endObject();
 
+    w.key("perf");
+    telemetry::appendPerfJson(w);
+
     w.endObject();
     return w.str();
 }
@@ -583,6 +600,50 @@ DecodeService::start(const std::string &bind_addr, uint16_t port,
         net::HttpResponse r;
         r.contentType = "application/json";
         r.body = core_.statuszJson();
+        return r;
+    });
+    // On-demand CPU profile: collect SIGPROF samples for ?seconds=N
+    // (default 2, clamped to [1, 60]) at ?hz=H (default 199) and
+    // return collapsed stacks (or ?format=speedscope JSON). The
+    // server is serial, so /metrics scrapes queue behind the
+    // collection sleep — acceptable for a diagnostic endpoint.
+    http_.handle("/pprof/profile", [](const net::HttpRequest &req) {
+        net::HttpResponse r;
+        unsigned seconds = 2;
+        unsigned hz = 199;
+        std::string v = net::queryParam(req.query, "seconds");
+        if (!v.empty())
+            seconds = static_cast<unsigned>(
+                std::clamp(std::atol(v.c_str()), 1l, 60l));
+        v = net::queryParam(req.query, "hz");
+        if (!v.empty())
+            hz = static_cast<unsigned>(
+                std::clamp(std::atol(v.c_str()), 1l, 1000l));
+        const std::string format =
+            net::queryParam(req.query, "format");
+
+        auto &prof = telemetry::SamplingProfiler::global();
+        std::string error;
+        if (prof.running()) {
+            r.status = 503;
+            r.body = "profiler busy\n";
+            return r;
+        }
+        prof.clear();
+        if (!prof.start(hz, &error)) {
+            r.status = 500;
+            r.body = error + "\n";
+            return r;
+        }
+        std::this_thread::sleep_for(std::chrono::seconds(seconds));
+        prof.stop();
+
+        if (format == "speedscope") {
+            r.contentType = "application/json";
+            r.body = prof.speedscopeJson();
+        } else {
+            r.body = prof.collapsed();
+        }
         return r;
     });
     http_.handle("/healthz", [this](const net::HttpRequest &) {

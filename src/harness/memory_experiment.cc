@@ -8,6 +8,7 @@
 #include "dem/extractor.hh"
 #include "telemetry/export.hh"
 #include "telemetry/flight_recorder.hh"
+#include "telemetry/perf_counters.hh"
 #include "telemetry/telemetry.hh"
 
 namespace astrea
@@ -244,7 +245,13 @@ runMemoryExperiment(const ExperimentContext &ctx,
                 actuals.push_back(actual);
             }
 
-            decoder->decodeBatch(batch, results, scratch);
+            {
+                // Batch-level counters are always live (the section
+                // cost amortizes over the whole batch).
+                telemetry::PerfSection sec(telemetry::PerfStage::Batch,
+                                           n);
+                decoder->decodeBatch(batch, results, scratch);
+            }
 
             for (uint64_t i = 0; i < n; i++) {
                 const uint64_t s = block + i;

@@ -61,6 +61,24 @@ httpStatusText(int status)
     }
 }
 
+std::string
+queryParam(const std::string &query, const std::string &key)
+{
+    size_t pos = 0;
+    while (pos < query.size()) {
+        size_t end = query.find('&', pos);
+        if (end == std::string::npos)
+            end = query.size();
+        const size_t eq = query.find('=', pos);
+        if (eq != std::string::npos && eq < end &&
+            query.compare(pos, eq - pos, key) == 0) {
+            return query.substr(eq + 1, end - eq - 1);
+        }
+        pos = end + 1;
+    }
+    return "";
+}
+
 HttpServer::~HttpServer()
 {
     stop();

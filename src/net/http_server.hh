@@ -94,6 +94,14 @@ class HttpServer
 /** Status line text for the codes this server emits. */
 std::string httpStatusText(int status);
 
+/**
+ * Value of `key` in a raw "a=1&b=2" query string, "" when absent.
+ * No %-decoding: the query parameters this server consumes
+ * (/pprof/profile's seconds/hz/format) are plain tokens.
+ */
+std::string queryParam(const std::string &query,
+                       const std::string &key);
+
 } // namespace net
 } // namespace astrea
 

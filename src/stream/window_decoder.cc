@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/perf_counters.hh"
 #include "telemetry/telemetry.hh"
 
 namespace astrea
@@ -70,17 +71,27 @@ WindowDecoder::decodeInto(std::span<const uint32_t> defects,
 
     WindowScratch &s = scratch.ext<WindowScratch>();
 
-    // Bucket defects by round.
-    auto &by_round = s.byRound;
-    if (by_round.size() < totalRounds_)
-        by_round.resize(totalRounds_);
-    for (uint32_t r = 0; r < totalRounds_; r++)
-        by_round[r].clear();
-    for (auto d : defects) {
-        uint32_t r = detectorInfo_[d].round;
-        ASTREA_CHECK(r < totalRounds_, "defect round out of range");
-        by_round[r].push_back(d);
+    // Hardware-counter attribution of the windowing overhead itself
+    // (assembly + commit; the inner decode records its own stages).
+    // Sampled one decode in ASTREA_PERF_STAGE_STRIDE.
+    const bool psample = telemetry::perfSampleThisDecode();
+
+    {
+        // Bucket defects by round.
+        telemetry::PerfSection sec(telemetry::PerfStage::Window, 1,
+                                   psample);
+        auto &by_round = s.byRound;
+        if (by_round.size() < totalRounds_)
+            by_round.resize(totalRounds_);
+        for (uint32_t r = 0; r < totalRounds_; r++)
+            by_round[r].clear();
+        for (auto d : defects) {
+            uint32_t r = detectorInfo_[d].round;
+            ASTREA_CHECK(r < totalRounds_, "defect round out of range");
+            by_round[r].push_back(d);
+        }
     }
+    auto &by_round = s.byRound;
 
     auto &carried = s.carried;
     carried.clear();
@@ -95,17 +106,23 @@ WindowDecoder::decodeInto(std::span<const uint32_t> defects,
                                          : t0 + commitRounds_;
 
         // Assemble the window: carried past defects plus everything in
-        // [t0, w_end).
-        window.assign(carried.begin(), carried.end());
-        window.reserve(defects.size());
-        stats_.carriedDefects += carried.size();
-        ASTREA_COUNTER_ADD("stream.carried_defects", carried.size());
-        carried.clear();
-        for (uint32_t r = t0; r < w_end; r++) {
-            window.insert(window.end(), by_round[r].begin(),
-                          by_round[r].end());
+        // [t0, w_end). Shots = 0: the decode was counted once by the
+        // bucketing section above.
+        {
+            telemetry::PerfSection sec(telemetry::PerfStage::Window, 0,
+                                       psample);
+            window.assign(carried.begin(), carried.end());
+            window.reserve(defects.size());
+            stats_.carriedDefects += carried.size();
+            ASTREA_COUNTER_ADD("stream.carried_defects",
+                               carried.size());
+            carried.clear();
+            for (uint32_t r = t0; r < w_end; r++) {
+                window.insert(window.end(), by_round[r].begin(),
+                              by_round[r].end());
+            }
+            std::sort(window.begin(), window.end());
         }
-        std::sort(window.begin(), window.end());
 
         if (!window.empty()) {
             stats_.windows++;
@@ -136,6 +153,8 @@ WindowDecoder::decodeInto(std::span<const uint32_t> defects,
                 ASTREA_COUNTER_INC("stream.give_up_windows");
                 result.gaveUp = true;
             } else {
+                telemetry::PerfSection sec(telemetry::PerfStage::Window,
+                                           0, psample);
                 for (auto [a, b] : dr.matchedPairs) {
                     uint32_t da = window[a];
                     uint32_t ra = detectorInfo_[da].round;

@@ -1,0 +1,642 @@
+#include "telemetry/perf_counters.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace astrea
+{
+namespace telemetry
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Global state
+//
+// Availability is process-wide and latches: the first thread whose
+// open attempt fails with EPERM/EACCES/ENOENT (or succeeds) decides
+// for everyone, so a locked-down kernel costs one failed syscall per
+// process, not one per thread or per section.
+
+constexpr size_t kNumEvents = 6;
+
+enum EventIndex
+{
+    kEvCycles = 0,
+    kEvInstructions,
+    kEvLlcLoads,
+    kEvLlcMisses,
+    kEvBranchMisses,
+    kEvTaskClock,
+};
+
+std::atomic<bool> g_envRead{false};
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_stride{64};
+std::atomic<bool> g_forceUnavailable{false};
+
+/** -1 unknown, 0 unavailable (latched), 1 available. */
+std::atomic<int> g_avail{-1};
+std::atomic<bool> g_warned{false};
+char g_reason[192] = "";
+
+struct StageAtomics
+{
+    std::atomic<uint64_t> sections{0};
+    std::atomic<uint64_t> shots{0};
+    std::atomic<uint64_t> cycles{0};
+    std::atomic<uint64_t> instructions{0};
+    std::atomic<uint64_t> llcLoads{0};
+    std::atomic<uint64_t> llcMisses{0};
+    std::atomic<uint64_t> branchMisses{0};
+    std::atomic<uint64_t> taskClockNs{0};
+};
+
+StageAtomics g_totals[kPerfStageCount];
+
+void
+readEnvOnce()
+{
+    if (g_envRead.load(std::memory_order_acquire))
+        return;
+    // Read before publishing so a racing first caller either sees the
+    // final values or redundantly recomputes the same ones.
+    const bool enabled = env::getBool("ASTREA_PERF_COUNTERS", false);
+    const uint64_t stride =
+        env::getUint("ASTREA_PERF_STAGE_STRIDE", 64, 1);
+    const bool force =
+        env::getBool("ASTREA_PERF_FORCE_UNAVAILABLE", false);
+    g_enabled.store(enabled, std::memory_order_relaxed);
+    g_stride.store(stride, std::memory_order_relaxed);
+    g_forceUnavailable.store(force, std::memory_order_relaxed);
+    g_envRead.store(true, std::memory_order_release);
+}
+
+/** Latch process-wide unavailability (first reason wins) and warn. */
+void
+latchUnavailable(const char *what, int err)
+{
+    int expected = -1;
+    if (!g_avail.compare_exchange_strong(expected, 0,
+                                         std::memory_order_relaxed)) {
+        return;  // Someone else already decided (either way).
+    }
+    if (err != 0) {
+        std::snprintf(g_reason, sizeof(g_reason), "%s: %s", what,
+                      std::strerror(err));
+    } else {
+        std::snprintf(g_reason, sizeof(g_reason), "%s", what);
+    }
+    if (!g_warned.exchange(true)) {
+        warn(std::string("perf counters unavailable, hardware "
+                         "attribution disabled: ") +
+             g_reason);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread counter group
+
+#if defined(__linux__)
+
+long
+perfEventOpen(struct perf_event_attr *attr, pid_t pid, int cpu,
+              int group_fd, unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd,
+                   flags);
+}
+
+void
+fillAttr(struct perf_event_attr *attr, uint32_t type, uint64_t config)
+{
+    std::memset(attr, 0, sizeof(*attr));
+    attr->type = type;
+    attr->size = sizeof(*attr);
+    attr->config = config;
+    // User-space only: works under perf_event_paranoid <= 2 (the
+    // common default) without privileges, and the decode path is
+    // user-space anyway.
+    attr->exclude_kernel = 1;
+    attr->exclude_hv = 1;
+    attr->read_format = PERF_FORMAT_GROUP |
+                        PERF_FORMAT_TOTAL_TIME_ENABLED |
+                        PERF_FORMAT_TOTAL_TIME_RUNNING;
+}
+
+constexpr uint64_t kLlcLoadsConfig =
+    PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+    (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16);
+constexpr uint64_t kLlcMissesConfig =
+    PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+    (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+
+#endif // __linux__
+
+/**
+ * One thread's counter group: the leader (cycles) plus whichever of
+ * the other five events this machine's PMU supports, all read with a
+ * single read(2) in creation order. Fixed-size everything — opening
+ * happens once per thread, reading allocates nothing.
+ */
+struct ThreadGroup
+{
+    int fds[kNumEvents];
+    int eventOf[kNumEvents];  ///< EventIndex for each value slot.
+    int nOpen = 0;
+    bool tried = false;
+    bool ok = false;
+
+    ThreadGroup() { std::fill(fds, fds + kNumEvents, -1); }
+    ~ThreadGroup() { closeAll(); }
+
+    void
+    closeAll()
+    {
+#if defined(__linux__)
+        for (int i = 0; i < nOpen; i++) {
+            if (fds[i] >= 0)
+                ::close(fds[i]);
+        }
+#endif
+        std::fill(fds, fds + kNumEvents, -1);
+        nOpen = 0;
+        tried = false;
+        ok = false;
+    }
+
+    bool
+    ensureOpen()
+    {
+        if (tried)
+            return ok;
+        tried = true;
+        if (g_avail.load(std::memory_order_relaxed) == 0)
+            return false;
+        if (g_forceUnavailable.load(std::memory_order_relaxed)) {
+            latchUnavailable(
+                "forced off (ASTREA_PERF_FORCE_UNAVAILABLE)", 0);
+            return false;
+        }
+#if !defined(__linux__)
+        latchUnavailable("perf_event_open is Linux-only", 0);
+        return false;
+#else
+        struct perf_event_attr attr;
+
+        // The leader (cycles) must open: without it there is no IPC,
+        // no cycles/shot, and nothing worth attributing.
+        fillAttr(&attr, PERF_TYPE_HARDWARE,
+                 PERF_COUNT_HW_CPU_CYCLES);
+        long leader = perfEventOpen(&attr, 0, -1, -1, 0);
+        if (leader < 0) {
+            int err = errno;
+            latchUnavailable(
+                (err == EPERM || err == EACCES)
+                    ? "perf_event_open(cycles) denied "
+                      "(perf_event_paranoid?)"
+                    : "perf_event_open(cycles) failed (no PMU?)",
+                err);
+            return false;
+        }
+        fds[nOpen] = static_cast<int>(leader);
+        eventOf[nOpen] = kEvCycles;
+        nOpen++;
+
+        // The rest are best-effort: a VM without cache events still
+        // yields cycles/instructions, and absent counters simply read
+        // as zero in the totals.
+        struct Optional
+        {
+            int event;
+            uint32_t type;
+            uint64_t config;
+        };
+        const Optional optional[] = {
+            {kEvInstructions, PERF_TYPE_HARDWARE,
+             PERF_COUNT_HW_INSTRUCTIONS},
+            {kEvLlcLoads, PERF_TYPE_HW_CACHE, kLlcLoadsConfig},
+            {kEvLlcMisses, PERF_TYPE_HW_CACHE, kLlcMissesConfig},
+            {kEvBranchMisses, PERF_TYPE_HARDWARE,
+             PERF_COUNT_HW_BRANCH_MISSES},
+            {kEvTaskClock, PERF_TYPE_SOFTWARE,
+             PERF_COUNT_SW_TASK_CLOCK},
+        };
+        for (const Optional &o : optional) {
+            fillAttr(&attr, o.type, o.config);
+            long fd = perfEventOpen(&attr, 0, -1,
+                                    static_cast<int>(leader), 0);
+            if (fd < 0)
+                continue;
+            fds[nOpen] = static_cast<int>(fd);
+            eventOf[nOpen] = o.event;
+            nOpen++;
+        }
+
+        int expected = -1;
+        g_avail.compare_exchange_strong(expected, 1,
+                                        std::memory_order_relaxed);
+        ok = true;
+        return true;
+#endif
+    }
+
+    bool
+    readInto(PerfReading &out) const
+    {
+#if !defined(__linux__)
+        (void)out;
+        return false;
+#else
+        // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+        // then one u64 per event in creation order.
+        uint64_t buf[3 + kNumEvents];
+        const size_t want = sizeof(uint64_t) *
+                            (3 + static_cast<size_t>(nOpen));
+        ssize_t n = ::read(fds[0], buf, want);
+        if (n != static_cast<ssize_t>(want))
+            return false;
+        out = PerfReading{};
+        out.timeEnabledNs = buf[1];
+        out.timeRunningNs = buf[2];
+        for (int i = 0; i < nOpen; i++) {
+            const uint64_t v = buf[3 + i];
+            switch (eventOf[i]) {
+            case kEvCycles: out.cycles = v; break;
+            case kEvInstructions: out.instructions = v; break;
+            case kEvLlcLoads: out.llcLoads = v; break;
+            case kEvLlcMisses: out.llcMisses = v; break;
+            case kEvBranchMisses: out.branchMisses = v; break;
+            case kEvTaskClock: out.taskClockNs = v; break;
+            }
+        }
+        return true;
+#endif
+    }
+};
+
+ThreadGroup &
+threadGroup()
+{
+    thread_local ThreadGroup group;
+    return group;
+}
+
+uint64_t
+sub(uint64_t end, uint64_t start)
+{
+    return end >= start ? end - start : 0;
+}
+
+double
+ratio(uint64_t num, uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) /
+                          static_cast<double>(den);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+
+const char *
+perfStageName(PerfStage stage)
+{
+    switch (stage) {
+    case PerfStage::Gather: return "gather";
+    case PerfStage::Matching: return "matching";
+    case PerfStage::Verdict: return "verdict";
+    case PerfStage::Window: return "window";
+    case PerfStage::Batch: return "batch";
+    }
+    return "unknown";
+}
+
+double
+PerfStageTotals::ipc() const
+{
+    return ratio(instructions, cycles);
+}
+
+double
+PerfStageTotals::llcMissRate() const
+{
+    return ratio(llcMisses, llcLoads);
+}
+
+double
+PerfStageTotals::cyclesPerShot() const
+{
+    return ratio(cycles, shots);
+}
+
+double
+PerfStageTotals::branchMissesPerKiloInsn() const
+{
+    return 1000.0 * ratio(branchMisses, instructions);
+}
+
+bool
+perfCountersEnabled()
+{
+    readEnvOnce();
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setPerfCountersEnabled(bool on)
+{
+    readEnvOnce();
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+perfCountersAvailable()
+{
+    return g_avail.load(std::memory_order_relaxed) == 1;
+}
+
+const char *
+perfUnavailableReason()
+{
+    return g_avail.load(std::memory_order_relaxed) == 0 ? g_reason
+                                                        : "";
+}
+
+uint64_t
+perfStageStride()
+{
+    readEnvOnce();
+    return g_stride.load(std::memory_order_relaxed);
+}
+
+bool
+perfSampleThisDecode()
+{
+    if (!perfCountersEnabled())
+        return false;
+    thread_local uint64_t decode_no = 0;
+    return decode_no++ % g_stride.load(std::memory_order_relaxed) ==
+           0;
+}
+
+PerfSection::PerfSection(PerfStage stage, uint64_t shots, bool live)
+    : stage_(stage), shots_(shots)
+{
+    if (!live || !perfCountersEnabled())
+        return;
+    ThreadGroup &g = threadGroup();
+    if (!g.ensureOpen())
+        return;
+    live_ = g.readInto(start_);
+}
+
+PerfSection::~PerfSection()
+{
+    if (!live_)
+        return;
+    PerfReading end;
+    if (!threadGroup().readInto(end))
+        return;
+    PerfReading delta;
+    delta.cycles = sub(end.cycles, start_.cycles);
+    delta.instructions = sub(end.instructions, start_.instructions);
+    delta.llcLoads = sub(end.llcLoads, start_.llcLoads);
+    delta.llcMisses = sub(end.llcMisses, start_.llcMisses);
+    delta.branchMisses = sub(end.branchMisses, start_.branchMisses);
+    delta.taskClockNs = sub(end.taskClockNs, start_.taskClockNs);
+    addPerfSample(stage_, delta, shots_);
+}
+
+void
+addPerfSample(PerfStage stage, const PerfReading &delta,
+              uint64_t shots)
+{
+    StageAtomics &t = g_totals[static_cast<size_t>(stage)];
+    t.sections.fetch_add(1, std::memory_order_relaxed);
+    t.shots.fetch_add(shots, std::memory_order_relaxed);
+    t.cycles.fetch_add(delta.cycles, std::memory_order_relaxed);
+    t.instructions.fetch_add(delta.instructions,
+                             std::memory_order_relaxed);
+    t.llcLoads.fetch_add(delta.llcLoads, std::memory_order_relaxed);
+    t.llcMisses.fetch_add(delta.llcMisses,
+                          std::memory_order_relaxed);
+    t.branchMisses.fetch_add(delta.branchMisses,
+                             std::memory_order_relaxed);
+    t.taskClockNs.fetch_add(delta.taskClockNs,
+                            std::memory_order_relaxed);
+}
+
+PerfStageTotals
+perfStageTotals(PerfStage stage)
+{
+    const StageAtomics &t = g_totals[static_cast<size_t>(stage)];
+    PerfStageTotals out;
+    out.sections = t.sections.load(std::memory_order_relaxed);
+    out.shots = t.shots.load(std::memory_order_relaxed);
+    out.cycles = t.cycles.load(std::memory_order_relaxed);
+    out.instructions = t.instructions.load(std::memory_order_relaxed);
+    out.llcLoads = t.llcLoads.load(std::memory_order_relaxed);
+    out.llcMisses = t.llcMisses.load(std::memory_order_relaxed);
+    out.branchMisses = t.branchMisses.load(std::memory_order_relaxed);
+    out.taskClockNs = t.taskClockNs.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+resetPerfTotals()
+{
+    for (StageAtomics &t : g_totals) {
+        t.sections.store(0, std::memory_order_relaxed);
+        t.shots.store(0, std::memory_order_relaxed);
+        t.cycles.store(0, std::memory_order_relaxed);
+        t.instructions.store(0, std::memory_order_relaxed);
+        t.llcLoads.store(0, std::memory_order_relaxed);
+        t.llcMisses.store(0, std::memory_order_relaxed);
+        t.branchMisses.store(0, std::memory_order_relaxed);
+        t.taskClockNs.store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+resetPerfForTest()
+{
+    threadGroup().closeAll();
+    resetPerfTotals();
+    g_avail.store(-1, std::memory_order_relaxed);
+    g_warned.store(false, std::memory_order_relaxed);
+    g_reason[0] = '\0';
+    g_envRead.store(false, std::memory_order_relaxed);
+    readEnvOnce();
+}
+
+void
+publishPerfMetrics(MetricsRegistry &registry)
+{
+    registry.gauge("perf.available")
+        .set(perfCountersAvailable() ? 1 : 0);
+    for (size_t i = 0; i < kPerfStageCount; i++) {
+        const PerfStage stage = static_cast<PerfStage>(i);
+        const PerfStageTotals t = perfStageTotals(stage);
+        if (t.sections == 0)
+            continue;
+        const std::string base =
+            std::string("perf.") + perfStageName(stage);
+        registry.gauge(base + ".ipc_milli")
+            .set(std::llround(1000.0 * t.ipc()));
+        registry.gauge(base + ".llc_miss_rate_ppm")
+            .set(std::llround(1e6 * t.llcMissRate()));
+        registry.gauge(base + ".cycles_per_shot")
+            .set(std::llround(t.cyclesPerShot()));
+    }
+}
+
+void
+writePerfPrometheus(PrometheusWriter &w)
+{
+    w.gauge("astrea_perf_available",
+            "1 once hardware perf counters opened; 0 while disabled "
+            "or unavailable",
+            perfCountersAvailable() ? 1.0 : 0.0);
+    if (!perfCountersAvailable())
+        return;
+
+    struct RawFamily
+    {
+        const char *name;
+        const char *help;
+        uint64_t PerfStageTotals::*field;
+    };
+    const RawFamily raw[] = {
+        {"astrea_perf_sections_total", "Measured counter sections",
+         &PerfStageTotals::sections},
+        {"astrea_perf_shots_total",
+         "Shots covered by measured sections",
+         &PerfStageTotals::shots},
+        {"astrea_perf_cycles_total", "CPU cycles",
+         &PerfStageTotals::cycles},
+        {"astrea_perf_instructions_total", "Retired instructions",
+         &PerfStageTotals::instructions},
+        {"astrea_perf_llc_loads_total", "Last-level-cache loads",
+         &PerfStageTotals::llcLoads},
+        {"astrea_perf_llc_misses_total", "Last-level-cache misses",
+         &PerfStageTotals::llcMisses},
+        {"astrea_perf_branch_misses_total", "Branch mispredictions",
+         &PerfStageTotals::branchMisses},
+        {"astrea_perf_task_clock_ns_total", "Task clock (ns)",
+         &PerfStageTotals::taskClockNs},
+    };
+
+    PerfStageTotals totals[kPerfStageCount];
+    for (size_t i = 0; i < kPerfStageCount; i++)
+        totals[i] = perfStageTotals(static_cast<PerfStage>(i));
+
+    for (const RawFamily &fam : raw) {
+        w.family(fam.name, "counter", fam.help);
+        for (size_t i = 0; i < kPerfStageCount; i++) {
+            if (totals[i].sections == 0)
+                continue;
+            w.sample(fam.name, totals[i].*fam.field,
+                     PromLabels{{"stage",
+                                 perfStageName(
+                                     static_cast<PerfStage>(i))}});
+        }
+    }
+
+    struct DerivedFamily
+    {
+        const char *name;
+        const char *help;
+        double (PerfStageTotals::*fn)() const;
+    };
+    const DerivedFamily derived[] = {
+        {"astrea_perf_ipc", "Instructions per cycle",
+         &PerfStageTotals::ipc},
+        {"astrea_perf_llc_miss_rate",
+         "LLC misses / LLC loads in [0, 1]",
+         &PerfStageTotals::llcMissRate},
+        {"astrea_perf_cycles_per_shot", "CPU cycles per covered shot",
+         &PerfStageTotals::cyclesPerShot},
+        {"astrea_perf_branch_misses_per_kinsn",
+         "Branch misses per thousand instructions",
+         &PerfStageTotals::branchMissesPerKiloInsn},
+    };
+    for (const DerivedFamily &fam : derived) {
+        w.family(fam.name, "gauge", fam.help);
+        for (size_t i = 0; i < kPerfStageCount; i++) {
+            if (totals[i].sections == 0)
+                continue;
+            w.sample(fam.name, (totals[i].*fam.fn)(),
+                     PromLabels{{"stage",
+                                 perfStageName(
+                                     static_cast<PerfStage>(i))}});
+        }
+    }
+}
+
+void
+appendPerfJson(JsonWriter &w)
+{
+    const bool available = perfCountersAvailable();
+    w.beginObject();
+    w.kv("counters_enabled", perfCountersEnabled());
+    w.kv("available", available);
+    if (!available && perfUnavailableReason()[0] != '\0')
+        w.kv("reason", std::string(perfUnavailableReason()));
+    w.kv("stage_stride", perfStageStride());
+
+    if (available) {
+        // Headline: the whole-decodeBatch attribution, the numbers
+        // bench_compare.py gates (perf.ipc, perf.llc_miss_rate).
+        const PerfStageTotals batch =
+            perfStageTotals(PerfStage::Batch);
+        if (batch.sections > 0) {
+            w.kv("ipc", batch.ipc());
+            w.kv("llc_miss_rate", batch.llcMissRate());
+            w.kv("cycles_per_shot", batch.cyclesPerShot());
+        }
+    }
+
+    w.key("stages").beginObject();
+    for (size_t i = 0; i < kPerfStageCount; i++) {
+        const PerfStage stage = static_cast<PerfStage>(i);
+        const PerfStageTotals t = perfStageTotals(stage);
+        if (t.sections == 0)
+            continue;
+        w.key(perfStageName(stage)).beginObject();
+        w.kv("sections", t.sections);
+        w.kv("shots", t.shots);
+        w.kv("cycles", t.cycles);
+        w.kv("instructions", t.instructions);
+        w.kv("llc_loads", t.llcLoads);
+        w.kv("llc_misses", t.llcMisses);
+        w.kv("branch_misses", t.branchMisses);
+        w.kv("task_clock_ns", t.taskClockNs);
+        w.kv("ipc", t.ipc());
+        w.kv("llc_miss_rate", t.llcMissRate());
+        w.kv("cycles_per_shot", t.cyclesPerShot());
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace telemetry
+} // namespace astrea

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Hardware performance-counter attribution for the decode path.
+ *
+ * Wall-clock telemetry (telemetry.hh) says *that* a stage is slow;
+ * this module says *why*: a perf_event_open(2) wrapper reads one
+ * grouped set of counters — cycles, instructions, LLC loads/misses,
+ * branch misses and task-clock — around RAII-scoped sections of the
+ * decode path, and accumulates the deltas into per-stage totals from
+ * which IPC, LLC-miss rate and cycles/shot are derived.
+ *
+ * Design constraints, in order:
+ *
+ *  - Zero steady-state allocations. A PerfSection is a stack object
+ *    holding one fixed-size reading; the per-thread counter group is
+ *    a fixed array of fds opened once; accumulation is relaxed
+ *    fetch_adds into static atomics. tests/alloc_test.cc stays green
+ *    with sections compiled into the hot path.
+ *  - Graceful degradation. Containers and locked-down kernels refuse
+ *    perf_event_open (EPERM/EACCES under perf_event_paranoid, ENOENT
+ *    with no PMU, e.g. most VMs); the first failure latches a
+ *    process-wide "unavailable" state with a one-time warning, and
+ *    every subsequent section is a cheap no-op. CI exercises both
+ *    paths (ASTREA_PERF_FORCE_UNAVAILABLE=1 forces this one).
+ *  - Bounded overhead. A live section costs two group read(2)s
+ *    (~1-2 us), which would dwarf a ~456 ns decode if taken every
+ *    shot. Per-decode *stage* sections are therefore sampled one in
+ *    ASTREA_PERF_STAGE_STRIDE decodes (default 64) via
+ *    perfSampleThisDecode(); per-batch sections amortize over the
+ *    whole batch and always measure.
+ *
+ * Master switch: ASTREA_PERF_COUNTERS=1 or --perf-counters on the
+ * bench/CLI binaries (setPerfCountersEnabled()). Off by default:
+ * disabled sections are one predicted branch.
+ */
+
+#ifndef ASTREA_TELEMETRY_PERF_COUNTERS_HH
+#define ASTREA_TELEMETRY_PERF_COUNTERS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "telemetry/json.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/prometheus.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+/** Decode-path stages counters are attributed to. */
+enum class PerfStage : uint8_t
+{
+    Gather = 0,   ///< LWT/tile gather: weight-table loads.
+    Matching,     ///< Matching kernel (HW6 units / SIMD tables).
+    Verdict,      ///< Verdict/finishing: pair loop, obs mask.
+    Window,       ///< Windowed-decoder assembly and commit.
+    Batch,        ///< One whole Decoder::decodeBatch call.
+};
+
+constexpr size_t kPerfStageCount = 5;
+
+/** Lowercase stable stage name ("gather", ..., "batch"). */
+const char *perfStageName(PerfStage stage);
+
+/** One raw reading (or delta) of the counter group. */
+struct PerfReading
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t llcLoads = 0;
+    uint64_t llcMisses = 0;
+    uint64_t branchMisses = 0;
+    uint64_t taskClockNs = 0;
+    /** Multiplexing diagnostics (PERF_FORMAT_TOTAL_TIME_*). */
+    uint64_t timeEnabledNs = 0;
+    uint64_t timeRunningNs = 0;
+};
+
+/** Accumulated totals for one stage, with derived ratios. */
+struct PerfStageTotals
+{
+    uint64_t sections = 0;  ///< Measured sections folded in.
+    uint64_t shots = 0;     ///< Shots those sections covered.
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t llcLoads = 0;
+    uint64_t llcMisses = 0;
+    uint64_t branchMisses = 0;
+    uint64_t taskClockNs = 0;
+
+    /** Instructions per cycle; 0 when nothing was measured. */
+    double ipc() const;
+    /** LLC misses / LLC loads in [0, 1]; 0 when unmeasured. */
+    double llcMissRate() const;
+    /** Cycles per covered shot; 0 when unmeasured. */
+    double cyclesPerShot() const;
+    /** Branch misses per thousand instructions. */
+    double branchMissesPerKiloInsn() const;
+};
+
+/** Master switch (ASTREA_PERF_COUNTERS / --perf-counters). */
+bool perfCountersEnabled();
+void setPerfCountersEnabled(bool on);
+
+/**
+ * True once some thread successfully opened the counter group; false
+ * either before any attempt or after the process-wide unavailable
+ * state latched. Pair with perfUnavailableReason() for the latter.
+ */
+bool perfCountersAvailable();
+
+/** Human-readable reason counters are unavailable ("" otherwise). */
+const char *perfUnavailableReason();
+
+/**
+ * Stage-section sampling gate: true for one decode in
+ * ASTREA_PERF_STAGE_STRIDE (per thread), false whenever counters are
+ * disabled. Callers pass the result as PerfSection's `live` flag so
+ * an unsampled decode costs one branch per section.
+ */
+bool perfSampleThisDecode();
+
+/** Configured stage-sampling stride (>= 1). */
+uint64_t perfStageStride();
+
+/**
+ * RAII counter section: reads the calling thread's group at
+ * construction and destruction and folds the delta (attributed to
+ * `stage`, covering `shots` shots) into the stage totals. With
+ * live == false, or counters disabled/unavailable, both ends are
+ * no-ops. Never allocates.
+ */
+class PerfSection
+{
+  public:
+    explicit PerfSection(PerfStage stage, uint64_t shots = 1,
+                         bool live = true);
+    ~PerfSection();
+
+    PerfSection(const PerfSection &) = delete;
+    PerfSection &operator=(const PerfSection &) = delete;
+
+    /** Whether this section is actually measuring. */
+    bool live() const { return live_; }
+
+  private:
+    PerfStage stage_;
+    uint64_t shots_;
+    bool live_ = false;
+    PerfReading start_;
+};
+
+/**
+ * Fold one measured delta into a stage's totals. PerfSection's
+ * destructor goes through this; tests feed synthetic deltas to pin
+ * the derived-metric math without needing a PMU.
+ */
+void addPerfSample(PerfStage stage, const PerfReading &delta,
+                   uint64_t shots);
+
+/** Point-in-time copy of one stage's totals. */
+PerfStageTotals perfStageTotals(PerfStage stage);
+
+/** Zero every stage's totals (per-result bench sections). */
+void resetPerfTotals();
+
+/**
+ * Test hook: close this thread's group, unlatch availability, zero
+ * totals and re-read the ASTREA_PERF_* environment knobs.
+ */
+void resetPerfForTest();
+
+/**
+ * Publish derived per-stage gauges into the registry (int64 units:
+ * ipc in milli, llc-miss rate in ppm, cycles/shot rounded), plus
+ * perf.available. Idempotent — gauges are set, not added.
+ */
+void publishPerfMetrics(MetricsRegistry &registry);
+
+/**
+ * Append the astrea_perf_* Prometheus families:
+ * astrea_perf_available always; per-stage raw counters and derived
+ * gauges (ipc, llc_miss_rate, cycles_per_shot) once available.
+ */
+void writePerfPrometheus(PrometheusWriter &w);
+
+/**
+ * Append one JSON object (caller already wrote the key):
+ * {"counters_enabled","available","reason","stage_stride",
+ *  "ipc","llc_miss_rate","cycles_per_shot",   // Batch-stage headline
+ *  "stages":{<name>:{raw totals + derived}}}
+ * The headline and per-stage entries are only emitted when counters
+ * measured something, so consumers key off "available".
+ */
+void appendPerfJson(JsonWriter &w);
+
+} // namespace telemetry
+} // namespace astrea
+
+#endif // ASTREA_TELEMETRY_PERF_COUNTERS_HH

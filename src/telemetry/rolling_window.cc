@@ -13,11 +13,21 @@ namespace telemetry
 namespace
 {
 
+/**
+ * Mid-recycle marker parked in a slot's tick while its fields are
+ * being zeroed. Like kIdleTick it fails `slot_tick <= tick` for any
+ * realistic tick, so readers exclude a slot that is mid-recycle
+ * instead of attributing the previous sub-window's counts to the new
+ * one.
+ */
+constexpr uint64_t kRecycleTick = ~0ull - 1;
+
 /** True if slot_tick lies in the window (tick - k, tick]. */
 bool
 tickInWindow(uint64_t slot_tick, uint64_t tick, size_t k)
 {
-    // kIdleTick (~0) fails slot_tick <= tick for any realistic tick.
+    // kIdleTick (~0) and kRecycleTick (~0 - 1) fail slot_tick <= tick
+    // for any realistic tick.
     return slot_tick <= tick && slot_tick + k > tick;
 }
 
@@ -32,13 +42,21 @@ void
 RollingCounter::add(uint64_t tick, uint64_t n)
 {
     Slot &s = slots_[tick % slots_.size()];
-    uint64_t cur = s.tick.load(std::memory_order_relaxed);
-    if (cur != tick) {
-        // First writer of a new sub-window recycles the slot. Not
-        // atomic against concurrent writers (see file comment).
-        if (s.tick.compare_exchange_strong(cur, tick,
-                                           std::memory_order_relaxed))
+    uint64_t cur = s.tick.load(std::memory_order_acquire);
+    if (cur != tick && cur != kRecycleTick) {
+        // First writer of a new sub-window recycles the slot: park
+        // the tick on the mid-recycle marker (readers skip the slot),
+        // zero, then publish the new tick with release ordering. A
+        // snapshot landing exactly on the boundary therefore never
+        // sees the new tick paired with the previous sub-window's
+        // count (which double-counted the recycling slot). Writers
+        // racing the recycler can still lose a sample (see file
+        // comment).
+        if (s.tick.compare_exchange_strong(cur, kRecycleTick,
+                                           std::memory_order_acq_rel)) {
             s.count.store(0, std::memory_order_relaxed);
+            s.tick.store(tick, std::memory_order_release);
+        }
     }
     s.count.fetch_add(n, std::memory_order_relaxed);
 }
@@ -50,7 +68,9 @@ RollingCounter::total(uint64_t tick, size_t last_k) const
                            : std::min(last_k, slots_.size());
     uint64_t sum = 0;
     for (const Slot &s : slots_) {
-        if (tickInWindow(s.tick.load(std::memory_order_relaxed), tick,
+        // Acquire pairs with the recycler's release-store: a slot
+        // seen with a fresh tick is seen with its fields zeroed.
+        if (tickInWindow(s.tick.load(std::memory_order_acquire), tick,
                          k))
             sum += s.count.load(std::memory_order_relaxed);
     }
@@ -76,16 +96,20 @@ RollingLatency::record(uint64_t tick, double ns)
     uint64_t t = static_cast<uint64_t>(std::llround(ns));
 
     Slot &s = slots_[tick % slots_.size()];
-    uint64_t cur = s.tick.load(std::memory_order_relaxed);
-    if (cur != tick) {
-        if (s.tick.compare_exchange_strong(cur, tick,
-                                           std::memory_order_relaxed)) {
+    uint64_t cur = s.tick.load(std::memory_order_acquire);
+    if (cur != tick && cur != kRecycleTick) {
+        // Same recycle protocol as RollingCounter::add: mark, zero,
+        // publish — so a boundary snapshot never merges the previous
+        // sub-window's histogram into the new tick.
+        if (s.tick.compare_exchange_strong(cur, kRecycleTick,
+                                           std::memory_order_acq_rel)) {
             for (auto &b : s.bins)
                 b.store(0, std::memory_order_relaxed);
             s.count.store(0, std::memory_order_relaxed);
             s.sumNs.store(0, std::memory_order_relaxed);
             s.maxNs.store(0, std::memory_order_relaxed);
             s.minNs.store(UINT64_MAX, std::memory_order_relaxed);
+            s.tick.store(tick, std::memory_order_release);
         }
     }
     s.bins[latencyBucketIndex(t)].fetch_add(1,
@@ -113,7 +137,7 @@ RollingLatency::buckets(uint64_t tick, size_t last_k) const
     LatencyBuckets out;
     uint64_t min_ns = UINT64_MAX;
     for (const Slot &s : slots_) {
-        if (!inWindow(s.tick.load(std::memory_order_relaxed), tick, k))
+        if (!inWindow(s.tick.load(std::memory_order_acquire), tick, k))
             continue;
         for (size_t b = 0; b < kLatencyBuckets; b++)
             out.bins[b] += s.bins[b].load(std::memory_order_relaxed);
@@ -137,7 +161,7 @@ RollingLatency::count(uint64_t tick, size_t last_k) const
                            : std::min(last_k, slots_.size());
     uint64_t sum = 0;
     for (const Slot &s : slots_) {
-        if (inWindow(s.tick.load(std::memory_order_relaxed), tick, k))
+        if (inWindow(s.tick.load(std::memory_order_acquire), tick, k))
             sum += s.count.load(std::memory_order_relaxed);
     }
     return sum;

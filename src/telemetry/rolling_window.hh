@@ -12,12 +12,16 @@
  * tick, so there is no maintenance thread, and reads simply sum the
  * slots whose tick falls inside the queried window.
  *
- * Writers are lock-free (relaxed atomics). Recycling a slot is not
- * atomic with respect to concurrent writers, so a handful of samples
- * can be dropped or double-counted exactly at a sub-window boundary;
- * these windows feed monitoring gauges, not accounting, and the error
- * is bounded by one slot rotation per window. Single-threaded use —
- * which is what the unit tests do — is exact.
+ * Writers are lock-free. Recycling parks the slot's tick on a
+ * mid-recycle marker, zeroes the fields, then publishes the new tick
+ * with release ordering; readers acquire-load the tick, so a snapshot
+ * landing exactly on a sub-window boundary either skips the recycling
+ * slot or sees it freshly zeroed — never the new tick paired with the
+ * previous sub-window's counts (which used to double-count the slot).
+ * Writers racing a recycler can still lose a handful of samples at
+ * the boundary; these windows feed monitoring gauges, not accounting,
+ * and that loss is bounded by one slot rotation per window.
+ * Single-threaded use — which is what the unit tests do — is exact.
  */
 
 #ifndef ASTREA_TELEMETRY_ROLLING_WINDOW_HH

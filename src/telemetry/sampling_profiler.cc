@@ -1,0 +1,362 @@
+#include "telemetry/sampling_profiler.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string_view>
+
+#include "telemetry/json.hh"
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <csignal>
+#include <cstdlib>
+#include <sys/time.h>
+#endif
+
+namespace astrea
+{
+namespace telemetry
+{
+
+namespace
+{
+
+#if defined(__linux__)
+struct sigaction g_oldAction;
+#endif
+
+/** Best-effort symbol name for one pc (post-collection only). */
+std::string
+symbolizePc(void *pc)
+{
+#if defined(__linux__)
+    Dl_info info;
+    if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+        int status = 0;
+        char *demangled = abi::__cxa_demangle(info.dli_sname, nullptr,
+                                              nullptr, &status);
+        if (status == 0 && demangled != nullptr) {
+            std::string out(demangled);
+            std::free(demangled);
+            return out;
+        }
+        return info.dli_sname;
+    }
+    if (dladdr(pc, &info) != 0 && info.dli_fname != nullptr) {
+        const char *base = std::strrchr(info.dli_fname, '/');
+        base = base != nullptr ? base + 1 : info.dli_fname;
+        char buf[256];
+        std::snprintf(buf, sizeof(buf), "%s+%p", base,
+                      reinterpret_cast<void *>(
+                          reinterpret_cast<char *>(pc) -
+                          reinterpret_cast<char *>(info.dli_fbase)));
+        return buf;
+    }
+#endif
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%p", pc);
+    return buf;
+}
+
+/**
+ * Leading frames to drop: the capture machinery itself (handler,
+ * possibly inlined captureSample) and the kernel signal trampoline
+ * (__restore_rt), so folded stacks start at the interrupted frame.
+ * Best-effort — an unrecognized prologue keeps every frame, which is
+ * noisy but never wrong about the frames below it.
+ */
+size_t
+signalPrologueFrames(void *const *pcs, size_t depth)
+{
+#if defined(__linux__)
+    const size_t probe = std::min<size_t>(depth, 6);
+    for (size_t i = 0; i < probe; i++) {
+        Dl_info info;
+        if (dladdr(pcs[i], &info) == 0 || info.dli_sname == nullptr)
+            continue;
+        const std::string_view name(info.dli_sname);
+        if (name == "__restore_rt")
+            return i + 1;
+        // The handler tail-calls captureSample, so either symbol can
+        // be the innermost surviving frame; the kernel trampoline
+        // (often unsymbolized, so the __restore_rt probe misses it)
+        // sits one frame above.
+        if (name.find("samplingProfilerSignalHandler") !=
+                std::string_view::npos ||
+            name.find("captureSample") != std::string_view::npos) {
+            return std::min<size_t>(depth, i + 2);
+        }
+    }
+#else
+    (void)pcs;
+    (void)depth;
+#endif
+    return 0;
+}
+
+} // namespace
+
+/**
+ * SIGPROF entry point. Free function (not a lambda or member) so its
+ * symbol shows up in dladdr for prologue stripping.
+ */
+void
+samplingProfilerSignalHandler(int)
+{
+    SamplingProfiler::global().captureSample();
+}
+
+SamplingProfiler &
+SamplingProfiler::global()
+{
+    static SamplingProfiler instance;
+    return instance;
+}
+
+SamplingProfiler::SamplingProfiler() : ring_(kMaxSamples)
+{
+}
+
+void
+SamplingProfiler::captureSample()
+{
+#if defined(__linux__)
+    // Async-signal-safe: one relaxed fetch_add to claim a slot, one
+    // backtrace into preallocated storage. Full ring drops samples.
+    if (!running_.load(std::memory_order_relaxed))
+        return;
+    const size_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= kMaxSamples) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Sample &s = ring_[idx];
+    int depth = ::backtrace(s.pcs, static_cast<int>(kMaxFrames));
+    s.depth.store(depth > 0 ? static_cast<uint32_t>(depth) : 0,
+                  std::memory_order_release);
+#endif
+}
+
+bool
+SamplingProfiler::start(unsigned hz, std::string *error)
+{
+#if !defined(__linux__)
+    (void)hz;
+    if (error != nullptr)
+        *error = "sampling profiler requires Linux";
+    return false;
+#else
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_.load()) {
+        if (error != nullptr)
+            *error = "profiler already running";
+        return false;
+    }
+    hz = std::clamp(hz, 1u, 1000u);
+
+    // Force glibc to load libgcc's unwinder now: the first backtrace
+    // call malloc()s, which must not happen inside the handler.
+    void *warmup[4];
+    ::backtrace(warmup, 4);
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &samplingProfilerSignalHandler;
+    sa.sa_flags = SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGPROF, &sa, &g_oldAction) != 0) {
+        if (error != nullptr)
+            *error = "sigaction(SIGPROF) failed";
+        return false;
+    }
+
+    running_.store(true);
+
+    struct itimerval timer;
+    timer.it_interval.tv_sec = hz == 1 ? 1 : 0;
+    timer.it_interval.tv_usec =
+        hz == 1 ? 0 : static_cast<long>(1000000 / hz);
+    timer.it_value = timer.it_interval;
+    if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+        running_.store(false);
+        sigaction(SIGPROF, &g_oldAction, nullptr);
+        if (error != nullptr)
+            *error = "setitimer(ITIMER_PROF) failed";
+        return false;
+    }
+    return true;
+#endif
+}
+
+void
+SamplingProfiler::stop()
+{
+#if defined(__linux__)
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load())
+        return;
+    struct itimerval off;
+    std::memset(&off, 0, sizeof(off));
+    setitimer(ITIMER_PROF, &off, nullptr);
+    sigaction(SIGPROF, &g_oldAction, nullptr);
+    running_.store(false);
+#endif
+}
+
+size_t
+SamplingProfiler::sampleCount() const
+{
+    return std::min(next_.load(std::memory_order_relaxed),
+                    kMaxSamples);
+}
+
+uint64_t
+SamplingProfiler::droppedSamples() const
+{
+    return dropped_.load(std::memory_order_relaxed);
+}
+
+void
+SamplingProfiler::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_.load())
+        return;
+    for (size_t i = 0; i < sampleCount(); i++)
+        ring_[i].depth.store(0, std::memory_order_relaxed);
+    next_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::vector<std::string>, uint64_t>>
+SamplingProfiler::foldedStacks() const
+{
+    // Symbolization is cached per pc: a 2 s profile of a hot loop has
+    // thousands of samples over a handful of distinct frames.
+    std::map<void *, std::string> names;
+    auto name_of = [&names](void *pc) -> const std::string & {
+        auto it = names.find(pc);
+        if (it == names.end())
+            it = names.emplace(pc, symbolizePc(pc)).first;
+        return it->second;
+    };
+
+    std::map<std::vector<std::string>, uint64_t> folded;
+    const size_t count = sampleCount();
+    for (size_t i = 0; i < count; i++) {
+        const Sample &s = ring_[i];
+        const uint32_t depth =
+            s.depth.load(std::memory_order_acquire);
+        if (depth == 0)
+            continue;
+        const size_t skip = signalPrologueFrames(s.pcs, depth);
+        if (skip >= depth)
+            continue;
+        // backtrace() is leaf-first; collapsed stacks are root-first.
+        std::vector<std::string> stack;
+        stack.reserve(depth - skip);
+        for (size_t f = depth; f > skip; f--)
+            stack.push_back(name_of(s.pcs[f - 1]));
+        folded[std::move(stack)]++;
+    }
+
+    std::vector<std::pair<std::vector<std::string>, uint64_t>> out(
+        folded.begin(), folded.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    return out;
+}
+
+std::string
+SamplingProfiler::collapsed() const
+{
+    std::string out;
+    for (const auto &[stack, count] : foldedStacks()) {
+        std::string line;
+        for (size_t i = 0; i < stack.size(); i++) {
+            if (i > 0)
+                line += ';';
+            line += stack[i];
+        }
+        line += ' ';
+        line += std::to_string(count);
+        line += '\n';
+        out += line;
+    }
+    return out;
+}
+
+std::string
+SamplingProfiler::speedscopeJson(const std::string &name) const
+{
+    const auto stacks = foldedStacks();
+
+    // Deduplicate frames into the shared frame table.
+    std::map<std::string, size_t> frame_index;
+    std::vector<const std::string *> frames;
+    for (const auto &[stack, count] : stacks) {
+        (void)count;
+        for (const std::string &f : stack) {
+            auto [it, inserted] =
+                frame_index.emplace(f, frames.size());
+            if (inserted)
+                frames.push_back(&it->first);
+        }
+    }
+
+    uint64_t total = 0;
+    for (const auto &[stack, count] : stacks)
+        total += count;
+
+    JsonWriter w;
+    w.beginObject();
+    w.kv("$schema",
+         "https://www.speedscope.app/file-format-schema.json");
+    w.key("shared").beginObject();
+    w.key("frames").beginArray();
+    for (const std::string *f : frames) {
+        w.beginObject();
+        w.kv("name", *f);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.key("profiles").beginArray();
+    w.beginObject();
+    w.kv("type", "sampled");
+    w.kv("name", name);
+    w.kv("unit", "none");
+    w.kv("startValue", uint64_t{0});
+    w.kv("endValue", total);
+    w.key("samples").beginArray();
+    for (const auto &[stack, count] : stacks) {
+        (void)count;
+        w.beginArray();
+        for (const std::string &f : stack)
+            w.value(static_cast<uint64_t>(frame_index.at(f)));
+        w.endArray();
+    }
+    w.endArray();
+    w.key("weights").beginArray();
+    for (const auto &[stack, count] : stacks) {
+        (void)stack;
+        w.value(count);
+    }
+    w.endArray();
+    w.endObject();
+    w.endArray();
+    w.kv("name", name);
+    w.kv("activeProfileIndex", uint64_t{0});
+    w.kv("exporter", "astrea");
+    w.endObject();
+    return w.str();
+}
+
+} // namespace telemetry
+} // namespace astrea

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * In-process sampling on-CPU profiler for the decode path.
+ *
+ * Counters (perf_counters.hh) say how expensive a stage is; this says
+ * *where* the cycles go: a SIGPROF timer (setitimer(ITIMER_PROF))
+ * fires on whichever thread is burning CPU time, and the signal
+ * handler captures that thread's backtrace into a preallocated
+ * lock-free sample ring. Post-collection, samples are symbolized
+ * (dladdr + __cxa_demangle) and emitted either as collapsed/folded
+ * stacks ("frame;frame;frame count" — flamegraph.pl / speedscope
+ * input) or as speedscope's JSON file format.
+ *
+ * Signal-handler constraints (see DESIGN.md §13): the handler only
+ * claims a ring slot with one fetch_add and calls backtrace(3).
+ * glibc's backtrace lazily loads libgcc's unwinder on first use —
+ * which malloc()s — so start() calls backtrace once *before*
+ * installing the handler. No allocation, locking or symbolization
+ * happens at signal time; when the ring is full, samples are dropped
+ * and counted, never blocked on.
+ *
+ * ITIMER_PROF measures CPU time (user + system), so an idle process
+ * produces no samples — by design: this is an on-CPU profiler.
+ *
+ * Wired to `astrea_cli serve` as /pprof/profile?seconds=N[&hz=H]
+ * [&format=collapsed|speedscope] and to the benches via
+ * --profile-out=PATH (bench_util.hh); tools/profile_report.py
+ * summarizes either output.
+ */
+
+#ifndef ASTREA_TELEMETRY_SAMPLING_PROFILER_HH
+#define ASTREA_TELEMETRY_SAMPLING_PROFILER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace astrea
+{
+namespace telemetry
+{
+
+/** Singleton sampling profiler; see file comment. */
+class SamplingProfiler
+{
+  public:
+    /** Ring capacity: samples kept per collection run. */
+    static constexpr size_t kMaxSamples = 16384;
+    /** Deepest stack recorded per sample. */
+    static constexpr size_t kMaxFrames = 48;
+
+    static SamplingProfiler &global();
+
+    /**
+     * Install the SIGPROF handler and start the profiling timer at
+     * `hz` samples/second (clamped to [1, 1000]). False with *error
+     * set when already running or the timer cannot be installed.
+     * Does not clear previously collected samples — call clear().
+     */
+    bool start(unsigned hz, std::string *error = nullptr);
+
+    /** Stop the timer and restore the previous SIGPROF disposition. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** Samples captured (kept, excluding drops) so far. */
+    size_t sampleCount() const;
+    /** Samples dropped because the ring was full. */
+    uint64_t droppedSamples() const;
+    /** Discard collected samples (not allowed while running). */
+    void clear();
+
+    /**
+     * Collapsed/folded stacks: one "frame;frame;... count" line per
+     * distinct stack, root first, sorted by descending count. Empty
+     * string when no samples were captured.
+     */
+    std::string collapsed() const;
+
+    /** speedscope JSON (https://www.speedscope.app file format). */
+    std::string speedscopeJson(const std::string &name = "astrea")
+        const;
+
+  private:
+    SamplingProfiler();
+
+    friend void samplingProfilerSignalHandler(int);
+    void captureSample();
+
+    struct Sample
+    {
+        std::atomic<uint32_t> depth{0};  ///< 0 while being written.
+        void *pcs[kMaxFrames];
+    };
+
+    /**
+     * Symbolize and fold the first sampleCount() ring entries into
+     * (root-first frame list, count) pairs shared by collapsed() and
+     * speedscopeJson().
+     */
+    std::vector<std::pair<std::vector<std::string>, uint64_t>>
+    foldedStacks() const;
+
+    std::vector<Sample> ring_;
+    std::atomic<size_t> next_{0};
+    std::atomic<uint64_t> dropped_{0};
+    std::atomic<bool> running_{false};
+    mutable std::mutex mu_;  ///< Serializes start/stop/clear.
+};
+
+} // namespace telemetry
+} // namespace astrea
+
+#endif // ASTREA_TELEMETRY_SAMPLING_PROFILER_HH

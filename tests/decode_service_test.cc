@@ -127,7 +127,7 @@ TEST(DecodeServiceCoreTest, StatuszSchemaParses)
     telemetry::JsonValue doc;
     ASSERT_TRUE(telemetry::parseJson(core.statuszJson(), doc));
     EXPECT_EQ(doc["service"].asString(), "astrea_serve");
-    EXPECT_EQ(doc["schema_version"].asUint(), 2u);
+    EXPECT_EQ(doc["schema_version"].asUint(), 3u);
     EXPECT_TRUE(doc["healthy"].asBool());
     EXPECT_EQ(doc["config"]["d"].asUint(), 3u);
     EXPECT_EQ(doc["config"]["decoder"].asString(), "astrea");
@@ -142,6 +142,13 @@ TEST(DecodeServiceCoreTest, StatuszSchemaParses)
     ASSERT_TRUE(doc.has("audit"));
     EXPECT_FALSE(doc["audit"]["enabled"].asBool(true));
     EXPECT_EQ(doc["audit"]["completed"].asUint(1), 0u);
+    // Schema v3: the perf object is always present; whether counters
+    // actually opened depends on the host, so only the shape is
+    // pinned here (perf_counters_test.cc covers the states).
+    ASSERT_TRUE(doc.has("perf"));
+    ASSERT_TRUE(doc["perf"].has("available"));
+    ASSERT_TRUE(doc["perf"].has("stage_stride"));
+    ASSERT_TRUE(doc["perf"].has("stages"));
 }
 
 TEST(DecodeServiceCoreTest, RollingWindowDecaysAfterLoadStops)

@@ -3,10 +3,17 @@
  * Tests for the rolling sub-window aggregation (rolling_window.hh):
  * totals over partial windows, slot recycling as the tick advances,
  * full decay once a whole ring has passed, and latency percentiles
- * matching the shared log2 bucket math.
+ * matching the shared log2 bucket math — plus boundary-time hammer
+ * tests pinning the recycle protocol: a snapshot taken exactly when a
+ * slot is being recycled must never attribute the previous
+ * sub-window's counts to the new tick (double counting).
  */
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "telemetry/metrics.hh"
 #include "telemetry/rolling_window.hh"
@@ -96,6 +103,113 @@ TEST(RollingLatencyTest, BucketsMatchLatencyMetricGeometry)
     EXPECT_EQ(lw.bins, lm.bins);
     EXPECT_EQ(lw.minNs, lm.minNs);
     EXPECT_EQ(lw.maxNs, lm.maxNs);
+}
+
+TEST(RollingCounterTest, BoundarySnapshotNeverSeesStaleCountOnNewTick)
+{
+    // Deterministic version of the boundary race: fill a slot at tick
+    // 0, then query the single-sub-window total at the recycling tick
+    // before and after the first write of the new sub-window. Neither
+    // side of the boundary may ever report the old slot's count under
+    // the new tick.
+    RollingCounter c(2);
+    c.add(0, 1000);
+    // Tick 2 maps onto tick 0's slot. Before any tick-2 write, the
+    // stale slot is simply outside the window.
+    EXPECT_EQ(c.total(2, 1), 0u);
+    c.add(2, 1);
+    EXPECT_EQ(c.total(2, 1), 1u);
+}
+
+TEST(RollingCounterTest, RecycleHammerNeverDoubleCounts)
+{
+    // One writer adds exactly kPerTick events per tick, advancing
+    // through many slot recycles; a concurrent reader snapshots the
+    // current sub-window. The single-sub-window total can never
+    // exceed kPerTick — seeing the new tick paired with the previous
+    // sub-window's count (the old double-count bug) would read as up
+    // to 2 * kPerTick.
+    constexpr uint64_t kPerTick = 64;
+    constexpr uint64_t kTicks = 4000;
+    RollingCounter c(4);
+
+    std::atomic<uint64_t> writer_tick{0};
+    std::atomic<bool> done{false};
+    std::atomic<bool> failed{false};
+
+    std::thread reader([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            const uint64_t t =
+                writer_tick.load(std::memory_order_acquire);
+            const uint64_t seen = c.total(t, 1);
+            // The reader's tick may lag the writer's by one; a lagging
+            // snapshot sees at most one full sub-window either way.
+            if (seen > kPerTick)
+                failed.store(true, std::memory_order_relaxed);
+        }
+    });
+
+    for (uint64_t t = 0; t < kTicks; t++) {
+        writer_tick.store(t, std::memory_order_release);
+        for (uint64_t i = 0; i < kPerTick; i++)
+            c.add(t, 1);
+    }
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_FALSE(failed.load()) << "single-sub-window total exceeded "
+                                   "one tick's events: the recycling "
+                                   "slot was double-counted";
+}
+
+TEST(RollingLatencyTest, RecycleHammerNeverDoubleCounts)
+{
+    constexpr uint64_t kPerTick = 32;
+    constexpr uint64_t kTicks = 2000;
+    RollingLatency l(4);
+
+    std::atomic<uint64_t> writer_tick{0};
+    std::atomic<bool> done{false};
+    std::atomic<bool> failed{false};
+
+    std::thread reader([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            const uint64_t t =
+                writer_tick.load(std::memory_order_acquire);
+            // (bins vs count consistency is NOT asserted: the two are
+            // incremented by separate relaxed atomics, so a snapshot
+            // between them legitimately disagrees by a few samples.)
+            if (l.count(t, 1) > kPerTick ||
+                l.buckets(t, 1).count > kPerTick)
+                failed.store(true, std::memory_order_relaxed);
+        }
+    });
+
+    for (uint64_t t = 0; t < kTicks; t++) {
+        writer_tick.store(t, std::memory_order_release);
+        for (uint64_t i = 0; i < kPerTick; i++)
+            l.record(t, 100.0);
+    }
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_FALSE(failed.load()) << "single-sub-window snapshot "
+                                   "double-counted a recycling slot";
+}
+
+TEST(RollingLatencyTest, BoundarySnapshotSeesFreshSlotAfterRecycle)
+{
+    RollingLatency l(2);
+    for (int i = 0; i < 10; i++)
+        l.record(0, 50000.0);
+    // Tick 2 recycles tick 0's slot: the single-sub-window view must
+    // contain only the new sample, and the percentile must reflect
+    // the new distribution, not the stale 50 us burst.
+    l.record(2, 100.0);
+    EXPECT_EQ(l.count(2, 1), 1u);
+    LatencyBuckets b = l.buckets(2, 1);
+    EXPECT_EQ(b.count, 1u);
+    EXPECT_LE(b.maxNs, 128u);
 }
 
 TEST(RollingLatencyTest, WindowedPercentileIgnoresOldSlots)

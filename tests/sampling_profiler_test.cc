@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the SIGPROF sampling profiler
+ * (telemetry/sampling_profiler.hh). ITIMER_PROF needs no perf
+ * permissions, so unlike the counter tests these can demand real
+ * samples: spin CPU under the timer and require a non-empty profile
+ * in both output formats, plus the start/stop/clear state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json_value.hh"
+#include "telemetry/sampling_profiler.hh"
+
+using namespace astrea;
+using namespace astrea::telemetry;
+
+namespace
+{
+
+/** Burn CPU until `ms` of wall time has passed (keeps SIGPROF firing). */
+void
+spinFor(int ms)
+{
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(ms);
+    volatile uint64_t sink = 0;
+    while (std::chrono::steady_clock::now() < until)
+        for (int i = 0; i < 1000; i++)
+            sink += i;
+}
+
+TEST(SamplingProfilerTest, CapturesSamplesWhileSpinning)
+{
+    SamplingProfiler &p = SamplingProfiler::global();
+    p.clear();
+    std::string error;
+    ASSERT_TRUE(p.start(997, &error)) << error;
+    EXPECT_TRUE(p.running());
+    spinFor(400);
+    p.stop();
+    EXPECT_FALSE(p.running());
+
+    // ~400 CPU-ms at 997 Hz; even a heavily shared machine lands a
+    // handful of ticks.
+    EXPECT_GT(p.sampleCount(), 0u);
+
+    std::string collapsed = p.collapsed();
+    ASSERT_FALSE(collapsed.empty());
+    // Every line is "frame;frame;... count".
+    std::istringstream in(collapsed);
+    std::string line;
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty());
+        size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+        EXPECT_NE(line.substr(0, space).find_first_not_of(' '),
+                  std::string::npos);
+    }
+    p.clear();
+}
+
+TEST(SamplingProfilerTest, SpeedscopeJsonShape)
+{
+    SamplingProfiler &p = SamplingProfiler::global();
+    p.clear();
+    std::string error;
+    ASSERT_TRUE(p.start(997, &error)) << error;
+    spinFor(300);
+    p.stop();
+    ASSERT_GT(p.sampleCount(), 0u);
+
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(p.speedscopeJson(), doc));
+    EXPECT_EQ(doc["$schema"].asString(),
+              "https://www.speedscope.app/file-format-schema.json");
+    ASSERT_TRUE(doc.has("shared"));
+    ASSERT_TRUE(doc["shared"].has("frames"));
+    ASSERT_TRUE(doc.has("profiles"));
+    ASSERT_FALSE(doc["profiles"].arr.empty());
+    const JsonValue &prof = doc["profiles"].arr[0];
+    EXPECT_EQ(prof["type"].asString(), "sampled");
+    EXPECT_EQ(prof["unit"].asString(), "none");
+    EXPECT_EQ(prof["samples"].arr.size(), prof["weights"].arr.size());
+    EXPECT_GT(prof["samples"].arr.size(), 0u);
+    p.clear();
+}
+
+TEST(SamplingProfilerTest, DoubleStartFails)
+{
+    SamplingProfiler &p = SamplingProfiler::global();
+    p.clear();
+    std::string error;
+    ASSERT_TRUE(p.start(101, &error)) << error;
+    EXPECT_FALSE(p.start(101, &error));
+    EXPECT_NE(error, "");
+    p.stop();
+    p.clear();
+}
+
+TEST(SamplingProfilerTest, ClearDiscardsSamples)
+{
+    SamplingProfiler &p = SamplingProfiler::global();
+    p.clear();
+    std::string error;
+    ASSERT_TRUE(p.start(997, &error)) << error;
+    spinFor(200);
+    p.stop();
+    ASSERT_GT(p.sampleCount(), 0u);
+    p.clear();
+    EXPECT_EQ(p.sampleCount(), 0u);
+    EXPECT_TRUE(p.collapsed().empty());
+}
+
+TEST(SamplingProfilerTest, StopWithoutStartIsHarmless)
+{
+    SamplingProfiler &p = SamplingProfiler::global();
+    EXPECT_FALSE(p.running());
+    p.stop();
+    EXPECT_FALSE(p.running());
+}
+
+} // namespace

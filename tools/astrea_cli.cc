@@ -289,7 +289,8 @@ commandServe(const Options &opts)
     }
 
     std::printf("serve: %s decoder, d=%u p=%g, %u workers on "
-                "http://%s:%u (/metrics /statusz /healthz)\n",
+                "http://%s:%u (/metrics /statusz /healthz "
+                "/pprof/profile)\n",
                 cfg.decoder.c_str(), cfg.distance,
                 cfg.physicalErrorRate, cfg.workers, bind.c_str(),
                 svc.port());
@@ -341,7 +342,9 @@ usage(const char *argv0)
         "[--audit-dp-max-hw=N]\n"
         "or:    %s list-decoders\n"
         "flags: --shots=N --seed=N --log-level=LVL "
-        "--trace-file=PATH --chrome-trace=PATH\n",
+        "--trace-file=PATH --chrome-trace=PATH --perf-counters\n"
+        "       (serve exposes /pprof/profile?seconds=N&hz=H"
+        "&format=collapsed|speedscope)\n",
         argv0, argv0, argv0, argv0);
     return 1;
 }

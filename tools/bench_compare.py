@@ -22,6 +22,16 @@ Results are matched between the two reports by their "d" entry when
 present, by position otherwise. A metric present in the baseline but
 missing from the current report fails the gate: silently dropping a
 metric is exactly the kind of regression this tool exists to catch.
+That guarantee is structural, not list-based: after the per-metric
+comparisons, every leaf field of each baseline result must still
+exist in the current report (histogram bins and the host-dependent
+"perf" block excepted), so a renamed or dropped field fails even if
+it was never in DEFAULT_METRICS.
+
+Hardware perf-counter metrics (perf.ipc, perf.llc_miss_rate) are
+gated only when both reports were collected with working counters
+(perf.available true on both sides); a run on a locked-down host
+skips them instead of failing.
 
 Exit codes: 0 pass, 1 regression (or missing metric), 2 usage/IO error.
 
@@ -66,6 +76,11 @@ DEFAULT_METRICS = [
     ("simd_ns", "latency"),
     ("speedup_scalar", "speedup"),
     ("speedup_simd", "speedup"),
+    # Hardware perf counters (reports run with --perf-counters on a
+    # perf-capable host). IPC is a floor, the LLC miss rate a ceiling;
+    # both are skipped unless perf.available is true in BOTH reports.
+    ("perf.ipc", "perf_floor"),
+    ("perf.llc_miss_rate", "perf_ceiling"),
 ]
 
 # Event-count fields guarding each rate metric (noise gate).
@@ -73,6 +88,52 @@ RATE_COUNT_FIELDS = {
     "ler": "logical_errors",
     "gave_ups": "gave_ups",
 }
+
+# Subtrees exempt from the structural coverage check: histogram bin
+# keys are data-dependent (which Hamming weights a run happens to
+# sample), and the perf block depends on host counter access.
+COVERAGE_EXEMPT_PREFIXES = (
+    "hw_histogram.bins",
+    "gave_up_hw.bins",
+    "perf",
+)
+
+
+def leaf_paths(obj, prefix=""):
+    """Yield the dotted path of every non-dict leaf under obj."""
+    if not isinstance(obj, dict):
+        yield prefix
+        return
+    for key, value in obj.items():
+        sub = "%s.%s" % (prefix, key) if prefix else key
+        for path in leaf_paths(value, sub):
+            yield path
+
+
+def check_coverage(label, base_res, cur_res, checked, failures,
+                   lines):
+    """Fail when any baseline leaf vanished from the current result.
+
+    `checked` paths were already compared (and failed loudly if
+    missing) by compare_metric; exempt subtrees are data- or
+    host-dependent. Everything else present in the baseline must
+    still exist: a silently dropped field is a regression.
+    """
+    missing = []
+    for path in leaf_paths(base_res):
+        if path in checked:
+            continue
+        if any(path == p or path.startswith(p + ".")
+               for p in COVERAGE_EXEMPT_PREFIXES):
+            continue
+        if lookup(cur_res, path) is None:
+            missing.append(path)
+    for path in sorted(missing):
+        failures.append(
+            "%s %s: present in baseline but missing from current "
+            "report" % (label, path))
+        lines.append("  %-28s baseline field MISSING from current "
+                     "report  FAIL" % path)
 
 
 def lookup(obj, dotted):
@@ -132,6 +193,17 @@ def match_results(baseline, current):
 
 def compare_metric(label, path, kind, threshold, base_res, cur_res,
                    min_count, failures, lines):
+    if kind in ("perf_floor", "perf_ceiling"):
+        # Counter-derived metrics only compare when both runs had
+        # working counters; a locked-down host is not a regression.
+        base_avail = lookup(base_res, "perf.available")
+        cur_avail = (lookup(cur_res, "perf.available")
+                     if cur_res is not None else None)
+        if base_avail is not True or cur_avail is not True:
+            lines.append(
+                "  %-28s skip (perf counters unavailable)" % path)
+            return
+
     base_val = lookup(base_res, path)
     if base_val is None:
         # The baseline never had this metric; nothing to guard.
@@ -167,9 +239,9 @@ def compare_metric(label, path, kind, threshold, base_res, cur_res,
                 (label, path, base_val, cur_val))
         return
 
-    if kind == "speedup":
-        # A speedup is a floor: falling below the baseline beyond the
-        # threshold fails, getting faster always passes.
+    if kind in ("speedup", "perf_floor"):
+        # A speedup (or IPC) is a floor: falling below the baseline
+        # beyond the threshold fails, getting faster always passes.
         if base_val <= 0:
             return
         delta = (cur_val - base_val) / base_val
@@ -233,6 +305,9 @@ def main(argv=None):
     parser.add_argument("--speedup-threshold", type=float, default=0.30,
                         help="how far a speedup ratio may fall below "
                              "its baseline (default 0.30 = -30%%)")
+    parser.add_argument("--perf-threshold", type=float, default=0.25,
+                        help="relative limit for hardware perf-counter "
+                             "metrics (default 0.25)")
     parser.add_argument("--min-count", type=int, default=10,
                         help="skip rate metrics when both runs saw "
                              "fewer events than this (default 10)")
@@ -275,11 +350,16 @@ def main(argv=None):
                 default = args.threshold
             elif kind == "speedup":
                 default = args.speedup_threshold
+            elif kind in ("perf_floor", "perf_ceiling"):
+                default = args.perf_threshold
             else:
                 default = args.rate_threshold
             threshold = overrides.get(path, default)
             compare_metric(label, path, kind, threshold, base_res,
                            cur_res, args.min_count, failures, lines)
+        checked = {path for path, _ in DEFAULT_METRICS}
+        check_coverage(label, base_res, cur_res, checked, failures,
+                       lines)
         for line in lines:
             print(line)
 

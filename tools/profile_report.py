@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Summarize a sampling-profiler capture.
+
+Input is either collapsed/folded stacks ("frame;frame;frame count"
+lines, as /pprof/profile and --profile-out emit) or speedscope JSON
+(/pprof/profile?format=speedscope). The report lists the hottest
+frames two ways:
+
+  self  - samples where the frame was the leaf (on-CPU);
+  total - samples where the frame appeared anywhere on the stack.
+
+Usage:
+  profile_report.py PROFILE [--top=N] [--filter=SUBSTR]
+  profile_report.py --self-test
+
+The collapsed input is also exactly what flamegraph.pl and
+speedscope.app accept, so this tool is a summary, not a replacement:
+  curl 'localhost:9500/pprof/profile?seconds=5' > prof.folded
+  ./profile_report.py prof.folded
+  flamegraph.pl prof.folded > prof.svg
+"""
+
+import json
+import sys
+
+
+def parse_collapsed(text):
+    """Parse folded stacks into a list of (frames, count) pairs."""
+    stacks = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        head, sep, count = line.rpartition(" ")
+        if not sep:
+            raise ValueError(f"line {lineno}: no count field")
+        try:
+            n = int(count)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad count {count!r}") from None
+        frames = head.split(";")
+        if not head or not all(frames):
+            raise ValueError(f"line {lineno}: empty frame")
+        stacks.append((frames, n))
+    return stacks
+
+
+def parse_speedscope(doc):
+    """Parse a speedscope 'sampled' document into (frames, count)."""
+    frames = [f["name"] for f in doc["shared"]["frames"]]
+    prof = doc["profiles"][0]
+    if prof.get("type") != "sampled":
+        raise ValueError("only 'sampled' speedscope profiles")
+    stacks = []
+    for sample, weight in zip(prof["samples"], prof["weights"]):
+        stacks.append(([frames[i] for i in sample], int(weight)))
+    return stacks
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return parse_speedscope(json.loads(text))
+    return parse_collapsed(text)
+
+
+def summarize(stacks):
+    """Return (total, self_counts, total_counts) frame tallies."""
+    self_counts = {}
+    total_counts = {}
+    grand = 0
+    for frames, count in stacks:
+        grand += count
+        leaf = frames[-1]
+        self_counts[leaf] = self_counts.get(leaf, 0) + count
+        # A frame recursing onto itself still counts its samples once.
+        for frame in set(frames):
+            total_counts[frame] = total_counts.get(frame, 0) + count
+    return grand, self_counts, total_counts
+
+
+def print_table(title, counts, grand, top, needle):
+    print(title)
+    shown = 0
+    for frame, count in sorted(counts.items(),
+                               key=lambda kv: (-kv[1], kv[0])):
+        if needle and needle not in frame:
+            continue
+        pct = 100.0 * count / grand if grand else 0.0
+        print(f"  {count:8d} {pct:6.2f}%  {frame}")
+        shown += 1
+        if shown >= top:
+            break
+    if shown == 0:
+        print("  (no frames)")
+
+
+def report(stacks, top=15, needle=""):
+    grand, self_counts, total_counts = summarize(stacks)
+    distinct = len({f for frames, _ in stacks for f in frames})
+    print(f"{grand} samples, {len(stacks)} distinct stacks, "
+          f"{distinct} distinct frames")
+    print()
+    print_table("top frames by self time:", self_counts, grand, top,
+                needle)
+    print()
+    print_table("top frames by total time:", total_counts, grand, top,
+                needle)
+    return grand
+
+
+def self_test():
+    collapsed = "main;decode;gather 3\nmain;decode;match 5\nmain;io 2\n"
+    stacks = parse_collapsed(collapsed)
+    assert stacks == [(["main", "decode", "gather"], 3),
+                      (["main", "decode", "match"], 5),
+                      (["main", "io"], 2)], stacks
+    grand, self_c, total_c = summarize(stacks)
+    assert grand == 10, grand
+    assert self_c == {"gather": 3, "match": 5, "io": 2}, self_c
+    assert total_c["main"] == 10 and total_c["decode"] == 8, total_c
+
+    # Recursion: the frame's total counts the sample once.
+    g2, _, t2 = summarize(parse_collapsed("a;b;a 4\n"))
+    assert g2 == 4 and t2["a"] == 4, t2
+
+    doc = {
+        "shared": {"frames": [{"name": "main"}, {"name": "hot"}]},
+        "profiles": [{"type": "sampled",
+                      "samples": [[0, 1], [0]],
+                      "weights": [7, 3]}],
+    }
+    stacks2 = parse_speedscope(doc)
+    assert stacks2 == [(["main", "hot"], 7), (["main"], 3)], stacks2
+
+    for bad in ("nocount\n", "a;b x\n", "; 3\n"):
+        try:
+            parse_collapsed(bad)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError(f"accepted bad input {bad!r}")
+
+    print("profile_report.py self-test: OK")
+    return 0
+
+
+def main(argv):
+    top = 15
+    needle = ""
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--self-test":
+            return self_test()
+        if arg.startswith("--top="):
+            top = int(arg.split("=", 1)[1])
+        elif arg.startswith("--filter="):
+            needle = arg.split("=", 1)[1]
+        elif arg.startswith("--"):
+            print(f"unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        stacks = load(paths[0])
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"error: cannot parse {paths[0]}: {e}", file=sys.stderr)
+        return 1
+    if not stacks:
+        print("empty profile (no samples captured)")
+        return 1
+    report(stacks, top=top, needle=needle)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

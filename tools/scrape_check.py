@@ -2,7 +2,7 @@
 """Check a Prometheus text-exposition dump for well-formedness.
 
 Usage: scrape_check.py METRICS.prom [--require name,name,...]
-                                    [--require-audit]
+                                    [--require-audit] [--require-perf]
        scrape_check.py --self-test
 
 Parses an exposition-format (0.0.4) dump — such as a scrape of the
@@ -20,7 +20,12 @@ C++ side (telemetry/prometheus.cc) promises:
     the +Inf bucket equals `_count`;
   - the families in --require (default: the decode service's headline
     families) are all present; --require-audit additionally demands
-    the accuracy auditor's families (serve with --audit-rate > 0).
+    the accuracy auditor's families (serve with --audit-rate > 0);
+    --require-perf demands astrea_perf_available, and — only when its
+    sample value is 1 (hardware counters actually open) — the raw and
+    derived perf families too, so the check passes on locked-down
+    hosts while still catching a perf-capable host that silently
+    stopped exporting.
 
 Exits nonzero with a message on the first violation.
 """
@@ -50,6 +55,19 @@ AUDIT_REQUIRED = [
     "astrea_audit_weight_gap_decades",
     "astrea_audit_queue_drops_total",
     "astrea_audit_observable_mismatches_total",
+]
+
+# Families the perf-counter layer exports when hardware counters are
+# actually available; demanded via --require-perf only when the
+# always-present astrea_perf_available gauge reads 1.
+PERF_REQUIRED = [
+    "astrea_perf_sections_total",
+    "astrea_perf_shots_total",
+    "astrea_perf_cycles_total",
+    "astrea_perf_instructions_total",
+    "astrea_perf_ipc",
+    "astrea_perf_llc_miss_rate",
+    "astrea_perf_cycles_per_shot",
 ]
 
 NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -107,7 +125,7 @@ def base_family(name, types):
     return None
 
 
-def check(text, required):
+def check(text, required, require_perf=False):
     types = {}          # family -> type
     samples = []        # (name, labels, value, lineno)
     for lineno, line in enumerate(text.splitlines(), 1):
@@ -188,6 +206,17 @@ def check(text, required):
         if family not in types:
             fail(f"required family {family} not present")
 
+    if require_perf:
+        if "astrea_perf_available" not in types:
+            fail("--require-perf: astrea_perf_available not present")
+        available = [value for name, _, value, _ in samples
+                     if name == "astrea_perf_available"]
+        if available and available[0] == 1:
+            for family in PERF_REQUIRED:
+                if family not in types:
+                    fail(f"--require-perf: counters available but "
+                         f"family {family} not present")
+
     return len(types), len(samples)
 
 
@@ -237,6 +266,38 @@ astrea_audit_queue_drops_total 0
 astrea_audit_observable_mismatches_total 1
 """
 
+# --require-perf fixtures: the degraded host exports only the
+# availability gauge (value 0); the capable host must export the
+# full set. GOOD_PERF_FULL covers the capable case.
+GOOD_PERF_DEGRADED = """\
+# TYPE astrea_perf_available gauge
+astrea_perf_available 0
+"""
+
+GOOD_PERF_FULL = """\
+# TYPE astrea_perf_available gauge
+astrea_perf_available 1
+# TYPE astrea_perf_sections_total counter
+astrea_perf_sections_total{stage="matching"} 10
+# TYPE astrea_perf_shots_total counter
+astrea_perf_shots_total{stage="matching"} 640
+# TYPE astrea_perf_cycles_total counter
+astrea_perf_cycles_total{stage="matching"} 120000
+# TYPE astrea_perf_instructions_total counter
+astrea_perf_instructions_total{stage="matching"} 260000
+# TYPE astrea_perf_ipc gauge
+astrea_perf_ipc{stage="matching"} 2.17
+# TYPE astrea_perf_llc_miss_rate gauge
+astrea_perf_llc_miss_rate{stage="matching"} 0.02
+# TYPE astrea_perf_cycles_per_shot gauge
+astrea_perf_cycles_per_shot{stage="matching"} 187.5
+"""
+
+# A perf-capable host (available 1) that dropped the derived gauges.
+BAD_PERF_PARTIAL = GOOD_PERF_FULL.replace(
+    "# TYPE astrea_perf_ipc gauge\n"
+    'astrea_perf_ipc{stage="matching"} 2.17\n', "")
+
 BAD_CASES = [
     # Sample without a TYPE line.
     "orphan_metric 1\n",
@@ -274,6 +335,19 @@ def self_test():
     # Required family missing.
     code = run_expecting_failure(GOOD, ["not_there"])
     assert code != 0
+
+    # --require-perf: degraded (available 0) needs only the gauge;
+    # capable (available 1) needs the full family set; a dump with no
+    # perf gauge at all fails.
+    check(GOOD + GOOD_PERF_DEGRADED, DEFAULT_REQUIRED,
+          require_perf=True)
+    check(GOOD + GOOD_PERF_FULL, DEFAULT_REQUIRED, require_perf=True)
+    code = run_expecting_failure(GOOD, DEFAULT_REQUIRED,
+                                 ("--require-perf",))
+    assert code != 0, "--require-perf passed without the gauge"
+    code = run_expecting_failure(GOOD + BAD_PERF_PARTIAL,
+                                 DEFAULT_REQUIRED, ("--require-perf",))
+    assert code != 0, "--require-perf passed a partial capable dump"
     for i, bad in enumerate(BAD_CASES):
         code = run_expecting_failure(bad, [])
         assert code != 0, f"BAD_CASES[{i}] passed unexpectedly"
@@ -281,7 +355,7 @@ def self_test():
     return 0
 
 
-def run_expecting_failure(text, required):
+def run_expecting_failure(text, required, extra_flags=()):
     """Run check() in a subprocess so fail()'s exit is observable."""
     import subprocess
 
@@ -292,6 +366,7 @@ def run_expecting_failure(text, required):
     cmd = [sys.executable, __file__, path]
     if required:
         cmd.append("--require=" + ",".join(required))
+    cmd.extend(extra_flags)
     return subprocess.run(cmd, capture_output=True).returncode
 
 
@@ -304,6 +379,7 @@ def main(argv):
 
     required = list(DEFAULT_REQUIRED)
     require_audit = False
+    require_perf = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--require="):
@@ -311,6 +387,8 @@ def main(argv):
                         if r]
         elif arg == "--require-audit":
             require_audit = True
+        elif arg == "--require-perf":
+            require_perf = True
         else:
             paths.append(arg)
     if require_audit:
@@ -322,7 +400,7 @@ def main(argv):
                 text = f.read()
         except OSError as e:
             fail(f"cannot read {path}: {e}")
-        families, samples = check(text, required)
+        families, samples = check(text, required, require_perf)
         print(f"{path}: ok ({families} families, {samples} samples)")
     return 0
 

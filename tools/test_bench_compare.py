@@ -189,6 +189,113 @@ class BenchCompareTest(unittest.TestCase):
         cur["results"].reverse()
         self.assertEqual(self.run_compare(base, cur), 0)
 
+    def test_dropped_unlisted_field_fails_coverage(self):
+        # "shots" is not in DEFAULT_METRICS; dropping it must still
+        # fail — the coverage walk catches silently removed fields.
+        gutted = memory_report()
+        del gutted["results"][0]["shots"]
+        self.assertEqual(
+            self.run_compare(memory_report(), gutted), 1)
+
+    def test_dropped_nested_unlisted_field_fails_coverage(self):
+        gutted = memory_report()
+        del gutted["results"][0]["latency_ns"]["p90"]
+        # p90 IS listed; also drop an unlisted nested sibling to prove
+        # the walk reaches nested objects.
+        base = memory_report()
+        base["results"][0]["latency_ns"]["overflow"] = 0
+        self.assertEqual(self.run_compare(base, gutted), 1)
+
+    def test_extra_current_fields_pass_coverage(self):
+        # New fields in the current report are fine (the baseline will
+        # pick them up when regenerated).
+        grown = memory_report()
+        grown["results"][0]["new_metric"] = 1.0
+        self.assertEqual(
+            self.run_compare(memory_report(), grown), 0)
+
+    def test_histogram_bins_exempt_from_coverage(self):
+        # Bin keys are data-dependent: a different sampled HW mix must
+        # not fail the structural check.
+        base = memory_report()
+        base["results"][0]["hw_histogram"] = {
+            "total": 100, "bins": {"1": 50, "6": 2}}
+        cur = memory_report()
+        cur["results"][0]["hw_histogram"] = {
+            "total": 100, "bins": {"1": 52}}
+        self.assertEqual(self.run_compare(base, cur), 0)
+
+    def perf_block(self, available=True, ipc=1.5, llc=0.02):
+        if not available:
+            return {"available": False, "counters_enabled": True,
+                    "stage_stride": 64, "stages": {}}
+        return {"available": True, "counters_enabled": True,
+                "stage_stride": 64, "ipc": ipc, "llc_miss_rate": llc,
+                "cycles_per_shot": 900.0, "stages": {}}
+
+    def test_perf_skipped_when_baseline_unavailable(self):
+        base = memory_report()
+        base["results"][0]["perf"] = self.perf_block(available=False)
+        cur = memory_report()
+        cur["results"][0]["perf"] = self.perf_block(ipc=0.1, llc=0.9)
+        self.assertEqual(self.run_compare(base, cur), 0)
+
+    def test_perf_skipped_when_current_unavailable(self):
+        base = memory_report()
+        base["results"][0]["perf"] = self.perf_block()
+        cur = memory_report()
+        cur["results"][0]["perf"] = self.perf_block(available=False)
+        self.assertEqual(self.run_compare(base, cur), 0)
+
+    def test_perf_block_absence_is_not_a_regression(self):
+        base = memory_report()
+        base["results"][0]["perf"] = self.perf_block()
+        self.assertEqual(self.run_compare(base, memory_report()), 0)
+
+    def test_ipc_floor_fails_on_collapse(self):
+        base = memory_report()
+        base["results"][0]["perf"] = self.perf_block(ipc=2.0)
+        cur = memory_report()
+        cur["results"][0]["perf"] = self.perf_block(ipc=1.0)
+        self.assertEqual(self.run_compare(base, cur), 1)
+
+    def test_ipc_within_threshold_passes(self):
+        base = memory_report()
+        base["results"][0]["perf"] = self.perf_block(ipc=2.0)
+        cur = memory_report()
+        cur["results"][0]["perf"] = self.perf_block(ipc=1.8)
+        self.assertEqual(self.run_compare(base, cur), 0)
+
+    def test_ipc_increase_passes(self):
+        base = memory_report()
+        base["results"][0]["perf"] = self.perf_block(ipc=1.0)
+        cur = memory_report()
+        cur["results"][0]["perf"] = self.perf_block(ipc=3.0)
+        self.assertEqual(self.run_compare(base, cur), 0)
+
+    def test_llc_miss_rate_ceiling_fails_on_jump(self):
+        base = memory_report()
+        base["results"][0]["perf"] = self.perf_block(llc=0.02)
+        cur = memory_report()
+        cur["results"][0]["perf"] = self.perf_block(llc=0.10)
+        self.assertEqual(self.run_compare(base, cur), 1)
+
+    def test_llc_miss_rate_improvement_passes(self):
+        base = memory_report()
+        base["results"][0]["perf"] = self.perf_block(llc=0.10)
+        cur = memory_report()
+        cur["results"][0]["perf"] = self.perf_block(llc=0.02)
+        self.assertEqual(self.run_compare(base, cur), 0)
+
+    def test_perf_threshold_flag_loosens_gate(self):
+        base = memory_report()
+        base["results"][0]["perf"] = self.perf_block(ipc=2.0)
+        cur = memory_report()
+        cur["results"][0]["perf"] = self.perf_block(ipc=1.0)
+        self.assertEqual(
+            self.run_compare(base, cur, ["--perf-threshold", "0.6"]),
+            0)
+
     def test_results_matched_by_distance_not_order(self):
         base = memory_report()
         base["results"].append(

@@ -20,8 +20,9 @@ written by bench_util.hh (beginBenchReport/finishBenchReport):
 Files whose top level carries a "service" key are instead validated
 against the decode service's /statusz schema (DecodeServiceCore::
 statuszJson), so CI can point this script at a scraped snapshot.
-Schema version 1 (no auditor) and 2 (with an "audit" object) are both
-accepted; --require-audit additionally demands schema 2 with a running
+Schema version 1 (no auditor), 2 (with an "audit" object) and 3 (adds
+a "perf" object with hardware-counter attribution) are all accepted;
+--require-audit additionally demands schema >= 2 with a running
 auditor that completed at least one audit and dropped no samples.
 
 Exits nonzero with a message on the first violation, so CI fails when a
@@ -69,15 +70,37 @@ def validate_audit(path, audit, require_audit):
                        f"{audit['queue_drops']} (--require-audit)")
 
 
+def validate_perf(path, perf):
+    """Validate the statusz 'perf' object (schema version 3)."""
+    if not isinstance(perf, dict):
+        fail(path, "'perf' must be an object")
+    for key in ("counters_enabled", "available", "stage_stride",
+                "stages"):
+        if key not in perf:
+            fail(path, f"perf missing '{key}'")
+    for key in ("counters_enabled", "available"):
+        if not isinstance(perf[key], bool):
+            fail(path, f"perf.{key} must be a bool")
+    if not perf["available"] and "reason" not in perf:
+        fail(path, "perf unavailable but no 'reason' given")
+    if not isinstance(perf["stages"], dict):
+        fail(path, "perf.stages must be an object")
+    for stage, t in perf["stages"].items():
+        for key in ("sections", "shots", "cycles", "instructions",
+                    "ipc", "llc_miss_rate", "cycles_per_shot"):
+            if key not in t:
+                fail(path, f"perf.stages.{stage} missing '{key}'")
+
+
 def validate_statusz(path, doc, require_audit=False):
     """Validate a decode-service /statusz snapshot."""
     if doc.get("service") != "astrea_serve":
         fail(path, f"unknown service {doc.get('service')!r}")
     schema = doc.get("schema_version")
-    if schema not in (1, 2):
+    if schema not in (1, 2, 3):
         fail(path, f"unknown schema_version {schema!r}")
-    if require_audit and schema != 2:
-        fail(path, "--require-audit needs schema_version 2")
+    if require_audit and schema < 2:
+        fail(path, "--require-audit needs schema_version >= 2")
     for key in ("healthy", "uptime_ticks", "config", "totals",
                 "window", "slo", "drift"):
         if key not in doc:
@@ -86,6 +109,10 @@ def validate_statusz(path, doc, require_audit=False):
         if "audit" not in doc:
             fail(path, "schema_version 2 requires an 'audit' object")
         validate_audit(path, doc["audit"], require_audit)
+    if schema >= 3:
+        if "perf" not in doc:
+            fail(path, "schema_version 3 requires a 'perf' object")
+        validate_perf(path, doc["perf"])
 
     config = doc["config"]
     for key in ("d", "p", "decoder", "workers", "budget_ns",
