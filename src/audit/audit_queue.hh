@@ -42,6 +42,8 @@ struct AuditSample
     double latencyNs = 0.0;  ///< Production decode latency.
     uint64_t cycles = 0;     ///< Production modeled hardware cycles.
     bool gaveUp = false;
+    /** Tail-sampling trace id of the decode; 0 = not traced. */
+    uint64_t traceId = 0;
     std::array<uint32_t, kAuditMaxDefects> defects{};
 };
 

@@ -10,6 +10,7 @@
 #include "matching/blossom.hh"
 #include "matching/dp_matcher.hh"
 #include "telemetry/flight_recorder.hh"
+#include "telemetry/trace_store.hh"
 
 namespace astrea
 {
@@ -91,7 +92,8 @@ AccuracyAuditor::~AccuracyAuditor()
 bool
 AccuracyAuditor::offer(uint64_t shot, uint32_t worker,
                        std::span<const uint32_t> defects,
-                       const DecodeResult &result, uint64_t actual_obs)
+                       const DecodeResult &result, uint64_t actual_obs,
+                       uint64_t trace_id)
 {
     if (stride_ == 0 || defects.empty())
         return false;
@@ -121,6 +123,7 @@ AccuracyAuditor::offer(uint64_t shot, uint32_t worker,
     s.latencyNs = result.latencyNs;
     s.cycles = result.cycles;
     s.gaveUp = result.gaveUp;
+    s.traceId = trace_id;
     std::copy(defects.begin(), defects.end(), s.defects.begin());
 
     if (!queue_->tryPush(s)) {
@@ -219,13 +222,13 @@ AccuracyAuditor::oracleDecode(std::span<const uint32_t> defects) const
     return o;
 }
 
-void
+uint64_t
 AccuracyAuditor::captureMismatch(const AuditSample &s,
                                  const Oracle &oracle)
 {
     if (!config_.captureMismatches ||
         !telemetry::FlightRecorder::globalEnabled())
-        return;
+        return 0;
     telemetry::DecodeRecord rec;
     rec.shot = s.shot;
     rec.worker = s.worker;
@@ -243,8 +246,11 @@ AccuracyAuditor::captureMismatch(const AuditSample &s,
     rec.oracleQuantized = config_.quantizedWeights;
     rec.oracleWeight = oracle.weight;
     rec.oracleObs = oracle.obsMask;
-    telemetry::FlightRecorder::global().record(rec);
+    rec.traceId = s.traceId;
+    const uint64_t seq =
+        telemetry::FlightRecorder::global().record(rec);
     captures_.fetch_add(1, std::memory_order_relaxed);
+    return seq;
 }
 
 void
@@ -263,6 +269,11 @@ AccuracyAuditor::auditOne(const AuditSample &s)
         if (oracle.obsMask == s.actualObs)
             giveUpOracleSuccess_.fetch_add(1,
                                            std::memory_order_relaxed);
+        if (s.traceId != 0) {
+            telemetry::TraceStore::global().annotateAudit(
+                s.traceId, /*mismatch=*/false, /*gap_decades=*/0.0,
+                oracle.weight, oracle.obsMask, /*capture_seq=*/0);
+        }
         return;
     }
 
@@ -271,7 +282,12 @@ AccuracyAuditor::auditOne(const AuditSample &s)
 
     if (s.prodObs != oracle.obsMask) {
         observableMismatches_.fetch_add(1, std::memory_order_relaxed);
-        captureMismatch(s, oracle);
+        const uint64_t capture_seq = captureMismatch(s, oracle);
+        if (s.traceId != 0) {
+            telemetry::TraceStore::global().annotateAudit(
+                s.traceId, /*mismatch=*/true, /*gap_decades=*/0.0,
+                oracle.weight, oracle.obsMask, capture_seq);
+        }
         return;
     }
 
@@ -289,6 +305,12 @@ AccuracyAuditor::auditOne(const AuditSample &s)
         gap = 0.0;
     } else {
         suboptimal_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (s.traceId != 0) {
+        telemetry::TraceStore::global().annotateAudit(
+            s.traceId, /*mismatch=*/false, gap, oracle.weight,
+            oracle.obsMask, /*capture_seq=*/0);
     }
 
     size_t bucket = static_cast<size_t>(

@@ -106,11 +106,14 @@ class AccuracyAuditor
      * Hot-path sampling hook: decide whether this decode is audited
      * (deterministic 1-in-stride sampling; give-ups are always taken)
      * and, if so, copy it into the queue. Never blocks or allocates;
-     * returns true when the shot was enqueued.
+     * returns true when the shot was enqueued. A nonzero trace_id
+     * rides along so the verdict can annotate the kept trace
+     * (telemetry/trace_store.hh) when the audit completes.
      */
     bool offer(uint64_t shot, uint32_t worker,
                std::span<const uint32_t> defects,
-               const DecodeResult &result, uint64_t actual_obs);
+               const DecodeResult &result, uint64_t actual_obs,
+               uint64_t trace_id = 0);
 
     /** Launch the background audit pool (no-op when disabled). */
     void start();
@@ -184,7 +187,9 @@ class AccuracyAuditor
 
   private:
     void auditOne(const AuditSample &s);
-    void captureMismatch(const AuditSample &s, const Oracle &oracle);
+    /** Returns the flight-recorder capture seq (0 = no capture). */
+    uint64_t captureMismatch(const AuditSample &s,
+                             const Oracle &oracle);
     double pairWeight(uint32_t a, uint32_t b) const;
 
     AuditConfig config_;

@@ -1,5 +1,7 @@
 #include "decoders/decoder.hh"
 
+#include "telemetry/decode_trace.hh"
+
 namespace astrea
 {
 
@@ -20,8 +22,10 @@ Decoder::decodeBatch(const SyndromeBatch &batch,
     // next, larger batch wants back.
     if (results.size() < batch.size())
         results.resize(batch.size());
-    for (size_t i = 0; i < batch.size(); ++i)
+    for (size_t i = 0; i < batch.size(); ++i) {
+        telemetry::traceShotBegin(static_cast<uint32_t>(i));
         decodeInto(batch.at(i), results[i], scratch);
+    }
 }
 
 DecodeResult

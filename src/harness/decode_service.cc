@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "telemetry/decode_trace.hh"
 #include "telemetry/flight_recorder.hh"
 #include "telemetry/json.hh"
 #include "telemetry/perf_counters.hh"
@@ -170,11 +171,25 @@ DecodeServiceCore::DecodeServiceCore(const ServeConfig &config)
     audit_ = std::make_unique<AccuracyAuditor>(ctx_->gwt(), acfg,
                                                ctx_);
 
+    // Tail-sampled per-decode tracing: install the retention policy
+    // (explicit ServeConfig knobs win over ASTREA_TRACE_*; the CLI
+    // defaults its flags from the environment) and size the store.
+    telemetry::TraceRetentionConfig tc;
+    tc.enabled = config_.traceEnabled;
+    tc.tailThresholdNs = config_.traceTailNs;
+    tc.headStride = config_.traceStride;
+    telemetry::setTraceRetention(tc);
+    telemetry::TraceStore::global().configure(static_cast<size_t>(
+        std::max<uint64_t>(1, config_.traceRing)));
+
+    // Install this workload's context/decoder descriptions so a
+    // dumped trace or capture (give-up, logical error, audit
+    // mismatch) embeds enough for `astrea_cli replay` to rebuild the
+    // decode.
+    auto probe = factory_(*ctx_);
+    telemetry::TraceStore::global().setRunInfo(
+        experimentConfigJson(ec), decoderDescriptionJson(*probe));
     if (telemetry::FlightRecorder::globalEnabled()) {
-        // Install this workload's context/decoder descriptions so a
-        // capture (give-up, logical error, audit mismatch) embeds
-        // enough for `astrea_cli replay` to rebuild the decode.
-        auto probe = factory_(*ctx_);
         telemetry::FlightRecorder::global().beginRun(
             experimentConfigJson(ec), decoderDescriptionJson(*probe));
     }
@@ -264,6 +279,14 @@ DecodeServiceCore::decodeBatch(Worker &w, uint64_t shots)
         w.actuals.push_back(actual);
     }
 
+    // Arm the per-thread tracer for this batch: trace ids are a
+    // deterministic function of (run seed, worker, shot number), so
+    // re-running the workload reproduces them.
+    telemetry::DecodeTracer &tracer = telemetry::decodeTracer();
+    tracer.beginBatch(w.index, w.shots, config_.decoder.c_str(),
+                      config_.seed +
+                          0x9E3779B97F4A7C15ull * (w.index + 1));
+
     {
         // Batch-level counters are always live (the section cost
         // amortizes over the whole batch).
@@ -275,10 +298,15 @@ DecodeServiceCore::decodeBatch(Worker &w, uint64_t shots)
     for (uint64_t i = 0; i < shots; i++) {
         const size_t hw = w.batch.hw(i);
         const uint64_t tick = tick_();
+        const uint64_t trace_id =
+            tracer.active() ? tracer.shotId(static_cast<uint32_t>(i))
+                            : 0;
 
         double latency_ns = 0.0;
         bool gave_up = false;
         bool logical_error = false;
+        bool audited = false;
+        uint64_t capture_seq = 0;
         if (hw > 0) {
             const DecodeResult &dr = w.results[i];
             latency_ns = dr.latencyNs;
@@ -287,8 +315,8 @@ DecodeServiceCore::decodeBatch(Worker &w, uint64_t shots)
             nontrivialTotal_.fetch_add(1, std::memory_order_relaxed);
 
             // Shadow audit: copy-only, drop-not-block, off hot path.
-            audit_->offer(w.shots, w.index, w.batch.at(i), dr,
-                          w.actuals[i]);
+            audited = audit_->offer(w.shots, w.index, w.batch.at(i),
+                                    dr, w.actuals[i], trace_id);
 
             if (flight) {
                 telemetry::DecodeRecord rec;
@@ -303,8 +331,31 @@ DecodeServiceCore::decodeBatch(Worker &w, uint64_t shots)
                 rec.latencyNs = dr.latencyNs;
                 rec.cycles = dr.cycles;
                 rec.matchingWeight = dr.matchingWeight;
-                telemetry::FlightRecorder::global().record(rec);
+                rec.traceId = trace_id;
+                capture_seq =
+                    telemetry::FlightRecorder::global().record(rec);
             }
+        }
+
+        if (tracer.active()) {
+            // Tail-retention verdict, now that the outcome is known.
+            telemetry::TraceShotOutcome out;
+            out.latencyNs = latency_ns;
+            out.gaveUp = gave_up;
+            out.logicalError = logical_error;
+            out.audited = audited;
+            out.captureSeq = capture_seq;
+            out.actualObs = w.actuals[i];
+            if (hw > 0) {
+                const DecodeResult &dr = w.results[i];
+                out.cycles = dr.cycles;
+                out.matchingWeight = dr.matchingWeight;
+                out.obsMask = dr.obsMask;
+            }
+            auto sp = w.batch.at(i);
+            out.defects = sp.data();
+            out.hw = static_cast<uint32_t>(sp.size());
+            tracer.finishShot(static_cast<uint32_t>(i), out);
         }
 
         decodesTotal_.fetch_add(1, std::memory_order_relaxed);
@@ -330,6 +381,16 @@ DecodeServiceCore::decodeBatch(Worker &w, uint64_t shots)
         }
         w.shots++;
     }
+    tracer.endBatch();
+
+    // Refresh the tracer's auto tail threshold from the rolling p99
+    // occasionally; until the window has data the slow criterion stays
+    // inactive (threshold 0).
+    const uint64_t batch_no =
+        batchesDone_.fetch_add(1, std::memory_order_relaxed);
+    if ((batch_no & 0xFF) == 0)
+        telemetry::setTraceAutoTailNs(
+            latencyWin_.percentileNs(tick_(), 99.0));
 }
 
 uint64_t
@@ -359,7 +420,7 @@ fraction(uint64_t part, uint64_t whole)
 } // namespace
 
 std::string
-DecodeServiceCore::metricsText() const
+DecodeServiceCore::metricsText(bool openmetrics) const
 {
     using telemetry::PromLabels;
     const uint64_t tick = tick_();
@@ -421,7 +482,21 @@ DecodeServiceCore::metricsText() const
 
     telemetry::LatencyBuckets lat = latencyWin_.buckets(tick);
     {
+        const telemetry::TraceStore &store =
+            telemetry::TraceStore::global();
+        auto toProm = [](const telemetry::TraceStore::Exemplar &e) {
+            telemetry::PromExemplar pe;
+            if (e.valid) {
+                pe.valid = true;
+                pe.labels = {
+                    {"trace_id", telemetry::traceIdHex(e.traceId)}};
+                pe.value = e.latencyNs;
+            }
+            return pe;
+        };
+
         std::vector<std::pair<double, uint64_t>> cumulative;
+        std::vector<telemetry::PromExemplar> exemplars;
         uint64_t cum = 0;
         size_t top = 0;
         for (size_t b = 0; b < telemetry::kLatencyBuckets; b++) {
@@ -432,11 +507,19 @@ DecodeServiceCore::metricsText() const
             cum += lat.bins[b];
             cumulative.emplace_back(telemetry::latencyBucketHighNs(b),
                                     cum);
+            if (openmetrics)
+                exemplars.push_back(toProm(store.exemplar(b)));
         }
+        // The +Inf bucket carries the worst kept trace above the
+        // last rendered edge, so even overflow latencies resolve.
+        telemetry::PromExemplar inf_pe;
+        if (openmetrics)
+            inf_pe = toProm(store.exemplarAbove(top));
         w.histogram("astrea_serve_window_latency_ns",
                     "Decode latency over the rolling window (ns)",
                     cumulative, lat.count,
-                    static_cast<double>(lat.sumNs));
+                    static_cast<double>(lat.sumNs), exemplars,
+                    inf_pe);
     }
     for (double pct : {50.0, 90.0, 99.0, 99.9}) {
         char name[64];
@@ -472,6 +555,7 @@ DecodeServiceCore::metricsText() const
             drift_.alarmed() ? 1.0 : 0.0);
 
     audit_->writeMetrics(w);
+    telemetry::TraceStore::global().writeMetrics(w);
 
     // Written directly, like the audit families: mirroring the perf
     // families through the metrics registry would duplicate their
@@ -480,7 +564,10 @@ DecodeServiceCore::metricsText() const
 
     telemetry::appendRegistryMetrics(
         w, telemetry::MetricsRegistry::global());
-    return w.str();
+    std::string text = w.str();
+    if (openmetrics)
+        text += "# EOF\n";  // OpenMetrics requires the terminator.
+    return text;
 }
 
 std::string
@@ -501,7 +588,7 @@ DecodeServiceCore::statuszJson() const
     telemetry::JsonWriter w;
     w.beginObject();
     w.kv("service", "astrea_serve");
-    w.kv("schema_version", uint64_t{3});
+    w.kv("schema_version", uint64_t{4});
     w.kv("healthy", healthy_.load());
     w.kv("uptime_ticks", tick);
 
@@ -567,6 +654,10 @@ DecodeServiceCore::statuszJson() const
     audit_->writeStatusz(w);
     w.endObject();
 
+    w.key("trace_store").beginObject();
+    telemetry::TraceStore::global().writeStatusz(w);
+    w.endObject();
+
     w.key("perf");
     telemetry::appendPerfJson(w);
 
@@ -590,10 +681,53 @@ bool
 DecodeService::start(const std::string &bind_addr, uint16_t port,
                      std::string *error)
 {
-    http_.handle("/metrics", [this](const net::HttpRequest &) {
+    http_.handle("/metrics", [this](const net::HttpRequest &req) {
         net::HttpResponse r;
-        r.contentType = "text/plain; version=0.0.4; charset=utf-8";
-        r.body = core_.metricsText();
+        // OpenMetrics content negotiation: exemplars only exist in
+        // the OpenMetrics exposition, so a 0.0.4 scraper keeps
+        // getting byte-identical plain text.
+        const bool om =
+            req.header("accept").find(
+                "application/openmetrics-text") !=
+                std::string::npos ||
+            net::queryParam(req.query, "format") == "openmetrics";
+        r.contentType =
+            om ? "application/openmetrics-text; version=1.0.0; "
+                 "charset=utf-8"
+               : "text/plain; version=0.0.4; charset=utf-8";
+        r.body = core_.metricsText(om);
+        return r;
+    });
+    http_.handle("/traces", [](const net::HttpRequest &req) {
+        net::HttpResponse r;
+        r.contentType = "application/json";
+        telemetry::TraceQuery q;
+        std::string v = net::queryParam(req.query, "min_ns");
+        if (!v.empty())
+            q.minNs = std::atof(v.c_str());
+        q.decoder = net::queryParam(req.query, "decoder");
+        q.outcome = net::queryParam(req.query, "outcome");
+        v = net::queryParam(req.query, "limit");
+        if (!v.empty())
+            q.limit = static_cast<size_t>(
+                std::clamp(std::atol(v.c_str()), 1l, 100000l));
+        r.body = telemetry::TraceStore::global().indexJson(q);
+        return r;
+    });
+    http_.handlePrefix("/traces/", [](const net::HttpRequest &req) {
+        net::HttpResponse r;
+        const uint64_t id = telemetry::parseTraceIdHex(
+            req.path.substr(sizeof("/traces/") - 1));
+        std::string body;
+        if (id != 0)
+            body = telemetry::TraceStore::global().detailJson(id);
+        if (body.empty()) {
+            r.status = 404;
+            r.body = "trace not found\n";
+        } else {
+            r.contentType = "application/json";
+            r.body = body;
+        }
         return r;
     });
     http_.handle("/statusz", [this](const net::HttpRequest &) {

@@ -87,6 +87,17 @@ struct ServeConfig
     uint64_t auditQueue = 1024;
     /** Use the bitmask-DP oracle up to this HW, blossom above. */
     uint32_t auditDpMaxHw = 16;
+
+    /** Tail-sampled per-decode tracing (telemetry/decode_trace.hh).
+     *  Cheap enough to leave on: spans go to preallocated per-thread
+     *  buffers and only tail-retained traces are published. */
+    bool traceEnabled = true;
+    /** Keep traces slower than this (ns); 0 = auto (rolling p99). */
+    double traceTailNs = 0.0;
+    /** Keep every Nth decode regardless; 0 disables head sampling. */
+    uint64_t traceStride = 8192;
+    /** TraceStore ring capacity (kept traces). */
+    uint64_t traceRing = 1024;
 };
 
 /**
@@ -169,8 +180,10 @@ class DecodeServiceCore
     /** Tests inject a fake sub-window tick; default is wall-clock. */
     void setTickFunction(std::function<uint64_t()> tick);
 
-    /** Prometheus text exposition (service families + registry). */
-    std::string metricsText() const;
+    /** Prometheus text exposition (service families + registry).
+     *  openmetrics additionally attaches trace-id exemplars to the
+     *  latency histogram buckets and terminates with "# EOF". */
+    std::string metricsText(bool openmetrics = false) const;
     /** JSON snapshot for /statusz (schema: tools/validate_report.py). */
     std::string statuszJson() const;
 
@@ -207,6 +220,7 @@ class DecodeServiceCore
     std::atomic<uint64_t> logicalErrorsTotal_{0};
     std::atomic<uint64_t> giveUpsTotal_{0};
     std::atomic<uint64_t> deadlineMissesTotal_{0};
+    std::atomic<uint64_t> batchesDone_{0};
     std::atomic<bool> healthy_{true};
 
     telemetry::RollingCounter decodesWin_;

@@ -86,6 +86,17 @@ LatencyHistogram::percentileNs(double pct) const
     return stats_.max();
 }
 
+size_t
+LatencyHistogram::bucketIndex(double ns) const
+{
+    if (!std::isfinite(ns) || ns < 0.0)
+        return counts_.size();
+    const double b = ns / bucketNs_;
+    if (b >= static_cast<double>(counts_.size()))
+        return counts_.size();
+    return static_cast<size_t>(b);
+}
+
 double
 LatencyHistogram::bucketFraction(size_t b) const
 {

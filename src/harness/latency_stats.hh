@@ -62,6 +62,14 @@ class LatencyHistogram
     size_t numBuckets() const { return counts_.size(); }
     double bucketLowNs(size_t b) const { return bucketNs_ * b; }
 
+    /**
+     * Bucket a sample of `ns` lands in — the lookup exemplar
+     * attachment needs to map an observed latency onto a histogram
+     * row. Returns numBuckets() for the overflow region (and for
+     * non-finite or negative input, which add() would also overflow).
+     */
+    size_t bucketIndex(double ns) const;
+
   private:
     double bucketNs_;
     std::vector<uint64_t> counts_;

@@ -6,6 +6,7 @@
 #include "audit/auditor.hh"
 #include "common/thread_pool.hh"
 #include "dem/extractor.hh"
+#include "telemetry/decode_trace.hh"
 #include "telemetry/export.hh"
 #include "telemetry/flight_recorder.hh"
 #include "telemetry/perf_counters.hh"
@@ -184,13 +185,22 @@ runMemoryExperiment(const ExperimentContext &ctx,
     std::mutex merge_mutex;
 
     const bool flight = telemetry::FlightRecorder::globalEnabled();
-    if (flight) {
+    const bool tracing = telemetry::traceRetention().enabled;
+    if (flight || tracing) {
         // Install this run's context and decoder descriptions so a
-        // capture triggered mid-run embeds enough to replay it.
+        // capture or dumped trace triggered mid-run embeds enough to
+        // replay it.
         auto probe = factory(ctx);
-        telemetry::FlightRecorder::global().beginRun(
-            experimentConfigJson(ctx.config()),
-            decoderDescriptionJson(*probe));
+        if (flight) {
+            telemetry::FlightRecorder::global().beginRun(
+                experimentConfigJson(ctx.config()),
+                decoderDescriptionJson(*probe));
+        }
+        if (tracing) {
+            telemetry::TraceStore::global().setRunInfo(
+                experimentConfigJson(ctx.config()),
+                decoderDescriptionJson(*probe));
+        }
     }
 
     // ASTREA_AUDIT_RATE > 0 shadow-audits a fraction of shots against
@@ -230,8 +240,17 @@ runMemoryExperiment(const ExperimentContext &ctx,
         std::vector<uint64_t> actuals;
         std::vector<uint32_t> obs_indices;
 
+        // Per-thread tail-sampling tracer (ASTREA_TRACE): ids derive
+        // from (seed, worker, shot), matching the serve path. The
+        // name is hoisted so the block loop stays allocation-free.
+        telemetry::DecodeTracer &tracer = telemetry::decodeTracer();
+        const std::string decoder_name = decoder->name();
+
         for (uint64_t block = begin; block < end; block += kBatchShots) {
             const uint64_t n = std::min(kBatchShots, end - block);
+            tracer.beginBatch(worker, block, decoder_name.c_str(),
+                              seed +
+                                  0x9E3779B97F4A7C15ull * (worker + 1));
             batch.clear();
             actuals.clear();
             for (uint64_t i = 0; i < n; i++) {
@@ -257,6 +276,10 @@ runMemoryExperiment(const ExperimentContext &ctx,
                 const uint64_t s = block + i;
                 const DecodeResult &dr = results[i];
                 const size_t hw = batch.hw(i);
+                const uint64_t trace_id =
+                    tracer.active()
+                        ? tracer.shotId(static_cast<uint32_t>(i))
+                        : 0;
                 local.hammingWeights.add(hw);
                 if (dr.gaveUp) {
                     local.gaveUps++;
@@ -277,10 +300,12 @@ runMemoryExperiment(const ExperimentContext &ctx,
                     local.latencyNontrivialHist.add(dr.latencyNs);
                 }
 
+                bool audited = false;
                 if (auditor != nullptr && hw > 0)
-                    auditor->offer(s, worker, batch.at(i), dr,
-                                   actual);
+                    audited = auditor->offer(s, worker, batch.at(i),
+                                             dr, actual, trace_id);
 
+                uint64_t capture_seq = 0;
                 if (recorder != nullptr) {
                     telemetry::DecodeRecord rec;
                     rec.shot = s;
@@ -294,7 +319,25 @@ runMemoryExperiment(const ExperimentContext &ctx,
                     rec.latencyNs = dr.latencyNs;
                     rec.cycles = dr.cycles;
                     rec.matchingWeight = dr.matchingWeight;
-                    recorder->record(rec);
+                    rec.traceId = trace_id;
+                    capture_seq = recorder->record(rec);
+                }
+
+                if (tracer.active()) {
+                    telemetry::TraceShotOutcome out;
+                    out.latencyNs = dr.latencyNs;
+                    out.cycles = dr.cycles;
+                    out.matchingWeight = dr.matchingWeight;
+                    out.obsMask = dr.obsMask;
+                    out.actualObs = actual;
+                    out.gaveUp = dr.gaveUp;
+                    out.logicalError = error;
+                    out.audited = audited;
+                    out.captureSeq = capture_seq;
+                    auto sp = batch.at(i);
+                    out.defects = sp.data();
+                    out.hw = static_cast<uint32_t>(sp.size());
+                    tracer.finishShot(static_cast<uint32_t>(i), out);
                 }
 
                 if (trace != nullptr && s % trace_stride == 0) {
@@ -311,6 +354,7 @@ runMemoryExperiment(const ExperimentContext &ctx,
                     trace->line(w.str());
                 }
             }
+            tracer.endBatch();
         }
 
         // Fold the worker's tallies into the global registry once per

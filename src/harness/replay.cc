@@ -11,6 +11,7 @@
 #include "common/weight.hh"
 #include "decoders/registry.hh"
 #include "matching/dp_matcher.hh"
+#include "telemetry/trace_store.hh"
 
 namespace astrea
 {
@@ -239,6 +240,65 @@ narrateRecord(std::ostream &out, const telemetry::DecodeRecord &rec,
     }
 }
 
+/**
+ * A /traces/<id> trace-detail JSON is itself a complete replay input:
+ * the trace store embeds the run's experiment config and decoder
+ * description precisely so a kept tail trace can be re-decoded without
+ * hunting for a matching flight-recorder capture. Synthesize a
+ * one-record capture from it.
+ */
+bool
+loadTraceDetail(const telemetry::JsonValue &doc, ReplayCapture &out,
+                std::string *error_out)
+{
+    out.schemaVersion = telemetry::kCaptureSchemaVersion;
+    out.fromTrace = true;
+    if (!parseConfig(doc["context"], out.config, error_out)) {
+        *error_out = "trace embeds no context object (run info was "
+                     "not installed when the trace was kept)";
+        return false;
+    }
+
+    const telemetry::JsonValue &dec = doc["decoder_config"];
+    out.decoderName = dec["name"].asString("");
+    out.decoderConfig = dec;
+    if (out.decoderName.empty()) {
+        *error_out = "trace embeds no decoder description";
+        return false;
+    }
+
+    telemetry::DecodeRecord rec;
+    rec.traceId =
+        telemetry::parseTraceIdHex(doc["trace_id"].asString(""));
+    rec.shot = doc["shot"].asUint(0);
+    rec.worker = static_cast<uint32_t>(doc["stream"].asUint(0));
+    for (const telemetry::JsonValue &d : doc["defects"].arr)
+        rec.defects.push_back(static_cast<uint32_t>(d.asUint(0)));
+    rec.obsMask = doc["obs_mask"].asUint(0);
+    rec.actualObs = doc["actual_obs"].asUint(0);
+    rec.gaveUp = doc["gave_up"].asBool(false);
+    rec.logicalError = doc["logical_error"].asBool(false);
+    rec.latencyNs = doc["latency_ns"].asNumber(0.0);
+    rec.cycles = doc["cycles"].asUint(0);
+    rec.matchingWeight = doc["matching_weight"].asNumber(0.0);
+    const telemetry::JsonValue &audit = doc["audit"];
+    if (audit.kind == telemetry::JsonValue::Object &&
+        audit["done"].asBool(false)) {
+        rec.audited = true;
+        rec.auditMismatch = audit["mismatch"].asBool(false);
+        rec.oracleName = "trace audit";
+        rec.oracleWeight = audit["oracle_weight"].asNumber(0.0);
+        rec.oracleObs = audit["oracle_obs"].asUint(0);
+    }
+
+    out.triggerReason = "trace " + doc["trace_id"].asString("?") +
+                        " (" + doc["outcome"].asString("?") + ")";
+    out.triggerShot = rec.shot;
+    out.records.clear();
+    out.records.push_back(std::move(rec));
+    return true;
+}
+
 } // namespace
 
 bool
@@ -256,6 +316,11 @@ loadCapture(const std::string &path, ReplayCapture &out,
         *error_out = "malformed capture JSON: " + path;
         return false;
     }
+    // A /traces/<id> dump carries trace_schema_version instead of
+    // capture_schema_version; route it through the synthesizer.
+    if (doc["trace_schema_version"].asUint(0) != 0)
+        return loadTraceDetail(doc, out, error_out);
+
     out.schemaVersion = doc["capture_schema_version"].asUint(0);
     if (out.schemaVersion != telemetry::kCaptureSchemaVersion) {
         *error_out = "unsupported capture schema version " +
@@ -301,6 +366,8 @@ loadCapture(const std::string &path, ReplayCapture &out,
         rec.latencyNs = r["latency_ns"].asNumber(0.0);
         rec.cycles = r["cycles"].asUint(0);
         rec.matchingWeight = r["matching_weight"].asNumber(0.0);
+        rec.traceId =
+            telemetry::parseTraceIdHex(r["trace_id"].asString(""));
         const telemetry::JsonValue &audit = r["audit"];
         if (audit.kind == telemetry::JsonValue::Object) {
             rec.audited = true;
@@ -375,12 +442,21 @@ replayCapture(const ReplayCapture &capture,
                           rec.shot == capture.triggerShot &&
                           (rec.gaveUp || rec.logicalError ||
                            rec.auditMismatch);
+        // A record selected by trace id — or the single record of a
+        // synthesized trace capture — is the record of interest.
+        bool is_trace =
+            (options.traceId != 0 && rec.traceId == options.traceId) ||
+            capture.fromTrace;
         bool narrate = options.verboseAll ||
-                       (options.verbose && is_trigger) || !match;
+                       (options.verbose && (is_trigger || is_trace)) ||
+                       capture.fromTrace || !match;
         if (narrate || is_trigger) {
             out << "record " << i << " (shot " << rec.shot
-                << ", worker " << rec.worker << "): HW " << rec.hw()
-                << (is_trigger ? " [trigger]" : "")
+                << ", worker " << rec.worker << "): HW " << rec.hw();
+            if (rec.traceId != 0)
+                out << ", trace "
+                    << telemetry::traceIdHex(rec.traceId);
+            out << (is_trigger ? " [trigger]" : "")
                 << (match ? " [reproduced]" : " [MISMATCH]") << '\n';
         }
         if (narrate)
@@ -396,6 +472,16 @@ replayCapture(const ReplayCapture &capture,
                 << dr.cycles << " cycles, weight "
                 << formatDecades(dr.matchingWeight) << '\n';
         }
+    }
+
+    if (options.traceId != 0) {
+        bool found = false;
+        for (const telemetry::DecodeRecord &rec : capture.records)
+            found = found || rec.traceId == options.traceId;
+        if (!found)
+            out << "replay: trace "
+                << telemetry::traceIdHex(options.traceId)
+                << " not present in this capture\n";
     }
 
     out << "replay: " << summary.records << " records, "

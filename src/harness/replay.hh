@@ -12,6 +12,13 @@
  * original verdict reproduces exactly, and can narrate the decode —
  * surviving LWT candidate pairs, the chosen matching, the verdict —
  * for post-mortem analysis of a give-up or logical error.
+ *
+ * A /traces/<id> trace-detail JSON (telemetry/trace_store.hh) is
+ * accepted too: the trace store embeds the run's experiment config and
+ * decoder description for exactly this purpose, so loadCapture()
+ * synthesizes a one-record capture from it and the replay narrates
+ * that decode. ReplayOptions::traceId selects one record of a
+ * multi-record capture by its trace id.
  */
 
 #ifndef ASTREA_HARNESS_REPLAY_HH
@@ -37,6 +44,9 @@ struct ReplayCapture
     telemetry::JsonValue decoderConfig;  ///< The "decoder" object.
     std::string triggerReason;           ///< "" when no trigger.
     uint64_t triggerShot = 0;
+    /** True when synthesized from a /traces/<id> detail JSON; the
+     *  single record is then always narrated. */
+    bool fromTrace = false;
     std::vector<telemetry::DecodeRecord> records;
 };
 
@@ -55,6 +65,8 @@ struct ReplayOptions
     bool verbose = false;
     /** Narrate every record (implies verbose). */
     bool verboseAll = false;
+    /** Narrate the record with this trace id (0 = none). */
+    uint64_t traceId = 0;
     /** Cap on candidate pairs printed per defect in narration. */
     size_t maxCandidatesPerDefect = 8;
 };

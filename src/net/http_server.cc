@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -19,8 +21,30 @@ namespace net
 namespace
 {
 
-/** Cap on the request head; anything larger is a bad client. */
-constexpr size_t kMaxRequestBytes = 64 * 1024;
+uint64_t
+nowMillis()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+char
+asciiLower(char c)
+{
+    return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+std::string
+trimOws(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
 
 bool
 sendAll(int fd, const char *data, size_t len)
@@ -52,6 +76,10 @@ httpStatusText(int status)
         return "Not Found";
       case 405:
         return "Method Not Allowed";
+      case 408:
+        return "Request Timeout";
+      case 431:
+        return "Request Header Fields Too Large";
       case 500:
         return "Internal Server Error";
       case 503:
@@ -79,6 +107,20 @@ queryParam(const std::string &query, const std::string &key)
     return "";
 }
 
+std::string
+HttpRequest::header(const std::string &name) const
+{
+    std::string want;
+    want.reserve(name.size());
+    for (char c : name)
+        want.push_back(asciiLower(c));
+    for (const auto &[k, v] : headers) {
+        if (k == want)
+            return v;
+    }
+    return "";
+}
+
 HttpServer::~HttpServer()
 {
     stop();
@@ -89,6 +131,14 @@ HttpServer::handle(const std::string &path, HttpHandler handler)
 {
     std::lock_guard<std::mutex> lock(handlersMu_);
     handlers_[path] = std::move(handler);
+}
+
+void
+HttpServer::handlePrefix(const std::string &prefix,
+                         HttpHandler handler)
+{
+    std::lock_guard<std::mutex> lock(handlersMu_);
+    prefixHandlers_[prefix] = std::move(handler);
 }
 
 bool
@@ -167,8 +217,7 @@ HttpServer::acceptLoop()
             break;  // Socket closed by stop(), or a fatal error.
         }
         timeval tv{};
-        tv.tv_sec = 5;  // A stalled client may not wedge the acceptor.
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        tv.tv_sec = 5;  // A stalled reader may not wedge the acceptor.
         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
         serveConnection(fd);
         ::close(fd);
@@ -178,53 +227,121 @@ HttpServer::acceptLoop()
 void
 HttpServer::serveConnection(int fd)
 {
+    // Read the whole head against one fixed deadline. A per-recv
+    // timeout alone lets a slow-loris client trickle a byte every few
+    // seconds and hold this (serial) server forever; here each recv
+    // gets only the budget that remains.
+    const uint64_t deadline = nowMillis() + limits_.headDeadlineMillis;
+    bool timed_out = false;
     std::string head;
     char buf[4096];
     while (head.find("\r\n\r\n") == std::string::npos &&
-           head.size() < kMaxRequestBytes) {
+           head.size() <= limits_.maxHeadBytes) {
+        const uint64_t now = nowMillis();
+        if (now >= deadline) {
+            timed_out = true;
+            break;
+        }
+        const uint64_t remain_ms = deadline - now;
+        timeval tv{};
+        tv.tv_sec = static_cast<time_t>(remain_ms / 1000);
+        tv.tv_usec =
+            static_cast<suseconds_t>((remain_ms % 1000) * 1000);
+        if (tv.tv_sec == 0 && tv.tv_usec == 0)
+            tv.tv_usec = 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
         ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n <= 0)
-            return;  // Timeout, reset, or close before a full head.
+        if (n == 0)
+            return;  // Closed before a full head.
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                timed_out = true;
+                break;
+            }
+            return;  // Reset or another hard error.
+        }
         head.append(buf, static_cast<size_t>(n));
     }
 
-    // Request line: METHOD SP TARGET SP VERSION.
-    size_t line_end = head.find("\r\n");
-    if (line_end == std::string::npos)
-        return;
-    std::string line = head.substr(0, line_end);
-    size_t sp1 = line.find(' ');
-    size_t sp2 = line.find(' ', sp1 + 1);
-
     HttpResponse resp;
     HttpRequest req;
-    if (sp1 == std::string::npos || sp2 == std::string::npos) {
-        resp.status = 400;
-        resp.body = "bad request\n";
-    } else {
-        req.method = line.substr(0, sp1);
-        std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-        size_t q = target.find('?');
-        req.path = target.substr(0, q);
-        if (q != std::string::npos)
-            req.query = target.substr(q + 1);
+    const size_t head_end = head.find("\r\n\r\n");
+    const size_t line_end = head.find("\r\n");
 
-        if (req.method != "GET" && req.method != "HEAD") {
-            resp.status = 405;
-            resp.body = "method not allowed\n";
+    if (timed_out && head_end == std::string::npos) {
+        resp.status = 408;
+        resp.body = "request head not received in time\n";
+    } else if (head_end == std::string::npos ||
+               head.size() > limits_.maxHeadBytes + 4) {
+        // No terminator within the size cap: oversized head.
+        resp.status = 431;
+        resp.body = "request head too large\n";
+    } else if (line_end > limits_.maxRequestLineBytes) {
+        resp.status = 431;
+        resp.body = "request line too long\n";
+    } else {
+        std::string line = head.substr(0, line_end);
+        size_t sp1 = line.find(' ');
+        size_t sp2 = line.find(' ', sp1 + 1);
+        if (sp1 == std::string::npos || sp2 == std::string::npos) {
+            resp.status = 400;
+            resp.body = "bad request\n";
         } else {
-            HttpHandler handler;
-            {
-                std::lock_guard<std::mutex> lock(handlersMu_);
-                auto it = handlers_.find(req.path);
-                if (it != handlers_.end())
-                    handler = it->second;
+            req.method = line.substr(0, sp1);
+            std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+            size_t q = target.find('?');
+            req.path = target.substr(0, q);
+            if (q != std::string::npos)
+                req.query = target.substr(q + 1);
+
+            // Header lines between the request line and the blank
+            // line; names lowercased, OWS trimmed, bad lines skipped.
+            size_t pos = line_end + 2;
+            while (pos < head_end) {
+                size_t eol = head.find("\r\n", pos);
+                if (eol == std::string::npos || eol > head_end)
+                    eol = head_end;
+                const std::string hline =
+                    head.substr(pos, eol - pos);
+                pos = eol + 2;
+                const size_t colon = hline.find(':');
+                if (colon == std::string::npos || colon == 0)
+                    continue;
+                std::string key = hline.substr(0, colon);
+                for (char &c : key)
+                    c = asciiLower(c);
+                req.headers.emplace_back(
+                    std::move(key), trimOws(hline.substr(colon + 1)));
             }
-            if (!handler) {
-                resp.status = 404;
-                resp.body = "not found\n";
+
+            if (req.method != "GET" && req.method != "HEAD") {
+                resp.status = 405;
+                resp.body = "method not allowed\n";
             } else {
-                resp = handler(req);
+                HttpHandler handler;
+                {
+                    std::lock_guard<std::mutex> lock(handlersMu_);
+                    auto it = handlers_.find(req.path);
+                    if (it != handlers_.end()) {
+                        handler = it->second;
+                    } else {
+                        // Longest matching prefix (map order makes the
+                        // last match the longest among matches).
+                        for (const auto &[prefix, h] : prefixHandlers_) {
+                            if (req.path.compare(0, prefix.size(),
+                                                 prefix) == 0)
+                                handler = h;
+                        }
+                    }
+                }
+                if (!handler) {
+                    resp.status = 404;
+                    resp.body = "not found\n";
+                } else {
+                    resp = handler(req);
+                }
             }
         }
     }

@@ -4,12 +4,17 @@
  * endpoints (/metrics, /statusz, /healthz).
  *
  * One acceptor thread serves connections serially: read the request
- * head, dispatch on the exact path (query string stripped), write the
- * response with Content-Length, close. That is deliberately all — a
- * Prometheus scraper or a curl probe issues one short GET every few
- * seconds, so there is no keep-alive, no chunking, no TLS and no
- * concurrency; a receive timeout bounds how long a stalled client can
- * hold the acceptor. Binds to loopback by default so running a decode
+ * head, dispatch on the exact path (query string stripped) or the
+ * longest registered prefix, write the response with Content-Length,
+ * close. That is deliberately all — a Prometheus scraper or a curl
+ * probe issues one short GET every few seconds, so there is no
+ * keep-alive, no chunking, no TLS and no concurrency. Because the
+ * server is serial, a slow or abusive client is the whole service's
+ * problem, so each connection gets a hard head deadline (not just a
+ * per-recv timeout — a slow-loris client trickling one byte per
+ * second resets per-recv timers forever) and hard size caps on the
+ * request line and header block (408 / 431 on violation; see
+ * HttpLimits). Binds to loopback by default so running a decode
  * service does not silently open a port to the network.
  */
 
@@ -23,6 +28,8 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace astrea
 {
@@ -35,6 +42,11 @@ struct HttpRequest
     std::string method;
     std::string path;   ///< Without the query string.
     std::string query;  ///< Raw text after '?', "" if none.
+    /** Header (name, value) pairs in arrival order; names lowercased. */
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    /** First value of `name` (ASCII case-insensitive), "" if absent. */
+    std::string header(const std::string &name) const;
 };
 
 /** One response; the server adds Content-Length and Connection. */
@@ -47,6 +59,18 @@ struct HttpResponse
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest &)>;
 
+/** Per-connection abuse limits; defaults suit scrape traffic. */
+struct HttpLimits
+{
+    /** Whole-head deadline: the client must deliver the full request
+     *  head within this budget, no matter how it paces its bytes. */
+    uint64_t headDeadlineMillis = 5000;
+    /** Cap on the whole request head (request line + headers). */
+    size_t maxHeadBytes = 64 * 1024;
+    /** Cap on the request line alone (method + target + version). */
+    size_t maxRequestLineBytes = 8 * 1024;
+};
+
 class HttpServer
 {
   public:
@@ -58,6 +82,17 @@ class HttpServer
 
     /** Register a handler for an exact path. Call before start(). */
     void handle(const std::string &path, HttpHandler handler);
+
+    /**
+     * Register a handler for any path starting with `prefix`
+     * ("/traces/" serves /traces/<id>). Exact matches win; among
+     * prefixes the longest wins. Call before start().
+     */
+    void handlePrefix(const std::string &prefix, HttpHandler handler);
+
+    /** Replace the per-connection limits. Call before start(). */
+    void setLimits(const HttpLimits &limits) { limits_ = limits; }
+    const HttpLimits &limits() const { return limits_; }
 
     /**
      * Bind and start the acceptor thread. port 0 picks an ephemeral
@@ -83,7 +118,9 @@ class HttpServer
     void serveConnection(int fd);
 
     std::map<std::string, HttpHandler> handlers_;
+    std::map<std::string, HttpHandler> prefixHandlers_;
     mutable std::mutex handlersMu_;
+    HttpLimits limits_;
     std::thread acceptor_;
     int listenFd_ = -1;
     uint16_t port_ = 0;

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Per-decode tracing: a thread-local span recorder with tail-based
+ * retention (telemetry/trace_store.hh holds what survives).
+ *
+ * Every decode gets a TraceContext — a 64-bit trace id derived
+ * deterministically from a seed and the shot number, the stream
+ * (worker) id, the in-batch shot index and the decoder name — and the
+ * existing PerfSection cut points (Gather/Matching/Verdict/Window/
+ * Batch) double as span boundaries: perf_counters.cc calls
+ * traceStageBegin()/traceStageEnd() unconditionally, so spans record
+ * even when the hardware counters are off. Everything lands in a
+ * preallocated per-thread buffer; with tracing inactive each hook is
+ * one thread-local flag test, and with tracing active the per-span
+ * cost is two steady_clock reads — cheap enough to leave on for every
+ * decode in a serving fleet, and strictly allocation-free
+ * (tests/alloc_test.cc holds the whole begin/decode/finish path to
+ * zero steady-state allocations).
+ *
+ * Retention is decided at decode *completion* (tail-based sampling):
+ * finishShot() keeps the trace only if it was slow (latency above the
+ * configured threshold, or above the service's rolling p99 when the
+ * threshold is 0/auto), gave up, produced a logical error, was
+ * sampled into the audit queue, or hit the head-sampling stride.
+ * Kept traces move into TraceStore::global(); everything else costs
+ * nothing beyond the buffered spans being forgotten.
+ *
+ * Knobs (common/env.hh, overridable via ServeConfig / CLI flags):
+ * ASTREA_TRACE (master switch), ASTREA_TRACE_TAIL_NS (0 = auto p99),
+ * ASTREA_TRACE_STRIDE, ASTREA_TRACE_RING.
+ */
+
+#ifndef ASTREA_TELEMETRY_DECODE_TRACE_HH
+#define ASTREA_TELEMETRY_DECODE_TRACE_HH
+
+#include <cstdint>
+
+#include "telemetry/perf_counters.hh"
+#include "telemetry/trace_store.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+/** Retention policy; process-wide (setTraceRetention). */
+struct TraceRetentionConfig
+{
+    /** Master switch; beginBatch() is a no-op when false. */
+    bool enabled = false;
+    /** Keep traces slower than this; 0 = auto (rolling p99). */
+    double tailThresholdNs = 0.0;
+    /** Keep every Nth decode regardless; 0 disables head sampling. */
+    uint64_t headStride = 8192;
+
+    /** Overlay ASTREA_TRACE_* environment knobs onto base. */
+    static TraceRetentionConfig fromEnv(TraceRetentionConfig base);
+};
+
+/** Install the process-wide retention policy. */
+void setTraceRetention(const TraceRetentionConfig &cfg);
+
+/** Current policy (lazily seeded from the environment). */
+TraceRetentionConfig traceRetention();
+
+/**
+ * Publish the rolling p99 used as the slow threshold when
+ * tailThresholdNs is 0 (the decode service refreshes this
+ * periodically from its latency window).
+ */
+void setTraceAutoTailNs(double p99_ns);
+
+/** Effective slow threshold: explicit if set, else the auto p99. */
+double traceEffectiveTailNs();
+
+/** Everything finishShot() needs to pass a retention verdict. */
+struct TraceShotOutcome
+{
+    double latencyNs = 0.0;
+    uint64_t cycles = 0;
+    double matchingWeight = 0.0;
+    uint64_t obsMask = 0;
+    uint64_t actualObs = 0;
+    bool gaveUp = false;
+    bool logicalError = false;
+    /** The shot was enqueued into the audit queue (offer() == true). */
+    bool audited = false;
+    /** Flight-recorder capture triggered by this shot; 0 = none. */
+    uint64_t captureSeq = 0;
+    const uint32_t *defects = nullptr;
+    uint32_t hw = 0;
+};
+
+/**
+ * Per-thread span recorder. Obtain with decodeTracer(); all methods
+ * are wait-free and allocation-free.
+ */
+class DecodeTracer
+{
+  public:
+    /** Spans the batch buffer holds before counting drops. */
+    static constexpr uint32_t kBufSpans = 1024;
+    /** Largest in-batch shot index with an exact span range. */
+    static constexpr uint32_t kMaxBatchShots = 256;
+
+    /**
+     * Arm tracing for one decodeBatch call on this thread. seed makes
+     * trace ids deterministic per (stream, shot): callers derive it
+     * from the run seed and the worker index. A no-op (the whole
+     * batch records nothing) when retention is disabled.
+     */
+    void beginBatch(uint32_t stream, uint64_t base_shot,
+                    const char *decoder, uint64_t seed);
+
+    /** Mark the start of in-batch shot `shot_idx` (Decoder::
+     *  decodeBatch calls this before each decodeInto). */
+    void shotBegin(uint32_t shot_idx);
+
+    /** Stage hooks (PerfSection ctor/dtor). */
+    void stageBegin(PerfStage stage);
+    void stageEnd(PerfStage stage);
+
+    /** Deterministic trace id of in-batch shot `shot_idx`. */
+    uint64_t shotId(uint32_t shot_idx) const;
+
+    /**
+     * Tail-retention verdict for one completed shot: returns the
+     * trace id when the trace was kept (published to
+     * TraceStore::global()), 0 when discarded or inactive.
+     */
+    uint64_t finishShot(uint32_t shot_idx, const TraceShotOutcome &o);
+
+    /** Disarm and forget the batch's buffered spans. */
+    void endBatch();
+
+    bool active() const { return active_; }
+
+  private:
+    bool active_ = false;
+    uint32_t stream_ = 0;
+    uint64_t baseShot_ = 0;
+    uint64_t seed_ = 0;
+    char decoder_[kTraceDecoderLen] = {};
+    uint64_t batchStartNs_ = 0;
+    int32_t curShot_ = -1;
+    uint32_t numShots_ = 0;
+
+    // Cached retention policy, copied once per batch.
+    double tailNs_ = 0.0;
+    uint64_t stride_ = 0;
+    uint64_t decodeNo_ = 0;  ///< Stride counter; survives batches.
+
+    TraceSpan buf_[kBufSpans];
+    uint32_t nBuf_ = 0;
+    uint32_t droppedBuf_ = 0;
+    uint32_t shotStart_[kMaxBatchShots] = {};
+
+    struct OpenSection
+    {
+        PerfStage stage;
+        int32_t shot;
+        uint64_t t0;
+    };
+    OpenSection open_[8];
+    uint32_t depth_ = 0;
+
+    TraceSpan batchSpan_;
+    bool hasBatchSpan_ = false;
+};
+
+/** This thread's tracer. */
+DecodeTracer &decodeTracer();
+
+/**
+ * Free-function hooks, cheap when tracing is inactive. Called from
+ * PerfSection (perf_counters.cc) and Decoder::decodeBatch
+ * (decoders/decoder.cc) so every decoder path emits spans without
+ * knowing about the tracer.
+ */
+void traceStageBegin(PerfStage stage);
+void traceStageEnd(PerfStage stage);
+void traceShotBegin(uint32_t shot_idx);
+
+} // namespace telemetry
+} // namespace astrea
+
+#endif // ASTREA_TELEMETRY_DECODE_TRACE_HH

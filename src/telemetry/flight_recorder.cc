@@ -9,6 +9,7 @@
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/json.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/trace_store.hh"
 
 namespace astrea
 {
@@ -116,6 +117,8 @@ FlightRecorder::appendRecordJson(JsonWriter &w,
     w.kv("latency_ns", r.latencyNs);
     w.kv("cycles", r.cycles);
     w.kv("matching_weight", r.matchingWeight);
+    if (r.traceId != 0)
+        w.kv("trace_id", traceIdHex(r.traceId));
     if (r.audited) {
         w.key("audit").beginObject();
         w.kv("mismatch", r.auditMismatch);
@@ -128,7 +131,7 @@ FlightRecorder::appendRecordJson(JsonWriter &w,
     w.endObject();
 }
 
-void
+uint64_t
 FlightRecorder::record(const DecodeRecord &r)
 {
     std::string dump_path;
@@ -179,8 +182,11 @@ FlightRecorder::record(const DecodeRecord &r)
             }
         }
     }
-    if (!dump_path.empty())
-        dumpCapture(dump_path, &r, reason);
+    if (!dump_path.empty() && dumpCapture(dump_path, &r, reason)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        return capturesWritten_;
+    }
+    return 0;
 }
 
 bool

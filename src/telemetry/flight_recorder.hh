@@ -70,6 +70,9 @@ struct DecodeRecord
     double latencyNs = 0.0;
     uint64_t cycles = 0;            ///< Modeled cycles (0 = software).
     double matchingWeight = 0.0;
+    /** Tail-sampling trace id (telemetry/decode_trace.hh); 0 = none.
+     *  Lets a capture record and a /traces entry name each other. */
+    uint64_t traceId = 0;
 
     // Shadow-audit verdict (audit/auditor.hh), when this record came
     // through the accuracy auditor. auditMismatch records are capture
@@ -123,9 +126,11 @@ class FlightRecorder
      * Append a record; evicts the oldest when full. If the record is
      * a trigger (gave up, logical error, or audit mismatch) and a
      * capture is armed — one-shot path or directory mode — dumps a
-     * capture file.
+     * capture file and returns its sequence number (1-based value of
+     * capturesWritten() after the dump). Returns 0 when no capture
+     * was written, so callers can cross-link traces to captures.
      */
-    void record(const DecodeRecord &r);
+    uint64_t record(const DecodeRecord &r);
 
     /** Write the current ring to a capture file; true on success. */
     bool dumpCapture(const std::string &path,

@@ -9,6 +9,7 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "telemetry/decode_trace.hh"
 
 #if defined(__linux__)
 #include <linux/perf_event.h>
@@ -400,6 +401,9 @@ perfSampleThisDecode()
 PerfSection::PerfSection(PerfStage stage, uint64_t shots, bool live)
     : stage_(stage), shots_(shots)
 {
+    // Span hook fires regardless of the perf live/enable flags: the
+    // tracer decides for itself whether it is recording.
+    traceStageBegin(stage);
     if (!live || !perfCountersEnabled())
         return;
     ThreadGroup &g = threadGroup();
@@ -410,6 +414,7 @@ PerfSection::PerfSection(PerfStage stage, uint64_t shots, bool live)
 
 PerfSection::~PerfSection()
 {
+    traceStageEnd(stage_);
     if (!live_)
         return;
     PerfReading end;

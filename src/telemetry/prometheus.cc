@@ -145,12 +145,38 @@ PrometheusWriter::histogram(
     const std::vector<std::pair<double, uint64_t>> &cumulative,
     uint64_t total_count, double sum)
 {
+    return histogram(name, help, cumulative, total_count, sum, {},
+                     PromExemplar{});
+}
+
+PrometheusWriter &
+PrometheusWriter::histogram(
+    const std::string &name, const std::string &help,
+    const std::vector<std::pair<double, uint64_t>> &cumulative,
+    uint64_t total_count, double sum,
+    const std::vector<PromExemplar> &exemplars,
+    const PromExemplar &inf_exemplar)
+{
+    auto exemplarSuffix = [](const PromExemplar &e) {
+        if (!e.valid)
+            return std::string();
+        return " # " + renderLabels(e.labels) + " " +
+               formatValue(e.value);
+    };
+
     family(name, "histogram", help);
-    for (const auto &[le, cum] : cumulative) {
-        sample(name + "_bucket", cum,
-               {{"le", formatValue(le)}});
+    for (size_t i = 0; i < cumulative.size(); i++) {
+        const auto &[le, cum] = cumulative[i];
+        out_ += name + "_bucket" +
+                renderLabels({{"le", formatValue(le)}}) + " " +
+                std::to_string(cum);
+        if (i < exemplars.size())
+            out_ += exemplarSuffix(exemplars[i]);
+        out_ += "\n";
     }
-    sample(name + "_bucket", total_count, {{"le", "+Inf"}});
+    out_ += name + "_bucket" + renderLabels({{"le", "+Inf"}}) + " " +
+            std::to_string(total_count) +
+            exemplarSuffix(inf_exemplar) + "\n";
     sample(name + "_sum", sum);
     sample(name + "_count", total_count);
     return *this;

@@ -31,6 +31,18 @@ namespace telemetry
 /** ("name", "value") pairs attached to a sample. */
 using PromLabels = std::vector<std::pair<std::string, std::string>>;
 
+/**
+ * An OpenMetrics exemplar: ` # {labels} value` appended to a bucket
+ * line. Only meaningful in the OpenMetrics exposition (the 0.0.4 text
+ * format has no exemplar syntax); histogram() drops invalid ones.
+ */
+struct PromExemplar
+{
+    bool valid = false;
+    PromLabels labels;   ///< e.g. {{"trace_id", "9f3a..."}}.
+    double value = 0.0;  ///< The exemplar observation (ns here).
+};
+
 /** Sanitize to the metric-name charset [a-zA-Z_:][a-zA-Z0-9_:]*. */
 std::string promMetricName(const std::string &name);
 
@@ -67,6 +79,20 @@ class PrometheusWriter
     histogram(const std::string &name, const std::string &help,
               const std::vector<std::pair<double, uint64_t>> &cumulative,
               uint64_t total_count, double sum);
+
+    /**
+     * histogram() with per-bucket exemplars: exemplars[i] rides on
+     * cumulative[i]'s line, and `inf_exemplar` on the "+Inf" bucket.
+     * Invalid (or missing trailing) exemplars emit plain lines, so
+     * the OpenMetrics and 0.0.4 expositions stay line-for-line
+     * comparable apart from the exemplar suffixes.
+     */
+    PrometheusWriter &histogram(
+        const std::string &name, const std::string &help,
+        const std::vector<std::pair<double, uint64_t>> &cumulative,
+        uint64_t total_count, double sum,
+        const std::vector<PromExemplar> &exemplars,
+        const PromExemplar &inf_exemplar);
 
     const std::string &str() const { return out_; }
 

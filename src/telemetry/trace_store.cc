@@ -1,0 +1,509 @@
+#include "telemetry/trace_store.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/env.hh"
+#include "telemetry/decode_trace.hh"
+#include "telemetry/json.hh"
+#include "telemetry/perf_counters.hh"
+#include "telemetry/prometheus.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+/**
+ * One ring slot. The payload is published under a per-slot sequence
+ * (odd = write in progress, even = stable); the audit annotation is an
+ * atomic side channel keyed by annId so the background auditor never
+ * has to take part in the seqlock protocol.
+ */
+struct TraceStore::Slot
+{
+    std::atomic<uint64_t> seq{0};
+    StoredTrace t;
+
+    std::atomic<uint64_t> annId{0};
+    std::atomic<uint32_t> annFlags{0};  ///< bit 0 done, bit 1 mismatch.
+    std::atomic<double> annGap{0.0};
+    std::atomic<double> annOracleWeight{0.0};
+    std::atomic<uint64_t> annOracleObs{0};
+    std::atomic<uint64_t> annCaptureSeq{0};
+};
+
+const char *
+traceOutcomeName(const StoredTrace &t)
+{
+    if (t.gaveUp)
+        return "give_up";
+    return t.logicalError ? "logical_error" : "ok";
+}
+
+std::string
+traceIdHex(uint64_t id)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+uint64_t
+parseTraceIdHex(const std::string &s)
+{
+    if (s.empty())
+        return 0;
+    const char *p = s.c_str();
+    if (s.size() > 2 && p[0] == '0' && (p[1] == 'x' || p[1] == 'X'))
+        p += 2;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(p, &end, 16);
+    if (end == p || (end != nullptr && *end != '\0'))
+        return 0;
+    return static_cast<uint64_t>(v);
+}
+
+TraceStore::TraceStore(size_t capacity)
+{
+    configure(capacity);
+}
+
+TraceStore::~TraceStore() = default;
+
+void
+TraceStore::configure(size_t capacity)
+{
+    capacity_ = std::max<size_t>(1, capacity);
+    slots_ = std::make_unique<Slot[]>(capacity_);
+    head_.store(0, relaxed_);
+    considered_.store(0, relaxed_);
+    kept_.store(0, relaxed_);
+    dropped_.store(0, relaxed_);
+    evicted_.store(0, relaxed_);
+    spansDropped_.store(0, relaxed_);
+    std::lock_guard<std::mutex> lock(exemplarMu_);
+    for (auto &e : exemplars_)
+        e.valid = false;
+}
+
+void
+TraceStore::setRunInfo(std::string context_json,
+                       std::string decoder_json)
+{
+    std::lock_guard<std::mutex> lock(runInfoMu_);
+    contextJson_ = std::move(context_json);
+    decoderJson_ = std::move(decoder_json);
+}
+
+void
+TraceStore::keep(const StoredTrace &t)
+{
+    kept_.fetch_add(1, relaxed_);
+    const uint64_t pos = head_.fetch_add(1, relaxed_);
+    if (pos >= capacity_)
+        evicted_.fetch_add(1, relaxed_);
+
+    Slot &s = slots_[pos % capacity_];
+    s.seq.store(2 * pos + 1, std::memory_order_release);
+    s.annId.store(0, relaxed_);
+    s.t = t;
+    s.seq.store(2 * pos + 2, std::memory_order_release);
+
+    // Exemplar update: pin this trace if it is the new worst of its
+    // latency bucket (ties keep the incumbent, so the table is stable
+    // under a steady stream of equal-latency keeps).
+    const size_t bucket = latencyBucketIndex(static_cast<uint64_t>(
+        std::llround(std::max(0.0, t.latencyNs))));
+    std::lock_guard<std::mutex> lock(exemplarMu_);
+    ExemplarSlot &e = exemplars_[bucket];
+    if (!e.valid || t.latencyNs > e.t.latencyNs) {
+        e.valid = true;
+        e.t = t;
+    }
+}
+
+bool
+TraceStore::readSlot(size_t idx, StoredTrace *out) const
+{
+    const Slot &s = slots_[idx];
+    for (int attempt = 0; attempt < 4; attempt++) {
+        const uint64_t before =
+            s.seq.load(std::memory_order_acquire);
+        if (before == 0 || (before & 1))
+            return false;  // Never written, or write in progress.
+        *out = s.t;
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s.seq.load(std::memory_order_acquire) == before) {
+            // Merge the audit side channel if it belongs to this
+            // payload generation.
+            if (s.annId.load(std::memory_order_acquire) ==
+                    out->traceId &&
+                out->traceId != 0)
+            {
+                const uint32_t flags = s.annFlags.load(relaxed_);
+                out->auditDone = (flags & 1u) != 0;
+                out->auditMismatch = (flags & 2u) != 0;
+                out->auditGapDecades = s.annGap.load(relaxed_);
+                out->oracleWeight = s.annOracleWeight.load(relaxed_);
+                out->oracleObs = s.annOracleObs.load(relaxed_);
+                if (out->captureSeq == 0)
+                    out->captureSeq = s.annCaptureSeq.load(relaxed_);
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+TraceStore::annotateAudit(uint64_t trace_id, bool mismatch,
+                          double gap_decades, double oracle_weight,
+                          uint64_t oracle_obs, uint64_t capture_seq)
+{
+    if (trace_id == 0)
+        return false;
+    bool annotated = false;
+
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const size_t n = std::min<uint64_t>(head, capacity_);
+    for (size_t i = 0; i < n; i++) {
+        Slot &s = slots_[i];
+        const uint64_t before =
+            s.seq.load(std::memory_order_acquire);
+        if (before == 0 || (before & 1))
+            continue;
+        // Racy id peek is fine: a stale match is filtered by readers
+        // re-checking annId against the payload they actually copied.
+        if (s.t.traceId != trace_id)
+            continue;
+        s.annFlags.store((mismatch ? 2u : 0u) | 1u, relaxed_);
+        s.annGap.store(gap_decades, relaxed_);
+        s.annOracleWeight.store(oracle_weight, relaxed_);
+        s.annOracleObs.store(oracle_obs, relaxed_);
+        s.annCaptureSeq.store(capture_seq, relaxed_);
+        s.annId.store(trace_id, std::memory_order_release);
+        annotated = true;
+    }
+
+    std::lock_guard<std::mutex> lock(exemplarMu_);
+    for (auto &e : exemplars_) {
+        if (!e.valid || e.t.traceId != trace_id)
+            continue;
+        e.t.auditDone = true;
+        e.t.auditMismatch = mismatch;
+        e.t.auditGapDecades = gap_decades;
+        e.t.oracleWeight = oracle_weight;
+        e.t.oracleObs = oracle_obs;
+        if (e.t.captureSeq == 0)
+            e.t.captureSeq = capture_seq;
+        annotated = true;
+    }
+    return annotated;
+}
+
+bool
+TraceStore::find(uint64_t trace_id, StoredTrace *out) const
+{
+    if (trace_id == 0)
+        return false;
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const size_t n = std::min<uint64_t>(head, capacity_);
+    StoredTrace tmp;
+    for (size_t i = 0; i < n; i++) {
+        if (readSlot(i, &tmp) && tmp.traceId == trace_id) {
+            if (out != nullptr)
+                *out = tmp;
+            return true;
+        }
+    }
+    std::lock_guard<std::mutex> lock(exemplarMu_);
+    for (const auto &e : exemplars_) {
+        if (e.valid && e.t.traceId == trace_id) {
+            if (out != nullptr)
+                *out = e.t;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<StoredTrace>
+TraceStore::snapshot(size_t limit) const
+{
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t n = std::min<uint64_t>(head, capacity_);
+    std::vector<StoredTrace> out;
+    out.reserve(static_cast<size_t>(std::min<uint64_t>(n, limit)));
+    StoredTrace tmp;
+    for (uint64_t k = 0; k < n && out.size() < limit; k++) {
+        // Newest first: walk positions head-1 .. head-n.
+        const uint64_t pos = head - 1 - k;
+        if (readSlot(pos % capacity_, &tmp))
+            out.push_back(tmp);
+    }
+    return out;
+}
+
+TraceStore::Counters
+TraceStore::counters() const
+{
+    Counters c;
+    c.considered = considered_.load(relaxed_);
+    c.kept = kept_.load(relaxed_);
+    c.dropped = dropped_.load(relaxed_);
+    c.evicted = evicted_.load(relaxed_);
+    c.spansDropped = spansDropped_.load(relaxed_);
+    c.capacity = capacity_;
+    c.occupancy = static_cast<size_t>(
+        std::min<uint64_t>(head_.load(relaxed_), capacity_));
+    return c;
+}
+
+TraceStore::Exemplar
+TraceStore::exemplar(size_t bucket) const
+{
+    Exemplar ex;
+    if (bucket >= kLatencyBuckets)
+        return ex;
+    std::lock_guard<std::mutex> lock(exemplarMu_);
+    const ExemplarSlot &e = exemplars_[bucket];
+    if (e.valid) {
+        ex.valid = true;
+        ex.traceId = e.t.traceId;
+        ex.latencyNs = e.t.latencyNs;
+    }
+    return ex;
+}
+
+TraceStore::Exemplar
+TraceStore::exemplarAbove(size_t bucket) const
+{
+    Exemplar ex;
+    std::lock_guard<std::mutex> lock(exemplarMu_);
+    for (size_t b = bucket + 1; b < kLatencyBuckets; b++) {
+        const ExemplarSlot &e = exemplars_[b];
+        if (e.valid &&
+            (!ex.valid || e.t.latencyNs > ex.latencyNs))
+        {
+            ex.valid = true;
+            ex.traceId = e.t.traceId;
+            ex.latencyNs = e.t.latencyNs;
+        }
+    }
+    return ex;
+}
+
+namespace
+{
+
+void
+appendReasonsJson(JsonWriter &w, uint8_t reasons)
+{
+    w.beginArray();
+    if (reasons & kTraceKeepSlow)
+        w.value("slow");
+    if (reasons & kTraceKeepGiveUp)
+        w.value("give_up");
+    if (reasons & kTraceKeepAudit)
+        w.value("audit");
+    if (reasons & kTraceKeepStride)
+        w.value("stride");
+    if (reasons & kTraceKeepError)
+        w.value("logical_error");
+    w.endArray();
+}
+
+} // namespace
+
+void
+TraceStore::appendSummaryJson(JsonWriter &w,
+                              const StoredTrace &t) const
+{
+    w.beginObject();
+    w.kv("trace_id", traceIdHex(t.traceId));
+    w.kv("shot", t.shot);
+    w.kv("stream", t.stream);
+    w.kv("decoder", t.decoder);
+    w.kv("hw", t.hw);
+    w.kv("latency_ns", t.latencyNs);
+    w.kv("outcome", traceOutcomeName(t));
+    w.key("reasons");
+    appendReasonsJson(w, t.reasons);
+    w.kv("spans", uint64_t{t.numSpans});
+    w.kv("audited", t.audited);
+    if (t.auditDone) {
+        w.kv("audit_mismatch", t.auditMismatch);
+        w.kv("audit_weight_gap_decades", t.auditGapDecades);
+    }
+    w.endObject();
+}
+
+void
+TraceStore::appendDetailJson(JsonWriter &w, const StoredTrace &t) const
+{
+    w.beginObject();
+    w.kv("trace_schema_version", kTraceSchemaVersion);
+    w.kv("trace_id", traceIdHex(t.traceId));
+    w.kv("shot", t.shot);
+    w.kv("stream", t.stream);
+    w.kv("decoder", t.decoder);
+    w.kv("hw", t.hw);
+    w.kv("latency_ns", t.latencyNs);
+    w.kv("cycles", t.cycles);
+    w.kv("matching_weight", t.matchingWeight);
+    w.kv("obs_mask", t.obsMask);
+    w.kv("actual_obs", t.actualObs);
+    w.kv("gave_up", t.gaveUp);
+    w.kv("logical_error", t.logicalError);
+    w.kv("outcome", traceOutcomeName(t));
+    w.key("reasons");
+    appendReasonsJson(w, t.reasons);
+    w.kv("capture_seq", t.captureSeq);
+
+    w.key("audit").beginObject();
+    w.kv("sampled", t.audited);
+    w.kv("done", t.auditDone);
+    if (t.auditDone) {
+        w.kv("mismatch", t.auditMismatch);
+        w.kv("weight_gap_decades", t.auditGapDecades);
+        w.kv("oracle_weight", t.oracleWeight);
+        w.kv("oracle_obs", t.oracleObs);
+    }
+    w.endObject();
+
+    w.key("spans").beginArray();
+    for (uint32_t i = 0; i < t.numSpans && i < kTraceMaxSpans; i++) {
+        const TraceSpan &sp = t.spans[i];
+        w.beginObject();
+        w.kv("stage",
+             perfStageName(static_cast<PerfStage>(sp.stage)));
+        w.kv("shot", int64_t{sp.shot});
+        w.kv("start_ns", uint64_t{sp.startNs});
+        w.kv("dur_ns", uint64_t{sp.durNs});
+        w.endObject();
+    }
+    w.endArray();
+    w.kv("dropped_spans", uint64_t{t.droppedSpans});
+
+    w.key("defects").beginArray();
+    for (uint32_t i = 0; i < t.hw && i < kTraceMaxDefects; i++)
+        w.value(uint64_t{t.defects[i]});
+    w.endArray();
+
+    {
+        std::lock_guard<std::mutex> lock(runInfoMu_);
+        if (!contextJson_.empty())
+            w.key("context").raw(contextJson_);
+        if (!decoderJson_.empty())
+            w.key("decoder_config").raw(decoderJson_);
+    }
+    w.endObject();
+}
+
+std::string
+TraceStore::indexJson(const TraceQuery &q) const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("trace_schema_version", kTraceSchemaVersion);
+    const Counters c = counters();
+    w.kv("kept", c.kept);
+    w.kv("occupancy", uint64_t{c.occupancy});
+    w.key("traces").beginArray();
+    size_t emitted = 0;
+    for (const StoredTrace &t : snapshot()) {
+        if (emitted >= q.limit)
+            break;
+        if (t.latencyNs < q.minNs)
+            continue;
+        if (!q.decoder.empty() && q.decoder != t.decoder)
+            continue;
+        if (!q.outcome.empty() && q.outcome != traceOutcomeName(t))
+            continue;
+        appendSummaryJson(w, t);
+        emitted++;
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+TraceStore::detailJson(uint64_t trace_id) const
+{
+    StoredTrace t;
+    if (!find(trace_id, &t))
+        return "";
+    JsonWriter w;
+    appendDetailJson(w, t);
+    return w.str();
+}
+
+void
+TraceStore::writeMetrics(PrometheusWriter &w) const
+{
+    const Counters c = counters();
+    const TraceRetentionConfig cfg = traceRetention();
+    w.gauge("astrea_trace_enabled",
+            "1 while per-decode tail tracing is active",
+            cfg.enabled ? 1.0 : 0.0);
+    w.counter("astrea_trace_considered_total",
+              "Decodes completed with tracing active", c.considered);
+    w.counter("astrea_trace_kept_total",
+              "Traces retained by the tail-sampling verdict", c.kept);
+    w.counter("astrea_trace_dropped_total",
+              "Traces discarded by the tail-sampling verdict",
+              c.dropped);
+    w.counter("astrea_trace_evicted_total",
+              "Kept traces overwritten by ring wraparound",
+              c.evicted);
+    w.counter("astrea_trace_spans_dropped_total",
+              "Stage spans lost to per-trace span caps",
+              c.spansDropped);
+    w.gauge("astrea_trace_store_occupancy",
+            "Traces currently resident in the ring",
+            static_cast<double>(c.occupancy));
+    w.gauge("astrea_trace_store_capacity", "Trace ring capacity",
+            static_cast<double>(c.capacity));
+    w.gauge("astrea_trace_tail_threshold_ns",
+            "Effective slow-trace latency threshold (0 = auto p99 "
+            "not yet established)",
+            traceEffectiveTailNs());
+    w.gauge("astrea_trace_head_stride",
+            "Head-sampling stride (every Nth decode kept; 0 = off)",
+            static_cast<double>(cfg.headStride));
+}
+
+void
+TraceStore::writeStatusz(JsonWriter &w) const
+{
+    const Counters c = counters();
+    const TraceRetentionConfig cfg = traceRetention();
+    w.kv("enabled", cfg.enabled);
+    w.kv("considered", c.considered);
+    w.kv("kept", c.kept);
+    w.kv("dropped", c.dropped);
+    w.kv("evicted", c.evicted);
+    w.kv("spans_dropped", c.spansDropped);
+    w.kv("occupancy", uint64_t{c.occupancy});
+    w.kv("capacity", uint64_t{c.capacity});
+    w.kv("tail_threshold_ns", cfg.tailThresholdNs);
+    w.kv("tail_effective_ns", traceEffectiveTailNs());
+    w.kv("head_stride", cfg.headStride);
+}
+
+TraceStore &
+TraceStore::global()
+{
+    static TraceStore store(static_cast<size_t>(env::getUint(
+        "ASTREA_TRACE_RING", 1024, 1)));
+    return store;
+}
+
+} // namespace telemetry
+} // namespace astrea

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Bounded lock-free trace store for tail-sampled per-decode traces.
+ *
+ * The tracer (telemetry/decode_trace.hh) records stage spans for every
+ * decode; at decode completion a retention verdict keeps only the
+ * interesting ones — slow, gave up, audit-sampled, or hit by the head
+ * stride. Kept traces land here, in two places:
+ *
+ *  - a fixed-capacity ring of seqlock-published slots. Writers claim a
+ *    slot with one fetch_add and publish with two release stores
+ *    (odd = writing, even = stable); readers copy the payload and
+ *    re-check the sequence, retrying torn reads. Nothing blocks and
+ *    nothing allocates on the keep path — the slot array is allocated
+ *    once at configure();
+ *  - a per-latency-bucket exemplar table (the log2 buckets of
+ *    telemetry/metrics.hh, the same geometry the /metrics latency
+ *    histogram exposes). Each bucket pins a full copy of its
+ *    worst-latency kept trace, so an OpenMetrics exemplar's trace id
+ *    stays resolvable via /traces/<id> even after the ring evicted the
+ *    slot. Exemplar updates are rare (only when a kept trace beats the
+ *    bucket's current worst) and sit behind a mutex.
+ *
+ * Audit annotations arrive asynchronously (the auditor re-decodes on a
+ * background pool): annotateAudit() attaches the weight gap through a
+ * per-slot atomic side channel keyed by trace id, so it never disturbs
+ * the seqlock protocol, and updates the exemplar copy under the mutex.
+ *
+ * The ring tolerates one theoretical race: a writer lapped by a full
+ * ring rotation during its two-store publish window could interleave
+ * with the lapping writer. With even modest capacities that requires
+ * thousands of kept traces inside a ~100 ns memcpy; readers still
+ * never see torn data (the sequence re-check fails), they just skip
+ * the slot.
+ */
+
+#ifndef ASTREA_TELEMETRY_TRACE_STORE_HH
+#define ASTREA_TELEMETRY_TRACE_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace astrea
+{
+namespace telemetry
+{
+
+class JsonWriter;
+class PrometheusWriter;
+
+/** /traces JSON schema version. */
+constexpr uint64_t kTraceSchemaVersion = 1;
+
+/** Spans a kept trace can carry inline; excess is counted, not kept. */
+constexpr uint32_t kTraceMaxSpans = 24;
+
+/** Defects a kept trace can carry inline (== audit sample cap). */
+constexpr uint32_t kTraceMaxDefects = 64;
+
+/** Decoder-name capacity, including the NUL. */
+constexpr uint32_t kTraceDecoderLen = 32;
+
+/** Retention-reason bits (StoredTrace::reasons). */
+enum : uint8_t
+{
+    kTraceKeepSlow = 1u << 0,     ///< Latency above the tail threshold.
+    kTraceKeepGiveUp = 1u << 1,   ///< Decoder gave up.
+    kTraceKeepAudit = 1u << 2,    ///< Sampled into the audit queue.
+    kTraceKeepStride = 1u << 3,   ///< Head-sampling stride hit.
+    kTraceKeepError = 1u << 4,    ///< Logical error.
+};
+
+/** One stage interval, offsets relative to the batch start. */
+struct TraceSpan
+{
+    uint8_t stage = 0;   ///< PerfStage value (perf_counters.hh).
+    int32_t shot = -1;   ///< In-batch shot index; -1 = whole batch.
+    uint32_t startNs = 0;
+    uint32_t durNs = 0;
+};
+
+/** One kept trace: fixed-size so ring slots publish with a memcpy. */
+struct StoredTrace
+{
+    uint64_t traceId = 0;
+    uint64_t shot = 0;     ///< Worker-local shot number.
+    uint32_t stream = 0;   ///< Worker / stream id.
+    uint32_t hw = 0;
+    char decoder[kTraceDecoderLen] = {};
+    double latencyNs = 0.0;
+    uint64_t cycles = 0;
+    double matchingWeight = 0.0;
+    uint64_t obsMask = 0;
+    uint64_t actualObs = 0;
+    bool gaveUp = false;
+    bool logicalError = false;
+    uint8_t reasons = 0;
+    uint64_t captureSeq = 0;  ///< Flight-recorder capture id; 0 none.
+
+    // Audit cross-link. `audited` is set synchronously when the shot
+    // was enqueued for audit; the rest arrives via annotateAudit().
+    bool audited = false;
+    bool auditDone = false;
+    bool auditMismatch = false;
+    double auditGapDecades = 0.0;
+    double oracleWeight = 0.0;
+    uint64_t oracleObs = 0;
+
+    uint32_t numSpans = 0;
+    uint32_t droppedSpans = 0;
+    TraceSpan spans[kTraceMaxSpans];
+    uint32_t defects[kTraceMaxDefects] = {};
+};
+
+/** "ok", "give_up" or "logical_error". */
+const char *traceOutcomeName(const StoredTrace &t);
+
+/** Lowercase hex (16 digits) for a trace id. */
+std::string traceIdHex(uint64_t id);
+
+/** Parse a hex trace id ("0x" prefix optional); 0 on failure. */
+uint64_t parseTraceIdHex(const std::string &s);
+
+/** /traces index filters (all optional). */
+struct TraceQuery
+{
+    double minNs = 0.0;      ///< Keep traces with latency >= minNs.
+    std::string decoder;     ///< Exact decoder name; "" = any.
+    std::string outcome;     ///< traceOutcomeName() value; "" = any.
+    size_t limit = 100;
+};
+
+/** Bounded ring + exemplar table; see file comment. */
+class TraceStore
+{
+  public:
+    explicit TraceStore(size_t capacity = 1024);
+    ~TraceStore();
+
+    TraceStore(const TraceStore &) = delete;
+    TraceStore &operator=(const TraceStore &) = delete;
+
+    /**
+     * (Re)size the ring and clear everything, counters included. Not
+     * safe against concurrent keep() — call at service startup or from
+     * tests, before decode workers run.
+     */
+    void configure(size_t capacity);
+
+    /**
+     * Install the run's context / decoder descriptions (pre-serialized
+     * JSON objects, the same strings FlightRecorder::beginRun takes)
+     * so a dumped trace embeds enough for `astrea_cli replay
+     * --trace-id` to rebuild the decode.
+     */
+    void setRunInfo(std::string context_json, std::string decoder_json);
+
+    /** One decode completed with tracing active. */
+    void noteConsidered() { considered_.fetch_add(1, relaxed_); }
+    /** ...and its retention verdict discarded it. */
+    void noteDropped() { dropped_.fetch_add(1, relaxed_); }
+    /** Spans lost to the per-trace cap or the tracer buffer. */
+    void noteSpansDropped(uint64_t n)
+    {
+        if (n)
+            spansDropped_.fetch_add(n, relaxed_);
+    }
+
+    /** Retain a trace: ring publish + exemplar update. Lock-free on
+     *  the ring; takes the exemplar mutex only when this trace is the
+     *  new worst of its latency bucket. Never allocates. */
+    void keep(const StoredTrace &t);
+
+    /**
+     * Attach the asynchronous audit verdict to a kept trace, wherever
+     * it still lives (ring slot, exemplar copy, or both). Returns true
+     * if any copy was annotated.
+     */
+    bool annotateAudit(uint64_t trace_id, bool mismatch,
+                       double gap_decades, double oracle_weight,
+                       uint64_t oracle_obs, uint64_t capture_seq);
+
+    /** Copy a trace out by id; ring first, then exemplar table.
+     *  `out` may be null for a pure existence check. */
+    bool find(uint64_t trace_id, StoredTrace *out) const;
+
+    /** Ring contents, newest first, capped at limit. Allocates. */
+    std::vector<StoredTrace> snapshot(size_t limit = SIZE_MAX) const;
+
+    struct Counters
+    {
+        uint64_t considered = 0;
+        uint64_t kept = 0;
+        uint64_t dropped = 0;
+        uint64_t evicted = 0;
+        uint64_t spansDropped = 0;
+        size_t occupancy = 0;
+        size_t capacity = 0;
+    };
+    Counters counters() const;
+
+    /** Latency-bucket exemplar (log2 bucket b of metrics.hh). */
+    struct Exemplar
+    {
+        bool valid = false;
+        uint64_t traceId = 0;
+        double latencyNs = 0.0;
+    };
+    Exemplar exemplar(size_t bucket) const;
+
+    /** Worst exemplar strictly above log2 bucket `bucket` (for the
+     *  +Inf histogram bucket); invalid when none. */
+    Exemplar exemplarAbove(size_t bucket) const;
+
+    /** /traces index JSON (filtered, newest first). */
+    std::string indexJson(const TraceQuery &q) const;
+
+    /** /traces/<id> detail JSON; "" when the id is not resolvable. */
+    std::string detailJson(uint64_t trace_id) const;
+
+    /** Append astrea_trace_* families to a /metrics exposition. */
+    void writeMetrics(PrometheusWriter &w) const;
+
+    /** Write the /statusz "trace_store" object's key/value pairs into
+     *  an already-open JSON object. */
+    void writeStatusz(JsonWriter &w) const;
+
+    /** The process-wide store the tracer publishes into. */
+    static TraceStore &global();
+
+  private:
+    struct Slot;
+
+    bool readSlot(size_t idx, StoredTrace *out) const;
+    void appendSummaryJson(JsonWriter &w, const StoredTrace &t) const;
+    void appendDetailJson(JsonWriter &w, const StoredTrace &t) const;
+
+    static constexpr std::memory_order relaxed_ =
+        std::memory_order_relaxed;
+
+    std::unique_ptr<Slot[]> slots_;
+    size_t capacity_ = 0;
+    alignas(64) std::atomic<uint64_t> head_{0};
+
+    std::atomic<uint64_t> considered_{0};
+    std::atomic<uint64_t> kept_{0};
+    std::atomic<uint64_t> dropped_{0};
+    std::atomic<uint64_t> evicted_{0};
+    std::atomic<uint64_t> spansDropped_{0};
+
+    struct ExemplarSlot
+    {
+        bool valid = false;
+        StoredTrace t;
+    };
+    mutable std::mutex exemplarMu_;
+    ExemplarSlot exemplars_[kLatencyBuckets];
+
+    mutable std::mutex runInfoMu_;
+    std::string contextJson_;
+    std::string decoderJson_;
+};
+
+} // namespace telemetry
+} // namespace astrea
+
+#endif // ASTREA_TELEMETRY_TRACE_STORE_HH

@@ -8,7 +8,9 @@
  * extension slots, LUT memoization) reach its steady-state capacity, a
  * full decode pass over HW <= 10 syndromes must perform zero heap
  * allocations for the hardware decoders named in the issue: astrea,
- * astrea-g, greedy and lut.
+ * astrea-g, greedy and lut. The same bar holds with per-decode tail
+ * tracing armed and every trace retained, and for the audit queue's
+ * producer side.
  */
 
 #include <gtest/gtest.h>
@@ -21,6 +23,7 @@
 #include "common/rng.hh"
 #include "decoders/registry.hh"
 #include "harness/memory_experiment.hh"
+#include "telemetry/decode_trace.hh"
 
 namespace astrea
 {
@@ -84,6 +87,80 @@ TEST(AllocCounter, SteadyStateDecodeIsAllocationFree)
             << name << " allocated " << allocs << " times across "
             << syndromes.size() << " steady-state decodes";
     }
+}
+
+TEST(AllocCounter, TracedDecodeIsAllocationFree)
+{
+    // The tail-tracing hot path must stay allocation-free even in its
+    // worst case: tracing enabled, every span recorded, and every
+    // decode retained (stride 1 forces a TraceStore publish per shot,
+    // i.e. ring slot + exemplar-table updates on top of the buffered
+    // spans).
+    telemetry::TraceStore::global().configure(256);
+    telemetry::TraceRetentionConfig tc;
+    tc.enabled = true;
+    tc.tailThresholdNs = 1.0;
+    tc.headStride = 1;
+    telemetry::setTraceRetention(tc);
+
+    ExperimentConfig cfg;
+    cfg.distance = 5;
+    cfg.physicalErrorRate = 1e-3;
+    ExperimentContext ctx(cfg);
+    DecoderOptions opts = decoderOptionsFor(ctx);
+
+    Rng rng(123);
+    BitVec dets, obs;
+    std::vector<std::vector<uint32_t>> syndromes;
+    size_t guard = 0;
+    while (syndromes.size() < 200 && ++guard < 2000000) {
+        ctx.sampler().sample(rng, dets, obs);
+        const size_t hw = dets.popcount();
+        if (hw >= 1 && hw <= 10)
+            syndromes.push_back(dets.onesIndices());
+    }
+    ASSERT_GE(syndromes.size(), 100u);
+
+    auto dec = makeDecoder("astrea", opts);
+    DecodeResult dr;
+    DecodeScratch scratch;
+    telemetry::DecodeTracer &tracer = telemetry::decodeTracer();
+
+    auto pass = [&](uint64_t base_shot) {
+        tracer.beginBatch(0, base_shot, "astrea", 42);
+        ASSERT_TRUE(tracer.active());
+        for (uint32_t i = 0; i < syndromes.size(); i++) {
+            telemetry::traceShotBegin(i);
+            dec->decodeInto(syndromes[i], dr, scratch);
+            telemetry::TraceShotOutcome out;
+            out.latencyNs = dr.latencyNs;
+            out.cycles = dr.cycles;
+            out.matchingWeight = dr.matchingWeight;
+            out.obsMask = dr.obsMask;
+            out.gaveUp = dr.gaveUp;
+            out.defects = syndromes[i].data();
+            out.hw = static_cast<uint32_t>(syndromes[i].size());
+            tracer.finishShot(i, out);
+        }
+        tracer.endBatch();
+    };
+
+    // Warm-up settles decoder buffers and the trace ring, then the
+    // measured pass must not touch the heap at all.
+    pass(0);
+    pass(1000);
+    const uint64_t before = allocCount();
+    pass(2000);
+    const uint64_t allocs = allocCount() - before;
+    EXPECT_EQ(allocs, 0u)
+        << "traced decode allocated " << allocs << " times across "
+        << syndromes.size() << " retained decodes";
+    EXPECT_GE(telemetry::TraceStore::global().counters().kept,
+              3 * static_cast<uint64_t>(syndromes.size()));
+
+    telemetry::TraceRetentionConfig off;
+    off.enabled = false;
+    telemetry::setTraceRetention(off);
 }
 
 TEST(AllocCounter, AuditEnqueueIsAllocationFree)

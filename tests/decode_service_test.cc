@@ -19,6 +19,7 @@
 #include "harness/decode_service.hh"
 #include "net/http_client.hh"
 #include "telemetry/json_value.hh"
+#include "telemetry/trace_store.hh"
 
 using namespace astrea;
 
@@ -127,7 +128,7 @@ TEST(DecodeServiceCoreTest, StatuszSchemaParses)
     telemetry::JsonValue doc;
     ASSERT_TRUE(telemetry::parseJson(core.statuszJson(), doc));
     EXPECT_EQ(doc["service"].asString(), "astrea_serve");
-    EXPECT_EQ(doc["schema_version"].asUint(), 3u);
+    EXPECT_EQ(doc["schema_version"].asUint(), 4u);
     EXPECT_TRUE(doc["healthy"].asBool());
     EXPECT_EQ(doc["config"]["d"].asUint(), 3u);
     EXPECT_EQ(doc["config"]["decoder"].asString(), "astrea");
@@ -149,6 +150,16 @@ TEST(DecodeServiceCoreTest, StatuszSchemaParses)
     ASSERT_TRUE(doc["perf"].has("available"));
     ASSERT_TRUE(doc["perf"].has("stage_stride"));
     ASSERT_TRUE(doc["perf"].has("stages"));
+    // Schema v4: the trace_store object is always present.
+    ASSERT_TRUE(doc.has("trace_store"));
+    EXPECT_TRUE(doc["trace_store"]["enabled"].asBool(false));
+    EXPECT_EQ(doc["trace_store"]["capacity"].asUint(0),
+              testConfig().traceRing);
+    EXPECT_LE(doc["trace_store"]["occupancy"].asUint(9999),
+              doc["trace_store"]["capacity"].asUint(0));
+    EXPECT_TRUE(doc["trace_store"].has("considered"));
+    EXPECT_TRUE(doc["trace_store"].has("tail_effective_ns"));
+    EXPECT_TRUE(doc["trace_store"].has("head_stride"));
 }
 
 TEST(DecodeServiceCoreTest, RollingWindowDecaysAfterLoadStops)
@@ -207,6 +218,95 @@ TEST(DecodeServiceCoreTest, DriftMonitorReactsToErrorRateChange)
               0.05);
 }
 
+TEST(DecodeServiceCoreTest, TraceEndToEndExemplarResolvesToSpans)
+{
+    // Force every nontrivial decode into the tail (threshold 1 ns)
+    // and audit all of them, so the OpenMetrics exemplar chain is
+    // deterministic: scrape -> trace_id -> /traces/<id> detail.
+    ServeConfig cfg = testConfig();
+    cfg.physicalErrorRate = 1e-2;
+    cfg.traceTailNs = 1.0;
+    cfg.traceStride = 0;
+    cfg.auditRate = 1.0;
+    DecodeServiceCore core(cfg);
+    uint64_t tick = 0;
+    core.setTickFunction([&tick] { return tick; });
+
+    // Decode until a trace above the hw<=2 fast path was kept: those
+    // bypass the modeled engine (latency 0), so only hw>=3 decodes
+    // can trip the 1 ns tail threshold.
+    auto &store = telemetry::TraceStore::global();
+    auto w = core.makeWorker(0);
+    for (int i = 0;
+         i < 50000 && !(store.exemplarAbove(0).latencyNs > 0.0); i++)
+        core.decodeOnce(*w);
+    ASSERT_GT(store.exemplarAbove(0).latencyNs, 0.0);
+    ASSERT_GE(store.counters().kept, 1u);
+    EXPECT_GT(core.audit().drainNow(), 0u);
+
+    // The OpenMetrics exposition ends with "# EOF" and attaches a
+    // trace-id exemplar to the latency histogram; the 0.0.4 text
+    // stays byte-compatible (no exemplars, no terminator).
+    const std::string om = core.metricsText(true);
+    EXPECT_NE(om.find("# EOF\n"), std::string::npos);
+    ASSERT_NE(om.find("astrea_serve_window_latency_ns_bucket"),
+              std::string::npos);
+    // The last exemplar in the exposition sits on the highest
+    // populated bucket (or +Inf): the forced-slow decode.
+    const std::string marker = " # {trace_id=\"";
+    const size_t pos = om.rfind(marker);
+    ASSERT_NE(pos, std::string::npos);
+    const std::string plain = core.metricsText(false);
+    EXPECT_EQ(plain.find("trace_id=\""), std::string::npos);
+    EXPECT_EQ(plain.find("# EOF"), std::string::npos);
+
+    // The exemplar's id must resolve to a full stored trace.
+    const uint64_t id = telemetry::parseTraceIdHex(
+        om.substr(pos + marker.size(), 16));
+    ASSERT_NE(id, 0u);
+    const std::string detail = store.detailJson(id);
+    ASSERT_FALSE(detail.empty());
+    telemetry::JsonValue doc;
+    ASSERT_TRUE(telemetry::parseJson(detail, doc));
+    EXPECT_EQ(doc["trace_id"].asString(""), telemetry::traceIdHex(id));
+    EXPECT_GT(doc["hw"].asUint(0), 0u);
+    EXPECT_GT(doc["latency_ns"].asNumber(0.0), 0.0) << detail;
+    bool slow = false;
+    for (const auto &r : doc["reasons"].arr)
+        slow |= r.asString("") == "slow";
+    EXPECT_TRUE(slow) << detail;
+
+    // Stage spans from the real decode path: the batch envelope plus
+    // the astrea decoder's gather/matching/verdict cut points.
+    ASSERT_GT(doc["spans"].arr.size(), 0u);
+    std::string stages;
+    for (const auto &sp : doc["spans"].arr)
+        stages += sp["stage"].asString("") + ",";
+    for (const char *stage : {"batch", "gather", "matching", "verdict"})
+        EXPECT_NE(stages.find(stage), std::string::npos) << stages;
+
+    // The audit verdict arrived through annotateAudit: the weight gap
+    // is attached to the kept trace.
+    EXPECT_TRUE(doc["audit"]["sampled"].asBool(false));
+    EXPECT_TRUE(doc["audit"]["done"].asBool(false));
+    EXPECT_TRUE(doc["audit"].has("weight_gap_decades"));
+    EXPECT_GE(doc["audit"]["oracle_weight"].asNumber(-1.0), 0.0);
+
+    // Embedded run info is what `astrea_cli replay --trace-id` uses.
+    EXPECT_EQ(doc["context"]["distance"].asUint(0), cfg.distance);
+    EXPECT_FALSE(doc["decoder_config"]["name"].asString("").empty());
+
+    // The /traces index surfaces the same trace with its reasons.
+    telemetry::TraceQuery q;
+    telemetry::JsonValue idx;
+    ASSERT_TRUE(telemetry::parseJson(store.indexJson(q), idx));
+    EXPECT_GT(idx["traces"].arr.size(), 0u);
+    bool found = false;
+    for (const auto &t : idx["traces"].arr)
+        found |= t["trace_id"].asString("") == telemetry::traceIdHex(id);
+    EXPECT_TRUE(found);
+}
+
 TEST(DecodeServiceTest, ResolveDecoderNames)
 {
     ServeConfig cfg = testConfig();
@@ -260,6 +360,19 @@ TEST(DecodeServiceTest, HttpEndpointsRoundTrip)
     ASSERT_TRUE(telemetry::parseJson(res.body, doc));
     EXPECT_EQ(doc["service"].asString(), "astrea_serve");
     EXPECT_EQ(doc["config"]["workers"].asUint(), 2u);
+
+    // Trace endpoints: the index always parses; an unknown id is 404.
+    ASSERT_TRUE(
+        httpGet("127.0.0.1", svc.port(), "/traces", res, &error))
+        << error;
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(res.contentType, "application/json");
+    ASSERT_TRUE(telemetry::parseJson(res.body, doc));
+    EXPECT_EQ(doc["trace_schema_version"].asUint(0), 1u);
+    ASSERT_TRUE(httpGet("127.0.0.1", svc.port(),
+                        "/traces/0000000000000000", res, &error))
+        << error;
+    EXPECT_EQ(res.status, 404);
 
     svc.stop();
     EXPECT_GT(svc.core().totalDecodes(), 0u);

@@ -2,12 +2,21 @@
  * @file
  * Tests for the minimal HTTP server and client (src/net/): ephemeral
  * port binding, GET round-trips over a real loopback socket, 404/405
- * handling, HEAD semantics and clean shutdown.
+ * handling, HEAD semantics, clean shutdown, header parsing, prefix
+ * routing, and the per-connection abuse limits (whole-head deadline
+ * and size caps).
  */
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "net/http_client.hh"
 #include "net/http_server.hh"
@@ -17,6 +26,53 @@ using namespace astrea::net;
 
 namespace
 {
+
+/** Raw loopback connection for tests that misbehave on purpose. */
+int
+rawConnect(uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+rawSendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        // MSG_NOSIGNAL: the abuse tests keep sending after the server
+        // closed on us; that must fail, not SIGPIPE the test binary.
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Read until the peer closes (the server closes after responding). */
+std::string
+rawReadAll(int fd)
+{
+    std::string out;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        out.append(buf, static_cast<size_t>(n));
+    return out;
+}
 
 TEST(HttpServerTest, EphemeralPortRoundTrip)
 {
@@ -90,6 +146,179 @@ TEST(HttpServerTest, HandlerStatusAndContentTypePropagate)
     EXPECT_EQ(res.status, 503);
     EXPECT_EQ(res.contentType, "application/json");
     EXPECT_EQ(res.body, "{\"ok\":false}");
+}
+
+TEST(HttpServerTest, HeadersParseLowercasedAndCaseInsensitive)
+{
+    HttpServer server;
+    std::string accept, missing;
+    server.handle("/h", [&](const HttpRequest &req) {
+        accept = req.header("ACCEPT");  // Lookup is case-insensitive.
+        missing = req.header("x-not-there");
+        return HttpResponse{};
+    });
+
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(rawSendAll(
+        fd, "GET /h HTTP/1.1\r\nHost: x\r\n"
+            "Accept:  application/openmetrics-text  \r\n\r\n"));
+    std::string resp = rawReadAll(fd);
+    ::close(fd);
+
+    EXPECT_NE(resp.find("200"), std::string::npos) << resp;
+    EXPECT_EQ(accept, "application/openmetrics-text");  // OWS trimmed.
+    EXPECT_EQ(missing, "");
+}
+
+TEST(HttpServerTest, PrefixRoutingLongestWinsExactFirst)
+{
+    HttpServer server;
+    server.handle("/traces", [](const HttpRequest &) {
+        HttpResponse r;
+        r.body = "index";
+        return r;
+    });
+    server.handlePrefix("/traces/", [](const HttpRequest &req) {
+        HttpResponse r;
+        r.body = "detail:" + req.path;
+        return r;
+    });
+    server.handlePrefix("/t", [](const HttpRequest &) {
+        HttpResponse r;
+        r.body = "short";
+        return r;
+    });
+
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    HttpResult res;
+    ASSERT_TRUE(
+        httpGet("127.0.0.1", server.port(), "/traces", res, &error))
+        << error;
+    EXPECT_EQ(res.body, "index");  // Exact match beats both prefixes.
+
+    ASSERT_TRUE(httpGet("127.0.0.1", server.port(), "/traces/deadbeef",
+                        res, &error))
+        << error;
+    EXPECT_EQ(res.body, "detail:/traces/deadbeef");  // Longest prefix.
+
+    ASSERT_TRUE(
+        httpGet("127.0.0.1", server.port(), "/tx", res, &error))
+        << error;
+    EXPECT_EQ(res.body, "short");
+}
+
+TEST(HttpServerTest, SlowLorisHitsHeadDeadline)
+{
+    HttpServer server;
+    server.handle("/", [](const HttpRequest &) {
+        return HttpResponse{};
+    });
+    HttpLimits limits;
+    limits.headDeadlineMillis = 300;
+    server.setLimits(limits);
+
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    // Trickle the head a byte at a time: each send resets a naive
+    // per-recv timer, but the whole-head deadline still fires.
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    const std::string head = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+    const auto start = std::chrono::steady_clock::now();
+    std::string resp;
+    for (char c : head) {
+        if (!rawSendAll(fd, std::string(1, c)))
+            break;  // Server already gave up on us.
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (elapsed > 2000)
+            break;  // Deadline should long since have fired.
+    }
+    resp = rawReadAll(fd);
+    ::close(fd);
+
+    EXPECT_NE(resp.find("408"), std::string::npos) << resp;
+}
+
+TEST(HttpServerTest, FastClientUnaffectedByDeadline)
+{
+    HttpServer server;
+    server.handle("/ok", [](const HttpRequest &) {
+        HttpResponse r;
+        r.body = "fine";
+        return r;
+    });
+    HttpLimits limits;
+    limits.headDeadlineMillis = 300;
+    server.setLimits(limits);
+
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    HttpResult res;
+    ASSERT_TRUE(
+        httpGet("127.0.0.1", server.port(), "/ok", res, &error))
+        << error;
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(res.body, "fine");
+}
+
+TEST(HttpServerTest, OversizedHeadRejectedWith431)
+{
+    HttpServer server;
+    server.handle("/", [](const HttpRequest &) {
+        return HttpResponse{};
+    });
+    HttpLimits limits;
+    limits.maxHeadBytes = 1024;
+    server.setLimits(limits);
+
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    std::string head = "GET / HTTP/1.1\r\nHost: x\r\n";
+    head += "X-Filler: " + std::string(4096, 'a') + "\r\n\r\n";
+    rawSendAll(fd, head);  // Server may close mid-send; that is fine.
+    std::string resp = rawReadAll(fd);
+    ::close(fd);
+
+    EXPECT_NE(resp.find("431"), std::string::npos) << resp;
+}
+
+TEST(HttpServerTest, OversizedRequestLineRejectedWith431)
+{
+    HttpServer server;
+    server.handle("/", [](const HttpRequest &) {
+        return HttpResponse{};
+    });
+    HttpLimits limits;
+    limits.maxRequestLineBytes = 128;
+    server.setLimits(limits);
+
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    std::string head = "GET /" + std::string(512, 'q') +
+                       " HTTP/1.1\r\nHost: x\r\n\r\n";
+    rawSendAll(fd, head);
+    std::string resp = rawReadAll(fd);
+    ::close(fd);
+
+    EXPECT_NE(resp.find("431"), std::string::npos) << resp;
 }
 
 TEST(HttpServerTest, StopIsIdempotentAndRestartable)

@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Tests for tail-sampled decode tracing: the trace store's ring and
+ * exemplar table (telemetry/trace_store.hh), the per-thread tracer's
+ * retention verdicts and span accounting (telemetry/decode_trace.hh),
+ * the deterministic trace-id scheme, the JSON endpoints' shape, and
+ * LatencyHistogram::bucketIndex edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "harness/latency_stats.hh"
+#include "telemetry/decode_trace.hh"
+#include "telemetry/json_value.hh"
+#include "telemetry/trace_store.hh"
+
+using namespace astrea;
+using namespace astrea::telemetry;
+
+namespace
+{
+
+StoredTrace
+makeTrace(uint64_t id, double latency_ns,
+          const char *decoder = "astrea")
+{
+    StoredTrace t;
+    t.traceId = id;
+    t.shot = id;  // Any distinct value.
+    t.latencyNs = latency_ns;
+    t.reasons = kTraceKeepSlow;
+    std::snprintf(t.decoder, sizeof(t.decoder), "%s", decoder);
+    return t;
+}
+
+TEST(TraceIdTest, HexRoundTripAndParsing)
+{
+    EXPECT_EQ(traceIdHex(0x00c0ffee00c0ffeeull), "00c0ffee00c0ffee");
+    EXPECT_EQ(traceIdHex(1), "0000000000000001");
+    EXPECT_EQ(parseTraceIdHex("00c0ffee00c0ffee"),
+              0x00c0ffee00c0ffeeull);
+    EXPECT_EQ(parseTraceIdHex("0xDEADBEEF"), 0xDEADBEEFull);
+    EXPECT_EQ(parseTraceIdHex(""), 0u);
+    EXPECT_EQ(parseTraceIdHex("zz"), 0u);
+    EXPECT_EQ(parseTraceIdHex("12 34"), 0u);
+}
+
+TEST(TraceStoreTest, KeepFindAndCounters)
+{
+    TraceStore store(8);
+    EXPECT_FALSE(store.find(42, nullptr));
+
+    store.noteConsidered();
+    store.keep(makeTrace(42, 500.0));
+    store.noteConsidered();
+    store.noteDropped();
+
+    StoredTrace out;
+    ASSERT_TRUE(store.find(42, &out));
+    EXPECT_EQ(out.traceId, 42u);
+    EXPECT_DOUBLE_EQ(out.latencyNs, 500.0);
+    EXPECT_STREQ(out.decoder, "astrea");
+
+    const TraceStore::Counters c = store.counters();
+    EXPECT_EQ(c.considered, 2u);
+    EXPECT_EQ(c.kept, 1u);
+    EXPECT_EQ(c.dropped, 1u);
+    EXPECT_EQ(c.evicted, 0u);
+    EXPECT_EQ(c.occupancy, 1u);
+    EXPECT_EQ(c.capacity, 8u);
+}
+
+TEST(TraceStoreTest, RingEvictsOldestAndCounts)
+{
+    TraceStore store(4);
+    // Same latency so every trace lands in the same exemplar bucket
+    // and eviction is decided purely by the ring.
+    for (uint64_t id = 1; id <= 10; id++)
+        store.keep(makeTrace(id, 100.0));
+
+    const TraceStore::Counters c = store.counters();
+    EXPECT_EQ(c.kept, 10u);
+    EXPECT_EQ(c.evicted, 6u);
+    EXPECT_EQ(c.occupancy, 4u);
+
+    // The newest four live in the ring; trace 1 only survives if the
+    // exemplar table pinned it (it did: first keep of its bucket).
+    for (uint64_t id = 7; id <= 10; id++)
+        EXPECT_TRUE(store.find(id, nullptr)) << id;
+    // Traces 2..6 were evicted and never beat the bucket exemplar.
+    for (uint64_t id = 2; id <= 6; id++)
+        EXPECT_FALSE(store.find(id, nullptr)) << id;
+
+    // Newest first in the snapshot.
+    const auto snap = store.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap[0].traceId, 10u);
+    EXPECT_EQ(snap[3].traceId, 7u);
+}
+
+TEST(TraceStoreTest, ExemplarKeepsWorstPerBucketTieKeepsIncumbent)
+{
+    TraceStore store(64);
+
+    // All latencies below live in the same log2 bucket [512, 1024).
+    store.keep(makeTrace(1, 600.0));
+    const size_t b = latencyBucketIndex(600);
+    TraceStore::Exemplar e = store.exemplar(b);
+    ASSERT_TRUE(e.valid);
+    EXPECT_EQ(e.traceId, 1u);
+
+    // A slower trace in the same bucket replaces the exemplar...
+    store.keep(makeTrace(2, 1000.0));
+    ASSERT_EQ(latencyBucketIndex(1000), b);
+    e = store.exemplar(b);
+    EXPECT_EQ(e.traceId, 2u);
+    EXPECT_DOUBLE_EQ(e.latencyNs, 1000.0);
+
+    // ...a tie keeps the incumbent (strictly-greater replacement)...
+    store.keep(makeTrace(3, 1000.0));
+    e = store.exemplar(b);
+    EXPECT_EQ(e.traceId, 2u);
+
+    // ...and a faster one never does.
+    store.keep(makeTrace(4, 700.0));
+    e = store.exemplar(b);
+    EXPECT_EQ(e.traceId, 2u);
+
+    // An exemplar stays resolvable by id even after ring eviction:
+    // the table pins a full copy.
+    StoredTrace out;
+    ASSERT_TRUE(store.find(2, &out));
+    EXPECT_DOUBLE_EQ(out.latencyNs, 1000.0);
+}
+
+TEST(TraceStoreTest, ExemplarAboveCoversOverflowBucket)
+{
+    TraceStore store(8);
+    store.keep(makeTrace(1, 50.0));
+    store.keep(makeTrace(2, 1e9));  // Far beyond the last log2 bucket.
+
+    const size_t low = latencyBucketIndex(50);
+    TraceStore::Exemplar inf = store.exemplarAbove(low);
+    ASSERT_TRUE(inf.valid);
+    EXPECT_EQ(inf.traceId, 2u);
+    EXPECT_DOUBLE_EQ(inf.latencyNs, 1e9);
+
+    // Nothing above the slowest trace's own bucket.
+    inf = store.exemplarAbove(kLatencyBuckets - 1);
+    EXPECT_FALSE(inf.valid);
+}
+
+TEST(TraceStoreTest, AnnotateAuditReachesRingAndExemplar)
+{
+    TraceStore store(8);
+    StoredTrace t = makeTrace(7, 900.0);
+    t.audited = true;
+    store.keep(t);
+
+    EXPECT_FALSE(
+        store.annotateAudit(999, false, 0.0, 0.0, 0, 0));
+    EXPECT_TRUE(
+        store.annotateAudit(7, true, 0.25, 12.5, 0x2, 3));
+
+    StoredTrace out;
+    ASSERT_TRUE(store.find(7, &out));
+    EXPECT_TRUE(out.auditDone);
+    EXPECT_TRUE(out.auditMismatch);
+    EXPECT_DOUBLE_EQ(out.auditGapDecades, 0.25);
+    EXPECT_DOUBLE_EQ(out.oracleWeight, 12.5);
+    EXPECT_EQ(out.oracleObs, 0x2u);
+    EXPECT_EQ(out.captureSeq, 3u);
+}
+
+TEST(TraceStoreTest, IndexJsonFilters)
+{
+    TraceStore store(16);
+    StoredTrace slow = makeTrace(1, 5000.0, "astrea");
+    StoredTrace fast = makeTrace(2, 100.0, "astrea");
+    StoredTrace other = makeTrace(3, 7000.0, "mwpm");
+    other.gaveUp = true;
+    other.reasons = kTraceKeepGiveUp;
+    store.keep(slow);
+    store.keep(fast);
+    store.keep(other);
+
+    auto count = [&](const TraceQuery &q) {
+        JsonValue doc;
+        EXPECT_TRUE(parseJson(store.indexJson(q), doc));
+        EXPECT_EQ(doc["trace_schema_version"].asUint(0),
+                  kTraceSchemaVersion);
+        return doc["traces"].arr.size();
+    };
+
+    EXPECT_EQ(count(TraceQuery{}), 3u);
+
+    TraceQuery min_ns;
+    min_ns.minNs = 1000.0;
+    EXPECT_EQ(count(min_ns), 2u);
+
+    TraceQuery by_decoder;
+    by_decoder.decoder = "mwpm";
+    EXPECT_EQ(count(by_decoder), 1u);
+
+    TraceQuery by_outcome;
+    by_outcome.outcome = "give_up";
+    EXPECT_EQ(count(by_outcome), 1u);
+
+    TraceQuery limited;
+    limited.limit = 2;
+    EXPECT_EQ(count(limited), 2u);
+
+    TraceQuery none;
+    none.decoder = "nope";
+    EXPECT_EQ(count(none), 0u);
+}
+
+TEST(TraceStoreTest, DetailJsonCarriesSpansAuditAndRunInfo)
+{
+    TraceStore store(8);
+    store.setRunInfo("{\"distance\":5,\"p\":0.001}",
+                     "{\"name\":\"astrea\"}");
+
+    StoredTrace t = makeTrace(9, 4000.0);
+    t.hw = 2;
+    t.defects[0] = 11;
+    t.defects[1] = 23;
+    t.audited = true;
+    t.numSpans = 2;
+    t.spans[0] = TraceSpan{
+        static_cast<uint8_t>(PerfStage::Batch), -1, 0, 9000};
+    t.spans[1] = TraceSpan{
+        static_cast<uint8_t>(PerfStage::Matching), 3, 1500, 3000};
+    store.keep(t);
+    ASSERT_TRUE(store.annotateAudit(9, false, 0.125, 10.0, 0, 0));
+
+    const std::string text = store.detailJson(9);
+    ASSERT_FALSE(text.empty());
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(text, doc));
+    EXPECT_EQ(doc["trace_id"].asString(""), traceIdHex(9));
+    EXPECT_EQ(doc["hw"].asUint(0), 2u);
+    ASSERT_EQ(doc["spans"].arr.size(), 2u);
+    EXPECT_EQ(doc["spans"].arr[0]["stage"].asString(""), "batch");
+    EXPECT_DOUBLE_EQ(doc["spans"].arr[0]["shot"].asNumber(0.0), -1.0);
+    EXPECT_EQ(doc["spans"].arr[1]["stage"].asString(""), "matching");
+    EXPECT_EQ(doc["spans"].arr[1]["dur_ns"].asUint(0), 3000u);
+    ASSERT_EQ(doc["defects"].arr.size(), 2u);
+    EXPECT_EQ(doc["defects"].arr[1].asUint(0), 23u);
+    EXPECT_TRUE(doc["audit"]["done"].asBool(false));
+    EXPECT_DOUBLE_EQ(
+        doc["audit"]["weight_gap_decades"].asNumber(-1.0), 0.125);
+    // The embedded run info is what `replay --trace-id` rebuilds from.
+    EXPECT_EQ(doc["context"]["distance"].asUint(0), 5u);
+    EXPECT_EQ(doc["decoder_config"]["name"].asString(""), "astrea");
+
+    EXPECT_TRUE(store.detailJson(12345).empty());
+}
+
+/** Tracer fixture: isolates the process-wide retention config. */
+class DecodeTracerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        TraceStore::global().configure(64);
+        TraceRetentionConfig cfg;
+        cfg.enabled = true;
+        cfg.tailThresholdNs = 1000.0;
+        cfg.headStride = 0;  // No head sampling unless a test asks.
+        setTraceRetention(cfg);
+        setTraceAutoTailNs(0.0);
+    }
+
+    void TearDown() override
+    {
+        TraceRetentionConfig cfg;
+        cfg.enabled = false;
+        setTraceRetention(cfg);
+        setTraceAutoTailNs(0.0);
+    }
+
+    uint64_t finish(DecodeTracer &tracer, uint32_t shot_idx,
+                    const TraceShotOutcome &o)
+    {
+        return tracer.finishShot(shot_idx, o);
+    }
+};
+
+TEST_F(DecodeTracerTest, RetentionVerdictsPerReason)
+{
+    DecodeTracer &tracer = decodeTracer();
+    tracer.beginBatch(0, 0, "astrea", 1234);
+    ASSERT_TRUE(tracer.active());
+
+    // Fast, clean, unaudited: dropped.
+    TraceShotOutcome ok;
+    ok.latencyNs = 10.0;
+    EXPECT_EQ(finish(tracer, 0, ok), 0u);
+
+    // Slow: kept with the slow reason.
+    TraceShotOutcome slow;
+    slow.latencyNs = 5000.0;
+    const uint64_t slow_id = finish(tracer, 1, slow);
+    ASSERT_NE(slow_id, 0u);
+    StoredTrace out;
+    ASSERT_TRUE(TraceStore::global().find(slow_id, &out));
+    EXPECT_EQ(out.reasons, kTraceKeepSlow);
+    EXPECT_STREQ(out.decoder, "astrea");
+
+    // Give-up, logical error and audit sampling each retain.
+    TraceShotOutcome gave;
+    gave.latencyNs = 10.0;
+    gave.gaveUp = true;
+    const uint64_t gave_id = finish(tracer, 2, gave);
+    ASSERT_NE(gave_id, 0u);
+    ASSERT_TRUE(TraceStore::global().find(gave_id, &out));
+    EXPECT_EQ(out.reasons, kTraceKeepGiveUp);
+
+    TraceShotOutcome err;
+    err.latencyNs = 10.0;
+    err.logicalError = true;
+    const uint64_t err_id = finish(tracer, 3, err);
+    ASSERT_NE(err_id, 0u);
+    ASSERT_TRUE(TraceStore::global().find(err_id, &out));
+    EXPECT_EQ(out.reasons, kTraceKeepError);
+
+    TraceShotOutcome audited;
+    audited.latencyNs = 10.0;
+    audited.audited = true;
+    const uint64_t audit_id = finish(tracer, 4, audited);
+    ASSERT_NE(audit_id, 0u);
+    ASSERT_TRUE(TraceStore::global().find(audit_id, &out));
+    EXPECT_EQ(out.reasons, kTraceKeepAudit);
+    EXPECT_TRUE(out.audited);
+
+    tracer.endBatch();
+    EXPECT_FALSE(tracer.active());
+}
+
+TEST_F(DecodeTracerTest, HeadStrideKeepsEveryNth)
+{
+    TraceRetentionConfig cfg;
+    cfg.enabled = true;
+    cfg.tailThresholdNs = 1e12;  // Nothing is "slow".
+    cfg.headStride = 1;          // ...but every decode is kept.
+    setTraceRetention(cfg);
+
+    DecodeTracer &tracer = decodeTracer();
+    tracer.beginBatch(0, 100, "astrea", 99);
+    TraceShotOutcome ok;
+    ok.latencyNs = 5.0;
+    for (uint32_t i = 0; i < 3; i++) {
+        const uint64_t id = finish(tracer, i, ok);
+        ASSERT_NE(id, 0u) << i;
+        StoredTrace out;
+        ASSERT_TRUE(TraceStore::global().find(id, &out));
+        EXPECT_EQ(out.reasons, kTraceKeepStride);
+        EXPECT_EQ(out.shot, 100u + i);
+    }
+    tracer.endBatch();
+}
+
+TEST_F(DecodeTracerTest, TraceIdsDeterministicPerSeedAndShot)
+{
+    DecodeTracer &tracer = decodeTracer();
+    tracer.beginBatch(1, 500, "astrea", 42);
+    const uint64_t a0 = tracer.shotId(0);
+    const uint64_t a1 = tracer.shotId(1);
+    tracer.endBatch();
+
+    // Same seed and base shot: identical ids (replayable); ids are
+    // distinct across shots and never 0.
+    tracer.beginBatch(1, 500, "astrea", 42);
+    EXPECT_EQ(tracer.shotId(0), a0);
+    EXPECT_EQ(tracer.shotId(1), a1);
+    EXPECT_NE(a0, a1);
+    EXPECT_NE(a0, 0u);
+    tracer.endBatch();
+
+    // Different seed: different ids.
+    tracer.beginBatch(1, 500, "astrea", 43);
+    EXPECT_NE(tracer.shotId(0), a0);
+    tracer.endBatch();
+}
+
+TEST_F(DecodeTracerTest, SpansAttachToTheirShotWithBatchEnvelope)
+{
+    DecodeTracer &tracer = decodeTracer();
+    tracer.beginBatch(0, 0, "astrea", 7);
+
+    tracer.stageBegin(PerfStage::Batch);
+
+    tracer.shotBegin(0);
+    tracer.stageBegin(PerfStage::Gather);
+    tracer.stageEnd(PerfStage::Gather);
+
+    tracer.shotBegin(1);
+    tracer.stageBegin(PerfStage::Matching);
+    tracer.stageEnd(PerfStage::Matching);
+    tracer.stageBegin(PerfStage::Verdict);
+    tracer.stageEnd(PerfStage::Verdict);
+
+    tracer.stageEnd(PerfStage::Batch);
+
+    TraceShotOutcome slow;
+    slow.latencyNs = 9000.0;
+    const uint64_t id = finish(tracer, 1, slow);
+    ASSERT_NE(id, 0u);
+
+    StoredTrace out;
+    ASSERT_TRUE(TraceStore::global().find(id, &out));
+    // Batch envelope first, then only shot 1's spans — shot 0's
+    // gather span belongs to a different (dropped) trace.
+    ASSERT_EQ(out.numSpans, 3u);
+    EXPECT_EQ(out.spans[0].stage,
+              static_cast<uint8_t>(PerfStage::Batch));
+    EXPECT_EQ(out.spans[0].shot, -1);
+    EXPECT_EQ(out.spans[1].stage,
+              static_cast<uint8_t>(PerfStage::Matching));
+    EXPECT_EQ(out.spans[1].shot, 1);
+    EXPECT_EQ(out.spans[2].stage,
+              static_cast<uint8_t>(PerfStage::Verdict));
+    EXPECT_EQ(out.spans[2].shot, 1);
+    EXPECT_EQ(out.droppedSpans, 0u);
+    tracer.endBatch();
+}
+
+TEST_F(DecodeTracerTest, DisabledTracerRecordsNothing)
+{
+    TraceRetentionConfig cfg;
+    cfg.enabled = false;
+    setTraceRetention(cfg);
+
+    TraceStore::global().configure(16);
+    DecodeTracer &tracer = decodeTracer();
+    tracer.beginBatch(0, 0, "astrea", 1);
+    EXPECT_FALSE(tracer.active());
+    TraceShotOutcome slow;
+    slow.latencyNs = 1e9;
+    slow.gaveUp = true;
+    EXPECT_EQ(finish(tracer, 0, slow), 0u);
+    tracer.endBatch();
+    EXPECT_EQ(TraceStore::global().counters().considered, 0u);
+}
+
+TEST_F(DecodeTracerTest, AutoTailUsedWhenThresholdIsZero)
+{
+    TraceRetentionConfig cfg;
+    cfg.enabled = true;
+    cfg.tailThresholdNs = 0.0;  // Auto.
+    cfg.headStride = 0;
+    setTraceRetention(cfg);
+    setTraceAutoTailNs(200.0);
+    EXPECT_DOUBLE_EQ(traceEffectiveTailNs(), 200.0);
+
+    DecodeTracer &tracer = decodeTracer();
+    tracer.beginBatch(0, 0, "astrea", 5);
+    TraceShotOutcome fast;
+    fast.latencyNs = 100.0;
+    EXPECT_EQ(finish(tracer, 0, fast), 0u);
+    TraceShotOutcome slow;
+    slow.latencyNs = 300.0;
+    EXPECT_NE(finish(tracer, 1, slow), 0u);
+    tracer.endBatch();
+
+    // An explicit threshold wins over the published p99.
+    cfg.tailThresholdNs = 1000.0;
+    setTraceRetention(cfg);
+    EXPECT_DOUBLE_EQ(traceEffectiveTailNs(), 1000.0);
+}
+
+TEST(LatencyHistogramTest, BucketIndexEdgeCases)
+{
+    LatencyHistogram h(50.0, 10000.0);  // 200 buckets of 50 ns.
+    ASSERT_EQ(h.numBuckets(), 200u);
+
+    EXPECT_EQ(h.bucketIndex(0.0), 0u);
+    EXPECT_EQ(h.bucketIndex(49.999), 0u);
+    EXPECT_EQ(h.bucketIndex(50.0), 1u);
+    EXPECT_EQ(h.bucketIndex(9999.0), 199u);
+
+    // Overflow region and junk input map to numBuckets().
+    EXPECT_EQ(h.bucketIndex(10000.0), 200u);
+    EXPECT_EQ(h.bucketIndex(1e12), 200u);
+    EXPECT_EQ(h.bucketIndex(-1.0), 200u);
+    EXPECT_EQ(h.bucketIndex(std::nan("")), 200u);
+    EXPECT_EQ(h.bucketIndex(
+                  std::numeric_limits<double>::infinity()),
+              200u);
+
+    // bucketIndex agrees with where add() puts the sample.
+    h.add(125.0);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(h.bucketIndex(125.0)), 1.0);
+}
+
+} // namespace

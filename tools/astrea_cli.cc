@@ -22,7 +22,9 @@
  * Beyond the artifact surface, `astrea_cli replay <capture.json>`
  * re-decodes a flight-recorder capture (see harness/replay.hh) and
  * asserts the recorded verdicts reproduce; --verbose narrates the
- * trigger decode and --all narrates every record.
+ * trigger decode and --all narrates every record. The replayer also
+ * accepts a /traces/<id> trace-detail JSON (or a capture plus
+ * --trace-id=HEX) and narrates that decode specifically.
  *
  * `astrea_cli serve` runs the live decode service (see
  * harness/decode_service.hh): a continuous memory-experiment workload
@@ -58,6 +60,7 @@
 #include "harness/memory_experiment.hh"
 #include "harness/replay.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/trace_store.hh"
 
 using namespace astrea;
 
@@ -168,7 +171,7 @@ commandReplay(const std::vector<std::string> &pos, const Options &opts)
     if (pos.size() < 2) {
         std::fprintf(stderr,
                      "usage: astrea_cli replay <capture.json> "
-                     "[--verbose] [--all]\n");
+                     "[--verbose] [--all] [--trace-id=HEX]\n");
         return 1;
     }
     ReplayCapture capture;
@@ -180,6 +183,16 @@ commandReplay(const std::vector<std::string> &pos, const Options &opts)
     ReplayOptions ropts;
     ropts.verbose = opts.has("verbose") || opts.has("all");
     ropts.verboseAll = opts.has("all");
+    const std::string trace_id = opts.getString("trace-id", "");
+    if (!trace_id.empty()) {
+        ropts.traceId = telemetry::parseTraceIdHex(trace_id);
+        if (ropts.traceId == 0) {
+            std::fprintf(stderr, "replay: bad --trace-id '%s'\n",
+                         trace_id.c_str());
+            return 1;
+        }
+        ropts.verbose = true;  // Narrating the trace is the point.
+    }
     ReplaySummary summary = replayCapture(capture, ropts, std::cout);
     return summary.ok() ? 0 : 1;
 }
@@ -250,6 +263,15 @@ commandServe(const Options &opts)
         "audit-queue", env::getUint("ASTREA_AUDIT_QUEUE", 1024, 2));
     cfg.auditDpMaxHw = static_cast<uint32_t>(opts.getUint(
         "audit-dp-max-hw", env::getUint("ASTREA_AUDIT_DP_MAX_HW", 16)));
+    cfg.traceEnabled =
+        opts.getUint("trace", env::getBool("ASTREA_TRACE", true) ? 1
+                                                                 : 0) != 0;
+    cfg.traceTailNs = opts.getDouble(
+        "trace-tail-ns", env::getDouble("ASTREA_TRACE_TAIL_NS", 0.0));
+    cfg.traceStride = opts.getUint(
+        "trace-stride", env::getUint("ASTREA_TRACE_STRIDE", 8192));
+    cfg.traceRing = opts.getUint(
+        "trace-ring", env::getUint("ASTREA_TRACE_RING", 1024, 1));
 
     const std::string bind = opts.getString(
         "bind", env::getString("ASTREA_SERVE_BIND", "127.0.0.1"));
@@ -289,7 +311,7 @@ commandServe(const Options &opts)
     }
 
     std::printf("serve: %s decoder, d=%u p=%g, %u workers on "
-                "http://%s:%u (/metrics /statusz /healthz "
+                "http://%s:%u (/metrics /statusz /healthz /traces "
                 "/pprof/profile)\n",
                 cfg.decoder.c_str(), cfg.distance,
                 cfg.physicalErrorRate, cfg.workers, bind.c_str(),
@@ -300,6 +322,19 @@ commandServe(const Options &opts)
                     cfg.auditRate, cfg.auditThreads,
                     cfg.auditThreads == 1 ? "" : "s",
                     static_cast<unsigned long long>(cfg.auditQueue));
+    if (cfg.traceEnabled) {
+        std::string tail =
+            cfg.traceTailNs > 0.0
+                ? std::to_string(
+                      static_cast<long long>(cfg.traceTailNs)) +
+                      "ns"
+                : "auto-p99";
+        std::printf("serve: tail tracing on (tail %s, stride %llu, "
+                    "ring %llu) -> /traces\n",
+                    tail.c_str(),
+                    static_cast<unsigned long long>(cfg.traceStride),
+                    static_cast<unsigned long long>(cfg.traceRing));
+    }
     std::fflush(stdout);
 
     std::signal(SIGINT, serveSignalHandler);
@@ -334,12 +369,14 @@ usage(const char *argv0)
         "  6  <d> <p>              Hamming-weight histogram\n"
         "  1  <d>                  LER sweep p=1e-4..1e-3\n"
         "  12 <d> <t0> <t1> <dt>   decode-budget sweep (ns)\n"
-        "or:    %s replay <capture.json> [--verbose] [--all]\n"
+        "or:    %s replay <capture.json|trace.json> [--verbose] "
+        "[--all] [--trace-id=HEX]\n"
         "or:    %s serve [--d=N] [--p=P] [--decoder=NAME] "
         "[--threads=N] [--port=N] [--bind=ADDR] [--duration=2s] "
         "[--port-file=PATH] [--budget-ns=NS] [--audit-rate=F] "
         "[--audit-threads=N] [--audit-queue=N] "
-        "[--audit-dp-max-hw=N]\n"
+        "[--audit-dp-max-hw=N] [--trace=0|1] [--trace-tail-ns=NS] "
+        "[--trace-stride=N] [--trace-ring=N]\n"
         "or:    %s list-decoders\n"
         "flags: --shots=N --seed=N --log-level=LVL "
         "--trace-file=PATH --chrome-trace=PATH --perf-counters\n"

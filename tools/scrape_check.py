@@ -3,14 +3,20 @@
 
 Usage: scrape_check.py METRICS.prom [--require name,name,...]
                                     [--require-audit] [--require-perf]
+                                    [--require-traces]
        scrape_check.py --self-test
 
 Parses an exposition-format (0.0.4) dump — such as a scrape of the
 decode service's /metrics — and asserts the structural contract the
-C++ side (telemetry/prometheus.cc) promises:
+C++ side (telemetry/prometheus.cc) promises. OpenMetrics output
+(Accept: application/openmetrics-text) is accepted too: "# EOF"
+terminator lines are tolerated and `# {labels} value` exemplar
+suffixes on histogram bucket samples are parsed and validated rather
+than rejected. The checks:
 
-  - every sample line parses as  name{labels} value  with a legal
-    metric name and a finite (or +/-Inf / NaN) value;
+  - every sample line parses as  name{labels} value  (with an optional
+    OpenMetrics exemplar suffix) with a legal metric name and a finite
+    (or +/-Inf / NaN) value;
   - every sample belongs to a family announced by a # TYPE line, and
     each family has exactly one # TYPE;
   - counter samples end in `_total` (or `_count`/`_sum`/`_bucket` for
@@ -25,7 +31,11 @@ C++ side (telemetry/prometheus.cc) promises:
     sample value is 1 (hardware counters actually open) — the raw and
     derived perf families too, so the check passes on locked-down
     hosts while still catching a perf-capable host that silently
-    stopped exporting.
+    stopped exporting;
+  - --require-traces demands the tail-sampled tracer's families
+    (telemetry/trace_store.hh) and at least one trace_id exemplar on
+    the astrea_serve_window_latency_ns histogram buckets, so CI
+    catches a service that silently stopped attaching exemplars.
 
 Exits nonzero with a message on the first violation.
 """
@@ -57,6 +67,21 @@ AUDIT_REQUIRED = [
     "astrea_audit_observable_mismatches_total",
 ]
 
+# Families the tail-sampled decode tracer exports; demanded via
+# --require-traces (serve with tracing on, the default).
+TRACES_REQUIRED = [
+    "astrea_trace_enabled",
+    "astrea_trace_considered_total",
+    "astrea_trace_kept_total",
+    "astrea_trace_dropped_total",
+    "astrea_trace_store_occupancy",
+    "astrea_trace_store_capacity",
+]
+
+# The histogram whose buckets must carry trace_id exemplars under
+# --require-traces.
+EXEMPLAR_FAMILY = "astrea_serve_window_latency_ns"
+
 # Families the perf-counter layer exports when hardware counters are
 # actually available; demanded via --require-perf only when the
 # always-present astrea_perf_available gauge reads 1.
@@ -71,10 +96,14 @@ PERF_REQUIRED = [
 ]
 
 NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# Sample line with an optional OpenMetrics exemplar suffix
+# ("... # {trace_id=\"...\"} value [timestamp]").
 SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
-    r" (?P<value>\S+)$")
+    r" (?P<value>\S+)"
+    r"(?: # \{(?P<exemplar>[^}]*)\} (?P<exvalue>\S+)"
+    r"(?: \S+)?)?$")
 LABEL_RE = re.compile(
     r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
 
@@ -125,9 +154,10 @@ def base_family(name, types):
     return None
 
 
-def check(text, required, require_perf=False):
+def check(text, required, require_perf=False, require_traces=False):
     types = {}          # family -> type
     samples = []        # (name, labels, value, lineno)
+    exemplars = []      # (sample name, exemplar labels, lineno)
     for lineno, line in enumerate(text.splitlines(), 1):
         where = f"line {lineno}"
         if not line.strip():
@@ -147,12 +177,19 @@ def check(text, required, require_perf=False):
             types[family] = kind
             continue
         if line.startswith("#"):
-            continue  # HELP or comment.
+            continue  # HELP, comment or the OpenMetrics "# EOF".
         m = SAMPLE_RE.match(line)
         if not m:
             fail(f"{where}: unparseable sample {line!r}")
         labels = parse_labels(m.group("labels") or "", where)
         value = parse_value(m.group("value"), where)
+        if m.group("exemplar") is not None:
+            ex_labels = parse_labels(m.group("exemplar"), where)
+            parse_value(m.group("exvalue"), where)
+            if not m.group("name").endswith("_bucket"):
+                fail(f"{where}: exemplar on non-bucket sample "
+                     f"{m.group('name')}")
+            exemplars.append((m.group("name"), ex_labels, lineno))
         samples.append((m.group("name"), labels, value, lineno))
 
     # Every sample belongs to an announced family.
@@ -216,6 +253,19 @@ def check(text, required, require_perf=False):
                 if family not in types:
                     fail(f"--require-perf: counters available but "
                          f"family {family} not present")
+
+    if require_traces:
+        for family in TRACES_REQUIRED:
+            if family not in types:
+                fail(f"--require-traces: family {family} not present")
+        trace_exemplars = [
+            labels for name, labels, _ in exemplars
+            if name == EXEMPLAR_FAMILY + "_bucket"
+            and "trace_id" in labels]
+        if not trace_exemplars:
+            fail(f"--require-traces: no trace_id exemplar on "
+                 f"{EXEMPLAR_FAMILY} buckets (scrape with Accept: "
+                 f"application/openmetrics-text)")
 
     return len(types), len(samples)
 
@@ -298,6 +348,38 @@ BAD_PERF_PARTIAL = GOOD_PERF_FULL.replace(
     "# TYPE astrea_perf_ipc gauge\n"
     'astrea_perf_ipc{stage="matching"} 2.17\n', "")
 
+# OpenMetrics scrape with trace families and trace_id exemplars on the
+# latency buckets, ending in "# EOF" — what serve's /metrics returns
+# under Accept: application/openmetrics-text with tracing on.
+GOOD_TRACES = GOOD.replace(
+    'astrea_serve_window_latency_ns_bucket{le="2"} 5\n',
+    'astrea_serve_window_latency_ns_bucket{le="2"} 5 '
+    '# {trace_id="00c0ffee00c0ffee"} 1.5\n'
+).replace(
+    'astrea_serve_window_latency_ns_bucket{le="+Inf"} 7\n',
+    'astrea_serve_window_latency_ns_bucket{le="+Inf"} 7 '
+    '# {trace_id="deadbeefdeadbeef"} 5000\n'
+) + """\
+# TYPE astrea_trace_enabled gauge
+astrea_trace_enabled 1
+# TYPE astrea_trace_considered_total counter
+astrea_trace_considered_total 900
+# TYPE astrea_trace_kept_total counter
+astrea_trace_kept_total 12
+# TYPE astrea_trace_dropped_total counter
+astrea_trace_dropped_total 888
+# TYPE astrea_trace_store_occupancy gauge
+astrea_trace_store_occupancy 12
+# TYPE astrea_trace_store_capacity gauge
+astrea_trace_store_capacity 1024
+# EOF
+"""
+
+# Trace families present but no exemplar (a 0.0.4 scrape).
+BAD_TRACES_NO_EXEMPLAR = GOOD_TRACES.replace(
+    ' # {trace_id="00c0ffee00c0ffee"} 1.5', "").replace(
+    ' # {trace_id="deadbeefdeadbeef"} 5000', "")
+
 BAD_CASES = [
     # Sample without a TYPE line.
     "orphan_metric 1\n",
@@ -320,6 +402,12 @@ BAD_CASES = [
     "# TYPE g gauge\ng one\n",
     # Duplicate TYPE.
     "# TYPE g gauge\n# TYPE g gauge\ng 1\n",
+    # Exemplar on a non-bucket sample.
+    '# TYPE g gauge\ng 1 # {trace_id="aa"} 2\n',
+    # Malformed exemplar label set.
+    ("# TYPE h histogram\n"
+     'h_bucket{le="+Inf"} 1 # {trace_id=} 2\n'
+     "h_sum 1\nh_count 1\n"),
 ]
 
 
@@ -348,6 +436,19 @@ def self_test():
     code = run_expecting_failure(GOOD + BAD_PERF_PARTIAL,
                                  DEFAULT_REQUIRED, ("--require-perf",))
     assert code != 0, "--require-perf passed a partial capable dump"
+
+    # --require-traces: the OpenMetrics dump with exemplars passes
+    # (and its "# EOF" is tolerated); a dump whose buckets carry no
+    # trace_id exemplar, or without the trace families, fails.
+    check(GOOD_TRACES, DEFAULT_REQUIRED, require_traces=True)
+    code = run_expecting_failure(BAD_TRACES_NO_EXEMPLAR,
+                                 DEFAULT_REQUIRED,
+                                 ("--require-traces",))
+    assert code != 0, "--require-traces passed without exemplars"
+    code = run_expecting_failure(GOOD, DEFAULT_REQUIRED,
+                                 ("--require-traces",))
+    assert code != 0, "--require-traces passed without the families"
+
     for i, bad in enumerate(BAD_CASES):
         code = run_expecting_failure(bad, [])
         assert code != 0, f"BAD_CASES[{i}] passed unexpectedly"
@@ -380,6 +481,7 @@ def main(argv):
     required = list(DEFAULT_REQUIRED)
     require_audit = False
     require_perf = False
+    require_traces = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--require="):
@@ -389,6 +491,8 @@ def main(argv):
             require_audit = True
         elif arg == "--require-perf":
             require_perf = True
+        elif arg == "--require-traces":
+            require_traces = True
         else:
             paths.append(arg)
     if require_audit:
@@ -400,7 +504,8 @@ def main(argv):
                 text = f.read()
         except OSError as e:
             fail(f"cannot read {path}: {e}")
-        families, samples = check(text, required, require_perf)
+        families, samples = check(text, required, require_perf,
+                                  require_traces)
         print(f"{path}: ok ({families} families, {samples} samples)")
     return 0
 

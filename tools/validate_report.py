@@ -20,10 +20,12 @@ written by bench_util.hh (beginBenchReport/finishBenchReport):
 Files whose top level carries a "service" key are instead validated
 against the decode service's /statusz schema (DecodeServiceCore::
 statuszJson), so CI can point this script at a scraped snapshot.
-Schema version 1 (no auditor), 2 (with an "audit" object) and 3 (adds
-a "perf" object with hardware-counter attribution) are all accepted;
---require-audit additionally demands schema >= 2 with a running
-auditor that completed at least one audit and dropped no samples.
+Schema version 1 (no auditor), 2 (with an "audit" object), 3 (adds a
+"perf" object with hardware-counter attribution) and 4 (adds a
+"trace_store" object for the tail-sampled decode tracer) are all
+accepted; --require-audit additionally demands schema >= 2 with a
+running auditor that completed at least one audit and dropped no
+samples.
 
 Exits nonzero with a message on the first violation, so CI fails when a
 bench silently stops producing valid reports.
@@ -81,7 +83,11 @@ def validate_perf(path, perf):
     for key in ("counters_enabled", "available"):
         if not isinstance(perf[key], bool):
             fail(path, f"perf.{key} must be a bool")
-    if not perf["available"] and "reason" not in perf:
+    # A degradation reason is only required when counters were actually
+    # requested: with --perf-counters off the layer never probes, so
+    # "available: false" with no reason is the normal idle state.
+    if (perf["counters_enabled"] and not perf["available"]
+            and "reason" not in perf):
         fail(path, "perf unavailable but no 'reason' given")
     if not isinstance(perf["stages"], dict):
         fail(path, "perf.stages must be an object")
@@ -92,12 +98,39 @@ def validate_perf(path, perf):
                 fail(path, f"perf.stages.{stage} missing '{key}'")
 
 
+def validate_trace_store(path, trace):
+    """Validate the statusz 'trace_store' object (schema version 4)."""
+    if not isinstance(trace, dict):
+        fail(path, "'trace_store' must be an object")
+    for key in ("enabled", "considered", "kept", "dropped", "evicted",
+                "spans_dropped", "occupancy", "capacity",
+                "tail_threshold_ns", "tail_effective_ns",
+                "head_stride"):
+        if key not in trace:
+            fail(path, f"trace_store missing '{key}'")
+    if not isinstance(trace["enabled"], bool):
+        fail(path, "trace_store.enabled must be a bool")
+    for key in ("considered", "kept", "dropped", "evicted",
+                "spans_dropped", "occupancy", "capacity",
+                "head_stride"):
+        v = trace[key]
+        if not isinstance(v, int) or v < 0:
+            fail(path,
+                 f"trace_store.{key} must be a non-negative integer")
+    if trace["occupancy"] > trace["capacity"]:
+        fail(path, "trace_store.occupancy exceeds capacity")
+    for key in ("tail_threshold_ns", "tail_effective_ns"):
+        v = trace[key]
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(path, f"trace_store.{key} must be >= 0")
+
+
 def validate_statusz(path, doc, require_audit=False):
     """Validate a decode-service /statusz snapshot."""
     if doc.get("service") != "astrea_serve":
         fail(path, f"unknown service {doc.get('service')!r}")
     schema = doc.get("schema_version")
-    if schema not in (1, 2, 3):
+    if schema not in (1, 2, 3, 4):
         fail(path, f"unknown schema_version {schema!r}")
     if require_audit and schema < 2:
         fail(path, "--require-audit needs schema_version >= 2")
@@ -113,6 +146,11 @@ def validate_statusz(path, doc, require_audit=False):
         if "perf" not in doc:
             fail(path, "schema_version 3 requires a 'perf' object")
         validate_perf(path, doc["perf"])
+    if schema >= 4:
+        if "trace_store" not in doc:
+            fail(path,
+                 "schema_version 4 requires a 'trace_store' object")
+        validate_trace_store(path, doc["trace_store"])
 
     config = doc["config"]
     for key in ("d", "p", "decoder", "workers", "budget_ns",
