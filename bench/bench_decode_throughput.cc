@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Decode-throughput macro-bench: batched (shot-major wide) vs
+ * per-shot decoding, per matching-kernel tier.
+ *
+ * The shot-major wide path (AstreaDecoder::decodeBatch) buckets
+ * same-Hamming-weight shots into SoA tile blocks and runs the
+ * matching kernels back-to-back per bucket, amortizing dispatch,
+ * telemetry and table lookups that the per-shot path pays on every
+ * decode. This bench quantifies that: for d = 7 and d = 9 memory
+ * experiments at p = 1e-3, it pre-samples a realistic syndrome mix,
+ * then times
+ *
+ *  - single: a decodeInto() loop over the shots (the per-shot path);
+ *  - batched: decodeBatch() over the same shots staged in fixed-size
+ *    SyndromeBatches (the service worker's shape);
+ *
+ * once per kernel tier (scalar, AVX2, AVX-512), pinning each tier via
+ * ASTREA_FORCE_KERNEL and constructing a fresh decoder so the tier is
+ * latched. Unsupported tiers are reported as null in the JSON so
+ * tools/bench_compare.py skips them on hosts without the instruction
+ * set (decodes/sec and the batched/single ratio are gated as floors
+ * against bench/baselines/decode_throughput.json).
+ *
+ * Usage: bench_decode_throughput [--json-out=report.json]
+ *            [--shots=N] [--batch-shots=N] [--reps=N]
+ *            [--distances=7,9]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "astrea/simd_kernel.hh"
+#include "bench_util.hh"
+#include "decoders/registry.hh"
+#include "harness/memory_experiment.hh"
+
+using namespace astrea;
+
+namespace
+{
+
+/** Defeat dead-code elimination across the timed loops. */
+volatile uint64_t g_sink = 0;
+
+struct TierResult
+{
+    bool supported = false;
+    double singleNs = 0.0;   ///< ns per shot, decodeInto loop.
+    double batchedNs = 0.0;  ///< ns per shot, decodeBatch.
+    double singlePerSec = 0.0;
+    double batchedPerSec = 0.0;
+    double batchedVsSingle = 0.0;
+};
+
+struct Workload
+{
+    std::unique_ptr<ExperimentContext> ctx;
+    std::vector<std::vector<uint32_t>> syndromes;
+    std::vector<SyndromeBatch> batches;
+};
+
+Workload
+makeWorkload(uint32_t distance, size_t shots, size_t batch_shots)
+{
+    Workload w;
+    ExperimentConfig cfg;
+    cfg.distance = distance;
+    cfg.physicalErrorRate = 1e-3;
+    w.ctx = std::make_unique<ExperimentContext>(cfg);
+
+    Rng rng(1000 + distance);
+    BitVec dets, obs;
+    w.syndromes.reserve(shots);
+    for (size_t i = 0; i < shots; i++) {
+        w.ctx->sampler().sample(rng, dets, obs);
+        w.syndromes.push_back(dets.onesIndices());
+    }
+    for (size_t i = 0; i < shots; i += batch_shots) {
+        w.batches.emplace_back();
+        for (size_t j = i; j < std::min(shots, i + batch_shots); j++)
+            w.batches.back().add(w.syndromes[j]);
+    }
+    return w;
+}
+
+bool
+tierSupported(KernelKind kind)
+{
+    switch (kind) {
+    case KernelKind::kScalar:
+        return true;
+    case KernelKind::kAvx2:
+        return cpuHasAvx2();
+    case KernelKind::kAvx512:
+        return cpuHasAvx512();
+    }
+    return false;
+}
+
+/** Pin one kernel tier for subsequently constructed decoders. */
+void
+pinTier(const char *name)
+{
+    setenv("ASTREA_FORCE_KERNEL", name, 1);
+    resetKernelDispatchForTest();
+}
+
+TierResult
+runTier(const Workload &w, KernelKind kind, uint64_t reps)
+{
+    TierResult r;
+    r.supported = tierSupported(kind);
+    if (!r.supported)
+        return r;
+    pinTier(kernelKindName(kind));
+    ASTREA_CHECK(activeKernelKind() == kind,
+                 "kernel tier pin did not take");
+
+    DecoderOptions opts = decoderOptionsFor(*w.ctx);
+    const size_t shots = w.syndromes.size();
+    uint64_t sink = 0;
+
+    {
+        auto dec = makeDecoder("astrea", opts);
+        DecodeResult dr;
+        DecodeScratch scratch;
+        for (const auto &s : w.syndromes)  // Warm-up.
+            dec->decodeInto(s, dr, scratch);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (uint64_t rep = 0; rep < reps; rep++) {
+            for (const auto &s : w.syndromes) {
+                dec->decodeInto(s, dr, scratch);
+                sink += dr.obsMask;
+            }
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ns =
+            std::chrono::duration<double, std::nano>(t1 - t0).count();
+        r.singleNs = ns / static_cast<double>(reps * shots);
+    }
+
+    {
+        auto dec = makeDecoder("astrea", opts);
+        std::vector<DecodeResult> results;
+        DecodeScratch scratch;
+        for (const auto &b : w.batches)  // Warm-up.
+            dec->decodeBatch(b, results, scratch);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (uint64_t rep = 0; rep < reps; rep++) {
+            for (const auto &b : w.batches) {
+                dec->decodeBatch(b, results, scratch);
+                sink += results[0].obsMask;
+            }
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ns =
+            std::chrono::duration<double, std::nano>(t1 - t0).count();
+        r.batchedNs = ns / static_cast<double>(reps * shots);
+    }
+
+    g_sink = g_sink + sink;
+    r.singlePerSec = r.singleNs > 0.0 ? 1e9 / r.singleNs : 0.0;
+    r.batchedPerSec = r.batchedNs > 0.0 ? 1e9 / r.batchedNs : 0.0;
+    r.batchedVsSingle =
+        r.batchedNs > 0.0 ? r.singleNs / r.batchedNs : 0.0;
+    return r;
+}
+
+void
+appendTierJson(telemetry::JsonWriter &w, const char *name,
+               const TierResult &r)
+{
+    if (!r.supported) {
+        w.key(name).null();
+        return;
+    }
+    w.key(name).beginObject();
+    w.kv("single_ns", r.singleNs);
+    w.kv("batched_ns", r.batchedNs);
+    w.kv("single_per_sec", r.singlePerSec);
+    w.kv("batched_per_sec", r.batchedPerSec);
+    w.kv("batched_vs_single", r.batchedVsSingle);
+    w.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    const std::string json_out = initBenchReport(opts);
+
+    const size_t shots = opts.getUint("shots", 8192);
+    const size_t batch_shots = opts.getUint("batch-shots", 256);
+    const uint64_t reps =
+        std::max<uint64_t>(1, opts.getUint("reps", 20));
+
+    benchBanner("decode_throughput",
+                "batched (shot-major wide) vs per-shot decoding, per "
+                "kernel tier");
+    std::printf("p=1e-3 syndromes, %zu shots in batches of %zu, "
+                "%llu reps\n\n",
+                shots, batch_shots,
+                static_cast<unsigned long long>(reps));
+
+    // Remember any caller-pinned tier so the process env is restored.
+    const char *prev_force = std::getenv("ASTREA_FORCE_KERNEL");
+    const std::string prev_force_value =
+        prev_force != nullptr ? prev_force : "";
+
+    telemetry::JsonWriter report;
+    if (!json_out.empty()) {
+        beginBenchReport(report, "decode_throughput");
+        report.kv("p", 1e-3);
+        report.kv("shots", static_cast<uint64_t>(shots));
+        report.kv("batch_shots", static_cast<uint64_t>(batch_shots));
+        report.kv("reps", reps);
+        report.kv("simd_available", cpuHasAvx2());
+        report.kv("avx512_available", cpuHasAvx512());
+        report.endObject();  // config
+        report.key("results").beginArray();
+    }
+
+    std::vector<uint32_t> distances;
+    {
+        const std::string spec = opts.getString("distances", "7,9");
+        size_t pos = 0;
+        while (pos < spec.size()) {
+            size_t next = spec.find(',', pos);
+            if (next == std::string::npos)
+                next = spec.size();
+            distances.push_back(static_cast<uint32_t>(
+                std::stoul(spec.substr(pos, next - pos))));
+            pos = next + 1;
+        }
+    }
+
+    const KernelKind tiers[] = {KernelKind::kScalar, KernelKind::kAvx2,
+                                KernelKind::kAvx512};
+    for (uint32_t d : distances) {
+        const Workload w = makeWorkload(d, shots, batch_shots);
+        std::printf("d=%u (%zu detectors)\n", d, (size_t)w.ctx->gwt().size());
+        std::printf("  %-8s %-12s %-12s %-14s %-14s %-10s\n", "kernel",
+                    "single(ns)", "batched(ns)", "single(dec/s)",
+                    "batched(dec/s)", "batch x");
+
+        if (!json_out.empty()) {
+            report.beginObject();
+            report.kv("d", uint64_t{d});
+            report.kv("shots", static_cast<uint64_t>(shots));
+        }
+        for (KernelKind kind : tiers) {
+            const TierResult r = runTier(w, kind, reps);
+            if (r.supported) {
+                std::printf(
+                    "  %-8s %-12.1f %-12.1f %-14.0f %-14.0f %-10.2f\n",
+                    kernelKindName(kind), r.singleNs, r.batchedNs,
+                    r.singlePerSec, r.batchedPerSec,
+                    r.batchedVsSingle);
+            } else {
+                std::printf("  %-8s unsupported on this host\n",
+                            kernelKindName(kind));
+            }
+            if (!json_out.empty())
+                appendTierJson(report, kernelKindName(kind), r);
+        }
+        if (!json_out.empty())
+            report.endObject();
+        std::printf("\n");
+    }
+
+    // Restore the caller's kernel pin (or lack of one).
+    if (prev_force != nullptr)
+        setenv("ASTREA_FORCE_KERNEL", prev_force_value.c_str(), 1);
+    else
+        unsetenv("ASTREA_FORCE_KERNEL");
+    resetKernelDispatchForTest();
+
+    std::printf("batch x is decodes/sec batched over per-shot on the "
+                "same shots; the wide\npath amortizes dispatch, "
+                "telemetry and table lookups across SoA buckets.\n");
+
+    if (!json_out.empty()) {
+        report.endArray();  // results
+        finishBenchReport(report, json_out);
+    }
+    finishBenchProfile(opts);
+    return 0;
+}

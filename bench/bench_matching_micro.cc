@@ -10,7 +10,10 @@
  *    and price every pair through Global Weight Table callbacks,
  *    recomputing the boundary-vs-direct min per probe;
  *  - scalar: LwtTile gather + the portable unrolled table kernel;
- *  - simd: LwtTile gather + the AVX2 kernel (skipped without AVX2).
+ *  - simd: LwtTile gather + the AVX2 kernel (skipped without AVX2);
+ *  - avx512: LwtTile gather + the 32-rows-per-iteration AVX-512
+ *    kernel (JSON columns are null on hosts without AVX-512, and
+ *    tools/bench_compare.py skips them).
  *
  * Results go to stdout and, with --json-out, into a matching_micro
  * JSON report (per-HW kernel timings plus speedups over legacy) that
@@ -158,7 +161,8 @@ struct MicroResult
     uint64_t reps = 0;
     double legacyNs = 0.0;
     double scalarNs = 0.0;
-    double simdNs = 0.0;  // 0 when AVX2 is unavailable.
+    double simdNs = 0.0;    // 0 when AVX2 is unavailable.
+    double avx512Ns = 0.0;  // 0 when AVX-512 is unavailable.
 };
 
 MicroResult
@@ -194,6 +198,12 @@ runKernelMicro(size_t hw, uint64_t reps_override)
             ASTREA_CHECK(simd == scalar,
                          "AVX2 kernel disagrees with scalar kernel");
         }
+        if (cpuHasAvx512()) {
+            const uint64_t wide =
+                kernelEvaluate(gwt, s, tile, KernelKind::kAvx512);
+            ASTREA_CHECK(wide == scalar,
+                         "AVX-512 kernel disagrees with scalar kernel");
+        }
     }
 
     r.legacyNs = timeNsPerCall(
@@ -214,6 +224,14 @@ runKernelMicro(size_t hw, uint64_t reps_override)
                                       KernelKind::kAvx2);
             });
     }
+    if (cpuHasAvx512()) {
+        r.avx512Ns = timeNsPerCall(
+            syndromes, r.reps,
+            [&](const std::vector<uint32_t> &s) {
+                return kernelEvaluate(gwt, s, tile,
+                                      KernelKind::kAvx512);
+            });
+    }
     return r;
 }
 
@@ -223,9 +241,10 @@ runKernelSection(const Options &opts, const std::string &json_out)
     benchBanner("matching_micro",
                 "candidate-evaluation kernels vs the legacy "
                 "enumerator hot path");
-    std::printf("d=7, p=1e-3 syndromes; active decoder kernel: %s%s\n\n",
+    std::printf("d=7, p=1e-3 syndromes; active decoder kernel: %s%s%s\n\n",
                 kernelKindName(activeKernelKind()),
-                cpuHasAvx2() ? "" : " (no AVX2 on this CPU)");
+                cpuHasAvx2() ? "" : " (no AVX2 on this CPU)",
+                cpuHasAvx512() ? "" : " (no AVX-512 on this CPU)");
 
     const uint64_t reps_override = opts.getUint("reps", 0);
 
@@ -235,26 +254,32 @@ runKernelSection(const Options &opts, const std::string &json_out)
         report.kv("d", uint64_t{7});
         report.kv("p", 1e-3);
         report.kv("simd_available", cpuHasAvx2());
+        report.kv("avx512_available", cpuHasAvx512());
         report.kv("active_kernel",
                   std::string(kernelKindName(activeKernelKind())));
         report.endObject();  // config
         report.key("results").beginArray();
     }
 
-    std::printf("%-4s %-6s %-8s %-12s %-12s %-12s %-10s %-10s\n", "m",
-                "rows", "reps", "legacy (ns)", "scalar (ns)",
-                "simd (ns)", "x scalar", "x simd");
+    std::printf("%-4s %-6s %-8s %-12s %-12s %-12s %-12s %-9s %-9s "
+                "%-9s\n",
+                "m", "rows", "reps", "legacy (ns)", "scalar (ns)",
+                "simd (ns)", "avx512 (ns)", "x scalar", "x simd",
+                "x avx512");
     for (size_t hw : {4u, 6u, 8u, 10u}) {
         const MicroResult r = runKernelMicro(hw, reps_override);
         const double speedup_scalar =
             r.scalarNs > 0.0 ? r.legacyNs / r.scalarNs : 0.0;
         const double speedup_simd =
             r.simdNs > 0.0 ? r.legacyNs / r.simdNs : 0.0;
-        std::printf("%-4d %-6u %-8llu %-12.1f %-12.1f %-12.1f "
-                    "%-10.2f %-10.2f\n",
+        const double speedup_avx512 =
+            r.avx512Ns > 0.0 ? r.legacyNs / r.avx512Ns : 0.0;
+        std::printf("%-4d %-6u %-8llu %-12.1f %-12.1f %-12.1f %-12.1f "
+                    "%-9.2f %-9.2f %-9.2f\n",
                     r.m, r.rows,
                     static_cast<unsigned long long>(r.reps), r.legacyNs,
-                    r.scalarNs, r.simdNs, speedup_scalar, speedup_simd);
+                    r.scalarNs, r.simdNs, r.avx512Ns, speedup_scalar,
+                    speedup_simd, speedup_avx512);
 
         if (!json_out.empty()) {
             report.beginObject();
@@ -268,6 +293,16 @@ runKernelSection(const Options &opts, const std::string &json_out)
             report.kv("speedup_scalar", speedup_scalar);
             if (cpuHasAvx2())
                 report.kv("speedup_simd", speedup_simd);
+            // Optional kernel columns stay present-but-null on hosts
+            // without AVX-512 so baseline comparisons can tell "not
+            // measured here" from "regressed to nothing".
+            if (cpuHasAvx512()) {
+                report.kv("avx512_ns", r.avx512Ns);
+                report.kv("speedup_avx512", speedup_avx512);
+            } else {
+                report.key("avx512_ns").null();
+                report.key("speedup_avx512").null();
+            }
             report.endObject();
         }
     }

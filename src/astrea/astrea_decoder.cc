@@ -1,11 +1,13 @@
 #include "astrea/astrea_decoder.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <span>
 
 #include "astrea/lwt_tile.hh"
 #include "astrea/matching_tables.hh"
 #include "common/logging.hh"
+#include "telemetry/decode_trace.hh"
 #include "telemetry/perf_counters.hh"
 #include "telemetry/telemetry.hh"
 
@@ -35,6 +37,22 @@ struct AstreaScratch : DecodeScratch::Ext
         PairList sub;
     };
     std::vector<Level> levels;
+
+    /** Wide path: the SoA bucket of same-HW tiles. */
+    LwtTileBlock block;
+    /** Wide path: shot indices counting-sorted by Hamming weight. */
+    std::vector<uint32_t> wideOrder;
+    /** Wide path: decodeBatch's identity shot list. */
+    std::vector<uint32_t> allShots;
+    /** Wide path: per-lane kernel results for the current group. */
+    KernelMatch laneMatch[LwtTileBlock::kMaxLanes];
+    /** Wide path: per-lane gather/matching timestamps, recorded only
+     *  while the decode tracer is active and replayed as spans at
+     *  verdict time (DecodeTracer::recordStage). */
+    uint64_t gatherT0[LwtTileBlock::kMaxLanes];
+    uint64_t gatherT1[LwtTileBlock::kMaxLanes];
+    uint64_t matchT0[LwtTileBlock::kMaxLanes];
+    uint64_t matchT1[LwtTileBlock::kMaxLanes];
 };
 
 } // namespace detail
@@ -326,12 +344,234 @@ AstreaDecoder::decodeBatch(const SyndromeBatch &batch,
                            std::vector<DecodeResult> &results,
                            DecodeScratch &scratch)
 {
-    // One tile reservation serves the whole batch: build() only ever
-    // reuses capacity afterwards, so the per-shot loop allocates
+    // One reservation serves the whole batch: the tile/bucket builds
+    // only ever reuse capacity afterwards, so the shot loops allocate
     // nothing beyond what the results vector itself needs.
     AstreaScratch &s = scratch.ext<AstreaScratch>();
     s.tile.reserve(static_cast<int>(config_.maxHammingWeight) + 1);
-    Decoder::decodeBatch(batch, results, scratch);
+    if (!config_.quantizedWeights) {
+        // The exact-weight ablation exceeds the kernels' 16-bit tile
+        // domain; it keeps the per-shot recursive search.
+        Decoder::decodeBatch(batch, results, scratch);
+        return;
+    }
+    if (results.size() < batch.size())
+        results.resize(batch.size());
+    s.allShots.resize(batch.size());
+    for (size_t i = 0; i < batch.size(); i++)
+        s.allShots[i] = static_cast<uint32_t>(i);
+    decodeShotsWide(batch, s.allShots, results, scratch);
+}
+
+void
+AstreaDecoder::decodeShotsWide(const SyndromeBatch &batch,
+                               std::span<const uint32_t> shot_indices,
+                               std::vector<DecodeResult> &results,
+                               DecodeScratch &scratch)
+{
+    ASTREA_CHECK(config_.quantizedWeights,
+                 "wide decoding requires quantized weights");
+    const uint32_t max_hw = config_.maxHammingWeight;
+    // Give-ups share one bucket past the last decodable weight.
+    const uint32_t give_up_key = max_hw + 1;
+    ASTREA_CHECK(give_up_key < 16, "maxHammingWeight out of range");
+
+    AstreaScratch &s = scratch.ext<AstreaScratch>();
+    s.block.reserve(static_cast<int>(max_hw) + 1);
+    telemetry::DecodeTracer &tracer = telemetry::decodeTracer();
+
+    // Counting sort by Hamming weight: one pass to size the buckets,
+    // one to place the shot indices. Same-HW shots land contiguously
+    // in wideOrder, in batch order (the sort is stable), so each
+    // bucket is a slice.
+    uint32_t counts[16] = {};
+    for (const uint32_t idx : shot_indices)
+        counts[std::min<uint32_t>(
+            static_cast<uint32_t>(batch.hw(idx)), give_up_key)]++;
+    uint32_t starts[17];
+    starts[0] = 0;
+    for (int k = 0; k < 16; k++)
+        starts[k + 1] = starts[k] + counts[k];
+    s.wideOrder.resize(shot_indices.size());
+    {
+        uint32_t cursor[16];
+        std::copy(starts, starts + 16, cursor);
+        for (const uint32_t idx : shot_indices)
+            s.wideOrder[cursor[std::min<uint32_t>(
+                static_cast<uint32_t>(batch.hw(idx)),
+                give_up_key)]++] = idx;
+    }
+
+    // HW 0: nothing to match (decodeInto's early return).
+    for (uint32_t i = starts[0]; i < starts[1]; i++) {
+        const uint32_t shot = s.wideOrder[i];
+        telemetry::traceShotBegin(shot);
+        results[shot].reset();
+        stats_.trivialDecodes++;
+    }
+    stats_.decodes += counts[0];
+    ASTREA_COUNTER_ADD("astrea.decodes", counts[0]);
+    ASTREA_HIST_ADD_N("astrea.decode_hw", 0, counts[0]);
+
+    // Decodable buckets, lowest weight first.
+    for (uint32_t w = 1; w <= max_hw; w++)
+        decodeBucket(batch, {s.wideOrder.data() + starts[w],
+                             counts[w]},
+                     w, results, s, tracer);
+
+    // Give-ups (HW > maxHammingWeight).
+    for (uint32_t i = starts[give_up_key];
+         i < starts[give_up_key] + counts[give_up_key]; i++) {
+        const uint32_t shot = s.wideOrder[i];
+        const uint32_t w = static_cast<uint32_t>(batch.hw(shot));
+        telemetry::traceShotBegin(shot);
+        results[shot].reset();
+        results[shot].gaveUp = true;
+        stats_.gaveUps++;
+        ASTREA_COUNTER_INC("astrea.gave_ups");
+        ASTREA_HIST_ADD("astrea.decode_hw", w);
+        ASTREA_HIST_ADD("astrea.give_up_hw", w);
+    }
+    stats_.decodes += counts[give_up_key];
+    ASTREA_COUNTER_ADD("astrea.decodes", counts[give_up_key]);
+}
+
+void
+AstreaDecoder::decodeBucket(const SyndromeBatch &batch,
+                            std::span<const uint32_t> shots,
+                            uint32_t w,
+                            std::vector<DecodeResult> &results,
+                            detail::AstreaScratch &s,
+                            telemetry::DecodeTracer &tracer)
+{
+    if (shots.empty())
+        return;
+    const int m = (w % 2 == 0) ? static_cast<int>(w)
+                               : static_cast<int>(w) + 1;
+    const int virt = (w % 2 == 0) ? -1 : static_cast<int>(w);
+    const MatchingTable &table = MatchingTable::forNodes(m);
+    const uint64_t invocations = modeledHw6Invocations(m);
+    const bool tracing = tracer.active();
+
+    for (size_t g = 0; g < shots.size();
+         g += LwtTileBlock::kMaxLanes) {
+        const uint32_t lanes = static_cast<uint32_t>(
+            std::min<size_t>(LwtTileBlock::kMaxLanes,
+                             shots.size() - g));
+        // Counter attribution is per bucket group (shots = lanes);
+        // trace spans are emitted per lane at verdict time instead,
+        // so each retained trace carries its own stage timings.
+        const bool psample = telemetry::perfSampleThisDecode();
+        {
+            telemetry::PerfSection sec(telemetry::PerfStage::Gather,
+                                       lanes, psample, false);
+            s.block.beginBucket(static_cast<int>(w), kernel_);
+            for (uint32_t l = 0; l < lanes; l++) {
+                const std::span<const uint32_t> next =
+                    (l + 1 < lanes) ? batch.at(shots[g + l + 1])
+                                    : std::span<const uint32_t>{};
+                uint64_t t0 = 0;
+                if (tracing)
+                    t0 = telemetry::traceClockNs();
+                s.block.gatherLane(gwt_, batch.at(shots[g + l]),
+                                   next,
+                                   config_.useEffectiveWeights);
+                if (tracing) {
+                    s.gatherT0[l] = t0;
+                    s.gatherT1[l] = telemetry::traceClockNs();
+                }
+            }
+        }
+        {
+            telemetry::PerfSection sec(
+                telemetry::PerfStage::Matching, lanes, psample,
+                false);
+            // One fused lane-major kernel call per group; traced
+            // shots share the group's span since lanes are no longer
+            // evaluated one at a time.
+            uint64_t t0 = 0;
+            if (tracing)
+                t0 = telemetry::traceClockNs();
+            if (s.block.transposed())
+                matchTileLanesT(table, s.block.weightsData(), lanes,
+                                LwtTileBlock::kEntryStride,
+                                s.laneMatch, kernel_);
+            else
+                matchTileLanes(table, s.block.weightsData(), lanes,
+                               s.block.laneStride(), s.laneMatch,
+                               kernel_);
+            if (tracing) {
+                const uint64_t t1 = telemetry::traceClockNs();
+                for (uint32_t l = 0; l < lanes; l++) {
+                    s.matchT0[l] = t0;
+                    s.matchT1[l] = t1;
+                }
+            }
+        }
+        {
+            telemetry::PerfSection sec(telemetry::PerfStage::Verdict,
+                                       lanes, psample, false);
+            for (uint32_t l = 0; l < lanes; l++) {
+                const uint32_t shot = shots[g + l];
+                telemetry::traceShotBegin(shot);
+                uint64_t tv0 = 0;
+                if (tracing) {
+                    tracer.recordStage(telemetry::PerfStage::Gather,
+                                       s.gatherT0[l], s.gatherT1[l]);
+                    tracer.recordStage(
+                        telemetry::PerfStage::Matching, s.matchT0[l],
+                        s.matchT1[l]);
+                    tv0 = telemetry::traceClockNs();
+                }
+                const KernelMatch km = s.laneMatch[l];
+                ASTREA_CHECK(km.weight < kInfiniteTileWeight,
+                             "Astrea found no finite matching");
+                DecodeResult &out = results[shot];
+                out.reset();
+                out.matchedPairs.reserve(
+                    static_cast<size_t>(table.pairsPerRow()));
+                for (int k = 0; k < table.pairsPerRow(); k++) {
+                    auto [i, j] = table.pairAt(km.row, k);
+                    out.obsMask ^=
+                        s.block.laneObs(static_cast<int>(l), i, j);
+                    // The virtual boundary node maps to -1.
+                    int32_t a =
+                        (i == virt) ? -1 : static_cast<int32_t>(i);
+                    int32_t b =
+                        (j == virt) ? -1 : static_cast<int32_t>(j);
+                    if (a < 0)
+                        std::swap(a, b);
+                    out.matchedPairs.push_back({a, b});
+                }
+                out.matchingWeight =
+                    static_cast<double>(km.weight) / kWeightScale;
+                out.cycles = totalCycles(w);
+                out.latencyNs = cyclesToNs(out.cycles);
+                if (tracing)
+                    tracer.recordStage(
+                        telemetry::PerfStage::Verdict, tv0,
+                        telemetry::traceClockNs());
+            }
+        }
+
+        // Bulk per-group bookkeeping, identical in total to the
+        // per-shot increments decodeInto() performs.
+        stats_.decodes += lanes;
+        ASTREA_COUNTER_ADD("astrea.decodes", lanes);
+        ASTREA_HIST_ADD_N("astrea.decode_hw", w, lanes);
+        if (w <= 2)
+            stats_.trivialDecodes += lanes;
+        stats_.hw6Invocations += lanes * invocations;
+        ASTREA_COUNTER_ADD("astrea.hw6_invocations",
+                           lanes * invocations);
+        if (w > 2) {
+            stats_.weightTransferCycles +=
+                static_cast<uint64_t>(lanes) * (w + 1);
+            ASTREA_COUNTER_ADD("astrea.weight_transfer_cycles",
+                               static_cast<uint64_t>(lanes) *
+                                   (w + 1));
+        }
+    }
 }
 
 } // namespace astrea

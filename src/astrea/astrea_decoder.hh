@@ -46,6 +46,11 @@ namespace detail
 struct AstreaScratch;
 }
 
+namespace telemetry
+{
+class DecodeTracer;
+}
+
 /** Configuration for the Astrea decoder. */
 struct AstreaConfig
 {
@@ -94,11 +99,31 @@ class AstreaDecoder : public Decoder
     void decodeInto(std::span<const uint32_t> defects, DecodeResult &out,
                     DecodeScratch &scratch) override;
 
-    /** Pre-sizes the shared scratch tile once, then loops decodeInto:
-     *  every shot of the batch reuses the same LWT tile allocation. */
+    /**
+     * Batch decode through the shot-major wide path (quantized mode):
+     * shots are bucketed by Hamming weight and each bucket's tiles are
+     * gathered into a structure-of-arrays LwtTileBlock and matched
+     * back-to-back, bit-identical to per-shot decodeInto(). The
+     * exact-weight ablation (quantizedWeights == false) exceeds the
+     * kernels' tile domain and keeps the per-shot loop.
+     */
     void decodeBatch(const SyndromeBatch &batch,
                      std::vector<DecodeResult> &results,
                      DecodeScratch &scratch) override;
+
+    /**
+     * Decode the listed batch shots (indices into `batch`, writing
+     * results[i] for each listed i) through the HW-bucketed wide path.
+     * Requires quantized weights and results.size() >= batch.size().
+     * Astrea-G routes its exhaustive-range shots here so a mixed batch
+     * still fills buckets; AstreaDecoder::decodeBatch passes every
+     * shot. Give-up (HW > maxHammingWeight) and empty shots are
+     * handled inline, exactly as decodeInto() would.
+     */
+    void decodeShotsWide(const SyndromeBatch &batch,
+                         std::span<const uint32_t> shot_indices,
+                         std::vector<DecodeResult> &results,
+                         DecodeScratch &scratch);
 
     std::string name() const override { return "Astrea"; }
     void describeConfig(telemetry::JsonWriter &w) const override;
@@ -125,6 +150,14 @@ class AstreaDecoder : public Decoder
     /** Exact-weight ablation: recursive pre-match search. */
     void decodeExact(std::span<const uint32_t> defects,
                      DecodeResult &out, detail::AstreaScratch &s);
+
+    /** Wide path: one HW bucket, gathered and matched in groups of
+     *  LwtTileBlock::kMaxLanes lanes. */
+    void decodeBucket(const SyndromeBatch &batch,
+                      std::span<const uint32_t> shots, uint32_t w,
+                      std::vector<DecodeResult> &results,
+                      detail::AstreaScratch &s,
+                      telemetry::DecodeTracer &tracer);
 
     const GlobalWeightTable &gwt_;
     AstreaConfig config_;

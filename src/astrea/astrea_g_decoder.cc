@@ -7,6 +7,7 @@
 #include "astrea/matching_tables.hh"
 #include "common/logging.hh"
 #include "telemetry/chrome_trace.hh"
+#include "telemetry/decode_trace.hh"
 #include "telemetry/perf_counters.hh"
 #include "telemetry/telemetry.hh"
 
@@ -109,6 +110,8 @@ struct AstreaGScratch : DecodeScratch::Ext
     std::vector<int> rem;
     /** Pair list of the best complete matching (recordMatching). */
     std::vector<std::pair<int, int>> bestPairs;
+    /** Batch shots bound for the exhaustive delegate's wide path. */
+    std::vector<uint32_t> wideShots;
 };
 
 } // namespace
@@ -201,6 +204,35 @@ AstreaGDecoder::decodeInto(std::span<const uint32_t> defects,
     stats_.pipelineDecodes++;
     ASTREA_COUNTER_INC("astrea_g.pipeline_decodes");
     decodePipeline(defects, out, scratch);
+}
+
+void
+AstreaGDecoder::decodeBatch(const SyndromeBatch &batch,
+                            std::vector<DecodeResult> &results,
+                            DecodeScratch &scratch)
+{
+    if (results.size() < batch.size())
+        results.resize(batch.size());
+    AstreaGScratch &s = scratch.ext<AstreaGScratch>();
+    s.wideShots.clear();
+    for (size_t i = 0; i < batch.size(); i++) {
+        if (batch.hw(i) <= config_.exhaustiveMaxHw) {
+            s.wideShots.push_back(static_cast<uint32_t>(i));
+            continue;
+        }
+        telemetry::traceShotBegin(static_cast<uint32_t>(i));
+        decodeInto(batch.at(i), results[i], scratch);
+    }
+    if (s.wideShots.empty())
+        return;
+    // The bookkeeping decodeInto() performs before delegating, in
+    // bulk; the delegate's own counters advance inside the wide path.
+    // One span covers the whole wide segment rather than one per shot.
+    ASTREA_SPAN("astrea_g.decode");
+    stats_.decodes += s.wideShots.size();
+    ASTREA_COUNTER_ADD("astrea_g.decodes",
+                       static_cast<uint64_t>(s.wideShots.size()));
+    exhaustive_.decodeShotsWide(batch, s.wideShots, results, scratch);
 }
 
 void

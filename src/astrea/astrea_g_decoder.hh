@@ -125,6 +125,18 @@ class AstreaGDecoder : public Decoder
 
     void decodeInto(std::span<const uint32_t> defects, DecodeResult &out,
                     DecodeScratch &scratch) override;
+
+    /**
+     * Batch decode: exhaustive-range shots (HW <= exhaustiveMaxHw —
+     * the vast majority at the paper's error rates) are collected and
+     * routed through the Astrea delegate's HW-bucketed wide path;
+     * pipeline and give-up shots decode per shot in batch order.
+     * Results are bit-identical to looping decodeInto().
+     */
+    void decodeBatch(const SyndromeBatch &batch,
+                     std::vector<DecodeResult> &results,
+                     DecodeScratch &scratch) override;
+
     std::string name() const override { return "Astrea-G"; }
     void describeConfig(telemetry::JsonWriter &w) const override;
 

@@ -65,7 +65,8 @@ class Hw6Decoder
                 tile[i * m + j] = pair_weight(i, j);
 
         const MatchingTable &table = MatchingTable::forNodes(m);
-        const KernelMatch km = matchTile32(table, tile);
+        const KernelMatch km =
+            matchTile32(table, tile, activeKernelKind());
         if (km.weight == kInfiniteWeightSum)
             return kInfiniteWeightSum;
         for (int k = 0; k < table.pairsPerRow(); k++)

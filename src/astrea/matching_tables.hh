@@ -18,7 +18,9 @@
  *    index arithmetic at all — each slot is one gather stream, which is
  *    what the AVX2 kernel in simd_kernel.cc consumes directly.
  *
- * Offset arrays are padded to a multiple of 16 rows; padding entries
+ * Offset arrays are padded to a multiple of 32 rows — the widest
+ * kernel stride (AVX-512 evaluates 32 candidate rows per iteration;
+ * AVX2 reads 16-row blocks into the same padded tail). Padding entries
  * point at tile offset 0 (the (0,0) diagonal), which every kernel tile
  * is required to hold an infinite weight at, so padded lanes can never
  * win the min-reduction.
@@ -42,8 +44,9 @@ class MatchingTable
     /** Largest node count with a prebuilt table (945 rows). */
     static constexpr int kMaxNodes = 10;
 
-    /** Rows are padded to this multiple for the SIMD kernels. */
-    static constexpr uint32_t kRowPadding = 16;
+    /** Rows are padded to this multiple for the SIMD kernels (the
+     *  widest, AVX-512, consumes 32 offsets per iteration). */
+    static constexpr uint32_t kRowPadding = 32;
 
     /**
      * The process-wide table for m nodes (m even, 2 <= m <= 10).

@@ -1,6 +1,7 @@
 #include "astrea/simd_kernel.hh"
 
 #include <atomic>
+#include <string>
 
 #include "common/env.hh"
 #include "common/logging.hh"
@@ -15,28 +16,100 @@
 namespace astrea
 {
 
+namespace
+{
+
+/** Test-only ceiling on what cpuHas*() may report (3 = no cap). */
+std::atomic<int> g_cpu_cap{3};
+
+} // namespace
+
 bool
 cpuHasAvx2()
 {
 #if ASTREA_KERNEL_X86
+    if (g_cpu_cap.load(std::memory_order_relaxed) < 2)
+        return false;
     return __builtin_cpu_supports("avx2") != 0;
 #else
     return false;
 #endif
 }
 
+bool
+cpuHasAvx512()
+{
+#if ASTREA_KERNEL_X86
+    if (g_cpu_cap.load(std::memory_order_relaxed) < 3)
+        return false;
+    return __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("avx512bw") != 0;
+#else
+    return false;
+#endif
+}
+
+void
+setCpuKernelCapForTest(KernelKind max_kind)
+{
+    g_cpu_cap.store(static_cast<int>(max_kind) + 1,
+                    std::memory_order_relaxed);
+}
+
 namespace
 {
 
-/** 0 = unresolved, 1 = scalar, 2 = avx2. */
+/** 0 = unresolved, 1 = scalar, 2 = avx2, 3 = avx512. */
 std::atomic<int> g_active_kind{0};
+
+int
+bestSupportedKind()
+{
+    if (cpuHasAvx512())
+        return 3;
+    if (cpuHasAvx2())
+        return 2;
+    return 1;
+}
 
 int
 resolveKind()
 {
-    const bool force_scalar =
-        env::getBool("ASTREA_FORCE_SCALAR", false);
-    return (!force_scalar && cpuHasAvx2()) ? 2 : 1;
+    const int best = bestSupportedKind();
+
+    // ASTREA_FORCE_KERNEL pins a tier by name and takes priority over
+    // the legacy boolean knob. An unsupported tier warns and falls
+    // back to the best the CPU offers; an unknown name warns and
+    // leaves the automatic choice in place.
+    const std::string force =
+        env::getString("ASTREA_FORCE_KERNEL", "");
+    if (!force.empty()) {
+        int want = 0;
+        if (force == "scalar")
+            want = 1;
+        else if (force == "avx2")
+            want = 2;
+        else if (force == "avx512")
+            want = 3;
+
+        if (want == 0) {
+            warn("ASTREA_FORCE_KERNEL=" + force +
+                 ": unknown kernel tier (expected scalar, avx2 or "
+                 "avx512); using automatic dispatch");
+        } else if (want > best) {
+            warn("ASTREA_FORCE_KERNEL=" + force +
+                 ": tier unsupported on this CPU; falling back to " +
+                 std::string(kernelKindName(
+                     static_cast<KernelKind>(best - 1))));
+            return best;
+        } else {
+            return want;
+        }
+    }
+
+    if (env::getBool("ASTREA_FORCE_SCALAR", false))
+        return 1;
+    return best;
 }
 
 } // namespace
@@ -49,13 +122,20 @@ activeKernelKind()
         kind = resolveKind();
         g_active_kind.store(kind, std::memory_order_relaxed);
     }
-    return kind == 2 ? KernelKind::kAvx2 : KernelKind::kScalar;
+    return static_cast<KernelKind>(kind - 1);
 }
 
 const char *
 kernelKindName(KernelKind kind)
 {
-    return kind == KernelKind::kAvx2 ? "avx2" : "scalar";
+    switch (kind) {
+      case KernelKind::kAvx512:
+        return "avx512";
+      case KernelKind::kAvx2:
+        return "avx2";
+      default:
+        return "scalar";
+    }
 }
 
 void
@@ -122,13 +202,17 @@ scalarEval16Dispatch(const MatchingTable &table, const int32_t *tile)
  * AVX2 path: 16 candidate rows per iteration. Each pair slot is one
  * gather stream (two 8-lane 32-bit gathers) packed down to unsigned
  * 16-bit with saturation, accumulated with 16-bit saturating adds, and
- * reduced with a vectorized running min + first-argmin. Padded rows
- * resolve to tile[0], which the tile contract keeps infinite.
+ * reduced with a vectorized running min + first-argmin. The loop
+ * rounds the real row count up to 16 itself (offset arrays are padded
+ * to kRowPadding = 32 for the AVX-512 kernel, but reading the full
+ * padded tail here would waste an iteration on the small tables);
+ * padded rows resolve to tile[0], which the tile contract keeps
+ * infinite.
  */
 __attribute__((target("avx2"))) KernelMatch
 avx2Eval16(const MatchingTable &table, const int32_t *tile)
 {
-    const uint32_t rows_padded = table.rowsPadded();
+    const uint32_t rows16 = (table.rows() + 15u) & ~15u;
     const int pairs_per_row = table.pairsPerRow();
 
     const __m256i sign = _mm256_set1_epi16(
@@ -139,7 +223,7 @@ avx2Eval16(const MatchingTable &table, const int32_t *tile)
     __m256i vidx = _mm256_setr_epi16(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
                                      11, 12, 13, 14, 15);
 
-    for (uint32_t r = 0; r < rows_padded; r += 16) {
+    for (uint32_t r = 0; r < rows16; r += 16) {
         __m256i sums = _mm256_setzero_si256();
         for (int p = 0; p < pairs_per_row; p++) {
             const int32_t *off = table.slotOffsets(p) + r;
@@ -193,7 +277,251 @@ avx2Eval16(const MatchingTable &table, const int32_t *tile)
     return best;
 }
 
+/**
+ * AVX-512 path: 32 candidate rows per iteration — the full padded
+ * stride, so the HW-10 table's 945 rows take 30 iterations instead of
+ * the AVX2 path's 60. The structure mirrors avx2Eval16 lane-for-lane:
+ * two 16-lane 32-bit gathers per pair slot packed down to unsigned
+ * 16-bit (packus interleaves 128-bit sublanes; the qword permute
+ * restores row order), saturating 16-bit accumulation, and a running
+ * min + first-argmin kept strict through mask compares. Row indices
+ * stay in 16 bits (945 padded to 960 < 65536).
+ */
+__attribute__((target("avx512f,avx512bw"))) KernelMatch
+avx512Eval16(const MatchingTable &table, const int32_t *tile)
+{
+    const uint32_t rows_padded = table.rowsPadded();
+    const int pairs_per_row = table.pairsPerRow();
+
+    const __m512i step = _mm512_set1_epi16(32);
+    // packus(lo, hi) emits, per 128-bit sublane k, lo's dwords k*4..
+    // k*4+3 then hi's; this qword shuffle restores 0..31 row order.
+    const __m512i unshuffle =
+        _mm512_setr_epi64(0, 2, 4, 6, 1, 3, 5, 7);
+    __m512i vmin = _mm512_set1_epi16(-1);  // 0xFFFF in every lane.
+    __m512i vmin_idx = _mm512_setzero_si512();
+    __m512i vidx = _mm512_setr_epi32(
+        0x00010000, 0x00030002, 0x00050004, 0x00070006, 0x00090008,
+        0x000B000A, 0x000D000C, 0x000F000E, 0x00110010, 0x00130012,
+        0x00150014, 0x00170016, 0x00190018, 0x001B001A, 0x001D001C,
+        0x001F001E);  // uint16 lanes 0..31.
+
+    for (uint32_t r = 0; r < rows_padded; r += 32) {
+        __m512i sums = _mm512_setzero_si512();
+        for (int p = 0; p < pairs_per_row; p++) {
+            const int32_t *off = table.slotOffsets(p) + r;
+            __m512i idx_lo = _mm512_loadu_si512(off);
+            __m512i idx_hi = _mm512_loadu_si512(off + 16);
+            __m512i g_lo = _mm512_i32gather_epi32(idx_lo, tile, 4);
+            __m512i g_hi = _mm512_i32gather_epi32(idx_hi, tile, 4);
+            __m512i packed = _mm512_permutexvar_epi64(
+                unshuffle, _mm512_packus_epi32(g_lo, g_hi));
+            sums = (p == 0) ? packed
+                            : _mm512_adds_epu16(sums, packed);
+        }
+        // Strict less-than keeps the FIRST row attaining each lane
+        // minimum, matching the scalar kernel's tie-breaking.
+        const __mmask32 lt =
+            _mm512_cmplt_epu16_mask(sums, vmin);
+        vmin = _mm512_min_epu16(vmin, sums);
+        vmin_idx = _mm512_mask_blend_epi16(lt, vmin_idx, vidx);
+        vidx = _mm512_add_epi16(vidx, step);
+    }
+
+    // Horizontal reduction: lane l holds the first row ≡ l (mod 32)
+    // attaining its lane minimum.
+    alignas(64) uint16_t mins[32];
+    alignas(64) uint16_t idxs[32];
+    _mm512_store_si512(mins, vmin);
+    _mm512_store_si512(idxs, vmin_idx);
+
+    KernelMatch best;
+    bool found = false;
+    for (int l = 0; l < 32; l++) {
+        const uint32_t v = mins[l];
+        if (v >= kInfiniteTileWeight)
+            continue;
+        if (!found || v < best.weight ||
+            (v == best.weight && idxs[l] < best.row)) {
+            best.weight = v;
+            best.row = idxs[l];
+            found = true;
+        }
+    }
+    return best;
+}
+
+/**
+ * Lane-major AVX2 bucket kernel over a transposed (entry-major) SoA
+ * block: entry e of 8 consecutive lanes is one unaligned vector load
+ * at tiles_t + e * entry_stride + l0 — no gathers anywhere. Sums
+ * accumulate in 32 bits and clamp to the 16-bit ceiling —
+ * arithmetically identical to the row-major kernels' saturating adds
+ * for non-negative addends — and the running min / argmin stays
+ * vertical (one slot per lane), so there is no horizontal reduction
+ * and no padded-row work at all. Candidates and the running best are
+ * both <= 0xFFFF, so the signed strict-less compare is exact and,
+ * over ascending rows, keeps the first minimum like the scalar loop.
+ * Dead lanes past the bucket hold stale storage; their results are
+ * computed (integer ops never trap) and never stored to out.
+ */
+__attribute__((target("avx2"))) void
+avx2EvalLanesT(const MatchingTable &table, const int32_t *tiles_t,
+               uint32_t lanes, size_t entry_stride, KernelMatch *out)
+{
+    const uint32_t rows = table.rows();
+    const int pairs = table.pairsPerRow();
+    const __m256i vinf =
+        _mm256_set1_epi32(static_cast<int>(kInfiniteTileWeight));
+    const int32_t *off[5] = {};
+    for (int p = 0; p < pairs; p++)
+        off[p] = table.slotOffsets(p);
+
+    for (uint32_t l0 = 0; l0 < lanes; l0 += 8) {
+        const int32_t *base = tiles_t + l0;
+        __m256i vbest = vinf;
+        __m256i vrow = _mm256_setzero_si256();
+        for (uint32_t r = 0; r < rows; r++) {
+            __m256i sum = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(
+                    base + static_cast<size_t>(off[0][r]) *
+                               entry_stride));
+            for (int p = 1; p < pairs; p++)
+                sum = _mm256_add_epi32(
+                    sum, _mm256_loadu_si256(
+                             reinterpret_cast<const __m256i *>(
+                                 base +
+                                 static_cast<size_t>(off[p][r]) *
+                                     entry_stride)));
+            const __m256i cand = _mm256_min_epu32(sum, vinf);
+            const __m256i lt = _mm256_cmpgt_epi32(vbest, cand);
+            vbest = _mm256_min_epu32(vbest, cand);
+            vrow = _mm256_blendv_epi8(
+                vrow, _mm256_set1_epi32(static_cast<int>(r)), lt);
+        }
+
+        alignas(32) int32_t bw[8];
+        alignas(32) int32_t br[8];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(bw), vbest);
+        _mm256_store_si256(reinterpret_cast<__m256i *>(br), vrow);
+        const uint32_t n = lanes - l0 < 8 ? lanes - l0 : 8;
+        for (uint32_t k = 0; k < n; k++) {
+            out[l0 + k].weight = static_cast<uint32_t>(bw[k]);
+            out[l0 + k].row = static_cast<uint32_t>(br[k]);
+        }
+    }
+}
+
+/**
+ * Lane-major AVX-512 transposed bucket kernel: 16 lanes per load,
+ * mirroring avx2EvalLanesT. Only avx512f is needed — the whole pass
+ * stays in the 32-bit integer domain.
+ */
+__attribute__((target("avx512f"))) void
+avx512EvalLanesT(const MatchingTable &table, const int32_t *tiles_t,
+                 uint32_t lanes, size_t entry_stride,
+                 KernelMatch *out)
+{
+    const uint32_t rows = table.rows();
+    const int pairs = table.pairsPerRow();
+    const __m512i vinf =
+        _mm512_set1_epi32(static_cast<int>(kInfiniteTileWeight));
+    const int32_t *off[5] = {};
+    for (int p = 0; p < pairs; p++)
+        off[p] = table.slotOffsets(p);
+
+    for (uint32_t l0 = 0; l0 < lanes; l0 += 16) {
+        const int32_t *base = tiles_t + l0;
+        __m512i vbest = vinf;
+        __m512i vrow = _mm512_setzero_si512();
+        for (uint32_t r = 0; r < rows; r++) {
+            __m512i sum = _mm512_loadu_si512(
+                base + static_cast<size_t>(off[0][r]) * entry_stride);
+            for (int p = 1; p < pairs; p++)
+                sum = _mm512_add_epi32(
+                    sum,
+                    _mm512_loadu_si512(
+                        base + static_cast<size_t>(off[p][r]) *
+                                   entry_stride));
+            const __m512i cand = _mm512_min_epu32(sum, vinf);
+            const __mmask16 lt = _mm512_cmplt_epu32_mask(cand, vbest);
+            vbest = _mm512_min_epu32(vbest, cand);
+            vrow = _mm512_mask_blend_epi32(
+                lt, vrow, _mm512_set1_epi32(static_cast<int>(r)));
+        }
+
+        alignas(64) int32_t bw[16];
+        alignas(64) int32_t br[16];
+        _mm512_store_si512(bw, vbest);
+        _mm512_store_si512(br, vrow);
+        const uint32_t n = lanes - l0 < 16 ? lanes - l0 : 16;
+        for (uint32_t k = 0; k < n; k++) {
+            out[l0 + k].weight = static_cast<uint32_t>(bw[k]);
+            out[l0 + k].row = static_cast<uint32_t>(br[k]);
+        }
+    }
+}
+
 #endif // ASTREA_KERNEL_X86
+
+/** Portable transposed evaluation: per-lane scalarEval16 semantics. */
+template <int P>
+void
+scalarEvalLanesT(const MatchingTable &table, const int32_t *tiles_t,
+                 uint32_t lanes, size_t entry_stride,
+                 KernelMatch *out)
+{
+    const uint32_t rows = table.rows();
+    const int32_t *off[P];
+    for (int p = 0; p < P; p++)
+        off[p] = table.slotOffsets(p);
+
+    for (uint32_t l = 0; l < lanes; l++) {
+        const int32_t *base = tiles_t + l;
+        KernelMatch best;
+        for (uint32_t r = 0; r < rows; r++) {
+            uint32_t sum = static_cast<uint32_t>(
+                base[static_cast<size_t>(off[0][r]) * entry_stride]);
+            for (int p = 1; p < P; p++)
+                sum += static_cast<uint32_t>(
+                    base[static_cast<size_t>(off[p][r]) *
+                         entry_stride]);
+            if (sum > kInfiniteTileWeight)
+                sum = kInfiniteTileWeight;
+            if (sum < best.weight) {
+                best.weight = sum;
+                best.row = r;
+            }
+        }
+        out[l] = best;
+    }
+}
+
+void
+scalarEvalLanesTDispatch(const MatchingTable &table,
+                         const int32_t *tiles_t, uint32_t lanes,
+                         size_t entry_stride, KernelMatch *out)
+{
+    switch (table.pairsPerRow()) {
+      case 1:
+        return scalarEvalLanesT<1>(table, tiles_t, lanes,
+                                   entry_stride, out);
+      case 2:
+        return scalarEvalLanesT<2>(table, tiles_t, lanes,
+                                   entry_stride, out);
+      case 3:
+        return scalarEvalLanesT<3>(table, tiles_t, lanes,
+                                   entry_stride, out);
+      case 4:
+        return scalarEvalLanesT<4>(table, tiles_t, lanes,
+                                   entry_stride, out);
+      case 5:
+        return scalarEvalLanesT<5>(table, tiles_t, lanes,
+                                   entry_stride, out);
+      default:
+        panic("matching table wider than 5 pair slots");
+    }
+}
 
 } // namespace
 
@@ -202,12 +530,44 @@ matchTile16(const MatchingTable &table, const int32_t *tile,
             KernelKind kind)
 {
 #if ASTREA_KERNEL_X86
+    if (kind == KernelKind::kAvx512)
+        return avx512Eval16(table, tile);
     if (kind == KernelKind::kAvx2)
         return avx2Eval16(table, tile);
 #else
     (void)kind;
 #endif
     return scalarEval16Dispatch(table, tile);
+}
+
+void
+matchTileLanes(const MatchingTable &table, const int32_t *tiles,
+               uint32_t lanes, size_t lane_stride, KernelMatch *out,
+               KernelKind kind)
+{
+    for (uint32_t l = 0; l < lanes; l++)
+        out[l] = matchTile16(table, tiles + l * lane_stride, kind);
+}
+
+void
+matchTileLanesT(const MatchingTable &table, const int32_t *tiles_t,
+                uint32_t lanes, size_t entry_stride, KernelMatch *out,
+                KernelKind kind)
+{
+#if ASTREA_KERNEL_X86
+    if (kind == KernelKind::kAvx512) {
+        avx512EvalLanesT(table, tiles_t, lanes, entry_stride, out);
+        return;
+    }
+    if (kind == KernelKind::kAvx2) {
+        avx2EvalLanesT(table, tiles_t, lanes, entry_stride, out);
+        return;
+    }
+#else
+    (void)kind;
+#endif
+    scalarEvalLanesTDispatch(table, tiles_t, lanes, entry_stride,
+                             out);
 }
 
 namespace
@@ -236,11 +596,93 @@ scalarEval32(const MatchingTable &table, const WeightSum *tile)
     return best;
 }
 
+#if ASTREA_KERNEL_X86
+
+/**
+ * AVX-512 full-width evaluation: 16 candidate rows per iteration over
+ * a WeightSum tile with addWeights() semantics (kInfiniteWeightSum
+ * poisons any sum crossing it; finite adds are plain wrapping uint32,
+ * exactly as the scalar helper computes them). Gathers are masked to
+ * the real row count so callers that only initialize i < j entries
+ * (the HW6 unit model's stack tile) never have garbage read.
+ */
+__attribute__((target("avx512f"))) KernelMatch
+avx512Eval32(const MatchingTable &table, const WeightSum *tile)
+{
+    const uint32_t rows = table.rows();
+    const int pairs_per_row = table.pairsPerRow();
+
+    const __m512i vinf = _mm512_set1_epi32(
+        static_cast<int>(kInfiniteWeightSum));
+    const __m512i step = _mm512_set1_epi32(16);
+    __m512i vmin = vinf;
+    __m512i vmin_idx = _mm512_setzero_si512();
+    __m512i vidx = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                     11, 12, 13, 14, 15);
+
+    for (uint32_t r = 0; r < rows; r += 16) {
+        const __mmask16 live =
+            rows - r >= 16
+                ? static_cast<__mmask16>(0xFFFF)
+                : static_cast<__mmask16>((1u << (rows - r)) - 1u);
+        __m512i sums = vinf;
+        __mmask16 poisoned = 0;
+        for (int p = 0; p < pairs_per_row; p++) {
+            const int32_t *off = table.slotOffsets(p) + r;
+            const __m512i idx = _mm512_loadu_si512(off);
+            const __m512i g = _mm512_mask_i32gather_epi32(
+                vinf, live, idx,
+                reinterpret_cast<const int *>(tile), 4);
+            poisoned = static_cast<__mmask16>(
+                poisoned | _mm512_cmpeq_epi32_mask(g, vinf));
+            sums = (p == 0) ? g : _mm512_add_epi32(sums, g);
+        }
+        // addWeights(): any infinite addend makes the sum infinite.
+        sums = _mm512_mask_mov_epi32(
+            sums, static_cast<__mmask16>(poisoned | ~live), vinf);
+        // Strict unsigned less-than keeps the FIRST row per lane.
+        const __mmask16 lt = _mm512_cmplt_epu32_mask(sums, vmin);
+        vmin = _mm512_min_epu32(vmin, sums);
+        vmin_idx = _mm512_mask_blend_epi32(lt, vmin_idx, vidx);
+        vidx = _mm512_add_epi32(vidx, step);
+    }
+
+    alignas(64) uint32_t mins[16];
+    alignas(64) uint32_t idxs[16];
+    _mm512_store_si512(mins, vmin);
+    _mm512_store_si512(idxs, vmin_idx);
+
+    KernelMatch best;
+    best.weight = kInfiniteWeightSum;
+    bool found = false;
+    for (int l = 0; l < 16; l++) {
+        const uint32_t v = mins[l];
+        if (v == kInfiniteWeightSum)
+            continue;
+        if (!found || v < best.weight ||
+            (v == best.weight && idxs[l] < best.row)) {
+            best.weight = v;
+            best.row = idxs[l];
+            found = true;
+        }
+    }
+    return best;
+}
+
+#endif // ASTREA_KERNEL_X86
+
 } // namespace
 
 KernelMatch
-matchTile32(const MatchingTable &table, const WeightSum *tile)
+matchTile32(const MatchingTable &table, const WeightSum *tile,
+            KernelKind kind)
 {
+#if ASTREA_KERNEL_X86
+    if (kind == KernelKind::kAvx512)
+        return avx512Eval32(table, tile);
+#else
+    (void)kind;
+#endif
     switch (table.pairsPerRow()) {
       case 1:
         return scalarEval32<1>(table, tile);

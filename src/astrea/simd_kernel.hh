@@ -19,17 +19,22 @@
  * (finite quantized sums can never reach the ceiling: 5 pairs x 510
  * max effective weight < 0xFFFF).
  *
- * Two implementations exist: an AVX2 path (32-bit gathers packed down
- * with unsigned saturation, 16-bit saturating adds, vectorized
- * min+argmin with first-minimum tie-breaking) and a portable unrolled
- * scalar fallback. Both produce bit-identical results — weight AND
- * winning row — which the kernel parity suite enforces. Selection is
- * by cpuid at first use; ASTREA_FORCE_SCALAR=1 pins the scalar path.
+ * Three implementations exist: an AVX-512 path (32 candidate rows per
+ * iteration), an AVX2 path (16 rows per iteration; 32-bit gathers
+ * packed down with unsigned saturation, 16-bit saturating adds,
+ * vectorized min+argmin with first-minimum tie-breaking) and a
+ * portable unrolled scalar fallback. All produce bit-identical
+ * results — weight AND winning row — which the kernel parity suite
+ * enforces. Selection is by cpuid at first use;
+ * ASTREA_FORCE_KERNEL={scalar,avx2,avx512} pins any tier (falling
+ * back with a warning when the CPU lacks it), and the legacy
+ * ASTREA_FORCE_SCALAR=1 still pins the scalar path.
  */
 
 #ifndef ASTREA_ASTREA_SIMD_KERNEL_HH
 #define ASTREA_ASTREA_SIMD_KERNEL_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "astrea/matching_tables.hh"
@@ -38,11 +43,12 @@
 namespace astrea
 {
 
-/** Candidate-evaluation kernel implementations. */
+/** Candidate-evaluation kernel implementations, narrowest first. */
 enum class KernelKind
 {
     kScalar,
     kAvx2,
+    kAvx512,
 };
 
 /** Tile-domain sentinel for "no edge" (16-bit saturation ceiling). */
@@ -66,18 +72,33 @@ struct KernelMatch
 /** True when the CPU supports the AVX2 kernel. */
 bool cpuHasAvx2();
 
+/** True when the CPU supports the AVX-512 kernel (F + BW). */
+bool cpuHasAvx512();
+
 /**
- * The kernel the decoders run: kAvx2 when the CPU supports it and
- * ASTREA_FORCE_SCALAR is unset/false, kScalar otherwise. Resolved once
- * per process (resetKernelDispatchForTest() re-reads the environment).
+ * The kernel the decoders run: the widest tier the CPU supports,
+ * unless ASTREA_FORCE_KERNEL={scalar,avx2,avx512} pins one (an
+ * unsupported or unknown value warns once and falls back to the best
+ * supported tier) or the legacy ASTREA_FORCE_SCALAR=1 pins the scalar
+ * path. Resolved once per process (resetKernelDispatchForTest()
+ * re-reads the environment).
  */
 KernelKind activeKernelKind();
 
-/** Display name: "avx2" or "scalar". */
+/** Display name: "avx512", "avx2" or "scalar". */
 const char *kernelKindName(KernelKind kind);
 
 /** Testing hook: re-resolve activeKernelKind() on next call. */
 void resetKernelDispatchForTest();
+
+/**
+ * Testing hook: pretend the CPU supports no tier wider than max_kind,
+ * so the unsupported-tier fallback is testable on any host.
+ * cpuHasAvx2()/cpuHasAvx512() honor the cap; pass KernelKind::kAvx512
+ * to restore the true cpuid answer. Callers should also
+ * resetKernelDispatchForTest() to re-resolve.
+ */
+void setCpuKernelCapForTest(KernelKind max_kind);
 
 /**
  * Evaluate all candidate matchings over a 16-bit-domain tile (see the
@@ -87,13 +108,67 @@ KernelMatch matchTile16(const MatchingTable &table, const int32_t *tile,
                         KernelKind kind);
 
 /**
- * Scalar evaluation over a full-width WeightSum tile with addWeights()
- * semantics (kInfiniteWeightSum propagates). Serves the paths whose
- * weights exceed the 16-bit tile domain (the exact-weight ablation);
- * only entries i*m + j with i < j are read.
+ * Largest tile node count for which the transposed entry-major bucket
+ * layout (matchTileLanesT) beats per-lane row-major matching on the
+ * given tier. The vector tiers prefer it at every exhaustive size —
+ * plain vector loads replace all kernel gathers. The scalar tier
+ * walks the transposed layout with strided loads, which lose to the
+ * contiguous row-major loop once tables grow past 8 nodes (105 rows),
+ * so it caps out earlier.
  */
-KernelMatch matchTile32(const MatchingTable &table,
-                        const WeightSum *tile);
+constexpr int
+laneMajorMaxNodes(KernelKind kind)
+{
+    return kind == KernelKind::kScalar ? 8 : 12;
+}
+
+/**
+ * Lane-major bucket evaluation: one matchTile16-equivalent result per
+ * lane of an SoA tile block (lanes tiles of lane_stride int32 entries
+ * each, all sharing one MatchingTable), laid out lane-contiguously.
+ * Bit-identical to calling matchTile16 per lane — same weight AND
+ * winning row. This is the wide path for buckets past
+ * laneMajorMaxNodes(kind) — on the scalar tier, the large tables
+ * where the contiguous row-major loop wins; other buckets use
+ * matchTileLanesT over a transposed block instead. out must hold
+ * lanes entries.
+ */
+void matchTileLanes(const MatchingTable &table, const int32_t *tiles,
+                    uint32_t lanes, size_t lane_stride,
+                    KernelMatch *out, KernelKind kind);
+
+/**
+ * Lane-major bucket evaluation over a TRANSPOSED (entry-major) SoA
+ * block: tiles_t[e * entry_stride + lane] holds tile entry e of the
+ * given lane, so 8 / 16 consecutive lanes of one entry are one plain
+ * vector load — no gathers at all. The AVX2 / AVX-512 variants
+ * evaluate all lanes of a group per pass with a vertical running
+ * min / argmin: exactly rows x pairsPerRow loads per vector group, no
+ * padded-row work, no horizontal reduction. Bit-identical to per-lane
+ * matchTile16 (32-bit sums clamped to the 16-bit ceiling, strict-less
+ * first-minimum tie-break over ascending rows). entry_stride must be
+ * a multiple of 16 with storage for that many lanes (dead lanes are
+ * computed and discarded, never stored to out). Correct for any
+ * exhaustive table on any tier; see laneMajorMaxNodes() for when it
+ * is the faster choice.
+ */
+void matchTileLanesT(const MatchingTable &table,
+                     const int32_t *tiles_t, uint32_t lanes,
+                     size_t entry_stride, KernelMatch *out,
+                     KernelKind kind);
+
+/**
+ * Evaluation over a full-width WeightSum tile with addWeights()
+ * semantics (kInfiniteWeightSum propagates). Serves the paths whose
+ * weights exceed the 16-bit tile domain (the exact-weight ablation and
+ * the HW6 unit model). Only entries i*m + j with i < j are read on
+ * every path: the AVX-512 variant masks its gathers to the real row
+ * count, so padded table rows never touch the tile. kScalar and kAvx2
+ * both select the portable loop — there is no AVX2 variant of this
+ * kernel.
+ */
+KernelMatch matchTile32(const MatchingTable &table, const WeightSum *tile,
+                        KernelKind kind = KernelKind::kScalar);
 
 } // namespace astrea
 

@@ -96,6 +96,21 @@ class GlobalWeightTable
     double exactEffectiveWeight(uint32_t i, uint32_t j) const;
     uint64_t exactEffectiveObs(uint32_t i, uint32_t j) const;
 
+    /**
+     * Hint the cache that pairWeight(i, j)/pairObs(i, j) are about to
+     * be read. The bucketed gather path prefetches the next shot's
+     * rows while filling the current lane's tile — the GWT rows of
+     * different shots share nothing, so without the hint every lane
+     * change starts cold.
+     */
+    void
+    prefetch(uint32_t i, uint32_t j) const
+    {
+        const size_t k = idx(i, j);
+        __builtin_prefetch(quantized_.data() + k, 0, 1);
+        __builtin_prefetch(obsMask_.data() + k, 0, 1);
+    }
+
     /** Bytes of on-chip SRAM an l x l 8-bit GWT occupies (Table 6). */
     size_t sramBytes() const { return static_cast<size_t>(size_) * size_; }
 

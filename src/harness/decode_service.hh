@@ -59,8 +59,10 @@ struct ServeConfig
     std::string decoder = "astrea";
     unsigned workers = 2;
     uint64_t seed = 1;
-    /** Shots each worker samples and decodes per batch-path call. */
-    uint64_t batchShots = 16;
+    /** Shots each worker samples and decodes per batch-path call.
+     *  One LwtTileBlock bucket group, so the service's coalesced
+     *  arrivals fill the wide decode path without a re-layout. */
+    uint64_t batchShots = 32;
 
     /** SLO: decodes must finish within this budget... */
     double budgetNs = 1000.0;

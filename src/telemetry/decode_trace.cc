@@ -128,7 +128,10 @@ DecodeTracer::beginBatch(uint32_t stream, uint64_t base_shot,
     decoder_[sizeof(decoder_) - 1] = '\0';
     batchStartNs_ = steadyNowNs();
     curShot_ = -1;
-    numShots_ = 0;
+    // Empty ranges for shots that never begin (a finishShot() without
+    // a shotBegin() must not inherit a stale range from a prior batch).
+    std::memset(shotStart_, 0, sizeof(shotStart_));
+    std::memset(shotEnd_, 0, sizeof(shotEnd_));
     nBuf_ = 0;
     droppedBuf_ = 0;
     depth_ = 0;
@@ -142,10 +145,17 @@ DecodeTracer::shotBegin(uint32_t shot_idx)
 {
     if (!active_)
         return;
+    // Seal the previous shot's span range: the bucketed wide path
+    // begins shots out of batch order, so each shot's extent has to be
+    // pinned when the recorder moves on, not inferred from its
+    // neighbor's start.
+    if (curShot_ >= 0 &&
+        curShot_ < static_cast<int32_t>(kMaxBatchShots))
+        shotEnd_[curShot_] = nBuf_;
     curShot_ = static_cast<int32_t>(shot_idx);
     if (shot_idx < kMaxBatchShots) {
         shotStart_[shot_idx] = nBuf_;
-        numShots_ = std::max(numShots_, shot_idx + 1);
+        shotEnd_[shot_idx] = nBuf_;
     }
 }
 
@@ -184,6 +194,25 @@ DecodeTracer::stageEnd(PerfStage stage)
         hasBatchSpan_ = true;
         return;
     }
+    if (nBuf_ < kBufSpans)
+        buf_[nBuf_++] = span;
+    else
+        droppedBuf_++;
+}
+
+void
+DecodeTracer::recordStage(PerfStage stage, uint64_t t0_ns,
+                          uint64_t t1_ns)
+{
+    if (!active_)
+        return;
+    TraceSpan span;
+    span.stage = static_cast<uint8_t>(stage);
+    span.shot = curShot_;
+    span.startNs = static_cast<uint32_t>(
+        t0_ns > batchStartNs_ ? t0_ns - batchStartNs_ : 0);
+    span.durNs =
+        static_cast<uint32_t>(t1_ns > t0_ns ? t1_ns - t0_ns : 0);
     if (nBuf_ < kBufSpans)
         buf_[nBuf_++] = span;
     else
@@ -245,11 +274,12 @@ DecodeTracer::finishShot(uint32_t shot_idx,
     uint64_t dropped = 0;
     if (hasBatchSpan_)
         t.spans[t.numSpans++] = batchSpan_;
-    if (shot_idx < kMaxBatchShots && shot_idx < numShots_) {
+    if (shot_idx < kMaxBatchShots) {
         const uint32_t lo = shotStart_[shot_idx];
-        const uint32_t hi = (shot_idx + 1 < numShots_)
-                                ? shotStart_[shot_idx + 1]
-                                : nBuf_;
+        const uint32_t hi =
+            (static_cast<int32_t>(shot_idx) == curShot_)
+                ? nBuf_
+                : shotEnd_[shot_idx];
         for (uint32_t i = lo; i < hi && i < nBuf_; i++) {
             if (t.numSpans < kTraceMaxSpans)
                 t.spans[t.numSpans++] = buf_[i];
@@ -279,7 +309,7 @@ DecodeTracer::endBatch()
     nBuf_ = 0;
     droppedBuf_ = 0;
     depth_ = 0;
-    numShots_ = 0;
+    curShot_ = -1;
     hasBatchSpan_ = false;
 }
 
@@ -305,6 +335,12 @@ void
 traceShotBegin(uint32_t shot_idx)
 {
     t_tracer.shotBegin(shot_idx);
+}
+
+uint64_t
+traceClockNs()
+{
+    return steadyNowNs();
 }
 
 } // namespace telemetry

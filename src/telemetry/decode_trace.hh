@@ -112,13 +112,29 @@ class DecodeTracer
     void beginBatch(uint32_t stream, uint64_t base_shot,
                     const char *decoder, uint64_t seed);
 
-    /** Mark the start of in-batch shot `shot_idx` (Decoder::
-     *  decodeBatch calls this before each decodeInto). */
+    /**
+     * Mark the start of in-batch shot `shot_idx` (Decoder::decodeBatch
+     * calls this before each decodeInto; the wide bucketed path calls
+     * it per lane at verdict time). Shots may begin in any order —
+     * beginning a new shot seals the previous shot's span range, so
+     * bucketed decoding that visits shots out of batch order still
+     * attributes every span to the right shot.
+     */
     void shotBegin(uint32_t shot_idx);
 
     /** Stage hooks (PerfSection ctor/dtor). */
     void stageBegin(PerfStage stage);
     void stageEnd(PerfStage stage);
+
+    /**
+     * Append a completed span for the current shot from explicit
+     * timestamps (traceClockNs()). The wide decode path measures
+     * gather/matching per bucket lane while the kernels run
+     * back-to-back, then replays the timestamps here once the lane's
+     * shot is current — keeping each shot's spans contiguous without
+     * a PerfSection per lane.
+     */
+    void recordStage(PerfStage stage, uint64_t t0_ns, uint64_t t1_ns);
 
     /** Deterministic trace id of in-batch shot `shot_idx`. */
     uint64_t shotId(uint32_t shot_idx) const;
@@ -143,7 +159,6 @@ class DecodeTracer
     char decoder_[kTraceDecoderLen] = {};
     uint64_t batchStartNs_ = 0;
     int32_t curShot_ = -1;
-    uint32_t numShots_ = 0;
 
     // Cached retention policy, copied once per batch.
     double tailNs_ = 0.0;
@@ -154,6 +169,8 @@ class DecodeTracer
     uint32_t nBuf_ = 0;
     uint32_t droppedBuf_ = 0;
     uint32_t shotStart_[kMaxBatchShots] = {};
+    /** Sealed by the NEXT shotBegin(); the current shot reads nBuf_. */
+    uint32_t shotEnd_[kMaxBatchShots] = {};
 
     struct OpenSection
     {
@@ -180,6 +197,13 @@ DecodeTracer &decodeTracer();
 void traceStageBegin(PerfStage stage);
 void traceStageEnd(PerfStage stage);
 void traceShotBegin(uint32_t shot_idx);
+
+/**
+ * Monotonic timestamp in the tracer's clock domain, for
+ * DecodeTracer::recordStage(). Callers should only bother when the
+ * tracer is active.
+ */
+uint64_t traceClockNs();
 
 } // namespace telemetry
 } // namespace astrea

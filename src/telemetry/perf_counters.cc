@@ -398,12 +398,14 @@ perfSampleThisDecode()
            0;
 }
 
-PerfSection::PerfSection(PerfStage stage, uint64_t shots, bool live)
-    : stage_(stage), shots_(shots)
+PerfSection::PerfSection(PerfStage stage, uint64_t shots, bool live,
+                         bool trace_spans)
+    : stage_(stage), shots_(shots), traceSpans_(trace_spans)
 {
     // Span hook fires regardless of the perf live/enable flags: the
     // tracer decides for itself whether it is recording.
-    traceStageBegin(stage);
+    if (traceSpans_)
+        traceStageBegin(stage);
     if (!live || !perfCountersEnabled())
         return;
     ThreadGroup &g = threadGroup();
@@ -414,7 +416,8 @@ PerfSection::PerfSection(PerfStage stage, uint64_t shots, bool live)
 
 PerfSection::~PerfSection()
 {
-    traceStageEnd(stage_);
+    if (traceSpans_)
+        traceStageEnd(stage_);
     if (!live_)
         return;
     PerfReading end;

@@ -131,12 +131,19 @@ uint64_t perfStageStride();
  * `stage`, covering `shots` shots) into the stage totals. With
  * live == false, or counters disabled/unavailable, both ends are
  * no-ops. Never allocates.
+ *
+ * trace_spans controls the decode-trace hook: by default the section
+ * doubles as a trace span boundary. Bucket-level sections in the wide
+ * decode path pass false — counter attribution still covers the whole
+ * bucket, but per-shot spans are emitted separately via
+ * DecodeTracer::recordStage() so each trace attributes its own lane,
+ * not the bucket envelope.
  */
 class PerfSection
 {
   public:
     explicit PerfSection(PerfStage stage, uint64_t shots = 1,
-                         bool live = true);
+                         bool live = true, bool trace_spans = true);
     ~PerfSection();
 
     PerfSection(const PerfSection &) = delete;
@@ -149,6 +156,7 @@ class PerfSection
     PerfStage stage_;
     uint64_t shots_;
     bool live_ = false;
+    bool traceSpans_ = true;
     PerfReading start_;
 };
 

@@ -74,6 +74,17 @@
         }                                                                 \
     } while (0)
 
+/** Count the integer key n times (bulk form for batched paths). */
+#define ASTREA_HIST_ADD_N(name, key, n)                                   \
+    do {                                                                  \
+        if (::astrea::telemetry::enabled()) {                             \
+            static ::astrea::telemetry::IntHistogram &astrea_tel_h =      \
+                ::astrea::telemetry::MetricsRegistry::global()            \
+                    .intHistogram(name);                                  \
+            astrea_tel_h.add(key, n);                                     \
+        }                                                                 \
+    } while (0)
+
 /** Record a duration sample (ns) in the named latency histogram. */
 #define ASTREA_LATENCY_NS(name, ns)                                       \
     do {                                                                  \
@@ -99,6 +110,7 @@
 #define ASTREA_GAUGE_SET(name, v) ((void)0)
 #define ASTREA_GAUGE_MAX(name, v) ((void)0)
 #define ASTREA_HIST_ADD(name, key) ((void)0)
+#define ASTREA_HIST_ADD_N(name, key, n) ((void)0)
 #define ASTREA_LATENCY_NS(name, ns) ((void)0)
 #define ASTREA_SPAN(name) ((void)0)
 

@@ -89,6 +89,58 @@ TEST(AllocCounter, SteadyStateDecodeIsAllocationFree)
     }
 }
 
+TEST(AllocCounter, SteadyStateBatchDecodeIsAllocationFree)
+{
+    // The shot-major wide path: decodeBatch over mixed-HW batches
+    // (trivial, bucketed, give-up shots interleaved) must not touch
+    // the heap once the SoA tile block, the results vector and the
+    // bucket order scratch have reached steady-state capacity.
+    ExperimentConfig cfg;
+    cfg.distance = 5;
+    cfg.physicalErrorRate = 1e-3;
+    ExperimentContext ctx(cfg);
+    DecoderOptions opts = decoderOptionsFor(ctx);
+
+    Rng rng(4242);
+    BitVec dets, obs;
+    std::vector<std::vector<uint32_t>> syndromes;
+    size_t guard = 0;
+    while (syndromes.size() < 180 && ++guard < 2000000) {
+        ctx.sampler().sample(rng, dets, obs);
+        if (dets.popcount() >= 1)
+            syndromes.push_back(dets.onesIndices());
+    }
+    ASSERT_GE(syndromes.size(), 100u);
+    // Force give-up shots into the mix (HW 12 > Astrea's max of 10;
+    // Astrea-G routes them through its pipeline instead).
+    std::vector<uint32_t> heavy;
+    for (uint32_t i = 0; i < 12; i++)
+        heavy.push_back(i);
+    syndromes.push_back(heavy);
+    syndromes.push_back(heavy);
+
+    SyndromeBatch batch;
+    for (const auto &s : syndromes)
+        batch.add(s);
+
+    for (const std::string &name :
+         {std::string("astrea"), std::string("astrea-g")}) {
+        SCOPED_TRACE(name);
+        auto dec = makeDecoder(name, opts);
+        std::vector<DecodeResult> results;
+        DecodeScratch scratch;
+        for (int pass = 0; pass < 2; pass++)
+            dec->decodeBatch(batch, results, scratch);
+        const uint64_t before = allocCount();
+        dec->decodeBatch(batch, results, scratch);
+        const uint64_t allocs = allocCount() - before;
+        EXPECT_EQ(allocs, 0u)
+            << name << " decodeBatch allocated " << allocs
+            << " times across " << batch.size()
+            << " steady-state batched decodes";
+    }
+}
+
 TEST(AllocCounter, TracedDecodeIsAllocationFree)
 {
     // The tail-tracing hot path must stay allocation-free even in its

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Shot-major wide decoding: bucketing edge cases and the batch/single
+ * parity suite.
+ *
+ * AstreaDecoder::decodeBatch groups same-HW shots into SoA tile
+ * buckets and runs the matching kernels back-to-back; the contract is
+ * that every DecodeResult is bit-identical to per-shot decodeInto().
+ * This suite drives the wide path through its edge cases — empty
+ * syndromes, odd Hamming weights (boundary-augmented tiles), give-up
+ * shots interleaved mid-batch, buckets larger than one lane group —
+ * and holds 1k seeded sampled batches per distance to exact parity,
+ * including the decoders' running stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "astrea/astrea_decoder.hh"
+#include "astrea/astrea_g_decoder.hh"
+#include "astrea/lwt_tile.hh"
+#include "common/rng.hh"
+#include "harness/memory_experiment.hh"
+
+namespace astrea
+{
+namespace
+{
+
+/** One context per distance, shared across tests (GWT builds are the
+ *  slow part). */
+ExperimentContext &
+contextFor(uint32_t distance)
+{
+    static std::vector<std::unique_ptr<ExperimentContext>> cache;
+    for (auto &ctx : cache) {
+        if (ctx->config().distance == distance)
+            return *ctx;
+    }
+    ExperimentConfig cfg;
+    cfg.distance = distance;
+    cfg.physicalErrorRate = 1e-3;
+    cache.push_back(std::make_unique<ExperimentContext>(cfg));
+    return *cache.back();
+}
+
+/**
+ * Decode `batch` through `wide`'s decodeBatch and through `single`'s
+ * per-shot decodeInto and require bit-identical results per shot.
+ */
+void
+expectWideMatchesSingle(Decoder &wide, Decoder &single,
+                        const SyndromeBatch &batch,
+                        std::vector<DecodeResult> &results,
+                        DecodeScratch &wide_scratch,
+                        DecodeScratch &single_scratch)
+{
+    wide.decodeBatch(batch, results, wide_scratch);
+    ASSERT_GE(results.size(), batch.size());
+    DecodeResult ref;
+    for (size_t i = 0; i < batch.size(); i++) {
+        single.decodeInto(batch.at(i), ref, single_scratch);
+        const DecodeResult &got = results[i];
+        ASSERT_EQ(got.obsMask, ref.obsMask) << "shot " << i;
+        ASSERT_EQ(got.gaveUp, ref.gaveUp) << "shot " << i;
+        ASSERT_EQ(got.cycles, ref.cycles) << "shot " << i;
+        ASSERT_EQ(got.latencyNs, ref.latencyNs) << "shot " << i;
+        ASSERT_EQ(got.matchingWeight, ref.matchingWeight)
+            << "shot " << i;
+        ASSERT_EQ(got.matchedPairs, ref.matchedPairs)
+            << "shot " << i;
+    }
+}
+
+TEST(BatchBucket, EmptySyndromesDecodeTrivially)
+{
+    ExperimentContext &ctx = contextFor(3);
+    AstreaDecoder wide(ctx.gwt());
+    AstreaDecoder single(ctx.gwt());
+
+    SyndromeBatch batch;
+    batch.add(std::vector<uint32_t>{});
+    batch.add(std::vector<uint32_t>{0, 1});
+    batch.add(std::vector<uint32_t>{});
+    batch.add(std::vector<uint32_t>{2});
+    batch.add(std::vector<uint32_t>{});
+
+    std::vector<DecodeResult> results;
+    DecodeScratch ws, ss;
+    expectWideMatchesSingle(wide, single, batch, results, ws, ss);
+    EXPECT_EQ(results[0].cycles, 0u);
+    EXPECT_EQ(results[0].obsMask, 0u);
+    EXPECT_FALSE(results[0].gaveUp);
+    EXPECT_EQ(wide.stats().trivialDecodes, 5u);  // HW 0, 1 and 2.
+    EXPECT_EQ(wide.stats().decodes, 5u);
+}
+
+TEST(BatchBucket, EmptyBatchIsANoOp)
+{
+    ExperimentContext &ctx = contextFor(3);
+    AstreaDecoder wide(ctx.gwt());
+    SyndromeBatch batch;
+    std::vector<DecodeResult> results;
+    DecodeScratch scratch;
+    wide.decodeBatch(batch, results, scratch);
+    EXPECT_EQ(wide.stats().decodes, 0u);
+}
+
+TEST(BatchBucket, OddHwShotsUseTheBoundaryAugmentedPath)
+{
+    // Odd defect counts gather one virtual boundary node; the wide
+    // bucket fixes that geometry per bucket. Every odd HW from 1 to 9
+    // must agree with the per-shot path, and the reported pairings
+    // must show the -1 boundary sentinel where the virtual node won.
+    ExperimentContext &ctx = contextFor(5);
+    AstreaDecoder wide(ctx.gwt());
+    AstreaDecoder single(ctx.gwt());
+
+    Rng rng(0x0dd);
+    BitVec dets, obs;
+    SyndromeBatch batch;
+    size_t guard = 0;
+    size_t odd_shots = 0;
+    while (odd_shots < 40 && ++guard < 4000000) {
+        ctx.sampler().sample(rng, dets, obs);
+        const size_t hw = dets.popcount();
+        if (hw % 2 == 1 && hw <= 9) {
+            batch.add(dets.onesIndices());
+            odd_shots++;
+        }
+    }
+    ASSERT_EQ(odd_shots, 40u);
+
+    std::vector<DecodeResult> results;
+    DecodeScratch ws, ss;
+    expectWideMatchesSingle(wide, single, batch, results, ws, ss);
+
+    bool saw_boundary_pair = false;
+    for (size_t i = 0; i < batch.size(); i++) {
+        for (const auto &[a, b] : results[i].matchedPairs)
+            if (b == -1)
+                saw_boundary_pair = true;
+    }
+    EXPECT_TRUE(saw_boundary_pair)
+        << "no odd shot matched through the virtual boundary node";
+}
+
+TEST(BatchBucket, GiveUpShotsInterleavedInABatch)
+{
+    // HW > maxHammingWeight shots scattered through a batch must come
+    // back flagged gaveUp with zeroed outcomes, without disturbing
+    // their decodable neighbors.
+    ExperimentContext &ctx = contextFor(5);
+    AstreaDecoder wide(ctx.gwt());
+    AstreaDecoder single(ctx.gwt());
+    const uint32_t n = ctx.gwt().size();
+    ASSERT_GE(n, 16u);
+
+    auto synthetic = [&](uint32_t hw) {
+        std::vector<uint32_t> defects;
+        for (uint32_t i = 0; i < hw; i++)
+            defects.push_back(i);
+        return defects;
+    };
+
+    SyndromeBatch batch;
+    batch.add(synthetic(4));
+    batch.add(synthetic(12));  // Give-up.
+    batch.add(synthetic(7));
+    batch.add(synthetic(16));  // Give-up.
+    batch.add(synthetic(2));
+    batch.add(synthetic(11));  // Give-up.
+    batch.add(synthetic(10));
+
+    std::vector<DecodeResult> results;
+    DecodeScratch ws, ss;
+    expectWideMatchesSingle(wide, single, batch, results, ws, ss);
+    EXPECT_TRUE(results[1].gaveUp);
+    EXPECT_TRUE(results[3].gaveUp);
+    EXPECT_TRUE(results[5].gaveUp);
+    EXPECT_FALSE(results[0].gaveUp);
+    EXPECT_FALSE(results[6].gaveUp);
+    EXPECT_EQ(results[1].obsMask, 0u);
+    EXPECT_EQ(results[1].cycles, 0u);
+    EXPECT_EQ(wide.stats().gaveUps, 3u);
+    EXPECT_EQ(wide.stats().decodes, 7u);
+}
+
+TEST(BatchBucket, BucketsLargerThanOneLaneGroup)
+{
+    // More same-HW shots than LwtTileBlock::kMaxLanes forces multiple
+    // bucket groups; every lane of every group must land on the right
+    // result slot.
+    ExperimentContext &ctx = contextFor(3);
+    AstreaDecoder wide(ctx.gwt());
+    AstreaDecoder single(ctx.gwt());
+    const uint32_t n = ctx.gwt().size();
+    ASSERT_GE(n, 8u);
+
+    Rng rng(77);
+    SyndromeBatch batch;
+    const int shots = 3 * LwtTileBlock::kMaxLanes + 5;
+    for (int s = 0; s < shots; s++) {
+        // Distinct 4-defect sets, strictly increasing indices.
+        std::vector<uint32_t> defects;
+        uint32_t base = rng.uniformInt(n - 7);
+        defects = {base, base + 2, base + 5, base + 7};
+        batch.add(defects);
+    }
+
+    std::vector<DecodeResult> results;
+    DecodeScratch ws, ss;
+    expectWideMatchesSingle(wide, single, batch, results, ws, ss);
+}
+
+class BatchParityTest : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(BatchParityTest, SampledBatchesAreBitIdenticalToPerShot)
+{
+    // The headline parity suite: 1k seeded batches per distance
+    // through the wide path vs per-shot decodeInto, every result field
+    // compared exactly, and the decoders' running stats identical at
+    // the end.
+    const uint32_t distance = GetParam();
+    ExperimentContext &ctx = contextFor(distance);
+    AstreaDecoder wide(ctx.gwt());
+    AstreaDecoder single(ctx.gwt());
+
+    Rng rng(0xba7c4 + distance);
+    BitVec dets, obs;
+    SyndromeBatch batch;
+    std::vector<DecodeResult> results;
+    DecodeScratch ws, ss;
+
+    for (int b = 0; b < 1000; b++) {
+        batch.clear();
+        for (int s = 0; s < 16; s++) {
+            ctx.sampler().sample(rng, dets, obs);
+            batch.add(dets.onesIndices());
+        }
+        expectWideMatchesSingle(wide, single, batch, results, ws,
+                                ss);
+        if (HasFatalFailure())
+            return;
+    }
+
+    // Stats parity: the bulk bucket bookkeeping must add up to
+    // exactly what the per-shot path counted.
+    EXPECT_EQ(wide.stats().decodes, single.stats().decodes);
+    EXPECT_EQ(wide.stats().trivialDecodes,
+              single.stats().trivialDecodes);
+    EXPECT_EQ(wide.stats().hw6Invocations,
+              single.stats().hw6Invocations);
+    EXPECT_EQ(wide.stats().weightTransferCycles,
+              single.stats().weightTransferCycles);
+    EXPECT_EQ(wide.stats().gaveUps, single.stats().gaveUps);
+    EXPECT_GT(wide.stats().decodes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, BatchParityTest,
+                         ::testing::Values(3, 5, 7));
+
+TEST(BatchBucket, AstreaGMixedBatchMatchesSingle)
+{
+    // Astrea-G splits a batch: exhaustive-range shots ride the wide
+    // path, pipeline (HW > exhaustiveMaxHw) and give-up shots decode
+    // per shot. Synthetic high-HW shots force all three routes into
+    // one batch.
+    ExperimentContext &ctx = contextFor(5);
+    AstreaGConfig gcfg;
+    gcfg.weightThresholdDecades =
+        defaultWeightThreshold(5, 1e-3);
+    AstreaGDecoder wide(ctx.gwt(), gcfg);
+    AstreaGDecoder single(ctx.gwt(), gcfg);
+    const uint32_t n = ctx.gwt().size();
+    ASSERT_GE(n, 48u);
+
+    Rng rng(0x6eee);
+    BitVec dets, obs;
+    SyndromeBatch batch;
+    for (int s = 0; s < 48; s++) {
+        ctx.sampler().sample(rng, dets, obs);
+        batch.add(dets.onesIndices());
+    }
+    // Interleave pipeline-weight shots (exhaustiveMaxHw < HW <=
+    // maxDefects): spread defects so the pipeline has candidates.
+    for (uint32_t hw : {12u, 14u, 13u}) {
+        std::vector<uint32_t> defects;
+        for (uint32_t i = 0; i < hw; i++)
+            defects.push_back(i * (n / hw));
+        batch.add(defects);
+    }
+
+    std::vector<DecodeResult> results;
+    DecodeScratch ws, ss;
+    expectWideMatchesSingle(wide, single, batch, results, ws, ss);
+    EXPECT_EQ(wide.stats().decodes, single.stats().decodes);
+    EXPECT_EQ(wide.stats().pipelineDecodes,
+              single.stats().pipelineDecodes);
+    EXPECT_GT(wide.stats().pipelineDecodes, 0u);
+}
+
+} // namespace
+} // namespace astrea

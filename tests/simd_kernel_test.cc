@@ -1,8 +1,8 @@
 /**
  * @file
- * Kernel parity suite: the AVX2 and scalar candidate-evaluation
- * kernels must agree bit-for-bit with each other and with the legacy
- * enumerator-driven evaluation — minimum weight, winning row (hence
+ * Kernel parity suite: the AVX-512, AVX2 and scalar
+ * candidate-evaluation kernels must agree bit-for-bit with each other
+ * and with the legacy enumerator-driven evaluation — minimum weight, winning row (hence
  * winning pair set) and reconstructed observable mask — over seeded
  * random weight tiles including infinite entries and values deep in
  * the 16-bit saturation range. Runs under the sanitizer CI jobs like
@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -150,6 +151,7 @@ TEST_P(KernelParityTest, KernelsMatchLegacyEnumerator)
     std::vector<int32_t> tile;
     std::vector<uint64_t> obs;
     const bool have_avx2 = cpuHasAvx2();
+    const bool have_avx512 = cpuHasAvx512();
     for (int trial = 0; trial < 1000; trial++) {
         randomTile(rng, m, tile, obs);
 
@@ -176,6 +178,17 @@ TEST_P(KernelParityTest, KernelsMatchLegacyEnumerator)
                           rowObs(table, ref.row, obs, m));
             }
         }
+
+        if (have_avx512) {
+            const KernelMatch wide =
+                matchTile16(table, tile.data(), KernelKind::kAvx512);
+            ASSERT_EQ(wide.weight, ref.weight) << "trial " << trial;
+            if (ref.weight < kInfiniteTileWeight) {
+                ASSERT_EQ(wide.row, ref.row) << "trial " << trial;
+                EXPECT_EQ(rowObs(table, wide.row, obs, m),
+                          rowObs(table, ref.row, obs, m));
+            }
+        }
     }
 }
 
@@ -192,6 +205,11 @@ TEST_P(KernelParityTest, AllInfiniteTileReportsInfinity)
               kInfiniteTileWeight);
     if (cpuHasAvx2()) {
         EXPECT_EQ(matchTile16(table, tile.data(), KernelKind::kAvx2)
+                      .weight,
+                  kInfiniteTileWeight);
+    }
+    if (cpuHasAvx512()) {
+        EXPECT_EQ(matchTile16(table, tile.data(), KernelKind::kAvx512)
                       .weight,
                   kInfiniteTileWeight);
     }
@@ -216,6 +234,110 @@ TEST_P(KernelParityTest, EqualWeightsBreakTiesToFirstRow)
             matchTile16(table, tile.data(), KernelKind::kAvx2);
         EXPECT_EQ(simd.row, 0u);
         EXPECT_EQ(simd.weight, 3u * (m / 2));
+    }
+    if (cpuHasAvx512()) {
+        const KernelMatch wide =
+            matchTile16(table, tile.data(), KernelKind::kAvx512);
+        EXPECT_EQ(wide.row, 0u);
+        EXPECT_EQ(wide.weight, 3u * (m / 2));
+    }
+}
+
+/**
+ * Both lane-major bucket entry points must be bit-identical — weight
+ * AND winning row — to per-lane matchTile16, across every supported
+ * tier: matchTileLanes over lane-contiguous tiles and matchTileLanesT
+ * over the transposed (entry-major) layout the SoA block uses for
+ * small buckets. The odd lane count exercises the partial tail group;
+ * the transposed buffer is padded to a full vector group of lanes
+ * (stale storage there must never leak into live results).
+ */
+TEST_P(KernelParityTest, LaneMajorKernelsMatchPerLane)
+{
+    const int m = GetParam();
+    const MatchingTable &table = MatchingTable::forNodes(m);
+    const size_t stride = static_cast<size_t>(m) * m;
+    Rng rng(0x1a9e0000u + static_cast<uint64_t>(m));
+
+    const uint32_t lanes = 19;
+    const size_t entry_stride = 32;  // Padded past 19 like the block.
+    std::vector<int32_t> tiles(lanes * stride);
+    std::vector<int32_t> tiles_t(stride * entry_stride, -7);
+    std::vector<int32_t> one;
+    std::vector<uint64_t> obs;
+    for (uint32_t l = 0; l < lanes; l++) {
+        randomTile(rng, m, one, obs);
+        std::copy(one.begin(), one.end(),
+                  tiles.begin() + static_cast<size_t>(l) * stride);
+        for (size_t e = 0; e < stride; e++)
+            tiles_t[e * entry_stride + l] = one[e];
+    }
+
+    std::vector<KernelMatch> expect(lanes);
+    for (uint32_t l = 0; l < lanes; l++)
+        expect[l] = matchTile16(table, tiles.data() + l * stride,
+                                KernelKind::kScalar);
+
+    std::vector<KernelKind> kinds = {KernelKind::kScalar};
+    if (cpuHasAvx2())
+        kinds.push_back(KernelKind::kAvx2);
+    if (cpuHasAvx512())
+        kinds.push_back(KernelKind::kAvx512);
+    for (KernelKind kind : kinds) {
+        std::vector<KernelMatch> got(lanes);
+        matchTileLanes(table, tiles.data(), lanes, stride,
+                       got.data(), kind);
+        std::vector<KernelMatch> got_t(lanes);
+        matchTileLanesT(table, tiles_t.data(), lanes, entry_stride,
+                        got_t.data(), kind);
+        for (uint32_t l = 0; l < lanes; l++) {
+            ASSERT_EQ(got[l].weight, expect[l].weight)
+                << kernelKindName(kind) << " lane " << l;
+            ASSERT_EQ(got_t[l].weight, expect[l].weight)
+                << kernelKindName(kind) << " lane " << l
+                << " (transposed)";
+            if (expect[l].weight < kInfiniteTileWeight) {
+                ASSERT_EQ(got[l].row, expect[l].row)
+                    << kernelKindName(kind) << " lane " << l;
+                ASSERT_EQ(got_t[l].row, expect[l].row)
+                    << kernelKindName(kind) << " lane " << l
+                    << " (transposed)";
+            }
+        }
+    }
+}
+
+TEST_P(KernelParityTest, LaneMajorKernelBreaksTiesToFirstRow)
+{
+    const int m = GetParam();
+    const MatchingTable &table = MatchingTable::forNodes(m);
+    const size_t stride = static_cast<size_t>(m) * m;
+
+    // Every candidate row sums identically in every lane: the first
+    // row must win in each lane, exactly like the scalar loop.
+    const uint32_t lanes = 16;
+    const size_t entry_stride = 16;
+    std::vector<int32_t> tiles_t(stride * entry_stride, 3);
+    for (uint32_t l = 0; l < lanes; l++)
+        for (int i = 0; i < m; i++)
+            tiles_t[(static_cast<size_t>(i) * m + i) * entry_stride +
+                    l] = static_cast<int32_t>(kInfiniteTileWeight);
+
+    std::vector<KernelKind> kinds = {KernelKind::kScalar};
+    if (cpuHasAvx2())
+        kinds.push_back(KernelKind::kAvx2);
+    if (cpuHasAvx512())
+        kinds.push_back(KernelKind::kAvx512);
+    for (KernelKind kind : kinds) {
+        std::vector<KernelMatch> got(lanes);
+        matchTileLanesT(table, tiles_t.data(), lanes, entry_stride,
+                        got.data(), kind);
+        for (uint32_t l = 0; l < lanes; l++) {
+            EXPECT_EQ(got[l].row, 0u)
+                << kernelKindName(kind) << " lane " << l;
+            EXPECT_EQ(got[l].weight, 3u * (m / 2))
+                << kernelKindName(kind) << " lane " << l;
+        }
     }
 }
 
@@ -251,6 +373,12 @@ TEST(KernelSaturation, SumsClampToTheInfiniteCeiling)
             matchTile16(table, tile.data(), KernelKind::kAvx2);
         EXPECT_EQ(simd.weight, ref.weight);
         EXPECT_EQ(simd.row, ref.row);
+    }
+    if (cpuHasAvx512()) {
+        const KernelMatch wide =
+            matchTile16(table, tile.data(), KernelKind::kAvx512);
+        EXPECT_EQ(wide.weight, ref.weight);
+        EXPECT_EQ(wide.row, ref.row);
     }
 }
 
@@ -294,6 +422,49 @@ TEST(KernelMatchTile32, AgreesWithAddWeightsSemantics)
             if (ref.weight != kInfiniteWeightSum)
                 ASSERT_EQ(got.row, ref.row)
                     << "m " << m << " trial " << trial;
+
+            if (cpuHasAvx512()) {
+                const KernelMatch wide = matchTile32(
+                    table, tile.data(), KernelKind::kAvx512);
+                ASSERT_EQ(wide.weight, ref.weight)
+                    << "m " << m << " trial " << trial;
+                if (ref.weight != kInfiniteWeightSum)
+                    ASSERT_EQ(wide.row, ref.row)
+                        << "m " << m << " trial " << trial;
+            }
+        }
+    }
+}
+
+TEST(KernelMatchTile32, Avx512ReadsOnlyUpperTriangle)
+{
+    // The HW6 unit model only initializes i < j tile entries; the
+    // AVX-512 variant must mask its gathers so everything else —
+    // diagonal, lower triangle, tile[0] — is never read. Poison those
+    // entries with zeros (which would win any min-reduction) and check
+    // the result still matches the scalar evaluation.
+    if (!cpuHasAvx512())
+        GTEST_SKIP() << "host lacks AVX-512";
+    for (int m : {2, 4, 6}) {
+        const MatchingTable &table = MatchingTable::forNodes(m);
+        Rng rng(0xcafe0000u + static_cast<uint64_t>(m));
+        std::vector<WeightSum> tile;
+        for (int trial = 0; trial < 100; trial++) {
+            tile.assign(static_cast<size_t>(m) * m, 0);
+            for (int i = 0; i < m; i++)
+                for (int j = i + 1; j < m; j++)
+                    tile[static_cast<size_t>(i) * m + j] =
+                        1 + static_cast<WeightSum>(
+                                rng.uniformInt(1u << 20));
+
+            const KernelMatch scalar =
+                matchTile32(table, tile.data(), KernelKind::kScalar);
+            const KernelMatch wide =
+                matchTile32(table, tile.data(), KernelKind::kAvx512);
+            ASSERT_EQ(wide.weight, scalar.weight)
+                << "m " << m << " trial " << trial;
+            ASSERT_EQ(wide.row, scalar.row)
+                << "m " << m << " trial " << trial;
         }
     }
 }
@@ -316,9 +487,21 @@ TEST(LwtTileDomain, ToWeightSumMapsTheCeilingToInfinity)
               kInfiniteWeightSum);
 }
 
+/** The tier the cpuid-driven default should pick on this host. */
+KernelKind
+widestSupportedKind()
+{
+    if (cpuHasAvx512())
+        return KernelKind::kAvx512;
+    if (cpuHasAvx2())
+        return KernelKind::kAvx2;
+    return KernelKind::kScalar;
+}
+
 TEST(KernelDispatch, ForcedScalarOverridesCpuid)
 {
     {
+        ScopedEnv clear("ASTREA_FORCE_KERNEL", nullptr);
         ScopedEnv force("ASTREA_FORCE_SCALAR", "1");
         resetKernelDispatchForTest();
         EXPECT_EQ(activeKernelKind(), KernelKind::kScalar);
@@ -329,11 +512,76 @@ TEST(KernelDispatch, ForcedScalarOverridesCpuid)
 TEST(KernelDispatch, DefaultFollowsCpuid)
 {
     {
-        ScopedEnv clear("ASTREA_FORCE_SCALAR", nullptr);
+        ScopedEnv clear_kernel("ASTREA_FORCE_KERNEL", nullptr);
+        ScopedEnv clear_scalar("ASTREA_FORCE_SCALAR", nullptr);
+        resetKernelDispatchForTest();
+        EXPECT_EQ(activeKernelKind(), widestSupportedKind());
+    }
+    resetKernelDispatchForTest();
+}
+
+TEST(KernelDispatch, ForceKernelPinsEachSupportedTier)
+{
+    ScopedEnv clear_scalar("ASTREA_FORCE_SCALAR", nullptr);
+    {
+        ScopedEnv force("ASTREA_FORCE_KERNEL", "scalar");
+        resetKernelDispatchForTest();
+        EXPECT_EQ(activeKernelKind(), KernelKind::kScalar);
+    }
+    if (cpuHasAvx2()) {
+        ScopedEnv force("ASTREA_FORCE_KERNEL", "avx2");
+        resetKernelDispatchForTest();
+        EXPECT_EQ(activeKernelKind(), KernelKind::kAvx2);
+    }
+    if (cpuHasAvx512()) {
+        ScopedEnv force("ASTREA_FORCE_KERNEL", "avx512");
+        resetKernelDispatchForTest();
+        EXPECT_EQ(activeKernelKind(), KernelKind::kAvx512);
+    }
+    resetKernelDispatchForTest();
+}
+
+TEST(KernelDispatch, ForceKernelBeatsLegacyForceScalar)
+{
+    if (!cpuHasAvx2())
+        GTEST_SKIP() << "host lacks AVX2";
+    {
+        ScopedEnv force("ASTREA_FORCE_KERNEL", "avx2");
+        ScopedEnv legacy("ASTREA_FORCE_SCALAR", "1");
+        resetKernelDispatchForTest();
+        EXPECT_EQ(activeKernelKind(), KernelKind::kAvx2);
+    }
+    resetKernelDispatchForTest();
+}
+
+TEST(KernelDispatch, UnsupportedTierFallsBackToBestSupported)
+{
+    // Cap the reported cpuid at AVX2 so forcing AVX-512 is
+    // unsupported regardless of the actual host.
+    ScopedEnv clear_scalar("ASTREA_FORCE_SCALAR", nullptr);
+    {
+        ScopedEnv force("ASTREA_FORCE_KERNEL", "avx512");
+        setCpuKernelCapForTest(KernelKind::kAvx2);
         resetKernelDispatchForTest();
         EXPECT_EQ(activeKernelKind(), cpuHasAvx2()
                                           ? KernelKind::kAvx2
                                           : KernelKind::kScalar);
+
+        setCpuKernelCapForTest(KernelKind::kScalar);
+        resetKernelDispatchForTest();
+        EXPECT_EQ(activeKernelKind(), KernelKind::kScalar);
+    }
+    setCpuKernelCapForTest(KernelKind::kAvx512);
+    resetKernelDispatchForTest();
+}
+
+TEST(KernelDispatch, UnknownTierNameFallsBackToAutomatic)
+{
+    ScopedEnv clear_scalar("ASTREA_FORCE_SCALAR", nullptr);
+    {
+        ScopedEnv force("ASTREA_FORCE_KERNEL", "sse9");
+        resetKernelDispatchForTest();
+        EXPECT_EQ(activeKernelKind(), widestSupportedKind());
     }
     resetKernelDispatchForTest();
 }
@@ -342,6 +590,7 @@ TEST(KernelDispatch, KindNames)
 {
     EXPECT_STREQ(kernelKindName(KernelKind::kScalar), "scalar");
     EXPECT_STREQ(kernelKindName(KernelKind::kAvx2), "avx2");
+    EXPECT_STREQ(kernelKindName(KernelKind::kAvx512), "avx512");
 }
 
 } // namespace

@@ -33,6 +33,12 @@ gated only when both reports were collected with working counters
 (perf.available true on both sides); a run on a locked-down host
 skips them instead of failing.
 
+Optional kernel columns (the avx512 microbench columns and the
+per-tier avx2/avx512 throughput blocks) are emitted as JSON null on
+hosts that lack the instruction set; when either side of the
+comparison lacks such a value, the metric is skipped rather than
+failed, and the structural coverage check exempts it.
+
 Exit codes: 0 pass, 1 regression (or missing metric), 2 usage/IO error.
 
 Usage:
@@ -74,8 +80,22 @@ DEFAULT_METRICS = [
     ("legacy_ns", "latency"),
     ("scalar_ns", "latency"),
     ("simd_ns", "latency"),
+    ("avx512_ns", "latency"),
     ("speedup_scalar", "speedup"),
     ("speedup_simd", "speedup"),
+    ("speedup_avx512", "speedup"),
+    # Decode-throughput macro-bench (results array keyed by "d",
+    # per-kernel-tier blocks; decodes/sec and the batched-vs-single
+    # ratio are floors).
+    ("scalar.single_per_sec", "speedup"),
+    ("scalar.batched_per_sec", "speedup"),
+    ("scalar.batched_vs_single", "speedup"),
+    ("avx2.single_per_sec", "speedup"),
+    ("avx2.batched_per_sec", "speedup"),
+    ("avx2.batched_vs_single", "speedup"),
+    ("avx512.single_per_sec", "speedup"),
+    ("avx512.batched_per_sec", "speedup"),
+    ("avx512.batched_vs_single", "speedup"),
     # Hardware perf counters (reports run with --perf-counters on a
     # perf-capable host). IPC is a floor, the LLC miss rate a ceiling;
     # both are skipped unless perf.available is true in BOTH reports.
@@ -88,6 +108,23 @@ RATE_COUNT_FIELDS = {
     "ler": "logical_errors",
     "gave_ups": "gave_ups",
 }
+
+# Optional kernel columns: benches emit these as null (or an entire
+# null block) on hosts that lack the instruction set. When either side
+# of the comparison lacks the value, the metric is skipped rather than
+# failed — "not measured here" is not a regression. They are likewise
+# exempt from the structural coverage check.
+OPTIONAL_METRIC_PREFIXES = (
+    "avx512_ns",
+    "speedup_avx512",
+    "avx2",
+    "avx512",
+)
+
+
+def is_optional_metric(path):
+    return any(path == p or path.startswith(p + ".")
+               for p in OPTIONAL_METRIC_PREFIXES)
 
 # Subtrees exempt from the structural coverage check: histogram bin
 # keys are data-dependent (which Hamming weights a run happens to
@@ -125,6 +162,8 @@ def check_coverage(label, base_res, cur_res, checked, failures,
             continue
         if any(path == p or path.startswith(p + ".")
                for p in COVERAGE_EXEMPT_PREFIXES):
+            continue
+        if is_optional_metric(path):
             continue
         if lookup(cur_res, path) is None:
             missing.append(path)
@@ -210,6 +249,11 @@ def compare_metric(label, path, kind, threshold, base_res, cur_res,
         return
     cur_val = lookup(cur_res, path) if cur_res is not None else None
     if cur_val is None:
+        if is_optional_metric(path):
+            lines.append(
+                "  %-28s %12g -> null  skip (optional kernel column "
+                "absent)" % (path, base_val))
+            return
         failures.append("%s %s: missing from current report" %
                         (label, path))
         lines.append("  %-28s %12g -> MISSING  FAIL" %

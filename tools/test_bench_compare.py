@@ -64,6 +64,23 @@ def micro_report(**overrides):
             "results": [result]}
 
 
+def throughput_report(**overrides):
+    """One decode-throughput entry with per-kernel-tier blocks."""
+    tier = {"single_ns": 400.0, "batched_ns": 150.0,
+            "single_per_sec": 2.5e6, "batched_per_sec": 6.6e6,
+            "batched_vs_single": 2.64}
+    result = {
+        "d": 7,
+        "shots": 8192,
+        "scalar": dict(tier),
+        "avx2": dict(tier),
+        "avx512": dict(tier),
+    }
+    result.update(overrides)
+    return {"bench": "decode_throughput", "schema_version": 1,
+            "results": [result]}
+
+
 class BenchCompareTest(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()
@@ -295,6 +312,48 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(
             self.run_compare(base, cur, ["--perf-threshold", "0.6"]),
             0)
+
+    def test_null_avx512_column_is_skipped(self):
+        # Baseline measured AVX-512; current host lacks it and emits
+        # null. Optional kernel columns skip instead of failing.
+        base = micro_report(avx512_ns=500.0, speedup_avx512=80.0)
+        cur = micro_report(avx512_ns=None, speedup_avx512=None)
+        self.assertEqual(self.run_compare(base, cur), 0)
+
+    def test_absent_avx512_column_is_skipped(self):
+        base = micro_report(avx512_ns=500.0, speedup_avx512=80.0)
+        self.assertEqual(self.run_compare(base, micro_report()), 0)
+
+    def test_present_avx512_column_still_gated(self):
+        base = micro_report(avx512_ns=500.0, speedup_avx512=80.0)
+        cur = micro_report(avx512_ns=500.0, speedup_avx512=20.0)
+        self.assertEqual(self.run_compare(base, cur), 1)
+
+    def test_throughput_identical_passes(self):
+        self.assertEqual(
+            self.run_compare(throughput_report(), throughput_report()),
+            0)
+
+    def test_throughput_batched_collapse_fails(self):
+        cur = throughput_report()
+        cur["results"][0]["avx2"] = dict(
+            cur["results"][0]["avx2"],
+            batched_per_sec=2.5e6, batched_vs_single=1.0)
+        self.assertEqual(
+            self.run_compare(throughput_report(), cur), 1)
+
+    def test_throughput_null_tier_block_is_skipped(self):
+        # A host without AVX-512 emits the whole tier block as null;
+        # the per-metric checks and the coverage walk both skip it.
+        cur = throughput_report(avx512=None)
+        self.assertEqual(
+            self.run_compare(throughput_report(), cur), 0)
+
+    def test_throughput_scalar_tier_is_required(self):
+        # The scalar tier is not optional: dropping it must fail.
+        cur = throughput_report(scalar=None)
+        self.assertEqual(
+            self.run_compare(throughput_report(), cur), 1)
 
     def test_results_matched_by_distance_not_order(self):
         base = memory_report()
