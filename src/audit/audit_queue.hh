@@ -1,12 +1,13 @@
 /**
  * @file
- * Bounded lock-free MPMC queue for audit samples.
+ * Bounded lock-free queue of audit samples.
  *
  * The accuracy auditor (audit/auditor.hh) snapshots a fraction of live
  * decodes off the hot path. The producers are the decode workers, so
  * the queue must never block and never allocate: it is a fixed-size
  * ring of inline AuditSample slots with per-slot sequence counters
- * (Vyukov's bounded MPMC design). tryPush() on a full queue fails
+ * (Vyukov's bounded MPMC design, shared with the decode fleet's shard
+ * queues via common/mpsc_ring.hh). tryPush() on a full queue fails
  * immediately — the caller counts the drop and moves on — and tryPop()
  * on an empty queue likewise. All storage is allocated once at
  * construction; steady-state enqueue/dequeue touch no allocator.
@@ -16,9 +17,9 @@
 #define ASTREA_AUDIT_AUDIT_QUEUE_HH
 
 #include <array>
-#include <atomic>
 #include <cstdint>
-#include <memory>
+
+#include "common/mpsc_ring.hh"
 
 namespace astrea
 {
@@ -47,105 +48,8 @@ struct AuditSample
     std::array<uint32_t, kAuditMaxDefects> defects{};
 };
 
-/** Fixed-capacity lock-free MPMC ring; see file comment. */
-class AuditQueue
-{
-  public:
-    /** Capacity is rounded up to a power of two (min 2). */
-    explicit AuditQueue(size_t capacity)
-    {
-        size_t cap = 2;
-        while (cap < capacity)
-            cap <<= 1;
-        mask_ = cap - 1;
-        cells_ = std::make_unique<Cell[]>(cap);
-        for (size_t i = 0; i < cap; i++)
-            cells_[i].seq.store(i, std::memory_order_relaxed);
-    }
-
-    AuditQueue(const AuditQueue &) = delete;
-    AuditQueue &operator=(const AuditQueue &) = delete;
-
-    /** Enqueue a copy of s; false (without blocking) when full. */
-    bool
-    tryPush(const AuditSample &s)
-    {
-        uint64_t pos = head_.load(std::memory_order_relaxed);
-        for (;;) {
-            Cell &cell = cells_[pos & mask_];
-            uint64_t seq = cell.seq.load(std::memory_order_acquire);
-            intptr_t diff = static_cast<intptr_t>(seq) -
-                            static_cast<intptr_t>(pos);
-            if (diff == 0) {
-                if (head_.compare_exchange_weak(
-                        pos, pos + 1, std::memory_order_relaxed))
-                {
-                    cell.sample = s;
-                    cell.seq.store(pos + 1,
-                                   std::memory_order_release);
-                    return true;
-                }
-            } else if (diff < 0) {
-                return false;  // Full.
-            } else {
-                pos = head_.load(std::memory_order_relaxed);
-            }
-        }
-    }
-
-    /** Dequeue into out; false when empty. */
-    bool
-    tryPop(AuditSample &out)
-    {
-        uint64_t pos = tail_.load(std::memory_order_relaxed);
-        for (;;) {
-            Cell &cell = cells_[pos & mask_];
-            uint64_t seq = cell.seq.load(std::memory_order_acquire);
-            intptr_t diff = static_cast<intptr_t>(seq) -
-                            static_cast<intptr_t>(pos + 1);
-            if (diff == 0) {
-                if (tail_.compare_exchange_weak(
-                        pos, pos + 1, std::memory_order_relaxed))
-                {
-                    out = cell.sample;
-                    cell.seq.store(pos + mask_ + 1,
-                                   std::memory_order_release);
-                    return true;
-                }
-            } else if (diff < 0) {
-                return false;  // Empty.
-            } else {
-                pos = tail_.load(std::memory_order_relaxed);
-            }
-        }
-    }
-
-    size_t capacity() const { return mask_ + 1; }
-
-    /** Approximate occupancy (racy; for gauges only). */
-    size_t
-    sizeApprox() const
-    {
-        uint64_t head = head_.load(std::memory_order_relaxed);
-        uint64_t tail = tail_.load(std::memory_order_relaxed);
-        if (head <= tail)
-            return 0;
-        uint64_t n = head - tail;
-        return n > capacity() ? capacity() : static_cast<size_t>(n);
-    }
-
-  private:
-    struct Cell
-    {
-        std::atomic<uint64_t> seq{0};
-        AuditSample sample;
-    };
-
-    std::unique_ptr<Cell[]> cells_;
-    size_t mask_ = 0;
-    alignas(64) std::atomic<uint64_t> head_{0};  ///< Next push slot.
-    alignas(64) std::atomic<uint64_t> tail_{0};  ///< Next pop slot.
-};
+/** Fixed-capacity lock-free ring of samples; see file comment. */
+using AuditQueue = MpscRing<AuditSample>;
 
 } // namespace astrea
 

@@ -55,6 +55,17 @@ class BitVec
     /** Reset all bits to zero without changing the size. */
     void clear();
 
+    /**
+     * Resize to n bits, all zero. Reuses the word storage, so resizing
+     * a scratch vector to the same width repeatedly never allocates.
+     */
+    void
+    resize(size_t n)
+    {
+        numBits_ = n;
+        words_.assign((n + 63) / 64, 0);
+    }
+
     /** Number of set bits (the syndrome's Hamming weight). */
     size_t popcount() const;
 

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer ring (Vyukov MPMC design).
+ *
+ * Generalizes the audit queue's fixed-capacity ring into a template so
+ * the decode fleet's shard ingestion queues (many TCP reader threads
+ * pushing, one shard worker popping) share the same proven core. The
+ * slot type is copied by value, so it must be trivially copyable-ish
+ * and carry its payload inline (no owned heap state): steady-state
+ * tryPush/tryPop touch no allocator and never block. tryPush on a full
+ * ring fails immediately — the caller counts the rejection (backpressure
+ * signal) and sheds or retries.
+ *
+ * The design supports multiple consumers too (it is a full MPMC ring);
+ * the fleet uses it single-consumer per shard, the auditor drains it
+ * from one background thread.
+ */
+
+#ifndef ASTREA_COMMON_MPSC_RING_HH
+#define ASTREA_COMMON_MPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace astrea
+{
+
+/** Fixed-capacity lock-free ring; see file comment. */
+template <typename T> class MpscRing
+{
+  public:
+    /** Capacity is rounded up to a power of two (min 2). */
+    explicit MpscRing(size_t capacity)
+    {
+        size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        mask_ = cap - 1;
+        cells_ = std::make_unique<Cell[]>(cap);
+        for (size_t i = 0; i < cap; i++)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    MpscRing(const MpscRing &) = delete;
+    MpscRing &operator=(const MpscRing &) = delete;
+
+    /** Enqueue a copy of v; false (without blocking) when full. */
+    bool
+    tryPush(const T &v)
+    {
+        uint64_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            uint64_t seq = cell.seq.load(std::memory_order_acquire);
+            intptr_t diff = static_cast<intptr_t>(seq) -
+                            static_cast<intptr_t>(pos);
+            if (diff == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    cell.value = v;
+                    cell.seq.store(pos + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false;  // Full.
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Dequeue into out; false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        uint64_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            uint64_t seq = cell.seq.load(std::memory_order_acquire);
+            intptr_t diff = static_cast<intptr_t>(seq) -
+                            static_cast<intptr_t>(pos + 1);
+            if (diff == 0) {
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    out = cell.value;
+                    cell.seq.store(pos + mask_ + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false;  // Empty.
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    size_t capacity() const { return mask_ + 1; }
+
+    /** Approximate occupancy (racy; for gauges only). */
+    size_t
+    sizeApprox() const
+    {
+        uint64_t head = head_.load(std::memory_order_relaxed);
+        uint64_t tail = tail_.load(std::memory_order_relaxed);
+        if (head <= tail)
+            return 0;
+        uint64_t n = head - tail;
+        return n > capacity() ? capacity() : static_cast<size_t>(n);
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<uint64_t> seq{0};
+        T value;
+    };
+
+    std::unique_ptr<Cell[]> cells_;
+    size_t mask_ = 0;
+    alignas(64) std::atomic<uint64_t> head_{0};  ///< Next push slot.
+    alignas(64) std::atomic<uint64_t> tail_{0};  ///< Next pop slot.
+};
+
+} // namespace astrea
+
+#endif // ASTREA_COMMON_MPSC_RING_HH

@@ -75,6 +75,36 @@ ThreadPool::enqueue(std::function<void()> task)
 }
 
 void
+ThreadPool::reserveRawSlots(size_t slots)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots < rawCount_)
+        return;  // Never drop queued raw tasks.
+    std::vector<RawSlot> fresh(slots);
+    for (size_t i = 0; i < rawCount_; i++)
+        fresh[i] = rawSlots_[(rawHead_ + i) % rawSlots_.size()];
+    rawSlots_ = std::move(fresh);
+    rawHead_ = 0;
+}
+
+bool
+ThreadPool::enqueueRaw(RawTask fn, void *arg)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_ || rawCount_ == rawSlots_.size())
+            return false;
+        RawSlot &slot =
+            rawSlots_[(rawHead_ + rawCount_) % rawSlots_.size()];
+        slot.fn = fn;
+        slot.arg = arg;
+        rawCount_++;
+    }
+    cv_.notify_one();
+    return true;
+}
+
+void
 ThreadPool::shutdown()
 {
     {
@@ -105,7 +135,21 @@ ThreadPool::workerLoop()
 {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        cv_.wait(lock, [this] {
+            return stopping_ || rawCount_ > 0 || !tasks_.empty();
+        });
+        if (rawCount_ > 0) {
+            // Raw slots first: the hot path that queued them is
+            // latency-sensitive, and draining keeps slots free.
+            RawSlot slot = rawSlots_[rawHead_];
+            rawHead_ = (rawHead_ + 1) % rawSlots_.size();
+            rawCount_--;
+            lock.unlock();
+            slot.fn(slot.arg);
+            lock.lock();
+            completed_++;
+            continue;
+        }
         if (tasks_.empty()) {
             // stopping_ and nothing left to drain.
             return;

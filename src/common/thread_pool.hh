@@ -78,6 +78,27 @@ class ThreadPool
      */
     bool enqueue(std::function<void()> task);
 
+    /** Plain-function task for the allocation-free enqueueRaw(). */
+    using RawTask = void (*)(void *);
+
+    /**
+     * Preallocate `slots` slots for enqueueRaw(). Call once before
+     * the hot loop; shrinking below queued raw tasks is refused.
+     */
+    void reserveRawSlots(size_t slots);
+
+    /**
+     * Queue a function pointer + context into a preallocated slot.
+     * Unlike enqueue(), this path constructs no std::function and
+     * performs no heap allocation (asserted by tests/alloc_test.cc),
+     * so per-shot hot paths can hand work to the pool without paying
+     * the allocator. False once shutdown has begun OR when all raw
+     * slots are occupied (bounded queue — the caller sheds or
+     * retries); true carries the same run-before-shutdown guarantee
+     * as enqueue(). Raw tasks run before std::function tasks.
+     */
+    bool enqueueRaw(RawTask fn, void *arg);
+
     /** Idempotent: drain accepted tasks, join the workers. */
     void shutdown();
 
@@ -89,9 +110,19 @@ class ThreadPool
   private:
     void workerLoop();
 
+    struct RawSlot
+    {
+        RawTask fn = nullptr;
+        void *arg = nullptr;
+    };
+
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<std::function<void()>> tasks_;
+    /** Fixed circular buffer backing enqueueRaw(). */
+    std::vector<RawSlot> rawSlots_;
+    size_t rawHead_ = 0;
+    size_t rawCount_ = 0;
     std::vector<std::thread> workers_;
     uint64_t completed_ = 0;
     bool stopping_ = false;

@@ -16,10 +16,10 @@ enum Tag : uint8_t
     kTagRunLength = 2,
 };
 
-std::vector<uint8_t>
-encodeRaw(const BitVec &syndrome)
+void
+encodeRawInto(const BitVec &syndrome, std::vector<uint8_t> &out)
 {
-    std::vector<uint8_t> out{kTagRaw};
+    out.push_back(kTagRaw);
     uint8_t acc = 0;
     for (size_t i = 0; i < syndrome.size(); i++) {
         if (syndrome.get(i))
@@ -31,32 +31,34 @@ encodeRaw(const BitVec &syndrome)
     }
     if (syndrome.size() % 8 != 0)
         out.push_back(acc);
-    return out;
 }
 
-std::vector<uint8_t>
-encodeSparse(const BitVec &syndrome)
+void
+encodeSparseInto(const BitVec &syndrome, std::vector<uint8_t> &out)
 {
-    auto ones = syndrome.onesIndices();
     // Indices need 2 bytes once the syndrome exceeds 256 bits.
     const bool wide = syndrome.size() > 256;
-    std::vector<uint8_t> out{kTagSparse};
-    ASTREA_CHECK(ones.size() < 256, "syndrome too dense for count byte");
-    out.push_back(static_cast<uint8_t>(ones.size()));
-    for (auto idx : ones) {
-        out.push_back(static_cast<uint8_t>(idx & 0xff));
+    out.push_back(kTagSparse);
+    out.push_back(0);  // Count byte, patched once known.
+    uint32_t count = 0;
+    for (size_t i = 0; i < syndrome.size(); i++) {
+        if (!syndrome.get(i))
+            continue;
+        count++;
+        out.push_back(static_cast<uint8_t>(i & 0xff));
         if (wide)
-            out.push_back(static_cast<uint8_t>(idx >> 8));
+            out.push_back(static_cast<uint8_t>(i >> 8));
     }
-    return out;
+    ASTREA_CHECK(count < 256, "syndrome too dense for count byte");
+    out[1] = static_cast<uint8_t>(count);
 }
 
-std::vector<uint8_t>
-encodeRunLength(const BitVec &syndrome)
+void
+encodeRunLengthInto(const BitVec &syndrome, std::vector<uint8_t> &out)
 {
     // Byte stream of zero-run lengths before each set bit; 255 is an
     // escape meaning "255 zeros and no bit yet".
-    std::vector<uint8_t> out{kTagRunLength};
+    out.push_back(kTagRunLength);
     uint32_t run = 0;
     for (size_t i = 0; i < syndrome.size(); i++) {
         if (syndrome.get(i)) {
@@ -70,7 +72,6 @@ encodeRunLength(const BitVec &syndrome)
             run++;
         }
     }
-    return out;
 }
 
 } // namespace
@@ -78,20 +79,93 @@ encodeRunLength(const BitVec &syndrome)
 std::vector<uint8_t>
 encodeSyndrome(const BitVec &syndrome, SyndromeCodec codec)
 {
-    std::vector<uint8_t> raw = encodeRaw(syndrome);
-    if (codec == SyndromeCodec::Raw)
-        return raw;
-    std::vector<uint8_t> enc = (codec == SyndromeCodec::Sparse)
-                                   ? encodeSparse(syndrome)
-                                   : encodeRunLength(syndrome);
+    std::vector<uint8_t> out;
+    encodeSyndromeInto(syndrome, codec, out);
+    return out;
+}
+
+void
+encodeSyndromeInto(const BitVec &syndrome, SyndromeCodec codec,
+                   std::vector<uint8_t> &out)
+{
+    // The raw bitmap is the fallback bound, so its size is known
+    // without materializing it.
+    const size_t raw_size = 1 + (syndrome.size() + 7) / 8;
+    out.clear();
+    if (codec == SyndromeCodec::Sparse)
+        encodeSparseInto(syndrome, out);
+    else if (codec == SyndromeCodec::RunLength)
+        encodeRunLengthInto(syndrome, out);
     // Lossless fallback: never ship more bytes than the raw bitmap.
-    return enc.size() < raw.size() ? enc : raw;
+    if (codec == SyndromeCodec::Raw || out.size() >= raw_size) {
+        out.clear();
+        encodeRawInto(syndrome, out);
+    }
+}
+
+bool
+tryDecodeSyndromeInto(const uint8_t *bytes, size_t len,
+                      uint32_t num_bits, BitVec &out)
+{
+    if (len == 0)
+        return false;
+    out.resize(num_bits);
+    switch (bytes[0]) {
+      case kTagRaw: {
+        if (len != 1 + (static_cast<size_t>(num_bits) + 7) / 8)
+            return false;
+        for (uint32_t i = 0; i < num_bits; i++) {
+            if ((bytes[1 + i / 8] >> (i % 8)) & 1)
+                out.set(i);
+        }
+        // Padding bits past num_bits in the last byte must be zero.
+        if (num_bits % 8 != 0 &&
+            (bytes[len - 1] >> (num_bits % 8)) != 0)
+            return false;
+        return true;
+      }
+      case kTagSparse: {
+        if (len < 2)
+            return false;
+        const bool wide = num_bits > 256;
+        const uint32_t count = bytes[1];
+        size_t pos = 2;
+        for (uint32_t k = 0; k < count; k++) {
+            if (pos + (wide ? 1 : 0) >= len)
+                return false;
+            uint32_t idx = bytes[pos++];
+            if (wide)
+                idx |= static_cast<uint32_t>(bytes[pos++]) << 8;
+            if (idx >= num_bits)
+                return false;
+            out.set(idx);
+        }
+        return pos == len;
+      }
+      case kTagRunLength: {
+        uint64_t i = 0;
+        for (size_t pos = 1; pos < len; pos++) {
+            i += bytes[pos];
+            if (bytes[pos] == 255)
+                continue;  // Escape: no bit after this run.
+            if (i >= num_bits)
+                return false;
+            out.set(static_cast<size_t>(i));
+            i++;
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
 }
 
 BitVec
 decodeSyndrome(const std::vector<uint8_t> &bytes, uint32_t num_bits)
 {
     ASTREA_CHECK(!bytes.empty(), "empty syndrome buffer");
+    ASTREA_CHECK(bytes[0] <= kTagRunLength,
+                 "unknown syndrome codec tag");
     BitVec out(num_bits);
     switch (bytes[0]) {
       case kTagRaw: {
@@ -131,8 +205,6 @@ decodeSyndrome(const std::vector<uint8_t> &bytes, uint32_t num_bits)
         }
         break;
       }
-      default:
-        fatal("unknown syndrome codec tag");
     }
     return out;
 }

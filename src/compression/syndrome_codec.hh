@@ -47,13 +47,36 @@ std::vector<uint8_t> encodeSyndrome(const BitVec &syndrome,
                                     SyndromeCodec codec);
 
 /**
+ * encodeSyndrome() into a caller-owned buffer (cleared first). The
+ * wire hot path (net/fleet_protocol) reuses one buffer per connection
+ * so steady-state encodes touch no allocator once the buffer has grown
+ * to its working size.
+ */
+void encodeSyndromeInto(const BitVec &syndrome, SyndromeCodec codec,
+                        std::vector<uint8_t> &out);
+
+/**
  * Decode a syndrome produced by encodeSyndrome().
+ *
+ * Aborts on malformed input (trusted in-process buffers only); use
+ * tryDecodeSyndromeInto() for untrusted bytes off the wire.
  *
  * @param bytes Encoded buffer.
  * @param num_bits The (known) syndrome length.
  */
 BitVec decodeSyndrome(const std::vector<uint8_t> &bytes,
                       uint32_t num_bits);
+
+/**
+ * Non-fatal decode for untrusted input: returns false on any
+ * malformed buffer (empty, unknown tag, truncation, out-of-range
+ * index, trailing garbage) without crashing or reading past
+ * bytes[len-1]. On success `out` is resized to num_bits and holds the
+ * decoded syndrome; on failure its contents are unspecified. Reuses
+ * `out`'s storage, so steady-state calls touch no allocator.
+ */
+bool tryDecodeSyndromeInto(const uint8_t *bytes, size_t len,
+                           uint32_t num_bits, BitVec &out);
 
 /** Compression statistics over a stream of syndromes. */
 struct CompressionStats

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "net/fleet_server.hh"
 #include "telemetry/decode_trace.hh"
 #include "telemetry/flight_recorder.hh"
 #include "telemetry/json.hh"
@@ -192,6 +193,15 @@ DecodeServiceCore::DecodeServiceCore(const ServeConfig &config)
     if (telemetry::FlightRecorder::globalEnabled()) {
         telemetry::FlightRecorder::global().beginRun(
             experimentConfigJson(ec), decoderDescriptionJson(*probe));
+    }
+
+    if (config_.fleetEnabled) {
+        fleet_ = std::make_unique<DecodeFleet>(config_.fleet, ctx_,
+                                               factory_);
+        fleet_->setAccountHook(
+            [this](size_t hw, double latency_ns, bool gave_up) {
+                accountFleetShot(hw, latency_ns, gave_up);
+            });
     }
 
     const uint64_t sub_ms = std::max<uint64_t>(1,
@@ -393,6 +403,27 @@ DecodeServiceCore::decodeBatch(Worker &w, uint64_t shots)
             latencyWin_.percentileNs(tick_(), 99.0));
 }
 
+void
+DecodeServiceCore::accountFleetShot(size_t hw, double latency_ns,
+                                    bool gave_up)
+{
+    const uint64_t tick = tick_();
+    decodesTotal_.fetch_add(1, std::memory_order_relaxed);
+    decodesWin_.add(tick);
+    latencyWin_.record(tick, latency_ns);
+    drift_.record(hw);
+    if (hw > 0)
+        nontrivialTotal_.fetch_add(1, std::memory_order_relaxed);
+    if (latency_ns > config_.budgetNs) {
+        deadlineMissesTotal_.fetch_add(1, std::memory_order_relaxed);
+        missesWin_.add(tick);
+    }
+    if (gave_up) {
+        giveUpsTotal_.fetch_add(1, std::memory_order_relaxed);
+        giveUpsWin_.add(tick);
+    }
+}
+
 uint64_t
 DecodeServiceCore::totalDecodes() const
 {
@@ -555,6 +586,8 @@ DecodeServiceCore::metricsText(bool openmetrics) const
             drift_.alarmed() ? 1.0 : 0.0);
 
     audit_->writeMetrics(w);
+    if (fleet_)
+        fleet_->writeMetrics(w);
     telemetry::TraceStore::global().writeMetrics(w);
 
     // Written directly, like the audit families: mirroring the perf
@@ -588,7 +621,7 @@ DecodeServiceCore::statuszJson() const
     telemetry::JsonWriter w;
     w.beginObject();
     w.kv("service", "astrea_serve");
-    w.kv("schema_version", uint64_t{4});
+    w.kv("schema_version", uint64_t{5});
     w.kv("healthy", healthy_.load());
     w.kv("uptime_ticks", tick);
 
@@ -656,6 +689,14 @@ DecodeServiceCore::statuszJson() const
 
     w.key("trace_store").beginObject();
     telemetry::TraceStore::global().writeStatusz(w);
+    w.endObject();
+
+    // Always present (schema v5): enabled:false when the fleet is off
+    // so dashboards need no schema branch.
+    w.key("fleet").beginObject();
+    w.kv("enabled", fleet_ != nullptr);
+    if (fleet_)
+        fleet_->writeStatusz(w);
     w.endObject();
 
     w.key("perf");
@@ -796,6 +837,22 @@ DecodeService::start(const std::string &bind_addr, uint16_t port,
     if (!http_.start(bind_addr, port, error))
         return false;
 
+    if (core_.fleet() != nullptr) {
+        fleetServer_ =
+            std::make_unique<net::FleetServer>(*core_.fleet());
+        core_.fleet()->setVerdictSink(
+            [srv = fleetServer_.get()](const FleetVerdict &v) {
+                srv->deliver(v);
+            });
+        if (!fleetServer_->start(core_.config().fleetBind,
+                                 core_.config().fleetPort, error)) {
+            fleetServer_.reset();
+            http_.stop();
+            return false;
+        }
+        core_.fleet()->start();
+    }
+
     core_.audit().start();
     running_ = true;
     threads_.reserve(core_.config().workers);
@@ -813,6 +870,12 @@ DecodeService::start(const std::string &bind_addr, uint16_t port,
     return true;
 }
 
+uint16_t
+DecodeService::fleetPort() const
+{
+    return fleetServer_ ? fleetServer_->port() : 0;
+}
+
 void
 DecodeService::stop()
 {
@@ -822,6 +885,14 @@ DecodeService::stop()
     for (auto &t : threads_)
         t.join();
     threads_.clear();
+    // Drain the fleet while connections are still up (graceful
+    // flush delivers the queued verdicts), then drop the front-end.
+    if (core_.fleet() != nullptr)
+        core_.fleet()->stop();
+    if (fleetServer_) {
+        fleetServer_->stop();
+        fleetServer_.reset();
+    }
     // Flush outstanding audits before the final scrapes can land.
     core_.audit().stop();
     core_.setHealthy(false);

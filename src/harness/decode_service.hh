@@ -42,12 +42,18 @@
 #include <vector>
 
 #include "audit/auditor.hh"
+#include "harness/fleet.hh"
 #include "harness/memory_experiment.hh"
 #include "net/http_server.hh"
 #include "telemetry/rolling_window.hh"
 
 namespace astrea
 {
+
+namespace net
+{
+class FleetServer;
+}
 
 /** Static configuration of one decode service. */
 struct ServeConfig
@@ -100,6 +106,15 @@ struct ServeConfig
     uint64_t traceStride = 8192;
     /** TraceStore ring capacity (kept traces). */
     uint64_t traceRing = 1024;
+
+    /** Sharded multi-stream ingest fleet (harness/fleet.hh). When
+     *  enabled, a binary TCP front-end feeds real syndrome streams
+     *  through the same SLO/burn-rate accounting as the synthetic
+     *  workers (workers may be 0 to serve ingest traffic only). */
+    bool fleetEnabled = false;
+    FleetConfig fleet;
+    std::string fleetBind = "127.0.0.1";
+    uint16_t fleetPort = 0;  ///< 0 = ephemeral.
 };
 
 /**
@@ -203,6 +218,18 @@ class DecodeServiceCore
     /** Current sub-window tick (exposed for tests/uptime). */
     uint64_t currentTick() const { return tick_(); }
 
+    /** The ingest fleet; null unless config.fleetEnabled. */
+    DecodeFleet *fleet() { return fleet_.get(); }
+    const DecodeFleet *fleet() const { return fleet_.get(); }
+
+    /**
+     * Account one fleet-ingested decode into the same totals, rolling
+     * SLO windows and drift monitor the synthetic workers feed (no
+     * logical-error accounting: wire shots carry no ground truth).
+     * Installed as the fleet's account hook; also callable directly.
+     */
+    void accountFleetShot(size_t hw, double latency_ns, bool gave_up);
+
   private:
     std::shared_ptr<const ExperimentContext> currentContext() const;
     double windowSeconds(size_t sub_windows) const;
@@ -214,6 +241,7 @@ class DecodeServiceCore
     std::shared_ptr<const ExperimentContext> ctx_;
 
     std::unique_ptr<AccuracyAuditor> audit_;
+    std::unique_ptr<DecodeFleet> fleet_;
 
     std::function<uint64_t()> tick_;
 
@@ -273,9 +301,13 @@ class DecodeService
     DecodeServiceCore &core() { return core_; }
     const DecodeServiceCore &core() const { return core_; }
 
+    /** The fleet ingest port; 0 unless the fleet is running. */
+    uint16_t fleetPort() const;
+
   private:
     DecodeServiceCore core_;
     net::HttpServer http_;
+    std::unique_ptr<net::FleetServer> fleetServer_;
     std::vector<std::thread> threads_;
     std::atomic<bool> running_{false};
     std::atomic<unsigned> activeWorkers_{0};

@@ -1,0 +1,311 @@
+#include "harness/fleet.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "decoders/decoder.hh"
+
+namespace astrea
+{
+
+/** One shard: ring + worker-owned coalescing and decode state. */
+struct DecodeFleet::Shard
+{
+    explicit Shard(size_t ring_capacity, size_t max_batch)
+        : ring(ring_capacity)
+    {
+        pendingJobs.resize(max_batch);
+    }
+
+    MpscRing<FleetJob> ring;
+
+    // Worker-thread-owned (no locking): the pending block being
+    // coalesced, plus reused decode buffers.
+    std::vector<FleetJob> pendingJobs;
+    size_t pending = 0;
+    std::unique_ptr<Decoder> decoder;
+    SyndromeBatch batch;
+    std::vector<DecodeResult> results;
+    DecodeScratch scratch;
+};
+
+DecodeFleet::DecodeFleet(const FleetConfig &config,
+                         std::shared_ptr<const ExperimentContext> ctx,
+                         DecoderFactory factory)
+    : config_(config), ctx_(std::move(ctx))
+{
+    config_.shards = std::max(1u, config_.shards);
+    config_.maxBatch = std::max<size_t>(1, config_.maxBatch);
+    ASTREA_CHECK(config_.shedLowWatermark <= config_.shedHighWatermark,
+                 "fleet shed watermarks inverted");
+    numDetectorBits_ =
+        static_cast<uint32_t>(ctx_->circuit().numDetectors());
+
+    shards_.reserve(config_.shards);
+    for (unsigned i = 0; i < config_.shards; i++) {
+        shards_.push_back(std::make_unique<Shard>(config_.ringCapacity,
+                                                  config_.maxBatch));
+        shards_.back()->decoder = factory(*ctx_);
+    }
+
+    now_ = [] {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    };
+}
+
+DecodeFleet::~DecodeFleet()
+{
+    stop();
+}
+
+void
+DecodeFleet::setVerdictSink(
+    std::function<void(const FleetVerdict &)> sink)
+{
+    sink_ = std::move(sink);
+}
+
+void
+DecodeFleet::setAccountHook(
+    std::function<void(size_t, double, bool)> hook)
+{
+    account_ = std::move(hook);
+}
+
+void
+DecodeFleet::setNowFunction(std::function<uint64_t()> now)
+{
+    now_ = std::move(now);
+}
+
+unsigned
+DecodeFleet::shardFor(uint32_t stream_id) const
+{
+    // Fibonacci hash spreads adjacent stream ids across shards.
+    uint32_t h = stream_id * 0x9E3779B9u;
+    return (h >> 16) % config_.shards;
+}
+
+size_t
+DecodeFleet::queueDepth(unsigned shard) const
+{
+    return shards_[shard]->ring.sizeApprox();
+}
+
+uint8_t
+DecodeFleet::requiredPriorityAtDepth(size_t depth) const
+{
+    const double cap = static_cast<double>(config_.ringCapacity);
+    const double low = config_.shedLowWatermark * cap;
+    const double high = config_.shedHighWatermark * cap;
+    const double d = static_cast<double>(depth);
+    if (d < low || config_.maxPriority == 0)
+        return 0;
+    if (d >= high)
+        return config_.maxPriority;
+    const double frac = (d - low) / std::max(1.0, high - low);
+    return static_cast<uint8_t>(
+        std::ceil(frac * static_cast<double>(config_.maxPriority)));
+}
+
+FleetSubmit
+DecodeFleet::submit(FleetJob &job)
+{
+    job.ingestNs = now_();
+    Shard &s = *shards_[shardFor(job.streamId)];
+
+    FleetVerdict shed;
+    shed.streamId = job.streamId;
+    shed.seq = job.seq;
+    shed.connId = job.connId;
+    shed.shed = true;
+
+    if (job.priority < requiredPriorityAtDepth(s.ring.sizeApprox())) {
+        shedTotal_.fetch_add(1, std::memory_order_relaxed);
+        if (sink_)
+            sink_(shed);
+        return FleetSubmit::Shed;
+    }
+    if (!s.ring.tryPush(job)) {
+        ringFullTotal_.fetch_add(1, std::memory_order_relaxed);
+        shedTotal_.fetch_add(1, std::memory_order_relaxed);
+        if (sink_)
+            sink_(shed);
+        return FleetSubmit::RingFull;
+    }
+    enqueuedTotal_.fetch_add(1, std::memory_order_relaxed);
+    return FleetSubmit::Enqueued;
+}
+
+void
+DecodeFleet::flushLocked(Shard &s, uint64_t now_ns)
+{
+    s.batch.clear();
+    for (size_t i = 0; i < s.pending; i++) {
+        const FleetJob &j = s.pendingJobs[i];
+        s.batch.add({j.defects.data(), j.hw});
+    }
+    s.decoder->decodeBatch(s.batch, s.results, s.scratch);
+
+    for (size_t i = 0; i < s.pending; i++) {
+        const FleetJob &j = s.pendingJobs[i];
+        const DecodeResult &dr = s.results[i];
+        if (account_)
+            account_(j.hw, dr.latencyNs, dr.gaveUp);
+        if (sink_) {
+            FleetVerdict v;
+            v.streamId = j.streamId;
+            v.seq = j.seq;
+            v.connId = j.connId;
+            v.obsMask = dr.obsMask;
+            v.gaveUp = dr.gaveUp;
+            v.latencyNs = now_ns > j.ingestNs ? now_ns - j.ingestNs : 0;
+            sink_(v);
+        }
+    }
+    batchesTotal_.fetch_add(1, std::memory_order_relaxed);
+    decodedTotal_.fetch_add(s.pending, std::memory_order_relaxed);
+    s.pending = 0;
+}
+
+size_t
+DecodeFleet::pumpShard(unsigned shard, uint64_t now_ns)
+{
+    Shard &s = *shards_[shard];
+    while (s.pending < config_.maxBatch &&
+           s.ring.tryPop(s.pendingJobs[s.pending]))
+        s.pending++;
+    if (s.pending == 0)
+        return 0;
+    const bool full = s.pending >= config_.maxBatch;
+    const uint64_t oldest = s.pendingJobs[0].ingestNs;
+    const bool aged =
+        now_ns >= oldest && now_ns - oldest >= config_.maxDelayNs;
+    if (!full && !aged)
+        return 0;
+    const size_t n = s.pending;
+    flushLocked(s, now_ns);
+    return n;
+}
+
+size_t
+DecodeFleet::flushShard(unsigned shard, uint64_t now_ns)
+{
+    Shard &s = *shards_[shard];
+    size_t n = 0;
+    for (;;) {
+        while (s.pending < config_.maxBatch &&
+               s.ring.tryPop(s.pendingJobs[s.pending]))
+            s.pending++;
+        if (s.pending == 0)
+            return n;
+        n += s.pending;
+        flushLocked(s, now_ns);
+    }
+}
+
+void
+DecodeFleet::start()
+{
+    if (running_.exchange(true))
+        return;
+    threads_.reserve(config_.shards);
+    for (unsigned i = 0; i < config_.shards; i++) {
+        threads_.emplace_back([this, i] {
+            while (running_.load(std::memory_order_relaxed)) {
+                if (pumpShard(i, now_()) == 0) {
+                    // Nothing flushed: sleep a fraction of maxDelay so
+                    // the age-based flush fires close to on time.
+                    std::this_thread::sleep_for(
+                        std::chrono::nanoseconds(std::max<uint64_t>(
+                            1000, config_.maxDelayNs / 8)));
+                }
+            }
+            // Graceful drain: decode whatever is still queued.
+            flushShard(i, now_());
+        });
+    }
+}
+
+void
+DecodeFleet::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+}
+
+void
+DecodeFleet::writeMetrics(telemetry::PrometheusWriter &w) const
+{
+    using telemetry::PromLabels;
+    w.counter("astrea_fleet_connections_total",
+              "Fleet ingest connections accepted",
+              connectionsTotal_.load(std::memory_order_relaxed));
+    w.counter("astrea_fleet_frames_total",
+              "Syndrome frames received on the fleet ingest port",
+              framesTotal_.load(std::memory_order_relaxed));
+    w.counter("astrea_fleet_malformed_frames_total",
+              "Malformed/unparseable frames (connection closed)",
+              malformedTotal_.load(std::memory_order_relaxed));
+    w.counter("astrea_fleet_enqueued_total",
+              "Shots admitted into shard rings",
+              enqueuedTotal_.load(std::memory_order_relaxed));
+    w.counter("astrea_fleet_shed_total",
+              "Shots shed by admission control (includes ring-full)",
+              shedTotal_.load(std::memory_order_relaxed));
+    w.counter("astrea_fleet_ring_full_total",
+              "Shots rejected because the shard ring was full",
+              ringFullTotal_.load(std::memory_order_relaxed));
+    w.counter("astrea_fleet_coalesced_batches_total",
+              "decodeBatch calls issued by shard workers",
+              batchesTotal_.load(std::memory_order_relaxed));
+    w.counter("astrea_fleet_decoded_shots_total",
+              "Shots decoded through the fleet path",
+              decodedTotal_.load(std::memory_order_relaxed));
+
+    w.family("astrea_fleet_queue_depth", "gauge",
+             "Approximate shard ring occupancy");
+    for (unsigned i = 0; i < config_.shards; i++) {
+        w.sample("astrea_fleet_queue_depth",
+                 static_cast<double>(queueDepth(i)),
+                 PromLabels{{"shard", std::to_string(i)}});
+    }
+}
+
+void
+DecodeFleet::writeStatusz(telemetry::JsonWriter &w) const
+{
+    w.kv("shards", uint64_t{config_.shards});
+    w.kv("ring_capacity",
+         static_cast<uint64_t>(shards_[0]->ring.capacity()));
+    w.kv("max_batch", static_cast<uint64_t>(config_.maxBatch));
+    w.kv("max_delay_ns", config_.maxDelayNs);
+    w.kv("shed_low_watermark", config_.shedLowWatermark);
+    w.kv("shed_high_watermark", config_.shedHighWatermark);
+    w.kv("max_priority", uint64_t{config_.maxPriority});
+    w.kv("connections", connectionsTotal_.load(std::memory_order_relaxed));
+    w.kv("frames", framesTotal_.load(std::memory_order_relaxed));
+    w.kv("malformed_frames",
+         malformedTotal_.load(std::memory_order_relaxed));
+    w.kv("enqueued", enqueuedTotal_.load(std::memory_order_relaxed));
+    w.kv("shed", shedTotal_.load(std::memory_order_relaxed));
+    w.kv("ring_full", ringFullTotal_.load(std::memory_order_relaxed));
+    w.kv("coalesced_batches",
+         batchesTotal_.load(std::memory_order_relaxed));
+    w.kv("decoded_shots",
+         decodedTotal_.load(std::memory_order_relaxed));
+    w.key("queue_depths").beginArray();
+    for (unsigned i = 0; i < config_.shards; i++)
+        w.value(static_cast<uint64_t>(queueDepth(i)));
+    w.endArray();
+}
+
+} // namespace astrea

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Sharded multi-stream decode fleet (admission + coalescing core).
+ *
+ * The fleet turns the decode service from one synthetic workload into
+ * a front-end for thousands of per-logical-qubit syndrome streams:
+ *
+ *   TCP readers (net/fleet_server) --submit()--> shard MPSC rings
+ *        --> shard worker: coalesce -> Decoder::decodeBatch -> verdicts
+ *
+ * Each stream id is hashed onto one of N shards, so a stream's shots
+ * decode in order on one worker while shards run independently. A
+ * shard owns a bounded lock-free MPSC ring (common/mpsc_ring.hh); its
+ * worker drains arrivals into a pending block and flushes it through
+ * the HW-bucketed wide decodeBatch path (PR 9) under an admission
+ * policy: flush when maxBatch shots are pending, or when the oldest
+ * pending shot has waited maxDelayNs — batching amortizes dispatch
+ * without unbounded queueing latency.
+ *
+ * Backpressure is priority-aware load shedding at submit(): between
+ * the low and high queue-depth watermarks the minimum admitted
+ * priority ramps linearly from 0 to maxPriority, so the lowest-
+ * priority streams shed first; past the high watermark only top-
+ * priority shots are admitted, and a full ring rejects everything
+ * (counted separately). Shed shots still get a Verdict frame (shed
+ * flag set) so clients see backpressure instead of silence.
+ *
+ * The class is deliberately thread-optional and clock-injectable:
+ * start() launches one worker thread per shard, but tests (and the
+ * alloc assertions) drive submit() + pumpShard() synchronously with a
+ * fake clock and get deterministic coalescing/shedding. The
+ * submit -> pump -> verdict path performs zero steady-state heap
+ * allocations (tests/alloc_test.cc).
+ */
+
+#ifndef ASTREA_HARNESS_FLEET_HH
+#define ASTREA_HARNESS_FLEET_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_ring.hh"
+#include "harness/memory_experiment.hh"
+#include "telemetry/json.hh"
+#include "telemetry/prometheus.hh"
+
+namespace astrea
+{
+
+/** Largest defect count a fleet job carries inline (HW cap). */
+constexpr uint32_t kFleetMaxDefects = 64;
+
+/** Fleet geometry and admission policy. */
+struct FleetConfig
+{
+    unsigned shards = 2;
+    /** Per-shard ring capacity (rounded up to a power of two). */
+    size_t ringCapacity = 1024;
+    /** Coalescing: flush at this many pending shots... */
+    size_t maxBatch = 64;
+    /** ...or when the oldest pending shot is this old. */
+    uint64_t maxDelayNs = 200 * 1000;
+    /** Shedding ramp start/end, as fractions of ring capacity. */
+    double shedLowWatermark = 0.5;
+    double shedHighWatermark = 0.9;
+    /** Highest priority a stream can claim (fits in the wire u8). */
+    uint8_t maxPriority = 7;
+};
+
+/** One ingested shot, copied by value through the shard ring. */
+struct FleetJob
+{
+    uint32_t streamId = 0;
+    uint32_t seq = 0;
+    /** Opaque routing token (connection id) echoed in the verdict. */
+    uint32_t connId = 0;
+    uint8_t priority = 0;
+    uint16_t hw = 0;  ///< Valid entries in defects.
+    uint64_t ingestNs = 0;  ///< Stamped by submit().
+    std::array<uint32_t, kFleetMaxDefects> defects{};
+};
+
+/** Outcome of one shot, delivered to the verdict sink. */
+struct FleetVerdict
+{
+    uint32_t streamId = 0;
+    uint32_t seq = 0;
+    uint32_t connId = 0;
+    uint64_t obsMask = 0;
+    bool gaveUp = false;
+    bool shed = false;
+    /** Protocol-level failure (e.g. defect count over the inline cap). */
+    bool error = false;
+    /** Ingest-to-verdict wall time; 0 for shed shots. */
+    uint64_t latencyNs = 0;
+};
+
+/** submit() outcome (Shed and RingFull both emit a shed verdict). */
+enum class FleetSubmit
+{
+    Enqueued,
+    Shed,      ///< Below the admission ramp's required priority.
+    RingFull,  ///< Ring rejected the push (hard backpressure).
+};
+
+/** The sharded fleet; see file comment. */
+class DecodeFleet
+{
+  public:
+    DecodeFleet(const FleetConfig &config,
+                std::shared_ptr<const ExperimentContext> ctx,
+                DecoderFactory factory);
+    ~DecodeFleet();
+
+    DecodeFleet(const DecodeFleet &) = delete;
+    DecodeFleet &operator=(const DecodeFleet &) = delete;
+
+    /** Verdicts (decoded and shed) are pushed here; set before any
+     *  submit(). Called from shard workers and, for shed shots, from
+     *  the submitting thread — the sink must be thread-safe. */
+    void setVerdictSink(std::function<void(const FleetVerdict &)> sink);
+
+    /** Per-decoded-shot accounting hook (SLO windows); optional. */
+    void setAccountHook(
+        std::function<void(size_t hw, double latency_ns, bool gave_up)>
+            hook);
+
+    /** Tests inject a fake monotonic clock (ns); default wall-clock. */
+    void setNowFunction(std::function<uint64_t()> now);
+
+    /** The shard a stream id hashes onto. */
+    unsigned shardFor(uint32_t stream_id) const;
+
+    /**
+     * Admit one shot: stamps the ingest time, applies the shedding
+     * ramp against the target shard's queue depth, and either
+     * enqueues or emits an immediate shed verdict. Thread-safe.
+     */
+    FleetSubmit submit(FleetJob &job);
+
+    /**
+     * Drain and possibly flush one shard (the worker loop's body).
+     * Returns the number of shots decoded (0 = nothing ready, or the
+     * coalescing policy is still waiting for maxBatch/maxDelay).
+     * Tests call this directly; do not mix with start().
+     */
+    size_t pumpShard(unsigned shard, uint64_t now_ns);
+
+    /** Flush a shard's pending shots regardless of age (shutdown). */
+    size_t flushShard(unsigned shard, uint64_t now_ns);
+
+    /** Launch one worker thread per shard / join them. */
+    void start();
+    void stop();
+
+    /** Minimum admitted priority at queue depth `depth` (exposed for
+     *  the shed-order tests; deterministic and stateless). */
+    uint8_t requiredPriorityAtDepth(size_t depth) const;
+
+    const FleetConfig &config() const { return config_; }
+    uint32_t numDetectorBits() const { return numDetectorBits_; }
+    size_t queueDepth(unsigned shard) const;
+
+    // Ingest-side counters, bumped by the TCP front-end so every
+    // fleet family renders from one place.
+    void noteConnectionOpened() { connectionsTotal_.fetch_add(1, std::memory_order_relaxed); }
+    void noteFrame() { framesTotal_.fetch_add(1, std::memory_order_relaxed); }
+    void noteMalformed() { malformedTotal_.fetch_add(1, std::memory_order_relaxed); }
+
+    uint64_t enqueuedTotal() const { return enqueuedTotal_.load(std::memory_order_relaxed); }
+    uint64_t shedTotal() const { return shedTotal_.load(std::memory_order_relaxed); }
+    uint64_t ringFullTotal() const { return ringFullTotal_.load(std::memory_order_relaxed); }
+    uint64_t batchesTotal() const { return batchesTotal_.load(std::memory_order_relaxed); }
+    uint64_t decodedTotal() const { return decodedTotal_.load(std::memory_order_relaxed); }
+    uint64_t malformedTotal() const { return malformedTotal_.load(std::memory_order_relaxed); }
+
+    /** Prometheus families (astrea_fleet_*). */
+    void writeMetrics(telemetry::PrometheusWriter &w) const;
+    /** The /statusz "fleet" object's members (object already open). */
+    void writeStatusz(telemetry::JsonWriter &w) const;
+
+  private:
+    struct Shard;
+
+    void flushLocked(Shard &s, uint64_t now_ns);
+
+    FleetConfig config_;
+    std::shared_ptr<const ExperimentContext> ctx_;
+    uint32_t numDetectorBits_ = 0;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> threads_;
+    std::atomic<bool> running_{false};
+
+    std::function<void(const FleetVerdict &)> sink_;
+    std::function<void(size_t, double, bool)> account_;
+    std::function<uint64_t()> now_;
+
+    std::atomic<uint64_t> connectionsTotal_{0};
+    std::atomic<uint64_t> framesTotal_{0};
+    std::atomic<uint64_t> malformedTotal_{0};
+    std::atomic<uint64_t> enqueuedTotal_{0};
+    std::atomic<uint64_t> shedTotal_{0};
+    std::atomic<uint64_t> ringFullTotal_{0};
+    std::atomic<uint64_t> batchesTotal_{0};
+    std::atomic<uint64_t> decodedTotal_{0};
+};
+
+} // namespace astrea
+
+#endif // ASTREA_HARNESS_FLEET_HH

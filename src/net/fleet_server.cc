@@ -1,0 +1,295 @@
+#include "net/fleet_server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/bitvec.hh"
+#include "compression/syndrome_codec.hh"
+
+namespace astrea
+{
+namespace net
+{
+
+namespace
+{
+
+bool
+sendAllFd(int fd, const uint8_t *data, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+/** One ingest connection; all buffers reused across frames. */
+struct FleetServer::Conn
+{
+    int fd = -1;
+    uint32_t id = 0;
+    std::atomic<bool> open{true};
+
+    ~Conn()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    // Reader-thread-owned decode state.
+    FleetFrameBuffer frames;
+    BitVec syndrome;
+    std::vector<uint32_t> defects;
+
+    // Verdict writes come from shard workers and the submit path.
+    std::mutex writeMu;
+    std::vector<uint8_t> writeBuf;
+};
+
+FleetServer::FleetServer(DecodeFleet &fleet) : fleet_(fleet)
+{
+}
+
+FleetServer::~FleetServer()
+{
+    stop();
+}
+
+bool
+FleetServer::start(const std::string &bind_addr, uint16_t port,
+                   std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg + ": " + std::strerror(errno);
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        return false;
+    };
+
+    if (running_)
+        return fail("fleet server already running");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return fail("socket");
+
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1)
+        return fail("bad bind address '" + bind_addr + "'");
+
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("bind " + bind_addr + ":" + std::to_string(port));
+    if (::listen(listenFd_, 64) != 0)
+        return fail("listen");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return fail("getsockname");
+    port_ = ntohs(addr.sin_port);
+
+    running_ = true;
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+FleetServer::stop()
+{
+    if (!running_.exchange(false)) {
+        if (!acceptor_.joinable())
+            return;
+    }
+    if (listenFd_ >= 0) {
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (acceptor_.joinable())
+        acceptor_.join();
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        for (auto &c : conns_) {
+            if (c && c->open.load())
+                ::shutdown(c->fd, SHUT_RDWR);
+        }
+    }
+    for (auto &t : readers_)
+        t.join();
+    readers_.clear();
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        conns_.clear();
+    }
+}
+
+void
+FleetServer::acceptLoop()
+{
+    while (running_) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break;  // Closed by stop(), or fatal.
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(connsMu_);
+            conn->id = static_cast<uint32_t>(conns_.size());
+            conns_.push_back(conn);
+            readers_.emplace_back(
+                [this, conn] { readerLoop(conn); });
+        }
+        fleet_.noteConnectionOpened();
+
+        // Hello tells the client the syndrome width to encode for.
+        std::vector<uint8_t> hello;
+        appendFleetHello(hello, fleet_.numDetectorBits());
+        if (!sendAllFd(fd, hello.data(), hello.size())) {
+            conn->open = false;
+            ::shutdown(fd, SHUT_RDWR);
+        }
+    }
+}
+
+void
+FleetServer::readerLoop(std::shared_ptr<Conn> conn)
+{
+    const uint8_t max_priority = fleet_.config().maxPriority;
+    uint8_t buf[8192];
+    bool malformed = false;
+
+    while (running_ && !malformed) {
+        ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+        if (n == 0)
+            break;  // Peer closed.
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        conn->frames.append(buf, static_cast<size_t>(n));
+
+        FleetFrameHeader h;
+        const uint8_t *payload = nullptr;
+        for (;;) {
+            FleetParse st = conn->frames.next(h, payload);
+            if (st == FleetParse::NeedMore)
+                break;
+            if (st == FleetParse::Malformed) {
+                fleet_.noteMalformed();
+                malformed = true;
+                break;
+            }
+            fleet_.noteFrame();
+            // Only clients send Syndrome frames; anything else on an
+            // ingest connection is a protocol violation.
+            if (h.type != FleetFrameType::Syndrome ||
+                h.payloadLen < 1) {
+                fleet_.noteMalformed();
+                malformed = true;
+                break;
+            }
+            if (!tryDecodeSyndromeInto(payload + 1, h.payloadLen - 1,
+                                       fleet_.numDetectorBits(),
+                                       conn->syndrome)) {
+                fleet_.noteMalformed();
+                malformed = true;
+                break;
+            }
+            conn->syndrome.onesIndicesInto(conn->defects);
+
+            FleetJob job;
+            job.streamId = h.streamId;
+            job.seq = h.seq;
+            job.connId = conn->id;
+            job.priority =
+                std::min<uint8_t>(payload[0], max_priority);
+            if (conn->defects.size() > kFleetMaxDefects) {
+                // Beyond the inline cap (decoders give up long before
+                // HW 64): answer with an error verdict, keep going.
+                FleetVerdict v;
+                v.streamId = h.streamId;
+                v.seq = h.seq;
+                v.connId = conn->id;
+                v.gaveUp = true;
+                v.error = true;
+                deliver(v);
+                continue;
+            }
+            job.hw = static_cast<uint16_t>(conn->defects.size());
+            for (size_t i = 0; i < conn->defects.size(); i++)
+                job.defects[i] = conn->defects[i];
+            fleet_.submit(job);
+        }
+    }
+
+    // Shut down but leave the fd open until the Conn is destroyed:
+    // deliver() may race this exit, and a shut-down fd fails sends
+    // harmlessly where a recycled descriptor would corrupt a stranger.
+    conn->open = false;
+    ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void
+FleetServer::deliver(const FleetVerdict &v)
+{
+    std::shared_ptr<Conn> conn;
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        if (v.connId < conns_.size())
+            conn = conns_[v.connId];
+    }
+    if (!conn || !conn->open.load())
+        return;
+
+    uint8_t flags = 0;
+    if (v.gaveUp)
+        flags |= kVerdictGaveUp;
+    if (v.shed)
+        flags |= kVerdictShed;
+    if (v.error)
+        flags |= kVerdictError;
+
+    std::lock_guard<std::mutex> lock(conn->writeMu);
+    conn->writeBuf.clear();
+    appendFleetVerdict(conn->writeBuf, v.streamId, v.seq, v.obsMask,
+                       flags);
+    if (!sendAllFd(conn->fd, conn->writeBuf.data(),
+                   conn->writeBuf.size()))
+        conn->open = false;
+}
+
+} // namespace net
+} // namespace astrea

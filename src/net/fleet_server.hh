@@ -1,0 +1,83 @@
+/**
+ * @file
+ * TCP ingest front-end for the decode fleet.
+ *
+ * Accepts connections on the fleet port, sends a Hello frame carrying
+ * the workload's detector-bit count, then reads Syndrome frames
+ * (net/fleet_protocol.hh) off each connection, decodes their codec
+ * payload into defect lists and submits them to the DecodeFleet.
+ * Verdict frames are written back on the connection the shot arrived
+ * on (streams are logical: one connection multiplexes any number of
+ * stream ids, so a thousand streams do not need a thousand sockets —
+ * one reader thread per connection suffices).
+ *
+ * A malformed frame (bad magic/version/type, oversized payload,
+ * undecodable codec bytes) closes that connection cleanly after
+ * counting it; other connections are unaffected. Per-connection state
+ * (frame buffer, decode BitVec, defect scratch, write buffer) is
+ * reused, so steady-state ingest performs no heap allocations.
+ */
+
+#ifndef ASTREA_NET_FLEET_SERVER_HH
+#define ASTREA_NET_FLEET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/fleet.hh"
+#include "net/fleet_protocol.hh"
+
+namespace astrea
+{
+namespace net
+{
+
+class FleetServer
+{
+  public:
+    explicit FleetServer(DecodeFleet &fleet);
+    ~FleetServer();
+
+    FleetServer(const FleetServer &) = delete;
+    FleetServer &operator=(const FleetServer &) = delete;
+
+    /** Bind + accept; port 0 picks an ephemeral port (see port()). */
+    bool start(const std::string &bind_addr, uint16_t port,
+               std::string *error);
+    void stop();
+
+    uint16_t port() const { return port_; }
+
+    /**
+     * Write a verdict frame back to the connection the shot arrived
+     * on (FleetVerdict::connId); drops silently if it is gone. This
+     * is the fleet's verdict sink; thread-safe.
+     */
+    void deliver(const FleetVerdict &v);
+
+  private:
+    struct Conn;
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Conn> conn);
+
+    DecodeFleet &fleet_;
+    std::thread acceptor_;
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+
+    std::mutex connsMu_;
+    std::vector<std::shared_ptr<Conn>> conns_;  ///< Indexed by connId.
+    std::vector<std::thread> readers_;
+};
+
+} // namespace net
+} // namespace astrea
+
+#endif // ASTREA_NET_FLEET_SERVER_HH

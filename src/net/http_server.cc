@@ -227,13 +227,38 @@ HttpServer::acceptLoop()
 void
 HttpServer::serveConnection(int fd)
 {
+    // Bounded keep-alive: serve up to maxRequestsPerConnection
+    // HTTP/1.1 requests on this connection, carrying pipelined bytes
+    // between iterations. Each request re-arms the whole-head
+    // deadline (the slow-loris defense is per request, not amortized
+    // across the connection).
+    std::string carry;
+    const unsigned max_requests =
+        std::max(1u, limits_.maxRequestsPerConnection);
+    for (unsigned served = 0; served < max_requests; served++) {
+        const bool keep =
+            serveOneRequest(fd, carry, served, max_requests);
+        if (!keep)
+            return;
+    }
+}
+
+bool
+HttpServer::serveOneRequest(int fd, std::string &carry,
+                            unsigned served, unsigned max_requests)
+{
     // Read the whole head against one fixed deadline. A per-recv
     // timeout alone lets a slow-loris client trickle a byte every few
     // seconds and hold this (serial) server forever; here each recv
-    // gets only the budget that remains.
-    const uint64_t deadline = nowMillis() + limits_.headDeadlineMillis;
+    // gets only the budget that remains. On a kept-alive connection
+    // the follow-up budget is the (shorter) idle allowance.
+    const uint64_t budget_ms = served == 0
+                                   ? limits_.headDeadlineMillis
+                                   : limits_.keepAliveIdleMillis;
+    const uint64_t deadline = nowMillis() + budget_ms;
     bool timed_out = false;
-    std::string head;
+    std::string head = std::move(carry);
+    carry.clear();
     char buf[4096];
     while (head.find("\r\n\r\n") == std::string::npos &&
            head.size() <= limits_.maxHeadBytes) {
@@ -252,7 +277,7 @@ HttpServer::serveConnection(int fd)
         ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
         ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
         if (n == 0)
-            return;  // Closed before a full head.
+            return false;  // Closed before a full head.
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -260,17 +285,22 @@ HttpServer::serveConnection(int fd)
                 timed_out = true;
                 break;
             }
-            return;  // Reset or another hard error.
+            return false;  // Reset or another hard error.
         }
         head.append(buf, static_cast<size_t>(n));
     }
 
     HttpResponse resp;
     HttpRequest req;
+    bool http11 = false;
     const size_t head_end = head.find("\r\n\r\n");
     const size_t line_end = head.find("\r\n");
 
     if (timed_out && head_end == std::string::npos) {
+        // An idle keeper timing out before sending anything is the
+        // normal end of a kept-alive connection, not an error.
+        if (served > 0 && head.empty())
+            return false;
         resp.status = 408;
         resp.body = "request head not received in time\n";
     } else if (head_end == std::string::npos ||
@@ -290,6 +320,8 @@ HttpServer::serveConnection(int fd)
             resp.body = "bad request\n";
         } else {
             req.method = line.substr(0, sp1);
+            http11 = line.compare(sp2 + 1, std::string::npos,
+                                  "HTTP/1.1") == 0;
             std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
             size_t q = target.find('?');
             req.path = target.substr(0, q);
@@ -347,15 +379,30 @@ HttpServer::serveConnection(int fd)
     }
     requests_.fetch_add(1, std::memory_order_relaxed);
 
+    // Keep the connection only for a cleanly-parsed HTTP/1.1 request
+    // that did not ask to close, has no body to desynchronize the
+    // stream, and leaves room under the per-connection request bound.
+    const bool keep = http11 && resp.status < 400 &&
+                      served + 1 < max_requests &&
+                      req.header("connection") != "close" &&
+                      req.header("content-length").empty() &&
+                      head_end != std::string::npos;
+
     std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
                       httpStatusText(resp.status) + "\r\n";
     out += "Content-Type: " + resp.contentType + "\r\n";
     out += "Content-Length: " + std::to_string(resp.body.size()) +
            "\r\n";
-    out += "Connection: close\r\n\r\n";
+    out += keep ? "Connection: keep-alive\r\n\r\n"
+                : "Connection: close\r\n\r\n";
     if (req.method != "HEAD")
         out += resp.body;
-    sendAll(fd, out.data(), out.size());
+    if (!sendAll(fd, out.data(), out.size()))
+        return false;
+
+    if (keep && head_end != std::string::npos)
+        carry = head.substr(head_end + 4);  // Pipelined bytes.
+    return keep;
 }
 
 } // namespace net

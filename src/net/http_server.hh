@@ -5,10 +5,12 @@
  *
  * One acceptor thread serves connections serially: read the request
  * head, dispatch on the exact path (query string stripped) or the
- * longest registered prefix, write the response with Content-Length,
- * close. That is deliberately all — a Prometheus scraper or a curl
- * probe issues one short GET every few seconds, so there is no
- * keep-alive, no chunking, no TLS and no concurrency. Because the
+ * longest registered prefix, write the response with Content-Length.
+ * HTTP/1.1 connections are kept alive for a bounded number of
+ * requests (HttpLimits::maxRequestsPerConnection, with a short idle
+ * allowance between them), so scrape loops and the fleet status plane
+ * stop paying per-request connection setup; there is still no
+ * chunking, no TLS and no concurrency. Because the
  * server is serial, a slow or abusive client is the whole service's
  * problem, so each connection gets a hard head deadline (not just a
  * per-recv timeout — a slow-loris client trickling one byte per
@@ -63,12 +65,22 @@ using HttpHandler = std::function<HttpResponse(const HttpRequest &)>;
 struct HttpLimits
 {
     /** Whole-head deadline: the client must deliver the full request
-     *  head within this budget, no matter how it paces its bytes. */
+     *  head within this budget, no matter how it paces its bytes.
+     *  Applies per request — keep-alive does not extend it. */
     uint64_t headDeadlineMillis = 5000;
     /** Cap on the whole request head (request line + headers). */
     size_t maxHeadBytes = 64 * 1024;
     /** Cap on the request line alone (method + target + version). */
     size_t maxRequestLineBytes = 8 * 1024;
+    /** HTTP/1.1 keep-alive: serve at most this many requests on one
+     *  connection (1 = the old close-per-request behavior). The
+     *  server is serial, so the bound keeps one chatty client from
+     *  monopolizing it indefinitely. */
+    unsigned maxRequestsPerConnection = 32;
+    /** Head deadline for the 2nd..Nth request on a kept-alive
+     *  connection: an idle keeper only blocks the serial server this
+     *  long before the connection is dropped. */
+    uint64_t keepAliveIdleMillis = 1000;
 };
 
 class HttpServer
@@ -116,6 +128,9 @@ class HttpServer
   private:
     void acceptLoop();
     void serveConnection(int fd);
+    /** One keep-alive iteration; true = keep the connection open. */
+    bool serveOneRequest(int fd, std::string &carry, unsigned served,
+                         unsigned max_requests);
 
     std::map<std::string, HttpHandler> handlers_;
     std::map<std::string, HttpHandler> prefixHandlers_;

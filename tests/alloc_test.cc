@@ -18,11 +18,18 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <thread>
+
 #include "audit/auditor.hh"
+#include "compression/syndrome_codec.hh"
 #include "common/alloc_counter.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "decoders/registry.hh"
+#include "harness/fleet.hh"
 #include "harness/memory_experiment.hh"
+#include "net/fleet_protocol.hh"
 #include "telemetry/decode_trace.hh"
 
 namespace astrea
@@ -256,6 +263,138 @@ TEST(AllocCounter, AuditEnqueueIsAllocationFree)
     EXPECT_EQ(allocs, 0u)
         << "audit enqueue allocated " << allocs << " times across "
         << syndromes.size() << " offers";
+}
+
+TEST(AllocCounter, ThreadPoolRawEnqueueIsAllocationFree)
+{
+    // enqueueRaw() must hand work to the pool without constructing a
+    // std::function or touching the heap; enqueue() (the
+    // std::function path) is allowed to allocate, which is exactly
+    // why the raw path exists.
+    ThreadPool pool(2);
+    pool.reserveRawSlots(256);
+
+    std::atomic<uint64_t> ran{0};
+    auto bump = [](void *arg) {
+        static_cast<std::atomic<uint64_t> *>(arg)->fetch_add(
+            1, std::memory_order_relaxed);
+    };
+
+    // Warm-up: settle any lazy one-time state in the pool/OS.
+    for (int i = 0; i < 64; i++) {
+        while (!pool.enqueueRaw(bump, &ran))
+            std::this_thread::yield();
+    }
+    while (ran.load() < 64)
+        std::this_thread::yield();
+
+    const uint64_t before = allocCount();
+    for (int i = 0; i < 200; i++) {
+        while (!pool.enqueueRaw(bump, &ran))
+            std::this_thread::yield();
+    }
+    const uint64_t allocs = allocCount() - before;
+    EXPECT_EQ(allocs, 0u)
+        << "enqueueRaw allocated " << allocs << " times across 200 "
+        << "steady-state submissions";
+
+    while (ran.load() < 264)
+        std::this_thread::yield();
+    pool.shutdown();
+    EXPECT_EQ(ran.load(), 264u);
+}
+
+TEST(AllocCounter, FleetIngestToDecodePathIsAllocationFree)
+{
+    // The full wire-to-verdict hot path, driven synchronously the way
+    // a reader thread + shard worker would: accumulate frame bytes,
+    // parse, decode the codec payload, build a job, submit through
+    // the shedding ramp, pump the shard through decodeBatch. After
+    // warm-up, none of it may touch the allocator.
+    ExperimentConfig ecfg;
+    ecfg.distance = 5;
+    ecfg.physicalErrorRate = 1e-3;
+    auto ctx = std::make_shared<const ExperimentContext>(ecfg);
+
+    FleetConfig fc;
+    fc.shards = 1;
+    fc.ringCapacity = 512;
+    fc.maxBatch = 32;
+    fc.maxDelayNs = 0;  // Every pump flushes: exercises decode too.
+    DecodeFleet fleet(fc, ctx, registryFactory("astrea"));
+    uint64_t fake_now = 1;
+    fleet.setNowFunction([&fake_now] { return fake_now; });
+    std::atomic<uint64_t> verdicts{0};
+    fleet.setVerdictSink(
+        [&verdicts](const FleetVerdict &) { verdicts++; });
+
+    // Pre-encode wire frames for sampled syndromes (client side; the
+    // measured region is the server side).
+    const uint32_t bits = fleet.numDetectorBits();
+    Rng rng(31);
+    BitVec dets, obs;
+    std::vector<std::vector<uint8_t>> wire_frames;
+    std::vector<uint8_t> codec_buf;
+    size_t guard = 0;
+    uint32_t seq = 0;
+    while (wire_frames.size() < 128 && ++guard < 2000000) {
+        ctx->sampler().sample(rng, dets, obs);
+        const size_t hw = dets.popcount();
+        if (hw < 1 || hw > 10)
+            continue;
+        codec_buf.clear();
+        encodeSyndromeInto(dets, SyndromeCodec::Sparse, codec_buf);
+        std::vector<uint8_t> frame;
+        net::appendFleetSyndrome(frame, seq % 16, seq, 7,
+                                 codec_buf.data(), codec_buf.size());
+        wire_frames.push_back(std::move(frame));
+        seq++;
+    }
+    ASSERT_GE(wire_frames.size(), 64u);
+
+    // Reused server-side state, exactly like net::FleetServer's
+    // per-connection buffers.
+    net::FleetFrameBuffer frames;
+    BitVec syndrome;
+    std::vector<uint32_t> defects;
+    defects.reserve(kFleetMaxDefects);
+
+    auto ingest_all = [&] {
+        for (const auto &f : wire_frames) {
+            fake_now++;
+            frames.append(f.data(), f.size());
+            net::FleetFrameHeader h;
+            const uint8_t *payload = nullptr;
+            ASSERT_EQ(frames.next(h, payload), net::FleetParse::Ok);
+            ASSERT_TRUE(tryDecodeSyndromeInto(
+                payload + 1, h.payloadLen - 1u, bits, syndrome));
+            syndrome.onesIndicesInto(defects);
+            FleetJob job;
+            job.streamId = h.streamId;
+            job.seq = h.seq;
+            job.priority = payload[0];
+            job.hw = static_cast<uint16_t>(defects.size());
+            for (size_t i = 0; i < defects.size(); i++)
+                job.defects[i] = defects[i];
+            ASSERT_EQ(fleet.submit(job), FleetSubmit::Enqueued);
+            fleet.pumpShard(0, fake_now);
+        }
+        fleet.flushShard(0, fake_now);
+    };
+
+    // Two warm-up passes settle every reused buffer (frame
+    // accumulator, codec BitVec, SyndromeBatch, decoder scratch).
+    ingest_all();
+    ingest_all();
+    const uint64_t before = allocCount();
+    ingest_all();
+    const uint64_t allocs = allocCount() - before;
+    EXPECT_EQ(allocs, 0u)
+        << "fleet ingest->decode allocated " << allocs
+        << " times across " << wire_frames.size()
+        << " steady-state shots";
+    EXPECT_EQ(verdicts.load(), 3 * wire_frames.size());
+    EXPECT_EQ(fleet.decodedTotal(), 3 * wire_frames.size());
 }
 
 } // namespace

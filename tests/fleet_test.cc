@@ -1,0 +1,594 @@
+/**
+ * @file
+ * Tests for the sharded decode fleet: the lock-free MPSC ring, the
+ * binary ingest protocol (including truncation and bit-flip fuzz), the
+ * coalescing admission policy under an injected clock, priority-ramp
+ * load shedding, and end-to-end TCP ingest parity against a direct
+ * decodeBatch on the same syndromes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/mpsc_ring.hh"
+#include "common/rng.hh"
+#include "decoders/decoder.hh"
+#include "decoders/registry.hh"
+#include "harness/fleet.hh"
+#include "harness/memory_experiment.hh"
+#include "net/fleet_client.hh"
+#include "net/fleet_protocol.hh"
+#include "net/fleet_server.hh"
+
+namespace astrea
+{
+namespace
+{
+
+// ---------------------------------------------------------------- ring
+
+TEST(MpscRing, CapacityRoundsUpToPowerOfTwo)
+{
+    MpscRing<int> r(100);
+    EXPECT_EQ(r.capacity(), 128u);
+    MpscRing<int> r2(64);
+    EXPECT_EQ(r2.capacity(), 64u);
+    MpscRing<int> r3(1);
+    EXPECT_GE(r3.capacity(), 1u);
+}
+
+TEST(MpscRing, FifoOrderSurvivesWraparound)
+{
+    MpscRing<int> r(8);
+    int next_out = 0;
+    int next_in = 0;
+    // Push/pop in lockstep 10x the capacity so head and tail wrap
+    // several times; order must hold across every wrap.
+    for (int round = 0; round < 20; round++) {
+        for (int i = 0; i < 5; i++)
+            ASSERT_TRUE(r.tryPush(next_in++));
+        for (int i = 0; i < 5; i++) {
+            int v = -1;
+            ASSERT_TRUE(r.tryPop(v));
+            EXPECT_EQ(v, next_out++);
+        }
+    }
+    int v;
+    EXPECT_FALSE(r.tryPop(v));
+}
+
+TEST(MpscRing, BoundedCapacityRejectsWhenFull)
+{
+    MpscRing<int> r(4);
+    for (int i = 0; i < 4; i++)
+        ASSERT_TRUE(r.tryPush(i));
+    EXPECT_FALSE(r.tryPush(99));
+    EXPECT_EQ(r.sizeApprox(), 4u);
+    int v = -1;
+    ASSERT_TRUE(r.tryPop(v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(r.tryPush(99));
+    EXPECT_FALSE(r.tryPush(100));
+}
+
+TEST(MpscRing, SpscHammerPreservesOrderAndCount)
+{
+    MpscRing<uint64_t> ring(64);
+    constexpr uint64_t kItems = 200000;
+    std::thread producer([&] {
+        for (uint64_t i = 0; i < kItems; i++) {
+            while (!ring.tryPush(i))
+                std::this_thread::yield();
+        }
+    });
+    uint64_t expect = 0;
+    while (expect < kItems) {
+        uint64_t v;
+        if (ring.tryPop(v)) {
+            ASSERT_EQ(v, expect);
+            expect++;
+        } else {
+            std::this_thread::yield();
+        }
+    }
+    producer.join();
+    uint64_t v;
+    EXPECT_FALSE(ring.tryPop(v));
+}
+
+TEST(MpscRing, MpscHammerLosesNothingAndKeepsPerProducerOrder)
+{
+    MpscRing<uint64_t> ring(128);
+    constexpr unsigned kProducers = 4;
+    constexpr uint64_t kPerProducer = 50000;
+    std::vector<std::thread> producers;
+    for (unsigned p = 0; p < kProducers; p++) {
+        producers.emplace_back([&ring, p] {
+            for (uint64_t i = 0; i < kPerProducer; i++) {
+                const uint64_t tagged = (uint64_t{p} << 32) | i;
+                while (!ring.tryPush(tagged))
+                    std::this_thread::yield();
+            }
+        });
+    }
+    // Single consumer: per-producer sequence numbers must arrive in
+    // order even though producers interleave arbitrarily.
+    uint64_t next_seq[kProducers] = {0, 0, 0, 0};
+    uint64_t popped = 0;
+    while (popped < kProducers * kPerProducer) {
+        uint64_t v;
+        if (!ring.tryPop(v)) {
+            std::this_thread::yield();
+            continue;
+        }
+        const unsigned p = static_cast<unsigned>(v >> 32);
+        const uint64_t seq = v & 0xFFFFFFFFu;
+        ASSERT_LT(p, kProducers);
+        ASSERT_EQ(seq, next_seq[p]) << "producer " << p;
+        next_seq[p]++;
+        popped++;
+    }
+    for (auto &t : producers)
+        t.join();
+    for (unsigned p = 0; p < kProducers; p++)
+        EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(FleetProtocol, HeaderRoundTrips)
+{
+    std::vector<uint8_t> buf;
+    net::appendFleetHeader(buf, net::FleetFrameType::Syndrome,
+                           0xDEADBEEFu, 42, 17);
+    ASSERT_EQ(buf.size(), net::kFleetHeaderBytes);
+    net::FleetFrameHeader h;
+    EXPECT_EQ(net::parseFleetHeader(buf.data(), buf.size(), h),
+              net::FleetParse::Ok);
+    EXPECT_EQ(h.type, net::FleetFrameType::Syndrome);
+    EXPECT_EQ(h.streamId, 0xDEADBEEFu);
+    EXPECT_EQ(h.seq, 42u);
+    EXPECT_EQ(h.payloadLen, 17u);
+}
+
+TEST(FleetProtocol, DribbledBytesYieldFramesInOrder)
+{
+    // Hello + Syndrome + Verdict concatenated, delivered a byte at a
+    // time: the buffer must never yield a frame early, and must yield
+    // all three in order once their bytes are in.
+    std::vector<uint8_t> wire;
+    net::appendFleetHello(wire, 360);
+    const uint8_t codec[] = {0x00, 0xAB};  // Opaque payload bytes.
+    net::appendFleetSyndrome(wire, 7, 3, 5, codec, sizeof(codec));
+    net::appendFleetVerdict(wire, 7, 3, 0x1234, net::kVerdictGaveUp);
+
+    net::FleetFrameBuffer fb;
+    std::vector<net::FleetFrameHeader> got;
+    for (uint8_t byte : wire) {
+        fb.append(&byte, 1);
+        net::FleetFrameHeader h;
+        const uint8_t *payload = nullptr;
+        net::FleetParse st = fb.next(h, payload);
+        if (st == net::FleetParse::Ok) {
+            got.push_back(h);
+            if (h.type == net::FleetFrameType::Syndrome) {
+                ASSERT_EQ(h.payloadLen, 3u);  // priority + 2 codec.
+                EXPECT_EQ(payload[0], 5u);
+                EXPECT_EQ(payload[1], 0x00u);
+                EXPECT_EQ(payload[2], 0xABu);
+            }
+        } else {
+            ASSERT_EQ(st, net::FleetParse::NeedMore);
+        }
+    }
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].type, net::FleetFrameType::Hello);
+    EXPECT_EQ(got[1].type, net::FleetFrameType::Syndrome);
+    EXPECT_EQ(got[1].streamId, 7u);
+    EXPECT_EQ(got[1].seq, 3u);
+    EXPECT_EQ(got[2].type, net::FleetFrameType::Verdict);
+    EXPECT_EQ(fb.pending(), 0u);
+}
+
+TEST(FleetProtocol, MalformedPrefixesAreRejectedEagerly)
+{
+    net::FleetFrameHeader h;
+    // Bad magic is detectable from the first two bytes.
+    const uint8_t bad_magic[] = {0xFF, 0xFF};
+    EXPECT_EQ(net::parseFleetHeader(bad_magic, 2, h),
+              net::FleetParse::Malformed);
+    // One byte is not enough to convict.
+    EXPECT_EQ(net::parseFleetHeader(bad_magic, 1, h),
+              net::FleetParse::NeedMore);
+
+    std::vector<uint8_t> frame;
+    net::appendFleetHello(frame, 16);
+    // Bad version.
+    std::vector<uint8_t> v = frame;
+    v[2] = 99;
+    EXPECT_EQ(net::parseFleetHeader(v.data(), v.size(), h),
+              net::FleetParse::Malformed);
+    // Bad type.
+    std::vector<uint8_t> t = frame;
+    t[3] = 7;
+    EXPECT_EQ(net::parseFleetHeader(t.data(), t.size(), h),
+              net::FleetParse::Malformed);
+    // Oversized payload length.
+    std::vector<uint8_t> p = frame;
+    p[12] = 0xFF;
+    p[13] = 0xFF;
+    EXPECT_EQ(net::parseFleetHeader(p.data(), p.size(), h),
+              net::FleetParse::Malformed);
+}
+
+TEST(FleetProtocol, TruncatedFrameNeverYields)
+{
+    std::vector<uint8_t> wire;
+    const uint8_t codec[] = {0x01, 0x02, 0x03, 0x04};
+    net::appendFleetSyndrome(wire, 1, 1, 0, codec, sizeof(codec));
+    // Every proper prefix must report NeedMore, never Ok/Malformed.
+    for (size_t cut = 0; cut < wire.size(); cut++) {
+        net::FleetFrameBuffer fb;
+        fb.append(wire.data(), cut);
+        net::FleetFrameHeader h;
+        const uint8_t *payload = nullptr;
+        EXPECT_EQ(fb.next(h, payload), net::FleetParse::NeedMore)
+            << "prefix of " << cut << " bytes";
+    }
+}
+
+TEST(FleetProtocol, BitFlipFuzzNeverCrashesOrOverReads)
+{
+    std::vector<uint8_t> wire;
+    const uint8_t codec[] = {0x01, 0x03, 0x00, 0x05, 0x0A};
+    net::appendFleetSyndrome(wire, 9, 100, 3, codec, sizeof(codec));
+
+    for (size_t bit = 0; bit < wire.size() * 8; bit++) {
+        std::vector<uint8_t> mutated = wire;
+        mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        net::FleetFrameBuffer fb;
+        fb.append(mutated.data(), mutated.size());
+        net::FleetFrameHeader h;
+        const uint8_t *payload = nullptr;
+        const net::FleetParse st = fb.next(h, payload);
+        if (st == net::FleetParse::Ok) {
+            // Payload must lie entirely within the mutated buffer.
+            ASSERT_LE(h.payloadLen, net::kFleetMaxPayload);
+            ASSERT_LE(static_cast<size_t>(h.payloadLen),
+                      mutated.size() - net::kFleetHeaderBytes);
+        }
+    }
+}
+
+// --------------------------------------------------- coalescing / shed
+
+std::shared_ptr<const ExperimentContext>
+smallContext()
+{
+    ExperimentConfig ec;
+    ec.distance = 3;
+    ec.physicalErrorRate = 1e-3;
+    return std::make_shared<const ExperimentContext>(ec);
+}
+
+FleetJob
+jobWith(uint32_t stream, uint32_t seq, uint8_t priority,
+        std::initializer_list<uint32_t> defects)
+{
+    FleetJob j;
+    j.streamId = stream;
+    j.seq = seq;
+    j.priority = priority;
+    j.hw = static_cast<uint16_t>(defects.size());
+    size_t i = 0;
+    for (uint32_t d : defects)
+        j.defects[i++] = d;
+    return j;
+}
+
+TEST(DecodeFleet, CoalescesUntilMaxBatchThenFlushes)
+{
+    FleetConfig fc;
+    fc.shards = 1;
+    fc.ringCapacity = 64;
+    fc.maxBatch = 4;
+    fc.maxDelayNs = uint64_t{1} << 60;  // Age never triggers.
+    DecodeFleet fleet(fc, smallContext(), registryFactory("astrea"));
+
+    uint64_t fake_now = 1000;
+    fleet.setNowFunction([&fake_now] { return fake_now; });
+    std::vector<FleetVerdict> verdicts;
+    fleet.setVerdictSink(
+        [&](const FleetVerdict &v) { verdicts.push_back(v); });
+
+    for (uint32_t i = 0; i < 3; i++) {
+        FleetJob j = jobWith(0, i, 0, {0, 1});
+        ASSERT_EQ(fleet.submit(j), FleetSubmit::Enqueued);
+    }
+    // Three pending, below maxBatch, no age: nothing decodes.
+    EXPECT_EQ(fleet.pumpShard(0, fake_now), 0u);
+    EXPECT_TRUE(verdicts.empty());
+
+    FleetJob j = jobWith(0, 3, 0, {2, 3});
+    ASSERT_EQ(fleet.submit(j), FleetSubmit::Enqueued);
+    EXPECT_EQ(fleet.pumpShard(0, fake_now), 4u);
+    ASSERT_EQ(verdicts.size(), 4u);
+    EXPECT_EQ(fleet.batchesTotal(), 1u);
+    EXPECT_EQ(fleet.decodedTotal(), 4u);
+    for (uint32_t i = 0; i < 4; i++) {
+        EXPECT_EQ(verdicts[i].seq, i);
+        EXPECT_FALSE(verdicts[i].shed);
+    }
+}
+
+TEST(DecodeFleet, FlushesWhenOldestPendingShotAges)
+{
+    FleetConfig fc;
+    fc.shards = 1;
+    fc.ringCapacity = 64;
+    fc.maxBatch = 100;
+    fc.maxDelayNs = 1000;
+    DecodeFleet fleet(fc, smallContext(), registryFactory("astrea"));
+
+    uint64_t fake_now = 5000;
+    fleet.setNowFunction([&fake_now] { return fake_now; });
+    std::vector<FleetVerdict> verdicts;
+    fleet.setVerdictSink(
+        [&](const FleetVerdict &v) { verdicts.push_back(v); });
+
+    FleetJob a = jobWith(0, 0, 0, {0});
+    ASSERT_EQ(fleet.submit(a), FleetSubmit::Enqueued);
+    fake_now = 5400;
+    FleetJob b = jobWith(0, 1, 0, {1});
+    ASSERT_EQ(fleet.submit(b), FleetSubmit::Enqueued);
+
+    // Oldest is 400ns old at 5400 and 999ns old at 5999: no flush.
+    EXPECT_EQ(fleet.pumpShard(0, 5400), 0u);
+    EXPECT_EQ(fleet.pumpShard(0, 5999), 0u);
+    EXPECT_TRUE(verdicts.empty());
+    // At exactly maxDelay the whole pending block flushes.
+    EXPECT_EQ(fleet.pumpShard(0, 6000), 2u);
+    ASSERT_EQ(verdicts.size(), 2u);
+    EXPECT_EQ(verdicts[0].latencyNs, 1000u);
+    EXPECT_EQ(verdicts[1].latencyNs, 600u);
+}
+
+TEST(DecodeFleet, RequiredPriorityRampIsMonotoneAndSaturates)
+{
+    FleetConfig fc;
+    fc.shards = 1;
+    fc.ringCapacity = 16;
+    fc.shedLowWatermark = 0.25;   // Ramp starts at depth 4.
+    fc.shedHighWatermark = 0.75;  // Top priority from depth 12.
+    fc.maxPriority = 7;
+    DecodeFleet fleet(fc, smallContext(), registryFactory("astrea"));
+
+    EXPECT_EQ(fleet.requiredPriorityAtDepth(0), 0u);
+    EXPECT_EQ(fleet.requiredPriorityAtDepth(3), 0u);
+    EXPECT_EQ(fleet.requiredPriorityAtDepth(12), 7u);
+    EXPECT_EQ(fleet.requiredPriorityAtDepth(16), 7u);
+    uint8_t prev = 0;
+    for (size_t depth = 0; depth <= 16; depth++) {
+        const uint8_t req = fleet.requiredPriorityAtDepth(depth);
+        EXPECT_GE(req, prev) << "ramp regressed at depth " << depth;
+        EXPECT_LE(req, 7u);
+        prev = req;
+    }
+}
+
+TEST(DecodeFleet, ShedsLowestPriorityFirstThenRejectsOnFullRing)
+{
+    FleetConfig fc;
+    fc.shards = 1;
+    fc.ringCapacity = 8;
+    fc.maxBatch = 64;
+    fc.shedLowWatermark = 0.25;   // Depth 2.
+    fc.shedHighWatermark = 0.75;  // Depth 6.
+    fc.maxPriority = 7;
+    DecodeFleet fleet(fc, smallContext(), registryFactory("astrea"));
+    fleet.setNowFunction([] { return uint64_t{1}; });
+
+    std::vector<FleetVerdict> shed_verdicts;
+    fleet.setVerdictSink([&](const FleetVerdict &v) {
+        if (v.shed)
+            shed_verdicts.push_back(v);
+    });
+
+    // Queue never drains (no pump): depth grows with each accept.
+    // Priority 0 is admitted while depth < ramp threshold, then shed.
+    uint32_t seq = 0;
+    size_t admitted_p0 = 0;
+    for (int i = 0; i < 4; i++) {
+        FleetJob j = jobWith(1, seq++, 0, {0});
+        if (fleet.submit(j) == FleetSubmit::Enqueued)
+            admitted_p0++;
+    }
+    EXPECT_EQ(admitted_p0, 3u);  // Depths 0,1,2 admit; 3 sheds.
+    ASSERT_EQ(shed_verdicts.size(), 1u);
+    EXPECT_TRUE(shed_verdicts[0].shed);
+    EXPECT_EQ(fleet.shedTotal(), 1u);
+    EXPECT_EQ(fleet.ringFullTotal(), 0u);
+
+    // Top priority sails past the ramp until the ring itself fills.
+    size_t admitted_p7 = 0;
+    FleetSubmit last = FleetSubmit::Enqueued;
+    for (int i = 0; i < 6; i++) {
+        FleetJob j = jobWith(1, seq++, 7, {0});
+        last = fleet.submit(j);
+        if (last == FleetSubmit::Enqueued)
+            admitted_p7++;
+    }
+    EXPECT_EQ(admitted_p7, 5u);  // 3 + 5 = capacity 8.
+    EXPECT_EQ(last, FleetSubmit::RingFull);
+    EXPECT_EQ(fleet.ringFullTotal(), 1u);
+    EXPECT_EQ(fleet.queueDepth(0), 8u);
+
+    // Draining restores admission for everyone.
+    EXPECT_EQ(fleet.flushShard(0, 2), 8u);
+    FleetJob j = jobWith(1, seq++, 0, {0});
+    EXPECT_EQ(fleet.submit(j), FleetSubmit::Enqueued);
+}
+
+TEST(DecodeFleet, ShardMappingIsStableAndCoversAllShards)
+{
+    FleetConfig fc;
+    fc.shards = 4;
+    DecodeFleet fleet(fc, smallContext(), registryFactory("astrea"));
+    std::vector<bool> hit(4, false);
+    for (uint32_t id = 0; id < 256; id++) {
+        const unsigned s = fleet.shardFor(id);
+        ASSERT_LT(s, 4u);
+        EXPECT_EQ(s, fleet.shardFor(id));  // Deterministic.
+        hit[s] = true;
+    }
+    for (unsigned s = 0; s < 4; s++)
+        EXPECT_TRUE(hit[s]) << "shard " << s << " never selected";
+}
+
+// ------------------------------------------------- TCP ingest parity
+
+TEST(FleetIngest, TcpRoundTripMatchesDirectDecodeBatch)
+{
+    ExperimentConfig ec;
+    ec.distance = 5;
+    ec.physicalErrorRate = 1e-3;
+    auto ctx = std::make_shared<const ExperimentContext>(ec);
+
+    FleetConfig fc;
+    fc.shards = 2;
+    fc.ringCapacity = 512;
+    fc.maxBatch = 16;
+    fc.maxDelayNs = 50 * 1000;
+    DecodeFleet fleet(fc, ctx, registryFactory("astrea"));
+    net::FleetServer server(fleet);
+    fleet.setVerdictSink(
+        [&server](const FleetVerdict &v) { server.deliver(v); });
+
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+    fleet.start();
+
+    net::FleetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error))
+        << error;
+    ASSERT_EQ(client.numDetectorBits(),
+              static_cast<uint32_t>(ctx->circuit().numDetectors()));
+
+    // Sample real syndromes in Astrea's supported range.
+    Rng rng(77);
+    BitVec dets, obs;
+    std::vector<std::vector<uint32_t>> syndromes;
+    size_t guard = 0;
+    while (syndromes.size() < 96 && ++guard < 2000000) {
+        ctx->sampler().sample(rng, dets, obs);
+        const size_t hw = dets.popcount();
+        if (hw >= 1 && hw <= 10)
+            syndromes.push_back(dets.onesIndices());
+    }
+    ASSERT_GE(syndromes.size(), 64u);
+
+    // Top priority everywhere: this test measures parity, not
+    // shedding, and the load is far below the watermarks anyway.
+    for (uint32_t i = 0; i < syndromes.size(); i++)
+        ASSERT_TRUE(client.sendShot(i % 8, i, fc.maxPriority,
+                                    syndromes[i]));
+    ASSERT_TRUE(client.flush());
+
+    std::vector<net::FleetClientVerdict> got(syndromes.size());
+    for (size_t i = 0; i < syndromes.size(); i++) {
+        net::FleetClientVerdict v;
+        ASSERT_TRUE(client.readVerdict(v)) << "verdict " << i;
+        ASSERT_LT(v.seq, got.size());
+        EXPECT_FALSE(v.shed);
+        EXPECT_FALSE(v.error);
+        got[v.seq] = v;
+    }
+
+    client.close();
+    fleet.stop();
+    server.stop();
+
+    // The same syndromes through the same factory, directly.
+    auto dec = registryFactory("astrea")(*ctx);
+    SyndromeBatch batch;
+    for (const auto &s : syndromes)
+        batch.add(s);
+    std::vector<DecodeResult> direct;
+    DecodeScratch scratch;
+    dec->decodeBatch(batch, direct, scratch);
+    ASSERT_EQ(direct.size(), syndromes.size());
+
+    for (size_t i = 0; i < syndromes.size(); i++) {
+        EXPECT_EQ(got[i].obsMask, direct[i].obsMask) << "shot " << i;
+        EXPECT_EQ(got[i].gaveUp, direct[i].gaveUp) << "shot " << i;
+    }
+    EXPECT_EQ(fleet.decodedTotal(), syndromes.size());
+    EXPECT_EQ(fleet.shedTotal(), 0u);
+    EXPECT_EQ(fleet.malformedTotal(), 0u);
+}
+
+TEST(FleetIngest, MalformedFrameClosesConnection)
+{
+    auto ctx = smallContext();
+    FleetConfig fc;
+    fc.shards = 1;
+    DecodeFleet fleet(fc, ctx, registryFactory("astrea"));
+    net::FleetServer server(fleet);
+    fleet.setVerdictSink(
+        [&server](const FleetVerdict &v) { server.deliver(v); });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    // Drain the Hello frame (14-byte header + 4-byte payload).
+    uint8_t hello[18];
+    size_t have = 0;
+    while (have < sizeof(hello)) {
+        ssize_t n = ::recv(fd, hello + have, sizeof(hello) - have, 0);
+        ASSERT_GT(n, 0);
+        have += static_cast<size_t>(n);
+    }
+
+    // Garbage: the server must close, not desynchronize or crash.
+    uint8_t junk[32];
+    std::memset(junk, 0xFF, sizeof(junk));
+    ASSERT_EQ(::send(fd, junk, sizeof(junk), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(junk)));
+
+    uint8_t byte;
+    ssize_t n = ::recv(fd, &byte, 1, 0);
+    EXPECT_LE(n, 0) << "server kept talking after a malformed frame";
+    ::close(fd);
+
+    server.stop();
+    EXPECT_GE(fleet.malformedTotal(), 1u);
+    EXPECT_EQ(fleet.decodedTotal(), 0u);
+}
+
+} // namespace
+} // namespace astrea

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -332,6 +333,163 @@ TEST(HttpServerTest, StopIsIdempotentAndRestartable)
     HttpServer second;
     ASSERT_TRUE(second.start("127.0.0.1", 0, &error)) << error;
     second.stop();
+}
+
+/**
+ * Read exactly one HTTP response (head + Content-Length body).
+ * `carry` holds bytes recv'd past the response boundary (the start of
+ * the next pipelined response) for the following call.
+ */
+std::string
+rawReadOneResponse(int fd, std::string &carry)
+{
+    std::string out = std::move(carry);
+    carry.clear();
+    char buf[4096];
+    size_t head_end;
+    while ((head_end = out.find("\r\n\r\n")) == std::string::npos) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return out;
+        out.append(buf, static_cast<size_t>(n));
+    }
+    size_t body_len = 0;
+    const std::string marker = "Content-Length: ";
+    size_t cl = out.find(marker);
+    if (cl != std::string::npos && cl < head_end)
+        body_len = static_cast<size_t>(
+            std::atoll(out.c_str() + cl + marker.size()));
+    const size_t total = head_end + 4 + body_len;
+    while (out.size() < total) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return out;
+        out.append(buf, static_cast<size_t>(n));
+    }
+    carry = out.substr(total);
+    return out.substr(0, total);
+}
+
+TEST(HttpServerTest, KeepAliveServesMultipleRequestsPerConnection)
+{
+    HttpServer server;
+    int hits = 0;
+    server.handle("/count", [&](const HttpRequest &) {
+        HttpResponse r;
+        r.body = "hit " + std::to_string(++hits) + "\n";
+        return r;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    std::string rcarry;
+
+    // Three sequential requests on ONE connection.
+    for (int i = 1; i <= 3; i++) {
+        ASSERT_TRUE(rawSendAll(
+            fd, "GET /count HTTP/1.1\r\nHost: x\r\n\r\n"));
+        const std::string resp = rawReadOneResponse(fd, rcarry);
+        EXPECT_NE(resp.find("200 OK"), std::string::npos) << resp;
+        EXPECT_NE(resp.find("Connection: keep-alive"),
+                  std::string::npos)
+            << resp;
+        EXPECT_NE(resp.find("hit " + std::to_string(i) + "\n"),
+                  std::string::npos)
+            << resp;
+    }
+
+    // An explicit close is honored and the socket actually closes.
+    ASSERT_TRUE(rawSendAll(fd, "GET /count HTTP/1.1\r\nHost: x\r\n"
+                               "Connection: close\r\n\r\n"));
+    const std::string last = rawReadOneResponse(fd, rcarry);
+    EXPECT_NE(last.find("Connection: close"), std::string::npos)
+        << last;
+    char byte;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0) << "server held the "
+                                             "connection open";
+    ::close(fd);
+    EXPECT_EQ(hits, 4);
+    server.stop();
+}
+
+TEST(HttpServerTest, KeepAliveIsBoundedPerConnection)
+{
+    HttpServer server;
+    server.handle("/x", [](const HttpRequest &) {
+        return HttpResponse{};
+    });
+    HttpLimits limits;
+    limits.maxRequestsPerConnection = 2;
+    server.setLimits(limits);
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    std::string rcarry;
+    ASSERT_TRUE(rawSendAll(fd, "GET /x HTTP/1.1\r\nHost: x\r\n\r\n"));
+    std::string first = rawReadOneResponse(fd, rcarry);
+    EXPECT_NE(first.find("Connection: keep-alive"), std::string::npos)
+        << first;
+    // The 2nd (= last allowed) request gets Connection: close.
+    ASSERT_TRUE(rawSendAll(fd, "GET /x HTTP/1.1\r\nHost: x\r\n\r\n"));
+    std::string second = rawReadOneResponse(fd, rcarry);
+    EXPECT_NE(second.find("Connection: close"), std::string::npos)
+        << second;
+    char byte;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+    ::close(fd);
+    server.stop();
+}
+
+TEST(HttpServerTest, PipelinedRequestsAllGetResponses)
+{
+    HttpServer server;
+    int hits = 0;
+    server.handle("/p", [&](const HttpRequest &) {
+        HttpResponse r;
+        r.body = "n=" + std::to_string(++hits) + "\n";
+        return r;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    std::string rcarry;
+    // Two requests in one write: the carry buffer must hand the 2nd
+    // to the next serveOneRequest iteration instead of dropping it.
+    ASSERT_TRUE(rawSendAll(fd, "GET /p HTTP/1.1\r\nHost: x\r\n\r\n"
+                               "GET /p HTTP/1.1\r\nHost: x\r\n\r\n"));
+    const std::string r1 = rawReadOneResponse(fd, rcarry);
+    const std::string r2 = rawReadOneResponse(fd, rcarry);
+    EXPECT_NE(r1.find("n=1\n"), std::string::npos) << r1;
+    EXPECT_NE(r2.find("n=2\n"), std::string::npos) << r2;
+    ::close(fd);
+    EXPECT_EQ(hits, 2);
+    server.stop();
+}
+
+TEST(HttpServerTest, Http10ConnectionsStillCloseAfterOneRequest)
+{
+    HttpServer server;
+    server.handle("/x", [](const HttpRequest &) {
+        return HttpResponse{};
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &error)) << error;
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(rawSendAll(fd, "GET /x HTTP/1.0\r\nHost: x\r\n\r\n"));
+    const std::string resp = rawReadAll(fd);  // Reads until close.
+    EXPECT_NE(resp.find("200 OK"), std::string::npos) << resp;
+    EXPECT_NE(resp.find("Connection: close"), std::string::npos)
+        << resp;
+    ::close(fd);
+    server.stop();
 }
 
 } // namespace

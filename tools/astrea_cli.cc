@@ -51,11 +51,14 @@
 #include <thread>
 #include <vector>
 
+#include <random>
+
 #include "bench_util.hh"
 #include "common/cli.hh"
 #include "common/env.hh"
 #include "decoders/registry.hh"
 #include "harness/decode_service.hh"
+#include "net/fleet_client.hh"
 #include "harness/hw_histogram.hh"
 #include "harness/memory_experiment.hh"
 #include "harness/replay.hh"
@@ -273,6 +276,30 @@ commandServe(const Options &opts)
     cfg.traceRing = opts.getUint(
         "trace-ring", env::getUint("ASTREA_TRACE_RING", 1024, 1));
 
+    cfg.fleetEnabled =
+        opts.getUint("fleet",
+                     env::getBool("ASTREA_FLEET", false) ? 1 : 0) != 0;
+    cfg.fleet.shards = static_cast<size_t>(opts.getUint(
+        "fleet-shards", env::getUint("ASTREA_FLEET_SHARDS", 2, 1)));
+    cfg.fleet.ringCapacity = static_cast<size_t>(opts.getUint(
+        "fleet-ring", env::getUint("ASTREA_FLEET_RING", 1024, 2)));
+    cfg.fleet.maxBatch = static_cast<size_t>(opts.getUint(
+        "fleet-max-batch",
+        env::getUint("ASTREA_FLEET_MAX_BATCH", 64, 1)));
+    cfg.fleet.maxDelayNs =
+        1000.0 * opts.getDouble(
+                     "fleet-max-delay-us",
+                     env::getDouble("ASTREA_FLEET_MAX_DELAY_US", 200.0));
+    cfg.fleet.shedLowWatermark = opts.getDouble(
+        "fleet-shed-low", env::getDouble("ASTREA_FLEET_SHED_LOW", 0.5));
+    cfg.fleet.shedHighWatermark = opts.getDouble(
+        "fleet-shed-high",
+        env::getDouble("ASTREA_FLEET_SHED_HIGH", 0.9));
+    cfg.fleetBind = opts.getString(
+        "fleet-bind", env::getString("ASTREA_FLEET_BIND", "127.0.0.1"));
+    cfg.fleetPort = static_cast<uint16_t>(opts.getUint(
+        "fleet-port", env::getUint("ASTREA_FLEET_PORT", 0)));
+
     const std::string bind = opts.getString(
         "bind", env::getString("ASTREA_SERVE_BIND", "127.0.0.1"));
     const uint16_t port = static_cast<uint16_t>(
@@ -280,6 +307,8 @@ commandServe(const Options &opts)
     const std::string duration_text = opts.getString(
         "duration", env::getString("ASTREA_SERVE_DURATION", ""));
     const std::string port_file = opts.getString("port-file", "");
+    const std::string fleet_port_file =
+        opts.getString("fleet-port-file", "");
 
     uint64_t duration_ms = 0;  // 0 = run until a signal.
     if (!duration_text.empty() &&
@@ -305,6 +334,16 @@ commandServe(const Options &opts)
         if (!pf) {
             std::fprintf(stderr, "serve: cannot write %s\n",
                          port_file.c_str());
+            svc.stop();
+            return 2;
+        }
+    }
+    if (!fleet_port_file.empty() && cfg.fleetEnabled) {
+        std::ofstream pf(fleet_port_file, std::ios::trunc);
+        pf << svc.fleetPort() << "\n";
+        if (!pf) {
+            std::fprintf(stderr, "serve: cannot write %s\n",
+                         fleet_port_file.c_str());
             svc.stop();
             return 2;
         }
@@ -335,6 +374,15 @@ commandServe(const Options &opts)
                     static_cast<unsigned long long>(cfg.traceStride),
                     static_cast<unsigned long long>(cfg.traceRing));
     }
+    if (cfg.fleetEnabled)
+        std::printf("serve: fleet ingest on %s:%u (%llu shards, "
+                    "ring %llu, batch %llu, delay %gus)\n",
+                    cfg.fleetBind.c_str(), svc.fleetPort(),
+                    static_cast<unsigned long long>(cfg.fleet.shards),
+                    static_cast<unsigned long long>(
+                        cfg.fleet.ringCapacity),
+                    static_cast<unsigned long long>(cfg.fleet.maxBatch),
+                    cfg.fleet.maxDelayNs / 1000.0);
     std::fflush(stdout);
 
     std::signal(SIGINT, serveSignalHandler);
@@ -360,6 +408,124 @@ commandServe(const Options &opts)
     return 0;
 }
 
+/**
+ * `astrea_cli fleet-client`: blast synthetic syndrome traffic at a
+ * fleet ingest port and account for every verdict. Exists for the CI
+ * smoke leg and for eyeballing a live fleet; exits nonzero when any
+ * sent shot goes unanswered.
+ */
+int
+commandFleetClient(const Options &opts)
+{
+    const std::string host = opts.getString("host", "127.0.0.1");
+    uint16_t port = static_cast<uint16_t>(opts.getUint("port", 0));
+    const std::string port_file = opts.getString("port-file", "");
+    if (port == 0 && !port_file.empty()) {
+        std::ifstream pf(port_file);
+        unsigned p = 0;
+        if (!(pf >> p) || p == 0 || p > 65535) {
+            std::fprintf(stderr, "fleet-client: cannot read port "
+                                 "from %s\n",
+                         port_file.c_str());
+            return 1;
+        }
+        port = static_cast<uint16_t>(p);
+    }
+    if (port == 0) {
+        std::fprintf(stderr,
+                     "fleet-client: need --port=N or --port-file\n");
+        return 1;
+    }
+
+    const uint32_t streams = static_cast<uint32_t>(
+        std::max<uint64_t>(1, opts.getUint("streams", 8)));
+    const uint32_t shots_per_stream = static_cast<uint32_t>(
+        std::max<uint64_t>(1, opts.getUint("shots", 64)));
+    const uint32_t max_hw =
+        static_cast<uint32_t>(opts.getUint("max-hw", 4));
+    const uint64_t seed = opts.getUint("seed", 1);
+
+    net::FleetClient client;
+    std::string error;
+    if (!client.connect(host, port, &error)) {
+        std::fprintf(stderr, "fleet-client: %s\n", error.c_str());
+        return 2;
+    }
+    const uint32_t bits = client.numDetectorBits();
+    std::printf("fleet-client: connected to %s:%u (%u detector "
+                "bits); %u streams x %u shots\n",
+                host.c_str(), port, bits, streams, shots_per_stream);
+
+    const uint64_t total =
+        static_cast<uint64_t>(streams) * shots_per_stream;
+    std::atomic<uint64_t> decoded{0}, shed{0}, gave_up{0}, errors{0};
+    std::atomic<uint64_t> verdicts{0};
+    std::thread reader([&] {
+        net::FleetClientVerdict v;
+        while (verdicts.load(std::memory_order_relaxed) < total &&
+               client.readVerdict(v)) {
+            verdicts.fetch_add(1, std::memory_order_relaxed);
+            if (v.error)
+                errors.fetch_add(1, std::memory_order_relaxed);
+            else if (v.shed)
+                shed.fetch_add(1, std::memory_order_relaxed);
+            else if (v.gaveUp)
+                gave_up.fetch_add(1, std::memory_order_relaxed);
+            else
+                decoded.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    // Round-robin the streams so every shard sees interleaved
+    // traffic, the worst case for the coalescer.
+    std::mt19937_64 rng(seed);
+    std::vector<uint32_t> defects;
+    uint64_t sent = 0;
+    bool send_ok = true;
+    for (uint32_t s = 0; s < shots_per_stream && send_ok; s++) {
+        for (uint32_t st = 0; st < streams && send_ok; st++) {
+            defects.clear();
+            if (bits > 0 && max_hw > 0) {
+                const uint32_t hw = static_cast<uint32_t>(
+                    rng() % (std::min(max_hw, bits) + 1));
+                while (defects.size() < hw) {
+                    const uint32_t d =
+                        static_cast<uint32_t>(rng() % bits);
+                    if (std::find(defects.begin(), defects.end(), d) ==
+                        defects.end())
+                        defects.push_back(d);
+                }
+                std::sort(defects.begin(), defects.end());
+            }
+            const uint8_t priority =
+                static_cast<uint8_t>(rng() % 8);
+            send_ok = client.sendShot(st, s, priority, defects);
+            if (send_ok)
+                sent++;
+        }
+    }
+    if (send_ok)
+        send_ok = client.flush();
+    reader.join();
+    client.close();
+
+    std::printf("fleet-client: sent %llu, verdicts %llu "
+                "(decoded %llu, shed %llu, gave_up %llu, "
+                "error %llu)\n",
+                static_cast<unsigned long long>(sent),
+                static_cast<unsigned long long>(verdicts.load()),
+                static_cast<unsigned long long>(decoded.load()),
+                static_cast<unsigned long long>(shed.load()),
+                static_cast<unsigned long long>(gave_up.load()),
+                static_cast<unsigned long long>(errors.load()));
+    if (!send_ok) {
+        std::fprintf(stderr, "fleet-client: connection lost while "
+                             "sending\n");
+        return 2;
+    }
+    return verdicts.load() == total ? 0 : 1;
+}
+
 int
 usage(const char *argv0)
 {
@@ -376,13 +542,20 @@ usage(const char *argv0)
         "[--port-file=PATH] [--budget-ns=NS] [--audit-rate=F] "
         "[--audit-threads=N] [--audit-queue=N] "
         "[--audit-dp-max-hw=N] [--trace=0|1] [--trace-tail-ns=NS] "
-        "[--trace-stride=N] [--trace-ring=N]\n"
+        "[--trace-stride=N] [--trace-ring=N] [--fleet=0|1] "
+        "[--fleet-shards=N] [--fleet-ring=N] [--fleet-max-batch=N] "
+        "[--fleet-max-delay-us=US] [--fleet-shed-low=F] "
+        "[--fleet-shed-high=F] [--fleet-bind=ADDR] [--fleet-port=N] "
+        "[--fleet-port-file=PATH]\n"
+        "or:    %s fleet-client [--host=ADDR] --port=N|"
+        "--port-file=PATH [--streams=M] [--shots=K] [--max-hw=N] "
+        "[--seed=N]\n"
         "or:    %s list-decoders\n"
         "flags: --shots=N --seed=N --log-level=LVL "
         "--trace-file=PATH --chrome-trace=PATH --perf-counters\n"
         "       (serve exposes /pprof/profile?seconds=N&hz=H"
         "&format=collapsed|speedscope)\n",
-        argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0);
     return 1;
 }
 
@@ -405,6 +578,8 @@ main(int argc, char **argv)
         return commandReplay(pos, opts);
     if (!pos.empty() && pos[0] == "serve")
         return commandServe(opts);
+    if (!pos.empty() && pos[0] == "fleet-client")
+        return commandFleetClient(opts);
     if (!pos.empty() && pos[0] == "list-decoders")
         return commandListDecoders();
 

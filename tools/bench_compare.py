@@ -96,6 +96,15 @@ DEFAULT_METRICS = [
     ("avx512.single_per_sec", "speedup"),
     ("avx512.batched_per_sec", "speedup"),
     ("avx512.batched_vs_single", "speedup"),
+    # Fleet saturation macro-bench (results array keyed by "case" =
+    # STREAMSxSHARDS). Throughput and the fleet-vs-synchronous ratio
+    # are floors; the client-observed ingest latency percentiles are
+    # ceilings.
+    ("shots_per_sec", "speedup"),
+    ("single_per_sec", "speedup"),
+    ("fleet_vs_single", "speedup"),
+    ("p50_ingest_ns", "latency"),
+    ("p99_ingest_ns", "latency"),
     # Hardware perf counters (reports run with --perf-counters on a
     # perf-capable host). IPC is a floor, the LLC miss rate a ceiling;
     # both are skipped unless perf.available is true in BOTH reports.
@@ -187,8 +196,9 @@ def lookup(obj, dotted):
 
 # Keys identifying a result row, tried in order: decoding distance for
 # the memory-experiment benches, tile node count for the kernel
-# microbenches.
-RESULT_KEYS = ("d", "m")
+# microbenches, the STREAMSxSHARDS case name for the fleet saturation
+# bench.
+RESULT_KEYS = ("d", "m", "case")
 
 
 def result_key(result):

@@ -3,7 +3,7 @@
 
 Usage: scrape_check.py METRICS.prom [--require name,name,...]
                                     [--require-audit] [--require-perf]
-                                    [--require-traces]
+                                    [--require-traces] [--require-fleet]
        scrape_check.py --self-test
 
 Parses an exposition-format (0.0.4) dump — such as a scrape of the
@@ -35,7 +35,10 @@ than rejected. The checks:
   - --require-traces demands the tail-sampled tracer's families
     (telemetry/trace_store.hh) and at least one trace_id exemplar on
     the astrea_serve_window_latency_ns histogram buckets, so CI
-    catches a service that silently stopped attaching exemplars.
+    catches a service that silently stopped attaching exemplars;
+  - --require-fleet demands the sharded ingest fleet's families
+    (harness/fleet.cc) including the per-shard
+    astrea_fleet_queue_depth gauge (serve with --fleet).
 
 Exits nonzero with a message on the first violation.
 """
@@ -81,6 +84,20 @@ TRACES_REQUIRED = [
 # The histogram whose buckets must carry trace_id exemplars under
 # --require-traces.
 EXEMPLAR_FAMILY = "astrea_serve_window_latency_ns"
+
+# Families the sharded decode fleet exports when serve runs with
+# --fleet; demanded via --require-fleet.
+FLEET_REQUIRED = [
+    "astrea_fleet_connections_total",
+    "astrea_fleet_frames_total",
+    "astrea_fleet_malformed_frames_total",
+    "astrea_fleet_enqueued_total",
+    "astrea_fleet_shed_total",
+    "astrea_fleet_ring_full_total",
+    "astrea_fleet_coalesced_batches_total",
+    "astrea_fleet_decoded_shots_total",
+    "astrea_fleet_queue_depth",
+]
 
 # Families the perf-counter layer exports when hardware counters are
 # actually available; demanded via --require-perf only when the
@@ -375,6 +392,36 @@ astrea_trace_store_capacity 1024
 # EOF
 """
 
+# Appended to GOOD when exercising --require-fleet: the full family
+# set harness/fleet.cc exports, with per-shard queue-depth samples.
+GOOD_FLEET = """\
+# TYPE astrea_fleet_connections_total counter
+astrea_fleet_connections_total 3
+# TYPE astrea_fleet_frames_total counter
+astrea_fleet_frames_total 4096
+# TYPE astrea_fleet_malformed_frames_total counter
+astrea_fleet_malformed_frames_total 0
+# TYPE astrea_fleet_enqueued_total counter
+astrea_fleet_enqueued_total 4000
+# TYPE astrea_fleet_shed_total counter
+astrea_fleet_shed_total 96
+# TYPE astrea_fleet_ring_full_total counter
+astrea_fleet_ring_full_total 2
+# TYPE astrea_fleet_coalesced_batches_total counter
+astrea_fleet_coalesced_batches_total 80
+# TYPE astrea_fleet_decoded_shots_total counter
+astrea_fleet_decoded_shots_total 4000
+# TYPE astrea_fleet_queue_depth gauge
+astrea_fleet_queue_depth{shard="0"} 3
+astrea_fleet_queue_depth{shard="1"} 0
+"""
+
+# A fleet dump that lost its shed counter (admission control silently
+# stopped exporting) — must fail under --require-fleet.
+BAD_FLEET_PARTIAL = GOOD_FLEET.replace(
+    "# TYPE astrea_fleet_shed_total counter\n"
+    "astrea_fleet_shed_total 96\n", "")
+
 # Trace families present but no exemplar (a 0.0.4 scrape).
 BAD_TRACES_NO_EXEMPLAR = GOOD_TRACES.replace(
     ' # {trace_id="00c0ffee00c0ffee"} 1.5', "").replace(
@@ -449,6 +496,16 @@ def self_test():
                                  ("--require-traces",))
     assert code != 0, "--require-traces passed without the families"
 
+    # --require-fleet: full family set passes; a dump missing any
+    # fleet family (or with no fleet families at all) fails.
+    check(GOOD + GOOD_FLEET, DEFAULT_REQUIRED + FLEET_REQUIRED)
+    code = run_expecting_failure(GOOD, DEFAULT_REQUIRED,
+                                 ("--require-fleet",))
+    assert code != 0, "--require-fleet passed without the families"
+    code = run_expecting_failure(GOOD + BAD_FLEET_PARTIAL,
+                                 DEFAULT_REQUIRED, ("--require-fleet",))
+    assert code != 0, "--require-fleet passed a partial fleet dump"
+
     for i, bad in enumerate(BAD_CASES):
         code = run_expecting_failure(bad, [])
         assert code != 0, f"BAD_CASES[{i}] passed unexpectedly"
@@ -482,6 +539,7 @@ def main(argv):
     require_audit = False
     require_perf = False
     require_traces = False
+    require_fleet = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--require="):
@@ -493,10 +551,14 @@ def main(argv):
             require_perf = True
         elif arg == "--require-traces":
             require_traces = True
+        elif arg == "--require-fleet":
+            require_fleet = True
         else:
             paths.append(arg)
     if require_audit:
         required += [f for f in AUDIT_REQUIRED if f not in required]
+    if require_fleet:
+        required += [f for f in FLEET_REQUIRED if f not in required]
 
     for path in paths:
         try:

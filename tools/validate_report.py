@@ -21,11 +21,12 @@ Files whose top level carries a "service" key are instead validated
 against the decode service's /statusz schema (DecodeServiceCore::
 statuszJson), so CI can point this script at a scraped snapshot.
 Schema version 1 (no auditor), 2 (with an "audit" object), 3 (adds a
-"perf" object with hardware-counter attribution) and 4 (adds a
-"trace_store" object for the tail-sampled decode tracer) are all
-accepted; --require-audit additionally demands schema >= 2 with a
-running auditor that completed at least one audit and dropped no
-samples.
+"perf" object with hardware-counter attribution), 4 (adds a
+"trace_store" object for the tail-sampled decode tracer) and 5 (adds
+an always-present "fleet" object for the sharded ingest fleet;
+enabled:false when serve runs without --fleet) are all accepted;
+--require-audit additionally demands schema >= 2 with a running
+auditor that completed at least one audit and dropped no samples.
 
 Exits nonzero with a message on the first violation, so CI fails when a
 bench silently stops producing valid reports.
@@ -125,12 +126,52 @@ def validate_trace_store(path, trace):
             fail(path, f"trace_store.{key} must be >= 0")
 
 
+def validate_fleet(path, fleet):
+    """Validate the statusz 'fleet' object (schema version 5)."""
+    if not isinstance(fleet, dict):
+        fail(path, "'fleet' must be an object")
+    if "enabled" not in fleet:
+        fail(path, "fleet missing 'enabled'")
+    if not isinstance(fleet["enabled"], bool):
+        fail(path, "fleet.enabled must be a bool")
+    if not fleet["enabled"]:
+        return  # serve without --fleet: just the enabled flag.
+    for key in ("shards", "ring_capacity", "max_batch", "max_delay_ns",
+                "shed_low_watermark", "shed_high_watermark",
+                "max_priority", "connections", "frames",
+                "malformed_frames", "enqueued", "shed", "ring_full",
+                "coalesced_batches", "decoded_shots", "queue_depths"):
+        if key not in fleet:
+            fail(path, f"fleet missing '{key}'")
+    for key in ("shards", "ring_capacity", "max_batch", "max_priority",
+                "connections", "frames", "malformed_frames",
+                "enqueued", "shed", "ring_full", "coalesced_batches",
+                "decoded_shots"):
+        v = fleet[key]
+        if not isinstance(v, int) or v < 0:
+            fail(path, f"fleet.{key} must be a non-negative integer")
+    if fleet["shards"] < 1:
+        fail(path, "fleet.shards must be >= 1")
+    for key in ("shed_low_watermark", "shed_high_watermark"):
+        v = fleet[key]
+        if not isinstance(v, (int, float)) or not 0.0 <= v <= 1.0:
+            fail(path, f"fleet.{key} must be a fraction in [0, 1]")
+    depths = fleet["queue_depths"]
+    if not isinstance(depths, list) or len(depths) != fleet["shards"]:
+        fail(path, "fleet.queue_depths must be an array with one "
+                   "entry per shard")
+    for i, v in enumerate(depths):
+        if not isinstance(v, int) or v < 0:
+            fail(path, f"fleet.queue_depths[{i}] must be a "
+                       f"non-negative integer")
+
+
 def validate_statusz(path, doc, require_audit=False):
     """Validate a decode-service /statusz snapshot."""
     if doc.get("service") != "astrea_serve":
         fail(path, f"unknown service {doc.get('service')!r}")
     schema = doc.get("schema_version")
-    if schema not in (1, 2, 3, 4):
+    if schema not in (1, 2, 3, 4, 5):
         fail(path, f"unknown schema_version {schema!r}")
     if require_audit and schema < 2:
         fail(path, "--require-audit needs schema_version >= 2")
@@ -151,6 +192,10 @@ def validate_statusz(path, doc, require_audit=False):
             fail(path,
                  "schema_version 4 requires a 'trace_store' object")
         validate_trace_store(path, doc["trace_store"])
+    if schema >= 5:
+        if "fleet" not in doc:
+            fail(path, "schema_version 5 requires a 'fleet' object")
+        validate_fleet(path, doc["fleet"])
 
     config = doc["config"]
     for key in ("d", "p", "decoder", "workers", "budget_ns",
